@@ -1,0 +1,129 @@
+//! Host-side (external) clients driving TreeSLS servers through network
+//! ports.
+//!
+//! These play the external systems of §5: they live outside the SLS (their
+//! state survives crashes like any real remote client) and observe only
+//! externally visible responses. The drivers record per-operation latency
+//! histograms for Figures 11, 12 and 14.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls_extsync::NetPort;
+
+use crate::hist::Histogram;
+use crate::wire::{KvOp, KvResp};
+
+/// Outcome of one client run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Completed operations.
+    pub ops: u64,
+    /// Timed-out operations.
+    pub timeouts: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-operation latency (ns).
+    pub latency: Histogram,
+}
+
+impl RunStats {
+    /// Throughput in operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// A closed-loop client issuing operations from an iterator against a set
+/// of port shards (key-hash routed by the caller's shard function).
+pub fn run_closed_loop(
+    ports: &[Arc<NetPort>],
+    mut ops: impl FnMut() -> Option<(usize, KvOp)>,
+    timeout: Duration,
+) -> RunStats {
+    let mut latency = Histogram::new();
+    let mut done = 0u64;
+    let mut timeouts = 0u64;
+    let start = Instant::now();
+    while let Some((shard, op)) = ops() {
+        let port = &ports[shard % ports.len()];
+        let t0 = Instant::now();
+        match port.call(&op.encode(), timeout) {
+            Ok(Some(resp)) => {
+                debug_assert!(KvResp::decode(&resp).is_some());
+                latency.record(t0.elapsed().as_nanos() as u64);
+                done += 1;
+            }
+            Ok(None) => {
+                timeouts += 1;
+            }
+            Err(_) => {
+                timeouts += 1;
+            }
+        }
+    }
+    RunStats { ops: done, timeouts, elapsed: start.elapsed(), latency }
+}
+
+/// Runs `nthreads` closed-loop clients in parallel, each drawing from its
+/// own operation stream (`make_ops(thread_idx)`), and merges the results.
+pub fn run_parallel_clients(
+    ports: &[Arc<NetPort>],
+    nthreads: usize,
+    make_ops: impl Fn(usize) -> Box<dyn FnMut() -> Option<(usize, KvOp)> + Send> + Sync,
+    timeout: Duration,
+) -> RunStats {
+    let total_ops = AtomicU64::new(0);
+    let total_timeouts = AtomicU64::new(0);
+    let merged = parking_lot::Mutex::new(Histogram::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..nthreads {
+            let mut ops = make_ops(t);
+            let ports = &ports;
+            let total_ops = &total_ops;
+            let total_timeouts = &total_timeouts;
+            let merged = &merged;
+            s.spawn(move || {
+                let stats = run_closed_loop(ports, &mut *ops, timeout);
+                total_ops.fetch_add(stats.ops, Ordering::Relaxed);
+                total_timeouts.fetch_add(stats.timeouts, Ordering::Relaxed);
+                merged.lock().merge(&stats.latency);
+            });
+        }
+    });
+    RunStats {
+        ops: total_ops.load(Ordering::Relaxed),
+        timeouts: total_timeouts.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        latency: merged.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_throughput() {
+        let s = RunStats {
+            ops: 1000,
+            timeouts: 0,
+            elapsed: Duration::from_secs(2),
+            latency: Histogram::new(),
+        };
+        assert!((s.throughput() - 500.0).abs() < 1e-9);
+        let z = RunStats {
+            ops: 0,
+            timeouts: 0,
+            elapsed: Duration::ZERO,
+            latency: Histogram::new(),
+        };
+        assert_eq!(z.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Latency histograms for the benchmark harness.
+//!
+//! Log-spaced buckets (HDR-style, 64 sub-buckets per power of two) give
+//! ~1.5 % quantile error across nanoseconds-to-seconds, enough to
+//! reproduce the P50/P95/P99 series of Figures 11, 12 and 14.
+
+/// A log-bucketed latency histogram over `u64` nanosecond samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+const SUB_BITS: u32 = 6; // 64 sub-buckets per octave
+const OCTAVES: u32 = 40;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; (OCTAVES << SUB_BITS) as usize],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        let v = v.max(1);
+        let octave = 63 - v.leading_zeros();
+        if octave < SUB_BITS {
+            return v as usize;
+        }
+        let sub = (v >> (octave - SUB_BITS)) as usize & ((1 << SUB_BITS) - 1);
+        (((octave as usize) << SUB_BITS) | sub).min((OCTAVES as usize) * (1 << SUB_BITS) - 1)
+    }
+
+    fn bucket_value(i: usize) -> u64 {
+        let octave = (i >> SUB_BITS) as u32;
+        let sub = (i & ((1 << SUB_BITS) - 1)) as u64;
+        if octave < SUB_BITS {
+            return i as u64;
+        }
+        (1u64 << octave) | (sub << (octave - SUB_BITS))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merges another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (0 if empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), approximated to bucket resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience accessors for the common percentiles.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!((4800..=5300).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((9700..=10_100).contains(&p99), "p99={p99}");
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn records_large_values() {
+        let mut h = Histogram::new();
+        h.record(3_000_000_000); // 3 s in ns
+        h.record(10);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 2_900_000_000);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.p50() >= 90);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for v in [1u64, 100, 1000, 123_456, 9_876_543, 1 << 40] {
+            let i = Histogram::index(v);
+            let back = Histogram::bucket_value(i);
+            let err = (back as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.04, "v={v} back={back} err={err}");
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Phoenix-style compute workloads: WordCount, KMeans, PCA.
+//!
+//! The paper evaluates the Phoenix-2.0 MapReduce suite as its computing
+//! applications (Table 2, Figure 10). These programs reproduce the memory
+//! access shapes: multi-threaded workers sweeping large input regions and
+//! writing to private output regions, coordinated through registers and
+//! shared memory. Each step processes a bounded chunk so stop-the-world
+//! pauses interrupt promptly at step boundaries.
+
+use treesls_extsync::MemIo;
+use treesls_kernel::program::{Program, StepOutcome, UserCtx};
+
+use crate::hashkv::HashKv;
+use crate::wire::make_key;
+
+/// Thread-id register: workers learn their index from `regs[0]`.
+pub const REG_WORKER: usize = 0;
+/// Progress register: next input offset to process.
+pub const REG_CURSOR: usize = 5;
+
+/// WordCount: each worker scans its slice of a text region and counts
+/// words into a private hash table.
+///
+/// Memory layout: `input_base..input_base+input_len` holds space-separated
+/// lowercase words; worker `i`'s table lives at
+/// `tables_base + i * table_stride`.
+#[derive(Debug)]
+pub struct WordCount {
+    /// Input text base address.
+    pub input_base: u64,
+    /// Input length in bytes.
+    pub input_len: u64,
+    /// Number of worker threads.
+    pub workers: u64,
+    /// Base of the per-worker output tables.
+    pub tables_base: u64,
+    /// Byte stride between worker tables.
+    pub table_stride: u64,
+    /// Buckets per worker table (power of two).
+    pub nbuckets: u64,
+    /// Bytes scanned per step.
+    pub chunk: u64,
+}
+
+impl WordCount {
+    fn table_base(&self, worker: u64) -> u64 {
+        self.tables_base + worker * self.table_stride
+    }
+
+    /// Value capacity: an 8-byte count.
+    const VAL_CAP: u64 = 8;
+
+    fn slice(&self, worker: u64) -> (u64, u64) {
+        let per = self.input_len / self.workers;
+        let start = worker * per;
+        let end = if worker + 1 == self.workers { self.input_len } else { start + per };
+        (start, end)
+    }
+
+    fn bump_word<M: MemIo>(io: &M, table: &HashKv, word: &[u8]) {
+        let key = make_key(word);
+        let count = match table.get(io, &key) {
+            Ok(Some(v)) if v.len() == 8 => {
+                u64::from_le_bytes(v.try_into().expect("8 bytes")) + 1
+            }
+            _ => 1,
+        };
+        let _ = table.set(io, &key, &count.to_le_bytes());
+    }
+}
+
+impl Program for WordCount {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        let worker = ctx.reg(REG_WORKER);
+        let (start, end) = self.slice(worker);
+        if ctx.pc() == 0 {
+            if HashKv::format(ctx, self.table_base(worker), self.nbuckets, Self::VAL_CAP).is_err()
+            {
+                return StepOutcome::Exited;
+            }
+            ctx.set_reg(REG_CURSOR, start);
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let Ok(table) = HashKv::attach(ctx, self.table_base(worker)) else {
+            return StepOutcome::Exited;
+        };
+        let mut cursor = ctx.reg(REG_CURSOR);
+        if cursor >= end {
+            return StepOutcome::Exited;
+        }
+        // To keep words whole, a worker starts mid-word only at its very
+        // first chunk; skip to the next separator in that case.
+        let stop = (cursor + self.chunk).min(end);
+        let mut buf = vec![0u8; (stop - cursor) as usize];
+        if ctx.read(self.input_base + cursor, &mut buf).is_err() {
+            return StepOutcome::Exited;
+        }
+        let mut word_start: Option<usize> = None;
+        let mut consumed = buf.len();
+        for (i, &b) in buf.iter().enumerate() {
+            if b == b' ' || b == 0 {
+                if let Some(ws) = word_start.take() {
+                    Self::bump_word(ctx, &table, &buf[ws..i]);
+                }
+            } else if word_start.is_none() {
+                word_start = Some(i);
+            }
+        }
+        // A word spanning the chunk boundary is re-read next step.
+        if let Some(ws) = word_start {
+            if stop < end {
+                consumed = ws;
+                if consumed == 0 {
+                    // Pathological word longer than a chunk: count it now.
+                    Self::bump_word(ctx, &table, &buf);
+                    consumed = buf.len();
+                }
+            } else {
+                Self::bump_word(ctx, &table, &buf[ws..]);
+            }
+        }
+        cursor += consumed as u64;
+        ctx.set_reg(REG_CURSOR, cursor);
+        if cursor >= end {
+            StepOutcome::Exited
+        } else {
+            StepOutcome::Ready
+        }
+    }
+}
+
+/// KMeans: workers assign points to the nearest centroid and accumulate
+/// per-worker sums; a coordinator (worker 0 after a barrier-free design:
+/// each worker iterates independently over the shared centroids, and
+/// centroid updates happen in the host harness between iterations in the
+/// benchmark — inside the SLS each worker performs `iters` full passes).
+///
+/// Layout: points at `points_base` (`npoints` × `dims` f32, stored as
+/// u32 bits), centroids at `centroids_base` (`k` × `dims`), per-worker
+/// accumulators at `accum_base + worker * accum_stride`
+/// (`k` × (dims sums f32 + count u32)).
+#[derive(Debug)]
+pub struct KMeans {
+    /// Points region.
+    pub points_base: u64,
+    /// Number of points.
+    pub npoints: u64,
+    /// Dimensions per point.
+    pub dims: u64,
+    /// Centroid region.
+    pub centroids_base: u64,
+    /// Cluster count.
+    pub k: u64,
+    /// Per-worker accumulator base.
+    pub accum_base: u64,
+    /// Accumulator stride between workers.
+    pub accum_stride: u64,
+    /// Number of worker threads.
+    pub workers: u64,
+    /// Points processed per step.
+    pub chunk: u64,
+    /// Full passes over the data.
+    pub iters: u64,
+}
+
+impl KMeans {
+    fn read_f32<M: MemIo>(io: &M, addr: u64) -> f32 {
+        let mut b = [0u8; 4];
+        let _ = io.mem_read(addr, &mut b);
+        f32::from_le_bytes(b)
+    }
+
+    fn write_f32<M: MemIo>(io: &M, addr: u64, v: f32) {
+        let _ = io.mem_write(addr, &v.to_le_bytes());
+    }
+
+    fn slice(&self, worker: u64) -> (u64, u64) {
+        let per = self.npoints / self.workers;
+        let start = worker * per;
+        let end = if worker + 1 == self.workers { self.npoints } else { start + per };
+        (start, end)
+    }
+}
+
+impl Program for KMeans {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        let worker = ctx.reg(REG_WORKER);
+        let (start, end) = self.slice(worker);
+        let iter = ctx.reg(6);
+        if iter >= self.iters {
+            return StepOutcome::Exited;
+        }
+        if ctx.pc() == 0 {
+            ctx.set_reg(REG_CURSOR, start);
+            ctx.set_pc(1);
+        }
+        let accum = self.accum_base + worker * self.accum_stride;
+        let mut cursor = ctx.reg(REG_CURSOR);
+        let stop = (cursor + self.chunk).min(end);
+        while cursor < stop {
+            let p = self.points_base + cursor * self.dims * 4;
+            // Nearest centroid.
+            let mut best = 0u64;
+            let mut best_d = f32::MAX;
+            for c in 0..self.k {
+                let cb = self.centroids_base + c * self.dims * 4;
+                let mut d = 0f32;
+                for dim in 0..self.dims {
+                    let dx = Self::read_f32(ctx, p + dim * 4) - Self::read_f32(ctx, cb + dim * 4);
+                    d += dx * dx;
+                }
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            // Accumulate into this worker's sums.
+            let slot = accum + best * (self.dims * 4 + 4);
+            for dim in 0..self.dims {
+                let a = slot + dim * 4;
+                Self::write_f32(ctx, a, Self::read_f32(ctx, a) + Self::read_f32(ctx, p + dim * 4));
+            }
+            let cnt_addr = slot + self.dims * 4;
+            let _ = ctx
+                .write_u32(cnt_addr, ctx.read_u32(cnt_addr).unwrap_or(0).wrapping_add(1));
+            cursor += 1;
+        }
+        ctx.set_reg(REG_CURSOR, cursor);
+        if cursor >= end {
+            ctx.set_reg(6, iter + 1);
+            ctx.set_reg(REG_CURSOR, start);
+        }
+        StepOutcome::Ready
+    }
+}
+
+/// PCA: workers compute rows of the covariance matrix of a dense matrix.
+///
+/// Layout: `matrix_base` holds an `n × n` matrix of f32; `means_base`
+/// holds per-column means (precomputed by worker 0's first pass);
+/// `cov_base` receives covariance rows.
+#[derive(Debug)]
+pub struct Pca {
+    /// Matrix base.
+    pub matrix_base: u64,
+    /// Matrix dimension (rows = cols = n).
+    pub n: u64,
+    /// Column means region.
+    pub means_base: u64,
+    /// Covariance output region (n × n f32).
+    pub cov_base: u64,
+    /// Number of workers.
+    pub workers: u64,
+    /// Covariance cells computed per step.
+    pub chunk: u64,
+}
+
+impl Pca {
+    fn slice(&self, worker: u64) -> (u64, u64) {
+        let per = self.n / self.workers;
+        let start = worker * per;
+        let end = if worker + 1 == self.workers { self.n } else { start + per };
+        (start, end)
+    }
+}
+
+impl Program for Pca {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        let worker = ctx.reg(REG_WORKER);
+        let (row_start, row_end) = self.slice(worker);
+        if ctx.pc() == 0 {
+            // Phase 1: each worker computes the means of its row slice's
+            // columns... means are per-column over ALL rows, so worker 0
+            // computes them once; others wait via polling a done flag.
+            if worker == 0 {
+                for col in 0..self.n {
+                    let mut sum = 0f64;
+                    for row in 0..self.n {
+                        sum += KMeans::read_f32(ctx, self.matrix_base + (row * self.n + col) * 4)
+                            as f64;
+                    }
+                    KMeans::write_f32(
+                        ctx,
+                        self.means_base + col * 4,
+                        (sum / self.n as f64) as f32,
+                    );
+                }
+                // Publish the done flag (last word of the means region).
+                let _ = ctx.write_u32(self.means_base + self.n * 4, 1);
+            } else {
+                let ready = ctx.read_u32(self.means_base + self.n * 4).unwrap_or(0);
+                if ready == 0 {
+                    return StepOutcome::Yielded;
+                }
+            }
+            ctx.set_reg(REG_CURSOR, row_start * self.n);
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        // Phase 2: covariance cells, `chunk` per step.
+        let mut cell = ctx.reg(REG_CURSOR);
+        let end_cell = row_end * self.n;
+        let stop = (cell + self.chunk).min(end_cell);
+        while cell < stop {
+            let (i, j) = (cell / self.n, cell % self.n);
+            let mi = KMeans::read_f32(ctx, self.means_base + i * 4);
+            let mj = KMeans::read_f32(ctx, self.means_base + j * 4);
+            let mut acc = 0f64;
+            for r in 0..self.n {
+                let a = KMeans::read_f32(ctx, self.matrix_base + (r * self.n + i) * 4) - mi;
+                let b = KMeans::read_f32(ctx, self.matrix_base + (r * self.n + j) * 4) - mj;
+                acc += (a * b) as f64;
+            }
+            KMeans::write_f32(
+                ctx,
+                self.cov_base + (i * self.n + j) * 4,
+                (acc / (self.n as f64 - 1.0)) as f32,
+            );
+            cell += 1;
+        }
+        ctx.set_reg(REG_CURSOR, cell);
+        if cell >= end_cell {
+            StepOutcome::Exited
+        } else {
+            StepOutcome::Ready
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_partition_the_input() {
+        let wc = WordCount {
+            input_base: 0,
+            input_len: 1003,
+            workers: 8,
+            tables_base: 0,
+            table_stride: 0,
+            nbuckets: 64,
+            chunk: 128,
+        };
+        let mut covered = 0;
+        for w in 0..8 {
+            let (s, e) = wc.slice(w);
+            covered += e - s;
+            if w > 0 {
+                assert_eq!(s, wc.slice(w - 1).1);
+            }
+        }
+        assert_eq!(covered, 1003);
+    }
+
+    #[test]
+    fn kmeans_slices_partition_points() {
+        let km = KMeans {
+            points_base: 0,
+            npoints: 10_000,
+            dims: 2,
+            centroids_base: 0,
+            k: 4,
+            accum_base: 0,
+            accum_stride: 0,
+            workers: 8,
+            chunk: 100,
+            iters: 1,
+        };
+        let total: u64 = (0..8).map(|w| { let (s, e) = km.slice(w); e - s }).sum();
+        assert_eq!(total, 10_000);
+    }
+}

@@ -1,0 +1,484 @@
+//! Server and client programs running inside TreeSLS.
+//!
+//! Two deployment shapes, matching the paper's evaluation:
+//!
+//! * **Ring servers** ([`RingKvServer`], [`RingLsmServer`]) serve external
+//!   host-side clients through the `treesls-extsync` network port — the
+//!   configuration behind Figures 11/12/13/14.
+//! * **IPC pairs** ([`IpcKvServer`], [`IpcKvClient`]) put both sides inside
+//!   the SLS ("clients were also checkpointed", §7.3) — the configuration
+//!   behind Table 2 and the Figure 9/10 breakdowns.
+//!
+//! All programs are re-entrant step machines: a crash between checkpoints
+//! rolls them back to a step boundary and they resume correctly.
+
+use treesls_extsync::port::{server_reply, PortLayout};
+use treesls_extsync::ring::{self, hdr, MemIo};
+use treesls_kernel::program::{Program, StepOutcome, UserCtx};
+use treesls_kernel::types::CapSlot;
+
+use crate::hashkv::{HashKv, KvError};
+use crate::lsm::{Lsm, LsmConfig};
+use crate::wire::{KvOp, KvResp, KEY_LEN};
+
+/// Register allocation conventions shared by the programs here.
+pub mod regs {
+    /// Operations completed so far.
+    pub const DONE: usize = 2;
+    /// PRNG state (xorshift64).
+    pub const RNG: usize = 3;
+    /// Target operation count (clients).
+    pub const TARGET: usize = 1;
+    /// Pending request sequence/slot marker.
+    pub const PENDING: usize = 4;
+}
+
+/// xorshift64 step — the PRNG whose whole state is one register, so client
+/// randomness is checkpointed with the thread context.
+pub fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.max(1)
+}
+
+fn apply_kv_op<M: treesls_extsync::MemIo>(table: &HashKv, io: &M, op: KvOp) -> KvResp {
+    match op {
+        KvOp::Get { key } => match table.get(io, &key) {
+            Ok(Some(v)) => KvResp::Ok(Some(v)),
+            Ok(None) => KvResp::Miss,
+            Err(_) => KvResp::Error,
+        },
+        KvOp::Set { key, value } => match table.set(io, &key, &value) {
+            Ok(_) => KvResp::Ok(None),
+            Err(KvError::Full | KvError::ValueTooLarge) => KvResp::Error,
+            Err(_) => KvResp::Error,
+        },
+        KvOp::Del { key } => match table.del(io, &key) {
+            Ok(true) => KvResp::Ok(None),
+            Ok(false) => KvResp::Miss,
+            Err(_) => KvResp::Error,
+        },
+    }
+}
+
+/// A memcached/redis-like KV server thread serving one network-port shard.
+///
+/// `pc == 0` formats the table (first boot only — a restored thread
+/// resumes at `pc == 1` and re-attaches), then serves up to `batch`
+/// requests per step.
+#[derive(Debug)]
+pub struct RingKvServer {
+    /// The shard's port rings.
+    pub port: PortLayout,
+    /// Table base address.
+    pub table_base: u64,
+    /// Table buckets (power of two).
+    pub nbuckets: u64,
+    /// Max value bytes.
+    pub val_cap: u64,
+    /// Requests served per step (syscall-boundary granularity).
+    pub batch: usize,
+    /// Capability slot of the doorbell notification: the server blocks on
+    /// it when the RX ring is empty instead of polling (the virtual NIC
+    /// interrupt).
+    pub doorbell_slot: CapSlot,
+}
+
+impl Program for RingKvServer {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        if ctx.pc() == 0 {
+            if HashKv::format(ctx, self.table_base, self.nbuckets, self.val_cap).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let Ok(table) = HashKv::attach(ctx, self.table_base) else {
+            return StepOutcome::Exited;
+        };
+        for _ in 0..self.batch.max(1) {
+            // Peek-process-advance so a full TX ring retries the same
+            // request next step instead of dropping it.
+            let Ok(cursor) = ctx.mem_read_u64(self.port.rx_cursor_addr) else {
+                return StepOutcome::Exited;
+            };
+            let Ok(writer) = ring::header(ctx, &self.port.rx, hdr::WRITER) else {
+                return StepOutcome::Exited;
+            };
+            if cursor >= writer {
+                // Idle: block on the doorbell rather than spinning.
+                return match ctx.notif_wait(self.doorbell_slot) {
+                    Ok(true) => StepOutcome::Ready, // re-check the ring
+                    Ok(false) => StepOutcome::Blocked,
+                    Err(_) => StepOutcome::Exited,
+                };
+            }
+            let Ok(msg) = ring::read_at(ctx, &self.port.rx, cursor) else {
+                return StepOutcome::Exited;
+            };
+            let resp = match KvOp::decode(&msg.payload) {
+                Some(op) => apply_kv_op(&table, ctx, op),
+                None => KvResp::Error,
+            };
+            if server_reply(ctx, &self.port, msg.seq, &resp.encode()).is_err() {
+                // TX full: retry this request next step.
+                return StepOutcome::Yielded;
+            }
+            if ctx.mem_write_u64(self.port.rx_cursor_addr, cursor + 1).is_err() {
+                return StepOutcome::Exited;
+            }
+            let done = ctx.reg(regs::DONE);
+            ctx.set_reg(regs::DONE, done + 1);
+        }
+        StepOutcome::Ready
+    }
+}
+
+/// An LSM (RocksDB-like) server thread serving one network-port shard.
+///
+/// Keys are the first 8 bytes of the wire key interpreted little-endian.
+#[derive(Debug)]
+pub struct RingLsmServer {
+    /// The shard's port rings.
+    pub port: PortLayout,
+    /// LSM geometry.
+    pub lsm: LsmConfig,
+    /// Requests served per step.
+    pub batch: usize,
+    /// Doorbell notification capability slot (see [`RingKvServer`]).
+    pub doorbell_slot: CapSlot,
+}
+
+fn key_u64(key: &[u8; KEY_LEN]) -> u64 {
+    u64::from_le_bytes(key[..8].try_into().expect("8-byte prefix"))
+}
+
+impl Program for RingLsmServer {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        if ctx.pc() == 0 {
+            if Lsm::format(ctx, self.lsm).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let tree = Lsm::attach(self.lsm);
+        for _ in 0..self.batch.max(1) {
+            let Ok(cursor) = ctx.mem_read_u64(self.port.rx_cursor_addr) else {
+                return StepOutcome::Exited;
+            };
+            let Ok(writer) = ring::header(ctx, &self.port.rx, hdr::WRITER) else {
+                return StepOutcome::Exited;
+            };
+            if cursor >= writer {
+                return match ctx.notif_wait(self.doorbell_slot) {
+                    Ok(true) => StepOutcome::Ready,
+                    Ok(false) => StepOutcome::Blocked,
+                    Err(_) => StepOutcome::Exited,
+                };
+            }
+            let Ok(msg) = ring::read_at(ctx, &self.port.rx, cursor) else {
+                return StepOutcome::Exited;
+            };
+            let resp = match KvOp::decode(&msg.payload) {
+                Some(KvOp::Get { key }) => match tree.get(ctx, key_u64(&key)) {
+                    Ok(Some(v)) => KvResp::Ok(Some(v)),
+                    Ok(None) => KvResp::Miss,
+                    Err(_) => KvResp::Error,
+                },
+                Some(KvOp::Set { key, value }) => match tree.put(ctx, key_u64(&key), &value) {
+                    Ok(()) => KvResp::Ok(None),
+                    Err(_) => KvResp::Error,
+                },
+                Some(KvOp::Del { key }) => match tree.delete(ctx, key_u64(&key)) {
+                    Ok(()) => KvResp::Ok(None),
+                    Err(_) => KvResp::Error,
+                },
+                None => KvResp::Error,
+            };
+            if server_reply(ctx, &self.port, msg.seq, &resp.encode()).is_err() {
+                return StepOutcome::Yielded;
+            }
+            if ctx.mem_write_u64(self.port.rx_cursor_addr, cursor + 1).is_err() {
+                return StepOutcome::Exited;
+            }
+            let done = ctx.reg(regs::DONE);
+            ctx.set_reg(regs::DONE, done + 1);
+        }
+        StepOutcome::Ready
+    }
+}
+
+/// A KV server thread receiving requests over an IPC connection
+/// (both endpoints inside the SLS).
+#[derive(Debug)]
+pub struct IpcKvServer {
+    /// Capability slot of the server's IPC connection.
+    pub conn_slot: CapSlot,
+    /// Table base address.
+    pub table_base: u64,
+    /// Table buckets (power of two).
+    pub nbuckets: u64,
+    /// Max value bytes.
+    pub val_cap: u64,
+}
+
+impl Program for IpcKvServer {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        if ctx.pc() == 0 {
+            if HashKv::format(ctx, self.table_base, self.nbuckets, self.val_cap).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let Ok(table) = HashKv::attach(ctx, self.table_base) else {
+            return StepOutcome::Exited;
+        };
+        match ctx.ipc_recv(self.conn_slot) {
+            Ok(Some((client, req))) => {
+                let resp = match KvOp::decode(&req) {
+                    Some(op) => apply_kv_op(&table, ctx, op),
+                    None => KvResp::Error,
+                };
+                let _ = ctx.ipc_reply(self.conn_slot, client, resp.encode());
+                let done = ctx.reg(regs::DONE);
+                ctx.set_reg(regs::DONE, done + 1);
+                StepOutcome::Ready
+            }
+            Ok(None) => StepOutcome::Blocked,
+            Err(_) => StepOutcome::Exited,
+        }
+    }
+}
+
+/// A closed-loop KV client thread issuing SET/GET over IPC.
+///
+/// Drives the Table 2 / Figure 9 / Figure 10 Redis and Memcached
+/// workloads: `TARGET` operations against `key_space` keys with
+/// `write_ratio_percent` writes, all client state in registers.
+#[derive(Debug)]
+pub struct IpcKvClient {
+    /// Capability slots of the shard connections (key-hash routed).
+    pub shard_slots: Vec<CapSlot>,
+    /// Number of distinct keys.
+    pub key_space: u64,
+    /// Value length in bytes.
+    pub val_len: usize,
+    /// Percentage of SET operations (0–100).
+    pub write_ratio_percent: u64,
+}
+
+impl IpcKvClient {
+    fn build_op(&self, rng: u64) -> KvOp {
+        let key_id = (rng >> 8) % self.key_space.max(1);
+        let key = crate::wire::numeric_key(key_id);
+        if rng % 100 < self.write_ratio_percent {
+            let mut value = vec![0u8; self.val_len];
+            for (i, b) in value.iter_mut().enumerate() {
+                *b = (rng as u8).wrapping_add(i as u8);
+            }
+            KvOp::Set { key, value }
+        } else {
+            KvOp::Get { key }
+        }
+    }
+
+    fn shard_for(&self, rng: u64) -> CapSlot {
+        let key_id = (rng >> 8) % self.key_space.max(1);
+        self.shard_slots[(key_id % self.shard_slots.len() as u64) as usize]
+    }
+}
+
+impl Program for IpcKvClient {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        match ctx.pc() {
+            // Send a request.
+            0 => {
+                if ctx.reg(regs::DONE) >= ctx.reg(regs::TARGET) {
+                    return StepOutcome::Exited;
+                }
+                let rng = xorshift64(ctx.reg(regs::RNG).max(ctx.thread_token() | 1));
+                ctx.set_reg(regs::RNG, rng);
+                let slot = self.shard_for(rng);
+                ctx.set_reg(regs::PENDING, slot as u64);
+                let op = self.build_op(rng);
+                match ctx.ipc_call(slot, op.encode()) {
+                    Ok(()) => {
+                        ctx.set_pc(1);
+                        StepOutcome::Blocked
+                    }
+                    Err(_) => StepOutcome::Exited,
+                }
+            }
+            // Consume the reply.
+            _ => {
+                let slot = ctx.reg(regs::PENDING) as CapSlot;
+                match ctx.ipc_take_reply(slot) {
+                    Ok(Some(_resp)) => {
+                        ctx.set_reg(regs::DONE, ctx.reg(regs::DONE) + 1);
+                        ctx.set_pc(0);
+                        StepOutcome::Ready
+                    }
+                    // Spurious wake or restored mid-call: the call was
+                    // rolled back with us; re-issue it.
+                    Ok(None) => {
+                        ctx.set_pc(0);
+                        StepOutcome::Ready
+                    }
+                    Err(_) => StepOutcome::Exited,
+                }
+            }
+        }
+    }
+}
+
+/// A SQLite-like single-threaded worker: a mixed
+/// read/insert/update/delete benchmark over a B+ tree table (§7.3's
+/// SQLite workload shape).
+#[derive(Debug)]
+pub struct BtreeWorker {
+    /// Table region base.
+    pub table_base: u64,
+    /// Node capacity of the tree.
+    pub node_cap: u64,
+    /// Key space size.
+    pub key_space: u64,
+    /// Operations per step.
+    pub batch: u64,
+}
+
+impl Program for BtreeWorker {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        use crate::btree::{BTree, VAL_LEN};
+        if ctx.pc() == 0 {
+            if BTree::format(ctx, self.table_base, self.node_cap).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let Ok(tree) = BTree::attach(ctx, self.table_base) else {
+            return StepOutcome::Exited;
+        };
+        let target = ctx.reg(regs::TARGET);
+        let mut done = ctx.reg(regs::DONE);
+        let mut rng = ctx.reg(regs::RNG).max(ctx.thread_token() | 1);
+        for _ in 0..self.batch {
+            if done >= target {
+                ctx.set_reg(regs::DONE, done);
+                ctx.set_reg(regs::RNG, rng);
+                return StepOutcome::Exited;
+            }
+            rng = xorshift64(rng);
+            let key = (rng >> 8) % self.key_space;
+            let mut val = [0u8; VAL_LEN];
+            val[..8].copy_from_slice(&rng.to_le_bytes());
+            // Mixed read/insert/update/delete (the update is an insert of
+            // an existing key).
+            let r = match rng % 4 {
+                0 => tree.get(ctx, key).map(|_| ()),
+                1 | 2 => tree.insert(ctx, key, &val).map(|_| ()),
+                _ => tree.delete(ctx, key).map(|_| ()),
+            };
+            if r.is_err() {
+                return StepOutcome::Exited;
+            }
+            done += 1;
+        }
+        ctx.set_reg(regs::DONE, done);
+        ctx.set_reg(regs::RNG, rng);
+        StepOutcome::Ready
+    }
+}
+
+/// A LevelDB-like single-threaded `fillbatch` worker: batched sequential
+/// puts into an LSM tree (the dbbench workload the paper runs, §7.3).
+#[derive(Debug)]
+pub struct LsmFillBatch {
+    /// LSM geometry.
+    pub lsm: LsmConfig,
+    /// Value length in bytes.
+    pub val_len: usize,
+    /// Puts per step (one "batch").
+    pub batch: u64,
+}
+
+impl Program for LsmFillBatch {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        if ctx.pc() == 0 {
+            if Lsm::format(ctx, self.lsm).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let tree = Lsm::attach(self.lsm);
+        let target = ctx.reg(regs::TARGET);
+        let mut done = ctx.reg(regs::DONE);
+        let value = vec![0xABu8; self.val_len];
+        for _ in 0..self.batch {
+            if done >= target {
+                ctx.set_reg(regs::DONE, done);
+                return StepOutcome::Exited;
+            }
+            if tree.put(ctx, done, &value).is_err() {
+                return StepOutcome::Exited;
+            }
+            done += 1;
+        }
+        ctx.set_reg(regs::DONE, done);
+        StepOutcome::Ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_never_zero_and_varies() {
+        let mut x = 1u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            x = xorshift64(x);
+            assert_ne!(x, 0);
+            seen.insert(x);
+        }
+        assert!(seen.len() > 990);
+    }
+
+    #[test]
+    fn client_op_mix_follows_ratio() {
+        let c = IpcKvClient {
+            shard_slots: vec![0, 1],
+            key_space: 100,
+            val_len: 8,
+            write_ratio_percent: 100,
+        };
+        let mut rng = 12345u64;
+        for _ in 0..100 {
+            rng = xorshift64(rng);
+            assert!(c.build_op(rng).is_write());
+        }
+        let ro = IpcKvClient { write_ratio_percent: 0, ..c };
+        for _ in 0..100 {
+            rng = xorshift64(rng);
+            assert!(!ro.build_op(rng).is_write());
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_stable() {
+        let c = IpcKvClient {
+            shard_slots: vec![3, 7, 9],
+            key_space: 1000,
+            val_len: 8,
+            write_ratio_percent: 50,
+        };
+        let rng = 999u64;
+        assert_eq!(c.shard_for(rng), c.shard_for(rng));
+        assert!(c.shard_slots.contains(&c.shard_for(rng)));
+    }
+}

@@ -1,0 +1,100 @@
+//! A plain host-memory [`MemIo`] backend.
+//!
+//! Used by unit tests and by the baseline systems (`treesls-baselines`):
+//! the same application data structures (hash table, LSM tree, B+ tree)
+//! run unchanged on TreeSLS process memory and on this flat buffer, which
+//! models an ordinary DRAM process heap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use treesls_extsync::MemIo;
+use treesls_kernel::types::KernelError;
+
+/// A flat byte buffer implementing [`MemIo`].
+#[derive(Debug)]
+pub struct TestMem {
+    bytes: RwLock<Vec<u8>>,
+    version: AtomicU64,
+    /// Count of flush barriers issued (WAL accounting in baselines).
+    pub flushes: AtomicU64,
+}
+
+impl TestMem {
+    /// Creates a zeroed buffer of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        Self {
+            bytes: RwLock::new(vec![0; len]),
+            version: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the value returned by [`MemIo::version`].
+    pub fn set_version(&self, v: u64) {
+        self.version.store(v, Ordering::SeqCst);
+    }
+
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        self.bytes.read().len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl MemIo for TestMem {
+    fn mem_read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
+        let g = self.bytes.read();
+        let a = addr as usize;
+        if a + buf.len() > g.len() {
+            return Err(KernelError::UnmappedAddress(addr));
+        }
+        buf.copy_from_slice(&g[a..a + buf.len()]);
+        Ok(())
+    }
+
+    fn mem_write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError> {
+        let mut g = self.bytes.write();
+        let a = addr as usize;
+        if a + data.len() > g.len() {
+            return Err(KernelError::UnmappedAddress(addr));
+        }
+        g[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    fn flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_checked() {
+        let m = TestMem::new(16);
+        let mut b = [0u8; 8];
+        assert!(m.mem_read(8, &mut b).is_ok());
+        assert!(m.mem_read(9, &mut b).is_err());
+        assert!(m.mem_write(16, &[1]).is_err());
+    }
+
+    #[test]
+    fn flush_counts() {
+        let m = TestMem::new(1);
+        m.flush();
+        m.flush();
+        assert_eq!(m.flushes.load(Ordering::Relaxed), 2);
+    }
+}

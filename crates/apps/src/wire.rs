@@ -1,0 +1,212 @@
+//! Wire format for key-value requests and responses.
+//!
+//! A tiny binary protocol shared by all KV servers (memcached-like,
+//! redis-like, LSM) and the host-side clients, so the same request stream
+//! can be replayed against TreeSLS servers and baseline backends.
+
+/// Fixed key width on the wire (shorter keys are zero-padded).
+pub const KEY_LEN: usize = 16;
+
+/// A key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Look up a key.
+    Get {
+        /// The key.
+        key: [u8; KEY_LEN],
+    },
+    /// Insert or update a key.
+    Set {
+        /// The key.
+        key: [u8; KEY_LEN],
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Del {
+        /// The key.
+        key: [u8; KEY_LEN],
+    },
+}
+
+const OP_GET: u8 = 1;
+const OP_SET: u8 = 2;
+const OP_DEL: u8 = 3;
+
+/// A response to a [`KvOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResp {
+    /// Operation succeeded; `Get` carries the value.
+    Ok(Option<Vec<u8>>),
+    /// Key not found (`Get`/`Del`).
+    Miss,
+    /// The store rejected the operation (e.g. full).
+    Error,
+}
+
+const ST_OK: u8 = 0;
+const ST_OK_VALUE: u8 = 1;
+const ST_MISS: u8 = 2;
+const ST_ERROR: u8 = 3;
+
+/// Pads/truncates an arbitrary byte key to the wire width.
+pub fn make_key(raw: &[u8]) -> [u8; KEY_LEN] {
+    let mut k = [0u8; KEY_LEN];
+    let n = raw.len().min(KEY_LEN);
+    k[..n].copy_from_slice(&raw[..n]);
+    k
+}
+
+/// Builds the wire key for a numeric id (YCSB-style `user########`).
+pub fn numeric_key(id: u64) -> [u8; KEY_LEN] {
+    let mut k = [0u8; KEY_LEN];
+    k[..4].copy_from_slice(b"user");
+    k[4..12].copy_from_slice(&id.to_le_bytes());
+    k
+}
+
+impl KvOp {
+    /// Serializes the operation.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvOp::Get { key } => {
+                let mut b = Vec::with_capacity(1 + KEY_LEN);
+                b.push(OP_GET);
+                b.extend_from_slice(key);
+                b
+            }
+            KvOp::Set { key, value } => {
+                let mut b = Vec::with_capacity(1 + KEY_LEN + 4 + value.len());
+                b.push(OP_SET);
+                b.extend_from_slice(key);
+                b.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                b.extend_from_slice(value);
+                b
+            }
+            KvOp::Del { key } => {
+                let mut b = Vec::with_capacity(1 + KEY_LEN);
+                b.push(OP_DEL);
+                b.extend_from_slice(key);
+                b
+            }
+        }
+    }
+
+    /// Parses an operation; `None` on malformed input.
+    pub fn decode(data: &[u8]) -> Option<KvOp> {
+        let (&op, rest) = data.split_first()?;
+        if rest.len() < KEY_LEN {
+            return None;
+        }
+        let key: [u8; KEY_LEN] = rest[..KEY_LEN].try_into().ok()?;
+        match op {
+            OP_GET => Some(KvOp::Get { key }),
+            OP_DEL => Some(KvOp::Del { key }),
+            OP_SET => {
+                let rest = &rest[KEY_LEN..];
+                if rest.len() < 4 {
+                    return None;
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                if rest.len() < 4 + len {
+                    return None;
+                }
+                Some(KvOp::Set { key, value: rest[4..4 + len].to_vec() })
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for operations that mutate the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Get { .. })
+    }
+}
+
+impl KvResp {
+    /// Serializes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KvResp::Ok(None) => vec![ST_OK],
+            KvResp::Ok(Some(v)) => {
+                let mut b = Vec::with_capacity(5 + v.len());
+                b.push(ST_OK_VALUE);
+                b.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                b.extend_from_slice(v);
+                b
+            }
+            KvResp::Miss => vec![ST_MISS],
+            KvResp::Error => vec![ST_ERROR],
+        }
+    }
+
+    /// Parses a response; `None` on malformed input.
+    pub fn decode(data: &[u8]) -> Option<KvResp> {
+        let (&st, rest) = data.split_first()?;
+        match st {
+            ST_OK => Some(KvResp::Ok(None)),
+            ST_MISS => Some(KvResp::Miss),
+            ST_ERROR => Some(KvResp::Error),
+            ST_OK_VALUE => {
+                if rest.len() < 4 {
+                    return None;
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                if rest.len() < 4 + len {
+                    return None;
+                }
+                Some(KvResp::Ok(Some(rest[4..4 + len].to_vec())))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrips() {
+        let ops = [
+            KvOp::Get { key: make_key(b"alpha") },
+            KvOp::Set { key: make_key(b"beta"), value: vec![1, 2, 3] },
+            KvOp::Set { key: numeric_key(42), value: vec![] },
+            KvOp::Del { key: make_key(b"gamma") },
+        ];
+        for op in ops {
+            assert_eq!(KvOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn resp_roundtrips() {
+        for r in [
+            KvResp::Ok(None),
+            KvResp::Ok(Some(b"value".to_vec())),
+            KvResp::Miss,
+            KvResp::Error,
+        ] {
+            assert_eq!(KvResp::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(KvOp::decode(&[]), None);
+        assert_eq!(KvOp::decode(&[OP_GET, 1, 2]), None);
+        assert_eq!(KvOp::decode(&[99; 20]), None);
+        let mut truncated = KvOp::Set { key: make_key(b"k"), value: vec![0; 10] }.encode();
+        truncated.truncate(truncated.len() - 1);
+        assert_eq!(KvOp::decode(&truncated), None);
+        assert_eq!(KvResp::decode(&[]), None);
+        assert_eq!(KvResp::decode(&[ST_OK_VALUE, 5, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(!KvOp::Get { key: make_key(b"k") }.is_write());
+        assert!(KvOp::Set { key: make_key(b"k"), value: vec![] }.is_write());
+        assert!(KvOp::Del { key: make_key(b"k") }.is_write());
+    }
+}

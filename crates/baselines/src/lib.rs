@@ -1,0 +1,21 @@
+//! Baseline systems the paper compares TreeSLS against.
+//!
+//! * [`linux`] — "Linux": applications run on plain DRAM with no
+//!   system-level persistence; the `-WAL` variants add a synchronous
+//!   write-ahead log on an emulated Ext4-DAX file, paying a persistence
+//!   barrier per write (the Figure 13 `Linux-WAL` configuration).
+//! * [`aurora`] — "Aurora": a two-tier single-level store in the style of
+//!   Tsalapatis et al. (SOSP'21): runtime state in DRAM, periodic
+//!   stop-and-copy checkpoints of dirty pages into a checkpoint buffer
+//!   that is then flushed to a storage device taking several milliseconds,
+//!   plus the explicit journaling API (`Aurora-API` in Figure 14).
+//!
+//! Both run the *same* application data structures as TreeSLS (the
+//! `treesls-apps` structures are generic over `MemIo`), so measured
+//! differences come from the persistence architecture, not the app code.
+
+pub mod aurora;
+pub mod linux;
+
+pub use aurora::{AuroraConfig, AuroraSls};
+pub use linux::LinuxHost;

@@ -1,0 +1,119 @@
+//! Criterion microbenchmarks for the TreeSLS primitives.
+//!
+//! These complement the table/figure binaries with statistically sampled
+//! costs of the core operations: single-object checkpoint (Table 3's
+//! microscopic view), page copy, CoW fault handling, NVM allocation and
+//! ring-buffer operations.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use treesls::{CapRights, CheckpointManager, Kernel, KernelConfig, PmoKind, Vaddr, Vpn};
+use treesls_kernel::cores::StwController;
+
+fn kernel() -> Arc<Kernel> {
+    Kernel::boot(KernelConfig { nvm_frames: 16_384, dram_pages: 512, ..KernelConfig::default() })
+}
+
+fn bench_page_copy(c: &mut Criterion) {
+    let k = kernel();
+    let a = k.pers.alloc.alloc_page().unwrap();
+    let b = k.pers.alloc.alloc_page().unwrap();
+    c.bench_function("nvm_page_copy_4k", |bench| {
+        bench.iter(|| k.pers.dev.copy_frame(a, b));
+    });
+}
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let k = kernel();
+    c.bench_function("buddy_alloc_free_page", |bench| {
+        bench.iter(|| {
+            let f = k.pers.alloc.alloc_page().unwrap();
+            k.pers.alloc.free_page(f).unwrap();
+        });
+    });
+    c.bench_function("slab_alloc_free_128B", |bench| {
+        bench.iter(|| {
+            let a = k.pers.alloc.slab_alloc(128).unwrap();
+            k.pers.alloc.slab_free(a, 128).unwrap();
+        });
+    });
+}
+
+fn bench_vm_write(c: &mut Criterion) {
+    let k = kernel();
+    let g = k.create_cap_group("bench").unwrap();
+    let vs = k.create_vmspace(g).unwrap();
+    let pmo = k.create_pmo(g, 64, PmoKind::Data).unwrap();
+    k.map_region(vs, Vpn(0), 64, pmo, 0, CapRights::ALL).unwrap();
+    k.vm_write(vs, Vaddr(0), &[0u8; 64]).unwrap();
+    c.bench_function("vm_write_64B_warm", |bench| {
+        bench.iter(|| k.vm_write(vs, Vaddr(0), &[7u8; 64]).unwrap());
+    });
+    c.bench_function("vm_read_64B_warm", |bench| {
+        let mut buf = [0u8; 64];
+        bench.iter(|| k.vm_read(vs, Vaddr(0), &mut buf).unwrap());
+    });
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let k = kernel();
+    let stw = Arc::new(StwController::new());
+    let mgr = CheckpointManager::new(Arc::clone(&k), stw);
+    let g = k.create_cap_group("app").unwrap();
+    let vs = k.create_vmspace(g).unwrap();
+    let pmo = k.create_pmo(g, 256, PmoKind::Data).unwrap();
+    k.map_region(vs, Vpn(0), 256, pmo, 0, CapRights::ALL).unwrap();
+    for p in 0..64u64 {
+        k.vm_write(vs, Vaddr(p * 4096), &p.to_le_bytes()).unwrap();
+    }
+    mgr.checkpoint().unwrap();
+    c.bench_function("incremental_checkpoint_idle", |bench| {
+        bench.iter(|| mgr.checkpoint().unwrap());
+    });
+    c.bench_function("incremental_checkpoint_8_dirty_pages", |bench| {
+        bench.iter(|| {
+            for p in 0..8u64 {
+                k.vm_write(vs, Vaddr(p * 4096), &[1u8; 8]).unwrap();
+            }
+            mgr.checkpoint().unwrap();
+        });
+    });
+}
+
+fn bench_cow_fault(c: &mut Criterion) {
+    let k = kernel();
+    let g = k.create_cap_group("cow").unwrap();
+    let vs = k.create_vmspace(g).unwrap();
+    let pmo = k.create_pmo(g, 4, PmoKind::Data).unwrap();
+    k.map_region(vs, Vpn(0), 4, pmo, 0, CapRights::ALL).unwrap();
+    k.vm_write(vs, Vaddr(0), &[0u8; 8]).unwrap();
+    let slot = {
+        let o = k.object(pmo).unwrap();
+        let body = o.body.read();
+        let treesls_kernel::object::ObjectBody::Pmo(p) = &*body else { unreachable!() };
+        Arc::clone(p.get(0).unwrap())
+    };
+    c.bench_function("cow_fault_and_page_copy", |bench| {
+        bench.iter(|| {
+            slot.meta.lock().writable = false;
+            k.vm_write(vs, Vaddr(0), &[1u8; 8]).unwrap();
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_page_copy, bench_alloc_free, bench_vm_write, bench_checkpoint, bench_cow_fault
+}
+criterion_main!(benches);

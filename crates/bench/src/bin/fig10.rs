@@ -1,0 +1,66 @@
+//! Figure 10: breakdown of runtime overhead and effect of hybrid copy.
+//!
+//! Normalized run time of memory-intensive workloads under cumulative
+//! feature configurations: base (no checkpoint), +checkpoint (STW only),
+//! +page fault (CoW arming without the copy), +page memcpy (full CoW),
+//! +hybrid copy. The paper finds most overhead in fault handling and page
+//! copying, with hybrid copy reducing it by up to 49 %.
+
+use std::time::Duration;
+
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::Table;
+use treesls_bench::WorkloadKind;
+
+#[derive(Clone, Copy)]
+struct Mode {
+    #[allow(dead_code)] // documents the column each mode produces
+    label: &'static str,
+    ckpt: bool,
+    mark_ro: bool,
+    do_copy: bool,
+    hybrid: bool,
+}
+
+const MODES: [Mode; 5] = [
+    Mode { label: "base", ckpt: false, mark_ro: false, do_copy: false, hybrid: false },
+    Mode { label: "+checkpoint", ckpt: true, mark_ro: false, do_copy: false, hybrid: false },
+    Mode { label: "+page fault", ckpt: true, mark_ro: true, do_copy: false, hybrid: false },
+    Mode { label: "+page memcpy", ckpt: true, mark_ro: true, do_copy: true, hybrid: false },
+    Mode { label: "+hybrid copy", ckpt: true, mark_ro: true, do_copy: true, hybrid: true },
+];
+
+fn main() {
+    let base_opts = BenchOpts::from_args();
+    println!("Figure 10: runtime overhead breakdown (normalized run time)\n");
+    let kinds =
+        [WorkloadKind::Memcached, WorkloadKind::Redis, WorkloadKind::KMeans, WorkloadKind::Pca];
+    let mut table = Table::new(&[
+        "Workload", "base", "+checkpoint", "+page fault", "+page memcpy", "+hybrid copy",
+    ]);
+    let deadline = Duration::from_secs(if base_opts.full { 600 } else { 120 });
+    for kind in kinds {
+        let mut row = vec![kind.label().to_string()];
+        let mut base_time = None;
+        for mode in MODES {
+            let mut opts = base_opts.clone();
+            opts.interval = mode.ckpt.then(|| Duration::from_millis(1));
+            opts.mark_ro = mode.mark_ro;
+            opts.do_copy = mode.do_copy;
+            opts.hybrid = mode.hybrid;
+            let mut bench = build(kind, &opts);
+            let elapsed = bench.run(deadline);
+            match base_time {
+                None => {
+                    base_time = Some(elapsed);
+                    row.push(format!("1.00 ({:.0}ms)", elapsed.as_secs_f64() * 1e3));
+                }
+                Some(base) => {
+                    row.push(format!("{:.2}", elapsed.as_secs_f64() / base.as_secs_f64()));
+                }
+            }
+        }
+        table.row(row);
+    }
+    table.print();
+}

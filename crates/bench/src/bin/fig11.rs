@@ -1,0 +1,129 @@
+//! Figure 11: Memcached SET/GET latency vs. checkpoint interval.
+//!
+//! An 8-shard ring-served KV (the memcached stand-in) driven by 8
+//! external client threads; P50/P95 per operation type for no-checkpoint
+//! baseline and checkpoint intervals of 1/5/10/50 ms. The paper finds
+//! latency rising as the interval shrinks below 10 ms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use treesls::{System, SystemConfig};
+
+/// Claims one unit from a shared budget; `None` when exhausted (CAS loop —
+/// a plain `fetch_sub` would wrap past zero and run forever).
+fn claim(budget: &AtomicU64) -> bool {
+    loop {
+        let cur = budget.load(Ordering::Relaxed);
+        if cur == 0 {
+            return false;
+        }
+        if budget
+            .compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+    }
+}
+use treesls_apps::client::run_parallel_clients;
+use treesls_apps::server::xorshift64;
+use treesls_apps::wire::{numeric_key, KvOp};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+use treesls_bench::table::{ns_as_us, Table};
+
+fn run_config(opts: &BenchOpts, interval: Option<Duration>, ops_per_client: u64) -> [u64; 4] {
+    let mut config = SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 4096,
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: interval,
+    };
+    config.kernel.hybrid_copy = opts.hybrid;
+    let mut sys = System::boot(config);
+    let dep = deploy_kv(&sys, 8, 8192, 128, false, ShardGeometry::default());
+    sys.start();
+
+    let key_space = 10_000u64;
+    let shards = dep.ports.len();
+    // SET phase.
+    let set_budget = Arc::new(AtomicU64::new(ops_per_client * 8));
+    let set_stats = run_parallel_clients(
+        &dep.ports,
+        8,
+        |t| {
+            let mut rng = 0x5151 + t as u64 * 7919;
+            let budget = Arc::clone(&set_budget);
+            Box::new(move || {
+                if !claim(&budget) {
+                    return None;
+                }
+                rng = xorshift64(rng);
+                let id = (rng >> 8) % key_space;
+                Some((
+                    (id % shards as u64) as usize,
+                    KvOp::Set { key: numeric_key(id), value: vec![7u8; 100] },
+                ))
+            })
+        },
+        Duration::from_secs(5),
+    );
+    // GET phase.
+    let get_budget = Arc::new(AtomicU64::new(ops_per_client * 8));
+    let get_stats = run_parallel_clients(
+        &dep.ports,
+        8,
+        |t| {
+            let mut rng = 0x6161 + t as u64 * 104_729;
+            let budget = Arc::clone(&get_budget);
+            Box::new(move || {
+                if !claim(&budget) {
+                    return None;
+                }
+                rng = xorshift64(rng);
+                let id = (rng >> 8) % key_space;
+                Some(((id % shards as u64) as usize, KvOp::Get { key: numeric_key(id) }))
+            })
+        },
+        Duration::from_secs(5),
+    );
+    sys.stop();
+    [
+        set_stats.latency.p50(),
+        set_stats.latency.p95(),
+        get_stats.latency.p50(),
+        get_stats.latency.p95(),
+    ]
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ops = if opts.full { 50_000 } else { 3_000 };
+    println!("Figure 11: Memcached SET/GET latency vs checkpoint interval (µs)\n");
+    let mut table =
+        Table::new(&["Interval", "SET P50", "SET P95", "GET P50", "GET P95"]);
+    let configs: [(&str, Option<Duration>); 5] = [
+        ("baseline", None),
+        ("1ms", Some(Duration::from_millis(1))),
+        ("5ms", Some(Duration::from_millis(5))),
+        ("10ms", Some(Duration::from_millis(10))),
+        ("50ms", Some(Duration::from_millis(50))),
+    ];
+    for (label, interval) in configs {
+        let r = run_config(&opts, interval, ops);
+        table.row(vec![
+            label.to_string(),
+            ns_as_us(r[0]),
+            ns_as_us(r[1]),
+            ns_as_us(r[2]),
+            ns_as_us(r[3]),
+        ]);
+    }
+    table.print();
+}

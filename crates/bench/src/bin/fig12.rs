@@ -1,0 +1,131 @@
+//! Figure 12: Redis SET with and without external synchrony.
+//!
+//! Clients batch-pipeline 32 requests at a time against a single-shard
+//! ring server with 1024-byte values. Three configurations per interval:
+//! baseline (no checkpointing), TreeSLS (checkpointing, responses released
+//! immediately) and TreeSLS-ExtSync (responses delayed until the covering
+//! checkpoint commits). The paper finds ExtSync adds roughly one
+//! checkpoint interval of latency and caps throughput via client blocking.
+
+use std::time::{Duration, Instant};
+
+use treesls::{System, SystemConfig};
+use treesls_apps::hist::Histogram;
+use treesls_apps::server::xorshift64;
+use treesls_apps::wire::{numeric_key, KvOp};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+use treesls_bench::table::Table;
+
+const BATCH: usize = 32;
+
+fn run_config(
+    opts: &BenchOpts,
+    interval: Option<Duration>,
+    ext_sync: bool,
+    clients: usize,
+    batches_per_client: u64,
+) -> (f64, u64, u64) {
+    let config = SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 4096,
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: interval,
+    };
+    let mut sys = System::boot(config);
+    let geom = ShardGeometry { nslots: 1024, slot_size: 1280, data_stride: 48 << 20 };
+    let dep = deploy_kv(&sys, 1, 8192, 1024, ext_sync, geom);
+    sys.start();
+    let port = &dep.ports[0];
+
+    let merged = parking_lot::Mutex::new(Histogram::new());
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let merged = &merged;
+            let total = &total;
+            s.spawn(move || {
+                let mut hist = Histogram::new();
+                let mut rng = 0xF00D + c as u64 * 31;
+                let mut done = 0u64;
+                for _ in 0..batches_per_client {
+                    // Pipeline a batch of 32 SETs, then wait for all.
+                    let bt0 = Instant::now();
+                    let mut seqs = Vec::with_capacity(BATCH);
+                    for _ in 0..BATCH {
+                        rng = xorshift64(rng);
+                        let op = KvOp::Set {
+                            key: numeric_key((rng >> 8) % 10_000),
+                            value: vec![3u8; 1024],
+                        };
+                        match port.send_request(&op.encode()) {
+                            Ok(seq) => seqs.push(seq),
+                            Err(_) => {
+                                // Ring full: drain before continuing.
+                                port.pump();
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                        }
+                    }
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    let mut pending = seqs;
+                    while !pending.is_empty() && Instant::now() < deadline {
+                        port.pump();
+                        pending.retain(|&s| port.try_take(s).is_none());
+                        if !pending.is_empty() {
+                            std::thread::sleep(Duration::from_micros(20));
+                        }
+                    }
+                    done += (BATCH - pending.len()) as u64;
+                    hist.record(bt0.elapsed().as_nanos() as u64);
+                }
+                merged.lock().merge(&hist);
+                total.fetch_add(done, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    sys.stop();
+    let hist = merged.into_inner();
+    let ops = total.load(std::sync::atomic::Ordering::Relaxed);
+    (ops as f64 / elapsed.as_secs_f64(), hist.p50(), hist.p95())
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let clients = if opts.full { 50 } else { 8 };
+    let batches = if opts.full { 200 } else { 40 };
+    println!(
+        "Figure 12: Redis SET with external synchrony ({clients} clients, batch {BATCH})\n"
+    );
+    let mut table = Table::new(&[
+        "Config", "Interval", "Throughput(Kops/s)", "P50 batch lat(ms)", "P95 batch lat(ms)",
+    ]);
+    let (thr, p50, p95) = run_config(&opts, None, false, clients, batches);
+    table.row(vec![
+        "Baseline".into(),
+        "-".into(),
+        format!("{:.1}", thr / 1e3),
+        format!("{:.2}", p50 as f64 / 1e6),
+        format!("{:.2}", p95 as f64 / 1e6),
+    ]);
+    for ms in [1u64, 5, 10] {
+        for (name, ext) in [("TreeSLS", false), ("TreeSLS-ExtSync", true)] {
+            let (thr, p50, p95) =
+                run_config(&opts, Some(Duration::from_millis(ms)), ext, clients, batches);
+            table.row(vec![
+                name.into(),
+                format!("{ms}ms"),
+                format!("{:.1}", thr / 1e3),
+                format!("{:.2}", p50 as f64 / 1e6),
+                format!("{:.2}", p95 as f64 / 1e6),
+            ]);
+        }
+    }
+    table.print();
+}

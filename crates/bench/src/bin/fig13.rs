@@ -1,0 +1,130 @@
+//! Figure 13: YCSB on Redis — TreeSLS transparent persistence vs. the
+//! Linux WAL.
+//!
+//! Four configurations: Redis with no persistence on TreeSLS
+//! (TreeSLS-base) and Linux (Linux-base), Redis transparently persisted by
+//! 1 ms checkpointing (TreeSLS-1ms), and Redis persisted by a write-ahead
+//! log on Ext4-DAX (Linux-WAL). The paper's result: TreeSLS-1ms loses
+//! 18–27 % on write-heavy mixes where Linux-WAL loses 64–78 %, making
+//! TreeSLS ~2× Linux-WAL; on read-heavy mixes the WAL is cheaper than
+//! checkpointing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls::{System, SystemConfig};
+use treesls_apps::hashkv::HashKv;
+use treesls_apps::wire::KvOp;
+use treesls_apps::workload::{YcsbGen, YcsbMix};
+use treesls_baselines::LinuxHost;
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+use treesls_bench::table::Table;
+use treesls_nvm::LatencyModel;
+
+const VALUE_LEN: usize = 100;
+
+fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, mix: YcsbMix, ops: u64) -> f64 {
+    let config = SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 4096,
+            latency: if opts.optane {
+                treesls::LatencyProfile::Optane
+            } else {
+                treesls::LatencyProfile::Uniform
+            },
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: interval,
+    };
+    let mut sys = System::boot(config);
+    let dep = deploy_kv(&sys, 1, 16_384, VALUE_LEN as u64, false, ShardGeometry::default());
+    sys.start();
+    let port = &dep.ports[0];
+    let loaded = if opts.full { 10_000 } else { 2_000 };
+    let mut gen = YcsbGen::new(mix, loaded, VALUE_LEN, 42);
+    // Load phase (untimed).
+    for op in gen.load_ops() {
+        let _ = port.call(&op.encode(), Duration::from_secs(5));
+    }
+    // Run phase.
+    let t0 = Instant::now();
+    let mut done = 0u64;
+    for _ in 0..ops {
+        let op = gen.next_op();
+        if port.call(&op.encode(), Duration::from_secs(5)).ok().flatten().is_some() {
+            done += 1;
+        }
+    }
+    let thr = done as f64 / t0.elapsed().as_secs_f64();
+    sys.stop();
+    thr
+}
+
+fn run_linux(opts: &BenchOpts, wal: bool, mix: YcsbMix, ops: u64) -> f64 {
+    let loaded = if opts.full { 10_000 } else { 2_000 };
+    let latency = Arc::new(if opts.optane {
+        LatencyModel::optane()
+    } else {
+        // Even the no-injection runs charge the WAL fsync, else the WAL
+        // would be free; the paper's WAL cost is the synchronous write.
+        let m = LatencyModel::optane();
+        m.set_enabled(wal);
+        m
+    });
+    let host = LinuxHost::new(64 << 20, wal, latency);
+    let table = HashKv::format(&host, 0, 16_384, VALUE_LEN as u64).expect("format");
+    let mut gen = YcsbGen::new(mix, loaded, VALUE_LEN, 42);
+    for op in gen.load_ops() {
+        if let KvOp::Set { key, value } = op {
+            table.set(&host, &key, &value).unwrap();
+        }
+    }
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let op = gen.next_op();
+        if op.is_write() {
+            host.log_write(&op.encode());
+        }
+        match op {
+            KvOp::Get { key } => {
+                let _ = table.get(&host, &key);
+            }
+            KvOp::Set { key, value } => {
+                let _ = table.set(&host, &key, &value);
+            }
+            KvOp::Del { key } => {
+                let _ = table.del(&host, &key);
+            }
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ops = if opts.full { 200_000 } else { 3_000 };
+    println!("Figure 13: YCSB on Redis — throughput (Kops/s)\n");
+    let mut table = Table::new(&[
+        "Workload", "TreeSLS-base", "TreeSLS-1ms", "Linux-base", "Linux-WAL",
+    ]);
+    for mix in YcsbMix::ALL {
+        let tb = run_treesls(&opts, None, mix, ops);
+        let t1 = run_treesls(&opts, Some(Duration::from_millis(1)), mix, ops);
+        let lb = run_linux(&opts, false, mix, ops * 4);
+        let lw = run_linux(&opts, true, mix, ops * 4);
+        table.row(vec![
+            mix.label().to_string(),
+            format!("{:.1}", tb / 1e3),
+            format!("{:.1}", t1 / 1e3),
+            format!("{:.1}", lb / 1e3),
+            format!("{:.1}", lw / 1e3),
+        ]);
+    }
+    table.print();
+    println!("\n(Linux runs the same store code without a kernel boundary; compare");
+    println!(" ratios within a column family, as the paper does.)");
+}

@@ -1,0 +1,149 @@
+//! Figure 14: RocksDB under Facebook's Prefix_dist — TreeSLS vs. Aurora.
+//!
+//! Seven configurations: RocksDB (the LSM stand-in) with no persistence on
+//! TreeSLS and Aurora (`-base`), TreeSLS transparent checkpointing at 5 ms
+//! and 1 ms, Aurora checkpointing at 5 ms (its floor: persisting takes
+//! ~5 ms), Aurora's journaling API per write, and RocksDB's own WAL on
+//! Aurora. Reports throughput and P50/P99 write latency.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls::{System, SystemConfig};
+use treesls_apps::hist::Histogram;
+use treesls_apps::lsm::{Lsm, LsmConfig};
+use treesls_apps::wire::KvOp;
+use treesls_apps::workload::PrefixDist;
+use treesls_baselines::{AuroraConfig, AuroraSls};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_lsm, ShardGeometry};
+use treesls_bench::table::Table;
+use treesls_nvm::LatencyModel;
+
+const VALUE_LEN: usize = 100;
+
+struct Outcome {
+    label: String,
+    throughput: f64,
+    p50: u64,
+    p99: u64,
+}
+
+fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, label: &str, ops: u64) -> Outcome {
+    let config = SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 4096,
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: interval,
+    };
+    let mut sys = System::boot(config);
+    let dep = deploy_lsm(&sys, false, VALUE_LEN as u64, false, ShardGeometry::default());
+    sys.start();
+    let port = &dep.ports[0];
+    let mut gen = PrefixDist::new(7);
+    let mut hist = Histogram::new();
+    let mut done = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (key, is_get) = gen.next();
+        let mut kb = [0u8; 16];
+        kb[..8].copy_from_slice(&key.to_le_bytes());
+        let op = if is_get {
+            KvOp::Get { key: kb }
+        } else {
+            KvOp::Set { key: kb, value: vec![9u8; VALUE_LEN] }
+        };
+        let ot0 = Instant::now();
+        if port.call(&op.encode(), Duration::from_secs(10)).ok().flatten().is_some() {
+            done += 1;
+            if !is_get {
+                hist.record(ot0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    let throughput = done as f64 / t0.elapsed().as_secs_f64();
+    sys.stop();
+    Outcome { label: label.into(), throughput, p50: hist.p50(), p99: hist.p99() }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum AuroraMode {
+    Base,
+    Ckpt5ms,
+    Api,
+    Wal,
+}
+
+fn run_aurora(mode: AuroraMode, label: &str, ops: u64) -> Outcome {
+    let cfg = AuroraConfig { mem_len: 96 << 20, ..AuroraConfig::default() };
+    let aurora = AuroraSls::new(cfg, Arc::new(LatencyModel::optane()));
+    let lsm_cfg = LsmConfig {
+        memtable_base: 0,
+        memtable_cap: 128,
+        storage_base: 8 << 20,
+        storage_len: 80 << 20,
+        wal_base: (mode == AuroraMode::Wal).then_some(90 << 20),
+        wal_len: 4 << 20,
+        val_cap: VALUE_LEN as u64,
+    };
+    let tree = Lsm::format(&*aurora, lsm_cfg).expect("format");
+    if mode == AuroraMode::Ckpt5ms {
+        aurora.start_checkpointing();
+    }
+    let mut gen = PrefixDist::new(7);
+    let mut hist = Histogram::new();
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let (key, is_get) = gen.next();
+        let ot0 = Instant::now();
+        if is_get {
+            let _ = tree.get(&*aurora, key);
+        } else {
+            if mode == AuroraMode::Api {
+                let mut rec = key.to_le_bytes().to_vec();
+                rec.extend_from_slice(&[9u8; VALUE_LEN]);
+                aurora.journal(&rec);
+            }
+            tree.put(&*aurora, key, &[9u8; VALUE_LEN]).expect("put");
+            hist.record(ot0.elapsed().as_nanos() as u64);
+        }
+    }
+    let throughput = ops as f64 / t0.elapsed().as_secs_f64();
+    if mode == AuroraMode::Ckpt5ms {
+        aurora.stop_checkpointing();
+    }
+    Outcome { label: label.into(), throughput, p50: hist.p50(), p99: hist.p99() }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ops = if opts.full { 500_000 } else { 20_000 };
+    println!("Figure 14: RocksDB with Facebook Prefix_dist\n");
+    let results = vec![
+        run_treesls(&opts, None, "TreeSLS-base", ops),
+        run_treesls(&opts, Some(Duration::from_millis(5)), "TreeSLS-5ms", ops),
+        run_treesls(&opts, Some(Duration::from_millis(1)), "TreeSLS-1ms", ops),
+        run_aurora(AuroraMode::Base, "Aurora-base", ops * 4),
+        run_aurora(AuroraMode::Ckpt5ms, "Aurora-5ms", ops * 4),
+        run_aurora(AuroraMode::Api, "Aurora-API", ops * 4),
+        run_aurora(AuroraMode::Wal, "Aurora-base-WAL", ops * 4),
+    ];
+    let mut table = Table::new(&[
+        "Config", "Throughput(Kops/s)", "P50 write(µs)", "P99 write(µs)",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.1}", r.throughput / 1e3),
+            format!("{:.2}", r.p50 as f64 / 1e3),
+            format!("{:.2}", r.p99 as f64 / 1e3),
+        ]);
+    }
+    table.print();
+    println!("\n(Aurora runs the same LSM code as a host process — compare within");
+    println!(" column families: ckpt overhead vs base, API/WAL vs transparent.)");
+}

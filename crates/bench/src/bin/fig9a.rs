@@ -1,0 +1,51 @@
+//! Figure 9(a): time breakdown of the stop-the-world checkpointing.
+//!
+//! Two bars per workload in the paper: the main checkpointing procedure
+//! (IPI handling, capability-tree copy, others) and the parallel
+//! hybrid-copy time on the other cores. Reports per-round means after a
+//! warm-up (the paper plots incremental rounds at 1000 Hz).
+
+use std::time::Duration;
+
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::{us, Table};
+use treesls_bench::WorkloadKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Figure 9a: STW checkpoint time breakdown (µs, mean over rounds)\n");
+    let mut table = Table::new(&[
+        "Workload", "IPI", "CapTree", "Others", "MainTotal", "HybridCopy", "Rounds",
+    ]);
+    for kind in WorkloadKind::TABLE2 {
+        let mut bench = build(kind, &opts);
+        bench.run(Duration::from_millis(if opts.full { 3000 } else { 1000 }));
+        let breakdowns = bench.sys.manager().breakdowns.lock().clone();
+        // Skip warm-up rounds (full checkpoints of fresh objects).
+        let warm: Vec<_> = breakdowns.iter().skip(4).collect();
+        if warm.is_empty() {
+            eprintln!("{}: no steady-state rounds", kind.label());
+            continue;
+        }
+        let n = warm.len() as u32;
+        let mean = |f: &dyn Fn(&treesls_checkpoint::StwBreakdown) -> Duration| {
+            warm.iter().map(|b| f(b)).sum::<Duration>() / n
+        };
+        let ipi = mean(&|b| b.ipi);
+        let cap = mean(&|b| b.cap_tree);
+        let others = mean(&|b| b.others);
+        let cores = opts.cores.max(1) as u32;
+        let hybrid = mean(&|b| b.hybrid_busy) / cores;
+        table.row(vec![
+            kind.label().to_string(),
+            us(ipi),
+            us(cap),
+            us(others),
+            us(ipi + cap + others),
+            us(hybrid),
+            format!("{n}"),
+        ]);
+    }
+    table.print();
+    println!("\n(MainTotal = left bar; HybridCopy = right bar, busy/cores approximation)");
+}

@@ -1,0 +1,56 @@
+//! Figure 9(b): breakdown of capability-tree checkpoint time by object
+//! type.
+//!
+//! "Most objects can be quickly copied during the STW checkpointing as
+//! their sizes are small. Checkpointing Cap Group and Thread is costly for
+//! workloads with a large number of objects and threads. VM Space's
+//! checkpointing also contributes ... as it involves marking all
+//! newly-changed pages as read-only."
+
+use std::time::Duration;
+
+use treesls::ObjType;
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::{us, Table};
+use treesls_bench::WorkloadKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Figure 9b: capability-tree checkpoint time by object type (µs/round)\n");
+    let mut table = Table::new(&[
+        "Workload", "CapGroup", "Thread", "IPC", "Noti", "PMO", "VMSpace", "Total",
+    ]);
+    for kind in WorkloadKind::TABLE2 {
+        let mut bench = build(kind, &opts);
+        bench.run(Duration::from_millis(if opts.full { 3000 } else { 1000 }));
+        let breakdowns = bench.sys.manager().breakdowns.lock().clone();
+        let warm: Vec<_> = breakdowns.iter().skip(4).collect();
+        if warm.is_empty() {
+            continue;
+        }
+        let n = warm.len() as u32;
+        let mean_type = |t: ObjType| {
+            warm.iter()
+                .map(|b| b.per_type.get(&t).copied().unwrap_or_default())
+                .sum::<Duration>()
+                / n
+        };
+        let cells: Vec<Duration> = [
+            ObjType::CapGroup,
+            ObjType::Thread,
+            ObjType::IpcConnection,
+            ObjType::Notification,
+            ObjType::Pmo,
+            ObjType::VmSpace,
+        ]
+        .into_iter()
+        .map(mean_type)
+        .collect();
+        let total: Duration = cells.iter().sum();
+        let mut row = vec![kind.label().to_string()];
+        row.extend(cells.iter().map(|d| us(*d)));
+        row.push(us(total));
+        table.row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,57 @@
+//! Table 2: object composition and memory footprint of each workload.
+//!
+//! "Details of different workloads. Default is the system running with no
+//! workloads. Object counts in other workloads are relative to default."
+//! Prints absolute counts for Default and `+n` deltas for the rest, plus
+//! App (runtime) and Ckpt (checkpoint) sizes in MiB — checkpoint size is
+//! smaller than runtime because NVM lets runtime pages double as
+//! checkpoint data.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use treesls::ObjType;
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::{mib, Table};
+use treesls_bench::WorkloadKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Table 2: workload object composition and size (this reproduction)\n");
+    let mut table = Table::new(&[
+        "Workload", "C.G.", "Thread", "IPC", "Noti.", "PMO", "VMS", "App(MiB)", "Ckpt(MiB)",
+    ]);
+    let mut baseline: Option<HashMap<ObjType, usize>> = None;
+    for kind in WorkloadKind::TABLE2 {
+        let mut bench = build(kind, &opts);
+        // Let the workload materialize its memory and take checkpoints.
+        bench.run(Duration::from_millis(if opts.full { 3000 } else { 800 }));
+        let census = bench.sys.kernel().census();
+        let app = bench.sys.kernel().app_memory_bytes();
+        let ckpt = bench.sys.manager().ckpt_size_bytes();
+        let cell = |t: ObjType| -> String {
+            let n = census.get(&t).copied().unwrap_or(0);
+            match (&baseline, kind) {
+                (Some(base), k) if k != WorkloadKind::Default => {
+                    format!("+{}", n.saturating_sub(base.get(&t).copied().unwrap_or(0)))
+                }
+                _ => format!("{n}"),
+            }
+        };
+        table.row(vec![
+            kind.label().to_string(),
+            cell(ObjType::CapGroup),
+            cell(ObjType::Thread),
+            cell(ObjType::IpcConnection),
+            cell(ObjType::Notification),
+            cell(ObjType::Pmo),
+            cell(ObjType::VmSpace),
+            if kind == WorkloadKind::Default { "n/a".into() } else { mib(app) },
+            if kind == WorkloadKind::Default { "n/a".into() } else { mib(ckpt) },
+        ]);
+        if kind == WorkloadKind::Default {
+            baseline = Some(census);
+        }
+    }
+    table.print();
+}

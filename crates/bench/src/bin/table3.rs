@@ -1,0 +1,72 @@
+//! Table 3: checkpoint/restore time of a single object.
+//!
+//! "During the first two rounds of checkpointing, a complete object
+//! snapshot is taken ... Subsequent checkpoints are incremental and reuse
+//! many of the already established object structures." Reports min/max
+//! incremental checkpoint, full checkpoint and restore times per object
+//! type, collected across all Table 2 workloads.
+
+use std::time::Duration;
+
+use treesls::{ObjType, System};
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::{us, Table};
+use treesls_bench::WorkloadKind;
+use treesls_checkpoint::ObjectTimeTable;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let mut agg = ObjectTimeTable::default();
+    for kind in WorkloadKind::TABLE2 {
+        let mut bench = build(kind, &opts);
+        bench.run(Duration::from_millis(if opts.full { 2000 } else { 600 }));
+        agg.merge(&bench.sys.manager().table.lock());
+
+        // Measure restore by crashing and recovering this workload.
+        let programs: Vec<(String, std::sync::Arc<dyn treesls::Program>)> = bench
+            .sys
+            .programs()
+            .names()
+            .into_iter()
+            .filter_map(|n| bench.sys.programs().get(&n).map(|p| (n, p)))
+            .collect();
+        let config = bench.sys.config().clone();
+        let image = bench.sys.crash();
+        match System::recover(image, config, move |reg| {
+            for (n, p) in programs {
+                reg.register(&n, p);
+            }
+        }) {
+            Ok((_sys2, report)) => {
+                let mut t = ObjectTimeTable::default();
+                t.restore = report.per_type;
+                agg.merge(&t);
+            }
+            Err(e) => eprintln!("restore of {} failed: {e}", kind.label()),
+        }
+    }
+
+    println!("Table 3: checkpoint/restore time of a single object (µs)\n");
+    let mut table = Table::new(&[
+        "Object", "Incr Min", "Incr Max", "Full Min", "Full Max", "Rest Min", "Rest Max",
+    ]);
+    for t in ObjType::ALL {
+        let cell = |m: &std::collections::HashMap<ObjType, treesls_checkpoint::MinMax>,
+                    max: bool| {
+            m.get(&t)
+                .filter(|mm| !mm.is_empty())
+                .map(|mm| us(if max { mm.max } else { mm.min }))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.row(vec![
+            t.short_name().to_string(),
+            cell(&agg.incr, false),
+            cell(&agg.incr, true),
+            cell(&agg.full, false),
+            cell(&agg.full, true),
+            cell(&agg.restore, false),
+            cell(&agg.restore, true),
+        ]);
+    }
+    table.print();
+}

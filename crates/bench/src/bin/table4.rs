@@ -1,0 +1,71 @@
+//! Table 4: effect of the hybrid memory checkpoint.
+//!
+//! Per checkpoint interval: runtime page faults taken, dirty DRAM-cached
+//! pages speculatively copied, total cached pages, the fraction of faults
+//! hybrid copy eliminated, and the dirty rate among cached pages.
+
+use std::time::Duration;
+
+use treesls_bench::harness::{build, BenchOpts};
+use treesls_bench::table::Table;
+use treesls_bench::WorkloadKind;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    println!("Table 4: effect of hybrid memory checkpoint (per-interval means)\n");
+    let mut table = Table::new(&[
+        "Metric", "Memcached", "Redis", "KMeans", "PCA",
+    ]);
+    let kinds =
+        [WorkloadKind::Memcached, WorkloadKind::Redis, WorkloadKind::KMeans, WorkloadKind::Pca];
+    let mut cols: Vec<[String; 5]> = Vec::new();
+    for kind in kinds {
+        let mut bench = build(kind, &opts);
+        bench.run(Duration::from_millis(if opts.full { 3000 } else { 1200 }));
+        let rounds = bench.sys.manager().hybrid_rounds.lock().clone();
+        // Steady state: skip warm-up, keep rounds with any activity.
+        let active: Vec<_> = rounds
+            .iter()
+            .skip(8)
+            .filter(|r| r.runtime_faults + r.dirty_cached + r.cached > 0)
+            .collect();
+        if active.is_empty() {
+            cols.push(["0".into(), "0".into(), "0".into(), "0%".into(), "0%".into()]);
+            continue;
+        }
+        let n = active.len() as u64;
+        let faults: u64 = active.iter().map(|r| r.runtime_faults).sum::<u64>() / n;
+        let dirty: u64 = active.iter().map(|r| r.dirty_cached).sum::<u64>() / n;
+        let cached: u64 = active.iter().map(|r| r.cached).sum::<u64>() / n;
+        let elim = if faults + dirty == 0 {
+            0.0
+        } else {
+            dirty as f64 / (faults + dirty) as f64 * 100.0
+        };
+        let rate = if cached == 0 { 0.0 } else { dirty as f64 / cached as f64 * 100.0 };
+        cols.push([
+            format!("{faults}"),
+            format!("{dirty}"),
+            format!("{cached}"),
+            format!("{elim:.0}%"),
+            format!("{rate:.0}%"),
+        ]);
+    }
+    let metrics = [
+        "# runtime page faults",
+        "# dirty cached pages",
+        "# cached pages",
+        "faults eliminated",
+        "dirty rate in cached",
+    ];
+    for (i, m) in metrics.iter().enumerate() {
+        table.row(vec![
+            m.to_string(),
+            cols[0][i].clone(),
+            cols[1][i].clone(),
+            cols[2][i].clone(),
+            cols[3][i].clone(),
+        ]);
+    }
+    table.print();
+}

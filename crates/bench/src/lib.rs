@@ -1,0 +1,17 @@
+//! Benchmark harness reproducing every table and figure of the TreeSLS
+//! paper's evaluation (§7).
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//! `table2`, `table3`, `table4`, `fig9a`, `fig9b`, `fig10`, `fig11`,
+//! `fig12`, `fig13`, `fig14`. Each prints the same rows/series the paper
+//! reports; absolute numbers reflect the emulated substrate, the *shapes*
+//! are the reproduction target (see EXPERIMENTS.md).
+//!
+//! The [`harness`] module assembles the paper's workloads (Table 2) on a
+//! running TreeSLS instance; [`table`] provides plain-text table output.
+
+pub mod harness;
+pub mod ringsetup;
+pub mod table;
+
+pub use harness::{BenchSystem, WorkloadKind};

@@ -1,0 +1,174 @@
+//! Network-port server setup shared by the external-client experiments
+//! (Figures 11, 12, 13, 14).
+//!
+//! Builds a server process whose shards serve host-side clients through
+//! eternal-PMO ring buffers, and wires the ports' external-synchrony
+//! callbacks into the checkpoint manager.
+
+use std::sync::Arc;
+
+use treesls::extsync::{NetPort, PortLayout, RingLayout};
+use treesls::{CapRights, ObjId, PmoKind, System, ThreadContext, Vpn};
+use treesls_apps::lsm::LsmConfig;
+use treesls_apps::server::{RingKvServer, RingLsmServer};
+use treesls_kernel::object::ObjectBody;
+use treesls_kernel::types::CapSlot;
+
+/// Finds the capability slot of `obj` in `group`.
+fn cap_slot_of(sys: &System, group: ObjId, obj: ObjId) -> CapSlot {
+    let g = sys.kernel().object(group).expect("group");
+    let body = g.body.read();
+    let ObjectBody::CapGroup(cg) = &*body else { panic!("not a cap group") };
+    let slot = cg.iter().find(|(_, c)| c.obj == obj).map(|(s, _)| s).expect("cap installed");
+    drop(body);
+    slot
+}
+
+/// Geometry of one shard's rings and table.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardGeometry {
+    /// Ring slots per direction.
+    pub nslots: u64,
+    /// Slot size in bytes (payload + 20-byte header).
+    pub slot_size: u64,
+    /// Table/stride bytes reserved per shard in the data heap.
+    pub data_stride: u64,
+}
+
+impl Default for ShardGeometry {
+    fn default() -> Self {
+        Self { nslots: 256, slot_size: 1280, data_stride: 32 << 20 }
+    }
+}
+
+/// A running ring-served KV/LSM deployment.
+pub struct RingDeployment {
+    /// The server process VM space.
+    pub vmspace: ObjId,
+    /// One port per shard.
+    pub ports: Vec<Arc<NetPort>>,
+    /// Server thread ids.
+    pub server_threads: Vec<ObjId>,
+}
+
+fn shard_port_layout(geom: &ShardGeometry, ring_base: u64, shard: u64, cursor_addr: u64) -> PortLayout {
+    let ring_len = 32 + geom.nslots * geom.slot_size;
+    let ring_len = ring_len.div_ceil(4096) * 4096;
+    let base = ring_base + shard * 2 * ring_len;
+    PortLayout {
+        rx: RingLayout { base, nslots: geom.nslots, slot_size: geom.slot_size },
+        tx: RingLayout { base: base + ring_len, nslots: geom.nslots, slot_size: geom.slot_size },
+        rx_cursor_addr: cursor_addr,
+    }
+}
+
+/// Spawns a sharded ring KV server and its host-side ports.
+///
+/// `ext_sync` controls delayed external visibility; the ports' callbacks
+/// are registered with the system's checkpoint manager either way (the
+/// visible-writer bookkeeping is what the `ext_sync` flag gates on read).
+pub fn deploy_kv(
+    sys: &System,
+    shards: u64,
+    nbuckets: u64,
+    val_cap: u64,
+    ext_sync: bool,
+    geom: ShardGeometry,
+) -> RingDeployment {
+    let kernel = sys.kernel();
+    let g = kernel.create_cap_group("ring-kv").expect("group");
+    let vs = kernel.create_vmspace(g).expect("vmspace");
+
+    // Data heap: shard tables + per-shard RX cursors (rolled back).
+    let heap_pages = shards * geom.data_stride / 4096 + 1;
+    let pmo = kernel.create_pmo(g, heap_pages, PmoKind::Data).expect("heap");
+    kernel.map_region(vs, Vpn(0), heap_pages, pmo, 0, CapRights::ALL).expect("map heap");
+
+    // Eternal ring area above the heap.
+    let ring_base_vpn = heap_pages + 16;
+    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
+    let ring_pages = shards * 2 * ring_len / 4096;
+    let epmo = kernel.create_pmo(g, ring_pages, PmoKind::Eternal).expect("rings");
+    kernel
+        .map_region(vs, Vpn(ring_base_vpn), ring_pages, epmo, 0, CapRights::ALL)
+        .expect("map rings");
+    let ring_base = ring_base_vpn * 4096;
+
+    let mut ports = Vec::new();
+    let mut server_threads = Vec::new();
+    for s in 0..shards {
+        // RX cursor lives in the last page of the shard's data stride.
+        let cursor_addr = s * geom.data_stride + geom.data_stride - 4096;
+        let layout = shard_port_layout(&geom, ring_base, s, cursor_addr);
+        let doorbell = kernel.create_notification(g).expect("doorbell");
+        let prog = format!("ring-kv-{s}");
+        sys.register_program(
+            &prog,
+            Arc::new(RingKvServer {
+                port: layout,
+                table_base: s * geom.data_stride,
+                nbuckets,
+                val_cap,
+                batch: 16,
+                doorbell_slot: cap_slot_of(sys, g, doorbell),
+            }),
+        );
+        let tid = kernel.create_thread(g, vs, &prog, ThreadContext::new()).expect("server");
+        server_threads.push(tid);
+        let port = NetPort::new(Arc::clone(kernel), vs, layout, ext_sync).expect("port");
+        port.set_doorbell(doorbell);
+        sys.manager().register_callback(Arc::clone(&port) as _);
+        ports.push(port);
+    }
+    RingDeployment { vmspace: vs, ports, server_threads }
+}
+
+/// Spawns a single-shard ring LSM server (the RocksDB stand-in).
+pub fn deploy_lsm(
+    sys: &System,
+    wal: bool,
+    val_cap: u64,
+    ext_sync: bool,
+    geom: ShardGeometry,
+) -> RingDeployment {
+    let kernel = sys.kernel();
+    let g = kernel.create_cap_group("ring-lsm").expect("group");
+    let vs = kernel.create_vmspace(g).expect("vmspace");
+    let heap_pages = (96u64 << 20) / 4096;
+    let pmo = kernel.create_pmo(g, heap_pages, PmoKind::Data).expect("heap");
+    kernel.map_region(vs, Vpn(0), heap_pages, pmo, 0, CapRights::ALL).expect("map heap");
+    let ring_base_vpn = heap_pages + 16;
+    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
+    let ring_pages = 2 * ring_len / 4096;
+    let epmo = kernel.create_pmo(g, ring_pages, PmoKind::Eternal).expect("rings");
+    kernel
+        .map_region(vs, Vpn(ring_base_vpn), ring_pages, epmo, 0, CapRights::ALL)
+        .expect("map rings");
+
+    let lsm = LsmConfig {
+        memtable_base: 0,
+        memtable_cap: 128,
+        storage_base: 8 << 20,
+        storage_len: 80 << 20,
+        wal_base: wal.then_some(90 << 20),
+        wal_len: 4 << 20,
+        val_cap,
+    };
+    let cursor_addr = (92u64 << 20) + 8;
+    let layout = shard_port_layout(&geom, ring_base_vpn * 4096, 0, cursor_addr);
+    let doorbell = kernel.create_notification(g).expect("doorbell");
+    sys.register_program(
+        "ring-lsm",
+        Arc::new(RingLsmServer {
+            port: layout,
+            lsm,
+            batch: 16,
+            doorbell_slot: cap_slot_of(sys, g, doorbell),
+        }),
+    );
+    let tid = kernel.create_thread(g, vs, "ring-lsm", ThreadContext::new()).expect("server");
+    let port = NetPort::new(Arc::clone(kernel), vs, layout, ext_sync).expect("port");
+    port.set_doorbell(doorbell);
+    sys.manager().register_callback(Arc::clone(&port) as _);
+    RingDeployment { vmspace: vs, ports: vec![port], server_threads: vec![tid] }
+}

@@ -1,0 +1,169 @@
+//! Hybrid copy: hot-page DRAM migration and speculative stop-and-copy
+//! (§4.3 of the paper).
+//!
+//! During the stop-the-world pause, cores other than the leader traverse
+//! sub-lists of the *dual-function active page list*:
+//!
+//! * dirty DRAM-cached pages are **stop-and-copied** into the non-keeper
+//!   NVM backup slot and tagged with the in-flight version;
+//! * pages newly appended since the last checkpoint are **migrated** to
+//!   DRAM;
+//! * pages idle for too many checkpoints are **migrated back** to NVM and
+//!   dropped from the list.
+//!
+//! The copy destination is always the pair slot that the restore rule would
+//! *not* pick at the current committed version, so a crash mid-copy can
+//! never destroy the recoverable image (see `PageMeta::sac_dst`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use treesls_kernel::cores::HybridWork;
+use treesls_kernel::pmo::{PagePtr, PageSlot};
+use treesls_kernel::Kernel;
+
+/// Per-round hybrid-copy counters, shared with the worker closure.
+#[derive(Debug, Default)]
+pub struct RoundCounters {
+    /// Dirty DRAM pages speculatively copied.
+    pub sac_copies: AtomicU64,
+    /// Pages migrated NVM→DRAM.
+    pub migrated_in: AtomicU64,
+    /// Pages migrated DRAM→NVM (evicted).
+    pub evicted: AtomicU64,
+    /// Total busy nanoseconds across all cores processing items.
+    pub busy_ns: AtomicU64,
+}
+
+/// Builds the stop-the-world hybrid-copy batch from the active page list.
+///
+/// Returns `None` when hybrid copy is disabled or the list is empty.
+pub fn build_work(
+    kernel: &Arc<Kernel>,
+    inflight: u64,
+    counters: Arc<RoundCounters>,
+) -> Option<Arc<HybridWork>> {
+    if !kernel.config.hybrid_copy {
+        return None;
+    }
+    let items: Vec<Arc<PageSlot>> = kernel.tracker.active_list.lock().clone();
+    if items.is_empty() {
+        return None;
+    }
+    let k = Arc::clone(kernel);
+    Some(HybridWork::new(items, move |slot| {
+        let t0 = Instant::now();
+        process_slot(&k, slot, inflight, &counters);
+        counters.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }))
+}
+
+/// Processes one active-list entry during the pause.
+pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counters: &RoundCounters) {
+    let global = inflight - 1;
+    let mut meta = slot.meta.lock();
+    if !meta.on_active_list || meta.eternal {
+        meta.on_active_list = false;
+        return;
+    }
+    if !meta.is_migrated() {
+        // Newly appended since the last checkpoint: migrate NVM→DRAM
+        // ("newly appended pages since the last checkpointing are migrated
+        // to DRAM", §4.3.2).
+        match kernel.dram.alloc() {
+            Some(d) => {
+                let home = meta.pairs[1].expect("non-migrated page has a home frame").frame;
+                kernel.pers.dev.copy_to_dram(home, &kernel.dram, d);
+                meta.runtime_dram = Some(d);
+                // "TreeSLS sets the version of the runtime page in NVM ...
+                // so that it becomes the latest backup page" (§4.3.3): the
+                // home page holds the in-flight checkpoint image, so it is
+                // tagged with the in-flight version — valid once this
+                // checkpoint commits, ignored (in favour of the CoW backup
+                // in pairs[0]) if the crash precedes the commit.
+                meta.pairs[1] = Some(PagePtr { frame: home, version: inflight });
+                meta.writable = true;
+                meta.dirty = false;
+                meta.idle_rounds = 0;
+                counters.migrated_in.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                // DRAM cache full: give up on this page.
+                meta.on_active_list = false;
+                meta.hotness = 0;
+            }
+        }
+        return;
+    }
+    if meta.dirty {
+        // Speculative stop-and-copy of the dirty DRAM page.
+        let dst_idx = meta.sac_dst(global);
+        let frame = match meta.pairs[dst_idx] {
+            Some(p) => p.frame,
+            None => match kernel.pers.alloc.alloc_page() {
+                Ok(f) => f,
+                Err(_) => return, // out of NVM: leave dirty; CoW-less DRAM
+            },
+        };
+        let d = meta.runtime_dram.expect("migrated page has a DRAM copy");
+        kernel.pers.dev.copy_from_dram(&kernel.dram, d, frame);
+        meta.pairs[dst_idx] = Some(PagePtr { frame, version: inflight });
+        meta.dirty = false;
+        meta.idle_rounds = 0;
+        counters.sac_copies.fetch_add(1, Ordering::Relaxed);
+    } else {
+        meta.idle_rounds += 1;
+        if meta.idle_rounds >= kernel.config.idle_evict_rounds {
+            // Migrate DRAM→NVM (§4.3.3): ensure the second backup holds the
+            // latest data, mark it version 0, and make it the runtime page.
+            let keep = meta.restore_pick(global);
+            if keep == Some(0) {
+                // The committed image lives in pairs[0]; pairs[1] must be
+                // (re)filled from the identical DRAM copy.
+                let frame = match meta.pairs[1] {
+                    Some(p) => p.frame,
+                    None => match kernel.pers.alloc.alloc_page() {
+                        Ok(f) => f,
+                        Err(_) => return,
+                    },
+                };
+                let d = meta.runtime_dram.expect("migrated page has a DRAM copy");
+                kernel.pers.dev.copy_from_dram(&kernel.dram, d, frame);
+                meta.pairs[1] = Some(PagePtr { frame, version: 0 });
+            } else if let Some(p) = meta.pairs[1].as_mut() {
+                p.version = 0;
+            }
+            let d = meta.runtime_dram.take().expect("migrated page has a DRAM copy");
+            kernel.dram.free(d);
+            meta.writable = false;
+            meta.on_active_list = false;
+            meta.hotness = 0;
+            counters.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Marks every page that became writable since the last checkpoint as
+/// read-only again (the copy-on-write arming that the paper attributes to
+/// VM Space checkpointing). Returns the number of pages marked.
+pub fn mark_readonly(kernel: &Kernel) -> usize {
+    let slots = kernel.tracker.take_dirty();
+    let mut marked = 0;
+    for slot in slots {
+        let mut meta = slot.meta.lock();
+        if !meta.eternal && !meta.is_migrated() {
+            meta.writable = false;
+            marked += 1;
+        }
+    }
+    marked
+}
+
+/// Compacts the active page list, dropping evicted entries, and returns
+/// the number of pages currently DRAM-cached (Table 4 "# of cached pages").
+pub fn compact_active_list(kernel: &Kernel) -> usize {
+    let mut list = kernel.tracker.active_list.lock();
+    list.retain(|s| s.meta.lock().on_active_list);
+    list.iter().filter(|s| s.meta.lock().is_migrated()).count()
+}

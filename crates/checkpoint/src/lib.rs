@@ -1,0 +1,364 @@
+//! The TreeSLS checkpoint manager: tree-structured whole-system state
+//! checkpoint on NVM (§3–§4 of the paper) and the restore path (§4.2).
+//!
+//! [`CheckpointManager::checkpoint`] performs one whole-system checkpoint
+//! following Figure 5:
+//!
+//! 1. ❶ the leader IPIs all cores into a quiescent state
+//!    ([`treesls_kernel::cores::StwController`]);
+//! 2. ❷ the leader copies the capability tree to the backup tree
+//!    ([`tree::checkpoint_tree`]) and re-arms copy-on-write by marking
+//!    newly-changed pages read-only ([`hybrid::mark_readonly`]);
+//! 3. ❸ in parallel, the other cores run the hybrid-copy batch over the
+//!    active page list ([`hybrid`]);
+//! 4. ❹ the commit point: a single `u64` store bumping the global version
+//!    ([`treesls_kernel::kernel::Persistent::commit_version`]);
+//! 5. ❺ the leader resumes the world, then invokes the registered
+//!    checkpoint callbacks (transparent external synchrony, §5).
+//!
+//! [`restore`] rebuilds a whole runtime system from the backup tree after a
+//! simulated power failure (step ❼).
+
+pub mod hybrid;
+pub mod restore;
+pub mod stats;
+pub mod tree;
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use treesls_kernel::cores::StwController;
+use treesls_kernel::fault::KernelStatsSnapshot;
+use treesls_kernel::object::ObjType;
+use treesls_kernel::types::KernelError;
+use treesls_kernel::Kernel;
+
+pub use restore::{crash, restore, CrashImage, RestoreReport};
+pub use stats::{HybridRoundStats, MinMax, ObjectTimeTable, StwBreakdown};
+
+/// Callback hooks for transparent external synchrony (§5).
+///
+/// User-space services (e.g. the network server) register one; the
+/// checkpoint callback runs after every commit so the service can advance
+/// its visible-writer pointers, and the restore callback runs at the end of
+/// recovery so it can reconcile ring-buffer state with the external world.
+pub trait CkptCallback: Send + Sync {
+    /// Invoked after checkpoint `version` committed and the world resumed.
+    fn on_checkpoint(&self, version: u64);
+    /// Invoked at the end of a recovery that restored `version`.
+    fn on_restore(&self, _version: u64) {}
+}
+
+/// The in-kernel checkpoint manager.
+pub struct CheckpointManager {
+    kernel: Arc<Kernel>,
+    stw: Arc<StwController>,
+    /// Table 3 aggregates.
+    pub table: Mutex<ObjectTimeTable>,
+    /// Figure 9a/9b breakdowns, most recent last (bounded).
+    pub breakdowns: Mutex<Vec<StwBreakdown>>,
+    /// Table 4 per-round hybrid stats, most recent last (bounded).
+    pub hybrid_rounds: Mutex<Vec<HybridRoundStats>>,
+    last_faults: Mutex<KernelStatsSnapshot>,
+    callbacks: Mutex<Vec<Arc<dyn CkptCallback>>>,
+}
+
+/// Retain at most this many per-round records.
+const HISTORY_CAP: usize = 65536;
+
+impl CheckpointManager {
+    /// Creates a manager for `kernel` using `stw` for quiescence.
+    pub fn new(kernel: Arc<Kernel>, stw: Arc<StwController>) -> Arc<Self> {
+        Arc::new(Self {
+            kernel,
+            stw,
+            table: Mutex::new(ObjectTimeTable::default()),
+            breakdowns: Mutex::new(Vec::new()),
+            hybrid_rounds: Mutex::new(Vec::new()),
+            last_faults: Mutex::new(KernelStatsSnapshot::default()),
+            callbacks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The kernel this manager checkpoints.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The stop-the-world controller.
+    pub fn stw(&self) -> &Arc<StwController> {
+        &self.stw
+    }
+
+    /// Registers an external-synchrony callback.
+    pub fn register_callback(&self, cb: Arc<dyn CkptCallback>) {
+        self.callbacks.lock().push(cb);
+    }
+
+    /// Invokes all restore callbacks (called by the `System` facade at the
+    /// end of recovery).
+    pub fn fire_restore_callbacks(&self, version: u64) {
+        for cb in self.callbacks.lock().iter() {
+            cb.on_restore(version);
+        }
+    }
+
+    /// Takes one whole-system checkpoint (Figure 5 ❶–❺).
+    ///
+    /// On error the world is resumed without committing; the previous
+    /// checkpoint remains the recovery point.
+    pub fn checkpoint(&self) -> Result<StwBreakdown, KernelError> {
+        let kernel = &self.kernel;
+        let global = kernel.pers.global_version();
+        let inflight = global + 1;
+
+        let counters = Arc::new(hybrid::RoundCounters::default());
+        let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
+
+        let t_pause = Instant::now();
+        // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸).
+        let ipi = self.stw.stop_world(work, kernel);
+
+        // ❷ Leader: mark newly-changed pages read-only (attributed to VM
+        // Space checkpointing per the paper), then copy the capability
+        // tree.
+        let t_mark = Instant::now();
+        hybrid::mark_readonly(kernel);
+        let mark = t_mark.elapsed();
+        let t_tree = Instant::now();
+        let tree_result = tree::checkpoint_tree(kernel, inflight);
+        let cap_tree = t_tree.elapsed();
+
+        // ❸ Join and drain the hybrid-copy batch.
+        let t_hyb = Instant::now();
+        self.stw.finish_hybrid_work();
+        let hybrid_wait = t_hyb.elapsed();
+
+        let outcome = match tree_result {
+            Ok(o) => o,
+            Err(e) => {
+                // Abort: resume without committing.
+                self.stw.resume_world();
+                return Err(e);
+            }
+        };
+
+        // ❹ Commit point.
+        let t_others = Instant::now();
+        kernel.pers.commit_version(inflight);
+        let _ = tree::sweep_deleted(kernel, inflight);
+        let cached = hybrid::compact_active_list(kernel);
+        let others = t_others.elapsed();
+
+        // ❺ Resume.
+        self.stw.resume_world();
+        let total_pause = t_pause.elapsed();
+
+        // External synchrony callbacks (outside the pause).
+        for cb in self.callbacks.lock().iter() {
+            cb.on_checkpoint(inflight);
+        }
+
+        // Bookkeeping.
+        let mut per_type = outcome.per_type.clone();
+        *per_type.entry(ObjType::VmSpace).or_default() += mark;
+        let breakdown = StwBreakdown {
+            version: inflight,
+            ipi,
+            cap_tree: cap_tree + mark,
+            per_type,
+            others,
+            hybrid_wait,
+            hybrid_busy: std::time::Duration::from_nanos(
+                counters.busy_ns.load(Ordering::Relaxed),
+            ),
+            total_pause,
+            objects_copied: outcome.copied,
+            objects_skipped: outcome.skipped,
+        };
+        {
+            let mut table = self.table.lock();
+            for (otype, full, d) in &outcome.samples {
+                table.add_ckpt(*otype, *full, *d);
+            }
+        }
+        {
+            let faults_now = kernel.stats.snapshot();
+            let mut last = self.last_faults.lock();
+            let delta = faults_now.since(&last);
+            *last = faults_now;
+            let round = HybridRoundStats {
+                runtime_faults: delta.write_faults,
+                dirty_cached: counters.sac_copies.load(Ordering::Relaxed),
+                cached: cached as u64,
+                migrated_in: counters.migrated_in.load(Ordering::Relaxed),
+                evicted: counters.evicted.load(Ordering::Relaxed),
+            };
+            let mut rounds = self.hybrid_rounds.lock();
+            if rounds.len() < HISTORY_CAP {
+                rounds.push(round);
+            }
+        }
+        {
+            let mut b = self.breakdowns.lock();
+            if b.len() < HISTORY_CAP {
+                b.push(breakdown.clone());
+            }
+        }
+        Ok(breakdown)
+    }
+
+    /// Performs every step of a checkpoint *except* the commit (step ❹),
+    /// simulating a power failure in the instant before the global version
+    /// bump: the backup tree carries in-flight version tags that never
+    /// became valid.
+    ///
+    /// Testing hook for the §4.2 correctness argument — a subsequent crash
+    /// + restore must reproduce the **previous** committed version exactly,
+    /// ignoring all in-flight tags. Not used by production paths.
+    pub fn checkpoint_interrupted_before_commit(&self) -> Result<(), KernelError> {
+        let kernel = &self.kernel;
+        let inflight = kernel.pers.global_version() + 1;
+        let counters = Arc::new(hybrid::RoundCounters::default());
+        let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
+        self.stw.stop_world(work, kernel);
+        hybrid::mark_readonly(kernel);
+        let tree_result = tree::checkpoint_tree(kernel, inflight);
+        self.stw.finish_hybrid_work();
+        // Power failure here: no commit, no sweep, no callbacks.
+        self.stw.resume_world();
+        tree_result.map(|_| ())
+    }
+
+    /// Verifies the integrity of the committed checkpoint (§8 "Data
+    /// Reliability"): every object reachable from the backup root must
+    /// have a restorable backup slot, every live page entry must resolve
+    /// to a valid in-range frame under the committed version, and the
+    /// allocator metadata must satisfy its invariants. Returns the number
+    /// of objects checked.
+    ///
+    /// Intended to run between checkpoints (it takes the backup locks); a
+    /// production system would run it against a quiesced or shadow copy.
+    pub fn verify_checkpoint(&self) -> Result<usize, String> {
+        use treesls_kernel::oroot::BackupObject;
+        let global = self.kernel.pers.global_version();
+        let Some(root) = self.kernel.pers.root_oroot() else {
+            return Err("no committed checkpoint".into());
+        };
+        self.kernel.pers.alloc.verify()?;
+        let oroots = self.kernel.pers.oroots.lock();
+        let backups = self.kernel.pers.backups.lock();
+        let frame_count = self.kernel.pers.dev.frame_count() as u32;
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        let mut checked = 0usize;
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let r = oroots.get(id).ok_or_else(|| format!("dangling ORoot {id:?}"))?;
+            if !r.live_at(global) {
+                continue;
+            }
+            let keep = r
+                .restore_pick(global)
+                .ok_or_else(|| format!("ORoot {id:?}: no restorable backup at v{global}"))?;
+            let vb = r.backups[keep].ok_or_else(|| format!("ORoot {id:?}: empty pick"))?;
+            let record = backups
+                .get(vb.slot)
+                .ok_or_else(|| format!("ORoot {id:?}: backup record missing"))?;
+            if record.otype() != r.otype {
+                return Err(format!("ORoot {id:?}: record type mismatch"));
+            }
+            checked += 1;
+            // Page-level checks + graph edges.
+            match record {
+                BackupObject::Pmo { pages, npages, .. } => {
+                    let mut err = None;
+                    pages.for_each(|idx, e| {
+                        if err.is_some() || !e.live_at(global) {
+                            return;
+                        }
+                        if idx >= *npages {
+                            err = Some(format!("page index {idx} beyond PMO capacity"));
+                            return;
+                        }
+                        let meta = e.slot.meta.lock();
+                        match meta.restore_pick(global) {
+                            None => err = Some(format!("page {idx}: unrecoverable")),
+                            Some(p) => {
+                                let frame =
+                                    meta.pairs[p].expect("picked entry exists").frame;
+                                if frame.0 >= frame_count {
+                                    err = Some(format!(
+                                        "page {idx}: frame {} out of range",
+                                        frame.0
+                                    ));
+                                }
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                }
+                BackupObject::CapGroup { caps, .. } => {
+                    stack.extend(caps.iter().flatten().map(|c| c.oroot));
+                }
+                BackupObject::Thread { cap_group, vmspace, .. } => {
+                    stack.push(*cap_group);
+                    stack.push(*vmspace);
+                }
+                BackupObject::VmSpace { regions } => {
+                    stack.extend(regions.iter().map(|r| r.pmo));
+                }
+                BackupObject::IpcConnection { recv_waiter, queue, replies } => {
+                    stack.extend(queue.iter().map(|(t, _)| *t));
+                    stack.extend(replies.iter().map(|(t, _)| *t));
+                    stack.extend(*recv_waiter);
+                }
+                BackupObject::Notification { waiters, .. }
+                | BackupObject::IrqNotification { waiters, .. } => {
+                    stack.extend(waiters.iter().copied());
+                }
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Total bytes of checkpoint state currently on NVM (Table 2 "Ckpt"):
+    /// backup records plus page frames that hold *backup* images (runtime
+    /// pages with version 0 are counted as application memory, not
+    /// checkpoint — the paper's point that NVM lets the checkpoint reuse
+    /// runtime pages).
+    pub fn ckpt_size_bytes(&self) -> u64 {
+        use treesls_kernel::oroot::BackupObject;
+        let backups = self.kernel.pers.backups.lock();
+        let mut bytes = 0u64;
+        for (_, record) in backups.iter() {
+            bytes += record.approx_size() as u64;
+            if let BackupObject::Pmo { pages, .. } = record {
+                pages.for_each(|_, e| {
+                    let meta = e.slot.meta.lock();
+                    for p in meta.pairs.iter().flatten() {
+                        if p.version != 0 {
+                            bytes += treesls_nvm::PAGE_SIZE as u64;
+                        }
+                    }
+                });
+            }
+        }
+        bytes
+    }
+}
+
+impl std::fmt::Debug for CheckpointManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointManager")
+            .field("version", &self.kernel.pers.global_version())
+            .finish()
+    }
+}

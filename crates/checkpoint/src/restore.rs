@@ -1,0 +1,468 @@
+//! Crash simulation and whole-system restore (Figure 5 step ❼).
+//!
+//! `crash` models a power failure: it consumes the machine and keeps only
+//! the persistent state (the NVM device plus the typed backup stores that
+//! conceptually live in its slab space). `restore` then "rolls back the
+//! whole system by reviving state of the backup capability tree": it
+//! replays the allocator journal, walks the backup tree from the root
+//! ORoot, rebuilds every runtime object, resets per-page state according
+//! to the versioning rules of §4.2/§4.3.3, re-enqueues runnable threads,
+//! and finally rebuilds the allocator via mark-and-sweep over the
+//! reachable set ("malloc/free operations after the last checkpoint are
+//! identified and rolled back").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls_kernel::cap::{CapGroupBody, Capability};
+use treesls_kernel::ipc::{IpcConnBody, IpcMsg};
+use treesls_kernel::kernel::{KernelConfig, Persistent};
+use treesls_kernel::notif::{IrqNotifBody, NotifBody};
+use treesls_kernel::object::{KObject, ObjType, ObjectBody};
+use treesls_kernel::oroot::{BackupObject, BkThreadState, ORoot};
+use treesls_kernel::pmo::{PagePtr, Pmo, PmoKind};
+use treesls_kernel::program::ProgramRegistry;
+use treesls_kernel::thread::{BlockedOn, ThreadBody, ThreadState};
+use treesls_kernel::types::{KernelError, ObjId, OrootId, Vpn};
+use treesls_kernel::vm::{VmRegion, VmSpaceBody};
+use treesls_kernel::Kernel;
+use treesls_nvm::{FrameId, NvmDevice, ObjectStore};
+use treesls_pmem_alloc::NvmAddr;
+
+use crate::stats::{MinMax, ObjectTimeTable};
+
+/// The persistent state surviving a power failure.
+#[derive(Debug)]
+pub struct CrashImage {
+    /// The NVM device (frames + metadata arena).
+    pub dev: Arc<NvmDevice>,
+    /// Frame count (needed to re-derive the allocator layout).
+    pub nvm_frames: u32,
+    /// Backup object records.
+    pub backups: ObjectStore<BackupObject>,
+    /// The ORoot table.
+    pub oroots: ObjectStore<ORoot>,
+}
+
+/// Simulates a power failure: consumes the kernel, returning only the
+/// persistent state. All DRAM-side state — the runtime capability tree,
+/// page tables, scheduler queues, the DRAM page cache, register state of
+/// running threads — is dropped here.
+///
+/// The caller must have stopped all cores and any checkpoint timer first.
+pub fn crash(kernel: Arc<Kernel>) -> CrashImage {
+    let backups = std::mem::take(&mut *kernel.pers.backups.lock());
+    let oroots = std::mem::take(&mut *kernel.pers.oroots.lock());
+    CrashImage {
+        dev: Arc::clone(&kernel.pers.dev),
+        nvm_frames: kernel.config.nvm_frames,
+        backups,
+        oroots,
+    }
+}
+
+/// Outcome of a whole-system restore.
+#[derive(Debug)]
+pub struct RestoreReport {
+    /// The committed version the system was restored to.
+    pub version: u64,
+    /// Runtime objects revived.
+    pub objects: usize,
+    /// Memory pages revived.
+    pub pages: usize,
+    /// End-to-end restore time.
+    pub duration: Duration,
+    /// Per-object-type restore times (Table 3 "Restore").
+    pub per_type: HashMap<ObjType, MinMax>,
+}
+
+/// Restores a whole system from a crash image.
+///
+/// `register_programs` is called before threads are revived so that every
+/// thread's program name resolves (programs are "executables on disk" and
+/// must be re-registered after reboot, as a real system reloads binaries).
+pub fn restore(
+    image: CrashImage,
+    config: KernelConfig,
+    register_programs: impl FnOnce(&ProgramRegistry),
+) -> Result<(Arc<Kernel>, RestoreReport), KernelError> {
+    let t0 = Instant::now();
+    let CrashImage { dev, nvm_frames, backups, oroots } = image;
+    // Journal replay makes the allocator metadata consistent; the global
+    // metadata tells us which version committed.
+    let pers = Persistent::recover(dev, nvm_frames, backups, oroots);
+    let global = pers.global_version();
+    let root_oroot = pers
+        .root_oroot()
+        .ok_or(KernelError::InvalidState("no committed checkpoint to restore"))?;
+
+    let kernel = Kernel::from_parts(pers, config);
+    register_programs(&kernel.programs);
+
+    let mut table = ObjectTimeTable::default();
+    let mut pages_revived = 0usize;
+
+    // ---- reachability over the backup graph --------------------------------
+    let mut reachable: Vec<OrootId> = Vec::new();
+    {
+        let oroots = kernel.pers.oroots.lock();
+        let backups = kernel.pers.backups.lock();
+        let mut seen: HashMap<OrootId, ()> = HashMap::new();
+        let mut stack = vec![root_oroot];
+        while let Some(id) = stack.pop() {
+            if seen.contains_key(&id) {
+                continue;
+            }
+            let Some(r) = oroots.get(id) else { continue };
+            if !r.live_at(global) {
+                continue;
+            }
+            let Some(keep) = r.restore_pick(global) else { continue };
+            let Some(vb) = r.backups[keep] else { continue };
+            let Some(record) = backups.get(vb.slot) else { continue };
+            seen.insert(id, ());
+            reachable.push(id);
+            stack.extend(record_children(record));
+        }
+    }
+
+    // ---- pass A: placeholders ----------------------------------------------
+    let mut map: HashMap<OrootId, ObjId> = HashMap::new();
+    {
+        let mut oroots = kernel.pers.oroots.lock();
+        for &id in &reachable {
+            let otype = oroots.get(id).expect("reachable oroot").otype;
+            let obj = kernel.insert_object(placeholder_body(otype));
+            obj.set_oroot(id);
+            oroots.get_mut(id).expect("reachable oroot").runtime = Some(obj.id());
+            map.insert(id, obj.id());
+        }
+    }
+
+    // ---- pass B: fill bodies ------------------------------------------------
+    for &id in &reachable {
+        let t_obj = Instant::now();
+        let (otype, record) = {
+            let oroots = kernel.pers.oroots.lock();
+            let backups = kernel.pers.backups.lock();
+            let r = oroots.get(id).expect("reachable oroot");
+            let keep = r.restore_pick(global).expect("picked during walk");
+            let vb = r.backups[keep].expect("picked during walk");
+            (r.otype, backups.get(vb.slot).expect("record present").clone())
+        };
+        let obj_id = map[&id];
+        let obj = kernel.object(obj_id)?;
+        let revived_pages =
+            fill_body(&kernel, &obj, record, &map, global)?;
+        pages_revived += revived_pages;
+        // The revived state equals the backup: the next checkpoint can
+        // skip this object unless it is mutated again.
+        obj.take_dirty();
+        table.add_restore(otype, t_obj.elapsed());
+    }
+
+    // ---- derived state -------------------------------------------------------
+    *kernel.root_cap_group.lock() = Some(map[&root_oroot]);
+    // Rebuild the run queue "by adding all threads to the scheduler's
+    // queue" (§3), and the IRQ line table.
+    for &id in &reachable {
+        let obj = kernel.object(map[&id])?;
+        let body = obj.body.read();
+        match &*body {
+            ObjectBody::Thread(t) if t.state == ThreadState::Runnable => {
+                kernel.sched.enqueue(obj.id());
+            }
+            ObjectBody::IrqNotification(irq) => {
+                kernel.irq_lines.lock().insert(irq.line, obj.id());
+            }
+            _ => {}
+        }
+    }
+
+    // ---- sweep unreachable persistent records --------------------------------
+    {
+        let mut oroots = kernel.pers.oroots.lock();
+        let mut backups = kernel.pers.backups.lock();
+        let keep: std::collections::HashSet<OrootId> = reachable.iter().copied().collect();
+        let dead: Vec<OrootId> =
+            oroots.iter().filter(|(i, _)| !keep.contains(i)).map(|(i, _)| i).collect();
+        for id in dead {
+            let r = oroots.remove(id).expect("listed");
+            for vb in r.backups.into_iter().flatten() {
+                backups.remove(vb.slot);
+            }
+        }
+        // Also drop non-kept backup slots' records? No: the two-slot
+        // rotation keeps the *other* slot as the next overwrite target and
+        // its slab accounting is carved below.
+    }
+
+    // ---- allocator mark-and-sweep --------------------------------------------
+    let (blocks, slabs) = collect_reachable(&kernel);
+    kernel.pers.alloc.rebuild(&blocks, &slabs)?;
+
+    let version = global;
+    let report = RestoreReport {
+        version,
+        objects: reachable.len(),
+        pages: pages_revived,
+        duration: t0.elapsed(),
+        per_type: table.restore,
+    };
+    Ok((kernel, report))
+}
+
+/// ORoot references held by a backup record (backup-graph edges).
+fn record_children(record: &BackupObject) -> Vec<OrootId> {
+    match record {
+        BackupObject::CapGroup { caps, .. } => {
+            caps.iter().flatten().map(|c| c.oroot).collect()
+        }
+        BackupObject::Thread { state, cap_group, vmspace, .. } => {
+            let mut v = vec![*cap_group, *vmspace];
+            match state {
+                BkThreadState::BlockedNotification(o)
+                | BkThreadState::BlockedIpcRecv(o)
+                | BkThreadState::BlockedIpcReply(o) => v.push(*o),
+                _ => {}
+            }
+            v
+        }
+        BackupObject::VmSpace { regions } => regions.iter().map(|r| r.pmo).collect(),
+        BackupObject::Pmo { .. } => Vec::new(),
+        BackupObject::IpcConnection { recv_waiter, queue, replies } => {
+            let mut v: Vec<OrootId> = queue.iter().map(|(t, _)| *t).collect();
+            v.extend(replies.iter().map(|(t, _)| *t));
+            v.extend(*recv_waiter);
+            v
+        }
+        BackupObject::Notification { waiters, .. } => waiters.clone(),
+        BackupObject::IrqNotification { waiters, .. } => waiters.clone(),
+    }
+}
+
+fn placeholder_body(otype: ObjType) -> ObjectBody {
+    match otype {
+        ObjType::CapGroup => ObjectBody::CapGroup(CapGroupBody::new("")),
+        ObjType::Thread => ObjectBody::Thread(ThreadBody {
+            ctx: Default::default(),
+            state: ThreadState::Exited,
+            program: String::new(),
+            cap_group: ObjId::INVALID,
+            vmspace: ObjId::INVALID,
+            on_cpu: false,
+        }),
+        ObjType::VmSpace => ObjectBody::VmSpace(VmSpaceBody::new()),
+        ObjType::Pmo => ObjectBody::Pmo(Pmo::new(0, PmoKind::Data)),
+        ObjType::IpcConnection => ObjectBody::IpcConnection(IpcConnBody::new()),
+        ObjType::Notification => ObjectBody::Notification(NotifBody::new()),
+        ObjType::IrqNotification => ObjectBody::IrqNotification(IrqNotifBody::new(0)),
+    }
+}
+
+/// Fills a placeholder object from its backup record, translating ORoot
+/// references to revived runtime ids. Returns the number of pages revived
+/// (PMOs only).
+fn fill_body(
+    kernel: &Arc<Kernel>,
+    obj: &Arc<KObject>,
+    record: BackupObject,
+    map: &HashMap<OrootId, ObjId>,
+    global: u64,
+) -> Result<usize, KernelError> {
+    let resolve = |o: OrootId| -> Result<ObjId, KernelError> {
+        map.get(&o).copied().ok_or(KernelError::DeadObject)
+    };
+    let mut pages = 0usize;
+    let body: ObjectBody = match record {
+        BackupObject::CapGroup { name, caps } => {
+            let mut g = CapGroupBody::new(name);
+            g.caps = caps
+                .into_iter()
+                .map(|c| {
+                    c.map(|c| {
+                        Ok::<Capability, KernelError>(Capability {
+                            obj: resolve(c.oroot)?,
+                            rights: c.rights,
+                        })
+                    })
+                    .transpose()
+                })
+                .collect::<Result<_, _>>()?;
+            ObjectBody::CapGroup(g)
+        }
+        BackupObject::Thread { ctx, state, program, cap_group, vmspace } => {
+            if kernel.programs.get(&program).is_none() {
+                return Err(KernelError::InvalidState(
+                    "restored thread's program is not registered",
+                ));
+            }
+            ObjectBody::Thread(ThreadBody {
+                ctx,
+                state: match state {
+                    BkThreadState::Runnable => ThreadState::Runnable,
+                    BkThreadState::Exited => ThreadState::Exited,
+                    BkThreadState::BlockedNotification(o) => {
+                        ThreadState::Blocked(BlockedOn::Notification(resolve(o)?))
+                    }
+                    BkThreadState::BlockedIpcRecv(o) => {
+                        ThreadState::Blocked(BlockedOn::IpcRecv(resolve(o)?))
+                    }
+                    BkThreadState::BlockedIpcReply(o) => {
+                        ThreadState::Blocked(BlockedOn::IpcReply(resolve(o)?))
+                    }
+                },
+                program,
+                cap_group: resolve(cap_group)?,
+                vmspace: resolve(vmspace)?,
+                on_cpu: false,
+            })
+        }
+        BackupObject::VmSpace { regions } => {
+            let mut vs = VmSpaceBody::new();
+            for r in regions {
+                let mapped = vs.map_region(VmRegion {
+                    base: Vpn(r.base),
+                    npages: r.npages,
+                    pmo: resolve(r.pmo)?,
+                    pmo_off: r.pmo_off,
+                    perm: r.perm,
+                });
+                if !mapped {
+                    return Err(KernelError::InvalidState("backup regions overlap"));
+                }
+            }
+            // The page table starts empty (the paper rebuilds page tables
+            // lazily through faults after recovery).
+            ObjectBody::VmSpace(vs)
+        }
+        BackupObject::Pmo { npages, kind, pages: bk_pages, .. } => {
+            let mut pmo = Pmo::new(npages, kind);
+            let eternal = kind == PmoKind::Eternal;
+            // Collect first: purged entries must free their frames, live
+            // entries are normalized and inserted.
+            let mut live = Vec::new();
+            let mut dead = Vec::new();
+            bk_pages.for_each(|idx, e| {
+                if e.live_at(global) {
+                    live.push((idx, Arc::clone(&e.slot)));
+                } else {
+                    dead.push(idx);
+                }
+            });
+            // Dead entries (uncommitted additions or committed removals):
+            // their frames simply stay out of the reachable set and return
+            // to the free lists during the allocator rebuild. They must be
+            // dropped from the backup radix so no stale Arc survives.
+            let _ = dead;
+            for (idx, slot) in &live {
+                let mut meta = slot.meta.lock();
+                let Some(keep) = meta.restore_pick(global) else { continue };
+                // Normalize: the chosen image becomes the runtime NVM page
+                // (pair slot 1, version 0); the other frame is kept as the
+                // spare backup target.
+                if keep == 0 {
+                    meta.pairs.swap(0, 1);
+                }
+                let chosen = meta.pairs[1].expect("picked entry has a frame");
+                meta.pairs[1] = Some(PagePtr { frame: chosen.frame, version: 0 });
+                if let Some(p) = meta.pairs[0].as_mut() {
+                    // Stale data from before the restore point: mark it
+                    // version 0 so no rule can ever prefer it.
+                    p.version = 0;
+                }
+                meta.runtime_dram = None;
+                meta.writable = eternal;
+                meta.hotness = 0;
+                meta.dirty = false;
+                meta.on_active_list = false;
+                meta.idle_rounds = 0;
+                meta.eternal = eternal;
+                pmo.insert(*idx, Arc::clone(slot));
+                pages += 1;
+            }
+            // Rebuild the backup record's radix to exactly the live set
+            // with committed tags, and re-sync the structure tick.
+            let tick = pmo.structure_tick.load(std::sync::atomic::Ordering::Relaxed);
+            {
+                let oroot = obj.oroot().expect("set in pass A");
+                let oroots = kernel.pers.oroots.lock();
+                let mut backups = kernel.pers.backups.lock();
+                let vb = oroots.get(oroot).expect("live oroot").backups[0]
+                    .expect("PMO record exists");
+                if let Some(BackupObject::Pmo { pages: bkp, synced_tick, .. }) =
+                    backups.get_mut(vb.slot)
+                {
+                    let mut fresh = treesls_kernel::radix::Radix::new();
+                    for (idx, slot) in &live {
+                        fresh.insert(
+                            *idx,
+                            treesls_kernel::oroot::BkPageEntry {
+                                slot: Arc::clone(slot),
+                                added: 0,
+                                removed: None,
+                            },
+                        );
+                    }
+                    *bkp = fresh;
+                    *synced_tick = tick;
+                }
+            }
+            ObjectBody::Pmo(pmo)
+        }
+        BackupObject::IpcConnection { recv_waiter, queue, replies } => {
+            let mut c = IpcConnBody::new();
+            c.recv_waiter = recv_waiter.map(resolve).transpose()?;
+            c.queue = queue
+                .into_iter()
+                .map(|(t, d)| Ok::<_, KernelError>(IpcMsg { from: resolve(t)?, data: d }))
+                .collect::<Result<_, _>>()?;
+            c.replies = replies
+                .into_iter()
+                .map(|(t, d)| Ok::<_, KernelError>((resolve(t)?, d)))
+                .collect::<Result<_, _>>()?;
+            ObjectBody::IpcConnection(c)
+        }
+        BackupObject::Notification { count, waiters } => {
+            let mut n = NotifBody::new();
+            n.count = count;
+            n.waiters = waiters.into_iter().map(resolve).collect::<Result<_, _>>()?;
+            ObjectBody::Notification(n)
+        }
+        BackupObject::IrqNotification { line, count, waiters } => {
+            let mut irq = IrqNotifBody::new(line);
+            irq.inner.count = count;
+            irq.inner.waiters = waiters.into_iter().map(resolve).collect::<Result<_, _>>()?;
+            ObjectBody::IrqNotification(irq)
+        }
+    };
+    *obj.body.write() = body;
+    Ok(pages)
+}
+
+/// Collects the reachable buddy blocks and slab objects for the allocator
+/// rebuild: every frame referenced by a (reachable) backup PMO record plus
+/// every backup record's slab accounting.
+fn collect_reachable(kernel: &Kernel) -> (Vec<(FrameId, u8)>, Vec<(NvmAddr, usize)>) {
+    let oroots = kernel.pers.oroots.lock();
+    let backups = kernel.pers.backups.lock();
+    let mut blocks = Vec::new();
+    let mut slabs = Vec::new();
+    for (_, r) in oroots.iter() {
+        for vb in r.backups.iter().flatten() {
+            if let Some((addr, size)) = vb.slab {
+                slabs.push((addr, size as usize));
+            }
+            if let Some(BackupObject::Pmo { pages, .. }) = backups.get(vb.slot) {
+                pages.for_each(|_, e| {
+                    let meta = e.slot.meta.lock();
+                    for p in meta.pairs.iter().flatten() {
+                        blocks.push((p.frame, 0));
+                    }
+                });
+            }
+        }
+    }
+    (blocks, slabs)
+}

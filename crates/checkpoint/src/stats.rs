@@ -1,0 +1,233 @@
+//! Measurement types for checkpoint/restore costs.
+//!
+//! These structures carry the numbers behind the paper's evaluation:
+//! Figure 9a (stop-the-world breakdown), Figure 9b (per-object-type tree
+//! checkpoint time), Table 3 (incremental/full checkpoint and restore time
+//! per object), and Table 4 (hybrid-copy effectiveness).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use treesls_kernel::object::ObjType;
+
+/// Breakdown of one stop-the-world checkpoint (Figure 9a).
+#[derive(Debug, Clone, Default)]
+pub struct StwBreakdown {
+    /// Committed version of this checkpoint.
+    pub version: u64,
+    /// Time from the IPI request until all cores were quiescent.
+    pub ipi: Duration,
+    /// Leader time copying the capability tree.
+    pub cap_tree: Duration,
+    /// Per-object-type share of `cap_tree` (Figure 9b). The paper
+    /// attributes the read-only marking of newly-changed pages to VM Space
+    /// checkpointing; this map follows that attribution.
+    pub per_type: HashMap<ObjType, Duration>,
+    /// Everything else on the leader: commit, deletion sweep.
+    pub others: Duration,
+    /// Wall-clock spent waiting for (and contributing to) the parallel
+    /// hybrid-copy batch after the tree copy finished.
+    pub hybrid_wait: Duration,
+    /// Total busy time accumulated by all cores inside hybrid-copy items
+    /// (runs in parallel with `cap_tree`; Figure 9a reports the maximum
+    /// per-core time, approximated here by `hybrid_busy / cores`).
+    pub hybrid_busy: Duration,
+    /// Total pause as observed by applications.
+    pub total_pause: Duration,
+    /// Objects copied this round (dirty or new).
+    pub objects_copied: usize,
+    /// Objects skipped by incremental checkpointing.
+    pub objects_skipped: usize,
+}
+
+/// Hybrid-copy effectiveness counters for one checkpoint round (Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridRoundStats {
+    /// CoW page faults taken since the previous checkpoint ("# of runtime
+    /// page faults").
+    pub runtime_faults: u64,
+    /// Dirty DRAM-cached pages speculatively copied during the pause
+    /// ("# of dirty cached pages").
+    pub dirty_cached: u64,
+    /// Pages cached in DRAM at the end of the pause ("# of cached pages").
+    pub cached: u64,
+    /// Pages migrated NVM→DRAM this round.
+    pub migrated_in: u64,
+    /// Pages evicted DRAM→NVM this round.
+    pub evicted: u64,
+}
+
+impl HybridRoundStats {
+    /// Fraction of write faults eliminated by hybrid copy: dirty cached
+    /// pages would each have faulted without it.
+    pub fn fault_elimination_ratio(&self) -> f64 {
+        let would_fault = self.runtime_faults + self.dirty_cached;
+        if would_fault == 0 {
+            0.0
+        } else {
+            self.dirty_cached as f64 / would_fault as f64
+        }
+    }
+
+    /// Fraction of cached pages that were actually dirty ("dirty rate in
+    /// cached pages").
+    pub fn dirty_rate(&self) -> f64 {
+        if self.cached == 0 {
+            0.0
+        } else {
+            self.dirty_cached as f64 / self.cached as f64
+        }
+    }
+}
+
+/// Min/max aggregate of a duration-valued sample stream.
+#[derive(Debug, Clone, Copy)]
+pub struct MinMax {
+    /// Smallest observed sample.
+    pub min: Duration,
+    /// Largest observed sample.
+    pub max: Duration,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (for averaging).
+    pub sum: Duration,
+}
+
+impl MinMax {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self { min: Duration::MAX, max: Duration::ZERO, count: 0, sum: Duration::ZERO }
+    }
+
+    /// Folds a sample in.
+    pub fn add(&mut self, d: Duration) {
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.count += 1;
+        self.sum += d;
+    }
+
+    /// Mean of the samples, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.sum / self.count as u32
+        }
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl Default for MinMax {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Table 3 aggregates: per object type, incremental/full checkpoint and
+/// restore times.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectTimeTable {
+    /// Incremental checkpoint times per type.
+    pub incr: HashMap<ObjType, MinMax>,
+    /// Full (first) checkpoint times per type.
+    pub full: HashMap<ObjType, MinMax>,
+    /// Restore times per type.
+    pub restore: HashMap<ObjType, MinMax>,
+}
+
+impl ObjectTimeTable {
+    /// Records a checkpoint sample.
+    pub fn add_ckpt(&mut self, otype: ObjType, full: bool, d: Duration) {
+        let map = if full { &mut self.full } else { &mut self.incr };
+        map.entry(otype).or_default().add(d);
+    }
+
+    /// Records a restore sample.
+    pub fn add_restore(&mut self, otype: ObjType, d: Duration) {
+        self.restore.entry(otype).or_default().add(d);
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &ObjectTimeTable) {
+        for (src, dst) in [
+            (&other.incr, &mut self.incr),
+            (&other.full, &mut self.full),
+            (&other.restore, &mut self.restore),
+        ] {
+            for (t, mm) in src {
+                let e = dst.entry(*t).or_default();
+                if !mm.is_empty() {
+                    e.min = e.min.min(mm.min);
+                    e.max = e.max.max(mm.max);
+                    e.count += mm.count;
+                    e.sum += mm.sum;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut m = MinMax::new();
+        assert!(m.is_empty());
+        m.add(Duration::from_micros(5));
+        m.add(Duration::from_micros(1));
+        m.add(Duration::from_micros(9));
+        assert_eq!(m.min, Duration::from_micros(1));
+        assert_eq!(m.max, Duration::from_micros(9));
+        assert_eq!(m.count, 3);
+        assert_eq!(m.mean(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn hybrid_ratios() {
+        // Memcached row of Table 4: 182 faults, 156 dirty cached, 395
+        // cached ⇒ 46% eliminated, 40% dirty rate.
+        let h = HybridRoundStats {
+            runtime_faults: 182,
+            dirty_cached: 156,
+            cached: 395,
+            migrated_in: 0,
+            evicted: 0,
+        };
+        assert!((h.fault_elimination_ratio() - 0.4615).abs() < 0.01);
+        assert!((h.dirty_rate() - 0.3949).abs() < 0.01);
+        let zero = HybridRoundStats::default();
+        assert_eq!(zero.fault_elimination_ratio(), 0.0);
+        assert_eq!(zero.dirty_rate(), 0.0);
+    }
+
+    #[test]
+    fn object_table_splits_full_and_incr() {
+        let mut t = ObjectTimeTable::default();
+        t.add_ckpt(ObjType::Thread, true, Duration::from_micros(10));
+        t.add_ckpt(ObjType::Thread, false, Duration::from_micros(1));
+        t.add_restore(ObjType::Thread, Duration::from_micros(3));
+        assert_eq!(t.full[&ObjType::Thread].max, Duration::from_micros(10));
+        assert_eq!(t.incr[&ObjType::Thread].max, Duration::from_micros(1));
+        assert_eq!(t.restore[&ObjType::Thread].count, 1);
+    }
+
+    #[test]
+    fn merge_combines_tables() {
+        let mut a = ObjectTimeTable::default();
+        a.add_ckpt(ObjType::Pmo, true, Duration::from_micros(100));
+        let mut b = ObjectTimeTable::default();
+        b.add_ckpt(ObjType::Pmo, true, Duration::from_micros(300));
+        a.merge(&b);
+        let mm = &a.full[&ObjType::Pmo];
+        assert_eq!(mm.count, 2);
+        assert_eq!(mm.min, Duration::from_micros(100));
+        assert_eq!(mm.max, Duration::from_micros(300));
+    }
+}

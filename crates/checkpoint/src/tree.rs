@@ -1,0 +1,416 @@
+//! Checkpointing the capability tree (§4.1).
+//!
+//! The leader core walks the runtime capability tree from the root cap
+//! group, creating or updating the backup record of every reachable object.
+//! ORoots deduplicate shared objects ("an object can be referred by
+//! multiple cap groups"); the per-round tag makes the walk linear. Objects
+//! whose dirty flag is clear are skipped ("TreeSLS may also leverage the
+//! runtime state of the capability tree for efficient incremental
+//! checkpointing, i.e., by skipping state intact since the last
+//! checkpoint").
+//!
+//! Object-kind strategies follow §4.1 exactly:
+//! * small, frequently updated objects (threads, notifications, IPC
+//!   connections, cap groups) are copied during the pause;
+//! * VM spaces copy their region list and *not* their page table, plus the
+//!   read-only marking of newly-changed pages (attributed to VM Space in
+//!   Figure 9b);
+//! * PMOs sync their backup radix tree structurally and leave page data to
+//!   copy-on-write / hybrid copy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls_kernel::object::{KObject, ObjType, ObjectBody};
+use treesls_kernel::oroot::{
+    BackupObject, BkCap, BkPageEntry, BkRegion, BkThreadState, ORoot, VersionedBackup,
+};
+use treesls_kernel::radix::Radix;
+use treesls_kernel::thread::{BlockedOn, ThreadState};
+use treesls_kernel::types::{KernelError, ObjId, OrootId};
+use treesls_kernel::Kernel;
+use treesls_nvm::ObjectStore;
+
+/// Result of one capability-tree checkpoint.
+#[derive(Debug, Default)]
+pub struct TreeOutcome {
+    /// Leader time per object type (Figure 9b).
+    pub per_type: HashMap<ObjType, Duration>,
+    /// `(type, was_full, duration)` per processed object (Table 3).
+    pub samples: Vec<(ObjType, bool, Duration)>,
+    /// Objects copied (dirty or first-time).
+    pub copied: usize,
+    /// Objects skipped by incremental checkpointing.
+    pub skipped: usize,
+}
+
+/// Ensures `obj` has an ORoot, creating one on first contact (§4.1: "if
+/// the corresponding ORoot is absent ... TreeSLS will initialize the ORoot
+/// for it").
+pub fn ensure_oroot(oroots: &mut ObjectStore<ORoot>, obj: &Arc<KObject>) -> OrootId {
+    if let Some(id) = obj.oroot() {
+        if let Some(r) = oroots.get_mut(id) {
+            r.runtime = Some(obj.id());
+            return id;
+        }
+    }
+    let id = oroots.insert(ORoot::new(obj.otype, obj.id()));
+    obj.set_oroot(id);
+    id
+}
+
+/// Collects the runtime object ids referenced by `obj` (capability table
+/// entries plus object-internal references), defining tree reachability.
+fn children(obj: &Arc<KObject>) -> Vec<ObjId> {
+    let body = obj.body.read();
+    match &*body {
+        ObjectBody::CapGroup(g) => g.iter().map(|(_, c)| c.obj).collect(),
+        ObjectBody::Thread(t) => {
+            let mut v = vec![t.cap_group, t.vmspace];
+            if let ThreadState::Blocked(b) = t.state {
+                v.push(b.object());
+            }
+            v
+        }
+        ObjectBody::VmSpace(vs) => vs.regions.iter().map(|r| r.pmo).collect(),
+        ObjectBody::Pmo(_) => Vec::new(),
+        ObjectBody::IpcConnection(c) => {
+            let mut v: Vec<ObjId> = c.queue.iter().map(|m| m.from).collect();
+            v.extend(c.replies.iter().map(|(t, _)| *t));
+            v.extend(c.recv_waiter);
+            v
+        }
+        ObjectBody::Notification(n) => n.waiters.iter().copied().collect(),
+        ObjectBody::IrqNotification(irq) => irq.inner.waiters.iter().copied().collect(),
+    }
+}
+
+/// Maps a runtime object reference to its ORoot, creating one if needed.
+fn oroot_of(
+    kernel: &Kernel,
+    oroots: &mut ObjectStore<ORoot>,
+    id: ObjId,
+) -> Result<OrootId, KernelError> {
+    let obj = kernel.object(id)?;
+    Ok(ensure_oroot(oroots, &obj))
+}
+
+/// Builds the backup record for a non-PMO object.
+fn build_record(
+    kernel: &Kernel,
+    oroots: &mut ObjectStore<ORoot>,
+    obj: &Arc<KObject>,
+) -> Result<BackupObject, KernelError> {
+    let body = obj.body.read();
+    Ok(match &*body {
+        ObjectBody::CapGroup(g) => BackupObject::CapGroup {
+            name: g.name.clone(),
+            caps: g
+                .caps
+                .iter()
+                .map(|c| {
+                    c.map(|c| {
+                        Ok::<BkCap, KernelError>(BkCap {
+                            oroot: oroot_of(kernel, oroots, c.obj)?,
+                            rights: c.rights,
+                        })
+                    })
+                    .transpose()
+                })
+                .collect::<Result<_, _>>()?,
+        },
+        ObjectBody::Thread(t) => BackupObject::Thread {
+            ctx: t.ctx,
+            state: match t.state {
+                ThreadState::Runnable => BkThreadState::Runnable,
+                ThreadState::Exited => BkThreadState::Exited,
+                ThreadState::Blocked(BlockedOn::Notification(o)) => {
+                    BkThreadState::BlockedNotification(oroot_of(kernel, oroots, o)?)
+                }
+                ThreadState::Blocked(BlockedOn::IpcRecv(o)) => {
+                    BkThreadState::BlockedIpcRecv(oroot_of(kernel, oroots, o)?)
+                }
+                ThreadState::Blocked(BlockedOn::IpcReply(o)) => {
+                    BkThreadState::BlockedIpcReply(oroot_of(kernel, oroots, o)?)
+                }
+            },
+            program: t.program.clone(),
+            cap_group: oroot_of(kernel, oroots, t.cap_group)?,
+            vmspace: oroot_of(kernel, oroots, t.vmspace)?,
+        },
+        ObjectBody::VmSpace(vs) => BackupObject::VmSpace {
+            regions: vs
+                .regions
+                .iter()
+                .map(|r| {
+                    Ok::<BkRegion, KernelError>(BkRegion {
+                        base: r.base.0,
+                        npages: r.npages,
+                        pmo: oroot_of(kernel, oroots, r.pmo)?,
+                        pmo_off: r.pmo_off,
+                        perm: r.perm,
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        },
+        ObjectBody::IpcConnection(c) => BackupObject::IpcConnection {
+            recv_waiter: c
+                .recv_waiter
+                .map(|t| oroot_of(kernel, oroots, t))
+                .transpose()?,
+            queue: c
+                .queue
+                .iter()
+                .map(|m| Ok::<_, KernelError>((oroot_of(kernel, oroots, m.from)?, m.data.clone())))
+                .collect::<Result<_, _>>()?,
+            replies: c
+                .replies
+                .iter()
+                .map(|(t, d)| Ok::<_, KernelError>((oroot_of(kernel, oroots, *t)?, d.clone())))
+                .collect::<Result<_, _>>()?,
+        },
+        ObjectBody::Notification(n) => BackupObject::Notification {
+            count: n.count,
+            waiters: n
+                .waiters
+                .iter()
+                .map(|t| oroot_of(kernel, oroots, *t))
+                .collect::<Result<_, _>>()?,
+        },
+        ObjectBody::IrqNotification(irq) => BackupObject::IrqNotification {
+            line: irq.line,
+            count: irq.inner.count,
+            waiters: irq
+                .inner
+                .waiters
+                .iter()
+                .map(|t| oroot_of(kernel, oroots, *t))
+                .collect::<Result<_, _>>()?,
+        },
+        ObjectBody::Pmo(_) => unreachable!("PMOs use sync_pmo"),
+    })
+}
+
+/// Writes `record` into the checkpoint-destination backup slot of `oroot`,
+/// rotating the two-slot protocol and re-accounting slab space.
+fn write_backup(
+    kernel: &Kernel,
+    oroots: &mut ObjectStore<ORoot>,
+    backups: &mut ObjectStore<BackupObject>,
+    oroot: OrootId,
+    record: BackupObject,
+    inflight: u64,
+) -> Result<(), KernelError> {
+    let global = inflight - 1;
+    let dst = oroots.get(oroot).expect("live oroot").ckpt_dst(global);
+    // Retire the slot being overwritten.
+    if let Some(old) = oroots.get(oroot).expect("live oroot").backups[dst] {
+        backups.remove(old.slot);
+        if let Some((addr, size)) = old.slab {
+            kernel.pers.alloc.slab_free(addr, size as usize)?;
+        }
+    }
+    let size = record.approx_size().clamp(1, 2048);
+    let slab = kernel.pers.alloc.slab_alloc(size)?;
+    let slot = backups.insert(record);
+    oroots.get_mut(oroot).expect("live oroot").backups[dst] =
+        Some(VersionedBackup { slot, version: inflight, slab: Some((slab, size as u32)) });
+    Ok(())
+}
+
+/// Synchronizes a PMO's backup radix tree with its runtime tree.
+///
+/// Structural additions are tagged `added = inflight` and removals
+/// `removed = inflight`, so they become restore-visible only at commit.
+/// Entries whose removal has committed are purged and their frames freed
+/// (the paper's deferred reclamation of checkpointed pages).
+fn sync_pmo(
+    kernel: &Kernel,
+    oroots: &mut ObjectStore<ORoot>,
+    backups: &mut ObjectStore<BackupObject>,
+    obj: &Arc<KObject>,
+    oroot: OrootId,
+    inflight: u64,
+) -> Result<bool, KernelError> {
+    let global = inflight - 1;
+    let body = obj.body.read();
+    let ObjectBody::Pmo(pmo) = &*body else { unreachable!("sync_pmo requires a PMO") };
+    let tick = pmo.structure_tick.load(std::sync::atomic::Ordering::Relaxed);
+
+    let existing = oroots.get(oroot).expect("live oroot").backups[0];
+    let full = existing.is_none();
+    if full {
+        // First checkpoint: build the whole backup radix tree.
+        let mut pages: Radix<BkPageEntry> = Radix::new();
+        pmo.pages.for_each(|idx, slot| {
+            pages.insert(idx, BkPageEntry { slot: Arc::clone(slot), added: inflight, removed: None });
+        });
+        let record =
+            BackupObject::Pmo { npages: pmo.npages, kind: pmo.kind, pages, synced_tick: tick };
+        let size = record.approx_size().clamp(1, 2048);
+        let slab = kernel.pers.alloc.slab_alloc(size)?;
+        let slot = backups.insert(record);
+        oroots.get_mut(oroot).expect("live oroot").backups[0] =
+            Some(VersionedBackup { slot, version: inflight, slab: Some((slab, size as u32)) });
+        return Ok(true);
+    }
+
+    let bk = existing.expect("checked");
+    let Some(BackupObject::Pmo { pages, synced_tick, .. }) = backups.get_mut(bk.slot) else {
+        return Err(KernelError::InvalidState("PMO backup record missing"));
+    };
+    // Purge committed removals first and reclaim their frames: a purged
+    // index may be re-added below, and purging after the addition would
+    // leak the removed page's frames.
+    let mut to_purge = Vec::new();
+    pages.for_each(|idx, e| {
+        if e.removed.is_some_and(|r| r <= global) {
+            to_purge.push(idx);
+        }
+    });
+    for idx in to_purge {
+        let entry = pages.remove(idx).expect("entry present");
+        let meta = entry.slot.meta.lock();
+        for p in meta.pairs.iter().flatten() {
+            kernel.pers.alloc.free_page(p.frame)?;
+        }
+        if let Some(d) = meta.runtime_dram {
+            kernel.dram.free(d);
+        }
+    }
+    if *synced_tick != tick {
+        // Additions: runtime entries missing from the backup tree.
+        // (Tombstones are always committed — a page cannot be removed and
+        // re-added within one round — so the purge above already cleared
+        // any stale entry at a re-added index.)
+        let mut to_add = Vec::new();
+        pmo.pages.for_each(|idx, slot| {
+            if pages.get(idx).is_none() {
+                to_add.push((idx, Arc::clone(slot)));
+            }
+        });
+        for (idx, slot) in to_add {
+            let old = pages.insert(idx, BkPageEntry { slot, added: inflight, removed: None });
+            debug_assert!(old.is_none(), "stale backup entry survived the purge");
+        }
+        // Removals: live backup entries whose page left the runtime tree.
+        let mut to_remove = Vec::new();
+        pages.for_each(|idx, e| {
+            if e.removed.is_none() && pmo.pages.get(idx).is_none() {
+                to_remove.push(idx);
+            }
+        });
+        for idx in to_remove {
+            pages.get_mut(idx).expect("entry present").removed = Some(inflight);
+        }
+        *synced_tick = tick;
+    }
+    // Stamp the record's version (cheap; keeps restore_pick uniform).
+    oroots.get_mut(oroot).expect("live oroot").backups[0] =
+        Some(VersionedBackup { version: inflight, ..bk });
+    Ok(false)
+}
+
+/// Walks the runtime capability tree from the root, checkpointing every
+/// reachable object into the backup tree (Figure 5 step ❷).
+///
+/// Must be called during a stop-the-world pause.
+pub fn checkpoint_tree(kernel: &Kernel, inflight: u64) -> Result<TreeOutcome, KernelError> {
+    let mut out = TreeOutcome::default();
+    let mut oroots = kernel.pers.oroots.lock();
+    let mut backups = kernel.pers.backups.lock();
+
+    let root_obj = kernel.object(kernel.root())?;
+    let root_oroot = ensure_oroot(&mut oroots, &root_obj);
+    if kernel.pers.root_oroot().is_none() {
+        kernel.pers.set_root_oroot(root_oroot);
+    }
+
+    let mut stack = vec![root_obj];
+    while let Some(obj) = stack.pop() {
+        let oroot = ensure_oroot(&mut oroots, &obj);
+        {
+            let r = oroots.get_mut(oroot).expect("just ensured");
+            if r.ckpt_round == inflight {
+                continue;
+            }
+            r.ckpt_round = inflight;
+            // An object can reappear (e.g. a capability re-granted before
+            // its deletion committed); resurrect it.
+            r.deleted_at = None;
+        }
+        for child in children(&obj) {
+            if let Ok(c) = kernel.object(child) {
+                stack.push(c);
+            }
+        }
+        let t0 = Instant::now();
+        let dirty = obj.take_dirty();
+        let never_backed = oroots.get(oroot).expect("live").backups.iter().all(Option::is_none);
+        let full;
+        if obj.otype == ObjType::Pmo {
+            // PMOs always run the (cheap when unchanged) structural sync.
+            full = sync_pmo(kernel, &mut oroots, &mut backups, &obj, oroot, inflight)?;
+            out.copied += 1;
+        } else if dirty || never_backed {
+            full = never_backed;
+            let record = build_record(kernel, &mut oroots, &obj)?;
+            write_backup(kernel, &mut oroots, &mut backups, oroot, record, inflight)?;
+            out.copied += 1;
+        } else {
+            full = false;
+            out.skipped += 1;
+        }
+        let dt = t0.elapsed();
+        *out.per_type.entry(obj.otype).or_default() += dt;
+        if dirty || never_backed || obj.otype == ObjType::Pmo {
+            out.samples.push((obj.otype, full, dt));
+        }
+    }
+
+    // Deletion detection: reachable objects carry this round's tag;
+    // everything else became unreachable since the last checkpoint.
+    for (_, r) in oroots.iter_mut() {
+        if r.ckpt_round != inflight && r.deleted_at.is_none() {
+            r.deleted_at = Some(inflight);
+        }
+    }
+    Ok(out)
+}
+
+/// Sweeps ORoots whose deletion has committed: removes their backup
+/// records, frees slab space, and for PMOs frees all page frames.
+///
+/// Called by the checkpoint manager after the commit point.
+pub fn sweep_deleted(kernel: &Kernel, committed: u64) -> Result<usize, KernelError> {
+    let mut oroots = kernel.pers.oroots.lock();
+    let mut backups = kernel.pers.backups.lock();
+    let dead: Vec<OrootId> = oroots
+        .iter()
+        .filter(|(_, r)| r.deleted_at.is_some_and(|d| d <= committed))
+        .map(|(id, _)| id)
+        .collect();
+    for id in &dead {
+        let r = oroots.remove(*id).expect("listed as dead");
+        for vb in r.backups.into_iter().flatten() {
+            if let Some(record) = backups.remove(vb.slot) {
+                if let BackupObject::Pmo { pages, .. } = record {
+                    pages.for_each(|_, e| {
+                        let meta = e.slot.meta.lock();
+                        for p in meta.pairs.iter().flatten() {
+                            let _ = kernel.pers.alloc.free_page(p.frame);
+                        }
+                        if let Some(d) = meta.runtime_dram {
+                            kernel.dram.free(d);
+                        }
+                    });
+                }
+            }
+            if let Some((addr, size)) = vb.slab {
+                kernel.pers.alloc.slab_free(addr, size as usize)?;
+            }
+        }
+    }
+    Ok(dead.len())
+}

@@ -1,0 +1,130 @@
+//! Declarative process construction.
+//!
+//! A [`ProcessSpec`] describes one user-space process: its memory regions
+//! (ordinary data PMOs and eternal PMOs for driver state), and its threads
+//! with their programs and initial register contexts. [`System::spawn`]
+//! materializes the spec into the capability tree.
+//!
+//! [`System::spawn`]: crate::System::spawn
+
+use treesls_kernel::cap::CapRights;
+use treesls_kernel::pmo::PmoKind;
+use treesls_kernel::thread::ThreadContext;
+use treesls_kernel::types::{ObjId, Vpn};
+
+/// One memory region of a process.
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    /// First virtual page.
+    pub base: Vpn,
+    /// Length in pages.
+    pub npages: u64,
+    /// Ordinary (rolled-back) or eternal (crash-surviving) memory.
+    pub kind: PmoKind,
+    /// Access permissions.
+    pub perm: CapRights,
+}
+
+impl RegionSpec {
+    /// An ordinary read-write data region.
+    pub fn data(base: Vpn, npages: u64) -> Self {
+        Self { base, npages, kind: PmoKind::Data, perm: CapRights::ALL }
+    }
+
+    /// An eternal region (ring buffers, driver state; §5 of the paper).
+    pub fn eternal(base: Vpn, npages: u64) -> Self {
+        Self { base, npages, kind: PmoKind::Eternal, perm: CapRights::ALL }
+    }
+}
+
+/// One thread of a process.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Program registry key.
+    pub program: String,
+    /// Initial register context.
+    pub ctx: ThreadContext,
+}
+
+impl ThreadSpec {
+    /// A thread with a zeroed context.
+    pub fn new(program: impl Into<String>) -> Self {
+        Self { program: program.into(), ctx: ThreadContext::new() }
+    }
+
+    /// Sets an initial register value.
+    pub fn reg(mut self, i: usize, v: u64) -> Self {
+        self.ctx.regs[i] = v;
+        self
+    }
+}
+
+/// A process description consumed by [`System::spawn`].
+///
+/// [`System::spawn`]: crate::System::spawn
+#[derive(Debug, Clone)]
+pub struct ProcessSpec {
+    /// Process name (diagnostics, Table 2 census).
+    pub name: String,
+    /// Memory regions; must not overlap.
+    pub regions: Vec<RegionSpec>,
+    /// Threads to create (all enqueued immediately).
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl ProcessSpec {
+    /// Starts a spec with the given name and no regions or threads.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), regions: Vec::new(), threads: Vec::new() }
+    }
+
+    /// Adds a `npages`-page data heap at virtual page 0.
+    pub fn heap(mut self, npages: u64) -> Self {
+        self.regions.push(RegionSpec::data(Vpn(0), npages));
+        self
+    }
+
+    /// Adds a region.
+    pub fn region(mut self, region: RegionSpec) -> Self {
+        self.regions.push(region);
+        self
+    }
+
+    /// Adds a thread.
+    pub fn thread(mut self, thread: ThreadSpec) -> Self {
+        self.threads.push(thread);
+        self
+    }
+}
+
+/// Handles to the kernel objects of a spawned process.
+#[derive(Debug, Clone)]
+pub struct ProcessHandle {
+    /// The process cap group.
+    pub cap_group: ObjId,
+    /// The process VM space.
+    pub vmspace: ObjId,
+    /// PMOs, in `regions` order.
+    pub pmos: Vec<ObjId>,
+    /// Threads, in `threads` order.
+    pub threads: Vec<ObjId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_accumulates() {
+        let spec = ProcessSpec::new("kv")
+            .heap(128)
+            .region(RegionSpec::eternal(Vpn(1000), 4))
+            .thread(ThreadSpec::new("server").reg(1, 42));
+        assert_eq!(spec.name, "kv");
+        assert_eq!(spec.regions.len(), 2);
+        assert_eq!(spec.regions[0].kind, PmoKind::Data);
+        assert_eq!(spec.regions[1].kind, PmoKind::Eternal);
+        assert_eq!(spec.threads.len(), 1);
+        assert_eq!(spec.threads[0].ctx.regs[1], 42);
+    }
+}

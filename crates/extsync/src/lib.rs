@@ -1,0 +1,41 @@
+//! Transparent external synchrony for TreeSLS (§5 of the paper).
+//!
+//! An SLS must make sure "the state changes caused by a request are
+//! persisted before sending responses to external systems". With
+//! millisecond checkpoints, TreeSLS achieves this *transparently*: the
+//! driver delays externally visible operations until the checkpoint
+//! covering their producing state commits, and applications need no
+//! persistence code at all.
+//!
+//! * [`ring`] — version-tagged ring buffers in eternal PMOs, implementing
+//!   the `reader` / `writer` / `visible_writer` discipline of Figure 8.
+//! * [`port`] — the machine-local network port: the host side plays the
+//!   external clients and NIC, the SLS side the server application; the
+//!   checkpoint/restore callbacks implement delayed visibility and
+//!   post-crash reconciliation.
+
+pub mod port;
+pub mod ring;
+
+pub use port::{HostIo, NetPort, PortLayout};
+pub use ring::{MemIo, RingError, RingLayout, RingMsg};
+
+use treesls_kernel::program::UserCtx;
+use treesls_kernel::types::KernelError;
+
+impl MemIo for UserCtx<'_> {
+    fn mem_read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
+        self.read(addr, buf)
+    }
+    fn mem_write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError> {
+        self.write(addr, data)
+    }
+    fn version(&self) -> u64 {
+        self.global_version()
+    }
+    fn flush(&self) {
+        // Programs running on TreeSLS need no explicit persistence; the
+        // hook exists so the same application code can run on baseline
+        // backends that charge WAL-flush latency here.
+    }
+}

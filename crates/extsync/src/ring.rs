@@ -1,0 +1,420 @@
+//! Version-tagged ring buffers in eternal PMOs (Figure 8 of the paper).
+//!
+//! A ring lives entirely inside an *eternal* PMO, so its contents and
+//! pointers survive a power failure unmodified. Each message is tagged
+//! with the committed global version at append time; a message becomes
+//! externally visible only once a *later* checkpoint commits (its
+//! producing state is then persistent), which is the paper's
+//! `visible_writer` discipline:
+//!
+//! * [`push`] appends at `writer` with the current version tag;
+//! * the checkpoint callback advances `visible_writer` past every message
+//!   whose tag precedes the newly committed version;
+//! * the restore callback truncates messages whose tag equals the restored
+//!   version — their producing state was rolled back and the application
+//!   "will re-send the message".
+//!
+//! Ring operations are expressed over the [`MemIo`] trait so the same code
+//! runs from inside the SLS (a program's `UserCtx`, playing the modified
+//! driver) and from the host (the external NIC/client side, playing DMA).
+
+use treesls_kernel::types::KernelError;
+
+/// Byte layout of the ring header (little-endian `u64` fields).
+pub mod hdr {
+    /// Consumer index (monotone message count).
+    pub const READER: u64 = 0;
+    /// Producer index (monotone message count).
+    pub const WRITER: u64 = 8;
+    /// Externally visible bound: messages below it may leave the system.
+    pub const VISIBLE_WRITER: u64 = 16;
+    /// Consumer acknowledgement used for overwrite protection (see
+    /// `NetPort`): slots below it may be reused.
+    pub const ACK: u64 = 24;
+    /// Total header bytes before the slot array.
+    pub const SIZE: u64 = 32;
+}
+
+/// Per-slot layout: `[version u64][seq u64][len u32][payload ...]`.
+const SLOT_HDR: u64 = 20;
+
+/// Abstract byte-addressed memory: implemented by `UserCtx` (in-SLS
+/// driver code) and by the host-side port (external DMA).
+pub trait MemIo {
+    /// Reads bytes at `addr`.
+    fn mem_read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError>;
+    /// Writes bytes at `addr`.
+    fn mem_write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError>;
+    /// The committed global checkpoint version.
+    fn version(&self) -> u64;
+
+    /// Issues a synchronous persistence barrier (e.g. an `fsync` on a
+    /// DAX file). A no-op for memory that needs no explicit flushing;
+    /// baseline backends charge their WAL-flush latency here.
+    fn flush(&self) {}
+
+    /// Reads a little-endian `u64` at `addr`.
+    fn mem_read_u64(&self, addr: u64) -> Result<u64, KernelError> {
+        let mut b = [0u8; 8];
+        self.mem_read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    fn mem_write_u64(&self, addr: u64, v: u64) -> Result<(), KernelError> {
+        self.mem_write(addr, &v.to_le_bytes())
+    }
+}
+
+/// Placement of one ring inside an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingLayout {
+    /// Base virtual address of the ring header (page-aligned by
+    /// convention; must live in an eternal PMO).
+    pub base: u64,
+    /// Number of slots (any positive count).
+    pub nslots: u64,
+    /// Bytes per slot including the slot header.
+    pub slot_size: u64,
+}
+
+impl RingLayout {
+    /// Total bytes the ring occupies.
+    pub fn byte_len(&self) -> u64 {
+        hdr::SIZE + self.nslots * self.slot_size
+    }
+
+    /// Maximum payload bytes per message.
+    pub fn max_payload(&self) -> usize {
+        (self.slot_size - SLOT_HDR) as usize
+    }
+
+    fn slot_addr(&self, index: u64) -> u64 {
+        self.base + hdr::SIZE + (index % self.nslots) * self.slot_size
+    }
+}
+
+/// A message read from a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingMsg {
+    /// Monotone sequence number (the message's ring index).
+    pub seq: u64,
+    /// Version tag at append time.
+    pub version: u64,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from ring operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// No free slot (consumer/ack too far behind).
+    Full,
+    /// Payload exceeds the slot size.
+    TooLarge,
+    /// Underlying memory access failed.
+    Mem(KernelError),
+}
+
+impl From<KernelError> for RingError {
+    fn from(e: KernelError) -> Self {
+        RingError::Mem(e)
+    }
+}
+
+/// Initializes an empty ring at `layout` (all pointers zero).
+pub fn init<M: MemIo>(io: &M, layout: &RingLayout) -> Result<(), KernelError> {
+    io.mem_write_u64(layout.base + hdr::READER, 0)?;
+    io.mem_write_u64(layout.base + hdr::WRITER, 0)?;
+    io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, 0)?;
+    io.mem_write_u64(layout.base + hdr::ACK, 0)
+}
+
+/// Appends a message tagged with the current version and `seq`.
+///
+/// The slot is reusable only when the consumer's acknowledgement has
+/// passed it, protecting unprocessed (or un-checkpointed) messages from
+/// overwrite.
+pub fn push<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    seq: u64,
+    payload: &[u8],
+) -> Result<u64, RingError> {
+    if payload.len() > layout.max_payload() {
+        return Err(RingError::TooLarge);
+    }
+    let writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
+    let ack = io.mem_read_u64(layout.base + hdr::ACK)?;
+    if writer - ack >= layout.nslots {
+        return Err(RingError::Full);
+    }
+    let slot = layout.slot_addr(writer);
+    io.mem_write_u64(slot, io.version())?;
+    io.mem_write_u64(slot + 8, seq)?;
+    io.mem_write(slot + 16, &(payload.len() as u32).to_le_bytes())?;
+    io.mem_write(slot + SLOT_HDR, payload)?;
+    // Publish after the slot contents (program order is durable under
+    // eADR).
+    io.mem_write_u64(layout.base + hdr::WRITER, writer + 1)?;
+    Ok(writer)
+}
+
+/// Reads the message at ring index `index` without consuming it.
+pub fn read_at<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    index: u64,
+) -> Result<RingMsg, KernelError> {
+    let slot = layout.slot_addr(index);
+    let version = io.mem_read_u64(slot)?;
+    let seq = io.mem_read_u64(slot + 8)?;
+    let mut lb = [0u8; 4];
+    io.mem_read(slot + 16, &mut lb)?;
+    let len = u32::from_le_bytes(lb) as usize;
+    let mut payload = vec![0u8; len.min(layout.max_payload())];
+    io.mem_read(slot + SLOT_HDR, &mut payload)?;
+    Ok(RingMsg { seq, version, payload })
+}
+
+/// Pops the next message if one is available below `limit` (pass the
+/// writer for internal consumption, the visible writer for external).
+pub fn pop_below<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    limit_field: u64,
+) -> Result<Option<RingMsg>, KernelError> {
+    let reader = io.mem_read_u64(layout.base + hdr::READER)?;
+    let limit = io.mem_read_u64(layout.base + limit_field)?;
+    if reader >= limit {
+        return Ok(None);
+    }
+    let msg = read_at(io, layout, reader)?;
+    io.mem_write_u64(layout.base + hdr::READER, reader + 1)?;
+    Ok(Some(msg))
+}
+
+/// Reads a header field.
+pub fn header<M: MemIo>(io: &M, layout: &RingLayout, field: u64) -> Result<u64, KernelError> {
+    io.mem_read_u64(layout.base + field)
+}
+
+/// Writes a header field.
+pub fn set_header<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    field: u64,
+    v: u64,
+) -> Result<(), KernelError> {
+    io.mem_write_u64(layout.base + field, v)
+}
+
+/// Checkpoint callback body: advances `visible_writer` past every message
+/// whose producing interval is now committed (`tag < committed`).
+pub fn advance_visible<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    committed: u64,
+) -> Result<u64, KernelError> {
+    let writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
+    let mut visible = io.mem_read_u64(layout.base + hdr::VISIBLE_WRITER)?;
+    while visible < writer {
+        let slot = layout.slot_addr(visible);
+        let tag = io.mem_read_u64(slot)?;
+        if tag >= committed {
+            break;
+        }
+        visible += 1;
+    }
+    io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, visible)?;
+    Ok(visible)
+}
+
+/// Restore callback body: discards messages whose producing state was
+/// rolled back (tag `>= restored`), as in Figure 8(d).
+pub fn truncate_uncommitted<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    restored: u64,
+) -> Result<u64, KernelError> {
+    let reader = io.mem_read_u64(layout.base + hdr::READER)?;
+    let mut writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
+    let visible = io.mem_read_u64(layout.base + hdr::VISIBLE_WRITER)?;
+    // Walk back over rolled-back messages (never past what was already
+    // made visible — those may have left the system).
+    while writer > visible.max(reader) {
+        let slot = layout.slot_addr(writer - 1);
+        let tag = io.mem_read_u64(slot)?;
+        if tag < restored {
+            break;
+        }
+        writer -= 1;
+    }
+    io.mem_write_u64(layout.base + hdr::WRITER, writer)?;
+    if visible > writer {
+        io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, writer)?;
+    }
+    Ok(writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// A plain in-memory MemIo with a settable version, for unit tests.
+    struct TestMem {
+        bytes: Mutex<Vec<u8>>,
+        version: std::sync::atomic::AtomicU64,
+    }
+
+    impl TestMem {
+        fn new(len: usize) -> Self {
+            Self {
+                bytes: Mutex::new(vec![0; len]),
+                version: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+        fn set_version(&self, v: u64) {
+            self.version.store(v, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl MemIo for TestMem {
+        fn mem_read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
+            let g = self.bytes.lock();
+            let a = addr as usize;
+            buf.copy_from_slice(&g[a..a + buf.len()]);
+            Ok(())
+        }
+        fn mem_write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError> {
+            let mut g = self.bytes.lock();
+            let a = addr as usize;
+            g[a..a + data.len()].copy_from_slice(data);
+            Ok(())
+        }
+        fn version(&self) -> u64 {
+            self.version.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    fn layout() -> RingLayout {
+        RingLayout { base: 0, nslots: 4, slot_size: 84 }
+    }
+
+    fn mem() -> TestMem {
+        let l = layout();
+        TestMem::new(l.byte_len() as usize)
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        let s0 = push(&m, &l, 100, b"hello").unwrap();
+        assert_eq!(s0, 0);
+        // Not yet visible externally...
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap(), None);
+        // ...but internally poppable below the writer.
+        let msg = pop_below(&m, &l, hdr::WRITER).unwrap().unwrap();
+        assert_eq!(msg.seq, 100);
+        assert_eq!(msg.payload, b"hello");
+        assert_eq!(msg.version, 0);
+    }
+
+    #[test]
+    fn visibility_follows_commits() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(5);
+        push(&m, &l, 1, b"a").unwrap(); // tag 5
+        m.set_version(6);
+        push(&m, &l, 2, b"b").unwrap(); // tag 6
+        // Commit of version 6 makes only tag-5 messages visible.
+        advance_visible(&m, &l, 6).unwrap();
+        let msg = pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap();
+        assert_eq!(msg.seq, 1);
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap(), None);
+        // Commit of 7 releases the rest.
+        advance_visible(&m, &l, 7).unwrap();
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn truncate_discards_rolled_back_messages() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(3);
+        push(&m, &l, 1, b"committed").unwrap(); // tag 3
+        advance_visible(&m, &l, 4).unwrap(); // v4 committed, msg visible
+        m.set_version(4);
+        push(&m, &l, 2, b"lost").unwrap(); // tag 4, v5 never commits
+        // Crash; restore to version 4.
+        truncate_uncommitted(&m, &l, 4).unwrap();
+        assert_eq!(header(&m, &l, hdr::WRITER).unwrap(), 1);
+        let msg = pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap();
+        assert_eq!(msg.seq, 1);
+        assert_eq!(pop_below(&m, &l, hdr::WRITER).unwrap(), None);
+    }
+
+    #[test]
+    fn truncate_never_recalls_visible_messages() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(3);
+        push(&m, &l, 1, b"sent").unwrap();
+        // Force-visible (e.g. the commit raced the crash but the NIC
+        // already transmitted): truncation must not move writer below it.
+        set_header(&m, &l, hdr::VISIBLE_WRITER, 1).unwrap();
+        truncate_uncommitted(&m, &l, 3).unwrap();
+        assert_eq!(header(&m, &l, hdr::WRITER).unwrap(), 1);
+    }
+
+    #[test]
+    fn full_ring_rejects_until_acked() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        for i in 0..4 {
+            push(&m, &l, i, b"x").unwrap();
+        }
+        assert_eq!(push(&m, &l, 9, b"x"), Err(RingError::Full));
+        set_header(&m, &l, hdr::ACK, 2).unwrap();
+        push(&m, &l, 9, b"x").unwrap();
+        push(&m, &l, 10, b"x").unwrap();
+        assert_eq!(push(&m, &l, 11, b"x"), Err(RingError::Full));
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        let big = vec![0u8; l.max_payload() + 1];
+        assert_eq!(push(&m, &l, 0, &big), Err(RingError::TooLarge));
+    }
+
+    #[test]
+    fn slots_wrap_around() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        for round in 0..3u64 {
+            for i in 0..4u64 {
+                let seq = round * 4 + i;
+                push(&m, &l, seq, format!("m{seq}").as_bytes()).unwrap();
+            }
+            for i in 0..4u64 {
+                let seq = round * 4 + i;
+                let msg = pop_below(&m, &l, hdr::WRITER).unwrap().unwrap();
+                assert_eq!(msg.seq, seq);
+                assert_eq!(msg.payload, format!("m{seq}").as_bytes());
+            }
+            set_header(&m, &l, hdr::ACK, (round + 1) * 4).unwrap();
+        }
+    }
+}

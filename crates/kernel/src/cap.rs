@@ -1,0 +1,171 @@
+//! Capabilities and cap groups.
+//!
+//! "A cap group is an array of capabilities; each capability consists of a
+//! pointer to the runtime object and the access rights" (§4.1). Every
+//! process is a cap group; all system resources are reachable from the
+//! root cap group, forming the capability tree of Figure 4.
+
+use crate::types::{CapSlot, KernelError, ObjId};
+
+/// Access rights carried by a capability.
+///
+/// A minimal rights lattice sufficient for the paper's workloads; stored as
+/// a bitmask so backup copies are trivially cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapRights(pub u32);
+
+impl CapRights {
+    /// Read the object (memory read, notification wait, IPC recv).
+    pub const READ: CapRights = CapRights(1 << 0);
+    /// Write the object (memory write, notification signal, IPC call).
+    pub const WRITE: CapRights = CapRights(1 << 1);
+    /// Execute (map memory executable).
+    pub const EXEC: CapRights = CapRights(1 << 2);
+    /// Grant the capability to other cap groups.
+    pub const GRANT: CapRights = CapRights(1 << 3);
+    /// All rights.
+    pub const ALL: CapRights = CapRights(0xF);
+    /// No rights.
+    pub const NONE: CapRights = CapRights(0);
+
+    /// Union of two rights sets.
+    pub fn union(self, other: CapRights) -> CapRights {
+        CapRights(self.0 | other.0)
+    }
+
+    /// Returns `true` if `self` includes every right in `needed`.
+    pub fn allows(self, needed: CapRights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+}
+
+/// A capability: an object reference plus access rights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capability {
+    /// The referenced runtime object.
+    pub obj: ObjId,
+    /// Rights this capability conveys.
+    pub rights: CapRights,
+}
+
+/// Runtime body of a Cap Group object.
+#[derive(Debug, Clone)]
+pub struct CapGroupBody {
+    /// Human-readable process/service name (diagnostics and Table 2).
+    pub name: String,
+    /// The capability table; `None` entries are free slots.
+    pub caps: Vec<Option<Capability>>,
+}
+
+impl CapGroupBody {
+    /// Creates an empty cap group named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), caps: Vec::new() }
+    }
+
+    /// Installs a capability, returning its slot index.
+    pub fn install(&mut self, cap: Capability) -> CapSlot {
+        if let Some(i) = self.caps.iter().position(Option::is_none) {
+            self.caps[i] = Some(cap);
+            i
+        } else {
+            self.caps.push(Some(cap));
+            self.caps.len() - 1
+        }
+    }
+
+    /// Looks up the capability in `slot`.
+    pub fn lookup(&self, slot: CapSlot) -> Result<Capability, KernelError> {
+        self.caps.get(slot).copied().flatten().ok_or(KernelError::BadCapability)
+    }
+
+    /// Looks up `slot` and checks it allows `needed` rights.
+    pub fn lookup_with(&self, slot: CapSlot, needed: CapRights) -> Result<Capability, KernelError> {
+        let cap = self.lookup(slot)?;
+        if !cap.rights.allows(needed) {
+            return Err(KernelError::PermissionDenied);
+        }
+        Ok(cap)
+    }
+
+    /// Revokes the capability in `slot`, returning it.
+    pub fn revoke(&mut self, slot: CapSlot) -> Result<Capability, KernelError> {
+        let entry = self.caps.get_mut(slot).ok_or(KernelError::BadCapability)?;
+        entry.take().ok_or(KernelError::BadCapability)
+    }
+
+    /// Number of live capabilities.
+    pub fn live(&self) -> usize {
+        self.caps.iter().flatten().count()
+    }
+
+    /// Iterates over `(slot, capability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CapSlot, &Capability)> {
+        self.caps.iter().enumerate().filter_map(|(i, c)| c.as_ref().map(|c| (i, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesls_nvm::ObjectStore;
+
+    fn obj() -> ObjId {
+        let mut s: ObjectStore<u8> = ObjectStore::new();
+        s.insert(0)
+    }
+
+    #[test]
+    fn rights_lattice() {
+        let rw = CapRights::READ.union(CapRights::WRITE);
+        assert!(rw.allows(CapRights::READ));
+        assert!(rw.allows(CapRights::WRITE));
+        assert!(!rw.allows(CapRights::GRANT));
+        assert!(CapRights::ALL.allows(rw));
+        assert!(rw.allows(CapRights::NONE));
+    }
+
+    #[test]
+    fn install_lookup_revoke() {
+        let mut g = CapGroupBody::new("proc");
+        let cap = Capability { obj: obj(), rights: CapRights::ALL };
+        let s = g.install(cap);
+        assert_eq!(g.lookup(s).unwrap(), cap);
+        assert_eq!(g.live(), 1);
+        assert_eq!(g.revoke(s).unwrap(), cap);
+        assert_eq!(g.lookup(s), Err(KernelError::BadCapability));
+        assert_eq!(g.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut g = CapGroupBody::new("p");
+        let c = Capability { obj: obj(), rights: CapRights::READ };
+        let s0 = g.install(c);
+        let _s1 = g.install(c);
+        g.revoke(s0).unwrap();
+        let s2 = g.install(c);
+        assert_eq!(s0, s2);
+        assert_eq!(g.caps.len(), 2);
+    }
+
+    #[test]
+    fn rights_enforced_on_lookup() {
+        let mut g = CapGroupBody::new("p");
+        let s = g.install(Capability { obj: obj(), rights: CapRights::READ });
+        assert!(g.lookup_with(s, CapRights::READ).is_ok());
+        assert_eq!(g.lookup_with(s, CapRights::WRITE), Err(KernelError::PermissionDenied));
+        assert_eq!(g.lookup_with(99, CapRights::READ), Err(KernelError::BadCapability));
+    }
+
+    #[test]
+    fn iter_skips_free_slots() {
+        let mut g = CapGroupBody::new("p");
+        let c = Capability { obj: obj(), rights: CapRights::READ };
+        let s0 = g.install(c);
+        g.install(c);
+        g.revoke(s0).unwrap();
+        let slots: Vec<_> = g.iter().map(|(i, _)| i).collect();
+        assert_eq!(slots, vec![1]);
+    }
+}

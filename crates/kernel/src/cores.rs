@@ -1,0 +1,514 @@
+//! Simulated CPU cores and the stop-the-world (IPI) controller.
+//!
+//! Figure 5 of the paper: "❶ A leader CPU core sends IPI requests to all
+//! other cores to force them into a quiescent state. ... ❸ In parallel to
+//! the leader core checkpointing the capability tree, other cores
+//! speculatively copy a certain set of page objects. ... ❺ The leader core
+//! sends IPI requests to other cores to inform them to resume execution."
+//!
+//! Cores here are OS worker threads running application program steps; the
+//! IPI is a flag checked at every kernel entry (step boundary), matching
+//! the paper's "interrupts are disabled in the kernel space, so the IPI
+//! will not interrupt a core modifying object state in the kernel" — cores
+//! quiesce only between steps, never mid-syscall. While parked, cores pull
+//! hybrid-copy work items (step ❸) before waiting for the resume signal.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::kernel::Kernel;
+use crate::object::ObjectBody;
+use crate::pmo::PageSlot;
+use crate::program::{Program, StepOutcome, UserCtx};
+use crate::thread::ThreadState;
+use crate::types::ObjId;
+
+/// A batch of hybrid-copy work executed by quiescent cores during the
+/// stop-the-world pause.
+pub struct HybridWork {
+    items: Vec<Arc<PageSlot>>,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    runner: Box<dyn Fn(&Arc<PageSlot>) + Send + Sync>,
+}
+
+impl std::fmt::Debug for HybridWork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HybridWork")
+            .field("items", &self.items.len())
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl HybridWork {
+    /// Creates a work batch over `items` processed by `runner`.
+    pub fn new(
+        items: Vec<Arc<PageSlot>>,
+        runner: impl Fn(&Arc<PageSlot>) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            items,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            runner: Box::new(runner),
+        })
+    }
+
+    /// Claims and processes items until the batch is exhausted.
+    pub fn run_available(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.items.len() {
+                return;
+            }
+            (self.runner)(&self.items[i]);
+            self.done.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Returns `true` once every item has been processed.
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire) == self.items.len()
+    }
+
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The stop-the-world controller: the simulated IPI fabric.
+#[derive(Debug, Default)]
+pub struct StwController {
+    pending: AtomicBool,
+    registered: AtomicUsize,
+    quiescent: AtomicUsize,
+    epoch: Mutex<u64>,
+    cv: Condvar,
+    work: Mutex<Option<Arc<HybridWork>>>,
+}
+
+impl StwController {
+    /// Creates a controller with no cores registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `n` additional cores (called by [`CoreSet::start`]).
+    pub fn add_cores(&self, n: usize) {
+        self.registered.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Unregisters `n` cores (called when a core set stops).
+    pub fn remove_cores(&self, n: usize) {
+        self.registered.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// Number of registered cores.
+    pub fn cores(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Returns `true` if a stop-the-world pause is requested or active.
+    #[inline]
+    pub fn pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Leader: requests quiescence and waits for all cores to park.
+    ///
+    /// `work` is the hybrid-copy batch the parked cores will execute
+    /// (Figure 5 step ❸). Returns the IPI round-trip time — the Figure 9a
+    /// "IPI" component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pause is already in progress.
+    pub fn stop_world(&self, work: Option<Arc<HybridWork>>, kernel: &Kernel) -> Duration {
+        assert!(!self.pending(), "nested stop_world");
+        *self.work.lock() = work;
+        let t0 = Instant::now();
+        self.pending.store(true, Ordering::SeqCst);
+        // Kick parked cores so they reach the gate promptly.
+        kernel.sched.wake_all();
+        let mut gate = self.epoch.lock();
+        while self.quiescent.load(Ordering::SeqCst) < self.registered.load(Ordering::SeqCst) {
+            kernel.sched.wake_all();
+            self.cv.wait_for(&mut gate, Duration::from_micros(100));
+        }
+        t0.elapsed()
+    }
+
+    /// Leader: joins the hybrid-copy batch and waits for it to drain.
+    ///
+    /// Must be called between [`stop_world`] and [`resume_world`]; the
+    /// leader contributes its own cycles once the tree copy is finished,
+    /// then blocks until in-flight items complete.
+    ///
+    /// [`stop_world`]: Self::stop_world
+    /// [`resume_world`]: Self::resume_world
+    pub fn finish_hybrid_work(&self) {
+        let work = self.work.lock().clone();
+        if let Some(w) = work {
+            w.run_available();
+            while !w.is_done() {
+                // Another core is finishing its last item; yield the CPU
+                // (essential on single-CPU hosts where spinning would
+                // starve that very core).
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Leader: releases all cores (Figure 5 step ❺).
+    pub fn resume_world(&self) {
+        let mut gate = self.epoch.lock();
+        *self.work.lock() = None;
+        self.pending.store(false, Ordering::SeqCst);
+        *gate += 1;
+        self.cv.notify_all();
+    }
+
+    /// Core: parks at the quiescence gate until resumed, contributing to
+    /// the hybrid-copy batch while parked.
+    pub fn participate(&self) {
+        let mut gate = self.epoch.lock();
+        let entry_epoch = *gate;
+        self.quiescent.fetch_add(1, Ordering::SeqCst);
+        self.cv.notify_all();
+        // Pull speculative-copy work (outside the gate lock).
+        drop(gate);
+        let work = self.work.lock().clone();
+        if let Some(w) = work {
+            w.run_available();
+        }
+        gate = self.epoch.lock();
+        while *gate == entry_epoch && self.pending() {
+            self.cv.wait_for(&mut gate, Duration::from_millis(1));
+        }
+        self.quiescent.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs up to `max_steps` program steps of thread `tid` on the calling
+/// core, honouring the stop-the-world flag at every step boundary.
+pub fn run_slice(kernel: &Kernel, tid: ObjId, max_steps: usize, stw: &StwController) {
+    let Ok(th) = kernel.object(tid) else { return };
+    // Enter "user space": mark on-CPU and copy the context out.
+    let (mut ctx, prog_name, cap_group, vmspace) = {
+        let mut body = th.body.write();
+        match &mut *body {
+            ObjectBody::Thread(t) => {
+                if t.state != ThreadState::Runnable {
+                    // Stale queue entry (e.g. woken then exited); skip.
+                    return;
+                }
+                t.on_cpu = true;
+                (t.ctx, t.program.clone(), t.cap_group, t.vmspace)
+            }
+            _ => return,
+        }
+    };
+    let program = kernel.programs.get(&prog_name);
+    let mut outcome = StepOutcome::Exited;
+    if let Some(program) = program {
+        outcome = StepOutcome::Yielded;
+        for _ in 0..max_steps {
+            if stw.pending() {
+                break;
+            }
+            let mut uc = UserCtx::new(kernel, tid, cap_group, vmspace, &mut ctx);
+            outcome = program.step(&mut uc);
+            if outcome != StepOutcome::Ready {
+                break;
+            }
+        }
+    }
+    // Leave "user space": write the context back and decide re-enqueue.
+    let re_enqueue = {
+        let mut body = th.body.write();
+        match &mut *body {
+            ObjectBody::Thread(t) => {
+                t.ctx = ctx;
+                t.on_cpu = false;
+                th.mark_dirty();
+                match outcome {
+                    StepOutcome::Exited => {
+                        t.state = ThreadState::Exited;
+                        false
+                    }
+                    // A wake may have raced with a Blocked outcome; the
+                    // state is authoritative.
+                    _ => t.state == ThreadState::Runnable,
+                }
+            }
+            _ => false,
+        }
+    };
+    if re_enqueue {
+        kernel.sched.enqueue(tid);
+    }
+}
+
+/// A program that yields forever (scheduler/test filler).
+#[derive(Debug)]
+pub struct IdleProgram;
+
+impl Program for IdleProgram {
+    fn step(&self, _ctx: &mut UserCtx<'_>) -> StepOutcome {
+        StepOutcome::Yielded
+    }
+}
+
+/// A set of running core worker threads.
+#[derive(Debug)]
+pub struct CoreSet {
+    handles: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    stw: Arc<StwController>,
+    n: usize,
+}
+
+impl CoreSet {
+    /// Spawns `n` cores executing the scheduler loop with `quantum` steps
+    /// per slice.
+    pub fn start(
+        kernel: Arc<Kernel>,
+        stw: Arc<StwController>,
+        n: usize,
+        quantum: usize,
+    ) -> CoreSet {
+        stw.add_cores(n);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handles = (0..n)
+            .map(|i| {
+                let kernel = Arc::clone(&kernel);
+                let stw = Arc::clone(&stw);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::Builder::new()
+                    .name(format!("core-{i}"))
+                    .spawn(move || core_loop(&kernel, &stw, &shutdown, quantum))
+                    .expect("spawn core thread")
+            })
+            .collect();
+        CoreSet { handles, shutdown, stw, n }
+    }
+
+    /// Number of cores in the set.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the set has no cores.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Stops all cores and waits for them to exit.
+    ///
+    /// Must not be called while a stop-the-world pause is in progress.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            h.thread().unpark();
+            h.join().expect("core thread panicked");
+        }
+        self.stw.remove_cores(self.n);
+        self.n = 0;
+    }
+}
+
+impl Drop for CoreSet {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+            self.stw.remove_cores(self.n);
+        }
+    }
+}
+
+fn core_loop(kernel: &Kernel, stw: &StwController, shutdown: &AtomicBool, quantum: usize) {
+    while !shutdown.load(Ordering::SeqCst) {
+        if stw.pending() {
+            stw.participate();
+            continue;
+        }
+        match kernel.sched.next() {
+            Some(tid) => run_slice(kernel, tid, quantum, stw),
+            None => kernel.sched.park(Duration::from_micros(200)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cap::CapRights;
+    use crate::kernel::KernelConfig;
+    use crate::pmo::PmoKind;
+    use crate::thread::ThreadContext;
+    use crate::types::{Vaddr, Vpn};
+
+    fn kernel() -> Arc<Kernel> {
+        Kernel::boot(KernelConfig { nvm_frames: 1024, dram_pages: 64, ..KernelConfig::default() })
+    }
+
+    /// A program that increments a memory counter `regs[1]` times, one per
+    /// step, then exits.
+    struct Counter;
+    impl Program for Counter {
+        fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+            let target = ctx.reg(1);
+            let done = ctx.reg(2);
+            if done >= target {
+                return StepOutcome::Exited;
+            }
+            let v = ctx.read_u64(0).unwrap();
+            ctx.write_u64(0, v + 1).unwrap();
+            ctx.set_reg(2, done + 1);
+            StepOutcome::Ready
+        }
+    }
+
+    fn spawn_counter(k: &Arc<Kernel>, count: u64) -> (ObjId, ObjId) {
+        k.programs.register("counter", Arc::new(Counter));
+        let g = k.create_cap_group("p").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 4, PmoKind::Data).unwrap();
+        k.map_region(vs, Vpn(0), 4, pmo, 0, CapRights::ALL).unwrap();
+        let mut ctx = ThreadContext::new();
+        ctx.regs[1] = count;
+        let tid = k.create_thread(g, vs, "counter", ctx).unwrap();
+        (tid, vs)
+    }
+
+    #[test]
+    fn cores_run_threads_to_completion() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let (tid, vs) = spawn_counter(&k, 100);
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 8);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let th = k.object(tid).unwrap();
+            let exited = matches!(
+                &*th.body.read(),
+                ObjectBody::Thread(t) if t.state == ThreadState::Exited
+            );
+            if exited {
+                break;
+            }
+            assert!(Instant::now() < deadline, "thread never finished");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cores.stop();
+        let mut buf = [0u8; 8];
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 100);
+    }
+
+    #[test]
+    fn stop_world_quiesces_and_resumes() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let (_tid, vs) = spawn_counter(&k, u64::MAX); // runs forever
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 4);
+
+        // Let it run a bit.
+        std::thread::sleep(Duration::from_millis(10));
+        let ipi = stw.stop_world(None, &k);
+        assert!(ipi < Duration::from_secs(1));
+        // World is stopped: the counter must not advance.
+        let mut buf = [0u8; 8];
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        let v1 = u64::from_le_bytes(buf);
+        std::thread::sleep(Duration::from_millis(20));
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        let v2 = u64::from_le_bytes(buf);
+        assert_eq!(v1, v2, "counter advanced during stop-the-world");
+        stw.finish_hybrid_work();
+        stw.resume_world();
+        // It advances again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+            if u64::from_le_bytes(buf) > v2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "counter never resumed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        cores.stop();
+    }
+
+    #[test]
+    fn hybrid_work_is_shared_between_cores_and_leader() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 3, 4);
+        let items: Vec<_> =
+            (0..64).map(|i| crate::pmo::PageSlot::new(i, treesls_nvm::FrameId(0))).collect();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let work = HybridWork::new(items, move |_slot| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        stw.stop_world(Some(Arc::clone(&work)), &k);
+        stw.finish_hybrid_work();
+        assert!(work.is_done());
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        stw.resume_world();
+        cores.stop();
+    }
+
+    #[test]
+    fn repeated_pauses_do_not_deadlock() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let (_tid, _vs) = spawn_counter(&k, u64::MAX);
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 4);
+        for _ in 0..50 {
+            stw.stop_world(None, &k);
+            stw.finish_hybrid_work();
+            stw.resume_world();
+        }
+        cores.stop();
+    }
+
+    #[test]
+    fn stop_world_with_no_cores_is_immediate() {
+        let k = kernel();
+        let stw = StwController::new();
+        let d = stw.stop_world(None, &k);
+        assert!(d < Duration::from_millis(100));
+        stw.finish_hybrid_work();
+        stw.resume_world();
+    }
+
+    #[test]
+    fn blocked_threads_leave_cores_idle_but_quiescable() {
+        let k = kernel();
+        k.programs.register("idle", Arc::new(IdleProgram));
+        let stw = Arc::new(StwController::new());
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 4);
+        // No runnable threads at all: STW still completes.
+        let d = stw.stop_world(None, &k);
+        assert!(d < Duration::from_secs(1));
+        stw.finish_hybrid_work();
+        stw.resume_world();
+        cores.stop();
+    }
+}

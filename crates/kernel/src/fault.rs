@@ -1,0 +1,504 @@
+//! The soft-MMU memory path: translation, minor faults, copy-on-write.
+//!
+//! Every application memory access goes through [`Kernel::vm_read`] /
+//! [`Kernel::vm_write`], which play the role of the hardware MMU plus the
+//! kernel's page-fault handler:
+//!
+//! * a **minor fault** materializes a page on first touch (allocating a
+//!   zeroed NVM frame) or re-establishes a translation after restore (the
+//!   paper's "page accesses from applications will trigger page faults and
+//!   the handler will ... find the physical page from the recovered VM
+//!   Space's ... PMO, and add the mapping to the page table");
+//! * a **write fault** on a read-only page runs the copy-on-write handler
+//!   of Figure 5 step ❻: duplicate the page into its backup slot tagged
+//!   with the current global version (§4.2 case ❶), make the runtime page
+//!   writable again, and bump the hotness counter that drives hybrid copy
+//!   (§4.3.2).
+//!
+//! The fault handler's time and the page-copy time are measured separately
+//! because Figure 10 of the paper breaks runtime overhead into exactly
+//! those two components.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use treesls_nvm::PAGE_SIZE;
+
+use crate::cap::CapRights;
+use crate::kernel::Kernel;
+use crate::object::{ObjType, ObjectBody};
+use crate::pmo::{PagePtr, PageSlot, PhysLoc};
+use crate::types::{KernelError, ObjId, Vaddr, Vpn};
+use crate::vm::PteCache;
+
+/// Fault-path counters (Figure 10 / Table 4 inputs).
+#[derive(Debug, Default)]
+pub struct KernelStats {
+    /// Copy-on-write (write-permission) faults.
+    pub write_faults: AtomicU64,
+    /// Translation misses (first touch or post-restore rebuild).
+    pub minor_faults: AtomicU64,
+    /// Pages actually copied by the CoW handler.
+    pub cow_copies: AtomicU64,
+    /// Nanoseconds spent inside fault handling (excluding the page copy).
+    pub fault_ns: AtomicU64,
+    /// Nanoseconds spent copying pages in the CoW handler.
+    pub memcpy_ns: AtomicU64,
+}
+
+impl KernelStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all counters as plain values.
+    pub fn snapshot(&self) -> KernelStatsSnapshot {
+        KernelStatsSnapshot {
+            write_faults: self.write_faults.load(Ordering::Relaxed),
+            minor_faults: self.minor_faults.load(Ordering::Relaxed),
+            cow_copies: self.cow_copies.load(Ordering::Relaxed),
+            fault_ns: self.fault_ns.load(Ordering::Relaxed),
+            memcpy_ns: self.memcpy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStatsSnapshot {
+    /// Copy-on-write faults.
+    pub write_faults: u64,
+    /// Translation misses.
+    pub minor_faults: u64,
+    /// CoW page copies.
+    pub cow_copies: u64,
+    /// Fault-handler time (ns).
+    pub fault_ns: u64,
+    /// CoW copy time (ns).
+    pub memcpy_ns: u64,
+}
+
+impl KernelStatsSnapshot {
+    /// Field-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &KernelStatsSnapshot) -> KernelStatsSnapshot {
+        KernelStatsSnapshot {
+            write_faults: self.write_faults - earlier.write_faults,
+            minor_faults: self.minor_faults - earlier.minor_faults,
+            cow_copies: self.cow_copies - earlier.cow_copies,
+            fault_ns: self.fault_ns - earlier.fault_ns,
+            memcpy_ns: self.memcpy_ns - earlier.memcpy_ns,
+        }
+    }
+}
+
+/// Fault-path bookkeeping consumed by the checkpoint manager.
+#[derive(Debug, Default)]
+pub struct PageTracker {
+    /// Pages that became writable since the last checkpoint and must be
+    /// re-marked read-only during the next stop-the-world pause (the "VM
+    /// Space" marking cost of Figure 9b).
+    pub dirty_list: Mutex<Vec<Arc<PageSlot>>>,
+    /// The dual-function active page list of §4.3.2: hot pages that are
+    /// (or are about to be) DRAM-cached and stop-and-copied by non-leader
+    /// cores during the pause.
+    pub active_list: Mutex<Vec<Arc<PageSlot>>>,
+}
+
+impl PageTracker {
+    /// Creates empty tracking lists.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the current dirty list, leaving it empty.
+    pub fn take_dirty(&self) -> Vec<Arc<PageSlot>> {
+        std::mem::take(&mut *self.dirty_list.lock())
+    }
+
+    /// Current length of the active list.
+    pub fn active_len(&self) -> usize {
+        self.active_list.lock().len()
+    }
+}
+
+impl Kernel {
+    /// Translates `vpn` in `vmspace`, handling minor faults.
+    ///
+    /// Returns the cached translation entry (shared page slot + region
+    /// permissions).
+    pub fn translate(&self, vmspace: ObjId, vpn: Vpn) -> Result<PteCache, KernelError> {
+        let vs = self.typed_object(vmspace, ObjType::VmSpace)?;
+        let pt = {
+            let body = vs.body.read();
+            match &*body {
+                ObjectBody::VmSpace(v) => Arc::clone(&v.page_table),
+                _ => unreachable!("typed_object checked VmSpace"),
+            }
+        };
+        if let Some(pte) = pt.get(vpn) {
+            return Ok(pte);
+        }
+        // Minor fault.
+        let t0 = Instant::now();
+        self.stats.minor_faults.fetch_add(1, Ordering::Relaxed);
+        let (pmo_id, pidx, perm) = {
+            let body = vs.body.read();
+            match &*body {
+                ObjectBody::VmSpace(v) => {
+                    let r = v.region_for(vpn).ok_or(KernelError::UnmappedAddress(vpn.base().0))?;
+                    (r.pmo, r.pmo_index(vpn).expect("region_for covers vpn"), r.perm)
+                }
+                _ => unreachable!(),
+            }
+        };
+        let pmo_obj = self.typed_object(pmo_id, ObjType::Pmo)?;
+        let slot = {
+            let mut body = pmo_obj.body.write();
+            match &mut *body {
+                ObjectBody::Pmo(p) => {
+                    if let Some(s) = p.get(pidx) {
+                        Arc::clone(s)
+                    } else {
+                        // First touch: materialize a zeroed NVM page.
+                        let eternal = p.kind == crate::pmo::PmoKind::Eternal;
+                        let frame = self.pers.alloc.alloc_page()?;
+                        self.pers.dev.zero_page(frame);
+                        let s = PageSlot::new(pidx, frame);
+                        s.meta.lock().eternal = eternal;
+                        p.insert(pidx, Arc::clone(&s));
+                        pmo_obj.mark_dirty();
+                        // The new page is writable; the next checkpoint
+                        // must mark it read-only. Eternal pages are never
+                        // marked read-only (§5: not rolled back).
+                        if !eternal {
+                            self.tracker.dirty_list.lock().push(Arc::clone(&s));
+                        }
+                        s
+                    }
+                }
+                _ => unreachable!(),
+            }
+        };
+        let pte = PteCache { slot, perm, pmo: pmo_id };
+        pt.insert(vpn, pte.clone());
+        self.stats.fault_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(pte)
+    }
+
+    /// Reads process memory, spanning pages as needed.
+    pub fn vm_read(&self, vmspace: ObjId, addr: Vaddr, buf: &mut [u8]) -> Result<(), KernelError> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.add(done as u64);
+            let off = a.page_off();
+            let n = (PAGE_SIZE - off).min(buf.len() - done);
+            let pte = self.translate(vmspace, a.vpn())?;
+            if !pte.perm.allows(CapRights::READ) {
+                return Err(KernelError::PermissionDenied);
+            }
+            let meta = pte.slot.meta.lock();
+            match meta.runtime_loc() {
+                PhysLoc::Nvm(f) => self.pers.dev.read(f, off, &mut buf[done..done + n]),
+                PhysLoc::Dram(d) => self.dram.read(d, off, &mut buf[done..done + n]),
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes process memory, running the CoW fault handler as needed.
+    pub fn vm_write(&self, vmspace: ObjId, addr: Vaddr, data: &[u8]) -> Result<(), KernelError> {
+        let mut done = 0usize;
+        while done < data.len() {
+            let a = addr.add(done as u64);
+            let off = a.page_off();
+            let n = (PAGE_SIZE - off).min(data.len() - done);
+            let pte = self.translate(vmspace, a.vpn())?;
+            if !pte.perm.allows(CapRights::WRITE) {
+                return Err(KernelError::PermissionDenied);
+            }
+            self.write_page_slot(&pte.slot, off, &data[done..done + n])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes a span within one page slot, faulting if read-only.
+    pub fn write_page_slot(
+        &self,
+        slot: &Arc<PageSlot>,
+        off: usize,
+        data: &[u8],
+    ) -> Result<(), KernelError> {
+        let mut meta = slot.meta.lock();
+        if !meta.writable {
+            self.cow_fault_locked(slot, &mut meta)?;
+        }
+        match meta.runtime_loc() {
+            PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
+            PhysLoc::Dram(d) => {
+                self.dram.write(d, off, data);
+                meta.dirty = true;
+            }
+        }
+        meta.idle_rounds = 0;
+        Ok(())
+    }
+
+    /// The copy-on-write fault handler (called with the slot lock held).
+    ///
+    /// Figure 5 step ❻: "the memory page will be duplicated to the backup
+    /// capability tree, finishing the copy-on-write procedure".
+    fn cow_fault_locked(
+        &self,
+        slot: &Arc<PageSlot>,
+        meta: &mut crate::pmo::PageMeta,
+    ) -> Result<(), KernelError> {
+        let t0 = Instant::now();
+        debug_assert!(!meta.eternal, "eternal pages are never marked read-only");
+        self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+        let global = self.pers.global_version();
+        if meta.runtime_dram.is_none() && self.config.do_copy {
+            let runtime =
+                meta.pairs[1].expect("non-migrated page has a runtime NVM frame").frame;
+            let dst = match meta.pairs[0] {
+                Some(p) => p.frame,
+                None => self.pers.alloc.alloc_page()?,
+            };
+            let tc = Instant::now();
+            self.pers.dev.copy_frame(runtime, dst);
+            self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
+            meta.pairs[0] = Some(PagePtr { frame: dst, version: global });
+        }
+        meta.writable = true;
+        meta.hotness = meta.hotness.saturating_add(1);
+        meta.idle_rounds = 0;
+        if self.config.hybrid_copy
+            && meta.hotness >= self.config.hot_threshold
+            && !meta.on_active_list
+        {
+            meta.on_active_list = true;
+            self.tracker.active_list.lock().push(Arc::clone(slot));
+        }
+        // Re-mark read-only at the next checkpoint.
+        self.tracker.dirty_list.lock().push(Arc::clone(slot));
+        self.stats
+            .fault_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelConfig;
+    use crate::pmo::PmoKind;
+
+    fn setup() -> (Arc<Kernel>, ObjId, ObjId) {
+        let k = Kernel::boot(KernelConfig {
+            nvm_frames: 1024,
+            dram_pages: 64,
+            ..KernelConfig::default()
+        });
+        let g = k.create_cap_group("p").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 64, PmoKind::Data).unwrap();
+        k.map_region(vs, Vpn(0), 64, pmo, 0, CapRights::ALL).unwrap();
+        (k, vs, pmo)
+    }
+
+    #[test]
+    fn read_of_untouched_page_is_zero() {
+        let (k, vs, _) = setup();
+        let mut buf = [0xFFu8; 64];
+        k.vm_read(vs, Vaddr(100), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        assert_eq!(k.stats.snapshot().minor_faults, 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip_cross_page() {
+        let (k, vs, _) = setup();
+        let data: Vec<u8> = (0..=255).collect();
+        // Spans the page-0/page-1 boundary.
+        k.vm_write(vs, Vaddr(4000), &data).unwrap();
+        let mut buf = vec![0u8; 256];
+        k.vm_read(vs, Vaddr(4000), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Two pages materialized.
+        assert_eq!(k.stats.snapshot().minor_faults, 2);
+    }
+
+    #[test]
+    fn unmapped_access_fails() {
+        let (k, vs, _) = setup();
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            k.vm_read(vs, Vaddr(64 * 4096), &mut buf),
+            Err(KernelError::UnmappedAddress(_))
+        ));
+        assert!(matches!(
+            k.vm_write(vs, Vaddr(1 << 40), &buf),
+            Err(KernelError::UnmappedAddress(_))
+        ));
+    }
+
+    #[test]
+    fn new_pages_do_not_cow_fault() {
+        let (k, vs, _) = setup();
+        k.vm_write(vs, Vaddr(0), b"x").unwrap();
+        // Fresh page is writable: no write fault, no copy.
+        let s = k.stats.snapshot();
+        assert_eq!(s.write_faults, 0);
+        assert_eq!(s.cow_copies, 0);
+    }
+
+    #[test]
+    fn read_only_page_faults_and_copies_on_write() {
+        let (k, vs, pmo) = setup();
+        k.vm_write(vs, Vaddr(0), b"before").unwrap();
+        // Simulate the checkpoint marking pages read-only.
+        let pmo_obj = k.object(pmo).unwrap();
+        let slot = {
+            let b = pmo_obj.body.read();
+            match &*b {
+                ObjectBody::Pmo(p) => Arc::clone(p.get(0).unwrap()),
+                _ => unreachable!(),
+            }
+        };
+        slot.meta.lock().writable = false;
+        k.pers.commit_version(1);
+
+        k.vm_write(vs, Vaddr(0), b"after!").unwrap();
+        let s = k.stats.snapshot();
+        assert_eq!(s.write_faults, 1);
+        assert_eq!(s.cow_copies, 1);
+        // The backup holds the pre-write image tagged with version 1.
+        let m = slot.meta.lock();
+        let backup = m.pairs[0].expect("backup created");
+        assert_eq!(backup.version, 1);
+        let mut page = [0u8; 6];
+        k.pers.dev.read(backup.frame, 0, &mut page);
+        assert_eq!(&page, b"before");
+        // Runtime page holds the new data.
+        let PhysLoc::Nvm(rt) = m.runtime_loc() else { panic!("not migrated") };
+        let mut page = [0u8; 6];
+        k.pers.dev.read(rt, 0, &mut page);
+        assert_eq!(&page, b"after!");
+    }
+
+    #[test]
+    fn second_fault_reuses_backup_frame() {
+        let (k, vs, pmo) = setup();
+        k.vm_write(vs, Vaddr(0), b"v0").unwrap();
+        let pmo_obj = k.object(pmo).unwrap();
+        let slot = {
+            let b = pmo_obj.body.read();
+            match &*b {
+                ObjectBody::Pmo(p) => Arc::clone(p.get(0).unwrap()),
+                _ => unreachable!(),
+            }
+        };
+        slot.meta.lock().writable = false;
+        k.pers.commit_version(1);
+        k.vm_write(vs, Vaddr(0), b"v1").unwrap();
+        let f1 = slot.meta.lock().pairs[0].unwrap().frame;
+        slot.meta.lock().writable = false;
+        k.pers.commit_version(2);
+        k.vm_write(vs, Vaddr(0), b"v2").unwrap();
+        let p0 = slot.meta.lock().pairs[0].unwrap();
+        assert_eq!(p0.frame, f1, "backup frame is reused");
+        assert_eq!(p0.version, 2);
+        let mut b = [0u8; 2];
+        k.pers.dev.read(p0.frame, 0, &mut b);
+        assert_eq!(&b, b"v1");
+    }
+
+    #[test]
+    fn hotness_crosses_threshold_onto_active_list() {
+        let (k, vs, pmo) = setup();
+        k.vm_write(vs, Vaddr(0), b"x").unwrap();
+        let pmo_obj = k.object(pmo).unwrap();
+        let slot = {
+            let b = pmo_obj.body.read();
+            match &*b {
+                ObjectBody::Pmo(p) => Arc::clone(p.get(0).unwrap()),
+                _ => unreachable!(),
+            }
+        };
+        for v in 1..=k.config.hot_threshold as u64 {
+            slot.meta.lock().writable = false;
+            k.pers.commit_version(v);
+            k.vm_write(vs, Vaddr(0), b"y").unwrap();
+        }
+        assert_eq!(k.tracker.active_len(), 1);
+        assert!(slot.meta.lock().on_active_list);
+        // Further faults do not duplicate the entry.
+        slot.meta.lock().writable = false;
+        k.vm_write(vs, Vaddr(0), b"z").unwrap();
+        assert_eq!(k.tracker.active_len(), 1);
+    }
+
+    #[test]
+    fn dirty_list_collects_writable_pages() {
+        let (k, vs, _) = setup();
+        k.vm_write(vs, Vaddr(0), b"a").unwrap();
+        k.vm_write(vs, Vaddr(4096), b"b").unwrap();
+        let dirty = k.tracker.take_dirty();
+        assert_eq!(dirty.len(), 2);
+        assert!(k.tracker.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn permission_bits_enforced() {
+        let k = Kernel::boot(KernelConfig {
+            nvm_frames: 256,
+            dram_pages: 16,
+            ..KernelConfig::default()
+        });
+        let g = k.create_cap_group("p").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 4, PmoKind::Data).unwrap();
+        k.map_region(vs, Vpn(0), 4, pmo, 0, CapRights::READ).unwrap();
+        let mut buf = [0u8; 4];
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        assert_eq!(
+            k.vm_write(vs, Vaddr(0), &buf),
+            Err(KernelError::PermissionDenied)
+        );
+    }
+
+    #[test]
+    fn do_copy_false_skips_memcpy_but_counts_fault() {
+        let k = Kernel::boot(KernelConfig {
+            nvm_frames: 256,
+            dram_pages: 16,
+            do_copy: false,
+            ..KernelConfig::default()
+        });
+        let g = k.create_cap_group("p").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 4, PmoKind::Data).unwrap();
+        k.map_region(vs, Vpn(0), 4, pmo, 0, CapRights::ALL).unwrap();
+        k.vm_write(vs, Vaddr(0), b"x").unwrap();
+        let pmo_obj = k.object(pmo).unwrap();
+        let slot = {
+            let b = pmo_obj.body.read();
+            match &*b {
+                ObjectBody::Pmo(p) => Arc::clone(p.get(0).unwrap()),
+                _ => unreachable!(),
+            }
+        };
+        slot.meta.lock().writable = false;
+        k.vm_write(vs, Vaddr(0), b"y").unwrap();
+        let s = k.stats.snapshot();
+        assert_eq!(s.write_faults, 1);
+        assert_eq!(s.cow_copies, 0);
+    }
+}

@@ -1,0 +1,881 @@
+//! The kernel: persistent/volatile split, object lifecycle, syscalls.
+//!
+//! ## Crash semantics
+//!
+//! The machine is split exactly along the paper's persistence boundary:
+//!
+//! * [`Persistent`] — survives power failure: the NVM device (page frames +
+//!   metadata arena with allocator state, journal and the global checkpoint
+//!   record), the backup object store and the ORoot table (conceptually
+//!   slab space on NVM).
+//! * [`Kernel`] — volatile: the runtime object store (the runtime
+//!   capability tree), soft page tables, the scheduler queue, DRAM pool,
+//!   hotness/dirty tracking. All of it is dropped by a crash and rebuilt
+//!   by the restore path from the backup tree.
+//!
+//! ## Lock ordering
+//!
+//! To stay deadlock-free the kernel acquires locks in this order:
+//! object-store read lock (released before body locks) → cap-group body →
+//! IPC/notification body → thread body; and for memory: VM space body →
+//! PMO body → page-slot meta. Thread bodies are never nested inside one
+//! another.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use treesls_nvm::{DramPool, LatencyModel, NvmDevice, ObjectStore};
+use treesls_pmem_alloc::{AllocLayout, PmemAllocator};
+
+use crate::cap::{CapGroupBody, CapRights, Capability};
+use crate::fault::{KernelStats, PageTracker};
+use crate::ipc::IpcConnBody;
+use crate::notif::{IrqNotifBody, NotifBody};
+use crate::object::{KObject, ObjType, ObjectBody};
+use crate::oroot::ORoot;
+use crate::oroot::BackupObject;
+use crate::pmo::{Pmo, PmoKind};
+use crate::program::ProgramRegistry;
+use crate::sched::Scheduler;
+use crate::thread::{BlockedOn, ThreadBody, ThreadContext, ThreadState};
+use crate::types::{CapSlot, KernelError, ObjId, Vpn};
+use crate::vm::{VmRegion, VmSpaceBody};
+
+/// Offsets of the global checkpoint metadata within the NVM metadata arena
+/// (the first [`AllocLayout::GLOBAL_META_RESERVED`] bytes).
+pub mod global_meta {
+    /// Magic number identifying a formatted TreeSLS device.
+    pub const MAGIC_OFF: usize = 0;
+    /// The committed global checkpoint version (the commit point, §4.2).
+    pub const VERSION_OFF: usize = 8;
+    /// Raw `SlotId` of the root cap group's ORoot.
+    pub const ROOT_OROOT_OFF: usize = 16;
+    /// Number of checkpoints ever taken (diagnostics).
+    pub const CKPT_COUNT_OFF: usize = 24;
+    /// Expected magic value.
+    pub const MAGIC: u64 = 0x7EE5_1501_7EE5_1501;
+}
+
+/// Configuration of a freshly booted machine.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// NVM capacity in 4 KiB frames.
+    pub nvm_frames: u32,
+    /// DRAM pool capacity in pages (hot-page cache).
+    pub dram_pages: usize,
+    /// Write-fault count at which a page is considered hot (§4.3.2).
+    pub hot_threshold: u32,
+    /// Checkpoints without modification before a DRAM page is evicted.
+    pub idle_evict_rounds: u32,
+    /// Mark pages read-only at checkpoints (enables CoW tracking).
+    /// Disabled only by the Figure-10 "+checkpoint" measurement mode.
+    pub mark_ro: bool,
+    /// Perform the actual page copy in the CoW handler. Disabled only by
+    /// the Figure-10 "+page fault" measurement mode.
+    pub do_copy: bool,
+    /// Enable hybrid copy (hot-page DRAM migration + speculative
+    /// stop-and-copy, §4.3).
+    pub hybrid_copy: bool,
+    /// Latency model for the emulated NVM.
+    pub latency: LatencyProfile,
+}
+
+/// Which latency model to install on the emulated NVM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyProfile {
+    /// No injected latency (functional tests).
+    Uniform,
+    /// Calibrated Optane-like asymmetry (benchmarks).
+    Optane,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            nvm_frames: 16384, // 64 MiB
+            dram_pages: 2048,  // 8 MiB hot cache
+            hot_threshold: 3,
+            idle_evict_rounds: 8,
+            mark_ro: true,
+            do_copy: true,
+            hybrid_copy: true,
+            latency: LatencyProfile::Uniform,
+        }
+    }
+}
+
+/// The state that survives a power failure.
+#[derive(Debug)]
+pub struct Persistent {
+    /// The emulated NVM device.
+    pub dev: Arc<NvmDevice>,
+    /// The failure-resilient checkpoint-manager allocator.
+    pub alloc: Arc<PmemAllocator>,
+    /// Backup object records (the backup capability tree's nodes).
+    pub backups: Mutex<ObjectStore<BackupObject>>,
+    /// The ORoot table (§4.1).
+    pub oroots: Mutex<ObjectStore<ORoot>>,
+    /// Volatile mirror of the committed global version for fast reads on
+    /// the fault path; rebuilt from NVM at recovery.
+    cached_version: AtomicU64,
+}
+
+impl Persistent {
+    /// Formats a fresh persistent state on a new device.
+    pub fn format(config: &KernelConfig) -> Arc<Self> {
+        let latency = Arc::new(match config.latency {
+            LatencyProfile::Uniform => LatencyModel::disabled(),
+            LatencyProfile::Optane => LatencyModel::optane(),
+        });
+        let layout = AllocLayout::for_device(0, config.nvm_frames);
+        let dev = Arc::new(NvmDevice::new(config.nvm_frames as usize, layout.end_off, latency));
+        let alloc = Arc::new(PmemAllocator::format(Arc::clone(&dev), layout));
+        let meta = dev.meta();
+        meta.write_u64(global_meta::MAGIC_OFF, global_meta::MAGIC);
+        meta.write_u64(global_meta::VERSION_OFF, 0);
+        meta.write_u64(global_meta::ROOT_OROOT_OFF, u64::MAX);
+        meta.write_u64(global_meta::CKPT_COUNT_OFF, 0);
+        Arc::new(Self {
+            dev,
+            alloc,
+            backups: Mutex::new(ObjectStore::new()),
+            oroots: Mutex::new(ObjectStore::new()),
+            cached_version: AtomicU64::new(0),
+        })
+    }
+
+    /// Reattaches after a power failure: replays the allocator journal and
+    /// reloads the version mirror. The caller (restore path) then rebuilds
+    /// the runtime tree.
+    pub fn recover(
+        dev: Arc<NvmDevice>,
+        nvm_frames: u32,
+        backups: ObjectStore<BackupObject>,
+        oroots: ObjectStore<ORoot>,
+    ) -> Arc<Self> {
+        assert_eq!(
+            dev.meta().read_u64(global_meta::MAGIC_OFF),
+            global_meta::MAGIC,
+            "device was never formatted as TreeSLS NVM"
+        );
+        let layout = AllocLayout::for_device(0, nvm_frames);
+        let alloc = Arc::new(PmemAllocator::recover(Arc::clone(&dev), layout));
+        let version = dev.meta().read_u64(global_meta::VERSION_OFF);
+        Arc::new(Self {
+            dev,
+            alloc,
+            backups: Mutex::new(backups),
+            oroots: Mutex::new(oroots),
+            cached_version: AtomicU64::new(version),
+        })
+    }
+
+    /// The committed global checkpoint version.
+    #[inline]
+    pub fn global_version(&self) -> u64 {
+        self.cached_version.load(Ordering::Acquire)
+    }
+
+    /// Commits checkpoint `version`: the single `u64` store that is the
+    /// atomic commit point of the whole checkpoint (step ❹ of Figure 5).
+    pub fn commit_version(&self, version: u64) {
+        self.dev.meta().write_u64(global_meta::VERSION_OFF, version);
+        self.cached_version.store(version, Ordering::Release);
+        let n = self.dev.meta().read_u64(global_meta::CKPT_COUNT_OFF);
+        self.dev.meta().write_u64(global_meta::CKPT_COUNT_OFF, n + 1);
+    }
+
+    /// Records the root cap group's ORoot (once, at the first checkpoint).
+    pub fn set_root_oroot(&self, id: crate::types::OrootId) {
+        self.dev.meta().write_u64(global_meta::ROOT_OROOT_OFF, id.to_raw());
+    }
+
+    /// Reads the root cap group's ORoot, if a checkpoint ever committed.
+    pub fn root_oroot(&self) -> Option<crate::types::OrootId> {
+        let raw = self.dev.meta().read_u64(global_meta::ROOT_OROOT_OFF);
+        if raw == u64::MAX {
+            None
+        } else {
+            Some(crate::types::OrootId::from_raw(raw))
+        }
+    }
+}
+
+/// The volatile kernel: runtime capability tree plus derived state.
+#[derive(Debug)]
+pub struct Kernel {
+    /// Persistent state (shared with the checkpoint manager).
+    pub pers: Arc<Persistent>,
+    /// The volatile DRAM pool (hot-page cache).
+    pub dram: Arc<DramPool>,
+    /// Runtime object store: the nodes of the runtime capability tree.
+    pub objects: RwLock<ObjectStore<Arc<KObject>>>,
+    /// The root cap group, from which every object is reachable.
+    pub root_cap_group: Mutex<Option<ObjId>>,
+    /// The run queue.
+    pub sched: Scheduler,
+    /// Registered programs (the "executables on disk").
+    pub programs: ProgramRegistry,
+    /// Page-fault bookkeeping shared with the checkpoint manager.
+    pub tracker: PageTracker,
+    /// Fault/copy counters and timers (Figure 10 / Table 4).
+    pub stats: KernelStats,
+    /// IRQ line → IrqNotification object (volatile; rebuilt on restore).
+    pub irq_lines: Mutex<HashMap<u32, ObjId>>,
+    /// Boot configuration.
+    pub config: KernelConfig,
+}
+
+impl Kernel {
+    /// Boots a fresh machine: formats NVM and creates the root cap group.
+    pub fn boot(config: KernelConfig) -> Arc<Kernel> {
+        let pers = Persistent::format(&config);
+        let kernel = Self::from_parts(pers, config);
+        let root = kernel.insert_object(ObjectBody::CapGroup(CapGroupBody::new("root")));
+        *kernel.root_cap_group.lock() = Some(root.id());
+        kernel
+    }
+
+    /// Assembles a kernel around existing persistent state (boot and
+    /// restore paths). The runtime tree starts empty; the restore path
+    /// fills it.
+    pub fn from_parts(pers: Arc<Persistent>, config: KernelConfig) -> Arc<Kernel> {
+        Arc::new(Kernel {
+            pers,
+            dram: Arc::new(DramPool::new(config.dram_pages)),
+            objects: RwLock::new(ObjectStore::new()),
+            root_cap_group: Mutex::new(None),
+            sched: Scheduler::new(),
+            programs: ProgramRegistry::new(),
+            tracker: PageTracker::new(),
+            stats: KernelStats::new(),
+            irq_lines: Mutex::new(HashMap::new()),
+            config,
+        })
+    }
+
+    /// The root cap group id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has not finished boot/restore.
+    pub fn root(&self) -> ObjId {
+        self.root_cap_group.lock().expect("kernel not fully booted")
+    }
+
+    /// Inserts a new object into the runtime store.
+    pub fn insert_object(&self, body: ObjectBody) -> Arc<KObject> {
+        let obj = KObject::new(body);
+        let id = self.objects.write().insert(Arc::clone(&obj));
+        obj.set_id(id);
+        obj
+    }
+
+    /// Looks up a runtime object.
+    pub fn object(&self, id: ObjId) -> Result<Arc<KObject>, KernelError> {
+        self.objects.read().get(id).cloned().ok_or(KernelError::DeadObject)
+    }
+
+    /// Looks up an object expecting a specific type.
+    pub fn typed_object(&self, id: ObjId, otype: ObjType) -> Result<Arc<KObject>, KernelError> {
+        let o = self.object(id)?;
+        if o.otype != otype {
+            return Err(KernelError::BadCapability);
+        }
+        Ok(o)
+    }
+
+    /// Resolves capability `slot` of `cap_group` requiring `needed` rights.
+    pub fn lookup_cap(
+        &self,
+        cap_group: ObjId,
+        slot: CapSlot,
+        needed: CapRights,
+    ) -> Result<Capability, KernelError> {
+        let group = self.typed_object(cap_group, ObjType::CapGroup)?;
+        let body = group.body.read();
+        match &*body {
+            ObjectBody::CapGroup(g) => g.lookup_with(slot, needed),
+            _ => unreachable!("typed_object checked CapGroup"),
+        }
+    }
+
+    /// Installs a capability for `obj` into `cap_group`.
+    pub fn install_cap(
+        &self,
+        cap_group: ObjId,
+        obj: ObjId,
+        rights: CapRights,
+    ) -> Result<CapSlot, KernelError> {
+        let group = self.typed_object(cap_group, ObjType::CapGroup)?;
+        let mut body = group.body.write();
+        let slot = match &mut *body {
+            ObjectBody::CapGroup(g) => g.install(Capability { obj, rights }),
+            _ => unreachable!(),
+        };
+        group.mark_dirty();
+        Ok(slot)
+    }
+
+    // ---- object creation -------------------------------------------------
+
+    /// Creates a process cap group and installs it in the root cap group.
+    pub fn create_cap_group(&self, name: &str) -> Result<ObjId, KernelError> {
+        let obj = self.insert_object(ObjectBody::CapGroup(CapGroupBody::new(name)));
+        self.install_cap(self.root(), obj.id(), CapRights::ALL)?;
+        Ok(obj.id())
+    }
+
+    /// Creates a VM space owned by `cap_group`.
+    pub fn create_vmspace(&self, cap_group: ObjId) -> Result<ObjId, KernelError> {
+        let obj = self.insert_object(ObjectBody::VmSpace(VmSpaceBody::new()));
+        self.install_cap(cap_group, obj.id(), CapRights::ALL)?;
+        Ok(obj.id())
+    }
+
+    /// Creates a PMO of `npages` pages owned by `cap_group`.
+    ///
+    /// Eternal PMOs (§5 of the paper) are fully materialized at creation:
+    /// their pages must exist before the first checkpoint so that a restore
+    /// can hand them back *unmodified* — ring buffers and driver state are
+    /// fixed-size structures, so eager allocation is the natural shape.
+    pub fn create_pmo(
+        &self,
+        cap_group: ObjId,
+        npages: u64,
+        kind: PmoKind,
+    ) -> Result<ObjId, KernelError> {
+        let mut pmo = Pmo::new(npages, kind);
+        if kind == PmoKind::Eternal {
+            for idx in 0..npages {
+                let frame = self.pers.alloc.alloc_page()?;
+                self.pers.dev.zero_page(frame);
+                let slot = crate::pmo::PageSlot::new(idx, frame);
+                slot.meta.lock().eternal = true;
+                pmo.insert(idx, slot);
+            }
+        }
+        let obj = self.insert_object(ObjectBody::Pmo(pmo));
+        self.install_cap(cap_group, obj.id(), CapRights::ALL)?;
+        Ok(obj.id())
+    }
+
+    /// Creates a notification owned by `cap_group`.
+    pub fn create_notification(&self, cap_group: ObjId) -> Result<ObjId, KernelError> {
+        let obj = self.insert_object(ObjectBody::Notification(NotifBody::new()));
+        self.install_cap(cap_group, obj.id(), CapRights::ALL)?;
+        Ok(obj.id())
+    }
+
+    /// Creates an IRQ notification bound to `line`, owned by `cap_group`.
+    pub fn create_irq_notification(
+        &self,
+        cap_group: ObjId,
+        line: u32,
+    ) -> Result<ObjId, KernelError> {
+        let obj = self.insert_object(ObjectBody::IrqNotification(IrqNotifBody::new(line)));
+        self.install_cap(cap_group, obj.id(), CapRights::ALL)?;
+        self.irq_lines.lock().insert(line, obj.id());
+        Ok(obj.id())
+    }
+
+    /// Creates an IPC connection, installing capabilities in both the
+    /// server and client cap groups. Returns the object id; each side
+    /// receives its own slot.
+    pub fn create_ipc_conn(
+        &self,
+        server_group: ObjId,
+        client_group: ObjId,
+    ) -> Result<(ObjId, CapSlot, CapSlot), KernelError> {
+        let obj = self.insert_object(ObjectBody::IpcConnection(IpcConnBody::new()));
+        let server_slot = self.install_cap(server_group, obj.id(), CapRights::ALL)?;
+        let client_slot = if client_group == server_group {
+            server_slot
+        } else {
+            self.install_cap(client_group, obj.id(), CapRights::READ.union(CapRights::WRITE))?
+        };
+        Ok((obj.id(), server_slot, client_slot))
+    }
+
+    /// Creates a thread and enqueues it.
+    pub fn create_thread(
+        &self,
+        cap_group: ObjId,
+        vmspace: ObjId,
+        program: &str,
+        ctx: ThreadContext,
+    ) -> Result<ObjId, KernelError> {
+        if self.programs.get(program).is_none() {
+            return Err(KernelError::InvalidState("program not registered"));
+        }
+        let obj = self.insert_object(ObjectBody::Thread(ThreadBody {
+            ctx,
+            state: ThreadState::Runnable,
+            program: program.to_string(),
+            cap_group,
+            vmspace,
+            on_cpu: false,
+        }));
+        self.install_cap(cap_group, obj.id(), CapRights::ALL)?;
+        self.sched.enqueue(obj.id());
+        Ok(obj.id())
+    }
+
+    /// Maps `npages` of `pmo` (starting at page `pmo_off`) at virtual page
+    /// `base` in `vmspace`.
+    pub fn map_region(
+        &self,
+        vmspace: ObjId,
+        base: Vpn,
+        npages: u64,
+        pmo: ObjId,
+        pmo_off: u64,
+        perm: CapRights,
+    ) -> Result<(), KernelError> {
+        let vs = self.typed_object(vmspace, ObjType::VmSpace)?;
+        // Validate the PMO exists and the range fits.
+        let p = self.typed_object(pmo, ObjType::Pmo)?;
+        {
+            let pb = p.body.read();
+            if let ObjectBody::Pmo(pmo_body) = &*pb {
+                if pmo_off + npages > pmo_body.npages {
+                    return Err(KernelError::InvalidState("region exceeds PMO capacity"));
+                }
+            }
+        }
+        let mut body = vs.body.write();
+        let ok = match &mut *body {
+            ObjectBody::VmSpace(v) => {
+                v.map_region(VmRegion { base, npages, pmo, pmo_off, perm })
+            }
+            _ => unreachable!(),
+        };
+        if !ok {
+            return Err(KernelError::InvalidState("region overlaps existing mapping"));
+        }
+        vs.mark_dirty();
+        Ok(())
+    }
+
+    /// Unmaps the region starting at `base` from `vmspace`, dropping its
+    /// page-table entries.
+    ///
+    /// The backing PMO and its pages are untouched (a PMO may be mapped in
+    /// several spaces); drop the PMO's capability to delete the object.
+    pub fn unmap_region(&self, vmspace: ObjId, base: Vpn) -> Result<(), KernelError> {
+        let vs = self.typed_object(vmspace, ObjType::VmSpace)?;
+        let mut body = vs.body.write();
+        let ObjectBody::VmSpace(v) = &mut *body else { unreachable!() };
+        let region = v
+            .unmap_region(base)
+            .ok_or(KernelError::InvalidState("no region at that base"))?;
+        for vpn in region.base.0..region.base.0 + region.npages {
+            v.page_table.remove(Vpn(vpn));
+        }
+        vs.mark_dirty();
+        Ok(())
+    }
+
+    /// Removes one materialized page from a PMO.
+    ///
+    /// The NVM frames are *not* freed here: the backup capability tree may
+    /// still need them to restore the last committed checkpoint. The next
+    /// checkpoint tombstones the page in the backup radix tree and a later
+    /// one reclaims the frames — the deferred reclamation of §4.1's
+    /// "reuse the radix tree in subsequent checkpoints" bookkeeping.
+    pub fn pmo_remove_page(&self, pmo: ObjId, index: u64) -> Result<bool, KernelError> {
+        let p = self.typed_object(pmo, ObjType::Pmo)?;
+        let mut body = p.body.write();
+        let ObjectBody::Pmo(pb) = &mut *body else { unreachable!() };
+        if pb.kind == crate::pmo::PmoKind::Eternal {
+            return Err(KernelError::InvalidState("eternal PMOs never shrink"));
+        }
+        let removed = pb.remove(index).is_some();
+        if removed {
+            p.mark_dirty();
+        }
+        Ok(removed)
+    }
+
+    /// Revokes capability `slot` from `cap_group`.
+    ///
+    /// If this was the last reference, the object becomes unreachable and
+    /// the next checkpoint marks it deleted; the sweep after the following
+    /// commit reclaims its backups (§4.1 deletion handling).
+    pub fn revoke_cap(&self, cap_group: ObjId, slot: CapSlot) -> Result<(), KernelError> {
+        let group = self.typed_object(cap_group, ObjType::CapGroup)?;
+        let mut body = group.body.write();
+        let ObjectBody::CapGroup(g) = &mut *body else { unreachable!() };
+        g.revoke(slot)?;
+        group.mark_dirty();
+        Ok(())
+    }
+
+    // ---- thread wake/block helpers ----------------------------------------
+
+    /// Marks `tid` runnable and enqueues it unless it is currently on a
+    /// core (the core re-enqueues it at step end — see `ThreadBody::on_cpu`).
+    pub fn wake_thread(&self, tid: ObjId) {
+        let Ok(th) = self.typed_object(tid, ObjType::Thread) else { return };
+        let mut body = th.body.write();
+        if let ObjectBody::Thread(t) = &mut *body {
+            if t.state == ThreadState::Exited {
+                return;
+            }
+            t.state = ThreadState::Runnable;
+            th.mark_dirty();
+            if !t.on_cpu {
+                self.sched.enqueue(tid);
+            }
+        }
+    }
+
+    fn block_thread(&self, tid: ObjId, on: BlockedOn) -> Result<(), KernelError> {
+        let th = self.typed_object(tid, ObjType::Thread)?;
+        let mut body = th.body.write();
+        if let ObjectBody::Thread(t) = &mut *body {
+            t.state = ThreadState::Blocked(on);
+            th.mark_dirty();
+        }
+        Ok(())
+    }
+
+    // ---- notification syscalls --------------------------------------------
+
+    /// `notif_wait`: consume a signal or block.
+    pub fn notif_wait(
+        &self,
+        thread: ObjId,
+        cap_group: ObjId,
+        slot: CapSlot,
+    ) -> Result<bool, KernelError> {
+        let cap = self.lookup_cap(cap_group, slot, CapRights::READ)?;
+        let notif = self.object(cap.obj)?;
+        // Registration and self-blocking must be atomic under the
+        // notification lock: if the lock were released in between, a
+        // signal could wake the thread before it marks itself blocked and
+        // the self-block would overwrite the wake (lost-wakeup deadlock).
+        let mut body = notif.body.write();
+        let acquired = match &mut *body {
+            ObjectBody::Notification(n) => n.wait(thread),
+            ObjectBody::IrqNotification(irq) => irq.inner.wait(thread),
+            _ => return Err(KernelError::BadCapability),
+        };
+        notif.mark_dirty();
+        if !acquired {
+            // Lock order: notification body → thread body.
+            self.block_thread(thread, BlockedOn::Notification(cap.obj))?;
+        }
+        Ok(acquired)
+    }
+
+    /// `notif_signal`: signal, waking one waiter if present.
+    pub fn notif_signal(&self, cap_group: ObjId, slot: CapSlot) -> Result<(), KernelError> {
+        let cap = self.lookup_cap(cap_group, slot, CapRights::WRITE)?;
+        self.signal_object(cap.obj)
+    }
+
+    /// Signals a notification object directly (kernel-internal use and the
+    /// virtual IRQ path).
+    pub fn signal_object(&self, notif_id: ObjId) -> Result<(), KernelError> {
+        let notif = self.object(notif_id)?;
+        let woken = {
+            let mut body = notif.body.write();
+            let woken = match &mut *body {
+                ObjectBody::Notification(n) => n.signal(),
+                ObjectBody::IrqNotification(irq) => irq.inner.signal(),
+                _ => return Err(KernelError::BadCapability),
+            };
+            notif.mark_dirty();
+            woken
+        };
+        if let Some(tid) = woken {
+            self.wake_thread(tid);
+        }
+        Ok(())
+    }
+
+    /// Raises virtual interrupt `line`, signalling its IRQ notification.
+    pub fn raise_irq(&self, line: u32) -> Result<(), KernelError> {
+        let id = self
+            .irq_lines
+            .lock()
+            .get(&line)
+            .copied()
+            .ok_or(KernelError::InvalidState("no IRQ notification bound to line"))?;
+        self.signal_object(id)
+    }
+
+    // ---- IPC syscalls ------------------------------------------------------
+
+    /// `ipc_call`: enqueue a request and block awaiting the reply.
+    pub fn ipc_call(
+        &self,
+        thread: ObjId,
+        cap_group: ObjId,
+        slot: CapSlot,
+        data: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        let cap = self.lookup_cap(cap_group, slot, CapRights::WRITE)?;
+        let conn = self.typed_object(cap.obj, ObjType::IpcConnection)?;
+        // The request becomes visible to the server the moment the
+        // connection lock drops, so the client must already be marked
+        // blocked by then — otherwise a fast server could reply and wake
+        // the client before its self-block, which would then overwrite
+        // the wake (lost-wakeup deadlock).
+        let wake = {
+            let mut body = conn.body.write();
+            let wake = match &mut *body {
+                ObjectBody::IpcConnection(c) => c.call(thread, data)?,
+                _ => unreachable!(),
+            };
+            conn.mark_dirty();
+            // Lock order: connection body → thread body.
+            self.block_thread(thread, BlockedOn::IpcReply(cap.obj))?;
+            wake
+        };
+        if let Some(server) = wake {
+            self.wake_thread(server);
+        }
+        Ok(())
+    }
+
+    /// `ipc_recv`: dequeue the next request or block as recv waiter.
+    pub fn ipc_recv(
+        &self,
+        thread: ObjId,
+        cap_group: ObjId,
+        slot: CapSlot,
+    ) -> Result<Option<(u64, Vec<u8>)>, KernelError> {
+        let cap = self.lookup_cap(cap_group, slot, CapRights::READ)?;
+        let conn = self.typed_object(cap.obj, ObjType::IpcConnection)?;
+        // Register-as-waiter and self-block are atomic under the
+        // connection lock (see ipc_call for the lost-wakeup hazard).
+        let mut body = conn.body.write();
+        let msg = match &mut *body {
+            ObjectBody::IpcConnection(c) => c.recv(thread)?,
+            _ => unreachable!(),
+        };
+        conn.mark_dirty();
+        match msg {
+            Some(m) => Ok(Some((m.from.to_raw(), m.data))),
+            None => {
+                // Lock order: connection body → thread body.
+                self.block_thread(thread, BlockedOn::IpcRecv(cap.obj))?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// `ipc_reply`: stage the reply and wake the blocked client.
+    pub fn ipc_reply(
+        &self,
+        cap_group: ObjId,
+        slot: CapSlot,
+        client_token: u64,
+        data: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        let client = ObjId::from_raw(client_token);
+        let cap = self.lookup_cap(cap_group, slot, CapRights::WRITE)?;
+        let conn = self.typed_object(cap.obj, ObjType::IpcConnection)?;
+        {
+            let mut body = conn.body.write();
+            match &mut *body {
+                ObjectBody::IpcConnection(c) => c.reply(client, data)?,
+                _ => unreachable!(),
+            }
+            conn.mark_dirty();
+        }
+        self.wake_thread(client);
+        Ok(())
+    }
+
+    /// Consumes the staged reply for `thread` on the connection in `slot`.
+    pub fn ipc_take_reply(
+        &self,
+        thread: ObjId,
+        cap_group: ObjId,
+        slot: CapSlot,
+    ) -> Result<Option<Vec<u8>>, KernelError> {
+        let cap = self.lookup_cap(cap_group, slot, CapRights::READ)?;
+        let conn = self.typed_object(cap.obj, ObjType::IpcConnection)?;
+        let mut body = conn.body.write();
+        let r = match &mut *body {
+            ObjectBody::IpcConnection(c) => c.take_reply(thread),
+            _ => unreachable!(),
+        };
+        if r.is_some() {
+            conn.mark_dirty();
+        }
+        Ok(r)
+    }
+
+    // ---- census (Table 2) --------------------------------------------------
+
+    /// Counts live runtime objects by type.
+    pub fn census(&self) -> HashMap<ObjType, usize> {
+        let mut counts: HashMap<ObjType, usize> = HashMap::new();
+        for (_, obj) in self.objects.read().iter() {
+            *counts.entry(obj.otype).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Total materialized application memory in bytes (Table 2 "App").
+    pub fn app_memory_bytes(&self) -> u64 {
+        let mut pages = 0u64;
+        for (_, obj) in self.objects.read().iter() {
+            if obj.otype == ObjType::Pmo {
+                if let ObjectBody::Pmo(p) = &*obj.body.read() {
+                    pages += p.materialized() as u64;
+                }
+            }
+        }
+        pages * treesls_nvm::PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KernelConfig {
+        KernelConfig { nvm_frames: 512, dram_pages: 32, ..KernelConfig::default() }
+    }
+
+    #[test]
+    fn boot_creates_root_group() {
+        let k = Kernel::boot(small());
+        let root = k.root();
+        let obj = k.object(root).unwrap();
+        assert_eq!(obj.otype, ObjType::CapGroup);
+        assert_eq!(k.census()[&ObjType::CapGroup], 1);
+    }
+
+    #[test]
+    fn process_scaffolding_reachable_from_root() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("proc").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 16, PmoKind::Data).unwrap();
+        let n = k.create_notification(g).unwrap();
+        k.map_region(vs, Vpn(0), 16, pmo, 0, CapRights::ALL).unwrap();
+        let census = k.census();
+        assert_eq!(census[&ObjType::CapGroup], 2);
+        assert_eq!(census[&ObjType::VmSpace], 1);
+        assert_eq!(census[&ObjType::Pmo], 1);
+        assert_eq!(census[&ObjType::Notification], 1);
+        // All created objects distinct.
+        assert_ne!(vs, pmo);
+        assert_ne!(pmo, n);
+    }
+
+    #[test]
+    fn map_region_validates_pmo_capacity() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("p").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        let pmo = k.create_pmo(g, 4, PmoKind::Data).unwrap();
+        assert!(matches!(
+            k.map_region(vs, Vpn(0), 5, pmo, 0, CapRights::ALL),
+            Err(KernelError::InvalidState(_))
+        ));
+        k.map_region(vs, Vpn(0), 4, pmo, 0, CapRights::ALL).unwrap();
+        // Overlap rejected.
+        assert!(k.map_region(vs, Vpn(3), 1, pmo, 0, CapRights::ALL).is_err());
+    }
+
+    #[test]
+    fn notification_wait_signal_across_threads() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("p").unwrap();
+        let n = k.create_notification(g).unwrap();
+        // Find the cap slot for the notification in g.
+        let group = k.object(g).unwrap();
+        let slot = {
+            let b = group.body.read();
+            match &*b {
+                ObjectBody::CapGroup(cg) => {
+                    cg.iter().find(|(_, c)| c.obj == n).map(|(s, _)| s).unwrap()
+                }
+                _ => unreachable!(),
+            }
+        };
+        // Two fake threads (objects in the store so ids are live).
+        let vs = k.create_vmspace(g).unwrap();
+        k.programs.register("idle", Arc::new(crate::cores::IdleProgram));
+        let t1 = k.create_thread(g, vs, "idle", ThreadContext::new()).unwrap();
+        // Signal first: wait consumes without blocking.
+        k.notif_signal(g, slot).unwrap();
+        assert!(k.notif_wait(t1, g, slot).unwrap());
+        // Now wait blocks...
+        assert!(!k.notif_wait(t1, g, slot).unwrap());
+        let th = k.typed_object(t1, ObjType::Thread).unwrap();
+        if let ObjectBody::Thread(t) = &*th.body.read() {
+            assert!(matches!(t.state, ThreadState::Blocked(BlockedOn::Notification(_))));
+        }
+        // ...and signal wakes it.
+        k.notif_signal(g, slot).unwrap();
+        if let ObjectBody::Thread(t) = &*th.body.read() {
+            assert_eq!(t.state, ThreadState::Runnable);
+        };
+    }
+
+    #[test]
+    fn ipc_call_recv_reply_flow() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("srv").unwrap();
+        let vs = k.create_vmspace(g).unwrap();
+        k.programs.register("idle", Arc::new(crate::cores::IdleProgram));
+        let server = k.create_thread(g, vs, "idle", ThreadContext::new()).unwrap();
+        let client = k.create_thread(g, vs, "idle", ThreadContext::new()).unwrap();
+        let (_conn, sslot, cslot) = k.create_ipc_conn(g, g).unwrap();
+        assert_eq!(sslot, cslot); // same group
+
+        // Server receives: nothing pending → blocks.
+        assert!(k.ipc_recv(server, g, sslot).unwrap().is_none());
+        // Client calls → server wakes with the message next recv.
+        k.ipc_call(client, g, cslot, b"ping".to_vec()).unwrap();
+        let (tok, data) = k.ipc_recv(server, g, sslot).unwrap().unwrap();
+        assert_eq!(data, b"ping");
+        assert_eq!(tok, client.to_raw());
+        // Reply wakes the client, which takes the reply.
+        k.ipc_reply(g, sslot, tok, b"pong".to_vec()).unwrap();
+        assert_eq!(k.ipc_take_reply(client, g, cslot).unwrap(), Some(b"pong".to_vec()));
+    }
+
+    #[test]
+    fn rights_enforced_by_syscalls() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("p").unwrap();
+        let n = k.create_notification(g).unwrap();
+        // Install a read-only alias capability.
+        let ro_slot = k.install_cap(g, n, CapRights::READ).unwrap();
+        assert_eq!(k.notif_signal(g, ro_slot), Err(KernelError::PermissionDenied));
+    }
+
+    #[test]
+    fn irq_raise_signals_bound_notification() {
+        let k = Kernel::boot(small());
+        let g = k.create_cap_group("drv").unwrap();
+        let irq = k.create_irq_notification(g, 7).unwrap();
+        k.raise_irq(7).unwrap();
+        let o = k.object(irq).unwrap();
+        if let ObjectBody::IrqNotification(b) = &*o.body.read() {
+            assert_eq!(b.inner.count, 1);
+        }
+        assert!(k.raise_irq(9).is_err());
+    }
+
+    #[test]
+    fn global_version_roundtrip() {
+        let k = Kernel::boot(small());
+        assert_eq!(k.pers.global_version(), 0);
+        k.pers.commit_version(7);
+        assert_eq!(k.pers.global_version(), 7);
+        assert_eq!(k.pers.dev.meta().read_u64(global_meta::VERSION_OFF), 7);
+    }
+}

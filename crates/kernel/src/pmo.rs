@@ -1,0 +1,367 @@
+//! Physical memory objects (PMOs) and per-page checkpoint versioning.
+//!
+//! A PMO "records a set of physical memory pages organized by a radix
+//! tree" (§4.1). Each materialized page owns a [`PageSlot`] whose
+//! [`PageMeta`] carries the *checkpointed page pair* (CPP) of §4.3.3: up to
+//! two NVM backup pages with version numbers. The runtime page is either
+//! the second pair entry itself (version 0, the "runtime page is treated as
+//! the second backup with version zero" rule of the paper) or a volatile
+//! DRAM page when hybrid copy has migrated the page (§4.3).
+//!
+//! ## Restore rule
+//!
+//! §4.3.3 states: a backup whose version equals the global version is used;
+//! otherwise the second backup if its version is zero; otherwise the higher
+//! version. We additionally *ignore* any pair entry whose version exceeds
+//! the committed global version: such tags are written by an in-flight
+//! checkpoint that never committed, and following the paper's literal rule
+//! they could otherwise be selected (e.g. pair versions `{V-1, V+1}` after
+//! a crash between a speculative copy and the commit of checkpoint `V+1`
+//! when the page skipped checkpoint `V`), rolling a single page forward to
+//! an uncommitted state. The filter preserves the paper's behaviour in all
+//! committed cases and closes that window; see DESIGN.md.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use treesls_nvm::{DramId, FrameId};
+
+use crate::radix::Radix;
+
+/// Where a page's runtime (writable) copy currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysLoc {
+    /// An NVM frame (the default; doubles as checkpoint data).
+    Nvm(FrameId),
+    /// A volatile DRAM page (hot page migrated by hybrid copy).
+    Dram(DramId),
+}
+
+/// One entry of a checkpointed page pair: an NVM frame plus the version of
+/// the checkpoint whose data it holds (0 = "this is the runtime page").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagePtr {
+    /// The NVM frame holding the data.
+    pub frame: FrameId,
+    /// Checkpoint version of the data; 0 marks the runtime NVM page.
+    pub version: u64,
+}
+
+/// Persistent + volatile per-page state.
+///
+/// The `pairs` array is persistent checkpoint metadata; the remaining
+/// fields are runtime-only and are reset by restore (the DRAM cache, CoW
+/// write-permission bit, hotness and dirtiness tracking).
+#[derive(Debug, Clone)]
+pub struct PageMeta {
+    /// The checkpointed page pair. Invariant for non-migrated pages:
+    /// `pairs[1]` is `Some` with version 0 and is the runtime page.
+    pub pairs: [Option<PagePtr>; 2],
+    /// DRAM copy when the page is migrated (hybrid copy); `None` otherwise.
+    pub runtime_dram: Option<DramId>,
+    /// Soft-MMU write permission: `false` means the next write faults
+    /// (copy-on-write pending).
+    pub writable: bool,
+    /// Write-fault counter driving hot-page detection.
+    pub hotness: u32,
+    /// For DRAM-cached pages: modified since the last stop-and-copy.
+    pub dirty: bool,
+    /// The page is on the dual-function active page list.
+    pub on_active_list: bool,
+    /// Consecutive checkpoints without modification (drives DRAM→NVM
+    /// eviction).
+    pub idle_rounds: u32,
+    /// Page of an eternal PMO (§5): never marked read-only, never copied,
+    /// never migrated; survives restore with its at-crash content.
+    pub eternal: bool,
+}
+
+impl PageMeta {
+    /// Creates the metadata for a freshly materialized page backed by
+    /// `frame`.
+    ///
+    /// New pages are writable (no backup exists, and the page is not yet in
+    /// any backup radix tree, so a crash simply discards it).
+    pub fn new_runtime(frame: FrameId) -> Self {
+        Self {
+            pairs: [None, Some(PagePtr { frame, version: 0 })],
+            runtime_dram: None,
+            writable: true,
+            hotness: 0,
+            dirty: false,
+            on_active_list: false,
+            idle_rounds: 0,
+            eternal: false,
+        }
+    }
+
+    /// The current runtime location of the page.
+    pub fn runtime_loc(&self) -> PhysLoc {
+        match self.runtime_dram {
+            Some(d) => PhysLoc::Dram(d),
+            None => PhysLoc::Nvm(
+                self.pairs[1].expect("non-migrated page has a runtime NVM frame").frame,
+            ),
+        }
+    }
+
+    /// Returns `true` if the page is migrated to DRAM.
+    pub fn is_migrated(&self) -> bool {
+        self.runtime_dram.is_some()
+    }
+
+    /// Picks the pair index holding the committed checkpoint data for
+    /// `global` (the committed global version at recovery time).
+    ///
+    /// Returns `None` only for pages with no recoverable data (never
+    /// checkpointed and no runtime NVM page — not reachable from a backup
+    /// tree in practice).
+    pub fn restore_pick(&self, global: u64) -> Option<usize> {
+        let cand = |i: usize| self.pairs[i].filter(|p| p.version <= global);
+        let (a, b) = (cand(0), cand(1));
+        // Case ❶: a backup created by the page-fault handler (or a
+        // committed speculative copy) in the committed interval.
+        if a.is_some_and(|p| p.version == global) {
+            return Some(0);
+        }
+        if b.is_some_and(|p| p.version == global) {
+            return Some(1);
+        }
+        // Case ❷/❸: the runtime NVM page (version 0) is unmodified since
+        // the last checkpoint and is itself the checkpoint data.
+        if b.is_some_and(|p| p.version == 0) {
+            return Some(1);
+        }
+        // Migrated pages with two real backups: the higher committed one.
+        match (a, b) {
+            (Some(pa), Some(pb)) => Some(if pa.version >= pb.version { 0 } else { 1 }),
+            (Some(_), None) => Some(0),
+            (None, Some(_)) => Some(1),
+            (None, None) => None,
+        }
+    }
+
+    /// The pair index a speculative stop-and-copy must write into: the one
+    /// the restore rule would *not* pick at the current committed version,
+    /// so a torn copy can never destroy the recoverable image.
+    pub fn sac_dst(&self, global: u64) -> usize {
+        match self.restore_pick(global) {
+            Some(keep) => 1 - keep,
+            None => 0,
+        }
+    }
+}
+
+/// A shared, individually locked page slot.
+///
+/// Slots are shared between the runtime PMO radix tree and the backup PMO
+/// radix tree (both reference the same `Arc`), which is how the paper's
+/// "reuse the radix tree in subsequent checkpoints" manifests here. The
+/// slot itself is persistent state.
+#[derive(Debug)]
+pub struct PageSlot {
+    /// Page index within the PMO.
+    pub index: u64,
+    /// The versioning metadata, guarded for concurrent fault handling and
+    /// parallel hybrid copy.
+    pub meta: Mutex<PageMeta>,
+}
+
+impl PageSlot {
+    /// Creates a slot for a freshly materialized page.
+    pub fn new(index: u64, frame: FrameId) -> Arc<Self> {
+        Arc::new(Self { index, meta: Mutex::new(PageMeta::new_runtime(frame)) })
+    }
+}
+
+/// The kind of a PMO, controlling restore behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmoKind {
+    /// Normal data: rolled back to the last checkpoint on restore.
+    Data,
+    /// Eternal PMO (§5): pages are *not* rolled back; used by drivers for
+    /// ring buffers and hardware state that must survive recovery as-is.
+    Eternal,
+}
+
+/// Runtime body of a PMO object.
+#[derive(Debug)]
+pub struct Pmo {
+    /// Capacity in pages (addresses beyond this fault permanently).
+    pub npages: u64,
+    /// Data vs. eternal.
+    pub kind: PmoKind,
+    /// Runtime radix tree: page index → shared page slot. Volatile; the
+    /// backup tree (in the checkpoint manager) mirrors it at each
+    /// checkpoint.
+    pub pages: Radix<Arc<PageSlot>>,
+    /// Monotone counter of structural changes (inserts/removes) used for
+    /// incremental backup-tree synchronization.
+    pub structure_tick: Arc<AtomicU64>,
+}
+
+impl Pmo {
+    /// Creates an empty PMO of `npages` pages.
+    pub fn new(npages: u64, kind: PmoKind) -> Self {
+        Self { npages, kind, pages: Radix::new(), structure_tick: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Looks up the slot for `index`.
+    pub fn get(&self, index: u64) -> Option<&Arc<PageSlot>> {
+        self.pages.get(index)
+    }
+
+    /// Inserts a slot, bumping the structure tick.
+    pub fn insert(&mut self, index: u64, slot: Arc<PageSlot>) {
+        self.pages.insert(index, slot);
+        self.structure_tick.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes a slot, bumping the structure tick.
+    pub fn remove(&mut self, index: u64) -> Option<Arc<PageSlot>> {
+        let r = self.pages.remove(index);
+        if r.is_some() {
+            self.structure_tick.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Number of materialized pages.
+    pub fn materialized(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(frame: u32, version: u64) -> Option<PagePtr> {
+        Some(PagePtr { frame: FrameId(frame), version })
+    }
+
+    #[test]
+    fn fresh_page_is_runtime_second_pair() {
+        let m = PageMeta::new_runtime(FrameId(7));
+        assert_eq!(m.runtime_loc(), PhysLoc::Nvm(FrameId(7)));
+        assert!(m.writable);
+        assert!(!m.is_migrated());
+        // Case ❸: never checkpointed → restore uses the runtime page.
+        assert_eq!(m.restore_pick(5), Some(1));
+    }
+
+    #[test]
+    fn restore_case1_backup_equals_global() {
+        // Fault handler saved the backup at version 5; page then modified.
+        let mut m = PageMeta::new_runtime(FrameId(1));
+        m.pairs[0] = pp(2, 5);
+        assert_eq!(m.restore_pick(5), Some(0));
+    }
+
+    #[test]
+    fn restore_case2_stale_backup_uses_runtime() {
+        // Backup version 3 < global 5: runtime page unmodified since ckpt.
+        let mut m = PageMeta::new_runtime(FrameId(1));
+        m.pairs[0] = pp(2, 3);
+        assert_eq!(m.restore_pick(5), Some(1));
+    }
+
+    #[test]
+    fn restore_case3_no_backup_uses_runtime() {
+        let m = PageMeta::new_runtime(FrameId(1));
+        assert_eq!(m.restore_pick(5), Some(1));
+    }
+
+    #[test]
+    fn restore_migrated_picks_higher_committed() {
+        // Migrated page: two real backups, versions 7 and 8, global 20.
+        let m = PageMeta {
+            pairs: [pp(1, 7), pp(2, 8)],
+            runtime_dram: Some(DramId(0)),
+            writable: true,
+            hotness: 9,
+            dirty: false,
+            on_active_list: true,
+            idle_rounds: 0,
+            eternal: false,
+        };
+        assert_eq!(m.restore_pick(20), Some(1));
+        let m2 = PageMeta { pairs: [pp(1, 9), pp(2, 8)], ..m.clone() };
+        assert_eq!(m2.restore_pick(20), Some(0));
+    }
+
+    #[test]
+    fn restore_ignores_uncommitted_inflight_tag() {
+        // Crash between a speculative copy tagged V+1 and its commit while
+        // the other slot holds V-1 (page skipped checkpoint V): the literal
+        // higher-version rule would pick the uncommitted V+1 data.
+        let m = PageMeta {
+            pairs: [pp(1, 4), pp(2, 6)],
+            runtime_dram: Some(DramId(0)),
+            writable: true,
+            hotness: 5,
+            dirty: true,
+            on_active_list: true,
+            idle_rounds: 0,
+            eternal: false,
+        };
+        assert_eq!(m.restore_pick(5), Some(0), "must ignore version 6 > global 5");
+    }
+
+    #[test]
+    fn restore_equal_global_beats_zero_rule() {
+        // Both a version==global backup and a v0 runtime page exist: the
+        // backup holds the checkpoint image (runtime was modified after).
+        let mut m = PageMeta::new_runtime(FrameId(9));
+        m.pairs[0] = pp(3, 5);
+        assert_eq!(m.restore_pick(5), Some(0));
+    }
+
+    #[test]
+    fn sac_dst_never_targets_the_keeper() {
+        for global in 0..10u64 {
+            let cases = [
+                [pp(1, 3), pp(2, 0)],
+                [pp(1, global), pp(2, 0)],
+                [None, pp(2, 0)],
+                [pp(1, 3), pp(2, 4)],
+                [pp(1, 9), pp(2, 4)],
+            ];
+            for pairs in cases {
+                let m = PageMeta {
+                    pairs,
+                    runtime_dram: None,
+                    writable: false,
+                    hotness: 0,
+                    dirty: false,
+                    on_active_list: false,
+                    idle_rounds: 0,
+                    eternal: false,
+                };
+                if let Some(keep) = m.restore_pick(global) {
+                    assert_ne!(m.sac_dst(global), keep, "global={global} pairs={pairs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pmo_structure_tick_counts_changes() {
+        let mut p = Pmo::new(100, PmoKind::Data);
+        assert_eq!(p.materialized(), 0);
+        p.insert(3, PageSlot::new(3, FrameId(1)));
+        p.insert(4, PageSlot::new(4, FrameId(2)));
+        assert_eq!(p.structure_tick.load(Ordering::Relaxed), 2);
+        assert!(p.remove(3).is_some());
+        assert!(p.remove(3).is_none());
+        assert_eq!(p.structure_tick.load(Ordering::Relaxed), 3);
+        assert_eq!(p.materialized(), 1);
+    }
+
+    #[test]
+    fn eternal_kind_is_distinct() {
+        assert_ne!(PmoKind::Data, PmoKind::Eternal);
+    }
+}

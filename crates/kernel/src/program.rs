@@ -1,0 +1,272 @@
+//! The re-entrant program model and the user-space syscall surface.
+//!
+//! TreeSLS checkpoints threads by saving their trapped register context;
+//! after a crash the whole system resumes from the last checkpoint with no
+//! application involvement. To reproduce that honestly in a user-space
+//! simulation, applications are written as *step machines*: every piece of
+//! mutable application state lives either in process memory (checkpointed
+//! page by page) or in the simulated register file ([`ThreadContext`],
+//! checkpointed with the Thread object). The [`Program`] value itself is
+//! immutable shared code — the equivalent of the program text, which the
+//! paper's system also does not need to checkpoint (it lives in PMOs).
+//!
+//! A program's [`step`] is invoked repeatedly by a core; each invocation is
+//! the span between two kernel entries, so the stop-the-world IPI (§3,
+//! Figure 5 step ❶) interrupts threads only at step boundaries — exactly
+//! the paper's "interrupted either from the user space or at the boundaries
+//! of syscalls".
+//!
+//! [`step`]: Program::step
+//! [`ThreadContext`]: crate::thread::ThreadContext
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::kernel::Kernel;
+use crate::thread::ThreadContext;
+use crate::types::{CapSlot, KernelError, ObjId, Vaddr};
+
+/// What a program step tells the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// More work immediately available: run another step within the slice.
+    Ready,
+    /// Voluntarily yield the core (end of slice).
+    Yielded,
+    /// The thread blocked inside a syscall (IPC/notification); the kernel
+    /// has already updated its state, do not re-enqueue.
+    Blocked,
+    /// The thread finished; never schedule again.
+    Exited,
+}
+
+/// Application code: immutable, shareable, re-entrant.
+///
+/// Implementations must keep **all mutable state** in the register file and
+/// process memory reachable through [`UserCtx`]; the `&self` receiver
+/// enforces freedom from hidden Rust-side state, which is what makes
+/// crash-restore exact.
+pub trait Program: Send + Sync + 'static {
+    /// Executes one step (user-space span between kernel entries).
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome;
+}
+
+/// The registry mapping program names to code.
+///
+/// Plays the role of executable files: thread backups record the program
+/// *name*, and the restore path re-binds revived threads to the registered
+/// code, as a reboot reloads binaries from storage.
+#[derive(Default)]
+pub struct ProgramRegistry {
+    map: RwLock<HashMap<String, Arc<dyn Program>>>,
+}
+
+impl std::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.map.read().keys().cloned().collect();
+        f.debug_struct("ProgramRegistry").field("programs", &names).finish()
+    }
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `program` under `name`, replacing any previous entry.
+    pub fn register(&self, name: impl Into<String>, program: Arc<dyn Program>) {
+        self.map.write().insert(name.into(), program);
+    }
+
+    /// Looks up a program by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Program>> {
+        self.map.read().get(name).cloned()
+    }
+
+    /// Names of all registered programs.
+    pub fn names(&self) -> Vec<String> {
+        self.map.read().keys().cloned().collect()
+    }
+}
+
+/// The syscall surface handed to a program step: simulated registers plus
+/// the kernel entry points of the owning thread.
+pub struct UserCtx<'a> {
+    kernel: &'a Kernel,
+    thread: ObjId,
+    cap_group: ObjId,
+    vmspace: ObjId,
+    /// The thread's register file, mutated in place during the step.
+    pub ctx: &'a mut ThreadContext,
+}
+
+impl<'a> UserCtx<'a> {
+    /// Builds the context for one step. Used by the core run loop.
+    pub fn new(
+        kernel: &'a Kernel,
+        thread: ObjId,
+        cap_group: ObjId,
+        vmspace: ObjId,
+        ctx: &'a mut ThreadContext,
+    ) -> Self {
+        Self { kernel, thread, cap_group, vmspace, ctx }
+    }
+
+    /// The running thread's id as an opaque token.
+    pub fn thread_token(&self) -> u64 {
+        self.thread.to_raw()
+    }
+
+    /// The committed global checkpoint version.
+    ///
+    /// Exposed to user space so external-synchrony services can tag
+    /// outgoing messages with the checkpoint interval that produced them
+    /// (§5 of the paper).
+    pub fn global_version(&self) -> u64 {
+        self.kernel.pers.global_version()
+    }
+
+    // ---- registers -------------------------------------------------------
+
+    /// Reads general-purpose register `i`.
+    pub fn reg(&self, i: usize) -> u64 {
+        self.ctx.regs[i]
+    }
+
+    /// Writes general-purpose register `i`.
+    pub fn set_reg(&mut self, i: usize, v: u64) {
+        self.ctx.regs[i] = v;
+    }
+
+    /// The program counter (program-defined phase).
+    pub fn pc(&self) -> u64 {
+        self.ctx.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.ctx.pc = pc;
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Reads process memory at `addr` into `buf`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
+        self.kernel.vm_read(self.vmspace, Vaddr(addr), buf)
+    }
+
+    /// Writes `data` to process memory at `addr`.
+    pub fn write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError> {
+        self.kernel.vm_write(self.vmspace, Vaddr(addr), data)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, KernelError> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&self, addr: u64, v: u64) -> Result<(), KernelError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, KernelError> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    pub fn write_u32(&self, addr: u64, v: u32) -> Result<(), KernelError> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    // ---- IPC -------------------------------------------------------------
+
+    /// Sends a request on the IPC connection in capability `slot` and
+    /// blocks the thread until the reply arrives.
+    ///
+    /// The program must return [`StepOutcome::Blocked`] immediately after
+    /// a successful send; the reply is fetched with
+    /// [`ipc_take_reply`](Self::ipc_take_reply) in a later step.
+    pub fn ipc_call(&self, slot: CapSlot, data: Vec<u8>) -> Result<(), KernelError> {
+        self.kernel.ipc_call(self.thread, self.cap_group, slot, data)
+    }
+
+    /// Consumes the staged reply for this thread, if it has arrived.
+    pub fn ipc_take_reply(&self, slot: CapSlot) -> Result<Option<Vec<u8>>, KernelError> {
+        self.kernel.ipc_take_reply(self.thread, self.cap_group, slot)
+    }
+
+    /// Receives the next request on the connection in `slot`.
+    ///
+    /// `Ok(None)` means no request was pending and the thread is now
+    /// blocked as the recv waiter; return [`StepOutcome::Blocked`].
+    pub fn ipc_recv(&self, slot: CapSlot) -> Result<Option<(u64, Vec<u8>)>, KernelError> {
+        self.kernel.ipc_recv(self.thread, self.cap_group, slot)
+    }
+
+    /// Replies to the client identified by `client_token` (from
+    /// [`ipc_recv`](Self::ipc_recv)).
+    pub fn ipc_reply(
+        &self,
+        slot: CapSlot,
+        client_token: u64,
+        data: Vec<u8>,
+    ) -> Result<(), KernelError> {
+        self.kernel.ipc_reply(self.cap_group, slot, client_token, data)
+    }
+
+    // ---- notifications ---------------------------------------------------
+
+    /// Waits on the notification in `slot`.
+    ///
+    /// Returns `Ok(true)` if a signal was consumed (continue running) or
+    /// `Ok(false)` if the thread is now blocked; in the latter case return
+    /// [`StepOutcome::Blocked`].
+    pub fn notif_wait(&self, slot: CapSlot) -> Result<bool, KernelError> {
+        self.kernel.notif_wait(self.thread, self.cap_group, slot)
+    }
+
+    /// Signals the notification in `slot`.
+    pub fn notif_signal(&self, slot: CapSlot) -> Result<(), KernelError> {
+        self.kernel.notif_signal(self.cap_group, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Program for Nop {
+        fn step(&self, _ctx: &mut UserCtx<'_>) -> StepOutcome {
+            StepOutcome::Exited
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let r = ProgramRegistry::new();
+        assert!(r.get("nop").is_none());
+        r.register("nop", Arc::new(Nop));
+        assert!(r.get("nop").is_some());
+        assert_eq!(r.names(), vec!["nop".to_string()]);
+        // Replacement is allowed.
+        r.register("nop", Arc::new(Nop));
+        assert_eq!(r.names().len(), 1);
+    }
+
+    #[test]
+    fn registry_debug_lists_names() {
+        let r = ProgramRegistry::new();
+        r.register("abc", Arc::new(Nop));
+        assert!(format!("{r:?}").contains("abc"));
+    }
+}

@@ -1,0 +1,378 @@
+//! A radix tree mapping page indexes to values.
+//!
+//! "PMO records a set of physical memory pages organized by a radix tree"
+//! (§4.1). TreeSLS checkpoints the tree once in full and then reuses it —
+//! the asymmetry behind the paper's Table 3, where a full PMO checkpoint
+//! costs milliseconds but an incremental one costs 0.03 µs. This module
+//! implements a 64-ary radix tree so those costs have the same shape here.
+
+/// Fan-out of each radix node (64 children, 6 bits per level).
+pub const RADIX_BITS: u32 = 6;
+/// Number of children per node.
+pub const RADIX_FANOUT: usize = 1 << RADIX_BITS;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Inner(Box<[Option<Node<T>>; RADIX_FANOUT]>),
+    Leaf(T),
+}
+
+fn empty_children<T>() -> Box<[Option<Node<T>>; RADIX_FANOUT]> {
+    // `Default` is not implemented for arrays this large; build via Vec.
+    let v: Vec<Option<Node<T>>> = (0..RADIX_FANOUT).map(|_| None).collect();
+    v.into_boxed_slice().try_into().unwrap_or_else(|_| unreachable!())
+}
+
+/// A radix tree keyed by `u64` page indexes.
+#[derive(Debug, Clone)]
+pub struct Radix<T> {
+    root: Option<Node<T>>,
+    /// Number of levels below the root (0 = root is a leaf for key 0).
+    height: u32,
+    len: usize,
+}
+
+impl<T> Default for Radix<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Radix<T> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: None, height: 0, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn capacity_of_height(height: u32) -> u64 {
+        if height as u64 * RADIX_BITS as u64 >= 64 {
+            u64::MAX
+        } else {
+            1u64 << (height * RADIX_BITS)
+        }
+    }
+
+    /// Grows the tree until `key` fits.
+    fn grow_for(&mut self, key: u64) {
+        while key >= Self::capacity_of_height(self.height) {
+            let old = self.root.take();
+            if let Some(old) = old {
+                let mut children = empty_children();
+                children[0] = Some(old);
+                self.root = Some(Node::Inner(children));
+            }
+            self.height += 1;
+        }
+    }
+
+    /// Inserts `val` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, val: T) -> Option<T> {
+        self.grow_for(key);
+        if self.root.is_none() {
+            if self.height == 0 {
+                // key must be 0 here.
+                self.root = Some(Node::Leaf(val));
+                self.len = 1;
+                return None;
+            }
+            self.root = Some(Node::Inner(empty_children()));
+        }
+        let mut level = self.height;
+        let mut node = self.root.as_mut().expect("root exists");
+        loop {
+            match node {
+                Node::Leaf(v) => {
+                    debug_assert_eq!(level, 0);
+                    let old = std::mem::replace(v, val);
+                    return Some(old);
+                }
+                Node::Inner(children) => {
+                    level -= 1;
+                    let idx = ((key >> (level * RADIX_BITS)) as usize) & (RADIX_FANOUT - 1);
+                    let slot = &mut children[idx];
+                    if slot.is_none() {
+                        if level == 0 {
+                            *slot = Some(Node::Leaf(val));
+                            self.len += 1;
+                            return None;
+                        }
+                        *slot = Some(Node::Inner(empty_children()));
+                    } else if level == 0 {
+                        if let Some(Node::Leaf(v)) = slot.as_mut() {
+                            let old = std::mem::replace(v, val);
+                            return Some(old);
+                        }
+                        unreachable!("level 0 child must be a leaf");
+                    }
+                    node = slot.as_mut().expect("slot just ensured");
+                }
+            }
+        }
+    }
+
+    /// Looks up the value at `key`.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        if key >= Self::capacity_of_height(self.height) {
+            return None;
+        }
+        let mut level = self.height;
+        let mut node = self.root.as_ref()?;
+        loop {
+            match node {
+                Node::Leaf(v) => return Some(v),
+                Node::Inner(children) => {
+                    level -= 1;
+                    let idx = ((key >> (level * RADIX_BITS)) as usize) & (RADIX_FANOUT - 1);
+                    node = children[idx].as_ref()?;
+                }
+            }
+        }
+    }
+
+    /// Looks up the value at `key` mutably.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        if key >= Self::capacity_of_height(self.height) {
+            return None;
+        }
+        let mut level = self.height;
+        let mut node = self.root.as_mut()?;
+        loop {
+            match node {
+                Node::Leaf(v) => return Some(v),
+                Node::Inner(children) => {
+                    level -= 1;
+                    let idx = ((key >> (level * RADIX_BITS)) as usize) & (RADIX_FANOUT - 1);
+                    node = children[idx].as_mut()?;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`.
+    ///
+    /// Interior nodes are not eagerly pruned; PMOs shrink rarely and the
+    /// paper likewise reuses tree structure across checkpoints.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        if key >= Self::capacity_of_height(self.height) {
+            return None;
+        }
+        fn rec<T>(node: &mut Option<Node<T>>, key: u64, level: u32) -> Option<T> {
+            match node {
+                None => None,
+                Some(Node::Leaf(_)) => {
+                    if let Some(Node::Leaf(v)) = node.take() {
+                        Some(v)
+                    } else {
+                        unreachable!()
+                    }
+                }
+                Some(Node::Inner(children)) => {
+                    let idx = ((key >> ((level - 1) * RADIX_BITS)) as usize) & (RADIX_FANOUT - 1);
+                    rec(&mut children[idx], key, level - 1)
+                }
+            }
+        }
+        let removed = if self.height == 0 {
+            match self.root.take() {
+                Some(Node::Leaf(v)) => Some(v),
+                other => {
+                    self.root = other;
+                    None
+                }
+            }
+        } else {
+            rec(&mut self.root, key, self.height)
+        };
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Iterates over `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> RadixIter<'_, T> {
+        let mut iter = RadixIter { stack: Vec::new() };
+        if let Some(root) = &self.root {
+            iter.stack.push((root, 0, self.height, 0));
+        }
+        iter
+    }
+
+    /// Calls `f` for every `(key, value)` pair.
+    pub fn for_each(&self, mut f: impl FnMut(u64, &T)) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+
+    /// Number of interior + leaf nodes (used for checkpoint cost modelling).
+    pub fn node_count(&self) -> usize {
+        fn rec<T>(node: &Node<T>) -> usize {
+            match node {
+                Node::Leaf(_) => 1,
+                Node::Inner(children) => {
+                    1 + children.iter().flatten().map(rec).sum::<usize>()
+                }
+            }
+        }
+        self.root.as_ref().map_or(0, rec)
+    }
+}
+
+/// Iterator over a radix tree.
+pub struct RadixIter<'a, T> {
+    // (node, key prefix, level, next child index)
+    stack: Vec<(&'a Node<T>, u64, u32, usize)>,
+}
+
+impl<'a, T> Iterator for RadixIter<'a, T> {
+    type Item = (u64, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, prefix, level, next_idx)) = self.stack.pop() {
+            match node {
+                Node::Leaf(v) => return Some((prefix, v)),
+                Node::Inner(children) => {
+                    for i in next_idx..RADIX_FANOUT {
+                        if let Some(child) = &children[i] {
+                            // Re-push self to resume after the child.
+                            self.stack.push((node, prefix, level, i + 1));
+                            let child_prefix = (prefix << RADIX_BITS) | i as u64;
+                            self.stack.push((child, child_prefix, level - 1, 0));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: Radix<u32> = Radix::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_key_zero() {
+        let mut t = Radix::new();
+        assert_eq!(t.insert(0, "a"), None);
+        assert_eq!(t.get(0), Some(&"a"));
+        assert_eq!(t.insert(0, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(0), Some("b"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sparse_keys() {
+        let mut t = Radix::new();
+        for &k in &[0u64, 1, 63, 64, 65, 4095, 4096, 1 << 30] {
+            t.insert(k, k * 2);
+        }
+        for &k in &[0u64, 1, 63, 64, 65, 4095, 4096, 1 << 30] {
+            assert_eq!(t.get(k), Some(&(k * 2)), "key {k}");
+        }
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.get(1 << 40), None);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn iteration_in_key_order() {
+        let mut t = Radix::new();
+        let keys = [5u64, 100, 3, 4096, 64, 0];
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        let collected: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(collected, vec![0, 3, 5, 64, 100, 4096]);
+        // Keys equal values.
+        for (k, v) in t.iter() {
+            assert_eq!(k, *v);
+        }
+    }
+
+    #[test]
+    fn dense_range() {
+        let mut t = Radix::new();
+        for k in 0..1000u64 {
+            t.insert(k, k as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k), Some(&(k as u32)));
+        }
+        assert_eq!(t.iter().count(), 1000);
+        // Remove evens.
+        for k in (0..1000u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k as u32));
+        }
+        assert_eq!(t.len(), 500);
+        for k in 0..1000u64 {
+            if k % 2 == 0 {
+                assert_eq!(t.get(k), None);
+            } else {
+                assert_eq!(t.get(k), Some(&(k as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut t = Radix::new();
+        t.insert(42, vec![1]);
+        t.get_mut(42).unwrap().push(2);
+        assert_eq!(t.get(42), Some(&vec![1, 2]));
+        assert!(t.get_mut(41).is_none());
+    }
+
+    #[test]
+    fn node_count_grows_with_entries() {
+        let mut t = Radix::new();
+        t.insert(0, ());
+        let small = t.node_count();
+        for k in 0..10_000u64 {
+            t.insert(k * 7, ());
+        }
+        assert!(t.node_count() > small);
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t: Radix<u8> = Radix::new();
+        assert_eq!(t.remove(9), None);
+        t.insert(9, 1);
+        assert_eq!(t.remove(10), None);
+        assert_eq!(t.remove(1 << 50), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut t = Radix::new();
+        t.insert(1, 10);
+        let mut c = t.clone();
+        c.insert(1, 99);
+        assert_eq!(t.get(1), Some(&10));
+        assert_eq!(c.get(1), Some(&99));
+    }
+}

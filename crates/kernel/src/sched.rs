@@ -1,0 +1,147 @@
+//! The run-queue scheduler.
+//!
+//! TreeSLS deliberately keeps scheduler state *out* of the checkpoint:
+//! "Some derived state of other kernel services (IPC and scheduler) does
+//! not need to be persisted, as TreeSLS can recover such state from the
+//! capability tree, e.g., adding all threads to the scheduler's queue"
+//! (§3). The queue here is exactly that derived state — volatile, rebuilt
+//! by the restore path from the `Runnable` thread set.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::ObjId;
+
+/// A global FIFO run queue with a wakeup condition variable.
+///
+/// Core worker threads park on [`park`] when idle; enqueues and
+/// stop-the-world requests wake them.
+///
+/// [`park`]: Self::park
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    queue: Mutex<VecDeque<ObjId>>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a runnable thread and wakes one parked core.
+    pub fn enqueue(&self, tid: ObjId) {
+        self.queue.lock().push_back(tid);
+        self.cv.notify_one();
+    }
+
+    /// Dequeues the next runnable thread, if any (non-blocking).
+    pub fn next(&self) -> Option<ObjId> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Removes a specific thread from the queue (thread destruction).
+    pub fn remove(&self, tid: ObjId) {
+        self.queue.lock().retain(|&t| t != tid);
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Returns `true` if no thread is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the queue (crash teardown / restore rebuild).
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+    }
+
+    /// Parks the calling core until work may be available or `timeout`
+    /// elapses. Spurious wakeups are fine: callers re-check their loop
+    /// conditions (including the stop-the-world flag).
+    pub fn park(&self, timeout: Duration) {
+        let mut g = self.queue.lock();
+        if g.is_empty() {
+            self.cv.wait_for(&mut g, timeout);
+        }
+    }
+
+    /// Wakes every parked core (used when initiating a stop-the-world
+    /// pause so idle cores reach the quiescence gate promptly).
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use treesls_nvm::ObjectStore;
+
+    fn ids(n: usize) -> Vec<ObjId> {
+        let mut s: ObjectStore<usize> = ObjectStore::new();
+        (0..n).map(|i| s.insert(i)).collect()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let s = Scheduler::new();
+        let t = ids(3);
+        for &id in &t {
+            s.enqueue(id);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.next(), Some(t[0]));
+        assert_eq!(s.next(), Some(t[1]));
+        assert_eq!(s.next(), Some(t[2]));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn remove_specific_thread() {
+        let s = Scheduler::new();
+        let t = ids(3);
+        for &id in &t {
+            s.enqueue(id);
+        }
+        s.remove(t[1]);
+        assert_eq!(s.next(), Some(t[0]));
+        assert_eq!(s.next(), Some(t[2]));
+    }
+
+    #[test]
+    fn park_wakes_on_enqueue() {
+        let s = Arc::new(Scheduler::new());
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            while s2.next().is_none() {
+                s2.park(Duration::from_millis(100));
+                if start.elapsed() > Duration::from_secs(5) {
+                    panic!("never woke");
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        s.enqueue(ids(1)[0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn clear_empties() {
+        let s = Scheduler::new();
+        for id in ids(5) {
+            s.enqueue(id);
+        }
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Thread objects: register context, scheduling state.
+//!
+//! "To checkpoint a Thread object, TreeSLS allocates space and copies the
+//! thread context (e.g., registers and scheduling state) to the backup
+//! tree. As all CPU cores are trapped in the kernel when taking the
+//! checkpoint, all state of user-space threads has been consistently saved"
+//! (§4.1). In this reproduction, programs are re-entrant step machines (see
+//! [`crate::program`]): the *entire* mutable per-thread state outside
+//! process memory lives in the [`ThreadContext`] register file, so copying
+//! it at a step boundary checkpoints the thread exactly as saving trapped
+//! registers does on real hardware.
+
+use crate::types::ObjId;
+
+/// Number of general-purpose registers in the simulated context.
+pub const NUM_REGS: usize = 16;
+
+/// The architectural state of a thread: what a real kernel saves on trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadContext {
+    /// General-purpose registers; programs use them as persistent locals.
+    pub regs: [u64; NUM_REGS],
+    /// Program counter: the program-defined phase/step the thread is in.
+    pub pc: u64,
+}
+
+impl Default for ThreadContext {
+    fn default() -> Self {
+        Self { regs: [0; NUM_REGS], pc: 0 }
+    }
+}
+
+impl ThreadContext {
+    /// A fresh context with all registers zeroed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What a blocked thread is waiting on (runtime object ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Waiting in `notif_wait` for a signal.
+    Notification(ObjId),
+    /// Server waiting in `ipc_recv` for a request.
+    IpcRecv(ObjId),
+    /// Client waiting in `ipc_call` for the reply.
+    IpcReply(ObjId),
+}
+
+impl BlockedOn {
+    /// The object the thread is blocked on.
+    pub fn object(&self) -> ObjId {
+        match *self {
+            BlockedOn::Notification(o) | BlockedOn::IpcRecv(o) | BlockedOn::IpcReply(o) => o,
+        }
+    }
+}
+
+/// Scheduling state of a thread.
+///
+/// The scheduler's run queue is *derived* state: the paper recovers it
+/// "from the capability tree, e.g., adding all threads to the scheduler's
+/// queue" — here, by re-enqueueing every `Runnable` thread after restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run (possibly currently running on a core).
+    Runnable,
+    /// Blocked on an IPC connection or notification.
+    Blocked(BlockedOn),
+    /// Finished; never scheduled again.
+    Exited,
+}
+
+/// Runtime body of a Thread object.
+#[derive(Debug, Clone)]
+pub struct ThreadBody {
+    /// Saved register context (valid whenever the thread is not mid-step).
+    pub ctx: ThreadContext,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Key into the program registry: which code this thread runs.
+    pub program: String,
+    /// Owning cap group (the thread's process).
+    pub cap_group: ObjId,
+    /// The VM space the thread runs in.
+    pub vmspace: ObjId,
+    /// Runtime-only: the thread is currently executing a step on a core.
+    ///
+    /// A waker that finds `on_cpu == true` must *not* enqueue the thread
+    /// (the running core re-enqueues it when the step finishes and it
+    /// observes the `Runnable` state); this closes the wake-while-running
+    /// race without a global scheduler lock. Never checkpointed: during a
+    /// stop-the-world pause no thread is on a core.
+    pub on_cpu: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesls_nvm::SlotId;
+
+    #[test]
+    fn fresh_context_is_zeroed() {
+        let c = ThreadContext::new();
+        assert_eq!(c.regs, [0; NUM_REGS]);
+        assert_eq!(c.pc, 0);
+    }
+
+    #[test]
+    fn blocked_on_object_extraction() {
+        let id = SlotId::INVALID;
+        assert_eq!(BlockedOn::Notification(id).object(), id);
+        assert_eq!(BlockedOn::IpcRecv(id).object(), id);
+        assert_eq!(BlockedOn::IpcReply(id).object(), id);
+    }
+
+    #[test]
+    fn states_compare() {
+        assert_ne!(ThreadState::Runnable, ThreadState::Exited);
+    }
+}

@@ -1,0 +1,243 @@
+//! VM spaces, regions, and the DRAM-resident soft page table.
+//!
+//! "VM Space records a list of accessible virtual memory regions and a page
+//! table structure for the space. Each virtual memory region is backed by a
+//! physical memory object (PMO)" (§4.1). TreeSLS checkpoints the region
+//! list but *not* the page table: "the page tables can be rebuilt after
+//! recovery ... TreeSLS puts the page tables on DRAM as they do not need to
+//! be persisted". The soft page table here is exactly that: a volatile
+//! vpn → page-slot cache that is dropped on crash and repopulated by soft
+//! page faults after restore.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cap::CapRights;
+use crate::pmo::PageSlot;
+use crate::types::{ObjId, Vpn};
+
+/// A contiguous virtual memory region backed by (part of) a PMO.
+#[derive(Debug, Clone)]
+pub struct VmRegion {
+    /// First virtual page of the region.
+    pub base: Vpn,
+    /// Length in pages.
+    pub npages: u64,
+    /// Backing PMO (runtime object id).
+    pub pmo: ObjId,
+    /// Page offset within the PMO where this region starts.
+    pub pmo_off: u64,
+    /// Access permissions.
+    pub perm: CapRights,
+}
+
+impl VmRegion {
+    /// Returns the PMO page index backing `vpn`, if the region covers it.
+    pub fn pmo_index(&self, vpn: Vpn) -> Option<u64> {
+        if vpn >= self.base && vpn.0 < self.base.0 + self.npages {
+            Some(self.pmo_off + (vpn.0 - self.base.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// A cached translation: the shared page slot plus region permissions.
+#[derive(Debug, Clone)]
+pub struct PteCache {
+    /// The shared page slot holding the page's physical state.
+    pub slot: Arc<PageSlot>,
+    /// Region permissions at map time.
+    pub perm: CapRights,
+    /// The backing PMO (needed by the fault handler for bookkeeping).
+    pub pmo: ObjId,
+}
+
+/// The volatile soft page table of one VM space.
+///
+/// Lives in DRAM; never checkpointed. After restore every translation
+/// misses and is re-established through the region list — the paper's
+/// "empty page table is created for each process" recovery behaviour.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    map: Mutex<HashMap<Vpn, PteCache>>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a cached translation.
+    pub fn get(&self, vpn: Vpn) -> Option<PteCache> {
+        self.map.lock().get(&vpn).cloned()
+    }
+
+    /// Installs a translation.
+    pub fn insert(&self, vpn: Vpn, pte: PteCache) {
+        self.map.lock().insert(vpn, pte);
+    }
+
+    /// Drops a translation (region unmap, page removal).
+    pub fn remove(&self, vpn: Vpn) -> Option<PteCache> {
+        self.map.lock().remove(&vpn)
+    }
+
+    /// Drops every translation (used at restore to model the rebuilt,
+    /// initially empty page table).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Returns `true` if no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runtime body of a VM Space object.
+#[derive(Debug)]
+pub struct VmSpaceBody {
+    /// Mapped regions, kept sorted by base vpn.
+    pub regions: Vec<VmRegion>,
+    /// The volatile soft page table.
+    pub page_table: Arc<PageTable>,
+}
+
+impl Default for VmSpaceBody {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VmSpaceBody {
+    /// Creates an empty VM space.
+    pub fn new() -> Self {
+        Self { regions: Vec::new(), page_table: Arc::new(PageTable::new()) }
+    }
+
+    /// Maps a region; regions must not overlap.
+    ///
+    /// Returns `false` (and maps nothing) on overlap.
+    pub fn map_region(&mut self, region: VmRegion) -> bool {
+        let new_start = region.base.0;
+        let new_end = region.base.0 + region.npages;
+        for r in &self.regions {
+            let s = r.base.0;
+            let e = r.base.0 + r.npages;
+            if new_start < e && s < new_end {
+                return false;
+            }
+        }
+        let pos = self.regions.partition_point(|r| r.base.0 < new_start);
+        self.regions.insert(pos, region);
+        true
+    }
+
+    /// Unmaps the region starting exactly at `base`, returning it.
+    pub fn unmap_region(&mut self, base: Vpn) -> Option<VmRegion> {
+        let pos = self.regions.iter().position(|r| r.base == base)?;
+        Some(self.regions.remove(pos))
+    }
+
+    /// Finds the region covering `vpn` (binary search over sorted bases).
+    pub fn region_for(&self, vpn: Vpn) -> Option<&VmRegion> {
+        let idx = self.regions.partition_point(|r| r.base.0 <= vpn.0);
+        let r = self.regions.get(idx.checked_sub(1)?)?;
+        if vpn.0 < r.base.0 + r.npages {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Total mapped pages across regions.
+    pub fn mapped_pages(&self) -> u64 {
+        self.regions.iter().map(|r| r.npages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treesls_nvm::{FrameId, ObjectStore};
+
+    fn pmo_id() -> ObjId {
+        let mut s: ObjectStore<u8> = ObjectStore::new();
+        s.insert(0)
+    }
+
+    fn region(base: u64, npages: u64) -> VmRegion {
+        VmRegion { base: Vpn(base), npages, pmo: pmo_id(), pmo_off: 0, perm: CapRights::ALL }
+    }
+
+    #[test]
+    fn map_and_find() {
+        let mut vs = VmSpaceBody::new();
+        assert!(vs.map_region(region(10, 5)));
+        assert!(vs.map_region(region(0, 4)));
+        assert!(vs.map_region(region(100, 1)));
+        assert_eq!(vs.region_for(Vpn(0)).unwrap().base, Vpn(0));
+        assert_eq!(vs.region_for(Vpn(3)).unwrap().base, Vpn(0));
+        assert!(vs.region_for(Vpn(4)).is_none());
+        assert_eq!(vs.region_for(Vpn(12)).unwrap().base, Vpn(10));
+        assert!(vs.region_for(Vpn(15)).is_none());
+        assert_eq!(vs.region_for(Vpn(100)).unwrap().base, Vpn(100));
+        assert_eq!(vs.mapped_pages(), 10);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut vs = VmSpaceBody::new();
+        assert!(vs.map_region(region(10, 5)));
+        assert!(!vs.map_region(region(14, 1)));
+        assert!(!vs.map_region(region(5, 6)));
+        assert!(!vs.map_region(region(12, 1)));
+        assert!(vs.map_region(region(15, 1)));
+        assert_eq!(vs.regions.len(), 2);
+    }
+
+    #[test]
+    fn unmap_by_base() {
+        let mut vs = VmSpaceBody::new();
+        vs.map_region(region(10, 5));
+        assert!(vs.unmap_region(Vpn(11)).is_none());
+        let r = vs.unmap_region(Vpn(10)).unwrap();
+        assert_eq!(r.npages, 5);
+        assert!(vs.region_for(Vpn(12)).is_none());
+    }
+
+    #[test]
+    fn pmo_index_math() {
+        let mut r = region(10, 5);
+        r.pmo_off = 100;
+        assert_eq!(r.pmo_index(Vpn(10)), Some(100));
+        assert_eq!(r.pmo_index(Vpn(14)), Some(104));
+        assert_eq!(r.pmo_index(Vpn(15)), None);
+        assert_eq!(r.pmo_index(Vpn(9)), None);
+    }
+
+    #[test]
+    fn page_table_cache_roundtrip() {
+        let pt = PageTable::new();
+        assert!(pt.is_empty());
+        let slot = PageSlot::new(0, FrameId(1));
+        pt.insert(
+            Vpn(7),
+            PteCache { slot: Arc::clone(&slot), perm: CapRights::ALL, pmo: pmo_id() },
+        );
+        assert_eq!(pt.len(), 1);
+        assert!(Arc::ptr_eq(&pt.get(Vpn(7)).unwrap().slot, &slot));
+        assert!(pt.get(Vpn(8)).is_none());
+        pt.clear();
+        assert!(pt.get(Vpn(7)).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for kernel data structures and the page
+//! versioning rules.
+
+use proptest::prelude::*;
+
+use treesls_kernel::pmo::{PageMeta, PagePtr};
+use treesls_kernel::radix::Radix;
+use treesls_nvm::FrameId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The radix tree behaves exactly like a BTreeMap under random
+    /// insert/remove/get sequences with sparse 64-bit keys.
+    #[test]
+    fn radix_matches_btreemap(
+        ops in proptest::collection::vec(
+            (0u8..3, 0u64..1 << 40, any::<u32>()), 1..300),
+    ) {
+        let mut tree: Radix<u32> = Radix::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (kind, key, val) in ops {
+            match kind {
+                0 => {
+                    prop_assert_eq!(tree.insert(key, val), model.insert(key, val));
+                }
+                1 => {
+                    prop_assert_eq!(tree.remove(key), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(tree.get(key), model.get(&key));
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Iteration order and contents match.
+        let got: Vec<(u64, u32)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, u32)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// §4.2/§4.3.3 versioning: for every committed global version, the
+    /// restore pick (a) exists whenever any pair entry has a committed
+    /// version, (b) never selects an uncommitted (in-flight) tag, and
+    /// (c) the speculative-copy destination never targets the pick.
+    #[test]
+    fn restore_pick_is_safe(
+        v0 in proptest::option::of(0u64..20),
+        v1 in proptest::option::of(0u64..20),
+        global in 0u64..20,
+        migrated in any::<bool>(),
+    ) {
+        let meta = PageMeta {
+            pairs: [
+                v0.map(|v| PagePtr { frame: FrameId(1), version: v }),
+                v1.map(|v| PagePtr { frame: FrameId(2), version: v }),
+            ],
+            runtime_dram: migrated.then_some(treesls_nvm::DramId(0)),
+            writable: false,
+            hotness: 0,
+            dirty: false,
+            on_active_list: false,
+            idle_rounds: 0,
+            eternal: false,
+        };
+        let pick = meta.restore_pick(global);
+        let committed_exists =
+            v0.is_some_and(|v| v <= global) || v1.is_some_and(|v| v <= global);
+        if committed_exists {
+            let p = pick.expect("committed data must be recoverable");
+            let chosen = meta.pairs[p].expect("picked entry exists");
+            prop_assert!(chosen.version <= global,
+                "picked uncommitted tag {} > global {global}", chosen.version);
+            // The stop-and-copy destination must differ from the pick.
+            prop_assert_ne!(meta.sac_dst(global), p);
+        }
+        // Paper rule case ❶: an exact-version backup always wins.
+        if v0 == Some(global) {
+            prop_assert_eq!(pick, Some(0));
+        } else if v1 == Some(global) {
+            prop_assert_eq!(pick, Some(1));
+        } else if v1 == Some(0) {
+            // Case ❷/❸: the runtime NVM page (version 0) is used when no
+            // exact backup exists.
+            prop_assert_eq!(pick, Some(1));
+        }
+    }
+}
+
+/// Simulates the page lifecycle (CoW faults, speculative copies,
+/// migrations, commits, crashes) against a model of "content at each
+/// committed version" and checks restore always yields the committed
+/// image.
+#[test]
+fn page_version_lifecycle_model() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // frame id -> content tag
+        let mut frames: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut next_frame = 1u32;
+        let mut alloc = |frames: &mut std::collections::HashMap<u32, u64>| {
+            let f = next_frame;
+            next_frame += 1;
+            frames.insert(f, u64::MAX);
+            f
+        };
+        let home = alloc(&mut frames);
+        let mut meta = PageMeta::new_runtime(FrameId(home));
+        let mut runtime_content = 0u64; // content tag of the runtime page
+        frames.insert(home, 0);
+        let mut global = 0u64;
+        // content at each committed version
+        let mut committed: Vec<u64> = vec![0];
+        // The version of the first checkpoint that included this page: a
+        // page is only reachable from backup trees of that version onward
+        // (earlier restores simply do not contain it), so content checks
+        // only apply from here.
+        let mut first_ckpt: Option<u64> = None;
+
+        for _ in 0..200 {
+            match rng.gen_range(0..3) {
+                // Write (with CoW fault if armed).
+                0 => {
+                    if !meta.writable && !meta.is_migrated() {
+                        // Fault: copy runtime into pairs[0] tagged global.
+                        let rt = meta.pairs[1].unwrap().frame.0;
+                        let dst = match meta.pairs[0] {
+                            Some(p) => p.frame.0,
+                            None => alloc(&mut frames),
+                        };
+                        let content = frames[&rt];
+                        frames.insert(dst, content);
+                        meta.pairs[0] =
+                            Some(PagePtr { frame: FrameId(dst), version: global });
+                        meta.writable = true;
+                    }
+                    runtime_content = global + 1; // "content of next version"
+                    if let Some(p) = meta.pairs[1] {
+                        if !meta.is_migrated() {
+                            frames.insert(p.frame.0, runtime_content);
+                        }
+                    }
+                    meta.dirty = true;
+                }
+                // Checkpoint (STW): mark R/O, maybe speculative copy, commit.
+                1 => {
+                    let inflight = global + 1;
+                    if meta.is_migrated() && meta.dirty {
+                        let dst_idx = meta.sac_dst(global);
+                        let dst = match meta.pairs[dst_idx] {
+                            Some(p) => p.frame.0,
+                            None => alloc(&mut frames),
+                        };
+                        frames.insert(dst, runtime_content);
+                        meta.pairs[dst_idx] =
+                            Some(PagePtr { frame: FrameId(dst), version: inflight });
+                        meta.dirty = false;
+                    } else if !meta.is_migrated() {
+                        meta.writable = false;
+                        meta.dirty = false;
+                    }
+                    global = inflight;
+                    committed.push(runtime_content);
+                    first_ckpt.get_or_insert(global);
+                }
+                // Crash + restore to the committed version. Only
+                // meaningful once the page is part of a committed backup
+                // tree (before that, a restore simply omits the page).
+                _ => {
+                    let Some(first) = first_ckpt else { continue };
+                    assert!(global >= first);
+                    let pick = meta.restore_pick(global).expect("recoverable");
+                    let chosen = meta.pairs[pick].unwrap();
+                    let content = frames[&chosen.frame.0];
+                    assert_eq!(
+                        content, committed[global as usize],
+                        "seed {seed}: restored content {content} != committed \
+                         {} at version {global}",
+                        committed[global as usize]
+                    );
+                    // Normalize as the restore path does.
+                    if pick == 0 {
+                        meta.pairs.swap(0, 1);
+                    }
+                    let c = meta.pairs[1].unwrap();
+                    meta.pairs[1] = Some(PagePtr { frame: c.frame, version: 0 });
+                    if let Some(p) = meta.pairs[0].as_mut() {
+                        p.version = 0;
+                    }
+                    meta.runtime_dram = None;
+                    meta.writable = false;
+                    meta.dirty = false;
+                    runtime_content = content;
+                    // History beyond the restore point is gone.
+                    committed.truncate(global as usize + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The emulated NVM device: persistent page frames plus the metadata arena.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::dram::DramPool;
+use crate::latency::LatencyModel;
+use crate::meta::MetaArena;
+use crate::page::{zeroed_page, DramId, FrameId, PageBuf, PAGE_SIZE};
+use crate::stats::MemStats;
+
+/// An emulated byte-addressable non-volatile memory device.
+///
+/// The device owns a fixed array of page frames (the data area handed to the
+/// buddy allocator) and a [`MetaArena`] (the global metadata area of
+/// Figure 3 of the paper, holding allocator state, the journal and the
+/// checkpoint commit record).
+///
+/// Everything inside an `NvmDevice` survives a simulated power failure: the
+/// crash path of the `treesls` facade drops all volatile state and threads
+/// only this value (plus the typed backup-object stores, which conceptually
+/// live in its slab space) into recovery.
+///
+/// Frames are individually locked so that non-leader cores can perform
+/// speculative stop-and-copy of disjoint pages in parallel with the leader's
+/// capability-tree checkpoint, as in step ❸ of the paper's Figure 5. Lock
+/// ordering is by ascending frame id (and DRAM-before-NVM for cross-device
+/// copies) to keep concurrent page copies deadlock-free.
+#[derive(Debug)]
+pub struct NvmDevice {
+    frames: Vec<RwLock<PageBuf>>,
+    meta: MetaArena,
+    latency: Arc<LatencyModel>,
+    stats: Arc<MemStats>,
+}
+
+impl NvmDevice {
+    /// Creates a device with `frame_count` zeroed page frames and a zeroed
+    /// metadata arena of `meta_len` bytes.
+    pub fn new(frame_count: usize, meta_len: usize, latency: Arc<LatencyModel>) -> Self {
+        let stats = Arc::new(MemStats::new());
+        let frames = (0..frame_count).map(|_| RwLock::new(zeroed_page())).collect();
+        let meta = MetaArena::new(meta_len, Arc::clone(&latency), Arc::clone(&stats));
+        Self { frames, meta, latency, stats }
+    }
+
+    /// Number of page frames in the data area.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The persistent metadata arena.
+    pub fn meta(&self) -> &MetaArena {
+        &self.meta
+    }
+
+    /// The latency model shared by this device.
+    pub fn latency(&self) -> &Arc<LatencyModel> {
+        &self.latency
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> &Arc<MemStats> {
+        &self.stats
+    }
+
+    /// Reads `buf.len()` bytes from `frame` starting at byte `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `off..off + buf.len()` exceeds the page.
+    pub fn read(&self, frame: FrameId, off: usize, buf: &mut [u8]) {
+        self.latency.charge_read(buf.len());
+        self.stats.record_read(buf.len());
+        let g = self.frames[frame.index()].read();
+        buf.copy_from_slice(&g[off..off + buf.len()]);
+    }
+
+    /// Writes `data` into `frame` starting at byte `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the page.
+    pub fn write(&self, frame: FrameId, off: usize, data: &[u8]) {
+        self.latency.charge_write(data.len());
+        self.stats.record_write(data.len());
+        let mut g = self.frames[frame.index()].write();
+        g[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a little-endian `u64` at byte `off` of `frame`.
+    pub fn read_u64(&self, frame: FrameId, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(frame, off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at byte `off` of `frame`.
+    pub fn write_u64(&self, frame: FrameId, off: usize, v: u64) {
+        self.write(frame, off, &v.to_le_bytes());
+    }
+
+    /// Copies the full content of `frame` into `out`.
+    pub fn read_page(&self, frame: FrameId, out: &mut [u8; PAGE_SIZE]) {
+        self.latency.charge_read(PAGE_SIZE);
+        self.stats.record_read(PAGE_SIZE);
+        out.copy_from_slice(&**self.frames[frame.index()].read());
+    }
+
+    /// Overwrites the full content of `frame` from `data`.
+    pub fn write_page(&self, frame: FrameId, data: &[u8; PAGE_SIZE]) {
+        self.latency.charge_write(PAGE_SIZE);
+        self.stats.record_write(PAGE_SIZE);
+        self.frames[frame.index()].write().copy_from_slice(data);
+    }
+
+    /// Zeroes the full content of `frame`.
+    pub fn zero_page(&self, frame: FrameId) {
+        self.latency.charge_write(PAGE_SIZE);
+        self.stats.record_write(PAGE_SIZE);
+        self.frames[frame.index()].write().fill(0);
+    }
+
+    /// Copies one NVM page to another NVM page (`src` → `dst`).
+    ///
+    /// Locks are taken in ascending frame-id order so concurrent disjoint
+    /// copies cannot deadlock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn copy_frame(&self, src: FrameId, dst: FrameId) {
+        assert_ne!(src, dst, "copy_frame requires distinct frames");
+        self.latency.charge_read(PAGE_SIZE);
+        self.latency.charge_write(PAGE_SIZE);
+        self.stats.record_read(PAGE_SIZE);
+        self.stats.record_write(PAGE_SIZE);
+        self.stats.record_page_copy();
+        if src < dst {
+            let s = self.frames[src.index()].read();
+            let mut d = self.frames[dst.index()].write();
+            d.copy_from_slice(&**s);
+        } else {
+            let mut d = self.frames[dst.index()].write();
+            let s = self.frames[src.index()].read();
+            d.copy_from_slice(&**s);
+        }
+    }
+
+    /// Copies a DRAM page into an NVM frame (`src` → `dst`).
+    ///
+    /// Cross-device lock order is DRAM before NVM.
+    pub fn copy_from_dram(&self, dram: &DramPool, src: DramId, dst: FrameId) {
+        self.latency.charge_write(PAGE_SIZE);
+        self.stats.record_write(PAGE_SIZE);
+        self.stats.record_page_copy();
+        let s = dram.lock_page(src);
+        let mut d = self.frames[dst.index()].write();
+        d.copy_from_slice(&s[..]);
+    }
+
+    /// Copies an NVM frame into a DRAM page (`src` → `dst`).
+    ///
+    /// Cross-device lock order is DRAM before NVM.
+    pub fn copy_to_dram(&self, src: FrameId, dram: &DramPool, dst: DramId) {
+        self.latency.charge_read(PAGE_SIZE);
+        self.stats.record_read(PAGE_SIZE);
+        let mut d = dram.lock_page_mut(dst);
+        let s = self.frames[src.index()].read();
+        d.copy_from_slice(&**s);
+    }
+
+    /// Returns `true` if the two frames hold identical bytes.
+    pub fn pages_equal(&self, a: FrameId, b: FrameId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let ga = self.frames[lo.index()].read();
+        let gb = self.frames[hi.index()].read();
+        **ga == **gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(frames: usize) -> NvmDevice {
+        NvmDevice::new(frames, 1024, Arc::new(LatencyModel::disabled()))
+    }
+
+    #[test]
+    fn frames_start_zeroed() {
+        let d = dev(4);
+        let mut p = [0xFFu8; PAGE_SIZE];
+        d.read_page(FrameId(0), &mut p);
+        assert!(p.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn partial_read_write() {
+        let d = dev(2);
+        d.write(FrameId(1), 100, b"treesls");
+        let mut b = [0u8; 7];
+        d.read(FrameId(1), 100, &mut b);
+        assert_eq!(&b, b"treesls");
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let d = dev(1);
+        d.write_u64(FrameId(0), 8, 0xFEED_FACE);
+        assert_eq!(d.read_u64(FrameId(0), 8), 0xFEED_FACE);
+    }
+
+    #[test]
+    fn copy_frame_both_directions() {
+        let d = dev(3);
+        d.write(FrameId(0), 0, b"abc");
+        d.copy_frame(FrameId(0), FrameId(2));
+        assert!(d.pages_equal(FrameId(0), FrameId(2)));
+        d.write(FrameId(2), 0, b"xyz");
+        d.copy_frame(FrameId(2), FrameId(1));
+        let mut b = [0u8; 3];
+        d.read(FrameId(1), 0, &mut b);
+        assert_eq!(&b, b"xyz");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct frames")]
+    fn copy_frame_rejects_same_frame() {
+        dev(1).copy_frame(FrameId(0), FrameId(0));
+    }
+
+    #[test]
+    fn dram_round_trip() {
+        let d = dev(2);
+        let pool = DramPool::new(2);
+        let page = pool.alloc().expect("dram page");
+        d.write(FrameId(0), 0, b"hot");
+        d.copy_to_dram(FrameId(0), &pool, page);
+        pool.write(page, 3, b"ter");
+        d.copy_from_dram(&pool, page, FrameId(1));
+        let mut b = [0u8; 6];
+        d.read(FrameId(1), 0, &mut b);
+        assert_eq!(&b, b"hotter");
+    }
+
+    #[test]
+    fn stats_track_copies() {
+        let d = dev(2);
+        d.copy_frame(FrameId(0), FrameId(1));
+        assert_eq!(d.stats().snapshot().page_copies, 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_copies() {
+        let d = Arc::new(dev(64));
+        for i in 0..32u32 {
+            d.write(FrameId(i), 0, &i.to_le_bytes());
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                for i in (t..32).step_by(4) {
+                    d.copy_frame(FrameId(i as u32), FrameId(32 + i as u32));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("copier thread");
+        }
+        for i in 0..32u32 {
+            assert!(d.pages_equal(FrameId(i), FrameId(32 + i)));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The volatile DRAM page pool.
+//!
+//! TreeSLS keeps two kinds of state in DRAM (Figure 3): rebuild-able
+//! structures that are deliberately excluded from checkpoints (page tables),
+//! and hot pages migrated out of NVM by hybrid copy for faster access. Both
+//! are lost on power failure — the crash path simply drops the pool.
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::page::{zeroed_page, DramId, PageBuf, PAGE_SIZE};
+use crate::stats::MemStats;
+
+/// A fixed-capacity pool of volatile 4 KiB pages.
+///
+/// Allocation is a simple free-list; the pool never grows. Hybrid copy
+/// treats pool exhaustion as "do not migrate" rather than an error, mirroring
+/// a bounded DRAM cache.
+#[derive(Debug)]
+pub struct DramPool {
+    pages: Vec<RwLock<PageBuf>>,
+    free: Mutex<Vec<DramId>>,
+    stats: MemStats,
+}
+
+impl DramPool {
+    /// Creates a pool of `capacity` zeroed pages.
+    pub fn new(capacity: usize) -> Self {
+        let pages = (0..capacity).map(|_| RwLock::new(zeroed_page())).collect();
+        // Hand out low ids first: pop from the back of a reversed list.
+        let free = (0..capacity as u32).rev().map(DramId).collect();
+        Self { pages, free: Mutex::new(free), stats: MemStats::new() }
+    }
+
+    /// Total number of pages in the pool.
+    pub fn capacity(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of currently free pages.
+    pub fn free_count(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Access statistics for the pool.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Allocates a page, returning `None` when the pool is exhausted.
+    ///
+    /// The returned page is zeroed.
+    pub fn alloc(&self) -> Option<DramId> {
+        let id = self.free.lock().pop()?;
+        self.pages[id.index()].write().fill(0);
+        Some(id)
+    }
+
+    /// Returns a page to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the page is double-freed.
+    pub fn free(&self, id: DramId) {
+        let mut free = self.free.lock();
+        debug_assert!(!free.contains(&id), "double free of DRAM page {id:?}");
+        free.push(id);
+    }
+
+    /// Reads `buf.len()` bytes from page `id` starting at `off`.
+    pub fn read(&self, id: DramId, off: usize, buf: &mut [u8]) {
+        self.stats.record_read(buf.len());
+        let g = self.pages[id.index()].read();
+        buf.copy_from_slice(&g[off..off + buf.len()]);
+    }
+
+    /// Writes `data` into page `id` starting at `off`.
+    pub fn write(&self, id: DramId, off: usize, data: &[u8]) {
+        self.stats.record_write(data.len());
+        let mut g = self.pages[id.index()].write();
+        g[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copies the full page into `out`.
+    pub fn read_page(&self, id: DramId, out: &mut [u8; PAGE_SIZE]) {
+        self.stats.record_read(PAGE_SIZE);
+        out.copy_from_slice(&**self.pages[id.index()].read());
+    }
+
+    /// Overwrites the full page from `data`.
+    pub fn write_page(&self, id: DramId, data: &[u8; PAGE_SIZE]) {
+        self.stats.record_write(PAGE_SIZE);
+        self.pages[id.index()].write().copy_from_slice(data);
+    }
+
+    /// Takes a shared lock on a page, for cross-device copy routines.
+    pub fn lock_page(&self, id: DramId) -> RwLockReadGuard<'_, PageBuf> {
+        self.pages[id.index()].read()
+    }
+
+    /// Takes an exclusive lock on a page, for cross-device copy routines.
+    pub fn lock_page_mut(&self, id: DramId) -> RwLockWriteGuard<'_, PageBuf> {
+        self.pages[id.index()].write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let p = DramPool::new(3);
+        assert_eq!(p.capacity(), 3);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        let c = p.alloc().unwrap();
+        assert!(p.alloc().is_none());
+        assert_eq!(p.free_count(), 0);
+        p.free(b);
+        assert_eq!(p.free_count(), 1);
+        let b2 = p.alloc().unwrap();
+        assert_eq!(b, b2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn realloc_returns_zeroed_page() {
+        let p = DramPool::new(1);
+        let a = p.alloc().unwrap();
+        p.write(a, 0, &[0xAA; 32]);
+        p.free(a);
+        let a2 = p.alloc().unwrap();
+        let mut buf = [0xFFu8; 32];
+        p.read(a2, 0, &mut buf);
+        assert_eq!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let p = DramPool::new(1);
+        let a = p.alloc().unwrap();
+        p.write(a, 1000, b"dram");
+        let mut buf = [0u8; 4];
+        p.read(a, 1000, &mut buf);
+        assert_eq!(&buf, b"dram");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let p = DramPool::new(1);
+        let a = p.alloc().unwrap();
+        p.free(a);
+        p.free(a);
+    }
+}

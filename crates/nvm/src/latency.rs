@@ -1,0 +1,170 @@
+//! Calibrated extra-latency injection for NVM accesses.
+//!
+//! The paper's testbed pairs DDR4 DRAM with Intel Optane PMem. Optane writes
+//! are roughly 3–4× slower than DRAM writes and reads roughly 2–3× slower;
+//! synchronous persistence primitives (e.g. an `fsync` on Ext4-DAX used by
+//! the Linux-WAL baseline) cost additional microseconds per call. Functional
+//! tests run with injection disabled; the benchmark harness enables it so
+//! the measured shapes reproduce the DRAM/NVM asymmetry.
+//!
+//! Injection uses a spin-wait rather than `thread::sleep` because the
+//! injected delays are in the tens-to-hundreds of nanoseconds, far below
+//! scheduler sleep resolution.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Extra latency charged to emulated-NVM accesses.
+///
+/// All fields are expressed in nanoseconds per 256-byte chunk (roughly an
+/// Optane access granule / XPLine quarter), except [`flush_ns`] which is a
+/// flat per-call cost modelling a synchronous persistence barrier.
+///
+/// [`flush_ns`]: Self::flush_ns
+#[derive(Debug)]
+pub struct LatencyModel {
+    enabled: AtomicBool,
+    /// Extra nanoseconds per 256 B written to NVM.
+    pub write_ns_per_chunk: AtomicU64,
+    /// Extra nanoseconds per 256 B read from NVM.
+    pub read_ns_per_chunk: AtomicU64,
+    /// Flat nanoseconds per explicit persistence barrier (e.g. WAL fsync).
+    pub flush_ns: AtomicU64,
+}
+
+/// Chunk size used for latency accounting.
+pub const CHUNK: usize = 256;
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl LatencyModel {
+    /// Creates a model with injection turned off (all accesses are free).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            write_ns_per_chunk: AtomicU64::new(0),
+            read_ns_per_chunk: AtomicU64::new(0),
+            flush_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates the calibrated model used by the benchmark harness.
+    ///
+    /// Defaults approximate published Optane DC PMem measurements: ~60 ns of
+    /// extra write latency and ~40 ns of extra read latency per 256 B chunk,
+    /// and a 1.5 µs synchronous flush (Ext4-DAX `fsync` round trip).
+    pub fn optane() -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            write_ns_per_chunk: AtomicU64::new(60),
+            read_ns_per_chunk: AtomicU64::new(40),
+            flush_ns: AtomicU64::new(1500),
+        }
+    }
+
+    /// Enables or disables injection at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Returns whether injection is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Charges the latency of writing `bytes` bytes to NVM.
+    #[inline]
+    pub fn charge_write(&self, bytes: usize) {
+        if self.is_enabled() {
+            let per = self.write_ns_per_chunk.load(Ordering::Relaxed);
+            spin_for(Duration::from_nanos(per * chunks(bytes)));
+        }
+    }
+
+    /// Charges the latency of reading `bytes` bytes from NVM.
+    #[inline]
+    pub fn charge_read(&self, bytes: usize) {
+        if self.is_enabled() {
+            let per = self.read_ns_per_chunk.load(Ordering::Relaxed);
+            spin_for(Duration::from_nanos(per * chunks(bytes)));
+        }
+    }
+
+    /// Charges one synchronous persistence barrier.
+    #[inline]
+    pub fn charge_flush(&self) {
+        if self.is_enabled() {
+            spin_for(Duration::from_nanos(self.flush_ns.load(Ordering::Relaxed)));
+        }
+    }
+}
+
+#[inline]
+fn chunks(bytes: usize) -> u64 {
+    bytes.div_ceil(CHUNK) as u64
+}
+
+/// Busy-waits for approximately `d`.
+#[inline]
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_model_is_free() {
+        let m = LatencyModel::disabled();
+        let t = Instant::now();
+        for _ in 0..1000 {
+            m.charge_write(PAGE);
+        }
+        // 1000 free charges should take well under a millisecond.
+        assert!(t.elapsed() < Duration::from_millis(50));
+    }
+
+    const PAGE: usize = 4096;
+
+    #[test]
+    fn enabled_model_injects_delay() {
+        let m = LatencyModel::optane();
+        // One page write = 16 chunks * 60 ns ≈ 1 µs.
+        let t = Instant::now();
+        for _ in 0..100 {
+            m.charge_write(PAGE);
+        }
+        assert!(t.elapsed() >= Duration::from_micros(90));
+    }
+
+    #[test]
+    fn toggling_enabled_works() {
+        let m = LatencyModel::optane();
+        assert!(m.is_enabled());
+        m.set_enabled(false);
+        assert!(!m.is_enabled());
+        let t = Instant::now();
+        m.charge_flush();
+        assert!(t.elapsed() < Duration::from_micros(500));
+    }
+
+    #[test]
+    fn chunk_rounding_is_ceiling() {
+        assert_eq!(chunks(0), 0);
+        assert_eq!(chunks(1), 1);
+        assert_eq!(chunks(256), 1);
+        assert_eq!(chunks(257), 2);
+        assert_eq!(chunks(4096), 16);
+    }
+}

@@ -1,0 +1,37 @@
+//! Emulated non-volatile memory (NVM) and DRAM devices for TreeSLS.
+//!
+//! The paper runs on Intel Optane Persistent Memory with eADR: every store
+//! that has reached the cache hierarchy is guaranteed durable, while CPU
+//! registers, device registers and DRAM contents are lost on power failure.
+//! This crate models exactly that boundary in user space:
+//!
+//! * [`NvmDevice`] — a page-granular, byte-addressable persistent device.
+//!   Everything stored in it survives a simulated power failure ("crash").
+//! * [`DramPool`] — a volatile page pool for page tables and hot-page
+//!   caching. Its contents are *dropped* on crash.
+//! * [`LatencyModel`] — optional calibrated extra latency for NVM accesses,
+//!   so benchmarks reproduce the DRAM/NVM asymmetry of the paper's testbed.
+//! * [`ObjectStore`] — a persistent slot arena used by the kernel for
+//!   checkpointed (backup) kernel objects; conceptually it lives in NVM slab
+//!   space managed by `treesls-pmem-alloc`.
+//!
+//! Crash semantics are enforced by ownership: the whole emulated machine is
+//! consumed by `crash()` (in the `treesls` facade) and only the values that
+//! are part of the persistent state — the `NvmDevice`, the backup object
+//! store, and the checkpoint metadata — are returned to the recovery path.
+
+pub mod device;
+pub mod dram;
+pub mod latency;
+pub mod meta;
+pub mod page;
+pub mod stats;
+pub mod store;
+
+pub use device::NvmDevice;
+pub use dram::DramPool;
+pub use latency::LatencyModel;
+pub use meta::{InjectedCrash, MetaArena};
+pub use page::{DramId, FrameId, PageBuf, PAGE_SIZE};
+pub use stats::MemStats;
+pub use store::{ObjectStore, SlotId};

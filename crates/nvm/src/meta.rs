@@ -1,0 +1,258 @@
+//! Byte-addressable persistent metadata arena.
+//!
+//! TreeSLS keeps the checkpoint manager's state — buddy/slab allocator
+//! metadata, the redo/undo journal, and the global checkpoint metadata
+//! (version number, commit status, backup-tree root) — in a dedicated NVM
+//! region (the "global metadata area" of Figure 3). [`MetaArena`] models
+//! that region as a flat byte array with little-endian typed accessors, so
+//! the allocator and journal can be laid out and recovered byte-for-byte,
+//! exactly as they would be on a real persistent DIMM.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::latency::LatencyModel;
+use crate::stats::MemStats;
+
+/// A persistent, byte-addressable metadata region.
+///
+/// All multi-byte accessors use little-endian encoding (the paper's testbed
+/// is x86-64). Offsets are in bytes from the start of the arena.
+///
+/// Interior mutability: reads take a shared lock, writes an exclusive lock.
+/// On the real hardware individual aligned stores are atomic; callers that
+/// need a single-word commit point should use [`write_u64`] on an aligned
+/// offset, which is what the checkpoint manager's version bump does.
+///
+/// [`write_u64`]: Self::write_u64
+#[derive(Debug)]
+pub struct MetaArena {
+    bytes: RwLock<Box<[u8]>>,
+    latency: Arc<LatencyModel>,
+    stats: Arc<MemStats>,
+    /// Monotone write tick, used by crash-injection tests to cut history.
+    write_tick: AtomicU64,
+    /// Crash-injection fuse: when it reaches zero, the next write panics.
+    bomb: AtomicU64,
+}
+
+/// Panic payload used by the crash-injection fuse.
+///
+/// Tests match on this to distinguish an injected crash from a real bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash;
+
+impl MetaArena {
+    /// Creates a zeroed arena of `len` bytes.
+    pub fn new(len: usize, latency: Arc<LatencyModel>, stats: Arc<MemStats>) -> Self {
+        Self {
+            bytes: RwLock::new(vec![0u8; len].into_boxed_slice()),
+            latency,
+            stats,
+            write_tick: AtomicU64::new(0),
+            bomb: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Arms the crash-injection fuse: after `writes_remaining` more writes,
+    /// the next write panics with [`InjectedCrash`] *before* mutating the
+    /// arena, simulating a power failure at that exact point in the
+    /// persistent write stream.
+    ///
+    /// Used by the allocator/journal crash tests; production code never arms
+    /// the fuse.
+    pub fn arm_crash_after(&self, writes_remaining: u64) {
+        self.bomb.store(writes_remaining, Ordering::SeqCst);
+    }
+
+    /// Disarms the crash-injection fuse.
+    pub fn disarm_crash(&self) {
+        self.bomb.store(u64::MAX, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn tick_write(&self) {
+        self.write_tick.fetch_add(1, Ordering::Relaxed);
+        let prev = self.bomb.load(Ordering::Relaxed);
+        if prev != u64::MAX {
+            if prev == 0 {
+                std::panic::panic_any(InjectedCrash);
+            }
+            self.bomb.store(prev - 1, Ordering::SeqCst);
+        }
+    }
+
+    /// Returns the arena length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.read().len()
+    }
+
+    /// Returns `true` if the arena has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the number of writes performed so far.
+    pub fn write_tick(&self) -> u64 {
+        self.write_tick.load(Ordering::Relaxed)
+    }
+
+    /// Reads a `u8` at `off`.
+    pub fn read_u8(&self, off: usize) -> u8 {
+        self.latency.charge_read(1);
+        self.stats.record_read(1);
+        self.bytes.read()[off]
+    }
+
+    /// Writes a `u8` at `off`.
+    pub fn write_u8(&self, off: usize, v: u8) {
+        self.latency.charge_write(1);
+        self.stats.record_write(1);
+        self.tick_write();
+        self.bytes.write()[off] = v;
+    }
+
+    /// Reads a little-endian `u32` at `off`.
+    pub fn read_u32(&self, off: usize) -> u32 {
+        self.latency.charge_read(4);
+        self.stats.record_read(4);
+        let g = self.bytes.read();
+        u32::from_le_bytes(g[off..off + 4].try_into().expect("in-bounds u32 read"))
+    }
+
+    /// Writes a little-endian `u32` at `off`.
+    pub fn write_u32(&self, off: usize, v: u32) {
+        self.latency.charge_write(4);
+        self.stats.record_write(4);
+        self.tick_write();
+        self.bytes.write()[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64` at `off`.
+    pub fn read_u64(&self, off: usize) -> u64 {
+        self.latency.charge_read(8);
+        self.stats.record_read(8);
+        let g = self.bytes.read();
+        u64::from_le_bytes(g[off..off + 8].try_into().expect("in-bounds u64 read"))
+    }
+
+    /// Writes a little-endian `u64` at `off`.
+    ///
+    /// An aligned `u64` store is the arena's atomic commit primitive: the
+    /// checkpoint manager bumps the global version with a single call.
+    pub fn write_u64(&self, off: usize, v: u64) {
+        self.latency.charge_write(8);
+        self.stats.record_write(8);
+        self.tick_write();
+        self.bytes.write()[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copies `buf.len()` bytes starting at `off` into `buf`.
+    pub fn read_bytes(&self, off: usize, buf: &mut [u8]) {
+        self.latency.charge_read(buf.len());
+        self.stats.record_read(buf.len());
+        buf.copy_from_slice(&self.bytes.read()[off..off + buf.len()]);
+    }
+
+    /// Writes `data` starting at `off`.
+    pub fn write_bytes(&self, off: usize, data: &[u8]) {
+        self.latency.charge_write(data.len());
+        self.stats.record_write(data.len());
+        self.tick_write();
+        self.bytes.write()[off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Zeroes `len` bytes starting at `off`.
+    pub fn zero(&self, off: usize, len: usize) {
+        self.latency.charge_write(len);
+        self.stats.record_write(len);
+        self.tick_write();
+        self.bytes.write()[off..off + len].fill(0);
+    }
+
+    /// Clones the full arena contents (used by crash-injection tests to
+    /// snapshot persistent state at a cut point).
+    pub fn dump(&self) -> Vec<u8> {
+        self.bytes.read().to_vec()
+    }
+
+    /// Overwrites the full arena contents from a dump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the arena length.
+    pub fn restore_dump(&self, data: &[u8]) {
+        let mut g = self.bytes.write();
+        assert_eq!(data.len(), g.len(), "dump length must match arena length");
+        g.copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(len: usize) -> MetaArena {
+        MetaArena::new(len, Arc::new(LatencyModel::disabled()), Arc::new(MemStats::new()))
+    }
+
+    #[test]
+    fn typed_roundtrips() {
+        let a = arena(64);
+        a.write_u8(0, 0xAB);
+        a.write_u32(4, 0xDEAD_BEEF);
+        a.write_u64(8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(a.read_u8(0), 0xAB);
+        assert_eq!(a.read_u32(4), 0xDEAD_BEEF);
+        assert_eq!(a.read_u64(8), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn byte_slices_roundtrip() {
+        let a = arena(32);
+        a.write_bytes(3, b"hello");
+        let mut buf = [0u8; 5];
+        a.read_bytes(3, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn zero_clears_range() {
+        let a = arena(16);
+        a.write_bytes(0, &[0xFF; 16]);
+        a.zero(4, 8);
+        let mut buf = [0u8; 16];
+        a.read_bytes(0, &mut buf);
+        assert_eq!(&buf[..4], &[0xFF; 4]);
+        assert_eq!(&buf[4..12], &[0u8; 8]);
+        assert_eq!(&buf[12..], &[0xFF; 4]);
+    }
+
+    #[test]
+    fn dump_and_restore() {
+        let a = arena(16);
+        a.write_u64(0, 42);
+        let d = a.dump();
+        a.write_u64(0, 99);
+        a.restore_dump(&d);
+        assert_eq!(a.read_u64(0), 42);
+    }
+
+    #[test]
+    fn write_tick_counts_writes() {
+        let a = arena(16);
+        let t0 = a.write_tick();
+        a.write_u8(0, 1);
+        a.write_u64(8, 2);
+        assert_eq!(a.write_tick(), t0 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dump length")]
+    fn restore_dump_rejects_bad_length() {
+        let a = arena(16);
+        a.restore_dump(&[0u8; 8]);
+    }
+}

@@ -1,0 +1,607 @@
+//! Binary buddy allocator over NVM page frames.
+//!
+//! All allocator state lives in the NVM metadata arena so it survives power
+//! failures; every mutation goes through a journal [`Tx`], making each
+//! alloc/free atomic (§3 of the paper, "the checkpoint manager needs to be
+//! failure-resilient").
+//!
+//! Persistent layout at `layout.buddy_off`:
+//!
+//! ```text
+//! +0                      magic        u64
+//! +8                      frame_count  u64
+//! +16                     first_frame  u64
+//! +24                     heads[MAX_ORDER+1]  u32 each (NONE = u32::MAX)
+//! +24 + 4*(MAX_ORDER+1)   meta[frame_count]   u8 each (block heads only)
+//! then                    next[frame_count]   u32 each
+//! then                    prev[frame_count]   u32 each
+//! ```
+//!
+//! The `meta` byte of a *block head* encodes `order` (low 4 bits) and an
+//! allocated bit (bit 6). Non-head frames carry no meaning: the block
+//! structure is recovered by scanning heads low-to-high, each head covering
+//! `1 << order` frames — blocks are always contiguous and aligned, so the
+//! scan is unambiguous.
+
+use treesls_nvm::{FrameId, NvmDevice};
+
+use crate::error::AllocError;
+use crate::journal::Tx;
+use crate::layout::{align8, AllocLayout, MAX_ORDER};
+
+const MAGIC: u64 = 0xB0DD_15B0_DD15_0001;
+const NONE: u32 = u32::MAX;
+const ALLOC_BIT: u8 = 1 << 6;
+const ORDER_MASK: u8 = 0x0F;
+
+/// The buddy allocator. Holds only volatile offsets; all state is in NVM.
+#[derive(Debug)]
+pub struct Buddy {
+    off: usize,
+    first_frame: u32,
+    frame_count: u32,
+}
+
+struct Offsets {
+    heads: usize,
+    meta: usize,
+    next: usize,
+    prev: usize,
+}
+
+impl Buddy {
+    /// Bytes of arena needed for `frame_count` frames.
+    pub fn region_len(frame_count: u32) -> usize {
+        let n = frame_count as usize;
+        align8(24 + 4 * (MAX_ORDER as usize + 1)) + align8(n) + align8(4 * n) + align8(4 * n)
+    }
+
+    fn offsets(&self) -> Offsets {
+        let n = self.frame_count as usize;
+        let heads = self.off + 24;
+        let meta = self.off + align8(24 + 4 * (MAX_ORDER as usize + 1));
+        let next = meta + align8(n);
+        let prev = next + align8(4 * n);
+        Offsets { heads, meta, next, prev }
+    }
+
+    /// Formats a fresh buddy system covering the layout's frame range.
+    pub fn format(dev: &NvmDevice, layout: &AllocLayout) -> Self {
+        let b = Self {
+            off: layout.buddy_off,
+            first_frame: layout.first_frame,
+            frame_count: layout.frame_count,
+        };
+        b.reformat(dev);
+        b
+    }
+
+    /// Re-initializes all metadata to "everything free".
+    ///
+    /// Direct (unjournaled) writes: reformatting is idempotent, so a crash
+    /// in the middle simply restarts it.
+    pub fn reformat(&self, dev: &NvmDevice) {
+        let meta = dev.meta();
+        meta.write_u64(self.off, MAGIC);
+        meta.write_u64(self.off + 8, self.frame_count as u64);
+        meta.write_u64(self.off + 16, self.first_frame as u64);
+        let o = self.offsets();
+        for ord in 0..=MAX_ORDER {
+            meta.write_u32(o.heads + 4 * ord as usize, NONE);
+        }
+        // Greedily cover the range with maximal aligned free blocks.
+        let mut r: u32 = 0;
+        while r < self.frame_count {
+            let mut ord = MAX_ORDER;
+            loop {
+                let size = 1u32 << ord;
+                if r % size == 0 && r + size <= self.frame_count {
+                    break;
+                }
+                ord -= 1;
+            }
+            // Insert directly (unjournaled format path).
+            let head = meta.read_u32(o.heads + 4 * ord as usize);
+            meta.write_u8(o.meta + r as usize, ord);
+            meta.write_u32(o.next + 4 * r as usize, head);
+            meta.write_u32(o.prev + 4 * r as usize, NONE);
+            if head != NONE {
+                meta.write_u32(o.prev + 4 * head as usize, r);
+            }
+            meta.write_u32(o.heads + 4 * ord as usize, r);
+            r += 1 << ord;
+        }
+    }
+
+    /// Reattaches to already-formatted metadata (after journal recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the magic number does not match (the arena was never
+    /// formatted or is corrupt).
+    pub fn attach(dev: &NvmDevice, layout: &AllocLayout) -> Self {
+        let meta = dev.meta();
+        assert_eq!(meta.read_u64(layout.buddy_off), MAGIC, "buddy magic mismatch");
+        Self {
+            off: layout.buddy_off,
+            first_frame: meta.read_u64(layout.buddy_off + 16) as u32,
+            frame_count: meta.read_u64(layout.buddy_off + 8) as u32,
+        }
+    }
+
+    /// Number of frames managed.
+    pub fn frame_count(&self) -> usize {
+        self.frame_count as usize
+    }
+
+    fn rel(&self, frame: FrameId) -> u32 {
+        frame.0 - self.first_frame
+    }
+
+    fn abs(&self, rel: u32) -> FrameId {
+        FrameId(rel + self.first_frame)
+    }
+
+    fn read_meta(&self, dev: &NvmDevice, r: u32) -> u8 {
+        dev.meta().read_u8(self.offsets().meta + r as usize)
+    }
+
+    fn list_remove(&self, dev: &NvmDevice, tx: &mut Tx<'_>, ord: u8, r: u32) {
+        let o = self.offsets();
+        let meta = dev.meta();
+        let next = meta.read_u32(o.next + 4 * r as usize);
+        let prev = meta.read_u32(o.prev + 4 * r as usize);
+        if prev == NONE {
+            tx.write_u32(o.heads + 4 * ord as usize, next);
+        } else {
+            tx.write_u32(o.next + 4 * prev as usize, next);
+        }
+        if next != NONE {
+            tx.write_u32(o.prev + 4 * next as usize, prev);
+        }
+    }
+
+    fn list_push(&self, dev: &NvmDevice, tx: &mut Tx<'_>, ord: u8, r: u32) {
+        let o = self.offsets();
+        let head = dev.meta().read_u32(o.heads + 4 * ord as usize);
+        tx.write_u32(o.next + 4 * r as usize, head);
+        tx.write_u32(o.prev + 4 * r as usize, NONE);
+        if head != NONE {
+            tx.write_u32(o.prev + 4 * head as usize, r);
+        }
+        tx.write_u32(o.heads + 4 * ord as usize, r);
+    }
+
+    /// Returns `true` if `r` is a genuine block head.
+    ///
+    /// Meta bytes of interior frames are stale, so a head claim is confirmed
+    /// by walking the block partition from the nearest max-order boundary
+    /// (blocks never span one, as every block is aligned to its own size).
+    fn is_block_head(&self, dev: &NvmDevice, r: u32) -> bool {
+        let mut pos = r & !((1u32 << MAX_ORDER) - 1);
+        while pos < r {
+            let ord = self.read_meta(dev, pos) & ORDER_MASK;
+            pos += 1u32 << ord.min(MAX_ORDER);
+        }
+        pos == r
+    }
+
+    fn list_contains(&self, dev: &NvmDevice, ord: u8, r: u32) -> bool {
+        let o = self.offsets();
+        let meta = dev.meta();
+        let mut cur = meta.read_u32(o.heads + 4 * ord as usize);
+        while cur != NONE {
+            if cur == r {
+                return true;
+            }
+            cur = meta.read_u32(o.next + 4 * cur as usize);
+        }
+        false
+    }
+
+    /// Allocates a block of `1 << order` frames.
+    pub fn alloc(&self, dev: &NvmDevice, tx: &mut Tx<'_>, order: u8) -> Result<FrameId, AllocError> {
+        if order > MAX_ORDER {
+            return Err(AllocError::OrderTooLarge);
+        }
+        let o = self.offsets();
+        let meta = dev.meta();
+        // Find the smallest order with a free block.
+        let mut found = None;
+        for ord in order..=MAX_ORDER {
+            let head = meta.read_u32(o.heads + 4 * ord as usize);
+            if head != NONE {
+                found = Some((ord, head));
+                break;
+            }
+        }
+        let (mut ord, r) = found.ok_or(AllocError::OutOfMemory)?;
+        self.list_remove(dev, tx, ord, r);
+        // Split down to the requested order, freeing upper halves.
+        while ord > order {
+            ord -= 1;
+            let upper = r + (1u32 << ord);
+            tx.write_u8(o.meta + upper as usize, ord); // free head, order `ord`
+            self.list_push(dev, tx, ord, upper);
+        }
+        tx.write_u8(o.meta + r as usize, order | ALLOC_BIT);
+        Ok(self.abs(r))
+    }
+
+    /// Frees the block at `frame` previously allocated with `order`.
+    pub fn free(
+        &self,
+        dev: &NvmDevice,
+        tx: &mut Tx<'_>,
+        frame: FrameId,
+        order: u8,
+    ) -> Result<(), AllocError> {
+        if order > MAX_ORDER {
+            return Err(AllocError::OrderTooLarge);
+        }
+        if frame.0 < self.first_frame || self.rel(frame) >= self.frame_count {
+            return Err(AllocError::InvalidFree);
+        }
+        let mut r = self.rel(frame);
+        if r % (1u32 << order) != 0 {
+            return Err(AllocError::InvalidFree);
+        }
+        let m = self.read_meta(dev, r);
+        if m != (order | ALLOC_BIT) || !self.is_block_head(dev, r) {
+            return Err(AllocError::InvalidFree);
+        }
+        let o = self.offsets();
+        let mut ord = order;
+        // Eager merge with free buddies.
+        while ord < MAX_ORDER {
+            let buddy = r ^ (1u32 << ord);
+            if buddy + (1u32 << ord) > self.frame_count {
+                break;
+            }
+            let bm = self.read_meta(dev, buddy);
+            if bm != ord {
+                // Buddy is allocated, or free at a different order.
+                break;
+            }
+            self.list_remove(dev, tx, ord, buddy);
+            r = r.min(buddy);
+            ord += 1;
+        }
+        tx.write_u8(o.meta + r as usize, ord);
+        self.list_push(dev, tx, ord, r);
+        Ok(())
+    }
+
+    /// Carves a *specific* block out of the free space (restore path).
+    ///
+    /// Finds the free block containing `frame`, splits it down and marks
+    /// exactly `[frame, frame + 2^order)` allocated. Fails with
+    /// [`AllocError::Overlap`] if the range is not currently free.
+    pub fn carve(
+        &self,
+        dev: &NvmDevice,
+        tx: &mut Tx<'_>,
+        frame: FrameId,
+        order: u8,
+    ) -> Result<FrameId, AllocError> {
+        if order > MAX_ORDER {
+            return Err(AllocError::OrderTooLarge);
+        }
+        let r = self.rel(frame);
+        if r % (1u32 << order) != 0 || r + (1u32 << order) > self.frame_count {
+            return Err(AllocError::InvalidFree);
+        }
+        // Find the free block containing `r`. Candidate heads are `r` with
+        // progressively more low bits cleared; a candidate is only genuine
+        // if it is actually on the free list of that order (meta bytes of
+        // interior frames are stale and must not be trusted).
+        let mut containing = None;
+        for ord in order..=MAX_ORDER {
+            let cand = r & !((1u32 << ord) - 1);
+            if self.read_meta(dev, cand) == ord && self.list_contains(dev, ord, cand) {
+                containing = Some((cand, ord));
+                break;
+            }
+        }
+        let (mut head, mut ord) = containing.ok_or(AllocError::Overlap)?;
+        let o = self.offsets();
+        self.list_remove(dev, tx, ord, head);
+        // Split, keeping the half containing `r`.
+        while ord > order {
+            ord -= 1;
+            let lower = head;
+            let upper = head + (1u32 << ord);
+            let (keep, give) = if r >= upper { (upper, lower) } else { (lower, upper) };
+            tx.write_u8(o.meta + give as usize, ord);
+            self.list_push(dev, tx, ord, give);
+            head = keep;
+        }
+        debug_assert_eq!(head, r);
+        tx.write_u8(o.meta + r as usize, order | ALLOC_BIT);
+        Ok(frame)
+    }
+
+    /// Counts free frames by walking the free lists.
+    pub fn free_frames(&self, dev: &NvmDevice) -> usize {
+        let o = self.offsets();
+        let meta = dev.meta();
+        let mut total = 0usize;
+        for ord in 0..=MAX_ORDER {
+            let mut cur = meta.read_u32(o.heads + 4 * ord as usize);
+            while cur != NONE {
+                total += 1usize << ord;
+                cur = meta.read_u32(o.next + 4 * cur as usize);
+            }
+        }
+        total
+    }
+
+    /// Verifies the persistent structures; see [`PmemAllocator::verify`].
+    ///
+    /// [`PmemAllocator::verify`]: crate::PmemAllocator::verify
+    pub fn verify(&self, dev: &NvmDevice) -> Result<(), String> {
+        let o = self.offsets();
+        let meta = dev.meta();
+        let n = self.frame_count;
+        // Pass 1: scan block heads.
+        let mut free_heads = std::collections::HashSet::new();
+        let mut r = 0u32;
+        while r < n {
+            let m = self.read_meta(dev, r);
+            let ord = m & ORDER_MASK;
+            if ord > MAX_ORDER {
+                return Err(format!("frame {r}: bad order {ord}"));
+            }
+            let size = 1u32 << ord;
+            if r % size != 0 {
+                return Err(format!("frame {r}: misaligned block of order {ord}"));
+            }
+            if r + size > n {
+                return Err(format!("frame {r}: block of order {ord} overruns range"));
+            }
+            if m & ALLOC_BIT == 0 {
+                free_heads.insert((r, ord));
+            }
+            r += size;
+        }
+        // Pass 2: free lists match the scan.
+        let mut listed = std::collections::HashSet::new();
+        for ord in 0..=MAX_ORDER {
+            let mut cur = meta.read_u32(o.heads + 4 * ord as usize);
+            let mut prev = NONE;
+            let mut steps = 0u32;
+            while cur != NONE {
+                steps += 1;
+                if steps > n {
+                    return Err(format!("order {ord}: free list cycle"));
+                }
+                if !free_heads.contains(&(cur, ord)) {
+                    return Err(format!("order {ord}: list member {cur} is not a free head"));
+                }
+                if meta.read_u32(o.prev + 4 * cur as usize) != prev {
+                    return Err(format!("order {ord}: bad prev link at {cur}"));
+                }
+                if !listed.insert(cur) {
+                    return Err(format!("frame {cur} on two free lists"));
+                }
+                prev = cur;
+                cur = meta.read_u32(o.next + 4 * cur as usize);
+            }
+        }
+        if listed.len() != free_heads.len() {
+            return Err(format!(
+                "{} free heads scanned but {} frames listed",
+                free_heads.len(),
+                listed.len()
+            ));
+        }
+        // Pass 3: eager-merge invariant — no two free buddies at same order.
+        for &(r, ord) in &free_heads {
+            if ord < MAX_ORDER {
+                let buddy = r ^ (1u32 << ord);
+                if free_heads.contains(&(buddy, ord)) && buddy > r {
+                    return Err(format!("free buddies {r} and {buddy} at order {ord} unmerged"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+    use std::sync::Arc;
+    use treesls_nvm::LatencyModel;
+
+    fn setup(frames: u32) -> (Arc<NvmDevice>, Buddy, Journal) {
+        let layout = AllocLayout::for_device(0, frames);
+        let dev = Arc::new(NvmDevice::new(
+            frames as usize,
+            layout.end_off,
+            Arc::new(LatencyModel::disabled()),
+        ));
+        let j = Journal::format(&dev, layout.journal_off, layout.journal_records);
+        let b = Buddy::format(&dev, &layout);
+        (dev, b, j)
+    }
+
+    #[test]
+    fn fresh_buddy_is_all_free() {
+        let (dev, b, _) = setup(4096);
+        assert_eq!(b.free_frames(&dev), 4096);
+        b.verify(&dev).unwrap();
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let (dev, b, mut j) = setup(1024);
+        let f = j.run(&dev, |tx| b.alloc(&dev, tx, 0)).unwrap();
+        assert_eq!(b.free_frames(&dev), 1023);
+        b.verify(&dev).unwrap();
+        j.run(&dev, |tx| b.free(&dev, tx, f, 0)).unwrap();
+        assert_eq!(b.free_frames(&dev), 1024);
+        b.verify(&dev).unwrap();
+    }
+
+    #[test]
+    fn split_and_merge_restore_max_blocks() {
+        let (dev, b, mut j) = setup(1024);
+        let frames: Vec<_> =
+            (0..8).map(|_| j.run(&dev, |tx| b.alloc(&dev, tx, 0)).unwrap()).collect();
+        b.verify(&dev).unwrap();
+        for f in frames {
+            j.run(&dev, |tx| b.free(&dev, tx, f, 0)).unwrap();
+        }
+        b.verify(&dev).unwrap();
+        // Everything merged back: a max-order alloc must succeed.
+        let big = j.run(&dev, |tx| b.alloc(&dev, tx, MAX_ORDER)).unwrap();
+        assert_eq!(big.0 % (1 << MAX_ORDER), 0);
+    }
+
+    #[test]
+    fn multi_order_allocations() {
+        let (dev, b, mut j) = setup(4096);
+        let a = j.run(&dev, |tx| b.alloc(&dev, tx, 3)).unwrap();
+        let c = j.run(&dev, |tx| b.alloc(&dev, tx, 5)).unwrap();
+        assert_eq!(b.free_frames(&dev), 4096 - 8 - 32);
+        b.verify(&dev).unwrap();
+        j.run(&dev, |tx| b.free(&dev, tx, a, 3)).unwrap();
+        j.run(&dev, |tx| b.free(&dev, tx, c, 5)).unwrap();
+        assert_eq!(b.free_frames(&dev), 4096);
+    }
+
+    #[test]
+    fn oom_when_exhausted() {
+        let (dev, b, mut j) = setup(4);
+        for _ in 0..4 {
+            j.run(&dev, |tx| b.alloc(&dev, tx, 0)).unwrap();
+        }
+        let r = j.run(&dev, |tx| b.alloc(&dev, tx, 0));
+        assert_eq!(r, Err(AllocError::OutOfMemory));
+        // Failed alloc must not corrupt state.
+        b.verify(&dev).unwrap();
+    }
+
+    #[test]
+    fn invalid_frees_rejected() {
+        let (dev, b, mut j) = setup(64);
+        let f = j.run(&dev, |tx| b.alloc(&dev, tx, 2)).unwrap();
+        // Wrong order.
+        assert_eq!(j.run(&dev, |tx| b.free(&dev, tx, f, 1)), Err(AllocError::InvalidFree));
+        // Double free.
+        j.run(&dev, |tx| b.free(&dev, tx, f, 2)).unwrap();
+        assert_eq!(j.run(&dev, |tx| b.free(&dev, tx, f, 2)), Err(AllocError::InvalidFree));
+        // Out of range.
+        assert_eq!(
+            j.run(&dev, |tx| b.free(&dev, tx, FrameId(1000), 0)),
+            Err(AllocError::InvalidFree)
+        );
+        b.verify(&dev).unwrap();
+    }
+
+    #[test]
+    fn non_power_of_two_range() {
+        let (dev, b, mut j) = setup(1000);
+        assert_eq!(b.free_frames(&dev), 1000);
+        b.verify(&dev).unwrap();
+        let mut got = Vec::new();
+        loop {
+            match j.run(&dev, |tx| b.alloc(&dev, tx, 0)) {
+                Ok(f) => got.push(f),
+                Err(AllocError::OutOfMemory) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(got.len(), 1000);
+        let unique: std::collections::HashSet<_> = got.iter().collect();
+        assert_eq!(unique.len(), 1000);
+    }
+
+    #[test]
+    fn carve_reserves_specific_block() {
+        let (dev, b, mut j) = setup(256);
+        let f = j.run(&dev, |tx| b.carve(&dev, tx, FrameId(64), 2)).unwrap();
+        assert_eq!(f, FrameId(64));
+        b.verify(&dev).unwrap();
+        // Carving an overlapping block fails.
+        assert_eq!(
+            j.run(&dev, |tx| b.carve(&dev, tx, FrameId(64), 0)),
+            Err(AllocError::Overlap)
+        );
+        assert_eq!(
+            j.run(&dev, |tx| b.carve(&dev, tx, FrameId(66), 1)),
+            Err(AllocError::Overlap)
+        );
+        // Adjacent carve succeeds.
+        j.run(&dev, |tx| b.carve(&dev, tx, FrameId(68), 2)).unwrap();
+        b.verify(&dev).unwrap();
+        // Subsequent allocs never return the carved frames.
+        let mut seen = std::collections::HashSet::new();
+        loop {
+            match j.run(&dev, |tx| b.alloc(&dev, tx, 0)) {
+                Ok(f) => {
+                    seen.insert(f.0);
+                }
+                Err(_) => break,
+            }
+        }
+        for r in 64..72 {
+            assert!(!seen.contains(&r), "carved frame {r} re-allocated");
+        }
+    }
+
+    #[test]
+    fn attach_after_recover_sees_same_state() {
+        let layout = AllocLayout::for_device(0, 128);
+        let dev = Arc::new(NvmDevice::new(128, layout.end_off, Arc::new(LatencyModel::disabled())));
+        let mut j = Journal::format(&dev, layout.journal_off, layout.journal_records);
+        let b = Buddy::format(&dev, &layout);
+        let f = j.run(&dev, |tx| b.alloc(&dev, tx, 4)).unwrap();
+        drop((b, j));
+        // "Reboot".
+        let _j2 = Journal::recover(&dev, layout.journal_off, layout.journal_records);
+        let b2 = Buddy::attach(&dev, &layout);
+        assert_eq!(b2.free_frames(&dev), 128 - 16);
+        b2.verify(&dev).unwrap();
+        let mut j2 = Journal::recover(&dev, layout.journal_off, layout.journal_records);
+        j2.run(&dev, |tx| b2.free(&dev, tx, f, 4)).unwrap();
+        assert_eq!(b2.free_frames(&dev), 128);
+    }
+
+    #[test]
+    fn crash_injection_during_ops_always_recovers_consistent() {
+        // Crash after every possible metadata write during a mixed
+        // workload; after journal recovery the buddy must verify and the
+        // free count must equal one of the two legal values.
+        for cut in 0..200u64 {
+            let layout = AllocLayout::for_device(0, 64);
+            let dev =
+                Arc::new(NvmDevice::new(64, layout.end_off, Arc::new(LatencyModel::disabled())));
+            let mut j = Journal::format(&dev, layout.journal_off, layout.journal_records);
+            let b = Buddy::format(&dev, &layout);
+            let a = j.run(&dev, |tx| b.alloc(&dev, tx, 0)).unwrap();
+            let before = b.free_frames(&dev);
+            dev.meta().arm_crash_after(cut);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                j.run(&dev, |tx| b.alloc(&dev, tx, 2)).unwrap();
+                j.run(&dev, |tx| b.free(&dev, tx, a, 0)).unwrap();
+            }));
+            dev.meta().disarm_crash();
+            let _ = Journal::recover(&dev, layout.journal_off, layout.journal_records);
+            let b2 = Buddy::attach(&dev, &layout);
+            b2.verify(&dev).unwrap_or_else(|e| panic!("cut={cut}: {e}"));
+            let after = b2.free_frames(&dev);
+            if result.is_ok() {
+                assert_eq!(after, before - 4 + 1, "cut={cut}");
+            } else {
+                // Rolled back to one of the operation boundaries.
+                assert!(
+                    after == before || after == before - 4 || after == before - 4 + 1,
+                    "cut={cut}: free={after}, before={before}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Undo journal for allocator metadata.
+//!
+//! Every mutation of buddy/slab metadata goes through a [`Tx`], which logs
+//! the old value of each word to a persistent journal area *before*
+//! overwriting it. If power fails mid-operation, [`Journal::recover`] walks
+//! the log backwards and restores the old values, so the allocator state is
+//! always "the operation never happened" or "the operation completed" —
+//! the atomicity the paper's checkpoint manager requires for its in-flight
+//! malloc/free operations.
+//!
+//! Persistent layout at `off`:
+//!
+//! ```text
+//! +0   txid   u64   0 = no transaction in flight (commit point)
+//! +8   count  u64   number of valid records
+//! +16  records[cap] each 24 bytes: { offset u64, old u64, len u64 }
+//! ```
+//!
+//! With eADR semantics every store is durable in program order, so writing
+//! `txid = 0` is the commit point and needs no further fencing.
+
+use treesls_nvm::NvmDevice;
+
+use crate::error::AllocError;
+
+const REC_SIZE: usize = 24;
+const HDR_SIZE: usize = 16;
+
+/// The undo journal. One instance guards one allocator.
+#[derive(Debug)]
+pub struct Journal {
+    off: usize,
+    cap: usize,
+    next_tx: u64,
+}
+
+impl Journal {
+    /// Bytes of arena needed for a journal with `records` capacity.
+    pub fn region_len(records: usize) -> usize {
+        HDR_SIZE + records * REC_SIZE
+    }
+
+    /// Formats a fresh (idle) journal at `off`.
+    pub fn format(dev: &NvmDevice, off: usize, cap: usize) -> Self {
+        dev.meta().write_u64(off, 0);
+        dev.meta().write_u64(off + 8, 0);
+        Self { off, cap, next_tx: 1 }
+    }
+
+    /// Recovers the journal after a power failure, rolling back any
+    /// in-flight transaction.
+    pub fn recover(dev: &NvmDevice, off: usize, cap: usize) -> Self {
+        let meta = dev.meta();
+        let txid = meta.read_u64(off);
+        if txid != 0 {
+            let count = meta.read_u64(off + 8) as usize;
+            // Undo in reverse order: later records may overwrite earlier
+            // ones, and the oldest logged value must win.
+            for i in (0..count.min(cap)).rev() {
+                let rec = off + HDR_SIZE + i * REC_SIZE;
+                let target = meta.read_u64(rec) as usize;
+                let old = meta.read_u64(rec + 8);
+                let len = meta.read_u64(rec + 16);
+                match len {
+                    1 => meta.write_u8(target, old as u8),
+                    4 => meta.write_u32(target, old as u32),
+                    8 => meta.write_u64(target, old),
+                    other => unreachable!("corrupt journal record length {other}"),
+                }
+            }
+            meta.write_u64(off + 8, 0);
+            // Commit point of the rollback itself.
+            meta.write_u64(off, 0);
+        }
+        Self { off, cap, next_tx: txid.wrapping_add(1).max(1) }
+    }
+
+    /// Runs `f` inside a journal transaction.
+    ///
+    /// On `Ok` the transaction commits; on `Err` all logged writes are
+    /// rolled back before returning, so failed operations leave no trace.
+    pub fn run<T>(
+        &mut self,
+        dev: &NvmDevice,
+        f: impl FnOnce(&mut Tx<'_>) -> Result<T, AllocError>,
+    ) -> Result<T, AllocError> {
+        let meta = dev.meta();
+        meta.write_u64(self.off + 8, 0);
+        meta.write_u64(self.off, self.next_tx);
+        self.next_tx = self.next_tx.wrapping_add(1).max(1);
+        let mut tx = Tx { dev, off: self.off, cap: self.cap, count: 0 };
+        let result = f(&mut tx);
+        match result {
+            Ok(v) => {
+                // Commit point.
+                meta.write_u64(self.off, 0);
+                Ok(v)
+            }
+            Err(e) => {
+                let count = tx.count;
+                for i in (0..count).rev() {
+                    let rec = self.off + HDR_SIZE + i * REC_SIZE;
+                    let target = meta.read_u64(rec) as usize;
+                    let old = meta.read_u64(rec + 8);
+                    let len = meta.read_u64(rec + 16);
+                    match len {
+                        1 => meta.write_u8(target, old as u8),
+                        4 => meta.write_u32(target, old as u32),
+                        8 => meta.write_u64(target, old),
+                        other => unreachable!("corrupt journal record length {other}"),
+                    }
+                }
+                meta.write_u64(self.off + 8, 0);
+                meta.write_u64(self.off, 0);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// An open journal transaction; all metadata writes go through it.
+#[derive(Debug)]
+pub struct Tx<'a> {
+    dev: &'a NvmDevice,
+    off: usize,
+    cap: usize,
+    count: usize,
+}
+
+impl Tx<'_> {
+    fn log(&mut self, target: usize, old: u64, len: u64) {
+        assert!(self.count < self.cap, "journal overflow: raise journal_records");
+        let rec = self.off + HDR_SIZE + self.count * REC_SIZE;
+        let meta = self.dev.meta();
+        meta.write_u64(rec, target as u64);
+        meta.write_u64(rec + 8, old);
+        meta.write_u64(rec + 16, len);
+        self.count += 1;
+        meta.write_u64(self.off + 8, self.count as u64);
+    }
+
+    /// Journaled `u8` write at arena offset `target`.
+    pub fn write_u8(&mut self, target: usize, v: u8) {
+        let old = self.dev.meta().read_u8(target);
+        if old == v {
+            return;
+        }
+        self.log(target, old as u64, 1);
+        self.dev.meta().write_u8(target, v);
+    }
+
+    /// Journaled `u32` write at arena offset `target`.
+    pub fn write_u32(&mut self, target: usize, v: u32) {
+        let old = self.dev.meta().read_u32(target);
+        if old == v {
+            return;
+        }
+        self.log(target, old as u64, 4);
+        self.dev.meta().write_u32(target, v);
+    }
+
+    /// Journaled `u64` write at arena offset `target`.
+    pub fn write_u64(&mut self, target: usize, v: u64) {
+        let old = self.dev.meta().read_u64(target);
+        if old == v {
+            return;
+        }
+        self.log(target, old, 8);
+        self.dev.meta().write_u64(target, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use treesls_nvm::LatencyModel;
+
+    fn dev() -> Arc<NvmDevice> {
+        Arc::new(NvmDevice::new(4, 4096, Arc::new(LatencyModel::disabled())))
+    }
+
+    #[test]
+    fn committed_tx_persists() {
+        let d = dev();
+        let mut j = Journal::format(&d, 0, 16);
+        j.run(&d, |tx| {
+            tx.write_u64(1000, 42);
+            tx.write_u32(1008, 7);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(d.meta().read_u64(1000), 42);
+        assert_eq!(d.meta().read_u32(1008), 7);
+        // Journal is idle after commit.
+        assert_eq!(d.meta().read_u64(0), 0);
+    }
+
+    #[test]
+    fn failed_tx_rolls_back() {
+        let d = dev();
+        let mut j = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 11);
+        let r: Result<(), AllocError> = j.run(&d, |tx| {
+            tx.write_u64(1000, 99);
+            Err(AllocError::OutOfMemory)
+        });
+        assert_eq!(r, Err(AllocError::OutOfMemory));
+        assert_eq!(d.meta().read_u64(1000), 11);
+    }
+
+    #[test]
+    fn recover_rolls_back_in_flight_tx() {
+        let d = dev();
+        let j = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 5);
+        d.meta().write_u64(1008, 6);
+        // Simulate a crash mid-transaction: run the writes but "lose power"
+        // before the commit by reproducing run()'s prefix manually.
+        d.meta().write_u64(8, 0);
+        d.meta().write_u64(0, 77); // txid
+        let mut tx = Tx { dev: &d, off: 0, cap: 16, count: 0 };
+        tx.write_u64(1000, 500);
+        tx.write_u64(1008, 600);
+        drop(tx);
+        // No commit. Power comes back:
+        let _j2 = Journal::recover(&d, 0, 16);
+        assert_eq!(d.meta().read_u64(1000), 5);
+        assert_eq!(d.meta().read_u64(1008), 6);
+        assert_eq!(d.meta().read_u64(0), 0);
+        let _ = j;
+    }
+
+    #[test]
+    fn recover_of_idle_journal_is_noop() {
+        let d = dev();
+        let _ = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 123);
+        let _ = Journal::recover(&d, 0, 16);
+        assert_eq!(d.meta().read_u64(1000), 123);
+    }
+
+    #[test]
+    fn overwrites_of_same_word_roll_back_to_oldest() {
+        let d = dev();
+        let mut j = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 1);
+        let _ = j.run(&d, |tx| -> Result<(), AllocError> {
+            tx.write_u64(1000, 2);
+            tx.write_u64(1000, 3);
+            Err(AllocError::InvalidFree)
+        });
+        assert_eq!(d.meta().read_u64(1000), 1);
+    }
+
+    #[test]
+    fn noop_writes_are_not_logged() {
+        let d = dev();
+        let mut j = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 9);
+        j.run(&d, |tx| {
+            tx.write_u64(1000, 9);
+            Ok(())
+        })
+        .unwrap();
+        // Count stayed zero (offset +8).
+        assert_eq!(d.meta().read_u64(8), 0);
+    }
+
+    #[test]
+    fn crash_injection_at_every_tick_recovers() {
+        // Run a two-word transaction, crashing after every possible write,
+        // and check recovery always restores the pre-state or the committed
+        // post-state.
+        for cut in 0..20u64 {
+            let d = dev();
+            let mut j = Journal::format(&d, 0, 16);
+            d.meta().write_u64(1000, 5);
+            d.meta().write_u64(1008, 6);
+            d.meta().arm_crash_after(cut);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                j.run(&d, |tx| {
+                    tx.write_u64(1000, 50);
+                    tx.write_u64(1008, 60);
+                    Ok(())
+                })
+            }));
+            d.meta().disarm_crash();
+            let _ = Journal::recover(&d, 0, 16);
+            let a = d.meta().read_u64(1000);
+            let b = d.meta().read_u64(1008);
+            if result.is_ok() {
+                assert_eq!((a, b), (50, 60), "cut={cut}");
+            } else {
+                assert_eq!((a, b), (5, 6), "cut={cut}: partial state survived");
+            }
+        }
+    }
+}

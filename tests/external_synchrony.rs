@@ -1,0 +1,158 @@
+//! §5 end-to-end tests: transparent external synchrony.
+//!
+//! The contract under test is the paper's: "an SLS should make sure that
+//! the state changes caused by a request are persisted before sending
+//! responses to external systems". With ext-sync on, any response an
+//! external client has *observed* must survive a crash; responses whose
+//! state was rolled back are never observed (the client retries).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use treesls::extsync::NetPort;
+use treesls::{System, SystemConfig};
+use treesls_apps::wire::{make_key, KvOp, KvResp};
+use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+
+fn config(interval_ms: Option<u64>) -> SystemConfig {
+    let mut c = SystemConfig::small();
+    c.kernel.nvm_frames = 65_536;
+    c.kernel.dram_pages = 1024;
+    c.checkpoint_interval = interval_ms.map(Duration::from_millis);
+    c
+}
+
+#[test]
+fn responses_are_delayed_until_a_checkpoint_commits() {
+    let mut sys = System::boot(config(None)); // manual checkpoints
+    let dep = deploy_kv(&sys, 1, 1024, 128, true, ShardGeometry::default());
+    sys.start();
+    let port = &dep.ports[0];
+
+    let op = KvOp::Set { key: make_key(b"durable"), value: b"yes".to_vec() };
+    // Without a checkpoint the response must NOT become visible.
+    let r = port.call(&op.encode(), Duration::from_millis(200)).unwrap();
+    assert!(r.is_none(), "response leaked before any checkpoint");
+
+    // After a checkpoint the (retried) request is answered.
+    let seq = port.send_request(&op.encode()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut got = None;
+    while got.is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        sys.checkpoint_now().unwrap();
+        port.pump();
+        got = port.try_take(seq);
+    }
+    assert!(got.is_some(), "response never released after checkpoints");
+    sys.stop();
+}
+
+#[test]
+fn full_crash_recovery_with_server_continuation() {
+    // End-to-end: SET observed → crash → recover → re-register programs →
+    // GET must return the value.
+    let mut sys = System::boot(config(Some(1)));
+    let geom = ShardGeometry::default();
+    let dep = deploy_kv(&sys, 1, 1024, 128, true, geom);
+    sys.start();
+    let port = &dep.ports[0];
+    let op = KvOp::Set { key: make_key(b"alive"), value: b"after-crash".to_vec() };
+    port.call(&op.encode(), Duration::from_secs(5)).unwrap().expect("SET acked");
+    sys.stop();
+
+    // Capture the programs (the "binaries") for the reboot.
+    let programs: Vec<(String, Arc<dyn treesls::Program>)> = sys
+        .programs()
+        .names()
+        .into_iter()
+        .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+        .collect();
+    let cfg = config(Some(1));
+    let image = sys.crash();
+    let (mut sys2, report) = System::recover(image, cfg, move |r| {
+        for (n, p) in programs {
+            r.register(&n, p);
+        }
+    })
+    .expect("recovery");
+    // Reattach the port to the restored rings (no re-init!), re-register
+    // the ext-sync callbacks and fire the restore reconciliation.
+    let vs2 = {
+        let kernel = sys2.kernel();
+        let objects = kernel.objects.read();
+        let found = objects
+            .iter()
+            .filter(|(_, o)| o.otype == treesls::ObjType::VmSpace)
+            .map(|(id, _)| id)
+            .find(|&id| {
+                // The ring server's vmspace has the eternal region mapped.
+                let o = kernel.object(id).unwrap();
+                let b = o.body.read();
+                let is = matches!(&*b, treesls_kernel::object::ObjectBody::VmSpace(v)
+                    if v.regions.len() >= 2);
+                drop(b);
+                is
+            })
+            .expect("server vmspace");
+        found
+    };
+    // Rebuild the same layout deploy_kv used.
+    let heap_pages = geom.data_stride / 4096 + 1;
+    let ring_base = (heap_pages + 16) * 4096;
+    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
+    let layout = treesls::extsync::PortLayout {
+        rx: treesls::extsync::RingLayout {
+            base: ring_base,
+            nslots: geom.nslots,
+            slot_size: geom.slot_size,
+        },
+        tx: treesls::extsync::RingLayout {
+            base: ring_base + ring_len,
+            nslots: geom.nslots,
+            slot_size: geom.slot_size,
+        },
+        rx_cursor_addr: geom.data_stride - 4096,
+    };
+    let port2 = NetPort::attach(Arc::clone(sys2.kernel()), vs2, layout, true, 1_000_000);
+    // Rebind the doorbell: the restored server blocks on its notification
+    // and must be woken by incoming requests.
+    let doorbell = {
+        let kernel = sys2.kernel();
+        let objects = kernel.objects.read();
+        let id = objects
+            .iter()
+            .find(|(_, o)| o.otype == treesls::ObjType::Notification)
+            .map(|(id, _)| id)
+            .expect("doorbell notification restored");
+        drop(objects);
+        id
+    };
+    port2.set_doorbell(doorbell);
+    sys2.manager().register_callback(Arc::clone(&port2) as _);
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.start();
+
+    let get = KvOp::Get { key: make_key(b"alive") };
+    let resp = port2
+        .call(&get.encode(), Duration::from_secs(5))
+        .unwrap()
+        .expect("GET after recovery");
+    match KvResp::decode(&resp) {
+        Some(KvResp::Ok(Some(v))) => assert_eq!(v, b"after-crash"),
+        other => panic!("observed SET was lost after crash: {other:?}"),
+    }
+    sys2.stop();
+}
+
+#[test]
+fn ext_sync_off_releases_immediately() {
+    let mut sys = System::boot(config(None)); // no checkpoints at all
+    let dep = deploy_kv(&sys, 1, 1024, 128, false, ShardGeometry::default());
+    sys.start();
+    let port = &dep.ports[0];
+    let op = KvOp::Set { key: make_key(b"fast"), value: b"now".to_vec() };
+    let r = port.call(&op.encode(), Duration::from_secs(5)).unwrap();
+    assert!(r.is_some(), "without ext-sync responses flow without checkpoints");
+    sys.stop();
+}
