@@ -73,6 +73,7 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
         // to DRAM", §4.3.2).
         match kernel.dram.alloc() {
             Some(d) => {
+                treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "hybrid.pre_migrate_in");
                 let home = meta.pairs[1].expect("non-migrated page has a home frame").frame;
                 kernel.pers.dev.copy_to_dram(home, &kernel.dram, d);
                 meta.runtime_dram = Some(d);
@@ -107,6 +108,7 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
             },
         };
         let d = meta.runtime_dram.expect("migrated page has a DRAM copy");
+        treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "hybrid.pre_sac_copy");
         kernel.pers.dev.copy_from_dram(&kernel.dram, d, frame);
         meta.pairs[dst_idx] = Some(PagePtr { frame, version: inflight });
         meta.dirty = false;
@@ -115,6 +117,7 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
     } else {
         meta.idle_rounds += 1;
         if meta.idle_rounds >= kernel.config.idle_evict_rounds {
+            treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "hybrid.pre_evict");
             // Migrate DRAM→NVM (§4.3.3): ensure the second backup holds the
             // latest data, mark it version 0, and make it the runtime page.
             let keep = meta.restore_pick(global);

@@ -24,6 +24,7 @@ pub mod restore;
 pub mod stats;
 pub mod tree;
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -58,16 +59,29 @@ pub struct CheckpointManager {
     stw: Arc<StwController>,
     /// Table 3 aggregates.
     pub table: Mutex<ObjectTimeTable>,
-    /// Figure 9a/9b breakdowns, most recent last (bounded).
-    pub breakdowns: Mutex<Vec<StwBreakdown>>,
-    /// Table 4 per-round hybrid stats, most recent last (bounded).
-    pub hybrid_rounds: Mutex<Vec<HybridRoundStats>>,
+    /// Figure 9a/9b breakdowns, most recent last; once [`HISTORY_CAP`]
+    /// records accumulate the oldest is evicted, so long runs keep the
+    /// steady-state tail rather than the warm-up prefix.
+    pub breakdowns: Mutex<VecDeque<StwBreakdown>>,
+    /// Table 4 per-round hybrid stats, most recent last (bounded like
+    /// `breakdowns`).
+    pub hybrid_rounds: Mutex<VecDeque<HybridRoundStats>>,
     last_faults: Mutex<KernelStatsSnapshot>,
     callbacks: Mutex<Vec<Arc<dyn CkptCallback>>>,
 }
 
 /// Retain at most this many per-round records.
 const HISTORY_CAP: usize = 65536;
+
+/// Appends `v` to a history buffer bounded at `cap`, evicting the oldest
+/// record once full (the buffer always holds the most recent `cap`
+/// entries, never a frozen prefix).
+fn push_capped<T>(buf: &mut VecDeque<T>, cap: usize, v: T) {
+    if buf.len() >= cap {
+        buf.pop_front();
+    }
+    buf.push_back(v);
+}
 
 impl CheckpointManager {
     /// Creates a manager for `kernel` using `stw` for quiescence.
@@ -76,8 +90,8 @@ impl CheckpointManager {
             kernel,
             stw,
             table: Mutex::new(ObjectTimeTable::default()),
-            breakdowns: Mutex::new(Vec::new()),
-            hybrid_rounds: Mutex::new(Vec::new()),
+            breakdowns: Mutex::new(VecDeque::new()),
+            hybrid_rounds: Mutex::new(VecDeque::new()),
             last_faults: Mutex::new(KernelStatsSnapshot::default()),
             callbacks: Mutex::new(Vec::new()),
         })
@@ -118,9 +132,11 @@ impl CheckpointManager {
         let counters = Arc::new(hybrid::RoundCounters::default());
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
 
+        let sched = kernel.pers.dev.crash_schedule();
         let t_pause = Instant::now();
         // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸).
         let ipi = self.stw.stop_world(work, kernel);
+        treesls_nvm::crash_site!(sched, "ckpt.stw_stopped");
 
         // ❷ Leader: mark newly-changed pages read-only (attributed to VM
         // Space checkpointing per the paper), then copy the capability
@@ -128,14 +144,17 @@ impl CheckpointManager {
         let t_mark = Instant::now();
         hybrid::mark_readonly(kernel);
         let mark = t_mark.elapsed();
+        treesls_nvm::crash_site!(sched, "ckpt.marked_ro");
         let t_tree = Instant::now();
         let tree_result = tree::checkpoint_tree(kernel, inflight);
         let cap_tree = t_tree.elapsed();
+        treesls_nvm::crash_site!(sched, "ckpt.tree_copied");
 
         // ❸ Join and drain the hybrid-copy batch.
         let t_hyb = Instant::now();
         self.stw.finish_hybrid_work();
         let hybrid_wait = t_hyb.elapsed();
+        treesls_nvm::crash_site!(sched, "ckpt.hybrid_drained");
 
         let outcome = match tree_result {
             Ok(o) => o,
@@ -148,19 +167,24 @@ impl CheckpointManager {
 
         // ❹ Commit point.
         let t_others = Instant::now();
+        treesls_nvm::crash_site!(sched, "ckpt.pre_commit");
         kernel.pers.commit_version(inflight);
+        treesls_nvm::crash_site!(sched, "ckpt.post_commit");
         let _ = tree::sweep_deleted(kernel, inflight);
         let cached = hybrid::compact_active_list(kernel);
         let others = t_others.elapsed();
+        treesls_nvm::crash_site!(sched, "ckpt.post_sweep");
 
         // ❺ Resume.
         self.stw.resume_world();
         let total_pause = t_pause.elapsed();
 
         // External synchrony callbacks (outside the pause).
+        treesls_nvm::crash_site!(sched, "ckpt.pre_callbacks");
         for cb in self.callbacks.lock().iter() {
             cb.on_checkpoint(inflight);
         }
+        treesls_nvm::crash_site!(sched, "ckpt.post_callbacks");
 
         // Bookkeeping.
         let mut per_type = outcome.per_type.clone();
@@ -197,17 +221,9 @@ impl CheckpointManager {
                 migrated_in: counters.migrated_in.load(Ordering::Relaxed),
                 evicted: counters.evicted.load(Ordering::Relaxed),
             };
-            let mut rounds = self.hybrid_rounds.lock();
-            if rounds.len() < HISTORY_CAP {
-                rounds.push(round);
-            }
+            push_capped(&mut self.hybrid_rounds.lock(), HISTORY_CAP, round);
         }
-        {
-            let mut b = self.breakdowns.lock();
-            if b.len() < HISTORY_CAP {
-                b.push(breakdown.clone());
-            }
-        }
+        push_capped(&mut self.breakdowns.lock(), HISTORY_CAP, breakdown.clone());
         Ok(breakdown)
     }
 
@@ -360,5 +376,29 @@ impl std::fmt::Debug for CheckpointManager {
         f.debug_struct("CheckpointManager")
             .field("version", &self.kernel.pers.global_version())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_evicts_oldest_not_newest() {
+        let mut buf: VecDeque<u64> = VecDeque::new();
+        for i in 0..10 {
+            push_capped(&mut buf, 4, i);
+        }
+        // The last `cap` records survive; the warm-up prefix is evicted.
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn history_below_cap_keeps_everything() {
+        let mut buf: VecDeque<u64> = VecDeque::new();
+        for i in 0..3 {
+            push_capped(&mut buf, 4, i);
+        }
+        assert_eq!(buf.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
     }
 }

@@ -203,6 +203,7 @@ fn write_backup(
     inflight: u64,
 ) -> Result<(), KernelError> {
     let global = inflight - 1;
+    treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "tree.pre_backup_write");
     let dst = oroots.get(oroot).expect("live oroot").ckpt_dst(global);
     // Retire the slot being overwritten.
     if let Some(old) = oroots.get(oroot).expect("live oroot").backups[dst] {
@@ -234,6 +235,7 @@ fn sync_pmo(
     inflight: u64,
 ) -> Result<bool, KernelError> {
     let global = inflight - 1;
+    treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "tree.pre_pmo_sync");
     let body = obj.body.read();
     let ObjectBody::Pmo(pmo) = &*body else { unreachable!("sync_pmo requires a PMO") };
     let tick = pmo.structure_tick.load(std::sync::atomic::Ordering::Relaxed);
@@ -384,6 +386,7 @@ pub fn checkpoint_tree(kernel: &Kernel, inflight: u64) -> Result<TreeOutcome, Ke
 ///
 /// Called by the checkpoint manager after the commit point.
 pub fn sweep_deleted(kernel: &Kernel, committed: u64) -> Result<usize, KernelError> {
+    treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "tree.pre_sweep_deleted");
     let mut oroots = kernel.pers.oroots.lock();
     let mut backups = kernel.pers.backups.lock();
     let dead: Vec<OrootId> = oroots

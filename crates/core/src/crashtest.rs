@@ -1,0 +1,263 @@
+//! Deterministic crash-schedule testing: run a workload, pull the plug at
+//! a chosen NVM write or named crash site, recover, and check invariants.
+//!
+//! This is the systematic version of the paper's §7.2 fault injection
+//! ("we manually crash and reboot the system while running these
+//! programs"): instead of crashing at arbitrary wall-clock points, the
+//! [`treesls_nvm::CrashSchedule`] cuts execution at an *exact* NVM write
+//! index or crash-site occurrence, so every interesting interleaving of
+//! the checkpoint protocol can be enumerated and replayed byte-for-byte.
+//!
+//! A scenario runs single-threaded: cores are never started, programs are
+//! stepped inline with [`treesls_kernel::cores::run_slice`], and
+//! checkpoints are taken with [`System::checkpoint_now`]. With no timer
+//! threads and no scheduler, the sequence of NVM writes is a pure function
+//! of the scenario, which is what makes `crash at write i` reproducible.
+//!
+//! A failure is reported as `(seed = the scenario, site/write index)`; to
+//! reproduce, re-run [`run_with_crash_schedule`] with the same
+//! [`CrashPoint`].
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::Once;
+
+use treesls_checkpoint::RestoreReport;
+use treesls_kernel::program::ProgramRegistry;
+use treesls_nvm::{CrashPoint, InjectedCrash, SiteHit};
+
+use crate::system::{System, SystemConfig};
+
+/// One crash-injection workload.
+///
+/// The harness owns the system lifecycle; the scenario provides the
+/// pieces that differ per workload:
+///
+/// * [`setup`](CrashScenario::setup) boots programs/processes and **must
+///   commit at least one checkpoint** (the recovery floor — a crash
+///   before any commit has nothing to restore to);
+/// * [`workload`](CrashScenario::workload) is the phase under test: every
+///   NVM write it performs is a candidate crash point;
+/// * [`verify`](CrashScenario::verify) is the oracle, called on the
+///   recovered system.
+///
+/// `State` carries oracle data (expected snapshots, observed replies)
+/// across the crash — it lives on the host side of the "power failure",
+/// like a client's view of the server.
+pub trait CrashScenario {
+    /// Host-side oracle state surviving the crash.
+    type State;
+
+    /// The machine configuration (used for boot and for recovery).
+    fn config(&self) -> SystemConfig;
+
+    /// Boots processes and takes the initial checkpoint.
+    fn setup(&self, sys: &mut System) -> Self::State;
+
+    /// The workload phase; crashes are injected inside this call.
+    fn workload(&self, sys: &mut System, st: &mut Self::State);
+
+    /// Re-registers programs after reboot (the "binaries on disk").
+    fn programs(&self, reg: &ProgramRegistry);
+
+    /// Re-wires host-side attachments (network ports, callbacks) to the
+    /// recovered system, before the restore callbacks fire.
+    fn reattach(&self, _sys: &mut System, _st: &mut Self::State) {}
+
+    /// The consistency oracle, run on the recovered system.
+    fn verify(
+        &self,
+        sys: &mut System,
+        st: &mut Self::State,
+        report: &RestoreReport,
+    ) -> Result<(), String>;
+}
+
+/// Outcome of one crash-schedule run.
+#[derive(Debug)]
+pub struct CrashRun {
+    /// Whether the armed crash actually fired (`false` means the workload
+    /// completed before reaching the scheduled point; the plug was pulled
+    /// after completion instead).
+    pub crashed: bool,
+    /// The recovery report.
+    pub report: RestoreReport,
+}
+
+/// Results of a crash-point enumeration.
+#[derive(Debug, Default)]
+pub struct EnumerationReport {
+    /// NVM writes (page + metadata) performed by one clean workload run.
+    pub writes: u64,
+    /// Crash-site trace of the clean run, in order.
+    pub sites: Vec<SiteHit>,
+    /// Crash runs executed.
+    pub runs: usize,
+    /// Runs in which the scheduled crash fired before completion.
+    pub injected: usize,
+    /// `(crash point description, error)` for every failed run.
+    pub failures: Vec<(String, String)>,
+}
+
+impl EnumerationReport {
+    /// Panics with a readable summary if any run failed.
+    pub fn assert_clean(&self) {
+        if !self.failures.is_empty() {
+            let mut msg = format!(
+                "{} of {} crash runs failed ({} writes, {} site hits):\n",
+                self.failures.len(),
+                self.runs,
+                self.writes,
+                self.sites.len()
+            );
+            for (point, err) in &self.failures {
+                msg.push_str(&format!("  at {point}: {err}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Suppresses the default panic-hook noise for [`InjectedCrash`] unwinds
+/// (an enumeration triggers thousands of them); real panics still print.
+fn quiet_injected_crash_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `scenario` once, crashing at `point` (or never, if `None` or the
+/// workload finishes first), then recovers and verifies.
+///
+/// The flow is: boot → setup → arm → workload (the injected crash unwinds
+/// out of it) → disarm → [`System::crash`] → [`System::recover`] →
+/// reattach → restore callbacks → [`CheckpointManager::verify_checkpoint`]
+/// → scenario oracle. The schedule is disarmed before recovery because
+/// recovery legitimately writes NVM (allocator rebuild, version-tag
+/// repair) and must not trip the fuse.
+///
+/// [`CheckpointManager::verify_checkpoint`]:
+/// treesls_checkpoint::CheckpointManager::verify_checkpoint
+pub fn run_with_crash_schedule<S: CrashScenario>(
+    scenario: &S,
+    point: Option<CrashPoint>,
+) -> Result<CrashRun, String> {
+    quiet_injected_crash_panics();
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    let sched = std::sync::Arc::clone(sys.kernel().pers.dev.crash_schedule());
+    if let Some(p) = point {
+        sched.arm(p);
+    }
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| scenario.workload(&mut sys, &mut st)));
+    sched.disarm();
+    let crashed = match run {
+        Ok(()) => false,
+        Err(payload) => {
+            if payload.downcast_ref::<InjectedCrash>().is_none() {
+                // A genuine bug in the workload, not an injected crash.
+                std::panic::resume_unwind(payload);
+            }
+            true
+        }
+    };
+    let image = sys.crash();
+    let (mut sys2, report) = System::recover(image, scenario.config(), |r| scenario.programs(r))
+        .map_err(|e| format!("recovery failed: {e:?}"))?;
+    scenario.reattach(&mut sys2, &mut st);
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.manager()
+        .verify_checkpoint()
+        .map_err(|e| format!("verify_checkpoint after restore: {e}"))?;
+    scenario.verify(&mut sys2, &mut st, &report)?;
+    Ok(CrashRun { crashed, report })
+}
+
+impl System {
+    /// Convenience entry point for [`run_with_crash_schedule`]: runs one
+    /// scenario to the scheduled crash point, recovers, and verifies.
+    ///
+    /// An associated function (not a method) because the scenario's
+    /// system is consumed by the simulated power failure mid-run.
+    pub fn run_with_crash_schedule<S: CrashScenario>(
+        scenario: &S,
+        point: Option<CrashPoint>,
+    ) -> Result<CrashRun, String> {
+        run_with_crash_schedule(scenario, point)
+    }
+}
+
+/// Dry-runs `scenario` (no crash) to measure the workload phase, returning
+/// its NVM write count and crash-site trace.
+pub fn measure<S: CrashScenario>(scenario: &S) -> (u64, Vec<SiteHit>) {
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    let sched = std::sync::Arc::clone(sys.kernel().pers.dev.crash_schedule());
+    let before = sched.counts().total();
+    sched.start_trace();
+    scenario.workload(&mut sys, &mut st);
+    let sites = sched.take_trace();
+    let writes = sched.counts().total() - before;
+    (writes, sites)
+}
+
+/// Exhaustively replays `scenario`, crashing at every `stride`-th NVM
+/// write index of the workload phase (`stride == 1` covers every single
+/// write — the acceptance mode; CI smoke jobs pass a larger stride).
+pub fn enumerate_crashes<S: CrashScenario>(scenario: &S, stride: u64) -> EnumerationReport {
+    assert!(stride >= 1, "stride must be at least 1");
+    let (writes, sites) = measure(scenario);
+    let mut report =
+        EnumerationReport { writes, sites, ..Default::default() };
+    let mut i = 1;
+    while i <= writes {
+        report.runs += 1;
+        match run_with_crash_schedule(scenario, Some(CrashPoint::AnyWrite(i - 1))) {
+            Ok(r) => {
+                if r.crashed {
+                    report.injected += 1;
+                }
+            }
+            Err(e) => report.failures.push((format!("write {i}/{writes}"), e)),
+        }
+        i += stride;
+    }
+    report
+}
+
+/// Replays `scenario`, crashing at every occurrence of every named crash
+/// site the clean run traverses (`crash_site!` markers across the
+/// checkpoint manager, allocator journal, persistence commit, and ring
+/// callbacks).
+pub fn enumerate_site_crashes<S: CrashScenario>(scenario: &S) -> EnumerationReport {
+    let (writes, sites) = measure(scenario);
+    let mut occurrences: HashMap<&'static str, u64> = HashMap::new();
+    for hit in &sites {
+        *occurrences.entry(hit.name).or_default() += 1;
+    }
+    let mut names: Vec<_> = occurrences.into_iter().collect();
+    names.sort();
+    let mut report =
+        EnumerationReport { writes, sites, ..Default::default() };
+    for (name, count) in names {
+        for skip in 0..count {
+            report.runs += 1;
+            let point = CrashPoint::Site { name: name.to_string(), skip };
+            match run_with_crash_schedule(scenario, Some(point)) {
+                Ok(r) => {
+                    if r.crashed {
+                        report.injected += 1;
+                    }
+                }
+                Err(e) => report.failures.push((format!("site {name}#{skip}"), e)),
+            }
+        }
+    }
+    report
+}

@@ -19,9 +19,14 @@
 //! sys.stop();
 //! ```
 
+pub mod crashtest;
 pub mod process;
 pub mod system;
 
+pub use crashtest::{
+    enumerate_crashes, enumerate_site_crashes, run_with_crash_schedule, CrashRun, CrashScenario,
+    EnumerationReport,
+};
 pub use process::{ProcessHandle, ProcessSpec, RegionSpec, ThreadSpec};
 pub use system::{System, SystemConfig};
 

@@ -18,7 +18,7 @@ pub mod port;
 pub mod ring;
 
 pub use port::{HostIo, NetPort, PortLayout};
-pub use ring::{MemIo, RingError, RingLayout, RingMsg};
+pub use ring::{check_ext_sync_invariants, MemIo, RingError, RingLayout, RingMsg};
 
 use treesls_kernel::program::UserCtx;
 use treesls_kernel::types::KernelError;

@@ -57,6 +57,9 @@ impl MemIo for HostIo {
     fn version(&self) -> u64 {
         self.kernel.pers.global_version()
     }
+    fn crash_hook(&self, site: &'static str) {
+        self.kernel.pers.dev.crash_schedule().site(site);
+    }
 }
 
 /// Configuration of one port's rings.
@@ -135,6 +138,12 @@ impl NetPort {
             pump_lock: Mutex::new(()),
             doorbell: Mutex::new(None),
         })
+    }
+
+    /// The ring placement this port serves (e.g. to re-attach after a
+    /// restore).
+    pub fn layout(&self) -> PortLayout {
+        self.layout
     }
 
     /// Binds the doorbell notification signalled on each request (the
@@ -239,6 +248,7 @@ impl NetPort {
 
 impl CkptCallback for NetPort {
     fn on_checkpoint(&self, version: u64) {
+        treesls_nvm::crash_site!(self.io.kernel.pers.dev.crash_schedule(), "extsync.pre_ckpt_cb");
         // Release responses whose producing state is now persistent.
         let _ = ring::advance_visible(&self.io, &self.layout.tx, version);
         // Double-buffered RX acknowledgement: the cursor sampled at the
@@ -252,11 +262,28 @@ impl CkptCallback for NetPort {
     }
 
     fn on_restore(&self, version: u64) {
+        treesls_nvm::crash_site!(self.io.kernel.pers.dev.crash_schedule(), "extsync.pre_restore_cb");
         // Discard responses produced by the rolled-back interval; the
         // restored server will re-produce them.
         let _ = ring::truncate_uncommitted(&self.io, &self.layout.tx, version);
         // The cursor sample is stale for the new epoch.
         self.prev_cursor_sample.store(0, Ordering::SeqCst);
+        // Replay the doorbell interrupt if requests were already queued
+        // when power failed: the rings are eternal, so the requests
+        // survived, but the server may have been checkpointed *blocked*
+        // on the doorbell — the interrupt edge died with the power, and
+        // without a replay the server would sleep on undelivered requests
+        // until the next fresh request happens to arrive.
+        if let (Ok(cursor), Ok(writer)) = (
+            self.io.mem_read_u64(self.layout.rx_cursor_addr),
+            ring::header(&self.io, &self.layout.rx, hdr::WRITER),
+        ) {
+            if cursor < writer {
+                if let Some(n) = *self.doorbell.lock() {
+                    let _ = self.io.kernel.signal_object(n);
+                }
+            }
+        }
         self.cv.notify_all();
     }
 }
@@ -275,7 +302,7 @@ impl std::fmt::Debug for NetPort {
 pub fn server_poll<M: MemIo>(
     io: &M,
     layout: &PortLayout,
-) -> Result<Option<ring::RingMsg>, KernelError> {
+) -> Result<Option<ring::RingMsg>, RingError> {
     let cursor = io.mem_read_u64(layout.rx_cursor_addr)?;
     let writer = ring::header(io, &layout.rx, hdr::WRITER)?;
     if cursor >= writer {

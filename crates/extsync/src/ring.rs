@@ -53,6 +53,12 @@ pub trait MemIo {
     /// baseline backends charge their WAL-flush latency here.
     fn flush(&self) {}
 
+    /// Crash-injection hook: implementations backed by an
+    /// [`treesls_nvm::CrashSchedule`] forward `site` to it so a fault
+    /// schedule can cut execution between any two ring stores. The
+    /// default is a no-op, so plain backends pay nothing.
+    fn crash_hook(&self, _site: &'static str) {}
+
     /// Reads a little-endian `u64` at `addr`.
     fn mem_read_u64(&self, addr: u64) -> Result<u64, KernelError> {
         let mut b = [0u8; 8];
@@ -112,6 +118,11 @@ pub enum RingError {
     Full,
     /// Payload exceeds the slot size.
     TooLarge,
+    /// Ring header or slot metadata is self-inconsistent (e.g. `ack`
+    /// ahead of `writer`, or a slot length beyond the slot capacity).
+    /// Unlike [`RingError::Full`] this is not retryable: the eternal
+    /// PMO's contents violate an invariant.
+    Corrupt(&'static str),
     /// Underlying memory access failed.
     Mem(KernelError),
 }
@@ -146,7 +157,13 @@ pub fn push<M: MemIo>(
     }
     let writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
     let ack = io.mem_read_u64(layout.base + hdr::ACK)?;
-    if writer - ack >= layout.nslots {
+    // `ack` trails `writer` by construction; an ack ahead of the writer
+    // means the header was corrupted (and `writer - ack` would wrap to a
+    // huge in-use count, wedging the ring as permanently full).
+    let in_use = writer
+        .checked_sub(ack)
+        .ok_or(RingError::Corrupt("ring ack ahead of writer"))?;
+    if in_use >= layout.nslots {
         return Err(RingError::Full);
     }
     let slot = layout.slot_addr(writer);
@@ -154,6 +171,9 @@ pub fn push<M: MemIo>(
     io.mem_write_u64(slot + 8, seq)?;
     io.mem_write(slot + 16, &(payload.len() as u32).to_le_bytes())?;
     io.mem_write(slot + SLOT_HDR, payload)?;
+    // A crash here leaves a fully written slot that was never published:
+    // the writer bump below is the linearization point.
+    io.crash_hook("ring.slot_written");
     // Publish after the slot contents (program order is durable under
     // eADR).
     io.mem_write_u64(layout.base + hdr::WRITER, writer + 1)?;
@@ -161,18 +181,26 @@ pub fn push<M: MemIo>(
 }
 
 /// Reads the message at ring index `index` without consuming it.
+///
+/// A recorded length larger than the slot's payload capacity means the
+/// slot header is corrupt; silently clamping would hand the caller a
+/// truncated payload that parses as a shorter (wrong) message, so it is
+/// reported as [`RingError::Corrupt`] instead.
 pub fn read_at<M: MemIo>(
     io: &M,
     layout: &RingLayout,
     index: u64,
-) -> Result<RingMsg, KernelError> {
+) -> Result<RingMsg, RingError> {
     let slot = layout.slot_addr(index);
     let version = io.mem_read_u64(slot)?;
     let seq = io.mem_read_u64(slot + 8)?;
     let mut lb = [0u8; 4];
     io.mem_read(slot + 16, &mut lb)?;
     let len = u32::from_le_bytes(lb) as usize;
-    let mut payload = vec![0u8; len.min(layout.max_payload())];
+    if len > layout.max_payload() {
+        return Err(RingError::Corrupt("slot length exceeds payload capacity"));
+    }
+    let mut payload = vec![0u8; len];
     io.mem_read(slot + SLOT_HDR, &mut payload)?;
     Ok(RingMsg { seq, version, payload })
 }
@@ -183,7 +211,7 @@ pub fn pop_below<M: MemIo>(
     io: &M,
     layout: &RingLayout,
     limit_field: u64,
-) -> Result<Option<RingMsg>, KernelError> {
+) -> Result<Option<RingMsg>, RingError> {
     let reader = io.mem_read_u64(layout.base + hdr::READER)?;
     let limit = io.mem_read_u64(layout.base + limit_field)?;
     if reader >= limit {
@@ -226,6 +254,10 @@ pub fn advance_visible<M: MemIo>(
         }
         visible += 1;
     }
+    // A crash here loses only the visibility advance; the committed tags
+    // are still below `committed`, so the next checkpoint re-derives the
+    // same bound.
+    io.crash_hook("ring.pre_visible_store");
     io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, visible)?;
     Ok(visible)
 }
@@ -250,11 +282,59 @@ pub fn truncate_uncommitted<M: MemIo>(
         }
         writer -= 1;
     }
+    // A crash here leaves the rolled-back slots published; re-running the
+    // restore callback walks them back again (truncation is idempotent).
+    io.crash_hook("ring.pre_truncate_store");
     io.mem_write_u64(layout.base + hdr::WRITER, writer)?;
     if visible > writer {
         io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, writer)?;
     }
     Ok(writer)
+}
+
+/// Checks the external-synchrony ring invariants after a restore to
+/// version `restored`:
+///
+/// * pointer order `ack ≤ reader ≤ visible ≤ writer` (with ext-sync the
+///   consumer only pops below the visible writer, so the reader can never
+///   pass it);
+/// * no still-published slot carries a tag from the rolled-back interval
+///   (`tag ≥ restored`) — the restore callback must have truncated them.
+///
+/// Together these are the machine-checkable form of the §5 contract: a
+/// message can leave the system only if its producing state survived.
+pub fn check_ext_sync_invariants<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    restored: u64,
+) -> Result<(), String> {
+    let reader = io.mem_read_u64(layout.base + hdr::READER).map_err(|e| format!("{e:?}"))?;
+    let writer = io.mem_read_u64(layout.base + hdr::WRITER).map_err(|e| format!("{e:?}"))?;
+    let visible =
+        io.mem_read_u64(layout.base + hdr::VISIBLE_WRITER).map_err(|e| format!("{e:?}"))?;
+    let ack = io.mem_read_u64(layout.base + hdr::ACK).map_err(|e| format!("{e:?}"))?;
+    if ack > reader {
+        return Err(format!("ack {ack} ahead of reader {reader}"));
+    }
+    if reader > visible {
+        return Err(format!("reader {reader} ahead of visible writer {visible}"));
+    }
+    if visible > writer {
+        return Err(format!("visible writer {visible} ahead of writer {writer}"));
+    }
+    for idx in reader..writer {
+        let msg = match read_at(io, layout, idx) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("slot {idx} unreadable: {e:?}")),
+        };
+        if msg.version >= restored {
+            return Err(format!(
+                "slot {idx} (seq {}) tagged v{} survived a restore to v{restored}",
+                msg.seq, msg.version
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -387,6 +467,46 @@ mod tests {
         push(&m, &l, 9, b"x").unwrap();
         push(&m, &l, 10, b"x").unwrap();
         assert_eq!(push(&m, &l, 11, b"x"), Err(RingError::Full));
+    }
+
+    #[test]
+    fn ack_ahead_of_writer_is_corruption_not_full() {
+        // Regression: `writer - ack` used to underflow (panic in debug,
+        // wrap to a huge in-use count in release — a permanently "full"
+        // ring) when a corrupted header put ack ahead of the writer.
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        push(&m, &l, 1, b"x").unwrap(); // writer = 1
+        set_header(&m, &l, hdr::ACK, 5).unwrap(); // ack > writer
+        assert_eq!(
+            push(&m, &l, 2, b"y"),
+            Err(RingError::Corrupt("ring ack ahead of writer"))
+        );
+    }
+
+    #[test]
+    fn oversize_slot_len_is_corruption_not_truncation() {
+        // Regression: a slot whose recorded length exceeds the payload
+        // capacity was silently clamped, handing the consumer a truncated
+        // payload that parses as a different (shorter) message.
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        push(&m, &l, 7, b"payload").unwrap();
+        // Corrupt the length field of slot 0.
+        let slot = l.base + hdr::SIZE;
+        m.mem_write(slot + 16, &(l.max_payload() as u32 + 1).to_le_bytes()).unwrap();
+        assert_eq!(
+            read_at(&m, &l, 0),
+            Err(RingError::Corrupt("slot length exceeds payload capacity"))
+        );
+        // The error propagates through pop_below without consuming.
+        assert!(matches!(
+            pop_below(&m, &l, hdr::WRITER),
+            Err(RingError::Corrupt(_))
+        ));
+        assert_eq!(header(&m, &l, hdr::READER).unwrap(), 0);
     }
 
     #[test]

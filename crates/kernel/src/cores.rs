@@ -91,6 +91,12 @@ impl HybridWork {
 #[derive(Debug, Default)]
 pub struct StwController {
     pending: AtomicBool,
+    /// Copy-phase gate: set by the leader only once *every* registered
+    /// core is parked. A core arriving at the quiescence gate early must
+    /// not touch the hybrid batch before this — other cores may still be
+    /// mid-step, and copying a page concurrently with program writes
+    /// captures a torn image into the checkpoint.
+    go: AtomicBool,
     registered: AtomicUsize,
     quiescent: AtomicUsize,
     epoch: Mutex<u64>,
@@ -146,6 +152,12 @@ impl StwController {
             kernel.sched.wake_all();
             self.cv.wait_for(&mut gate, Duration::from_micros(100));
         }
+        // Every core is parked: open the copy phase. Not before — a core
+        // that reached the gate early would otherwise start stop-and-copy
+        // while a late core is still executing a program step, tearing
+        // multi-word invariants inside the copied page.
+        self.go.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
         t0.elapsed()
     }
 
@@ -174,6 +186,7 @@ impl StwController {
     pub fn resume_world(&self) {
         let mut gate = self.epoch.lock();
         *self.work.lock() = None;
+        self.go.store(false, Ordering::SeqCst);
         self.pending.store(false, Ordering::SeqCst);
         *gate += 1;
         self.cv.notify_all();
@@ -186,11 +199,20 @@ impl StwController {
         let entry_epoch = *gate;
         self.quiescent.fetch_add(1, Ordering::SeqCst);
         self.cv.notify_all();
+        // Wait for the leader to declare full quiescence before touching
+        // the copy batch: arriving early means another core may still be
+        // running user steps, and hybrid copy must never overlap them.
+        while *gate == entry_epoch && self.pending() && !self.go.load(Ordering::SeqCst) {
+            self.cv.wait_for(&mut gate, Duration::from_millis(1));
+        }
+        let copy_open = *gate == entry_epoch && self.pending();
         // Pull speculative-copy work (outside the gate lock).
         drop(gate);
-        let work = self.work.lock().clone();
-        if let Some(w) = work {
-            w.run_available();
+        if copy_open {
+            let work = self.work.lock().clone();
+            if let Some(w) = work {
+                w.run_available();
+            }
         }
         gate = self.epoch.lock();
         while *gate == entry_epoch && self.pending() {

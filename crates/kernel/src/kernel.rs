@@ -182,8 +182,10 @@ impl Persistent {
     /// Commits checkpoint `version`: the single `u64` store that is the
     /// atomic commit point of the whole checkpoint (step ❹ of Figure 5).
     pub fn commit_version(&self, version: u64) {
+        treesls_nvm::crash_site!(self.dev.crash_schedule(), "pers.pre_commit");
         self.dev.meta().write_u64(global_meta::VERSION_OFF, version);
         self.cached_version.store(version, Ordering::Release);
+        treesls_nvm::crash_site!(self.dev.crash_schedule(), "pers.post_commit");
         let n = self.dev.meta().read_u64(global_meta::CKPT_COUNT_OFF);
         self.dev.meta().write_u64(global_meta::CKPT_COUNT_OFF, n + 1);
     }

@@ -1,0 +1,304 @@
+//! The crash-schedule engine: deterministic whole-stack fault injection.
+//!
+//! TreeSLS's correctness claim (§4.2/§4.3.3 of the paper) is that a power
+//! failure at *any* instant restores the last committed checkpoint exactly.
+//! This module generalizes the old metadata-only write fuse into a
+//! [`CrashSchedule`] shared by the metadata arena and the page-frame device,
+//! so a simulated crash can be scheduled at:
+//!
+//! * the Nth **metadata** write ([`CrashPoint::MetaWrite`]),
+//! * the Nth **page-frame** write ([`CrashPoint::PageWrite`]),
+//! * the Nth NVM write of **either** kind ([`CrashPoint::AnyWrite`]) — the
+//!   unit the exhaustive enumerator sweeps over, or
+//! * the Nth hit of a named **crash site** ([`CrashPoint::Site`]) — semantic
+//!   hooks like `ckpt.pre_commit` placed throughout the checkpoint manager,
+//!   allocator journal and external-synchrony callbacks via the
+//!   [`crash_site!`](crate::crash_site) macro.
+//!
+//! The schedule panics with [`InjectedCrash`] *before* the triggering write
+//! mutates NVM, exactly like a power failure between two stores. Drivers
+//! catch the panic (`catch_unwind`), discard all volatile state through the
+//! normal `crash()` path, and run recovery. A site trace can be recorded so
+//! a failing write index can be reported alongside the nearest semantic
+//! site, making failures reproducible from `(scenario, write index)` alone.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+/// Panic payload used by the crash-injection fuse.
+///
+/// Tests match on this to distinguish an injected crash from a real bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash;
+
+/// Where in the persistent write stream a crash is scheduled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash on the metadata-arena write after `skip` more metadata writes
+    /// (i.e. `skip` writes succeed, the next one powers off).
+    MetaWrite(u64),
+    /// Crash on the page-frame write after `skip` more page writes.
+    PageWrite(u64),
+    /// Crash on the NVM write (of either kind) after `skip` more writes.
+    AnyWrite(u64),
+    /// Crash at the `skip + 1`th hit of the named crash site.
+    Site {
+        /// Site name, e.g. `"ckpt.pre_commit"`.
+        name: String,
+        /// Number of matching hits to let pass before crashing.
+        skip: u64,
+    },
+}
+
+/// Trigger class currently armed (packed into an `AtomicU8`).
+const KIND_NONE: u8 = 0;
+const KIND_META: u8 = 1;
+const KIND_PAGE: u8 = 2;
+const KIND_ANY: u8 = 3;
+const KIND_SITE: u8 = 4;
+
+/// One recorded crash-site hit, for trace-assisted reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteHit {
+    /// The site's name.
+    pub name: &'static str,
+    /// Total NVM writes (meta + page) performed before this hit.
+    pub writes_before: u64,
+}
+
+/// Cumulative NVM write counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteCounts {
+    /// Metadata-arena writes.
+    pub meta: u64,
+    /// Page-frame writes.
+    pub page: u64,
+}
+
+impl WriteCounts {
+    /// Total writes of both kinds.
+    pub fn total(&self) -> u64 {
+        self.meta + self.page
+    }
+}
+
+/// The per-device crash schedule.
+///
+/// One instance is shared by a device's [`MetaArena`](crate::MetaArena) and
+/// its page-frame write paths; kernel-level code reaches it through
+/// `NvmDevice::crash_schedule`. All operations are cheap atomics when the
+/// schedule is disarmed and not tracing, so production paths pay one relaxed
+/// load per write.
+#[derive(Debug, Default)]
+pub struct CrashSchedule {
+    kind: AtomicU8,
+    /// Matching events left before the crash fires.
+    fuse: AtomicU64,
+    /// Site-name filter for [`CrashPoint::Site`].
+    site: Mutex<Option<String>>,
+    meta_writes: AtomicU64,
+    page_writes: AtomicU64,
+    /// When `Some`, every site hit is appended (enumeration dry runs).
+    trace: Mutex<Option<Vec<SiteHit>>>,
+}
+
+impl CrashSchedule {
+    /// Creates a disarmed schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the schedule. Any previously armed point is replaced.
+    pub fn arm(&self, point: CrashPoint) {
+        // Order matters: publish the fuse and filter before the kind so a
+        // concurrent write cannot observe a half-armed schedule.
+        match point {
+            CrashPoint::MetaWrite(skip) => {
+                self.fuse.store(skip, Ordering::SeqCst);
+                self.kind.store(KIND_META, Ordering::SeqCst);
+            }
+            CrashPoint::PageWrite(skip) => {
+                self.fuse.store(skip, Ordering::SeqCst);
+                self.kind.store(KIND_PAGE, Ordering::SeqCst);
+            }
+            CrashPoint::AnyWrite(skip) => {
+                self.fuse.store(skip, Ordering::SeqCst);
+                self.kind.store(KIND_ANY, Ordering::SeqCst);
+            }
+            CrashPoint::Site { name, skip } => {
+                *self.site.lock() = Some(name);
+                self.fuse.store(skip, Ordering::SeqCst);
+                self.kind.store(KIND_SITE, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Disarms the schedule (recovery paths call this before touching NVM).
+    pub fn disarm(&self) {
+        self.kind.store(KIND_NONE, Ordering::SeqCst);
+        *self.site.lock() = None;
+    }
+
+    /// Returns `true` if a crash point is currently armed.
+    pub fn armed(&self) -> bool {
+        self.kind.load(Ordering::SeqCst) != KIND_NONE
+    }
+
+    /// Current write counters.
+    pub fn counts(&self) -> WriteCounts {
+        WriteCounts {
+            meta: self.meta_writes.load(Ordering::SeqCst),
+            page: self.page_writes.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Starts recording crash-site hits (replacing any previous trace).
+    pub fn start_trace(&self) {
+        *self.trace.lock() = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the collected trace.
+    pub fn take_trace(&self) -> Vec<SiteHit> {
+        self.trace.lock().take().unwrap_or_default()
+    }
+
+    /// Decrements the fuse; panics with [`InjectedCrash`] when it runs out.
+    fn burn(&self) {
+        // fetch_update keeps concurrent writers from double-spending one
+        // remaining unit; exactly one of them observes zero and crashes.
+        let fired = self
+            .fuse
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_err();
+        if fired {
+            self.kind.store(KIND_NONE, Ordering::SeqCst);
+            std::panic::panic_any(InjectedCrash);
+        }
+    }
+
+    /// Called by the metadata arena before each write mutates the arena.
+    #[inline]
+    pub fn on_meta_write(&self) {
+        self.meta_writes.fetch_add(1, Ordering::Relaxed);
+        match self.kind.load(Ordering::Relaxed) {
+            KIND_META | KIND_ANY => self.burn(),
+            _ => {}
+        }
+    }
+
+    /// Called by the device before each page-frame write mutates the frame.
+    #[inline]
+    pub fn on_page_write(&self) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+        match self.kind.load(Ordering::Relaxed) {
+            KIND_PAGE | KIND_ANY => self.burn(),
+            _ => {}
+        }
+    }
+
+    /// Named crash-site hook; use via [`crash_site!`](crate::crash_site).
+    ///
+    /// Records the hit when tracing, and fires the fuse when armed with a
+    /// matching [`CrashPoint::Site`].
+    pub fn site(&self, name: &'static str) {
+        if let Some(trace) = self.trace.lock().as_mut() {
+            trace.push(SiteHit { name, writes_before: self.counts().total() });
+        }
+        if self.kind.load(Ordering::Relaxed) == KIND_SITE {
+            let matches = self.site.lock().as_deref() == Some(name);
+            if matches {
+                self.burn();
+            }
+        }
+    }
+}
+
+/// Declares a named crash site on a [`CrashSchedule`].
+///
+/// ```ignore
+/// crash_site!(kernel.pers.dev.crash_schedule(), "ckpt.pre_commit");
+/// ```
+///
+/// Expands to a plain [`CrashSchedule::site`] call; the macro exists so
+/// sites are grep-able as a class and can later grow cfg-gating without
+/// touching every call site.
+#[macro_export]
+macro_rules! crash_site {
+    ($sched:expr, $name:literal) => {
+        $sched.site($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn crashes(f: impl FnOnce()) -> bool {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(()) => false,
+            Err(e) => {
+                assert!(e.is::<InjectedCrash>(), "panic must be the injected crash");
+                true
+            }
+        }
+    }
+
+    #[test]
+    fn meta_fuse_fires_after_skip() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::MetaWrite(2));
+        assert!(!crashes(|| s.on_meta_write()));
+        assert!(!crashes(|| s.on_meta_write()));
+        assert!(crashes(|| s.on_meta_write()));
+        // Fired fuse disarms itself.
+        assert!(!s.armed());
+        assert!(!crashes(|| s.on_meta_write()));
+    }
+
+    #[test]
+    fn page_and_any_classes() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::PageWrite(0));
+        assert!(!crashes(|| s.on_meta_write()), "meta writes don't burn a page fuse");
+        assert!(crashes(|| s.on_page_write()));
+
+        s.arm(CrashPoint::AnyWrite(1));
+        assert!(!crashes(|| s.on_meta_write()));
+        assert!(crashes(|| s.on_page_write()));
+    }
+
+    #[test]
+    fn site_fuse_matches_by_name() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::Site { name: "ckpt.pre_commit".into(), skip: 1 });
+        assert!(!crashes(|| crash_site!(s, "ckpt.post_commit")), "other sites pass");
+        assert!(!crashes(|| crash_site!(s, "ckpt.pre_commit")), "skip=1 lets one pass");
+        assert!(crashes(|| crash_site!(s, "ckpt.pre_commit")));
+    }
+
+    #[test]
+    fn counters_and_trace() {
+        let s = CrashSchedule::new();
+        s.start_trace();
+        s.on_meta_write();
+        s.on_page_write();
+        s.on_page_write();
+        crash_site!(s, "here");
+        let c = s.counts();
+        assert_eq!((c.meta, c.page, c.total()), (1, 2, 3));
+        let trace = s.take_trace();
+        assert_eq!(trace, vec![SiteHit { name: "here", writes_before: 3 }]);
+        // Trace is consumed.
+        assert!(s.take_trace().is_empty());
+    }
+
+    #[test]
+    fn disarm_clears_pending_point() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::AnyWrite(0));
+        s.disarm();
+        assert!(!crashes(|| s.on_page_write()));
+    }
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::crash::CrashSchedule;
 use crate::dram::DramPool;
 use crate::latency::LatencyModel;
 use crate::meta::MetaArena;
@@ -33,6 +34,10 @@ pub struct NvmDevice {
     meta: MetaArena,
     latency: Arc<LatencyModel>,
     stats: Arc<MemStats>,
+    /// Crash-injection schedule shared with the metadata arena: every page
+    /// write ticks it *before* mutating the frame, so a scheduled crash
+    /// lands between two persistent stores exactly like a power failure.
+    crash: Arc<CrashSchedule>,
 }
 
 impl NvmDevice {
@@ -40,9 +45,17 @@ impl NvmDevice {
     /// metadata arena of `meta_len` bytes.
     pub fn new(frame_count: usize, meta_len: usize, latency: Arc<LatencyModel>) -> Self {
         let stats = Arc::new(MemStats::new());
+        let crash = Arc::new(CrashSchedule::new());
         let frames = (0..frame_count).map(|_| RwLock::new(zeroed_page())).collect();
-        let meta = MetaArena::new(meta_len, Arc::clone(&latency), Arc::clone(&stats));
-        Self { frames, meta, latency, stats }
+        let meta =
+            MetaArena::new(meta_len, Arc::clone(&latency), Arc::clone(&stats), Arc::clone(&crash));
+        Self { frames, meta, latency, stats, crash }
+    }
+
+    /// The crash-injection schedule covering this device's whole persistent
+    /// write stream (metadata + page frames).
+    pub fn crash_schedule(&self) -> &Arc<CrashSchedule> {
+        &self.crash
     }
 
     /// Number of page frames in the data area.
@@ -85,6 +98,7 @@ impl NvmDevice {
     pub fn write(&self, frame: FrameId, off: usize, data: &[u8]) {
         self.latency.charge_write(data.len());
         self.stats.record_write(data.len());
+        self.crash.on_page_write();
         let mut g = self.frames[frame.index()].write();
         g[off..off + data.len()].copy_from_slice(data);
     }
@@ -112,6 +126,7 @@ impl NvmDevice {
     pub fn write_page(&self, frame: FrameId, data: &[u8; PAGE_SIZE]) {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
+        self.crash.on_page_write();
         self.frames[frame.index()].write().copy_from_slice(data);
     }
 
@@ -119,6 +134,7 @@ impl NvmDevice {
     pub fn zero_page(&self, frame: FrameId) {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
+        self.crash.on_page_write();
         self.frames[frame.index()].write().fill(0);
     }
 
@@ -137,6 +153,7 @@ impl NvmDevice {
         self.stats.record_read(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
         self.stats.record_page_copy();
+        self.crash.on_page_write();
         if src < dst {
             let s = self.frames[src.index()].read();
             let mut d = self.frames[dst.index()].write();
@@ -155,6 +172,7 @@ impl NvmDevice {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
         self.stats.record_page_copy();
+        self.crash.on_page_write();
         let s = dram.lock_page(src);
         let mut d = self.frames[dst.index()].write();
         d.copy_from_slice(&s[..]);

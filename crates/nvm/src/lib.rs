@@ -20,6 +20,7 @@
 //! are part of the persistent state — the `NvmDevice`, the backup object
 //! store, and the checkpoint metadata — are returned to the recovery path.
 
+pub mod crash;
 pub mod device;
 pub mod dram;
 pub mod latency;
@@ -28,10 +29,11 @@ pub mod page;
 pub mod stats;
 pub mod store;
 
+pub use crash::{CrashPoint, CrashSchedule, InjectedCrash, SiteHit, WriteCounts};
 pub use device::NvmDevice;
 pub use dram::DramPool;
 pub use latency::LatencyModel;
-pub use meta::{InjectedCrash, MetaArena};
+pub use meta::MetaArena;
 pub use page::{DramId, FrameId, PageBuf, PAGE_SIZE};
 pub use stats::MemStats;
 pub use store::{ObjectStore, SlotId};

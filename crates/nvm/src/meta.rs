@@ -8,13 +8,15 @@
 //! the allocator and journal can be laid out and recovered byte-for-byte,
 //! exactly as they would be on a real persistent DIMM.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::crash::{CrashPoint, CrashSchedule};
 use crate::latency::LatencyModel;
 use crate::stats::MemStats;
+
+pub use crate::crash::InjectedCrash;
 
 /// A persistent, byte-addressable metadata region.
 ///
@@ -32,56 +34,46 @@ pub struct MetaArena {
     bytes: RwLock<Box<[u8]>>,
     latency: Arc<LatencyModel>,
     stats: Arc<MemStats>,
-    /// Monotone write tick, used by crash-injection tests to cut history.
-    write_tick: AtomicU64,
-    /// Crash-injection fuse: when it reaches zero, the next write panics.
-    bomb: AtomicU64,
+    /// Crash-schedule shared with the owning device's page-write paths.
+    crash: Arc<CrashSchedule>,
 }
 
-/// Panic payload used by the crash-injection fuse.
-///
-/// Tests match on this to distinguish an injected crash from a real bug.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InjectedCrash;
-
 impl MetaArena {
-    /// Creates a zeroed arena of `len` bytes.
-    pub fn new(len: usize, latency: Arc<LatencyModel>, stats: Arc<MemStats>) -> Self {
-        Self {
-            bytes: RwLock::new(vec![0u8; len].into_boxed_slice()),
-            latency,
-            stats,
-            write_tick: AtomicU64::new(0),
-            bomb: AtomicU64::new(u64::MAX),
-        }
+    /// Creates a zeroed arena of `len` bytes wired to `crash`.
+    pub fn new(
+        len: usize,
+        latency: Arc<LatencyModel>,
+        stats: Arc<MemStats>,
+        crash: Arc<CrashSchedule>,
+    ) -> Self {
+        Self { bytes: RwLock::new(vec![0u8; len].into_boxed_slice()), latency, stats, crash }
     }
 
-    /// Arms the crash-injection fuse: after `writes_remaining` more writes,
-    /// the next write panics with [`InjectedCrash`] *before* mutating the
-    /// arena, simulating a power failure at that exact point in the
-    /// persistent write stream.
+    /// Arms a metadata-write crash fuse: after `writes_remaining` more
+    /// metadata writes, the next one panics with [`InjectedCrash`] *before*
+    /// mutating the arena, simulating a power failure at that exact point in
+    /// the persistent write stream.
     ///
-    /// Used by the allocator/journal crash tests; production code never arms
-    /// the fuse.
+    /// Convenience wrapper over [`CrashSchedule::arm`] with
+    /// [`CrashPoint::MetaWrite`], kept for the allocator/journal crash
+    /// tests; production code never arms the fuse.
     pub fn arm_crash_after(&self, writes_remaining: u64) {
-        self.bomb.store(writes_remaining, Ordering::SeqCst);
+        self.crash.arm(CrashPoint::MetaWrite(writes_remaining));
     }
 
-    /// Disarms the crash-injection fuse.
+    /// Disarms the crash schedule.
     pub fn disarm_crash(&self) {
-        self.bomb.store(u64::MAX, Ordering::SeqCst);
+        self.crash.disarm();
+    }
+
+    /// The crash schedule shared with the owning device.
+    pub fn crash_schedule(&self) -> &Arc<CrashSchedule> {
+        &self.crash
     }
 
     #[inline]
     fn tick_write(&self) {
-        self.write_tick.fetch_add(1, Ordering::Relaxed);
-        let prev = self.bomb.load(Ordering::Relaxed);
-        if prev != u64::MAX {
-            if prev == 0 {
-                std::panic::panic_any(InjectedCrash);
-            }
-            self.bomb.store(prev - 1, Ordering::SeqCst);
-        }
+        self.crash.on_meta_write();
     }
 
     /// Returns the arena length in bytes.
@@ -94,9 +86,9 @@ impl MetaArena {
         self.len() == 0
     }
 
-    /// Returns the number of writes performed so far.
+    /// Returns the number of metadata writes performed so far.
     pub fn write_tick(&self) -> u64 {
-        self.write_tick.load(Ordering::Relaxed)
+        self.crash.counts().meta
     }
 
     /// Reads a `u8` at `off`.
@@ -195,7 +187,12 @@ mod tests {
     use super::*;
 
     fn arena(len: usize) -> MetaArena {
-        MetaArena::new(len, Arc::new(LatencyModel::disabled()), Arc::new(MemStats::new()))
+        MetaArena::new(
+            len,
+            Arc::new(LatencyModel::disabled()),
+            Arc::new(MemStats::new()),
+            Arc::new(CrashSchedule::new()),
+        )
     }
 
     #[test]

@@ -53,6 +53,7 @@ impl Journal {
         let meta = dev.meta();
         let txid = meta.read_u64(off);
         if txid != 0 {
+            treesls_nvm::crash_site!(dev.crash_schedule(), "journal.pre_rollback");
             let count = meta.read_u64(off + 8) as usize;
             // Undo in reverse order: later records may overwrite earlier
             // ones, and the oldest logged value must win.
@@ -87,11 +88,13 @@ impl Journal {
         let meta = dev.meta();
         meta.write_u64(self.off + 8, 0);
         meta.write_u64(self.off, self.next_tx);
+        treesls_nvm::crash_site!(dev.crash_schedule(), "journal.tx_open");
         self.next_tx = self.next_tx.wrapping_add(1).max(1);
         let mut tx = Tx { dev, off: self.off, cap: self.cap, count: 0 };
         let result = f(&mut tx);
         match result {
             Ok(v) => {
+                treesls_nvm::crash_site!(dev.crash_schedule(), "journal.pre_commit");
                 // Commit point.
                 meta.write_u64(self.off, 0);
                 Ok(v)

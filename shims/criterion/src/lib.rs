@@ -1,0 +1,169 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides just enough for `benches/micro.rs` to compile and produce
+//! useful timings without registry access: [`Criterion`] with the builder
+//! knobs the workspace uses, [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple mean over timed batches — no outlier analysis, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), config: self.clone() };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Per-benchmark measurement context.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    config: Criterion,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_end = Instant::now() + self.config.warm_up_time;
+        let iters_per_sample;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed().max(Duration::from_nanos(1));
+            if Instant::now() >= warm_end {
+                // Aim each sample at ~1/sample_size of the measurement window.
+                let per_sample =
+                    self.config.measurement_time / (self.config.sample_size as u32);
+                iters_per_sample =
+                    (per_sample.as_nanos() / dt.as_nanos()).clamp(1, 1 << 20) as u64;
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / (iters_per_sample as u32));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / (self.samples.len() as u32);
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{name:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function (subset: the `name/config/targets`
+/// form only).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,278 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds in environments without crates.io access, so this
+//! shim provides the slice of proptest the test suites use: the
+//! [`proptest!`] macro, strategies over integer ranges / tuples / `Just` /
+//! [`collection::vec`] / [`option::of`] / [`any`], `prop_map`,
+//! [`prop_oneof!`], the `prop_assert*` macros, [`ProptestConfig`], and
+//! [`TestCaseError`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its seed and case index
+//!   instead of a minimized input. Re-running the test reproduces it
+//!   (generation is deterministic per test name + case index).
+//! * Uniform generation only; no bias toward boundary values.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for generating collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `len` and elements
+    /// from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_usize(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies for generating `Option`s.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `None` or `Some` of the inner strategy's value.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some(inner)` about three quarters of the time, `None`
+    /// otherwise (mirrors proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical "generate any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value from raw randomness.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Strategy for [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides equal `{:?}`", left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b, c) in (0u8..5, 10u64..20, any::<u32>())) {
+            prop_assert!(a < 5);
+            prop_assert!((10..20).contains(&b));
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_and_option(
+            v in crate::collection::vec(0u64..100, 1..50),
+            o in crate::option::of(0u64..10),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            if let Some(x) = o {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![
+            (0u8..3).prop_map(|v| v as u64),
+            Just(99u64),
+        ]) {
+            prop_assert!(x < 3 || x == 99, "unexpected {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_instead_of_succeeding() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "always_fails");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runner.run(|_rng| Err(TestCaseError::fail("boom")))
+        }));
+        assert!(r.is_err(), "failing property must panic the test");
+    }
+
+    #[test]
+    fn deterministic_generation_per_name() {
+        use crate::strategy::Strategy;
+        let gen_all = || {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "det");
+            let mut out = Vec::new();
+            runner.run(|rng| {
+                out.push((0u64..1 << 40).generate(rng));
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(gen_all(), gen_all());
+    }
+}

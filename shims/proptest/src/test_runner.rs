@@ -1,0 +1,131 @@
+//! The deterministic case runner behind the [`proptest!`](crate::proptest)
+//! macro.
+
+/// Configuration for a property test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The input was rejected as uninteresting (does not fail the test).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+///
+/// Seeded from the test name and case index, so a failure message's
+/// `(name, case)` pair is enough to reproduce the exact inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed ^ 0x5DEE_CE66_D1CE_CAFE }
+    }
+
+    /// Returns the next 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty usize range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// Runs the configured number of cases for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self { config, name }
+    }
+
+    /// Runs `f` once per case, panicking on the first `Fail`.
+    ///
+    /// `Reject` outcomes are skipped without counting against the property
+    /// (but do consume a case slot, unlike real proptest — good enough for
+    /// this workspace, which never rejects).
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(self.name);
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::from_seed(base ^ (case as u64).wrapping_mul(0x9E37_79B9));
+            match f(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case {case}/{}: {msg} \
+                         (deterministic; re-run reproduces this case)",
+                        self.name, self.config.cases
+                    );
+                }
+            }
+        }
+    }
+}

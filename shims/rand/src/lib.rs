@@ -1,0 +1,201 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! Provides exactly the surface the workspace uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen` (for
+//! `f64`/`u32`/`u64`/`bool`) and `gen_range` over integer ranges. The
+//! generator is xoshiro256**-style (xorshift128+ with a splitmix64 seeder):
+//! statistically fine for workload generation and property tests, not for
+//! cryptography.
+
+/// Seeding support (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Creates a deterministically seeded generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types producible uniformly from one 64-bit draw (stand-in for the
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Maps a uniform `u64` onto `Self`.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    /// Picks a value in `[lo, hi)` from one uniform draw.
+    fn sample_range(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(bits: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Samples uniformly from the half-open integer range.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self.next_u64(), range.start, range.end)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Deterministic non-cryptographic generator (xorshift128+).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s0 = splitmix64(&mut sm);
+            let mut s1 = splitmix64(&mut sm);
+            if s0 == 0 && s1 == 0 {
+                s1 = 1;
+            }
+            StdRng { s0, s1 }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.s0;
+            let y = self.s1;
+            self.s0 = y;
+            x ^= x << 23;
+            self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s1.wrapping_add(y)
+        }
+    }
+}
+
+/// Everything a typical `use rand::prelude::*` expects.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = r.gen_range(0..3);
+            seen[v as usize] = true;
+            let u = r.gen_range(10u64..20);
+            assert!((10..20).contains(&u));
+            let s = r.gen_range(0usize..5);
+            assert!(s < 5);
+        }
+        assert!(seen.iter().all(|&b| b), "all of 0..3 reachable");
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn draw(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0u64..100)
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(draw(&mut r) < 100);
+    }
+}

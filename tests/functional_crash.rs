@@ -248,3 +248,75 @@ fn repeated_random_crashes_never_lose_committed_state() {
     sys.read_mem(vs, 0, &mut buf).unwrap();
     assert_eq!(u64::from_le_bytes(buf), 200_000);
 }
+
+/// Moves a pseudo-random amount between two accounts on the same page;
+/// both balances are written within one step, so every recovery point
+/// must see their sum intact.
+struct Transfer;
+impl Program for Transfer {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        const TOTAL: u64 = 1_000_000;
+        if ctx.pc() == 0 {
+            ctx.write_u64(0, TOTAL).unwrap();
+            ctx.write_u64(8, 0).unwrap();
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        let rng = treesls_apps::server::xorshift64(ctx.reg(3).max(1));
+        ctx.set_reg(3, rng);
+        let a = ctx.read_u64(0).unwrap();
+        let b = ctx.read_u64(8).unwrap();
+        let amount = rng % 1000;
+        let (na, nb) = if rng % 2 == 0 && a >= amount {
+            (a - amount, b + amount)
+        } else if b >= amount {
+            (a + amount, b - amount)
+        } else {
+            (a, b)
+        };
+        ctx.write_u64(0, na).unwrap();
+        ctx.write_u64(8, nb).unwrap();
+        StepOutcome::Ready
+    }
+}
+
+#[test]
+fn hybrid_copy_never_tears_a_page_under_multicore_load() {
+    // Regression test for a stop-the-world race: a core that reached the
+    // quiescence gate early used to start the hybrid stop-and-copy batch
+    // while another core was still mid-step, so the copied page could
+    // capture one half of a two-word update (A debited, B not yet
+    // credited). Low hot_threshold forces the account page into the DRAM
+    // cache quickly so every checkpoint stop-and-copies it.
+    fn register(r: &ProgramRegistry) {
+        r.register("transfer", Arc::new(Transfer));
+    }
+    let config = || {
+        let mut c = config();
+        c.kernel.hot_threshold = 2;
+        c
+    };
+    let mut sys = System::boot(config());
+    register(sys.programs());
+    sys.spawn(&ProcessSpec::new("transfer").heap(4).thread(ThreadSpec::new("transfer")))
+        .unwrap();
+    for round in 1..=4 {
+        sys.start();
+        std::thread::sleep(Duration::from_millis(40));
+        sys.stop();
+        let image = sys.crash();
+        let (s2, report) = System::recover(image, config(), register).expect("recover");
+        sys = s2;
+        let vs = find_named_vmspace(&sys, "transfer");
+        let mut buf = [0u8; 16];
+        sys.read_mem(vs, 0, &mut buf).unwrap();
+        let a = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let b = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+        assert_eq!(
+            a + b,
+            1_000_000,
+            "torn page at recovery {round} (version {}): A={a} B={b}",
+            report.version
+        );
+    }
+}
