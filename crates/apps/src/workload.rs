@@ -215,7 +215,7 @@ impl PrefixDist {
 
     /// Draws the next `(key, is_get)` pair; keys are `u64` with the prefix
     /// in the high bits.
-    pub fn next(&mut self) -> (u64, bool) {
+    pub fn next_op(&mut self) -> (u64, bool) {
         let hot = self.rng.gen::<f64>() < 0.8;
         let prefix = if hot {
             self.zipf.next(&mut self.rng)
@@ -302,7 +302,7 @@ mod tests {
         let mut hot = 0;
         let mut gets = 0;
         for _ in 0..10_000 {
-            let (key, is_get) = p.next();
+            let (key, is_get) = p.next_op();
             if (key >> 32) < 32 {
                 hot += 1;
             }

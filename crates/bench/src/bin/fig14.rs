@@ -49,7 +49,7 @@ fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, label: &str, ops: u
     let mut done = 0u64;
     let t0 = Instant::now();
     for _ in 0..ops {
-        let (key, is_get) = gen.next();
+        let (key, is_get) = gen.next_op();
         let mut kb = [0u8; 16];
         kb[..8].copy_from_slice(&key.to_le_bytes());
         let op = if is_get {
@@ -98,7 +98,7 @@ fn run_aurora(mode: AuroraMode, label: &str, ops: u64) -> Outcome {
     let mut hist = Histogram::new();
     let t0 = Instant::now();
     for _ in 0..ops {
-        let (key, is_get) = gen.next();
+        let (key, is_get) = gen.next_op();
         let ot0 = Instant::now();
         if is_get {
             let _ = tree.get(&*aurora, key);

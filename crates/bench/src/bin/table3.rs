@@ -38,8 +38,7 @@ fn main() {
             }
         }) {
             Ok((_sys2, report)) => {
-                let mut t = ObjectTimeTable::default();
-                t.restore = report.per_type;
+                let t = ObjectTimeTable { restore: report.per_type, ..Default::default() };
                 agg.merge(&t);
             }
             Err(e) => eprintln!("restore of {} failed: {e}", kind.label()),

@@ -83,7 +83,8 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
                 // tagged with the in-flight version — valid once this
                 // checkpoint commits, ignored (in favour of the CoW backup
                 // in pairs[0]) if the crash precedes the commit.
-                meta.pairs[1] = Some(PagePtr { frame: home, version: inflight });
+                let crc = kernel.pers.dev.page_crc(home);
+                meta.pairs[1] = Some(PagePtr::backup(home, inflight, crc));
                 meta.writable = true;
                 meta.dirty = false;
                 meta.idle_rounds = 0;
@@ -110,7 +111,8 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
         let d = meta.runtime_dram.expect("migrated page has a DRAM copy");
         treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "hybrid.pre_sac_copy");
         kernel.pers.dev.copy_from_dram(&kernel.dram, d, frame);
-        meta.pairs[dst_idx] = Some(PagePtr { frame, version: inflight });
+        let crc = kernel.pers.dev.page_crc(frame);
+        meta.pairs[dst_idx] = Some(PagePtr::backup(frame, inflight, crc));
         meta.dirty = false;
         meta.idle_rounds = 0;
         counters.sac_copies.fetch_add(1, Ordering::Relaxed);
@@ -133,9 +135,18 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
                 };
                 let d = meta.runtime_dram.expect("migrated page has a DRAM copy");
                 kernel.pers.dev.copy_from_dram(&kernel.dram, d, frame);
-                meta.pairs[1] = Some(PagePtr { frame, version: 0 });
+                // Once the DRAM copy is freed below, this frame is the only
+                // image of the last committed version until the in-flight
+                // checkpoint commits: it must be durable before the tag
+                // flips, or an ADR crash before that commit drops its
+                // unfenced lines and restore serves a torn page (no-op
+                // under eADR).
+                kernel.pers.dev.flush_frame(frame, 0, treesls_nvm::PAGE_SIZE);
+                kernel.pers.dev.fence();
+                meta.pairs[1] = Some(PagePtr::runtime(frame));
             } else if let Some(p) = meta.pairs[1].as_mut() {
                 p.version = 0;
+                p.crc = None;
             }
             let d = meta.runtime_dram.take().expect("migrated page has a DRAM copy");
             kernel.dram.free(d);

@@ -37,8 +37,34 @@ use treesls_kernel::object::ObjType;
 use treesls_kernel::types::KernelError;
 use treesls_kernel::Kernel;
 
-pub use restore::{crash, restore, CrashImage, RestoreReport};
+pub use restore::{crash, restore, CrashImage, QuarantinedPage, RecoveryReport, RestoreReport};
 pub use stats::{HybridRoundStats, MinMax, ObjectTimeTable, StwBreakdown};
+
+/// Outcome of a [`CheckpointManager::scrub`] pass over the committed
+/// checkpoint's integrity tags (§8 "Data Reliability": periodic scrubbing
+/// detects silent media corruption *before* a recovery depends on it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Backup page images whose checksum was verified.
+    pub pages_scanned: u64,
+    /// Backup page entries carrying no checksum (runtime pages and images
+    /// from checkpoints predating checksum tagging).
+    pub pages_untagged: u64,
+    /// `(frame, version)` of every image whose stored CRC no longer
+    /// matches its contents.
+    pub corrupt_pages: Vec<(treesls_nvm::FrameId, u64)>,
+    /// Commit-record slots (0–2) that currently fail CRC validation. One
+    /// invalid slot is expected right after a torn commit; two means the
+    /// recovery anchor itself is gone.
+    pub invalid_commit_slots: u32,
+}
+
+impl ScrubReport {
+    /// `true` when every tagged image and the commit anchor verified.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_pages.is_empty() && self.invalid_commit_slots == 0
+    }
+}
 
 /// Callback hooks for transparent external synchrony (§5).
 ///
@@ -232,9 +258,9 @@ impl CheckpointManager {
     /// bump: the backup tree carries in-flight version tags that never
     /// became valid.
     ///
-    /// Testing hook for the §4.2 correctness argument — a subsequent crash
-    /// + restore must reproduce the **previous** committed version exactly,
-    /// ignoring all in-flight tags. Not used by production paths.
+    /// Testing hook for the §4.2 correctness argument — a subsequent
+    /// crash-and-restore must reproduce the **previous** committed version
+    /// exactly, ignoring all in-flight tags. Not used by production paths.
     pub fn checkpoint_interrupted_before_commit(&self) -> Result<(), KernelError> {
         let kernel = &self.kernel;
         let inflight = kernel.pers.global_version() + 1;
@@ -368,6 +394,45 @@ impl CheckpointManager {
             }
         }
         bytes
+    }
+
+    /// Scrubs the committed checkpoint's integrity tags (§8): recomputes
+    /// the checksum of every committed backup page image and re-validates
+    /// the commit-record slots, reporting (not repairing) every mismatch.
+    ///
+    /// Only *committed* images are checked (`0 < version ≤ global`):
+    /// in-flight tags belong to a checkpoint that does not exist yet, and
+    /// version-0 entries are runtime pages the application may be writing.
+    pub fn scrub(&self) -> ScrubReport {
+        use treesls_kernel::oroot::BackupObject;
+        let global = self.kernel.pers.global_version();
+        let dev = &self.kernel.pers.dev;
+        let mut report = ScrubReport {
+            invalid_commit_slots: self.kernel.pers.scrub_commit_records(),
+            ..ScrubReport::default()
+        };
+        let backups = self.kernel.pers.backups.lock();
+        for (_, record) in backups.iter() {
+            let BackupObject::Pmo { pages, .. } = record else { continue };
+            pages.for_each(|_, e| {
+                let meta = e.slot.meta.lock();
+                for p in meta.pairs.iter().flatten() {
+                    if p.version == 0 || p.version > global {
+                        continue;
+                    }
+                    match p.crc {
+                        None => report.pages_untagged += 1,
+                        Some(crc) => {
+                            report.pages_scanned += 1;
+                            if dev.page_crc(p.frame) != crc {
+                                report.corrupt_pages.push((p.frame, p.version));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        report
     }
 }
 

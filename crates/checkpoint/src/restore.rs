@@ -62,6 +62,49 @@ pub fn crash(kernel: Arc<Kernel>) -> CrashImage {
     }
 }
 
+/// One backup page whose every candidate image failed integrity checks:
+/// the page is dropped from the revived PMO instead of serving torn or
+/// bit-rotted bytes as if they were checkpoint data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedPage {
+    /// The PMO's ORoot id.
+    pub oroot: OrootId,
+    /// Page index within the PMO.
+    pub index: u64,
+    /// The frame whose checksum failed.
+    pub frame: FrameId,
+}
+
+/// Integrity outcomes of a recovery — the degraded-recovery evidence the
+/// torn-write/media-fault model makes observable instead of silent.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Commit-record validation: did a torn commit force a fallback to
+    /// generation N-1, and how many slots were invalid.
+    pub commit: treesls_kernel::kernel::CommitRecovery,
+    /// Backup page images whose CRC was checked and passed.
+    pub pages_verified: usize,
+    /// Pages restored from the *other* pair entry after the picked image
+    /// failed its checksum (page-level generation fallback).
+    pub pages_fell_back: usize,
+    /// Pages dropped entirely: no candidate image passed validation.
+    pub quarantined: Vec<QuarantinedPage>,
+    /// Torn/corrupt allocator-journal tail records dropped during replay.
+    pub journal_records_truncated: u64,
+}
+
+impl RecoveryReport {
+    /// `true` when recovery was fully clean: no fallback of any kind, no
+    /// quarantined pages, no truncated journal tail.
+    pub fn is_clean(&self) -> bool {
+        !self.commit.fell_back
+            && self.commit.invalid_slots <= 1
+            && self.pages_fell_back == 0
+            && self.quarantined.is_empty()
+            && self.journal_records_truncated == 0
+    }
+}
+
 /// Outcome of a whole-system restore.
 #[derive(Debug)]
 pub struct RestoreReport {
@@ -75,6 +118,9 @@ pub struct RestoreReport {
     pub duration: Duration,
     /// Per-object-type restore times (Table 3 "Restore").
     pub per_type: HashMap<ObjType, MinMax>,
+    /// Integrity outcomes (commit-record fallback, page checksums,
+    /// quarantines, journal truncation).
+    pub recovery: RecoveryReport,
 }
 
 /// Restores a whole system from a crash image.
@@ -93,6 +139,11 @@ pub fn restore(
     // metadata tells us which version committed.
     let pers = Persistent::recover(dev, nvm_frames, backups, oroots);
     let global = pers.global_version();
+    let mut recovery = RecoveryReport {
+        commit: pers.commit_recovery(),
+        journal_records_truncated: pers.alloc.journal_truncated(),
+        ..RecoveryReport::default()
+    };
     let root_oroot = pers
         .root_oroot()
         .ok_or(KernelError::InvalidState("no committed checkpoint to restore"))?;
@@ -153,8 +204,7 @@ pub fn restore(
         };
         let obj_id = map[&id];
         let obj = kernel.object(obj_id)?;
-        let revived_pages =
-            fill_body(&kernel, &obj, record, &map, global)?;
+        let revived_pages = fill_body(&kernel, &obj, record, &map, global, &mut recovery)?;
         pages_revived += revived_pages;
         // The revived state equals the backup: the next checkpoint can
         // skip this object unless it is mutated again.
@@ -209,6 +259,7 @@ pub fn restore(
         pages: pages_revived,
         duration: t0.elapsed(),
         per_type: table.restore,
+        recovery,
     };
     Ok((kernel, report))
 }
@@ -270,6 +321,7 @@ fn fill_body(
     record: BackupObject,
     map: &HashMap<OrootId, ObjId>,
     global: u64,
+    recovery: &mut RecoveryReport,
 ) -> Result<usize, KernelError> {
     let resolve = |o: OrootId| -> Result<ObjId, KernelError> {
         map.get(&o).copied().ok_or(KernelError::DeadObject)
@@ -356,9 +408,47 @@ fn fill_body(
             // to the free lists during the allocator rebuild. They must be
             // dropped from the backup radix so no stale Arc survives.
             let _ = dead;
+            let oroot = obj.oroot().expect("set in pass A");
+            // Returns `true` if a pair entry is an acceptable restore
+            // image: checksummed images must match the frame content;
+            // untagged (runtime, version-0) images have nothing to check.
+            let validates = |p: &PagePtr| match p.crc {
+                Some(expect) => kernel.pers.dev.page_crc(p.frame) == expect,
+                None => true,
+            };
+            let mut kept = Vec::new();
             for (idx, slot) in &live {
                 let mut meta = slot.meta.lock();
-                let Some(keep) = meta.restore_pick(global) else { continue };
+                let Some(picked) = meta.restore_pick(global) else { continue };
+                // Integrity gate: verify the picked image's checksum; on
+                // mismatch fall back to the other pair entry (the previous
+                // generation's image) if it is committed and validates;
+                // otherwise quarantine the page.
+                let mut keep = picked;
+                let chosen_ptr = meta.pairs[picked].expect("picked entry has a frame");
+                if validates(&chosen_ptr) {
+                    if chosen_ptr.crc.is_some() {
+                        recovery.pages_verified += 1;
+                    }
+                } else {
+                    let other = 1 - picked;
+                    let fallback = meta.pairs[other]
+                        .filter(|p| p.version <= global && validates(p));
+                    match fallback {
+                        Some(_) => {
+                            keep = other;
+                            recovery.pages_fell_back += 1;
+                        }
+                        None => {
+                            recovery.quarantined.push(QuarantinedPage {
+                                oroot,
+                                index: *idx,
+                                frame: chosen_ptr.frame,
+                            });
+                            continue;
+                        }
+                    }
+                }
                 // Normalize: the chosen image becomes the runtime NVM page
                 // (pair slot 1, version 0); the other frame is kept as the
                 // spare backup target.
@@ -366,11 +456,12 @@ fn fill_body(
                     meta.pairs.swap(0, 1);
                 }
                 let chosen = meta.pairs[1].expect("picked entry has a frame");
-                meta.pairs[1] = Some(PagePtr { frame: chosen.frame, version: 0 });
+                meta.pairs[1] = Some(PagePtr::runtime(chosen.frame));
                 if let Some(p) = meta.pairs[0].as_mut() {
                     // Stale data from before the restore point: mark it
                     // version 0 so no rule can ever prefer it.
                     p.version = 0;
+                    p.crc = None;
                 }
                 meta.runtime_dram = None;
                 meta.writable = eternal;
@@ -380,13 +471,15 @@ fn fill_body(
                 meta.idle_rounds = 0;
                 meta.eternal = eternal;
                 pmo.insert(*idx, Arc::clone(slot));
+                kept.push((*idx, Arc::clone(slot)));
                 pages += 1;
             }
-            // Rebuild the backup record's radix to exactly the live set
+            // Rebuild the backup record's radix to exactly the kept set
             // with committed tags, and re-sync the structure tick.
+            // Quarantined pages drop out here too, so their frames return
+            // to the free lists during the allocator rebuild.
             let tick = pmo.structure_tick.load(std::sync::atomic::Ordering::Relaxed);
             {
-                let oroot = obj.oroot().expect("set in pass A");
                 let oroots = kernel.pers.oroots.lock();
                 let mut backups = kernel.pers.backups.lock();
                 let vb = oroots.get(oroot).expect("live oroot").backups[0]
@@ -395,7 +488,7 @@ fn fill_body(
                     backups.get_mut(vb.slot)
                 {
                     let mut fresh = treesls_kernel::radix::Radix::new();
-                    for (idx, slot) in &live {
+                    for (idx, slot) in &kept {
                         fresh.insert(
                             *idx,
                             treesls_kernel::oroot::BkPageEntry {
@@ -441,10 +534,15 @@ fn fill_body(
     Ok(pages)
 }
 
+/// Reachable buddy blocks `(frame, order)` feeding the allocator rebuild.
+type ReachableBlocks = Vec<(FrameId, u8)>;
+/// Reachable slab objects `(addr, size)` feeding the allocator rebuild.
+type ReachableSlabs = Vec<(NvmAddr, usize)>;
+
 /// Collects the reachable buddy blocks and slab objects for the allocator
 /// rebuild: every frame referenced by a (reachable) backup PMO record plus
 /// every backup record's slab accounting.
-fn collect_reachable(kernel: &Kernel) -> (Vec<(FrameId, u8)>, Vec<(NvmAddr, usize)>) {
+fn collect_reachable(kernel: &Kernel) -> (ReachableBlocks, ReachableSlabs) {
     let oroots = kernel.pers.oroots.lock();
     let backups = kernel.pers.backups.lock();
     let mut blocks = Vec::new();

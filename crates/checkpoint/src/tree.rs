@@ -397,18 +397,16 @@ pub fn sweep_deleted(kernel: &Kernel, committed: u64) -> Result<usize, KernelErr
     for id in &dead {
         let r = oroots.remove(*id).expect("listed as dead");
         for vb in r.backups.into_iter().flatten() {
-            if let Some(record) = backups.remove(vb.slot) {
-                if let BackupObject::Pmo { pages, .. } = record {
-                    pages.for_each(|_, e| {
-                        let meta = e.slot.meta.lock();
-                        for p in meta.pairs.iter().flatten() {
-                            let _ = kernel.pers.alloc.free_page(p.frame);
-                        }
-                        if let Some(d) = meta.runtime_dram {
-                            kernel.dram.free(d);
-                        }
-                    });
-                }
+            if let Some(BackupObject::Pmo { pages, .. }) = backups.remove(vb.slot) {
+                pages.for_each(|_, e| {
+                    let meta = e.slot.meta.lock();
+                    for p in meta.pairs.iter().flatten() {
+                        let _ = kernel.pers.alloc.free_page(p.frame);
+                    }
+                    if let Some(d) = meta.runtime_dram {
+                        kernel.dram.free(d);
+                    }
+                });
             }
             if let Some((addr, size)) = vb.slab {
                 kernel.pers.alloc.slab_free(addr, size as usize)?;

@@ -24,9 +24,35 @@ use std::sync::Once;
 
 use treesls_checkpoint::RestoreReport;
 use treesls_kernel::program::ProgramRegistry;
-use treesls_nvm::{CrashPoint, InjectedCrash, SiteHit};
+use treesls_nvm::{CrashPoint, InjectedCrash, PersistMode, SiteHit};
 
 use crate::system::{System, SystemConfig};
+
+/// Persistence-domain behaviour for one crash run (the fault environment
+/// the "power failure" happens in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEnv {
+    /// Persistence mode active during the workload phase.
+    pub mode: PersistMode,
+    /// Seed deciding which unfenced lines the failing power domain loses
+    /// at the cut (see [`treesls_nvm::NvmDevice::settle_crash`]);
+    /// `u64::MAX` drops *every* pending line — the adversarial worst
+    /// case. Irrelevant under [`PersistMode::Eadr`] (nothing is pending).
+    pub settle_seed: u64,
+}
+
+impl FaultEnv {
+    /// Today's hardware assumption: flush-on-fail, nothing is ever lost.
+    pub fn eadr() -> Self {
+        Self { mode: PersistMode::Eadr, settle_seed: 0 }
+    }
+
+    /// ADR with the given reorder window, losing every unfenced line at
+    /// the crash.
+    pub fn adr_worst(reorder_window: usize) -> Self {
+        Self { mode: PersistMode::Adr { reorder_window }, settle_seed: u64::MAX }
+    }
+}
 
 /// One crash-injection workload.
 ///
@@ -148,10 +174,26 @@ pub fn run_with_crash_schedule<S: CrashScenario>(
     scenario: &S,
     point: Option<CrashPoint>,
 ) -> Result<CrashRun, String> {
+    run_with_crash_schedule_ex(scenario, point, FaultEnv::eadr())
+}
+
+/// [`run_with_crash_schedule`] under an explicit fault environment: the
+/// workload runs in `env.mode`, and — when the crash fires — the device
+/// [settles](treesls_nvm::NvmDevice::settle_crash) with `env.settle_seed`,
+/// losing a seed-chosen subset of the unfenced reorder window before
+/// recovery begins. Recovery itself always runs under eADR (a healthy
+/// replacement power domain).
+pub fn run_with_crash_schedule_ex<S: CrashScenario>(
+    scenario: &S,
+    point: Option<CrashPoint>,
+    env: FaultEnv,
+) -> Result<CrashRun, String> {
     quiet_injected_crash_panics();
     let mut sys = System::boot(scenario.config());
     let mut st = scenario.setup(&mut sys);
-    let sched = std::sync::Arc::clone(sys.kernel().pers.dev.crash_schedule());
+    let dev = std::sync::Arc::clone(&sys.kernel().pers.dev);
+    let sched = std::sync::Arc::clone(dev.crash_schedule());
+    dev.set_persist_mode(env.mode);
     if let Some(p) = point {
         sched.arm(p);
     }
@@ -167,6 +209,15 @@ pub fn run_with_crash_schedule<S: CrashScenario>(
             true
         }
     };
+    if crashed {
+        // Power failure: the failing domain loses a seed-chosen subset of
+        // the lines that were never fenced.
+        dev.settle_crash(env.settle_seed);
+    } else {
+        // Clean completion: an orderly shutdown drains everything.
+        dev.persist_barrier();
+    }
+    dev.set_persist_mode(PersistMode::Eadr);
     let image = sys.crash();
     let (mut sys2, report) = System::recover(image, scenario.config(), |r| scenario.programs(r))
         .map_err(|e| format!("recovery failed: {e:?}"))?;
@@ -196,15 +247,27 @@ impl System {
 /// Dry-runs `scenario` (no crash) to measure the workload phase, returning
 /// its NVM write count and crash-site trace.
 pub fn measure<S: CrashScenario>(scenario: &S) -> (u64, Vec<SiteHit>) {
+    let (writes, sites, _) = measure_with_trace(scenario);
+    (writes, sites)
+}
+
+/// [`measure`] plus the full per-write trace (offset and length of every
+/// NVM store), which torn-write enumeration uses to derive each write's
+/// tear classes.
+pub fn measure_with_trace<S: CrashScenario>(
+    scenario: &S,
+) -> (u64, Vec<SiteHit>, Vec<treesls_nvm::WriteRec>) {
     let mut sys = System::boot(scenario.config());
     let mut st = scenario.setup(&mut sys);
     let sched = std::sync::Arc::clone(sys.kernel().pers.dev.crash_schedule());
     let before = sched.counts().total();
     sched.start_trace();
+    sched.start_write_trace();
     scenario.workload(&mut sys, &mut st);
     let sites = sched.take_trace();
+    let trace = sched.take_write_trace();
     let writes = sched.counts().total() - before;
-    (writes, sites)
+    (writes, sites, trace)
 }
 
 /// Exhaustively replays `scenario`, crashing at every `stride`-th NVM
@@ -227,6 +290,61 @@ pub fn enumerate_crashes<S: CrashScenario>(scenario: &S, stride: u64) -> Enumera
             Err(e) => report.failures.push((format!("write {i}/{writes}"), e)),
         }
         i += stride;
+    }
+    report
+}
+
+/// Exhaustively replays `scenario` under the **torn-write model**: for
+/// every `stride`-th NVM write of the workload phase and every cache-line
+/// tear class of that write (cut 0 = nothing applied, cut *k* = the
+/// prefix up to the *k*-th interior 64-byte boundary applied), the fuse
+/// fires *mid-write* and the run recovers and verifies.
+///
+/// `env.mode` selects the persistence model; under
+/// [`PersistMode::Adr`] each `(write, cut)` pair is additionally replayed
+/// once per seed in `drop_seeds`, losing a different subset of the
+/// unfenced reorder window each time. Under [`PersistMode::Eadr`] pass a
+/// single seed (the window is always empty).
+pub fn enumerate_torn_crashes<S: CrashScenario>(
+    scenario: &S,
+    stride: u64,
+    env_mode: PersistMode,
+    drop_seeds: &[u64],
+) -> EnumerationReport {
+    assert!(stride >= 1, "stride must be at least 1");
+    assert!(!drop_seeds.is_empty(), "need at least one settle seed");
+    let (writes, sites, trace) = measure_with_trace(scenario);
+    let mut report = EnumerationReport { writes, sites, ..Default::default() };
+    let mut skip = 0u64;
+    while (skip as usize) < trace.len() {
+        let rec = trace[skip as usize];
+        for cut in 0..=rec.tear_cuts() {
+            for &seed in drop_seeds {
+                report.runs += 1;
+                let point = CrashPoint::TornWrite { skip, cut };
+                let env = FaultEnv { mode: env_mode, settle_seed: seed };
+                match run_with_crash_schedule_ex(scenario, Some(point), env) {
+                    Ok(r) => {
+                        if r.crashed {
+                            report.injected += 1;
+                        }
+                    }
+                    Err(e) => report.failures.push((
+                        format!(
+                            "torn write {skip}/{} cut {cut}/{} seed {seed:#x} \
+                             ({:?} off {} len {})",
+                            trace.len(),
+                            rec.tear_cuts(),
+                            rec.kind,
+                            rec.off,
+                            rec.len
+                        ),
+                        e,
+                    )),
+                }
+            }
+        }
+        skip += stride;
     }
     report
 }

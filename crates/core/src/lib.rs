@@ -24,8 +24,8 @@ pub mod process;
 pub mod system;
 
 pub use crashtest::{
-    enumerate_crashes, enumerate_site_crashes, run_with_crash_schedule, CrashRun, CrashScenario,
-    EnumerationReport,
+    enumerate_crashes, enumerate_site_crashes, enumerate_torn_crashes, run_with_crash_schedule,
+    run_with_crash_schedule_ex, CrashRun, CrashScenario, EnumerationReport, FaultEnv,
 };
 pub use process::{ProcessHandle, ProcessSpec, RegionSpec, ThreadSpec};
 pub use system::{System, SystemConfig};
@@ -33,7 +33,8 @@ pub use system::{System, SystemConfig};
 // Re-export the layers a downstream user needs.
 pub use treesls_checkpoint::{
     crash as crash_kernel, restore as restore_kernel, CheckpointManager, CkptCallback,
-    CrashImage, HybridRoundStats, RestoreReport, StwBreakdown,
+    CrashImage, HybridRoundStats, QuarantinedPage, RecoveryReport, RestoreReport, ScrubReport,
+    StwBreakdown,
 };
 pub use treesls_extsync as extsync;
 pub use treesls_kernel::cap::CapRights;

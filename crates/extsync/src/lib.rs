@@ -34,8 +34,10 @@ impl MemIo for UserCtx<'_> {
         self.global_version()
     }
     fn flush(&self) {
-        // Programs running on TreeSLS need no explicit persistence; the
-        // hook exists so the same application code can run on baseline
-        // backends that charge WAL-flush latency here.
+        // Under eADR this is free (the barrier no-ops); under ADR it
+        // drains the ring stores so a crash cannot reorder a published
+        // writer bump ahead of the slot contents. Baseline backends charge
+        // their WAL-flush latency here instead.
+        self.persist_barrier();
     }
 }

@@ -57,6 +57,9 @@ impl MemIo for HostIo {
     fn version(&self) -> u64 {
         self.kernel.pers.global_version()
     }
+    fn flush(&self) {
+        self.kernel.pers.dev.persist_barrier();
+    }
     fn crash_hook(&self, site: &'static str) {
         self.kernel.pers.dev.crash_schedule().site(site);
     }

@@ -35,8 +35,23 @@ pub mod hdr {
     pub const SIZE: u64 = 32;
 }
 
-/// Per-slot layout: `[version u64][seq u64][len u32][payload ...]`.
-const SLOT_HDR: u64 = 20;
+/// Per-slot layout: `[version u64][seq u64][len u32][crc u32][payload ...]`.
+///
+/// The CRC-32 covers the version, sequence, length and payload bytes; it is
+/// written last in [`push`], so a slot torn mid-write (or hit by media
+/// faults) fails validation in [`read_at`] instead of yielding a
+/// plausible-but-wrong message.
+const SLOT_HDR: u64 = 24;
+
+/// Checksum of a slot's contents (`version ++ seq ++ len ++ payload`).
+fn slot_crc(version: u64, seq: u64, payload: &[u8]) -> u32 {
+    use treesls_nvm::{crc32, crc32_update};
+    let mut hdr = [0u8; 20];
+    hdr[..8].copy_from_slice(&version.to_le_bytes());
+    hdr[8..16].copy_from_slice(&seq.to_le_bytes());
+    hdr[16..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    crc32_update(crc32(&hdr), payload)
+}
 
 /// Abstract byte-addressed memory: implemented by `UserCtx` (in-SLS
 /// driver code) and by the host-side port (external DMA).
@@ -167,15 +182,20 @@ pub fn push<M: MemIo>(
         return Err(RingError::Full);
     }
     let slot = layout.slot_addr(writer);
-    io.mem_write_u64(slot, io.version())?;
+    let version = io.version();
+    io.mem_write_u64(slot, version)?;
     io.mem_write_u64(slot + 8, seq)?;
     io.mem_write(slot + 16, &(payload.len() as u32).to_le_bytes())?;
+    io.mem_write(slot + 20, &slot_crc(version, seq, payload).to_le_bytes())?;
     io.mem_write(slot + SLOT_HDR, payload)?;
+    // Ordering point: the slot contents (including its checksum) must be
+    // durable before the writer bump publishes them — under ADR an
+    // unflushed slot line could otherwise be dropped while the bump
+    // survives, leaving a published-but-torn slot.
+    io.flush();
     // A crash here leaves a fully written slot that was never published:
     // the writer bump below is the linearization point.
     io.crash_hook("ring.slot_written");
-    // Publish after the slot contents (program order is durable under
-    // eADR).
     io.mem_write_u64(layout.base + hdr::WRITER, writer + 1)?;
     Ok(writer)
 }
@@ -200,8 +220,13 @@ pub fn read_at<M: MemIo>(
     if len > layout.max_payload() {
         return Err(RingError::Corrupt("slot length exceeds payload capacity"));
     }
+    let mut cb = [0u8; 4];
+    io.mem_read(slot + 20, &mut cb)?;
     let mut payload = vec![0u8; len];
     io.mem_read(slot + SLOT_HDR, &mut payload)?;
+    if u32::from_le_bytes(cb) != slot_crc(version, seq, &payload) {
+        return Err(RingError::Corrupt("slot checksum mismatch"));
+    }
     Ok(RingMsg { seq, version, payload })
 }
 
@@ -259,6 +284,9 @@ pub fn advance_visible<M: MemIo>(
     // same bound.
     io.crash_hook("ring.pre_visible_store");
     io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, visible)?;
+    // The visibility bound must be durable before any message below it
+    // leaves the system.
+    io.flush();
     Ok(visible)
 }
 
@@ -289,6 +317,9 @@ pub fn truncate_uncommitted<M: MemIo>(
     if visible > writer {
         io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, writer)?;
     }
+    // The truncation must be durable before the restored system resumes
+    // producing messages into the reclaimed slots.
+    io.flush();
     Ok(writer)
 }
 
@@ -507,6 +538,41 @@ mod tests {
             Err(RingError::Corrupt(_))
         ));
         assert_eq!(header(&m, &l, hdr::READER).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        push(&m, &l, 3, b"checksummed").unwrap();
+        // Flip one payload bit in slot 0.
+        let off = l.base + hdr::SIZE + SLOT_HDR;
+        let mut b = [0u8; 1];
+        m.mem_read(off, &mut b).unwrap();
+        m.mem_write(off, &[b[0] ^ 0x40]).unwrap();
+        assert_eq!(
+            read_at(&m, &l, 0),
+            Err(RingError::Corrupt("slot checksum mismatch"))
+        );
+        // The error propagates through pop_below without consuming.
+        assert!(matches!(pop_below(&m, &l, hdr::WRITER), Err(RingError::Corrupt(_))));
+        assert_eq!(header(&m, &l, hdr::READER).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupt_slot_header_fails_checksum() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(9);
+        push(&m, &l, 4, b"tagged").unwrap();
+        // Tamper with the version tag (would otherwise change visibility).
+        m.mem_write_u64(l.base + hdr::SIZE, 2).unwrap();
+        assert_eq!(
+            read_at(&m, &l, 0),
+            Err(RingError::Corrupt("slot checksum mismatch"))
+        );
     }
 
     #[test]

@@ -27,13 +27,16 @@ use crate::program::{Program, StepOutcome, UserCtx};
 use crate::thread::ThreadState;
 use crate::types::ObjId;
 
+/// The per-slot closure a [`HybridWork`] batch runs on each worker core.
+pub type SlotRunner = Box<dyn Fn(&Arc<PageSlot>) + Send + Sync>;
+
 /// A batch of hybrid-copy work executed by quiescent cores during the
 /// stop-the-world pause.
 pub struct HybridWork {
     items: Vec<Arc<PageSlot>>,
     next: AtomicUsize,
     done: AtomicUsize,
-    runner: Box<dyn Fn(&Arc<PageSlot>) + Send + Sync>,
+    runner: SlotRunner,
 }
 
 impl std::fmt::Debug for HybridWork {

@@ -193,7 +193,7 @@ impl Kernel {
     pub fn vm_read(&self, vmspace: ObjId, addr: Vaddr, buf: &mut [u8]) -> Result<(), KernelError> {
         let mut done = 0usize;
         while done < buf.len() {
-            let a = addr.add(done as u64);
+            let a = addr.add_bytes(done as u64);
             let off = a.page_off();
             let n = (PAGE_SIZE - off).min(buf.len() - done);
             let pte = self.translate(vmspace, a.vpn())?;
@@ -214,7 +214,7 @@ impl Kernel {
     pub fn vm_write(&self, vmspace: ObjId, addr: Vaddr, data: &[u8]) -> Result<(), KernelError> {
         let mut done = 0usize;
         while done < data.len() {
-            let a = addr.add(done as u64);
+            let a = addr.add_bytes(done as u64);
             let off = a.page_off();
             let n = (PAGE_SIZE - off).min(data.len() - done);
             let pte = self.translate(vmspace, a.vpn())?;
@@ -271,9 +271,16 @@ impl Kernel {
             };
             let tc = Instant::now();
             self.pers.dev.copy_frame(runtime, dst);
+            // Ordering point (ADR): the duplicate is the only version-N
+            // image once the triggering store lands on the runtime page,
+            // so it must be durable *before* this fault returns. A no-op
+            // under eADR.
+            self.pers.dev.flush_frame(dst, 0, treesls_nvm::PAGE_SIZE);
+            self.pers.dev.fence();
             self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
             self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
-            meta.pairs[0] = Some(PagePtr { frame: dst, version: global });
+            let crc = self.pers.dev.page_crc(dst);
+            meta.pairs[0] = Some(PagePtr::backup(dst, global, crc));
         }
         meta.writable = true;
         meta.hotness = meta.hotness.saturating_add(1);

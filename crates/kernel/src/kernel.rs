@@ -46,17 +46,76 @@ use crate::vm::{VmRegion, VmSpaceBody};
 
 /// Offsets of the global checkpoint metadata within the NVM metadata arena
 /// (the first [`AllocLayout::GLOBAL_META_RESERVED`] bytes).
+///
+/// The commit point is a CRC-tagged, dual-slot (ping-pong) **commit
+/// record**: checkpoint version `N` writes slot `N & 1`, so the newest
+/// *valid* record is never overwritten by an in-flight commit. A torn or
+/// dropped commit write leaves a bad CRC in its slot; recovery then falls
+/// back to the other slot — generation `N-1` — instead of trusting torn
+/// bytes. Each slot is 32 bytes and cache-line aligned, so it occupies a
+/// single 64 B line and a single ADR line drop reverts it to the (valid)
+/// record of generation `N-2`.
 pub mod global_meta {
     /// Magic number identifying a formatted TreeSLS device.
     pub const MAGIC_OFF: usize = 0;
-    /// The committed global checkpoint version (the commit point, §4.2).
-    pub const VERSION_OFF: usize = 8;
-    /// Raw `SlotId` of the root cap group's ORoot.
-    pub const ROOT_OROOT_OFF: usize = 16;
-    /// Number of checkpoints ever taken (diagnostics).
-    pub const CKPT_COUNT_OFF: usize = 24;
+    /// First commit-record slot (versions with `N & 1 == 0`).
+    pub const COMMIT_SLOT0_OFF: usize = 64;
+    /// Second commit-record slot (versions with `N & 1 == 1`).
+    pub const COMMIT_SLOT1_OFF: usize = 128;
+    /// Commit-record slot length in bytes.
+    pub const COMMIT_SLOT_LEN: usize = 32;
+    /// Offset of the committed version within a slot.
+    pub const REC_VERSION: usize = 0;
+    /// Offset of the root ORoot id within a slot.
+    pub const REC_ROOT_OROOT: usize = 8;
+    /// Offset of the checkpoint count within a slot.
+    pub const REC_COUNT: usize = 16;
+    /// Offset of the CRC-32 over the preceding 24 bytes within a slot.
+    pub const REC_CRC: usize = 24;
     /// Expected magic value.
     pub const MAGIC: u64 = 0x7EE5_1501_7EE5_1501;
+
+    /// The slot a given version commits into.
+    pub fn slot_off(version: u64) -> usize {
+        if version & 1 == 0 {
+            COMMIT_SLOT0_OFF
+        } else {
+            COMMIT_SLOT1_OFF
+        }
+    }
+}
+
+/// A decoded checkpoint commit record (one ping-pong slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The committed global checkpoint version.
+    pub version: u64,
+    /// Raw ORoot id of the root cap group (`u64::MAX` = none yet).
+    pub root_oroot: u64,
+    /// Number of checkpoints ever committed.
+    pub ckpt_count: u64,
+}
+
+impl CommitRecord {
+    /// CRC-32 over the record's payload fields.
+    pub fn crc(&self) -> u32 {
+        let mut buf = [0u8; 24];
+        buf[..8].copy_from_slice(&self.version.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.root_oroot.to_le_bytes());
+        buf[16..].copy_from_slice(&self.ckpt_count.to_le_bytes());
+        treesls_nvm::crc32(&buf)
+    }
+}
+
+/// What commit-record validation observed during recovery — surfaced in
+/// the `RecoveryReport` so degraded recoveries are visible, not silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitRecovery {
+    /// `true` when the newer slot held a torn/corrupt record and recovery
+    /// fell back to the previous committed generation.
+    pub fell_back: bool,
+    /// Number of commit-record slots with invalid CRCs (0, 1 or 2).
+    pub invalid_slots: u32,
 }
 
 /// Configuration of a freshly booted machine.
@@ -121,6 +180,12 @@ pub struct Persistent {
     /// Volatile mirror of the committed global version for fast reads on
     /// the fault path; rebuilt from NVM at recovery.
     cached_version: AtomicU64,
+    /// Staged root-ORoot id for the next commit record (`u64::MAX` = none).
+    staged_root: AtomicU64,
+    /// Volatile mirror of the committed checkpoint count.
+    cached_count: AtomicU64,
+    /// Commit-record validation outcome of the last recovery.
+    commit_recovery: CommitRecovery,
 }
 
 impl Persistent {
@@ -135,16 +200,74 @@ impl Persistent {
         let alloc = Arc::new(PmemAllocator::format(Arc::clone(&dev), layout));
         let meta = dev.meta();
         meta.write_u64(global_meta::MAGIC_OFF, global_meta::MAGIC);
-        meta.write_u64(global_meta::VERSION_OFF, 0);
-        meta.write_u64(global_meta::ROOT_OROOT_OFF, u64::MAX);
-        meta.write_u64(global_meta::CKPT_COUNT_OFF, 0);
+        // Slot 0 starts as the valid generation-0 record; slot 1 stays
+        // all-zero (invalid CRC) until the first odd version commits.
+        let genesis = CommitRecord { version: 0, root_oroot: u64::MAX, ckpt_count: 0 };
+        Self::write_commit_record(&dev, &genesis);
         Arc::new(Self {
             dev,
             alloc,
             backups: Mutex::new(ObjectStore::new()),
             oroots: Mutex::new(ObjectStore::new()),
             cached_version: AtomicU64::new(0),
+            staged_root: AtomicU64::new(u64::MAX),
+            cached_count: AtomicU64::new(0),
+            commit_recovery: CommitRecovery::default(),
         })
+    }
+
+    /// Writes `rec` into its ping-pong slot and makes it durable. Each
+    /// field is an aligned ≤ 8-byte store (atomic on the media); the CRC
+    /// goes last, so any crash inside the sequence leaves a slot that
+    /// fails validation instead of lying.
+    fn write_commit_record(dev: &NvmDevice, rec: &CommitRecord) {
+        let meta = dev.meta();
+        let slot = global_meta::slot_off(rec.version);
+        meta.write_u64(slot + global_meta::REC_VERSION, rec.version);
+        meta.write_u64(slot + global_meta::REC_ROOT_OROOT, rec.root_oroot);
+        meta.write_u64(slot + global_meta::REC_COUNT, rec.ckpt_count);
+        meta.write_u32(slot + global_meta::REC_CRC, rec.crc());
+        meta.flush(slot, global_meta::COMMIT_SLOT_LEN);
+        meta.fence();
+    }
+
+    /// Reads one commit-record slot; `None` if its CRC does not match.
+    fn read_commit_slot(dev: &NvmDevice, slot: usize) -> Option<CommitRecord> {
+        let meta = dev.meta();
+        let rec = CommitRecord {
+            version: meta.read_u64(slot + global_meta::REC_VERSION),
+            root_oroot: meta.read_u64(slot + global_meta::REC_ROOT_OROOT),
+            ckpt_count: meta.read_u64(slot + global_meta::REC_COUNT),
+        };
+        (meta.read_u32(slot + global_meta::REC_CRC) == rec.crc()).then_some(rec)
+    }
+
+    /// Validates both slots and picks the newest valid record, reporting
+    /// whether a torn newer record forced a fallback to generation N-1.
+    fn validate_commit_records(dev: &NvmDevice) -> (CommitRecord, CommitRecovery) {
+        let slots = [global_meta::COMMIT_SLOT0_OFF, global_meta::COMMIT_SLOT1_OFF];
+        let decoded = slots.map(|s| Self::read_commit_slot(dev, s));
+        let invalid_slots = decoded.iter().filter(|d| d.is_none()).count() as u32;
+        let best = decoded.iter().flatten().max_by_key(|r| r.version).copied();
+        match best {
+            Some(rec) => {
+                // A fallback happened iff the *other* slot — the one the
+                // in-flight generation `rec.version + 1` would have used —
+                // holds torn (nonzero but invalid) bytes.
+                let other_off = global_meta::slot_off(rec.version + 1);
+                let other_valid = Self::read_commit_slot(dev, other_off).is_some();
+                let mut raw = [0u8; global_meta::COMMIT_SLOT_LEN];
+                dev.meta().read_bytes(other_off, &mut raw);
+                let fell_back = !other_valid && raw.iter().any(|&b| b != 0);
+                (rec, CommitRecovery { fell_back, invalid_slots })
+            }
+            None => {
+                // Both records corrupt: nothing trustworthy to restore.
+                // Degrade to generation 0 and report, rather than panic.
+                let rec = CommitRecord { version: 0, root_oroot: u64::MAX, ckpt_count: 0 };
+                (rec, CommitRecovery { fell_back: true, invalid_slots })
+            }
+        }
     }
 
     /// Reattaches after a power failure: replays the allocator journal and
@@ -163,14 +286,36 @@ impl Persistent {
         );
         let layout = AllocLayout::for_device(0, nvm_frames);
         let alloc = Arc::new(PmemAllocator::recover(Arc::clone(&dev), layout));
-        let version = dev.meta().read_u64(global_meta::VERSION_OFF);
+        let (rec, commit_recovery) = Self::validate_commit_records(&dev);
         Arc::new(Self {
             dev,
             alloc,
             backups: Mutex::new(backups),
             oroots: Mutex::new(oroots),
-            cached_version: AtomicU64::new(version),
+            cached_version: AtomicU64::new(rec.version),
+            staged_root: AtomicU64::new(rec.root_oroot),
+            cached_count: AtomicU64::new(rec.ckpt_count),
+            commit_recovery,
         })
+    }
+
+    /// Commit-record validation outcome of the recovery that produced this
+    /// state (all-zero for a freshly formatted device).
+    pub fn commit_recovery(&self) -> CommitRecovery {
+        self.commit_recovery
+    }
+
+    /// Re-validates both commit-record slots against NVM *now*, returning
+    /// the number with invalid CRCs (0, 1 or 2). Used by the scrub pass to
+    /// catch media faults that landed after recovery.
+    pub fn scrub_commit_records(&self) -> u32 {
+        let (_, recovery) = Self::validate_commit_records(&self.dev);
+        recovery.invalid_slots
+    }
+
+    /// The committed checkpoint count.
+    pub fn checkpoint_count(&self) -> u64 {
+        self.cached_count.load(Ordering::Acquire)
     }
 
     /// The committed global checkpoint version.
@@ -179,25 +324,37 @@ impl Persistent {
         self.cached_version.load(Ordering::Acquire)
     }
 
-    /// Commits checkpoint `version`: the single `u64` store that is the
-    /// atomic commit point of the whole checkpoint (step ❹ of Figure 5).
+    /// Commits checkpoint `version`: writes the CRC-tagged commit record
+    /// into its ping-pong slot — the atomic commit point of the whole
+    /// checkpoint (step ❹ of Figure 5).
+    ///
+    /// Ordering: a `persist_barrier` first drains every pending line
+    /// (backup pages, journal, rings) so the record never points at data
+    /// that is still volatile; then the record fields land as aligned
+    /// stores with the CRC last, followed by its own flush + fence.
     pub fn commit_version(&self, version: u64) {
+        self.dev.persist_barrier();
         treesls_nvm::crash_site!(self.dev.crash_schedule(), "pers.pre_commit");
-        self.dev.meta().write_u64(global_meta::VERSION_OFF, version);
+        let rec = CommitRecord {
+            version,
+            root_oroot: self.staged_root.load(Ordering::Acquire),
+            ckpt_count: self.cached_count.load(Ordering::Acquire) + 1,
+        };
+        Self::write_commit_record(&self.dev, &rec);
         self.cached_version.store(version, Ordering::Release);
+        self.cached_count.store(rec.ckpt_count, Ordering::Release);
         treesls_nvm::crash_site!(self.dev.crash_schedule(), "pers.post_commit");
-        let n = self.dev.meta().read_u64(global_meta::CKPT_COUNT_OFF);
-        self.dev.meta().write_u64(global_meta::CKPT_COUNT_OFF, n + 1);
     }
 
-    /// Records the root cap group's ORoot (once, at the first checkpoint).
+    /// Stages the root cap group's ORoot for the next commit record (set
+    /// once, at the first checkpoint; durable only when that commits).
     pub fn set_root_oroot(&self, id: crate::types::OrootId) {
-        self.dev.meta().write_u64(global_meta::ROOT_OROOT_OFF, id.to_raw());
+        self.staged_root.store(id.to_raw(), Ordering::Release);
     }
 
-    /// Reads the root cap group's ORoot, if a checkpoint ever committed.
+    /// Reads the root cap group's ORoot, if one was ever recorded.
     pub fn root_oroot(&self) -> Option<crate::types::OrootId> {
-        let raw = self.dev.meta().read_u64(global_meta::ROOT_OROOT_OFF);
+        let raw = self.staged_root.load(Ordering::Acquire);
         if raw == u64::MAX {
             None
         } else {
@@ -878,6 +1035,30 @@ mod tests {
         assert_eq!(k.pers.global_version(), 0);
         k.pers.commit_version(7);
         assert_eq!(k.pers.global_version(), 7);
-        assert_eq!(k.pers.dev.meta().read_u64(global_meta::VERSION_OFF), 7);
+        // Version 7 lands in slot 1 with a valid CRC; slot 0 still holds
+        // the genesis record.
+        let meta = k.pers.dev.meta();
+        let slot = global_meta::slot_off(7);
+        assert_eq!(slot, global_meta::COMMIT_SLOT1_OFF);
+        assert_eq!(meta.read_u64(slot + global_meta::REC_VERSION), 7);
+        assert_eq!(meta.read_u64(slot + global_meta::REC_COUNT), 1);
+        assert_eq!(meta.read_u64(global_meta::COMMIT_SLOT0_OFF + global_meta::REC_VERSION), 0);
+        assert_eq!(k.pers.checkpoint_count(), 1);
+    }
+
+    #[test]
+    fn torn_commit_record_falls_back_a_generation() {
+        let k = Kernel::boot(small());
+        k.pers.commit_version(1);
+        k.pers.commit_version(2);
+        // Tear the in-flight record for version 3: write garbage into
+        // slot 1 without a matching CRC.
+        let meta = k.pers.dev.meta();
+        let slot = global_meta::slot_off(3);
+        meta.write_u64(slot + global_meta::REC_VERSION, 3);
+        let (rec, info) = Persistent::validate_commit_records(&k.pers.dev);
+        assert_eq!(rec.version, 2, "recovery lands on generation N-1");
+        assert!(info.fell_back);
+        assert_eq!(info.invalid_slots, 1);
     }
 }

@@ -47,6 +47,23 @@ pub struct PagePtr {
     pub frame: FrameId,
     /// Checkpoint version of the data; 0 marks the runtime NVM page.
     pub version: u64,
+    /// CRC-32 of the frame content, recorded when a checkpoint copy wrote
+    /// it (CoW backup, hybrid migrate-in or speculative stop-and-copy).
+    /// `None` for runtime pages, whose content keeps changing.
+    pub crc: Option<u32>,
+}
+
+impl PagePtr {
+    /// A pointer to the live runtime NVM page (version 0, no checksum).
+    pub fn runtime(frame: FrameId) -> Self {
+        Self { frame, version: 0, crc: None }
+    }
+
+    /// A pointer to an immutable backup image of checkpoint `version`,
+    /// integrity-tagged with the CRC of the bytes that were copied.
+    pub fn backup(frame: FrameId, version: u64, crc: u32) -> Self {
+        Self { frame, version, crc: Some(crc) }
+    }
 }
 
 /// Persistent + volatile per-page state.
@@ -86,7 +103,7 @@ impl PageMeta {
     /// any backup radix tree, so a crash simply discards it).
     pub fn new_runtime(frame: FrameId) -> Self {
         Self {
-            pairs: [None, Some(PagePtr { frame, version: 0 })],
+            pairs: [None, Some(PagePtr::runtime(frame))],
             runtime_dram: None,
             writable: true,
             hotness: 0,
@@ -239,7 +256,7 @@ mod tests {
     use super::*;
 
     fn pp(frame: u32, version: u64) -> Option<PagePtr> {
-        Some(PagePtr { frame: FrameId(frame), version })
+        Some(PagePtr { frame: FrameId(frame), version, crc: None })
     }
 
     #[test]

@@ -129,6 +129,12 @@ impl<'a> UserCtx<'a> {
         self.kernel.pers.global_version()
     }
 
+    /// Drains every pending NVM store to media (the `clwb`+`sfence`
+    /// sequence a driver issues at an ordering point). A no-op under eADR.
+    pub fn persist_barrier(&self) {
+        self.kernel.pers.dev.persist_barrier();
+    }
+
     // ---- registers -------------------------------------------------------
 
     /// Reads general-purpose register `i`.

@@ -39,8 +39,8 @@ impl Vaddr {
         (self.0 % treesls_nvm::PAGE_SIZE as u64) as usize
     }
 
-    /// Address `self + n`, panicking on overflow in debug builds.
-    pub fn add(self, n: u64) -> Vaddr {
+    /// Address `self + n` bytes, panicking on overflow in debug builds.
+    pub fn add_bytes(self, n: u64) -> Vaddr {
         Vaddr(self.0 + n)
     }
 }

@@ -52,8 +52,8 @@ proptest! {
     ) {
         let meta = PageMeta {
             pairs: [
-                v0.map(|v| PagePtr { frame: FrameId(1), version: v }),
-                v1.map(|v| PagePtr { frame: FrameId(2), version: v }),
+                v0.map(|v| PagePtr { frame: FrameId(1), version: v, crc: None }),
+                v1.map(|v| PagePtr { frame: FrameId(2), version: v, crc: None }),
             ],
             runtime_dram: migrated.then_some(treesls_nvm::DramId(0)),
             writable: false,
@@ -134,7 +134,7 @@ fn page_version_lifecycle_model() {
                         let content = frames[&rt];
                         frames.insert(dst, content);
                         meta.pairs[0] =
-                            Some(PagePtr { frame: FrameId(dst), version: global });
+                            Some(PagePtr { frame: FrameId(dst), version: global, crc: None });
                         meta.writable = true;
                     }
                     runtime_content = global + 1; // "content of next version"
@@ -156,7 +156,7 @@ fn page_version_lifecycle_model() {
                         };
                         frames.insert(dst, runtime_content);
                         meta.pairs[dst_idx] =
-                            Some(PagePtr { frame: FrameId(dst), version: inflight });
+                            Some(PagePtr { frame: FrameId(dst), version: inflight, crc: None });
                         meta.dirty = false;
                     } else if !meta.is_migrated() {
                         meta.writable = false;
@@ -186,7 +186,7 @@ fn page_version_lifecycle_model() {
                         meta.pairs.swap(0, 1);
                     }
                     let c = meta.pairs[1].unwrap();
-                    meta.pairs[1] = Some(PagePtr { frame: c.frame, version: 0 });
+                    meta.pairs[1] = Some(PagePtr { frame: c.frame, version: 0, crc: None });
                     if let Some(p) = meta.pairs[0].as_mut() {
                         p.version = 0;
                     }

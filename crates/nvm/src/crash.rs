@@ -9,22 +9,32 @@
 //! * the Nth **metadata** write ([`CrashPoint::MetaWrite`]),
 //! * the Nth **page-frame** write ([`CrashPoint::PageWrite`]),
 //! * the Nth NVM write of **either** kind ([`CrashPoint::AnyWrite`]) — the
-//!   unit the exhaustive enumerator sweeps over, or
+//!   unit the exhaustive enumerator sweeps over,
+//! * *mid-way through* the Nth NVM write ([`CrashPoint::TornWrite`]) — the
+//!   write is applied only up to a chosen cache-line boundary, modelling
+//!   the 64 B tear granularity of real persistent memory, or
 //! * the Nth hit of a named **crash site** ([`CrashPoint::Site`]) — semantic
 //!   hooks like `ckpt.pre_commit` placed throughout the checkpoint manager,
 //!   allocator journal and external-synchrony callbacks via the
 //!   [`crash_site!`](crate::crash_site) macro.
 //!
-//! The schedule panics with [`InjectedCrash`] *before* the triggering write
-//! mutates NVM, exactly like a power failure between two stores. Drivers
-//! catch the panic (`catch_unwind`), discard all volatile state through the
-//! normal `crash()` path, and run recovery. A site trace can be recorded so
-//! a failing write index can be reported alongside the nearest semantic
-//! site, making failures reproducible from `(scenario, write index)` alone.
+//! For clean crash points the schedule panics with [`InjectedCrash`]
+//! *before* the triggering write mutates NVM, exactly like a power failure
+//! between two stores. For torn points the write path first applies the
+//! prefix the schedule hands back in [`WriteFate::Torn`], then calls
+//! [`CrashSchedule::crash_now`]. Drivers catch the panic (`catch_unwind`),
+//! discard all volatile state through the normal `crash()` path, and run
+//! recovery. A site trace can be recorded so a failing write index can be
+//! reported alongside the nearest semantic site, and a *write trace*
+//! records the `(kind, off, len)` of every NVM write so the torn
+//! enumerator can compute how many distinct 64 B tear classes each write
+//! admits.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::Mutex;
+
+use crate::persist::CACHE_LINE;
 
 /// Panic payload used by the crash-injection fuse.
 ///
@@ -42,6 +52,18 @@ pub enum CrashPoint {
     PageWrite(u64),
     /// Crash on the NVM write (of either kind) after `skip` more writes.
     AnyWrite(u64),
+    /// Crash *mid-way through* the NVM write (of either kind) after `skip`
+    /// more writes: the write is applied only up to its `cut`-th interior
+    /// 64 B cache-line boundary (`cut == 0` applies nothing, reproducing
+    /// the clean [`AnyWrite`](Self::AnyWrite) semantics), then the fuse
+    /// fires.
+    TornWrite {
+        /// Number of writes (of either kind) to let pass untouched.
+        skip: u64,
+        /// Tear class: how many interior cache-line boundaries of the
+        /// targeted write are applied before the power fails.
+        cut: u32,
+    },
     /// Crash at the `skip + 1`th hit of the named crash site.
     Site {
         /// Site name, e.g. `"ckpt.pre_commit"`.
@@ -51,12 +73,27 @@ pub enum CrashPoint {
     },
 }
 
+/// What a write path must do with the triggering write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFate {
+    /// Apply the write in full.
+    Apply,
+    /// Apply only the first `keep` bytes (ending on an absolute cache-line
+    /// boundary), then call [`CrashSchedule::crash_now`]. `keep == 0`
+    /// means the write never reached media at all.
+    Torn {
+        /// Bytes of the write to apply before powering off.
+        keep: usize,
+    },
+}
+
 /// Trigger class currently armed (packed into an `AtomicU8`).
 const KIND_NONE: u8 = 0;
 const KIND_META: u8 = 1;
 const KIND_PAGE: u8 = 2;
 const KIND_ANY: u8 = 3;
 const KIND_SITE: u8 = 4;
+const KIND_TORN: u8 = 5;
 
 /// One recorded crash-site hit, for trace-assisted reproduction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +102,64 @@ pub struct SiteHit {
     pub name: &'static str,
     /// Total NVM writes (meta + page) performed before this hit.
     pub writes_before: u64,
+}
+
+/// Which space an NVM write targeted (for the write trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Metadata-arena write.
+    Meta,
+    /// Page-frame write.
+    Page,
+}
+
+/// One recorded NVM write, for torn-crash enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRec {
+    /// Meta or page write.
+    pub kind: WriteKind,
+    /// Byte offset within its space (frame-relative for page writes).
+    pub off: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl WriteRec {
+    /// Number of distinct *partial* tear classes this write admits beyond
+    /// the clean `cut == 0` class — i.e. its interior 64 B boundaries.
+    pub fn tear_cuts(&self) -> u32 {
+        interior_line_boundaries(self.off, self.len)
+    }
+}
+
+/// Counts the cache-line boundaries strictly inside `(off, off + len)`.
+pub fn interior_line_boundaries(off: usize, len: usize) -> u32 {
+    if len == 0 {
+        return 0;
+    }
+    let first = off / CACHE_LINE * CACHE_LINE + CACHE_LINE;
+    let end = off + len;
+    if first >= end {
+        0
+    } else {
+        (end - 1 - first) as u32 / CACHE_LINE as u32 + 1
+    }
+}
+
+/// The prefix length (in bytes) a write at `off..off + len` keeps under
+/// tear class `cut`: 0 for `cut == 0`, otherwise up to the `cut`-th
+/// interior cache-line boundary (clamped to the full write).
+pub fn torn_keep(off: usize, len: usize, cut: u32) -> usize {
+    if cut == 0 {
+        return 0;
+    }
+    let first = off / CACHE_LINE * CACHE_LINE + CACHE_LINE;
+    let p = first + (cut as usize - 1) * CACHE_LINE;
+    if p >= off + len {
+        len
+    } else {
+        p - off
+    }
 }
 
 /// Cumulative NVM write counters.
@@ -95,12 +190,16 @@ pub struct CrashSchedule {
     kind: AtomicU8,
     /// Matching events left before the crash fires.
     fuse: AtomicU64,
+    /// Tear class for [`CrashPoint::TornWrite`].
+    cut: AtomicU32,
     /// Site-name filter for [`CrashPoint::Site`].
     site: Mutex<Option<String>>,
     meta_writes: AtomicU64,
     page_writes: AtomicU64,
     /// When `Some`, every site hit is appended (enumeration dry runs).
     trace: Mutex<Option<Vec<SiteHit>>>,
+    /// When `Some`, every NVM write is appended (torn-enumeration dry runs).
+    write_trace: Mutex<Option<Vec<WriteRec>>>,
 }
 
 impl CrashSchedule {
@@ -125,6 +224,11 @@ impl CrashSchedule {
             CrashPoint::AnyWrite(skip) => {
                 self.fuse.store(skip, Ordering::SeqCst);
                 self.kind.store(KIND_ANY, Ordering::SeqCst);
+            }
+            CrashPoint::TornWrite { skip, cut } => {
+                self.cut.store(cut, Ordering::SeqCst);
+                self.fuse.store(skip, Ordering::SeqCst);
+                self.kind.store(KIND_TORN, Ordering::SeqCst);
             }
             CrashPoint::Site { name, skip } => {
                 *self.site.lock() = Some(name);
@@ -163,6 +267,23 @@ impl CrashSchedule {
         self.trace.lock().take().unwrap_or_default()
     }
 
+    /// Starts recording every NVM write (replacing any previous trace).
+    pub fn start_write_trace(&self) {
+        *self.write_trace.lock() = Some(Vec::new());
+    }
+
+    /// Stops recording writes and returns the collected trace.
+    pub fn take_write_trace(&self) -> Vec<WriteRec> {
+        self.write_trace.lock().take().unwrap_or_default()
+    }
+
+    /// Panics with [`InjectedCrash`], disarming the schedule first. Write
+    /// paths call this after applying the partial prefix of a torn write.
+    pub fn crash_now(&self) -> ! {
+        self.kind.store(KIND_NONE, Ordering::SeqCst);
+        std::panic::panic_any(InjectedCrash);
+    }
+
     /// Decrements the fuse; panics with [`InjectedCrash`] when it runs out.
     fn burn(&self) {
         // fetch_update keeps concurrent writers from double-spending one
@@ -172,28 +293,60 @@ impl CrashSchedule {
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
             .is_err();
         if fired {
-            self.kind.store(KIND_NONE, Ordering::SeqCst);
-            std::panic::panic_any(InjectedCrash);
+            self.crash_now();
         }
     }
 
-    /// Called by the metadata arena before each write mutates the arena.
+    /// Decrements the torn fuse; when it runs out, returns the partial
+    /// prefix of the `off..off + len` write to apply before crashing.
+    fn burn_torn(&self, off: usize, len: usize) -> WriteFate {
+        let fired = self
+            .fuse
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_err();
+        if fired {
+            let cut = self.cut.load(Ordering::SeqCst);
+            WriteFate::Torn { keep: torn_keep(off, len, cut) }
+        } else {
+            WriteFate::Apply
+        }
+    }
+
+    fn record_write(&self, kind: WriteKind, off: usize, len: usize) {
+        if let Some(trace) = self.write_trace.lock().as_mut() {
+            trace.push(WriteRec { kind, off, len });
+        }
+    }
+
+    /// Called by the metadata arena before each write mutates the arena;
+    /// tells the arena whether to apply the write in full or tear it.
     #[inline]
-    pub fn on_meta_write(&self) {
+    pub fn on_meta_write(&self, off: usize, len: usize) -> WriteFate {
         self.meta_writes.fetch_add(1, Ordering::Relaxed);
+        self.record_write(WriteKind::Meta, off, len);
         match self.kind.load(Ordering::Relaxed) {
-            KIND_META | KIND_ANY => self.burn(),
-            _ => {}
+            KIND_META | KIND_ANY => {
+                self.burn();
+                WriteFate::Apply
+            }
+            KIND_TORN => self.burn_torn(off, len),
+            _ => WriteFate::Apply,
         }
     }
 
-    /// Called by the device before each page-frame write mutates the frame.
+    /// Called by the device before each page-frame write mutates the frame;
+    /// tells the device whether to apply the write in full or tear it.
     #[inline]
-    pub fn on_page_write(&self) {
+    pub fn on_page_write(&self, off: usize, len: usize) -> WriteFate {
         self.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.record_write(WriteKind::Page, off, len);
         match self.kind.load(Ordering::Relaxed) {
-            KIND_PAGE | KIND_ANY => self.burn(),
-            _ => {}
+            KIND_PAGE | KIND_ANY => {
+                self.burn();
+                WriteFate::Apply
+            }
+            KIND_TORN => self.burn_torn(off, len),
+            _ => WriteFate::Apply,
         }
     }
 
@@ -249,24 +402,80 @@ mod tests {
     fn meta_fuse_fires_after_skip() {
         let s = CrashSchedule::new();
         s.arm(CrashPoint::MetaWrite(2));
-        assert!(!crashes(|| s.on_meta_write()));
-        assert!(!crashes(|| s.on_meta_write()));
-        assert!(crashes(|| s.on_meta_write()));
+        assert!(!crashes(|| {
+            s.on_meta_write(0, 8);
+        }));
+        assert!(!crashes(|| {
+            s.on_meta_write(0, 8);
+        }));
+        assert!(crashes(|| {
+            s.on_meta_write(0, 8);
+        }));
         // Fired fuse disarms itself.
         assert!(!s.armed());
-        assert!(!crashes(|| s.on_meta_write()));
+        assert!(!crashes(|| {
+            s.on_meta_write(0, 8);
+        }));
     }
 
     #[test]
     fn page_and_any_classes() {
         let s = CrashSchedule::new();
         s.arm(CrashPoint::PageWrite(0));
-        assert!(!crashes(|| s.on_meta_write()), "meta writes don't burn a page fuse");
-        assert!(crashes(|| s.on_page_write()));
+        assert!(
+            !crashes(|| {
+                s.on_meta_write(0, 8);
+            }),
+            "meta writes don't burn a page fuse"
+        );
+        assert!(crashes(|| {
+            s.on_page_write(0, 8);
+        }));
 
         s.arm(CrashPoint::AnyWrite(1));
-        assert!(!crashes(|| s.on_meta_write()));
-        assert!(crashes(|| s.on_page_write()));
+        assert!(!crashes(|| {
+            s.on_meta_write(0, 8);
+        }));
+        assert!(crashes(|| {
+            s.on_page_write(0, 8);
+        }));
+    }
+
+    #[test]
+    fn torn_fuse_returns_partial_fate() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::TornWrite { skip: 1, cut: 2 });
+        assert_eq!(s.on_page_write(0, 4096), WriteFate::Apply);
+        // 300-byte write at offset 10 has boundaries at 64, 128, 192, 256;
+        // cut 2 keeps up to byte 128 → 118 bytes of the write.
+        assert_eq!(s.on_meta_write(10, 300), WriteFate::Torn { keep: 118 });
+        // Armed until the write path calls crash_now.
+        assert!(s.armed());
+        assert!(crashes(|| s.crash_now()));
+        assert!(!s.armed());
+    }
+
+    #[test]
+    fn torn_cut_zero_keeps_nothing() {
+        let s = CrashSchedule::new();
+        s.arm(CrashPoint::TornWrite { skip: 0, cut: 0 });
+        assert_eq!(s.on_page_write(0, 4096), WriteFate::Torn { keep: 0 });
+    }
+
+    #[test]
+    fn tear_geometry() {
+        // An aligned u64 store can never tear.
+        assert_eq!(interior_line_boundaries(8, 8), 0);
+        assert_eq!(interior_line_boundaries(64, 8), 0);
+        // A full page write has 63 interior boundaries.
+        assert_eq!(interior_line_boundaries(0, 4096), 63);
+        // A write spanning one boundary.
+        assert_eq!(interior_line_boundaries(60, 8), 1);
+        assert_eq!(torn_keep(60, 8, 1), 4);
+        // Cuts beyond the last boundary clamp to the whole write.
+        assert_eq!(torn_keep(60, 8, 2), 8);
+        assert_eq!(torn_keep(0, 4096, 63), 4032);
+        assert_eq!(torn_keep(0, 4096, 1), 64);
     }
 
     #[test]
@@ -282,9 +491,10 @@ mod tests {
     fn counters_and_trace() {
         let s = CrashSchedule::new();
         s.start_trace();
-        s.on_meta_write();
-        s.on_page_write();
-        s.on_page_write();
+        s.start_write_trace();
+        s.on_meta_write(0, 8);
+        s.on_page_write(0, 4096);
+        s.on_page_write(100, 16);
         crash_site!(s, "here");
         let c = s.counts();
         assert_eq!((c.meta, c.page, c.total()), (1, 2, 3));
@@ -292,6 +502,17 @@ mod tests {
         assert_eq!(trace, vec![SiteHit { name: "here", writes_before: 3 }]);
         // Trace is consumed.
         assert!(s.take_trace().is_empty());
+        let writes = s.take_write_trace();
+        assert_eq!(
+            writes,
+            vec![
+                WriteRec { kind: WriteKind::Meta, off: 0, len: 8 },
+                WriteRec { kind: WriteKind::Page, off: 0, len: 4096 },
+                WriteRec { kind: WriteKind::Page, off: 100, len: 16 },
+            ]
+        );
+        assert_eq!(writes[1].tear_cuts(), 63);
+        assert_eq!(writes[2].tear_cuts(), 0, "a 16 B write at 100 stays inside one line");
     }
 
     #[test]
@@ -299,6 +520,8 @@ mod tests {
         let s = CrashSchedule::new();
         s.arm(CrashPoint::AnyWrite(0));
         s.disarm();
-        assert!(!crashes(|| s.on_page_write()));
+        assert!(!crashes(|| {
+            s.on_page_write(0, 8);
+        }));
     }
 }

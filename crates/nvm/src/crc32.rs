@@ -1,0 +1,74 @@
+//! CRC-32 (IEEE 802.3) — the integrity tag used by every persistent
+//! structure that must detect torn or bit-rotted data: checkpoint commit
+//! records, backup page images, allocator-journal records and ext-sync
+//! ring slots.
+//!
+//! Implemented in-crate (table-driven, reflected polynomial `0xEDB88320`)
+//! so the workspace stays free of external dependencies.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (standard init `!0`, final xor `!0`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0, data)
+}
+
+/// Continues a CRC-32 computation: `crc32_update(crc32(a), b) == crc32(a ++ b)`.
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in data {
+        c = (c >> 8) ^ TABLE[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn update_is_concatenation() {
+        let whole = crc32(b"treesls-nvm");
+        let split = crc32_update(crc32(b"treesls"), b"-nvm");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = vec![0xA5u8; 256];
+        let c0 = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut mutated = base.clone();
+                mutated[byte] ^= 1 << bit;
+                assert_ne!(crc32(&mutated), c0, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

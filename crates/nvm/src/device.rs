@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::crash::CrashSchedule;
+use crate::crash::{CrashSchedule, WriteFate};
+use crate::crc32::crc32;
 use crate::dram::DramPool;
 use crate::latency::LatencyModel;
 use crate::meta::MetaArena;
 use crate::page::{zeroed_page, DramId, FrameId, PageBuf, PAGE_SIZE};
+use crate::persist::{PersistMode, PersistModel, Space, CACHE_LINE};
 use crate::stats::MemStats;
 
 /// An emulated byte-addressable non-volatile memory device.
@@ -28,6 +30,13 @@ use crate::stats::MemStats;
 /// capability-tree checkpoint, as in step ❸ of the paper's Figure 5. Lock
 /// ordering is by ascending frame id (and DRAM-before-NVM for cross-device
 /// copies) to keep concurrent page copies deadlock-free.
+///
+/// Durability semantics are governed by the device's [`PersistModel`]: in
+/// eADR mode (default, the paper's testbed) a store is durable on
+/// execution; in ADR mode dirty cache lines stay volatile until
+/// [`flush_frame`](Self::flush_frame)/[`flush_meta`](Self::flush_meta) +
+/// [`fence`](Self::fence), and a simulated crash may drop any still-pending
+/// subset ([`settle_crash`](Self::settle_crash)).
 #[derive(Debug)]
 pub struct NvmDevice {
     frames: Vec<RwLock<PageBuf>>,
@@ -38,6 +47,8 @@ pub struct NvmDevice {
     /// write ticks it *before* mutating the frame, so a scheduled crash
     /// lands between two persistent stores exactly like a power failure.
     crash: Arc<CrashSchedule>,
+    /// Cache-line durability tracking shared with the metadata arena.
+    persist: Arc<PersistModel>,
 }
 
 impl NvmDevice {
@@ -46,16 +57,73 @@ impl NvmDevice {
     pub fn new(frame_count: usize, meta_len: usize, latency: Arc<LatencyModel>) -> Self {
         let stats = Arc::new(MemStats::new());
         let crash = Arc::new(CrashSchedule::new());
+        let persist = Arc::new(PersistModel::new());
         let frames = (0..frame_count).map(|_| RwLock::new(zeroed_page())).collect();
-        let meta =
-            MetaArena::new(meta_len, Arc::clone(&latency), Arc::clone(&stats), Arc::clone(&crash));
-        Self { frames, meta, latency, stats, crash }
+        let meta = MetaArena::new(
+            meta_len,
+            Arc::clone(&latency),
+            Arc::clone(&stats),
+            Arc::clone(&crash),
+            Arc::clone(&persist),
+        );
+        Self { frames, meta, latency, stats, crash, persist }
     }
 
     /// The crash-injection schedule covering this device's whole persistent
     /// write stream (metadata + page frames).
     pub fn crash_schedule(&self) -> &Arc<CrashSchedule> {
         &self.crash
+    }
+
+    /// The cache-line durability model shared with the metadata arena.
+    pub fn persist_model(&self) -> &Arc<PersistModel> {
+        &self.persist
+    }
+
+    /// Switches the persistence model (eADR / ADR). Pending lines are
+    /// considered drained by the switch.
+    pub fn set_persist_mode(&self, mode: PersistMode) {
+        self.persist.set_mode(mode);
+    }
+
+    /// Marks the metadata range for write-back (`clwb`).
+    pub fn flush_meta(&self, off: usize, len: usize) {
+        self.persist.flush(Space::Meta, off, len);
+    }
+
+    /// Marks the frame byte range for write-back (`clwb`).
+    pub fn flush_frame(&self, frame: FrameId, off: usize, len: usize) {
+        self.persist.flush(Space::Frame(frame.0), off, len);
+    }
+
+    /// Store fence: retires every flushed line to media (`sfence`).
+    pub fn fence(&self) {
+        self.persist.fence();
+    }
+
+    /// Flush-everything-and-fence over both spaces — the strongest
+    /// ordering point (wraps the checkpoint commit record).
+    pub fn persist_barrier(&self) {
+        self.persist.persist_barrier();
+    }
+
+    /// Simulates the ADR power-failure outcome: a `seed`-selected subset of
+    /// the still-pending cache lines never drained and is reverted to its
+    /// pre-write media content. Returns the number of dropped lines.
+    /// (`seed == u64::MAX` drops every pending line.) No-op under eADR.
+    pub fn settle_crash(&self, seed: u64) -> usize {
+        let dropped = self.persist.settle_crash(seed);
+        for d in &dropped {
+            match d.space {
+                Space::Meta => self.meta.revert_line(d.line_off, &d.undo),
+                Space::Frame(f) => {
+                    let mut g = self.frames[f as usize].write();
+                    let end = (d.line_off + CACHE_LINE).min(g.len());
+                    g[d.line_off..end].copy_from_slice(&d.undo[..end - d.line_off]);
+                }
+            }
+        }
+        dropped.len()
     }
 
     /// Number of page frames in the data area.
@@ -78,6 +146,37 @@ impl NvmDevice {
         &self.stats
     }
 
+    /// The single internal store path: ticks the crash schedule, tracks
+    /// durability, and applies the bytes — in full, or torn at a cache-line
+    /// boundary when a [`CrashPoint::TornWrite`](crate::CrashPoint) fires.
+    /// Latency/stats accounting stays with the public callers.
+    fn frame_store(&self, frame: FrameId, off: usize, data: &[u8]) {
+        let fate = self.crash.on_page_write(off, data.len());
+        let space = Space::Frame(frame.0);
+        match fate {
+            WriteFate::Apply => {
+                let mut g = self.frames[frame.index()].write();
+                self.persist.note_write(space, off, data.len(), |line| {
+                    let mut l = [0u8; CACHE_LINE];
+                    let end = (line + CACHE_LINE).min(g.len());
+                    l[..end - line].copy_from_slice(&g[line..end]);
+                    l
+                });
+                g[off..off + data.len()].copy_from_slice(data);
+            }
+            WriteFate::Torn { keep } => {
+                if keep > 0 {
+                    let mut g = self.frames[frame.index()].write();
+                    g[off..off + keep].copy_from_slice(&data[..keep]);
+                }
+                // The applied prefix is what defines the tear: those lines
+                // reached media.
+                self.persist.retire_prefix(space, off, keep);
+                self.crash.crash_now();
+            }
+        }
+    }
+
     /// Reads `buf.len()` bytes from `frame` starting at byte `off`.
     ///
     /// # Panics
@@ -98,9 +197,7 @@ impl NvmDevice {
     pub fn write(&self, frame: FrameId, off: usize, data: &[u8]) {
         self.latency.charge_write(data.len());
         self.stats.record_write(data.len());
-        self.crash.on_page_write();
-        let mut g = self.frames[frame.index()].write();
-        g[off..off + data.len()].copy_from_slice(data);
+        self.frame_store(frame, off, data);
     }
 
     /// Reads a little-endian `u64` at byte `off` of `frame`.
@@ -126,22 +223,21 @@ impl NvmDevice {
     pub fn write_page(&self, frame: FrameId, data: &[u8; PAGE_SIZE]) {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
-        self.crash.on_page_write();
-        self.frames[frame.index()].write().copy_from_slice(data);
+        self.frame_store(frame, 0, data);
     }
 
     /// Zeroes the full content of `frame`.
     pub fn zero_page(&self, frame: FrameId) {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
-        self.crash.on_page_write();
-        self.frames[frame.index()].write().fill(0);
+        self.frame_store(frame, 0, &[0u8; PAGE_SIZE]);
     }
 
     /// Copies one NVM page to another NVM page (`src` → `dst`).
     ///
-    /// Locks are taken in ascending frame-id order so concurrent disjoint
-    /// copies cannot deadlock.
+    /// The source is snapshotted under its read lock, then stored through
+    /// the common write path (so torn-write injection sees the copy as one
+    /// page-sized store).
     ///
     /// # Panics
     ///
@@ -153,29 +249,19 @@ impl NvmDevice {
         self.stats.record_read(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
         self.stats.record_page_copy();
-        self.crash.on_page_write();
-        if src < dst {
-            let s = self.frames[src.index()].read();
-            let mut d = self.frames[dst.index()].write();
-            d.copy_from_slice(&**s);
-        } else {
-            let mut d = self.frames[dst.index()].write();
-            let s = self.frames[src.index()].read();
-            d.copy_from_slice(&**s);
-        }
+        let mut tmp = zeroed_page();
+        tmp.copy_from_slice(&**self.frames[src.index()].read());
+        self.frame_store(dst, 0, &tmp[..]);
     }
 
     /// Copies a DRAM page into an NVM frame (`src` → `dst`).
-    ///
-    /// Cross-device lock order is DRAM before NVM.
     pub fn copy_from_dram(&self, dram: &DramPool, src: DramId, dst: FrameId) {
         self.latency.charge_write(PAGE_SIZE);
         self.stats.record_write(PAGE_SIZE);
         self.stats.record_page_copy();
-        self.crash.on_page_write();
-        let s = dram.lock_page(src);
-        let mut d = self.frames[dst.index()].write();
-        d.copy_from_slice(&s[..]);
+        let mut tmp = zeroed_page();
+        tmp.copy_from_slice(&dram.lock_page(src)[..]);
+        self.frame_store(dst, 0, &tmp[..]);
     }
 
     /// Copies an NVM frame into a DRAM page (`src` → `dst`).
@@ -199,11 +285,43 @@ impl NvmDevice {
         let gb = self.frames[hi.index()].read();
         **ga == **gb
     }
+
+    /// CRC-32 of the frame's full content — the integrity tag the
+    /// checkpoint manager stores alongside each backup page image.
+    pub fn page_crc(&self, frame: FrameId) -> u32 {
+        self.latency.charge_read(PAGE_SIZE);
+        self.stats.record_read(PAGE_SIZE);
+        crc32(&**self.frames[frame.index()].read())
+    }
+
+    // ------------------------------------------------------------------
+    // Media-fault injection (bit rot / poisoned frames). These mutate the
+    // media directly — no crash tick, no stats, no durability tracking —
+    // exactly like a cosmic ray or a failing cell, not a CPU store.
+    // ------------------------------------------------------------------
+
+    /// Flips one bit of `frame` at `byte_off` (media fault, not a store).
+    pub fn flip_frame_bit(&self, frame: FrameId, byte_off: usize, bit: u8) {
+        self.frames[frame.index()].write()[byte_off] ^= 1 << (bit & 7);
+    }
+
+    /// Flips one bit of the metadata arena at `off` (media fault).
+    pub fn flip_meta_bit(&self, off: usize, bit: u8) {
+        self.meta.flip_bit(off, bit);
+    }
+
+    /// Poisons a whole frame with a recognizable rot pattern (media fault).
+    pub fn poison_frame(&self, frame: FrameId) {
+        self.frames[frame.index()].write().fill(0xDE);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crash::CrashPoint;
+    use crate::InjectedCrash;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     fn dev(frames: usize) -> NvmDevice {
         NvmDevice::new(frames, 1024, Arc::new(LatencyModel::disabled()))
@@ -294,5 +412,60 @@ mod tests {
         for i in 0..32u32 {
             assert!(d.pages_equal(FrameId(i), FrameId(32 + i)));
         }
+    }
+
+    #[test]
+    fn torn_page_write_applies_prefix_only() {
+        let d = dev(2);
+        d.crash_schedule().arm(CrashPoint::TornWrite { skip: 0, cut: 2 });
+        let page = [0xABu8; PAGE_SIZE];
+        let err = catch_unwind(AssertUnwindSafe(|| d.write_page(FrameId(0), &page)))
+            .expect_err("torn write must crash");
+        assert!(err.is::<InjectedCrash>());
+        let mut out = [0u8; PAGE_SIZE];
+        d.crash_schedule().disarm();
+        d.read_page(FrameId(0), &mut out);
+        assert!(out[..128].iter().all(|&b| b == 0xAB), "two lines applied");
+        assert!(out[128..].iter().all(|&b| b == 0), "rest never reached media");
+    }
+
+    #[test]
+    fn adr_settle_reverts_unflushed_lines() {
+        let d = dev(2);
+        d.set_persist_mode(PersistMode::Adr { reorder_window: 1024 });
+        d.write(FrameId(0), 0, &[0x11u8; 128]);
+        d.write(FrameId(0), 128, &[0x22u8; 64]);
+        // Flush+fence only the first 128 bytes; the third line is pending.
+        d.flush_frame(FrameId(0), 0, 128);
+        d.fence();
+        assert_eq!(d.settle_crash(u64::MAX), 1);
+        let mut out = [0u8; PAGE_SIZE];
+        d.read_page(FrameId(0), &mut out);
+        assert!(out[..128].iter().all(|&b| b == 0x11), "fenced lines survive");
+        assert!(out[128..192].iter().all(|&b| b == 0), "pending line reverted");
+        d.set_persist_mode(PersistMode::Eadr);
+    }
+
+    #[test]
+    fn persist_barrier_drains_everything() {
+        let d = dev(1);
+        d.set_persist_mode(PersistMode::Adr { reorder_window: 1024 });
+        d.write(FrameId(0), 0, &[0x33u8; 256]);
+        d.persist_barrier();
+        assert_eq!(d.settle_crash(u64::MAX), 0);
+        let mut out = [0u8; PAGE_SIZE];
+        d.read_page(FrameId(0), &mut out);
+        assert!(out[..256].iter().all(|&b| b == 0x33));
+    }
+
+    #[test]
+    fn page_crc_detects_single_bit_rot() {
+        let d = dev(1);
+        d.write(FrameId(0), 0, b"integrity matters");
+        let before = d.page_crc(FrameId(0));
+        d.flip_frame_bit(FrameId(0), 5, 3);
+        assert_ne!(d.page_crc(FrameId(0)), before);
+        d.flip_frame_bit(FrameId(0), 5, 3);
+        assert_eq!(d.page_crc(FrameId(0)), before);
     }
 }

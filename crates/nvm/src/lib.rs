@@ -21,15 +21,21 @@
 //! store, and the checkpoint metadata — are returned to the recovery path.
 
 pub mod crash;
+pub mod crc32;
 pub mod device;
 pub mod dram;
 pub mod latency;
 pub mod meta;
 pub mod page;
+pub mod persist;
 pub mod stats;
 pub mod store;
 
-pub use crash::{CrashPoint, CrashSchedule, InjectedCrash, SiteHit, WriteCounts};
+pub use crash::{
+    CrashPoint, CrashSchedule, InjectedCrash, SiteHit, WriteCounts, WriteFate, WriteKind, WriteRec,
+};
+pub use crc32::{crc32, crc32_update};
+pub use persist::{DroppedLine, PersistMode, PersistModel, Space, CACHE_LINE};
 pub use device::NvmDevice;
 pub use dram::DramPool;
 pub use latency::LatencyModel;

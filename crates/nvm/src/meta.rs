@@ -12,8 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::crash::{CrashPoint, CrashSchedule};
+use crate::crash::{CrashPoint, CrashSchedule, WriteFate};
 use crate::latency::LatencyModel;
+use crate::persist::{PersistModel, Space, CACHE_LINE};
 use crate::stats::MemStats;
 
 pub use crate::crash::InjectedCrash;
@@ -26,7 +27,10 @@ pub use crate::crash::InjectedCrash;
 /// Interior mutability: reads take a shared lock, writes an exclusive lock.
 /// On the real hardware individual aligned stores are atomic; callers that
 /// need a single-word commit point should use [`write_u64`] on an aligned
-/// offset, which is what the checkpoint manager's version bump does.
+/// offset, which is what the checkpoint manager's version bump does. Under
+/// the ADR persistence model a store additionally stays volatile until the
+/// covering cache lines are [`flush`](Self::flush)ed and
+/// [`fence`](Self::fence)d.
 ///
 /// [`write_u64`]: Self::write_u64
 #[derive(Debug)]
@@ -36,17 +40,26 @@ pub struct MetaArena {
     stats: Arc<MemStats>,
     /// Crash-schedule shared with the owning device's page-write paths.
     crash: Arc<CrashSchedule>,
+    /// Durability model shared with the owning device.
+    persist: Arc<PersistModel>,
 }
 
 impl MetaArena {
-    /// Creates a zeroed arena of `len` bytes wired to `crash`.
+    /// Creates a zeroed arena of `len` bytes wired to `crash` and `persist`.
     pub fn new(
         len: usize,
         latency: Arc<LatencyModel>,
         stats: Arc<MemStats>,
         crash: Arc<CrashSchedule>,
+        persist: Arc<PersistModel>,
     ) -> Self {
-        Self { bytes: RwLock::new(vec![0u8; len].into_boxed_slice()), latency, stats, crash }
+        Self {
+            bytes: RwLock::new(vec![0u8; len].into_boxed_slice()),
+            latency,
+            stats,
+            crash,
+            persist,
+        }
     }
 
     /// Arms a metadata-write crash fuse: after `writes_remaining` more
@@ -71,9 +84,56 @@ impl MetaArena {
         &self.crash
     }
 
-    #[inline]
-    fn tick_write(&self) {
-        self.crash.on_meta_write();
+    /// Marks the byte range for write-back (`clwb`); durable after the
+    /// next [`fence`](Self::fence). No-op under eADR.
+    pub fn flush(&self, off: usize, len: usize) {
+        self.persist.flush(Space::Meta, off, len);
+    }
+
+    /// Store fence: retires every flushed line (of both spaces) to media.
+    pub fn fence(&self) {
+        self.persist.fence();
+    }
+
+    /// Flush-everything-and-fence, the strongest ordering point.
+    pub fn persist_barrier(&self) {
+        self.persist.persist_barrier();
+    }
+
+    /// The common store path: ticks the crash schedule, tracks durability,
+    /// and applies the bytes — in full, or torn at a cache-line boundary.
+    fn apply_write(&self, off: usize, data: &[u8]) {
+        match self.crash.on_meta_write(off, data.len()) {
+            WriteFate::Apply => {
+                let mut g = self.bytes.write();
+                self.persist.note_write(Space::Meta, off, data.len(), |line| {
+                    let mut l = [0u8; CACHE_LINE];
+                    let end = (line + CACHE_LINE).min(g.len());
+                    l[..end - line].copy_from_slice(&g[line..end]);
+                    l
+                });
+                g[off..off + data.len()].copy_from_slice(data);
+            }
+            WriteFate::Torn { keep } => {
+                if keep > 0 {
+                    self.bytes.write()[off..off + keep].copy_from_slice(&data[..keep]);
+                }
+                self.persist.retire_prefix(Space::Meta, off, keep);
+                self.crash.crash_now();
+            }
+        }
+    }
+
+    /// Reverts one cache line to its undo image (ADR settle path).
+    pub(crate) fn revert_line(&self, line_off: usize, undo: &[u8; CACHE_LINE]) {
+        let mut g = self.bytes.write();
+        let end = (line_off + CACHE_LINE).min(g.len());
+        g[line_off..end].copy_from_slice(&undo[..end - line_off]);
+    }
+
+    /// Flips one bit at `off` (media fault — no crash tick, no stats).
+    pub(crate) fn flip_bit(&self, off: usize, bit: u8) {
+        self.bytes.write()[off] ^= 1 << (bit & 7);
     }
 
     /// Returns the arena length in bytes.
@@ -102,8 +162,7 @@ impl MetaArena {
     pub fn write_u8(&self, off: usize, v: u8) {
         self.latency.charge_write(1);
         self.stats.record_write(1);
-        self.tick_write();
-        self.bytes.write()[off] = v;
+        self.apply_write(off, &[v]);
     }
 
     /// Reads a little-endian `u32` at `off`.
@@ -118,8 +177,7 @@ impl MetaArena {
     pub fn write_u32(&self, off: usize, v: u32) {
         self.latency.charge_write(4);
         self.stats.record_write(4);
-        self.tick_write();
-        self.bytes.write()[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        self.apply_write(off, &v.to_le_bytes());
     }
 
     /// Reads a little-endian `u64` at `off`.
@@ -132,13 +190,12 @@ impl MetaArena {
 
     /// Writes a little-endian `u64` at `off`.
     ///
-    /// An aligned `u64` store is the arena's atomic commit primitive: the
-    /// checkpoint manager bumps the global version with a single call.
+    /// An aligned `u64` store is the arena's atomic store primitive: it
+    /// never spans a cache line, so it can tear under no persistence model.
     pub fn write_u64(&self, off: usize, v: u64) {
         self.latency.charge_write(8);
         self.stats.record_write(8);
-        self.tick_write();
-        self.bytes.write()[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        self.apply_write(off, &v.to_le_bytes());
     }
 
     /// Copies `buf.len()` bytes starting at `off` into `buf`.
@@ -152,16 +209,14 @@ impl MetaArena {
     pub fn write_bytes(&self, off: usize, data: &[u8]) {
         self.latency.charge_write(data.len());
         self.stats.record_write(data.len());
-        self.tick_write();
-        self.bytes.write()[off..off + data.len()].copy_from_slice(data);
+        self.apply_write(off, data);
     }
 
     /// Zeroes `len` bytes starting at `off`.
     pub fn zero(&self, off: usize, len: usize) {
         self.latency.charge_write(len);
         self.stats.record_write(len);
-        self.tick_write();
-        self.bytes.write()[off..off + len].fill(0);
+        self.apply_write(off, &vec![0u8; len]);
     }
 
     /// Clones the full arena contents (used by crash-injection tests to
@@ -192,6 +247,7 @@ mod tests {
             Arc::new(LatencyModel::disabled()),
             Arc::new(MemStats::new()),
             Arc::new(CrashSchedule::new()),
+            Arc::new(PersistModel::new()),
         )
     }
 
@@ -244,6 +300,22 @@ mod tests {
         a.write_u8(0, 1);
         a.write_u64(8, 2);
         assert_eq!(a.write_tick(), t0 + 2);
+    }
+
+    #[test]
+    fn torn_meta_write_applies_line_prefix() {
+        let a = arena(256);
+        a.crash_schedule().arm(crate::CrashPoint::TornWrite { skip: 0, cut: 1 });
+        // 160-byte write at offset 32: boundaries at 64 and 128; cut 1
+        // keeps 32 bytes.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            a.write_bytes(32, &[0x77u8; 160]);
+        }));
+        assert!(r.is_err());
+        let mut buf = [0u8; 192];
+        a.read_bytes(0, &mut buf);
+        assert!(buf[32..64].iter().all(|&b| b == 0x77));
+        assert!(buf[64..].iter().all(|&b| b == 0));
     }
 
     #[test]

@@ -1,0 +1,430 @@
+//! The configurable persistence model: eADR vs. ADR semantics.
+//!
+//! The paper's testbed uses Optane with **eADR**: every store that reached
+//! the cache hierarchy is flushed by the platform on power failure, so a
+//! store is durable the moment it executes. Older platforms offer only
+//! **ADR**: the memory-controller write-pending queue is flushed, but CPU
+//! caches are *not* — a dirty cache line survives a crash only if it was
+//! explicitly written back (`clwb`) and ordered (`sfence`) before the
+//! failure. Between the last fence and the crash, an arbitrary subset of
+//! the dirty lines may or may not have drained, in any order.
+//!
+//! [`PersistModel`] emulates that boundary at cache-line (64 B)
+//! granularity:
+//!
+//! * In [`PersistMode::Eadr`] every write is instantly durable and all
+//!   flush/fence calls are no-ops (one relaxed atomic load each) — this is
+//!   PR 1's behaviour and the default.
+//! * In [`PersistMode::Adr`] each written line enters a *pending* set with
+//!   an undo image of its pre-write media content. [`flush`] marks lines
+//!   for write-back, [`fence`] retires marked lines to media, and the
+//!   bounded `reorder_window` models the hardware draining old lines on
+//!   its own. At a simulated crash, [`settle_crash`] deterministically
+//!   drops a seed-selected subset of the still-pending lines — reverting
+//!   them to their undo images — before recovery runs.
+//!
+//! The checkpoint manager, allocator journal and ext-sync rings call
+//! `flush`/`fence` (via `NvmDevice::flush_*` / `fence` /
+//! `persist_barrier`) at their ordering points; the crash enumerator then
+//! proves those points are *sufficient* by running every crash cut under
+//! ADR with adversarial line drops.
+//!
+//! [`flush`]: PersistModel::flush
+//! [`fence`]: PersistModel::fence
+//! [`settle_crash`]: PersistModel::settle_crash
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use parking_lot::Mutex;
+
+/// The persistence atomicity/ordering unit: one cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// Which durability semantics the emulated NVM provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistMode {
+    /// Extended ADR: stores are durable on execution (the paper's testbed).
+    Eadr,
+    /// ADR: dirty cache lines are volatile until flushed + fenced. At most
+    /// `reorder_window` lines stay pending; older lines drain on their own
+    /// (hardware eviction), matching a bounded write-pending queue.
+    Adr {
+        /// Maximum number of dirty lines held back before the oldest is
+        /// considered drained to media.
+        reorder_window: usize,
+    },
+}
+
+/// A persistent address space tracked by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Space {
+    /// The metadata arena.
+    Meta,
+    /// A data page frame (by frame index).
+    Frame(u32),
+}
+
+/// One cache line that must be reverted because it never drained.
+#[derive(Debug, Clone)]
+pub struct DroppedLine {
+    /// Which space the line belongs to.
+    pub space: Space,
+    /// Byte offset of the line start within the space.
+    pub line_off: usize,
+    /// The media content the line reverts to.
+    pub undo: [u8; CACHE_LINE],
+}
+
+#[derive(Debug)]
+struct LineState {
+    undo: [u8; CACHE_LINE],
+    flushed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    lines: HashMap<(Space, usize), LineState>,
+    /// Insertion order, oldest first (for window eviction). May contain
+    /// stale keys for lines already retired; consumers re-check `lines`.
+    order: VecDeque<(Space, usize)>,
+}
+
+const MODE_EADR: u8 = 0;
+const MODE_ADR: u8 = 1;
+
+/// Cache-line-granular durability tracking for one device.
+///
+/// All methods are no-ops (single atomic load) in eADR mode.
+#[derive(Debug)]
+pub struct PersistModel {
+    mode: AtomicU8,
+    window: Mutex<usize>,
+    pending: Mutex<Pending>,
+}
+
+impl Default for PersistModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PersistModel {
+    /// Creates a model in eADR mode.
+    pub fn new() -> Self {
+        Self {
+            mode: AtomicU8::new(MODE_EADR),
+            window: Mutex::new(usize::MAX),
+            pending: Mutex::new(Pending::default()),
+        }
+    }
+
+    /// Switches mode. Everything currently pending is considered drained
+    /// (the switch is a test-harness operation, not a crash).
+    pub fn set_mode(&self, mode: PersistMode) {
+        let mut p = self.pending.lock();
+        p.lines.clear();
+        p.order.clear();
+        match mode {
+            PersistMode::Eadr => self.mode.store(MODE_EADR, Ordering::SeqCst),
+            PersistMode::Adr { reorder_window } => {
+                *self.window.lock() = reorder_window.max(1);
+                self.mode.store(MODE_ADR, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> PersistMode {
+        if self.mode.load(Ordering::SeqCst) == MODE_EADR {
+            PersistMode::Eadr
+        } else {
+            PersistMode::Adr { reorder_window: *self.window.lock() }
+        }
+    }
+
+    #[inline]
+    fn is_eadr(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) == MODE_EADR
+    }
+
+    /// Number of lines currently pending (dirty, not yet drained).
+    pub fn pending_lines(&self) -> usize {
+        self.pending.lock().lines.len()
+    }
+
+    /// Records a write of `len` bytes at `off` in `space`, *before* the
+    /// bytes are applied. `read_line` must return the current (pre-write)
+    /// media content of the line starting at the given byte offset; it is
+    /// only called for lines not already pending.
+    #[inline]
+    pub fn note_write(
+        &self,
+        space: Space,
+        off: usize,
+        len: usize,
+        mut read_line: impl FnMut(usize) -> [u8; CACHE_LINE],
+    ) {
+        if self.is_eadr() || len == 0 {
+            return;
+        }
+        let window = *self.window.lock();
+        let mut p = self.pending.lock();
+        let first = off / CACHE_LINE * CACHE_LINE;
+        let mut line = first;
+        while line < off + len {
+            let key = (space, line);
+            match p.lines.get_mut(&key) {
+                Some(state) => {
+                    // Re-dirtied: the line goes back to "not written back".
+                    state.flushed = false;
+                }
+                None => {
+                    p.lines.insert(key, LineState { undo: read_line(line), flushed: false });
+                    p.order.push_back(key);
+                }
+            }
+            line += CACHE_LINE;
+        }
+        // Bounded write-pending queue: the hardware drains the oldest
+        // lines on its own once the window is full.
+        while p.lines.len() > window {
+            match p.order.pop_front() {
+                Some(key) => {
+                    p.lines.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Marks the lines covering `off..off + len` for write-back (`clwb`).
+    /// A later [`fence`](Self::fence) makes them durable.
+    #[inline]
+    pub fn flush(&self, space: Space, off: usize, len: usize) {
+        if self.is_eadr() || len == 0 {
+            return;
+        }
+        let mut p = self.pending.lock();
+        let first = off / CACHE_LINE * CACHE_LINE;
+        let mut line = first;
+        while line < off + len {
+            if let Some(state) = p.lines.get_mut(&(space, line)) {
+                state.flushed = true;
+            }
+            line += CACHE_LINE;
+        }
+    }
+
+    /// Retires every flushed line to media (`sfence` after `clwb`s).
+    #[inline]
+    pub fn fence(&self) {
+        if self.is_eadr() {
+            return;
+        }
+        let mut p = self.pending.lock();
+        p.lines.retain(|_, state| !state.flushed);
+        let Pending { lines, order } = &mut *p;
+        order.retain(|key| lines.contains_key(key));
+    }
+
+    /// Flush-everything-and-fence: retires *all* pending lines. The
+    /// strongest ordering point (used around the checkpoint commit).
+    #[inline]
+    pub fn persist_barrier(&self) {
+        if self.is_eadr() {
+            return;
+        }
+        let mut p = self.pending.lock();
+        p.lines.clear();
+        p.order.clear();
+    }
+
+    /// Declares the lines fully inside `off..off + keep` durable and
+    /// removes them from the pending set — used for the applied prefix of
+    /// a torn write, which the torn-crash model defines as having reached
+    /// media (that is what makes the tear observable).
+    pub fn retire_prefix(&self, space: Space, off: usize, keep: usize) {
+        if self.is_eadr() || keep == 0 {
+            return;
+        }
+        let mut p = self.pending.lock();
+        let first = off / CACHE_LINE * CACHE_LINE;
+        let mut line = first;
+        while line < off + keep {
+            p.lines.remove(&(space, line));
+            line += CACHE_LINE;
+        }
+        let Pending { lines, order } = &mut *p;
+        order.retain(|key| lines.contains_key(key));
+    }
+
+    /// Simulates the power failure for the pending set: a deterministic,
+    /// seed-selected subset of the pending lines is *dropped* (never
+    /// drained) and must be reverted to its undo image; the rest drained.
+    /// Clears the pending set. Returns the dropped lines for the device to
+    /// revert. `seed == !0` drops **every** pending line (the adversarial
+    /// worst case); otherwise each line is dropped iff a hash of
+    /// `(seed, space, line)` is odd.
+    pub fn settle_crash(&self, seed: u64) -> Vec<DroppedLine> {
+        if self.is_eadr() {
+            return Vec::new();
+        }
+        let mut p = self.pending.lock();
+        let mut dropped: Vec<DroppedLine> = Vec::new();
+        for (&(space, line_off), state) in p.lines.iter() {
+            let drop_it = seed == u64::MAX || {
+                let tag = match space {
+                    Space::Meta => 0u64,
+                    Space::Frame(f) => 1 + f as u64,
+                };
+                splitmix64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (line_off as u64)) & 1
+                    == 1
+            };
+            if drop_it {
+                dropped.push(DroppedLine { space, line_off, undo: state.undo });
+            }
+        }
+        p.lines.clear();
+        p.order.clear();
+        // Deterministic revert order regardless of hash-map iteration.
+        dropped.sort_by_key(|d| (d.space, d.line_off));
+        dropped
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, dependency-free avalanche hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(byte: u8) -> [u8; CACHE_LINE] {
+        [byte; CACHE_LINE]
+    }
+
+    #[test]
+    fn eadr_is_all_noops() {
+        let m = PersistModel::new();
+        m.note_write(Space::Meta, 0, 128, |_| line(0));
+        assert_eq!(m.pending_lines(), 0);
+        assert!(m.settle_crash(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn adr_tracks_lines_and_undo() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        // A 100-byte write at offset 60 spans lines 0, 64 and 128.
+        m.note_write(Space::Meta, 60, 100, |off| line((off / CACHE_LINE) as u8));
+        assert_eq!(m.pending_lines(), 3);
+        let dropped = m.settle_crash(u64::MAX);
+        assert_eq!(dropped.len(), 3);
+        assert_eq!(dropped[0].line_off, 0);
+        assert_eq!(dropped[0].undo, line(0));
+        assert_eq!(dropped[2].line_off, 128);
+        assert_eq!(dropped[2].undo, line(2));
+        assert_eq!(m.pending_lines(), 0, "settle clears the pending set");
+    }
+
+    #[test]
+    fn flush_fence_retires_only_flushed() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        m.note_write(Space::Meta, 0, 64, |_| line(1));
+        m.note_write(Space::Meta, 64, 64, |_| line(2));
+        m.flush(Space::Meta, 0, 64);
+        m.fence();
+        assert_eq!(m.pending_lines(), 1);
+        let dropped = m.settle_crash(u64::MAX);
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].line_off, 64);
+    }
+
+    #[test]
+    fn rewrite_after_fence_recaptures_undo() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        m.note_write(Space::Meta, 0, 64, |_| line(0xAA));
+        m.flush(Space::Meta, 0, 64);
+        m.fence();
+        // The line drained holding its new content; dirty it again — the
+        // undo image must be the *drained* content, not the original.
+        m.note_write(Space::Meta, 0, 64, |_| line(0xBB));
+        let dropped = m.settle_crash(u64::MAX);
+        assert_eq!(dropped[0].undo, line(0xBB));
+    }
+
+    #[test]
+    fn redirty_clears_flushed_mark() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        m.note_write(Space::Meta, 0, 64, |_| line(1));
+        m.flush(Space::Meta, 0, 64);
+        m.note_write(Space::Meta, 0, 64, |_| line(2));
+        m.fence();
+        assert_eq!(m.pending_lines(), 1, "re-dirtied line is not retired by the fence");
+    }
+
+    #[test]
+    fn window_drains_oldest() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 2 });
+        m.note_write(Space::Meta, 0, 64, |_| line(1));
+        m.note_write(Space::Meta, 64, 64, |_| line(2));
+        m.note_write(Space::Meta, 128, 64, |_| line(3));
+        assert_eq!(m.pending_lines(), 2);
+        let dropped = m.settle_crash(u64::MAX);
+        assert_eq!(dropped.iter().map(|d| d.line_off).collect::<Vec<_>>(), vec![64, 128]);
+    }
+
+    #[test]
+    fn persist_barrier_clears_everything() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        m.note_write(Space::Frame(3), 0, 4096, |_| line(0));
+        assert_eq!(m.pending_lines(), 64);
+        m.persist_barrier();
+        assert_eq!(m.pending_lines(), 0);
+    }
+
+    #[test]
+    fn settle_is_deterministic_per_seed() {
+        let build = || {
+            let m = PersistModel::new();
+            m.set_mode(PersistMode::Adr { reorder_window: 256 });
+            for i in 0..32 {
+                m.note_write(Space::Frame(i % 4), (i as usize) * CACHE_LINE, CACHE_LINE, |_| {
+                    line(i as u8)
+                });
+            }
+            m
+        };
+        let a: Vec<_> =
+            build().settle_crash(7).into_iter().map(|d| (d.space, d.line_off)).collect();
+        let b: Vec<_> =
+            build().settle_crash(7).into_iter().map(|d| (d.space, d.line_off)).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> =
+            build().settle_crash(8).into_iter().map(|d| (d.space, d.line_off)).collect();
+        assert!(!c.is_empty() || !a.is_empty(), "some seed drops something");
+    }
+
+    #[test]
+    fn retire_prefix_only_covers_whole_lines() {
+        let m = PersistModel::new();
+        m.set_mode(PersistMode::Adr { reorder_window: 64 });
+        m.note_write(Space::Meta, 0, 192, |_| line(9));
+        // Prefix of 128 bytes covers lines 0 and 64 fully.
+        m.retire_prefix(Space::Meta, 0, 128);
+        assert_eq!(m.pending_lines(), 1);
+        assert_eq!(m.settle_crash(u64::MAX)[0].line_off, 128);
+    }
+}

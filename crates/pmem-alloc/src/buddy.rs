@@ -95,7 +95,7 @@ impl Buddy {
             let mut ord = MAX_ORDER;
             loop {
                 let size = 1u32 << ord;
-                if r % size == 0 && r + size <= self.frame_count {
+                if r.is_multiple_of(size) && r + size <= self.frame_count {
                     break;
                 }
                 ord -= 1;
@@ -243,7 +243,7 @@ impl Buddy {
             return Err(AllocError::InvalidFree);
         }
         let mut r = self.rel(frame);
-        if r % (1u32 << order) != 0 {
+        if !r.is_multiple_of(1u32 << order) {
             return Err(AllocError::InvalidFree);
         }
         let m = self.read_meta(dev, r);
@@ -288,7 +288,7 @@ impl Buddy {
             return Err(AllocError::OrderTooLarge);
         }
         let r = self.rel(frame);
-        if r % (1u32 << order) != 0 || r + (1u32 << order) > self.frame_count {
+        if !r.is_multiple_of(1u32 << order) || r + (1u32 << order) > self.frame_count {
             return Err(AllocError::InvalidFree);
         }
         // Find the free block containing `r`. Candidate heads are `r` with
@@ -353,7 +353,7 @@ impl Buddy {
                 return Err(format!("frame {r}: bad order {ord}"));
             }
             let size = 1u32 << ord;
-            if r % size != 0 {
+            if !r.is_multiple_of(size) {
                 return Err(format!("frame {r}: misaligned block of order {ord}"));
             }
             if r + size > n {
@@ -539,13 +539,8 @@ mod tests {
         b.verify(&dev).unwrap();
         // Subsequent allocs never return the carved frames.
         let mut seen = std::collections::HashSet::new();
-        loop {
-            match j.run(&dev, |tx| b.alloc(&dev, tx, 0)) {
-                Ok(f) => {
-                    seen.insert(f.0);
-                }
-                Err(_) => break,
-            }
+        while let Ok(f) = j.run(&dev, |tx| b.alloc(&dev, tx, 0)) {
+            seen.insert(f.0);
         }
         for r in 64..72 {
             assert!(!seen.contains(&r), "carved frame {r} re-allocated");
@@ -559,7 +554,7 @@ mod tests {
         let mut j = Journal::format(&dev, layout.journal_off, layout.journal_records);
         let b = Buddy::format(&dev, &layout);
         let f = j.run(&dev, |tx| b.alloc(&dev, tx, 4)).unwrap();
-        drop((b, j));
+        let _ = (b, j);
         // "Reboot".
         let _j2 = Journal::recover(&dev, layout.journal_off, layout.journal_records);
         let b2 = Buddy::attach(&dev, &layout);

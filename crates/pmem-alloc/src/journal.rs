@@ -13,18 +13,64 @@
 //! ```text
 //! +0   txid   u64   0 = no transaction in flight (commit point)
 //! +8   count  u64   number of valid records
-//! +16  records[cap] each 24 bytes: { offset u64, old u64, len u64 }
+//! +16  records[cap] each 32 bytes: { offset u64, old u64, len u64,
+//!                                    crc u32, pad u32 }
 //! ```
 //!
-//! With eADR semantics every store is durable in program order, so writing
-//! `txid = 0` is the commit point and needs no further fencing.
+//! Every record carries a CRC-32 over its payload. Replay forward-scans
+//! the claimed `count` and treats the first record that fails validation
+//! as the **end of the log** (truncate-and-continue): with the flush/fence
+//! ordering below only the in-flight tail record can ever be torn, so
+//! dropping it is exactly the "operation never happened" semantics. The
+//! number of truncated records is surfaced through
+//! [`Journal::truncated_records`] into the `RecoveryReport`.
+//!
+//! ADR ordering contract (all no-ops under eADR):
+//!
+//! 1. transaction open: `count = 0`, `txid` → flush + fence before any
+//!    record or target store;
+//! 2. each record (and the count covering it) is flushed + fenced before
+//!    its target word is overwritten — the undo image is durable first;
+//! 3. commit: a full persist barrier drains the target stores, then
+//!    `txid = 0` (the commit point) gets its own flush + fence.
 
-use treesls_nvm::NvmDevice;
+use treesls_nvm::{crc32, MetaArena, NvmDevice};
 
 use crate::error::AllocError;
 
-const REC_SIZE: usize = 24;
+const REC_SIZE: usize = 32;
 const HDR_SIZE: usize = 16;
+
+/// Encodes a record's payload for checksumming.
+fn record_crc(target: u64, old: u64, len: u64) -> u32 {
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&target.to_le_bytes());
+    buf[8..16].copy_from_slice(&old.to_le_bytes());
+    buf[16..].copy_from_slice(&len.to_le_bytes());
+    crc32(&buf)
+}
+
+/// Reads and validates the record at arena offset `rec`; `None` if its
+/// checksum fails or its length field is not a legal word size.
+fn read_record(meta: &MetaArena, rec: usize) -> Option<(usize, u64, u64)> {
+    let target = meta.read_u64(rec);
+    let old = meta.read_u64(rec + 8);
+    let len = meta.read_u64(rec + 16);
+    if meta.read_u32(rec + 24) != record_crc(target, old, len) {
+        return None;
+    }
+    matches!(len, 1 | 4 | 8).then_some((target as usize, old, len))
+}
+
+/// Applies one undo record.
+fn undo(meta: &MetaArena, target: usize, old: u64, len: u64) {
+    match len {
+        1 => meta.write_u8(target, old as u8),
+        4 => meta.write_u32(target, old as u32),
+        8 => meta.write_u64(target, old),
+        _ => unreachable!("read_record validated the length"),
+    }
+}
 
 /// The undo journal. One instance guards one allocator.
 #[derive(Debug)]
@@ -32,6 +78,8 @@ pub struct Journal {
     off: usize,
     cap: usize,
     next_tx: u64,
+    /// Torn/corrupt tail records dropped by the last recovery.
+    truncated: u64,
 }
 
 impl Journal {
@@ -42,38 +90,55 @@ impl Journal {
 
     /// Formats a fresh (idle) journal at `off`.
     pub fn format(dev: &NvmDevice, off: usize, cap: usize) -> Self {
-        dev.meta().write_u64(off, 0);
-        dev.meta().write_u64(off + 8, 0);
-        Self { off, cap, next_tx: 1 }
+        let meta = dev.meta();
+        meta.write_u64(off, 0);
+        meta.write_u64(off + 8, 0);
+        meta.flush(off, HDR_SIZE);
+        meta.fence();
+        Self { off, cap, next_tx: 1, truncated: 0 }
+    }
+
+    /// Torn/corrupt tail records dropped during the last `recover` (0 for
+    /// a freshly formatted journal or a clean log).
+    pub fn truncated_records(&self) -> u64 {
+        self.truncated
     }
 
     /// Recovers the journal after a power failure, rolling back any
-    /// in-flight transaction.
+    /// in-flight transaction. A record that fails its checksum ends the
+    /// log: it (and anything the header claims beyond it) is truncated
+    /// instead of aborting recovery.
     pub fn recover(dev: &NvmDevice, off: usize, cap: usize) -> Self {
         let meta = dev.meta();
         let txid = meta.read_u64(off);
+        let mut truncated = 0u64;
         if txid != 0 {
             treesls_nvm::crash_site!(dev.crash_schedule(), "journal.pre_rollback");
-            let count = meta.read_u64(off + 8) as usize;
-            // Undo in reverse order: later records may overwrite earlier
-            // ones, and the oldest logged value must win.
-            for i in (0..count.min(cap)).rev() {
-                let rec = off + HDR_SIZE + i * REC_SIZE;
-                let target = meta.read_u64(rec) as usize;
-                let old = meta.read_u64(rec + 8);
-                let len = meta.read_u64(rec + 16);
-                match len {
-                    1 => meta.write_u8(target, old as u8),
-                    4 => meta.write_u32(target, old as u32),
-                    8 => meta.write_u64(target, old),
-                    other => unreachable!("corrupt journal record length {other}"),
+            let count = (meta.read_u64(off + 8) as usize).min(cap);
+            // Forward-validate: the first torn record is the end of log.
+            let mut valid = Vec::with_capacity(count);
+            for i in 0..count {
+                match read_record(meta, off + HDR_SIZE + i * REC_SIZE) {
+                    Some(rec) => valid.push(rec),
+                    None => {
+                        truncated = (count - i) as u64;
+                        break;
+                    }
                 }
             }
+            // Undo in reverse order: later records may overwrite earlier
+            // ones, and the oldest logged value must win.
+            for &(target, old, len) in valid.iter().rev() {
+                undo(meta, target, old, len);
+            }
+            dev.persist_barrier();
             meta.write_u64(off + 8, 0);
             // Commit point of the rollback itself.
             meta.write_u64(off, 0);
+            meta.flush(off, HDR_SIZE);
+            meta.fence();
         }
-        Self { off, cap, next_tx: txid.wrapping_add(1).max(1) }
+        Self { off, cap, next_tx: txid.wrapping_add(1).max(1), truncated }
     }
 
     /// Runs `f` inside a journal transaction.
@@ -88,6 +153,10 @@ impl Journal {
         let meta = dev.meta();
         meta.write_u64(self.off + 8, 0);
         meta.write_u64(self.off, self.next_tx);
+        // The open header must be durable before any record or target
+        // store, or recovery could see records without a transaction.
+        meta.flush(self.off, HDR_SIZE);
+        meta.fence();
         treesls_nvm::crash_site!(dev.crash_schedule(), "journal.tx_open");
         self.next_tx = self.next_tx.wrapping_add(1).max(1);
         let mut tx = Tx { dev, off: self.off, cap: self.cap, count: 0 };
@@ -95,26 +164,26 @@ impl Journal {
         match result {
             Ok(v) => {
                 treesls_nvm::crash_site!(dev.crash_schedule(), "journal.pre_commit");
-                // Commit point.
+                // All target stores drain before the commit point.
+                dev.persist_barrier();
                 meta.write_u64(self.off, 0);
+                meta.flush(self.off, 8);
+                meta.fence();
                 Ok(v)
             }
             Err(e) => {
                 let count = tx.count;
                 for i in (0..count).rev() {
                     let rec = self.off + HDR_SIZE + i * REC_SIZE;
-                    let target = meta.read_u64(rec) as usize;
-                    let old = meta.read_u64(rec + 8);
-                    let len = meta.read_u64(rec + 16);
-                    match len {
-                        1 => meta.write_u8(target, old as u8),
-                        4 => meta.write_u32(target, old as u32),
-                        8 => meta.write_u64(target, old),
-                        other => unreachable!("corrupt journal record length {other}"),
-                    }
+                    let (target, old, len) =
+                        read_record(meta, rec).expect("just-written record is valid");
+                    undo(meta, target, old, len);
                 }
+                dev.persist_barrier();
                 meta.write_u64(self.off + 8, 0);
                 meta.write_u64(self.off, 0);
+                meta.flush(self.off, HDR_SIZE);
+                meta.fence();
                 Err(e)
             }
         }
@@ -138,8 +207,14 @@ impl Tx<'_> {
         meta.write_u64(rec, target as u64);
         meta.write_u64(rec + 8, old);
         meta.write_u64(rec + 16, len);
+        meta.write_u32(rec + 24, record_crc(target as u64, old, len));
         self.count += 1;
         meta.write_u64(self.off + 8, self.count as u64);
+        // The undo image (and the count covering it) must be durable
+        // before the target word is overwritten.
+        meta.flush(rec, REC_SIZE);
+        meta.flush(self.off + 8, 8);
+        meta.fence();
     }
 
     /// Journaled `u8` write at arena offset `target`.
@@ -225,12 +300,13 @@ mod tests {
         let mut tx = Tx { dev: &d, off: 0, cap: 16, count: 0 };
         tx.write_u64(1000, 500);
         tx.write_u64(1008, 600);
-        drop(tx);
+        let _ = tx;
         // No commit. Power comes back:
-        let _j2 = Journal::recover(&d, 0, 16);
+        let j2 = Journal::recover(&d, 0, 16);
         assert_eq!(d.meta().read_u64(1000), 5);
         assert_eq!(d.meta().read_u64(1008), 6);
         assert_eq!(d.meta().read_u64(0), 0);
+        assert_eq!(j2.truncated_records(), 0);
         let _ = j;
     }
 
@@ -271,11 +347,49 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_record_is_truncated_not_fatal() {
+        let d = dev();
+        let _ = Journal::format(&d, 0, 16);
+        d.meta().write_u64(1000, 5);
+        // Open a transaction with one valid record...
+        d.meta().write_u64(0, 9); // txid
+        let mut tx = Tx { dev: &d, off: 0, cap: 16, count: 0 };
+        tx.write_u64(1000, 50);
+        let _ = tx;
+        // ...then fake a torn second record: bump the count past a record
+        // whose CRC was never written (all-zero body, garbage target).
+        let rec1 = HDR_SIZE + REC_SIZE;
+        d.meta().write_u64(rec1, 1008);
+        d.meta().write_u64(8, 2);
+        let j = Journal::recover(&d, 0, 16);
+        // The valid record rolled back; the torn tail was dropped.
+        assert_eq!(d.meta().read_u64(1000), 5);
+        assert_eq!(d.meta().read_u64(0), 0);
+        assert_eq!(j.truncated_records(), 1);
+    }
+
+    #[test]
+    fn corrupt_record_length_ends_the_log() {
+        let d = dev();
+        let _ = Journal::format(&d, 0, 16);
+        // A record with a valid CRC but an illegal length is still rejected.
+        let rec = HDR_SIZE;
+        d.meta().write_u64(rec, 1000);
+        d.meta().write_u64(rec + 8, 1);
+        d.meta().write_u64(rec + 16, 3); // not 1/4/8
+        d.meta().write_u32(rec + 24, record_crc(1000, 1, 3));
+        d.meta().write_u64(8, 1);
+        d.meta().write_u64(0, 4); // txid: force a rollback pass
+        let j = Journal::recover(&d, 0, 16);
+        assert_eq!(j.truncated_records(), 1);
+    }
+
+    #[test]
     fn crash_injection_at_every_tick_recovers() {
         // Run a two-word transaction, crashing after every possible write,
         // and check recovery always restores the pre-state or the committed
         // post-state.
-        for cut in 0..20u64 {
+        for cut in 0..24u64 {
             let d = dev();
             let mut j = Journal::format(&d, 0, 16);
             d.meta().write_u64(1000, 5);
@@ -289,6 +403,81 @@ mod tests {
                 })
             }));
             d.meta().disarm_crash();
+            let _ = Journal::recover(&d, 0, 16);
+            let a = d.meta().read_u64(1000);
+            let b = d.meta().read_u64(1008);
+            if result.is_ok() {
+                assert_eq!((a, b), (50, 60), "cut={cut}");
+            } else {
+                assert_eq!((a, b), (5, 6), "cut={cut}: partial state survived");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_crash_at_every_cut_of_every_write_recovers() {
+        // Same two-word transaction under the torn-write model: crash
+        // mid-write at every cache-line cut class of every meta write.
+        for skip in 0..24u64 {
+            for cut in 0..2u32 {
+                let d = dev();
+                let mut j = Journal::format(&d, 0, 16);
+                d.meta().write_u64(1000, 5);
+                d.meta().write_u64(1008, 6);
+                d.crash_schedule().arm(treesls_nvm::CrashPoint::TornWrite { skip, cut });
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    j.run(&d, |tx| {
+                        tx.write_u64(1000, 50);
+                        tx.write_u64(1008, 60);
+                        Ok(())
+                    })
+                }));
+                d.crash_schedule().disarm();
+                let _ = Journal::recover(&d, 0, 16);
+                let a = d.meta().read_u64(1000);
+                let b = d.meta().read_u64(1008);
+                if result.is_ok() {
+                    assert_eq!((a, b), (50, 60), "skip={skip} cut={cut}");
+                } else {
+                    // A tear during the 8-byte aligned commit store cannot
+                    // actually tear it (no interior line boundary), so the
+                    // crash may land just *after* the commit point: both the
+                    // pre- and post-states are legal, a mix is not.
+                    assert!(
+                        (a, b) == (5, 6) || (a, b) == (50, 60),
+                        "skip={skip} cut={cut}: partial state ({a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adr_crash_with_line_drops_at_every_tick_recovers() {
+        // The same enumeration under ADR: at the crash point every pending
+        // (unfenced) line is dropped, and recovery must still land on the
+        // pre- or post-state thanks to the journal's flush/fence contract.
+        for cut in 0..24u64 {
+            let d = dev();
+            d.set_persist_mode(treesls_nvm::PersistMode::Adr { reorder_window: 1024 });
+            let mut j = Journal::format(&d, 0, 16);
+            d.meta().write_u64(1000, 5);
+            d.meta().write_u64(1008, 6);
+            d.persist_barrier();
+            d.meta().arm_crash_after(cut);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                j.run(&d, |tx| {
+                    tx.write_u64(1000, 50);
+                    tx.write_u64(1008, 60);
+                    Ok(())
+                })
+            }));
+            d.meta().disarm_crash();
+            if result.is_err() {
+                // Power failure: every unfenced line is lost.
+                d.settle_crash(u64::MAX);
+            }
+            d.set_persist_mode(treesls_nvm::PersistMode::Eadr);
             let _ = Journal::recover(&d, 0, 16);
             let a = d.meta().read_u64(1000);
             let b = d.meta().read_u64(1008);

@@ -189,6 +189,12 @@ impl PmemAllocator {
         Ok(())
     }
 
+    /// Torn/corrupt journal tail records truncated by the last recovery
+    /// (0 for a freshly formatted allocator or a clean log).
+    pub fn journal_truncated(&self) -> u64 {
+        self.inner.lock().journal.truncated_records()
+    }
+
     /// The device this allocator manages.
     pub fn device(&self) -> &Arc<NvmDevice> {
         &self.dev

@@ -210,7 +210,7 @@ impl SlabHeap {
             return Err(AllocError::InvalidFree);
         }
         let csize = SLAB_CLASSES[class] as u32;
-        if addr.offset % csize != 0 {
+        if !addr.offset.is_multiple_of(csize) {
             return Err(AllocError::InvalidFree);
         }
         let slot = addr.offset / csize;
@@ -263,7 +263,7 @@ impl SlabHeap {
             return Err(AllocError::Overlap);
         }
         let csize = SLAB_CLASSES[class] as u32;
-        if addr.offset % csize != 0 || addr.offset / csize >= Self::objs_per_slab(class) {
+        if !addr.offset.is_multiple_of(csize) || addr.offset / csize >= Self::objs_per_slab(class) {
             return Err(AllocError::InvalidFree);
         }
         let slot = addr.offset / csize;

@@ -1,9 +1,9 @@
 //! Exhaustive crash-schedule enumeration (systematic §7.2 fault
 //! injection).
 //!
-//! Each scenario below is replayed once per NVM write index of its
-//! workload phase, crashing at exactly that write, recovering, and
-//! checking:
+//! Each scenario (defined in `common/mod.rs`, shared with the torn-write
+//! enumeration) is replayed once per NVM write index of its workload
+//! phase, crashing at exactly that write, recovering, and checking:
 //!
 //! * the backup tree is internally consistent
 //!   (`CheckpointManager::verify_checkpoint`, which includes the
@@ -20,385 +20,10 @@
 //! site, which reproduces deterministically with
 //! `System::run_with_crash_schedule`.
 
-use std::sync::Arc;
+mod common;
 
-use parking_lot::Mutex;
-
-use treesls::extsync::{check_ext_sync_invariants, HostIo, NetPort};
-use treesls::{
-    enumerate_crashes, enumerate_site_crashes, CrashScenario, ObjId, Program, ProgramRegistry,
-    RestoreReport, StepOutcome, System, SystemConfig, UserCtx,
-};
-use treesls_apps::wire::{make_key, KvOp, KvResp};
-use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
-use treesls_kernel::cores::run_slice;
-use treesls_kernel::object::{ObjType, ObjectBody};
-
-fn stride() -> u64 {
-    std::env::var("CRASH_STRIDE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
-}
-
-/// Steps `tid` synchronously on the calling thread (no cores running).
-fn step(sys: &System, tid: ObjId, steps: usize) {
-    run_slice(sys.kernel(), tid, steps, sys.manager().stw());
-}
-
-/// Finds the cap group named `name` and returns its (vmspace, first
-/// thread, first notification) — the post-restore handles of a process.
-fn find_process(sys: &System, name: &str) -> (ObjId, ObjId, Option<ObjId>) {
-    let kernel = sys.kernel();
-    let objects = kernel.objects.read();
-    let group = objects
-        .iter()
-        .map(|(_, o)| Arc::clone(o))
-        .find(|o| {
-            o.otype == ObjType::CapGroup
-                && matches!(&*o.body.read(), ObjectBody::CapGroup(g) if g.name == name)
-        })
-        .unwrap_or_else(|| panic!("cap group {name:?} not restored"));
-    drop(objects);
-    let body = group.body.read();
-    let ObjectBody::CapGroup(g) = &*body else { unreachable!() };
-    let mut vmspace = None;
-    let mut thread = None;
-    let mut notif = None;
-    for (_, c) in g.iter() {
-        match kernel.object(c.obj).map(|o| o.otype) {
-            Ok(ObjType::VmSpace) => vmspace = vmspace.or(Some(c.obj)),
-            Ok(ObjType::Thread) => thread = thread.or(Some(c.obj)),
-            Ok(ObjType::Notification) => notif = notif.or(Some(c.obj)),
-            _ => {}
-        }
-    }
-    (vmspace.expect("vmspace restored"), thread.expect("thread restored"), notif)
-}
-
-/// Reads the whole data heap of `vmspace` (`pages` 4 KiB pages).
-fn read_heap(sys: &System, vmspace: ObjId, pages: u64) -> Vec<u8> {
-    let mut buf = vec![0u8; (pages * 4096) as usize];
-    sys.read_mem(vmspace, 0, &mut buf).expect("heap readable");
-    buf
-}
-
-/// Memory snapshots keyed by committed version, with a staging slot for
-/// the commit that may be in flight when the crash fires: the snapshot is
-/// staged *before* `checkpoint_now` (the heap cannot change between
-/// staging and the commit point — the workload is single-threaded), so a
-/// crash after the commit but before bookkeeping still has the image the
-/// restored version must reproduce.
-#[derive(Default)]
-struct Snapshots {
-    committed: Vec<(u64, Vec<u8>)>,
-    staged: Option<(u64, Vec<u8>)>,
-}
-
-impl Snapshots {
-    fn checkpoint(&mut self, sys: &System, vmspace: ObjId, pages: u64) {
-        self.staged = Some((sys.kernel().pers.global_version() + 1, read_heap(sys, vmspace, pages)));
-        sys.checkpoint_now().expect("checkpoint");
-        self.committed.push(self.staged.take().expect("staged snapshot"));
-    }
-
-    fn expect_at(&self, version: u64) -> Option<&Vec<u8>> {
-        self.committed
-            .iter()
-            .find(|(v, _)| *v == version)
-            .map(|(_, m)| m)
-            .or(self.staged.as_ref().filter(|(v, _)| *v == version).map(|(_, m)| m))
-    }
-
-    fn verify(&self, sys: &System, vmspace: ObjId, pages: u64, version: u64) -> Result<(), String> {
-        let expected = self
-            .expect_at(version)
-            .ok_or_else(|| format!("no snapshot recorded for restored version {version}"))?;
-        let actual = read_heap(sys, vmspace, pages);
-        if &actual != expected {
-            let diff = actual
-                .iter()
-                .zip(expected.iter())
-                .position(|(a, b)| a != b)
-                .unwrap_or(actual.len());
-            return Err(format!(
-                "restored heap diverges from the v{version} commit at byte {diff}"
-            ));
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Scenario 1 + 3: the hashkv workload behind a network port, with external
-// synchrony. `ops` SETs are pushed through the RX ring, the server is
-// stepped deterministically, and each iteration commits one checkpoint.
-// ---------------------------------------------------------------------------
-
-const KV_GEOM: ShardGeometry =
-    ShardGeometry { nslots: 8, slot_size: 84, data_stride: 16 * 4096 };
-const KV_HEAP_PAGES: u64 = 17; // data_stride / 4096 + 1 (deploy_kv layout)
-
-struct KvRingScenario {
-    ops: usize,
-    /// Programs captured at deployment, re-registered after "reboot".
-    programs: Mutex<Vec<(String, Arc<dyn Program>)>>,
-}
-
-impl KvRingScenario {
-    fn new(ops: usize) -> Self {
-        Self { ops, programs: Mutex::new(Vec::new()) }
-    }
-}
-
-struct KvState {
-    vmspace: ObjId,
-    server: ObjId,
-    port: Arc<NetPort>,
-    snapshots: Snapshots,
-    /// `(key, value)` of every SET whose acknowledgement became
-    /// externally visible before the crash.
-    acked: Vec<(Vec<u8>, Vec<u8>)>,
-}
-
-impl KvRingScenario {
-    fn kv_config() -> SystemConfig {
-        let mut c = SystemConfig::small();
-        c.kernel.nvm_frames = 2048;
-        c.kernel.dram_pages = 64;
-        c.checkpoint_interval = None;
-        c
-    }
-}
-
-impl CrashScenario for KvRingScenario {
-    type State = KvState;
-
-    fn config(&self) -> SystemConfig {
-        Self::kv_config()
-    }
-
-    fn setup(&self, sys: &mut System) -> KvState {
-        let dep = deploy_kv(sys, 1, 16, 40, true, KV_GEOM);
-        let server = dep.server_threads[0];
-        // First step formats the table; the server then parks on its
-        // doorbell.
-        step(sys, server, 4);
-        let mut st = KvState {
-            vmspace: dep.vmspace,
-            server,
-            port: Arc::clone(&dep.ports[0]),
-            snapshots: Snapshots::default(),
-            acked: Vec::new(),
-        };
-        st.snapshots.checkpoint(sys, st.vmspace, KV_HEAP_PAGES);
-        *self.programs.lock() = sys
-            .programs()
-            .names()
-            .into_iter()
-            .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
-            .collect();
-        st
-    }
-
-    fn workload(&self, sys: &mut System, st: &mut KvState) {
-        for i in 0..self.ops {
-            let key = make_key(format!("key-{i}").as_bytes());
-            let value = format!("value-{i}").into_bytes();
-            let op = KvOp::Set { key, value: value.clone() };
-            let seq = st.port.send_request(&op.encode()).expect("rx push");
-            step(sys, st.server, 8);
-            st.snapshots.checkpoint(sys, st.vmspace, KV_HEAP_PAGES);
-            st.port.pump();
-            if st.port.try_take(seq).is_some() {
-                // The ack left the system: this SET must survive any
-                // later crash.
-                st.acked.push((key.to_vec(), value));
-            }
-        }
-    }
-
-    fn programs(&self, reg: &ProgramRegistry) {
-        for (name, prog) in self.programs.lock().iter() {
-            reg.register(name, Arc::clone(prog));
-        }
-    }
-
-    fn reattach(&self, sys: &mut System, st: &mut KvState) {
-        let (vmspace, server, notif) = find_process(sys, "ring-kv");
-        st.vmspace = vmspace;
-        st.server = server;
-        let layout = st.port.layout();
-        let port = NetPort::attach(Arc::clone(sys.kernel()), vmspace, layout, true, 1_000_000);
-        port.set_doorbell(notif.expect("doorbell restored"));
-        sys.manager().register_callback(Arc::clone(&port) as _);
-        st.port = port;
-    }
-
-    fn verify(
-        &self,
-        sys: &mut System,
-        st: &mut KvState,
-        report: &RestoreReport,
-    ) -> Result<(), String> {
-        // Byte-exact memory oracle against the snapshot of the restored
-        // commit.
-        st.snapshots.verify(sys, st.vmspace, KV_HEAP_PAGES, report.version)?;
-        // TX ring invariants: nothing tagged with a rolled-back version
-        // may still be published. (The RX ring is exempt by design —
-        // requests survive the crash so the server can re-process them.)
-        let io = HostIo::new(Arc::clone(sys.kernel()), st.vmspace);
-        let layout = st.port.layout();
-        check_ext_sync_invariants(&io, &layout.tx, report.version)
-            .map_err(|e| format!("tx ring: {e}"))?;
-        // External-visibility oracle: every acknowledged SET is still
-        // readable after recovery.
-        for (key, value) in &st.acked {
-            let mut k = [0u8; 16];
-            k.copy_from_slice(key);
-            let get = KvOp::Get { key: k };
-            // The restored RX ring may still hold every pre-crash request
-            // (acks lag by design), so a fresh request can briefly see
-            // `Full`; drive the server and the ack pipeline and retry,
-            // like a NIC driver backing off on a full descriptor ring.
-            let mut attempts = 0;
-            let seq = loop {
-                match st.port.send_request(&get.encode()) {
-                    Ok(s) => break s,
-                    Err(treesls::extsync::RingError::Full) if attempts < 8 => {
-                        attempts += 1;
-                        step(sys, st.server, 16);
-                        sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
-                        st.port.pump();
-                    }
-                    Err(e) => return Err(format!("GET push failed: {e:?}")),
-                }
-            };
-            step(sys, st.server, 16);
-            sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
-            st.port.pump();
-            let resp = st
-                .port
-                .try_take(seq)
-                .ok_or_else(|| format!("GET for acked key {key:?} got no reply"))?;
-            match KvResp::decode(&resp) {
-                Some(KvResp::Ok(Some(v))) if &v == value => {}
-                other => {
-                    return Err(format!(
-                        "externally visible SET of {key:?} lost after restore: {other:?}"
-                    ))
-                }
-            }
-        }
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Scenario 2: a hybrid-copy round with hot-page migration, speculative
-// stop-and-copy, and idle eviction.
-// ---------------------------------------------------------------------------
-
-/// Writes one `u64` per step, round-robin over `pages` heap pages.
-struct DirtyPages {
-    pages: u64,
-}
-
-impl Program for DirtyPages {
-    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
-        let done = ctx.reg(2);
-        let page = done % self.pages;
-        let word = (done / self.pages) % 64;
-        if ctx.write_u64(page * 4096 + word * 8, 0xD00D_0000 + done).is_err() {
-            return StepOutcome::Exited;
-        }
-        ctx.set_reg(2, done + 1);
-        StepOutcome::Ready
-    }
-}
-
-const HYBRID_PAGES: u64 = 3;
-const HYBRID_HEAP: u64 = 4;
-
-struct HybridScenario;
-
-struct HybridState {
-    vmspace: ObjId,
-    writer: ObjId,
-    snapshots: Snapshots,
-}
-
-impl CrashScenario for HybridScenario {
-    type State = HybridState;
-
-    fn config(&self) -> SystemConfig {
-        let mut c = SystemConfig::small();
-        c.kernel.nvm_frames = 2048;
-        c.kernel.dram_pages = 32;
-        c.kernel.hybrid_copy = true;
-        c.kernel.hot_threshold = 2;
-        c.kernel.idle_evict_rounds = 2;
-        c.checkpoint_interval = None;
-        c
-    }
-
-    fn setup(&self, sys: &mut System) -> HybridState {
-        sys.register_program("dirty", Arc::new(DirtyPages { pages: HYBRID_PAGES }));
-        let p = sys
-            .spawn(
-                &treesls::ProcessSpec::new("hybrid")
-                    .heap(HYBRID_HEAP)
-                    .thread(treesls::ThreadSpec::new("dirty")),
-            )
-            .expect("spawn");
-        let mut st =
-            HybridState { vmspace: p.vmspace, writer: p.threads[0], snapshots: Snapshots::default() };
-        st.snapshots.checkpoint(sys, st.vmspace, HYBRID_HEAP);
-        st
-    }
-
-    fn workload(&self, sys: &mut System, st: &mut HybridState) {
-        // Two write+checkpoint rounds push every page past the hotness
-        // threshold; the second round's checkpoint migrates them to DRAM.
-        for _ in 0..2 {
-            step(sys, st.writer, HYBRID_PAGES as usize);
-            st.snapshots.checkpoint(sys, st.vmspace, HYBRID_HEAP);
-        }
-        // Dirty the migrated pages: the next checkpoint stop-and-copies
-        // them from DRAM.
-        step(sys, st.writer, HYBRID_PAGES as usize);
-        st.snapshots.checkpoint(sys, st.vmspace, HYBRID_HEAP);
-        // Idle rounds: the pages stop changing and get evicted back to
-        // NVM.
-        for _ in 0..3 {
-            st.snapshots.checkpoint(sys, st.vmspace, HYBRID_HEAP);
-        }
-    }
-
-    fn programs(&self, reg: &ProgramRegistry) {
-        reg.register("dirty", Arc::new(DirtyPages { pages: HYBRID_PAGES }));
-    }
-
-    fn reattach(&self, sys: &mut System, st: &mut HybridState) {
-        let (vmspace, writer, _) = find_process(sys, "hybrid");
-        st.vmspace = vmspace;
-        st.writer = writer;
-    }
-
-    fn verify(
-        &self,
-        sys: &mut System,
-        st: &mut HybridState,
-        report: &RestoreReport,
-    ) -> Result<(), String> {
-        st.snapshots.verify(sys, st.vmspace, HYBRID_HEAP, report.version)?;
-        // The restored program must be able to keep running and commit.
-        step(sys, st.writer, HYBRID_PAGES as usize);
-        sys.checkpoint_now().map_err(|e| format!("post-restore checkpoint: {e:?}"))?;
-        Ok(())
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The enumerations.
-// ---------------------------------------------------------------------------
+use common::{stride, HybridScenario, KvRingScenario};
+use treesls::{enumerate_crashes, enumerate_site_crashes, CrashScenario, System};
 
 #[test]
 fn hybrid_round_actually_migrates_and_evicts() {

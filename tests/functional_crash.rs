@@ -267,7 +267,7 @@ impl Program for Transfer {
         let a = ctx.read_u64(0).unwrap();
         let b = ctx.read_u64(8).unwrap();
         let amount = rng % 1000;
-        let (na, nb) = if rng % 2 == 0 && a >= amount {
+        let (na, nb) = if rng.is_multiple_of(2) && a >= amount {
             (a - amount, b + amount)
         } else if b >= amount {
             (a + amount, b - amount)
