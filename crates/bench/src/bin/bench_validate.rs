@@ -1,0 +1,59 @@
+//! Validates every `results/BENCH_*.json` document against the sink
+//! schema (see OBSERVABILITY.md). Exits non-zero on any violation or if
+//! no documents are found — CI's bench-smoke job runs this after
+//! regenerating the reduced-scale results.
+
+use std::fs;
+use std::process::ExitCode;
+
+use treesls::Json;
+use treesls_bench::sink;
+
+fn main() -> ExitCode {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let mut checked = 0u32;
+    let mut failed = 0u32;
+    let entries = match fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("bench_validate: cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        checked += 1;
+        let verdict = fs::read_to_string(&path)
+            .map_err(|e| format!("read error: {e}"))
+            .and_then(|body| Json::parse(&body).map_err(|e| format!("parse error: {e}")))
+            .and_then(|doc| sink::validate(&doc).map(|()| doc));
+        match verdict {
+            Ok(doc) => {
+                let name = doc.get("name").and_then(Json::as_str).unwrap_or("?");
+                println!("ok   {} ({name})", path.display());
+            }
+            Err(e) => {
+                failed += 1;
+                eprintln!("FAIL {}: {e}", path.display());
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("bench_validate: no BENCH_*.json documents in {dir}");
+        return ExitCode::FAILURE;
+    }
+    println!("{checked} document(s) checked, {failed} failed");
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

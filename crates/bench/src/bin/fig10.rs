@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use treesls_bench::harness::{build, BenchOpts};
 use treesls_bench::table::Table;
-use treesls_bench::WorkloadKind;
+use treesls_bench::{Sink, WorkloadKind};
 
 #[derive(Clone, Copy)]
 struct Mode {
@@ -32,7 +32,8 @@ const MODES: [Mode; 5] = [
 
 fn main() {
     let base_opts = BenchOpts::from_args();
-    println!("Figure 10: runtime overhead breakdown (normalized run time)\n");
+    let mut sink =
+        Sink::new("fig10", "Figure 10: runtime overhead breakdown (normalized run time)", &base_opts);
     let kinds =
         [WorkloadKind::Memcached, WorkloadKind::Redis, WorkloadKind::KMeans, WorkloadKind::Pca];
     let mut table = Table::new(&[
@@ -62,5 +63,6 @@ fn main() {
         }
         table.row(row);
     }
-    table.print();
+    sink.table("normalized_runtime", table);
+    sink.finish();
 }

@@ -33,6 +33,7 @@ use treesls_apps::wire::{numeric_key, KvOp};
 use treesls_bench::harness::BenchOpts;
 use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
 use treesls_bench::table::{ns_as_us, Table};
+use treesls_bench::Sink;
 
 fn run_config(opts: &BenchOpts, interval: Option<Duration>, ops_per_client: u64) -> [u64; 4] {
     let mut config = SystemConfig {
@@ -105,7 +106,11 @@ fn run_config(opts: &BenchOpts, interval: Option<Duration>, ops_per_client: u64)
 fn main() {
     let opts = BenchOpts::from_args();
     let ops = if opts.full { 50_000 } else { 3_000 };
-    println!("Figure 11: Memcached SET/GET latency vs checkpoint interval (µs)\n");
+    let mut sink = Sink::new(
+        "fig11",
+        "Figure 11: Memcached SET/GET latency vs checkpoint interval (µs)",
+        &opts,
+    );
     let mut table =
         Table::new(&["Interval", "SET P50", "SET P95", "GET P50", "GET P95"]);
     let configs: [(&str, Option<Duration>); 5] = [
@@ -125,5 +130,6 @@ fn main() {
             ns_as_us(r[3]),
         ]);
     }
-    table.print();
+    sink.table("latency", table);
+    sink.finish();
 }

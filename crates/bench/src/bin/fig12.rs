@@ -16,6 +16,7 @@ use treesls_apps::wire::{numeric_key, KvOp};
 use treesls_bench::harness::BenchOpts;
 use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
 use treesls_bench::table::Table;
+use treesls_bench::Sink;
 
 const BATCH: usize = 32;
 
@@ -100,8 +101,10 @@ fn main() {
     let opts = BenchOpts::from_args();
     let clients = if opts.full { 50 } else { 8 };
     let batches = if opts.full { 200 } else { 40 };
-    println!(
-        "Figure 12: Redis SET with external synchrony ({clients} clients, batch {BATCH})\n"
+    let mut sink = Sink::new(
+        "fig12",
+        &format!("Figure 12: Redis SET with external synchrony ({clients} clients, batch {BATCH})"),
+        &opts,
     );
     let mut table = Table::new(&[
         "Config", "Interval", "Throughput(Kops/s)", "P50 batch lat(ms)", "P95 batch lat(ms)",
@@ -127,5 +130,6 @@ fn main() {
             ]);
         }
     }
-    table.print();
+    sink.table("throughput_latency", table);
+    sink.finish();
 }

@@ -20,6 +20,7 @@ use treesls_baselines::LinuxHost;
 use treesls_bench::harness::BenchOpts;
 use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
 use treesls_bench::table::Table;
+use treesls_bench::Sink;
 use treesls_nvm::LatencyModel;
 
 const VALUE_LEN: usize = 100;
@@ -107,7 +108,7 @@ fn run_linux(opts: &BenchOpts, wal: bool, mix: YcsbMix, ops: u64) -> f64 {
 fn main() {
     let opts = BenchOpts::from_args();
     let ops = if opts.full { 200_000 } else { 3_000 };
-    println!("Figure 13: YCSB on Redis — throughput (Kops/s)\n");
+    let mut sink = Sink::new("fig13", "Figure 13: YCSB on Redis — throughput (Kops/s)", &opts);
     let mut table = Table::new(&[
         "Workload", "TreeSLS-base", "TreeSLS-1ms", "Linux-base", "Linux-WAL",
     ]);
@@ -124,7 +125,8 @@ fn main() {
             format!("{:.1}", lw / 1e3),
         ]);
     }
-    table.print();
-    println!("\n(Linux runs the same store code without a kernel boundary; compare");
-    println!(" ratios within a column family, as the paper does.)");
+    sink.table("throughput", table);
+    sink.note("(Linux runs the same store code without a kernel boundary; compare");
+    sink.note(" ratios within a column family, as the paper does.)");
+    sink.finish();
 }

@@ -18,6 +18,7 @@ use treesls_baselines::{AuroraConfig, AuroraSls};
 use treesls_bench::harness::BenchOpts;
 use treesls_bench::ringsetup::{deploy_lsm, ShardGeometry};
 use treesls_bench::table::Table;
+use treesls_bench::Sink;
 use treesls_nvm::LatencyModel;
 
 const VALUE_LEN: usize = 100;
@@ -122,7 +123,7 @@ fn run_aurora(mode: AuroraMode, label: &str, ops: u64) -> Outcome {
 fn main() {
     let opts = BenchOpts::from_args();
     let ops = if opts.full { 500_000 } else { 20_000 };
-    println!("Figure 14: RocksDB with Facebook Prefix_dist\n");
+    let mut sink = Sink::new("fig14", "Figure 14: RocksDB with Facebook Prefix_dist", &opts);
     let results = vec![
         run_treesls(&opts, None, "TreeSLS-base", ops),
         run_treesls(&opts, Some(Duration::from_millis(5)), "TreeSLS-5ms", ops),
@@ -143,7 +144,8 @@ fn main() {
             format!("{:.2}", r.p99 as f64 / 1e3),
         ]);
     }
-    table.print();
-    println!("\n(Aurora runs the same LSM code as a host process — compare within");
-    println!(" column families: ckpt overhead vs base, API/WAL vs transparent.)");
+    sink.table("throughput_latency", table);
+    sink.note("(Aurora runs the same LSM code as a host process — compare within");
+    sink.note(" column families: ckpt overhead vs base, API/WAL vs transparent.)");
+    sink.finish();
 }

@@ -3,19 +3,29 @@
 //! Two bars per workload in the paper: the main checkpointing procedure
 //! (IPI handling, capability-tree copy, others) and the parallel
 //! hybrid-copy time on the other cores. Reports per-round means after a
-//! warm-up (the paper plots incremental rounds at 1000 Hz).
+//! warm-up (the paper plots incremental rounds at 1000 Hz), plus the
+//! pause-time distribution from the metrics registry's histogram (the
+//! "checkpointing can be done within 1 ms" claim is about the *tail*,
+//! not the mean).
 
 use std::time::Duration;
 
 use treesls_bench::harness::{build, BenchOpts};
-use treesls_bench::table::{us, Table};
-use treesls_bench::WorkloadKind;
+use treesls_bench::table::{ns_as_us, us, Table};
+use treesls_bench::{Sink, WorkloadKind};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("Figure 9a: STW checkpoint time breakdown (µs, mean over rounds)\n");
+    let mut sink = Sink::new(
+        "fig9a",
+        "Figure 9a: STW checkpoint time breakdown (µs, mean over rounds)",
+        &opts,
+    );
     let mut table = Table::new(&[
         "Workload", "IPI", "CapTree", "Others", "MainTotal", "HybridCopy", "Rounds",
+    ]);
+    let mut pauses = Table::new(&[
+        "Workload", "Count", "Mean", "P50<=", "P95<=", "P99<=", "Max",
     ]);
     for kind in WorkloadKind::TABLE2 {
         let mut bench = build(kind, &opts);
@@ -45,7 +55,22 @@ fn main() {
             us(hybrid),
             format!("{n}"),
         ]);
+        // Quantiles are log2-bucket upper bounds (≤), the max is exact —
+        // see OBSERVABILITY.md. The histogram covers *all* rounds
+        // including warm-up, like a production registry would.
+        let p = bench.sys.metrics_snapshot().pause;
+        pauses.row(vec![
+            kind.label().to_string(),
+            format!("{}", p.count),
+            ns_as_us(p.mean_ns),
+            ns_as_us(p.p50_ns),
+            ns_as_us(p.p95_ns),
+            ns_as_us(p.p99_ns),
+            ns_as_us(p.max_ns),
+        ]);
     }
-    table.print();
-    println!("\n(MainTotal = left bar; HybridCopy = right bar, busy/cores approximation)");
+    sink.table("breakdown", table);
+    sink.table("pause_histogram_us", pauses);
+    sink.note("(MainTotal = left bar; HybridCopy = right bar, busy/cores approximation)");
+    sink.finish();
 }

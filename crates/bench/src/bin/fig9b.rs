@@ -12,11 +12,15 @@ use std::time::Duration;
 use treesls::ObjType;
 use treesls_bench::harness::{build, BenchOpts};
 use treesls_bench::table::{us, Table};
-use treesls_bench::WorkloadKind;
+use treesls_bench::{Sink, WorkloadKind};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("Figure 9b: capability-tree checkpoint time by object type (µs/round)\n");
+    let mut sink = Sink::new(
+        "fig9b",
+        "Figure 9b: capability-tree checkpoint time by object type (µs/round)",
+        &opts,
+    );
     let mut table = Table::new(&[
         "Workload", "CapGroup", "Thread", "IPC", "Noti", "PMO", "VMSpace", "Total",
     ]);
@@ -52,5 +56,6 @@ fn main() {
         row.push(us(total));
         table.row(row);
     }
-    table.print();
+    sink.table("per_type", table);
+    sink.finish();
 }

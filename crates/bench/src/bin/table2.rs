@@ -13,11 +13,15 @@ use std::time::Duration;
 use treesls::ObjType;
 use treesls_bench::harness::{build, BenchOpts};
 use treesls_bench::table::{mib, Table};
-use treesls_bench::WorkloadKind;
+use treesls_bench::{Sink, WorkloadKind};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("Table 2: workload object composition and size (this reproduction)\n");
+    let mut sink = Sink::new(
+        "table2",
+        "Table 2: workload object composition and size (this reproduction)",
+        &opts,
+    );
     let mut table = Table::new(&[
         "Workload", "C.G.", "Thread", "IPC", "Noti.", "PMO", "VMS", "App(MiB)", "Ckpt(MiB)",
     ]);
@@ -53,5 +57,6 @@ fn main() {
             baseline = Some(census);
         }
     }
-    table.print();
+    sink.table("composition", table);
+    sink.finish();
 }

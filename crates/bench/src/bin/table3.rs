@@ -11,7 +11,7 @@ use std::time::Duration;
 use treesls::{ObjType, System};
 use treesls_bench::harness::{build, BenchOpts};
 use treesls_bench::table::{us, Table};
-use treesls_bench::WorkloadKind;
+use treesls_bench::{Sink, WorkloadKind};
 use treesls_checkpoint::ObjectTimeTable;
 
 fn main() {
@@ -45,7 +45,8 @@ fn main() {
         }
     }
 
-    println!("Table 3: checkpoint/restore time of a single object (µs)\n");
+    let mut sink =
+        Sink::new("table3", "Table 3: checkpoint/restore time of a single object (µs)", &opts);
     let mut table = Table::new(&[
         "Object", "Incr Min", "Incr Max", "Full Min", "Full Max", "Rest Min", "Rest Max",
     ]);
@@ -67,5 +68,6 @@ fn main() {
             cell(&agg.restore, true),
         ]);
     }
-    table.print();
+    sink.table("per_object_times", table);
+    sink.finish();
 }

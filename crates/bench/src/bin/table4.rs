@@ -8,11 +8,12 @@ use std::time::Duration;
 
 use treesls_bench::harness::{build, BenchOpts};
 use treesls_bench::table::Table;
-use treesls_bench::WorkloadKind;
+use treesls_bench::{Sink, WorkloadKind};
 
 fn main() {
     let opts = BenchOpts::from_args();
-    println!("Table 4: effect of hybrid memory checkpoint (per-interval means)\n");
+    let mut sink =
+        Sink::new("table4", "Table 4: effect of hybrid memory checkpoint (per-interval means)", &opts);
     let mut table = Table::new(&[
         "Metric", "Memcached", "Redis", "KMeans", "PCA",
     ]);
@@ -67,5 +68,6 @@ fn main() {
             cols[3][i].clone(),
         ]);
     }
-    table.print();
+    sink.table("hybrid_effect", table);
+    sink.finish();
 }

@@ -89,6 +89,8 @@ pub struct BenchOpts {
     pub full: bool,
     /// Calibrated NVM latency injection.
     pub optane: bool,
+    /// Also write `results/BENCH_<name>.json` (see `sink`).
+    pub json: bool,
 }
 
 impl Default for BenchOpts {
@@ -103,12 +105,14 @@ impl Default for BenchOpts {
             do_copy: true,
             full: false,
             optane: false,
+            json: false,
         }
     }
 }
 
 impl BenchOpts {
-    /// Parses common CLI flags (`--full`, `--optane`, `--cores N`).
+    /// Parses common CLI flags (`--full`, `--optane`, `--cores N`,
+    /// `--json`).
     pub fn from_args() -> Self {
         let mut o = Self::default();
         let args: Vec<String> = std::env::args().collect();
@@ -116,6 +120,7 @@ impl BenchOpts {
             match a.as_str() {
                 "--full" => o.full = true,
                 "--optane" => o.optane = true,
+                "--json" => o.json = true,
                 "--cores" => {
                     if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         o.cores = n;

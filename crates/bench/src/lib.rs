@@ -12,6 +12,8 @@
 
 pub mod harness;
 pub mod ringsetup;
+pub mod sink;
 pub mod table;
 
 pub use harness::{BenchSystem, WorkloadKind};
+pub use sink::{Sink, SCHEMA_VERSION};

@@ -19,6 +19,16 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers (for serialization by the result sink).
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The appended rows (for serialization by the result sink).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let ncols = self.header.len();

@@ -1,0 +1,79 @@
+//! Measures the hot-path cost of the observability layer.
+//!
+//! Runs the same checkpoint loop twice-buildable: once with the `metrics`
+//! feature (default) and once with `--no-default-features`, where every
+//! registry hook and flight-recorder consumer above the raw ring compiles
+//! to a no-op. Comparing the reported pause statistics between the two
+//! builds gives the number EXPERIMENTS.md quotes:
+//!
+//! ```text
+//! cargo run --release -p treesls-checkpoint --example metrics_overhead
+//! cargo run --release -p treesls-checkpoint --example metrics_overhead \
+//!     --no-default-features
+//! ```
+
+use std::sync::Arc;
+
+use treesls_checkpoint::CheckpointManager;
+use treesls_kernel::cap::CapRights;
+use treesls_kernel::cores::StwController;
+use treesls_kernel::pmo::PmoKind;
+use treesls_kernel::types::{Vaddr, Vpn};
+use treesls_kernel::{Kernel, KernelConfig};
+use treesls_nvm::PAGE_SIZE;
+
+const ROUNDS: usize = 2000;
+const WARMUP: usize = 50;
+const DIRTY_PAGES: usize = 64;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let config = KernelConfig { nvm_frames: 8192, dram_pages: 512, ..KernelConfig::default() };
+    let kernel = Kernel::boot(config);
+    let stw = Arc::new(StwController::new());
+    let mgr = CheckpointManager::new(Arc::clone(&kernel), stw);
+
+    let g = kernel.create_cap_group("overhead").unwrap();
+    let vs = kernel.create_vmspace(g).unwrap();
+    let pmo = kernel.create_pmo(g, 256, PmoKind::Data).unwrap();
+    kernel.map_region(vs, Vpn(0), 256, pmo, 0, CapRights::ALL).unwrap();
+
+    let mut pauses = Vec::with_capacity(ROUNDS);
+    for round in 0..(WARMUP + ROUNDS) {
+        // Dirty a fixed working set so every round does the same CoW work.
+        for page in 0..DIRTY_PAGES {
+            let addr = (page * PAGE_SIZE) as u64;
+            kernel.vm_write(vs, Vaddr(addr), &(round as u64).to_le_bytes()).unwrap();
+        }
+        let breakdown = mgr.checkpoint().unwrap();
+        if round >= WARMUP {
+            pauses.push(breakdown.total_pause.as_nanos() as u64);
+        }
+    }
+
+    pauses.sort_unstable();
+    let sum: u64 = pauses.iter().sum();
+    let metrics_state =
+        if cfg!(feature = "metrics") { "metrics ON (default)" } else { "metrics OFF (no-default-features)" };
+    println!("metrics_overhead: {metrics_state}");
+    println!("  rounds          {ROUNDS} (after {WARMUP} warmup), {DIRTY_PAGES} dirty pages/round");
+    println!("  pause mean      {} ns", sum / pauses.len() as u64);
+    println!("  pause p50       {} ns", percentile(&pauses, 0.50));
+    println!("  pause p95       {} ns", percentile(&pauses, 0.95));
+    println!("  pause p99       {} ns", percentile(&pauses, 0.99));
+    println!("  pause max       {} ns", pauses[pauses.len() - 1]);
+
+    // With metrics on, cross-check the registry's histogram against the
+    // exact samples: quantiles are log2-bucket upper bounds, so they must
+    // bracket the exact values from above within one bucket.
+    #[cfg(feature = "metrics")]
+    {
+        let stats = kernel.metrics.pause_histogram().stats();
+        println!("  registry view   count={} mean={} ns p50<={} p95<={} p99<={} max={}",
+            stats.count, stats.mean_ns, stats.p50_ns, stats.p95_ns, stats.p99_ns, stats.max_ns);
+    }
+}

@@ -89,6 +89,10 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
                 meta.dirty = false;
                 meta.idle_rounds = 0;
                 counters.migrated_in.fetch_add(1, Ordering::Relaxed);
+                kernel.pers.recorder().record(
+                    treesls_obs::EventKind::HybridMigrateIn,
+                    [home.0 as u64, inflight, d.0 as u64, 0, 0, 0],
+                );
             }
             None => {
                 // DRAM cache full: give up on this page.
@@ -116,6 +120,11 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
         meta.dirty = false;
         meta.idle_rounds = 0;
         counters.sac_copies.fetch_add(1, Ordering::Relaxed);
+        kernel.metrics.record_backup_page(inflight);
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::HybridSacCopy,
+            [frame.0 as u64, inflight, d.0 as u64, 0, 0, 0],
+        );
     } else {
         meta.idle_rounds += 1;
         if meta.idle_rounds >= kernel.config.idle_evict_rounds {
@@ -154,6 +163,11 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
             meta.on_active_list = false;
             meta.hotness = 0;
             counters.evicted.fetch_add(1, Ordering::Relaxed);
+            let home = meta.pairs[1].map_or(0, |p| p.frame.0 as u64);
+            kernel.pers.recorder().record(
+                treesls_obs::EventKind::HybridEvict,
+                [home, inflight, 0, 0, 0, 0],
+            );
         }
     }
 }

@@ -16,8 +16,8 @@
 //! 5. ❺ the leader resumes the world, then invokes the registered
 //!    checkpoint callbacks (transparent external synchrony, §5).
 //!
-//! [`restore`] rebuilds a whole runtime system from the backup tree after a
-//! simulated power failure (step ❼).
+//! [`restore()`] rebuilds a whole runtime system from the backup tree after
+//! a simulated power failure (step ❼).
 
 pub mod hybrid;
 pub mod restore;
@@ -85,8 +85,8 @@ pub struct CheckpointManager {
     stw: Arc<StwController>,
     /// Table 3 aggregates.
     pub table: Mutex<ObjectTimeTable>,
-    /// Figure 9a/9b breakdowns, most recent last; once [`HISTORY_CAP`]
-    /// records accumulate the oldest is evicted, so long runs keep the
+    /// Figure 9a/9b breakdowns, most recent last; once 65536 records
+    /// accumulate the oldest is evicted, so long runs keep the
     /// steady-state tail rather than the warm-up prefix.
     pub breakdowns: Mutex<VecDeque<StwBreakdown>>,
     /// Table 4 per-round hybrid stats, most recent last (bounded like
@@ -159,6 +159,10 @@ impl CheckpointManager {
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
 
         let sched = kernel.pers.dev.crash_schedule();
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::CkptBegin,
+            [inflight, kernel.tracker.active_len() as u64, 0, 0, 0, 0],
+        );
         let t_pause = Instant::now();
         // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸).
         let ipi = self.stw.stop_world(work, kernel);
@@ -204,6 +208,27 @@ impl CheckpointManager {
         // ❺ Resume.
         self.stw.resume_world();
         let total_pause = t_pause.elapsed();
+
+        // Telemetry (outside the pause): one flight-recorder slot with the
+        // per-phase durations, plus the registry's counters and pause
+        // histogram.
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::CkptCommit,
+            [
+                inflight,
+                ipi.as_nanos() as u64,
+                (cap_tree + mark).as_nanos() as u64,
+                others.as_nanos() as u64,
+                counters.busy_ns.load(Ordering::Relaxed),
+                total_pause.as_nanos() as u64,
+            ],
+        );
+        kernel.metrics.record_checkpoint(total_pause.as_nanos() as u64);
+        kernel.metrics.record_hybrid(
+            counters.migrated_in.load(Ordering::Relaxed),
+            counters.sac_copies.load(Ordering::Relaxed),
+            counters.evicted.load(Ordering::Relaxed),
+        );
 
         // External synchrony callbacks (outside the pause).
         treesls_nvm::crash_site!(sched, "ckpt.pre_callbacks");

@@ -91,6 +91,11 @@ pub struct RecoveryReport {
     pub quarantined: Vec<QuarantinedPage>,
     /// Torn/corrupt allocator-journal tail records dropped during replay.
     pub journal_records_truncated: u64,
+    /// Flight-recorder events that survived the crash, oldest first — the
+    /// last N things the system did before the cut (post-crash forensics;
+    /// see `treesls-obs`). A torn tail slot fails its CRC and is absent,
+    /// never mis-parsed. Not consulted by [`is_clean`](Self::is_clean).
+    pub flight_events: Vec<treesls_obs::FlightEvent>,
 }
 
 impl RecoveryReport {
@@ -142,6 +147,7 @@ pub fn restore(
     let mut recovery = RecoveryReport {
         commit: pers.commit_recovery(),
         journal_records_truncated: pers.alloc.journal_truncated(),
+        flight_events: pers.take_recovered_events(),
         ..RecoveryReport::default()
     };
     let root_oroot = pers
@@ -251,6 +257,33 @@ pub fn restore(
     // ---- allocator mark-and-sweep --------------------------------------------
     let (blocks, slabs) = collect_reachable(&kernel);
     kernel.pers.alloc.rebuild(&blocks, &slabs)?;
+
+    // Log the recovery itself into the (persistent) flight recorder so the
+    // *next* crash's forensics include this restore and its degradations.
+    for q in &recovery.quarantined {
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::Quarantine,
+            [q.oroot.to_raw(), q.index, q.frame.0 as u64, 0, 0, 0],
+        );
+    }
+    if recovery.journal_records_truncated > 0 {
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::JournalTruncate,
+            [recovery.journal_records_truncated, 0, 0, 0, 0, 0],
+        );
+    }
+    kernel.pers.recorder().record(
+        treesls_obs::EventKind::Restore,
+        [
+            global,
+            reachable.len() as u64,
+            pages_revived as u64,
+            recovery.pages_fell_back as u64,
+            0,
+            0,
+        ],
+    );
+    kernel.metrics.record_restore();
 
     let version = global;
     let report = RestoreReport {

@@ -37,6 +37,10 @@ pub use treesls_checkpoint::{
     StwBreakdown,
 };
 pub use treesls_extsync as extsync;
+pub use treesls_obs::{
+    EventKind, FlightEvent, FlightRecorder, Json, JsonError, MetricsRegistry, MetricsSnapshot,
+    PauseStats, SLOT_LEN,
+};
 pub use treesls_kernel::cap::CapRights;
 pub use treesls_kernel::kernel::LatencyProfile;
 pub use treesls_kernel::object::ObjType;

@@ -174,6 +174,30 @@ impl System {
         self.mgr.checkpoint()
     }
 
+    /// One consistent observability snapshot of the whole machine.
+    ///
+    /// Merges the kernel's [`MetricsRegistry`](treesls_obs::MetricsRegistry)
+    /// (checkpoint/hybrid/ext-sync counters and the pause histogram) with
+    /// the fault counters, the NVM device counters and the allocator
+    /// journal stats that live outside the registry. Snapshots are plain
+    /// values: diff two with [`MetricsSnapshot::since`](
+    /// treesls_obs::MetricsSnapshot::since) to scope counters to an
+    /// interval, or serialize with `to_json()`.
+    pub fn metrics_snapshot(&self) -> treesls_obs::MetricsSnapshot {
+        let mut snap = self.kernel.metrics.snapshot();
+        let faults = self.kernel.stats.snapshot();
+        snap.write_faults = faults.write_faults;
+        snap.minor_faults = faults.minor_faults;
+        snap.cow_copies = faults.cow_copies;
+        let nvm = self.kernel.pers.dev.stats().snapshot();
+        snap.nvm_bytes_written = nvm.bytes_written;
+        snap.nvm_bytes_read = nvm.bytes_read;
+        snap.nvm_page_copies = nvm.page_copies;
+        snap.journal_high_water = self.kernel.pers.alloc.journal_high_water();
+        snap.journal_truncated = self.kernel.pers.alloc.journal_truncated();
+        snap
+    }
+
     /// Spawns a process from a spec.
     pub fn spawn(&self, spec: &ProcessSpec) -> Result<ProcessHandle, KernelError> {
         let kernel = &self.kernel;

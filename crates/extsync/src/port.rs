@@ -261,6 +261,24 @@ impl CkptCallback for NetPort {
             let prev = self.prev_cursor_sample.swap(cursor, Ordering::SeqCst);
             let _ = ring::set_header(&self.io, &self.layout.rx, hdr::ACK, prev);
         }
+        // Observe the TX ring right after the publish: depth (unreleased
+        // responses) and visible-lag (produced but still held back) are the
+        // external-synchrony cost the paper's §5 evaluation reports.
+        if let (Ok(writer), Ok(visible), Ok(ack)) = (
+            ring::header(&self.io, &self.layout.tx, hdr::WRITER),
+            ring::header(&self.io, &self.layout.tx, hdr::VISIBLE_WRITER),
+            ring::header(&self.io, &self.layout.tx, hdr::ACK),
+        ) {
+            let kernel = &self.io.kernel;
+            kernel.metrics.record_ring_publish();
+            kernel
+                .metrics
+                .set_ring_gauges(writer.saturating_sub(ack), writer.saturating_sub(visible));
+            kernel.pers.recorder().record(
+                treesls_obs::EventKind::RingPublish,
+                [version, writer, visible, ack, 0, 0],
+            );
+        }
         self.cv.notify_all();
     }
 

@@ -281,6 +281,11 @@ impl Kernel {
             self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
             let crc = self.pers.dev.page_crc(dst);
             meta.pairs[0] = Some(PagePtr::backup(dst, global, crc));
+            self.metrics.record_backup_page(global);
+            self.pers.recorder().record(
+                treesls_obs::EventKind::CowFault,
+                [dst.0 as u64, global, runtime.0 as u64, 0, 0, 0],
+            );
         }
         meta.writable = true;
         meta.hotness = meta.hotness.saturating_add(1);

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use treesls_nvm::{DramPool, LatencyModel, NvmDevice, ObjectStore};
+use treesls_obs::{FlightEvent, FlightRecorder, MetricsRegistry};
 use treesls_pmem_alloc::{AllocLayout, PmemAllocator};
 
 use crate::cap::{CapGroupBody, CapRights, Capability};
@@ -186,6 +187,11 @@ pub struct Persistent {
     cached_count: AtomicU64,
     /// Commit-record validation outcome of the last recovery.
     commit_recovery: CommitRecovery,
+    /// Persistent flight recorder (event ring in the metadata arena).
+    recorder: FlightRecorder,
+    /// Flight-recorder events that survived the last crash, captured at
+    /// recovery; the restore path drains them into its `RecoveryReport`.
+    recovered_tail: Mutex<Vec<FlightEvent>>,
 }
 
 impl Persistent {
@@ -204,6 +210,7 @@ impl Persistent {
         // all-zero (invalid CRC) until the first odd version commits.
         let genesis = CommitRecord { version: 0, root_oroot: u64::MAX, ckpt_count: 0 };
         Self::write_commit_record(&dev, &genesis);
+        let recorder = FlightRecorder::format(&dev, layout.recorder_off, layout.recorder_slots);
         Arc::new(Self {
             dev,
             alloc,
@@ -213,6 +220,8 @@ impl Persistent {
             staged_root: AtomicU64::new(u64::MAX),
             cached_count: AtomicU64::new(0),
             commit_recovery: CommitRecovery::default(),
+            recorder,
+            recovered_tail: Mutex::new(Vec::new()),
         })
     }
 
@@ -287,6 +296,8 @@ impl Persistent {
         let layout = AllocLayout::for_device(0, nvm_frames);
         let alloc = Arc::new(PmemAllocator::recover(Arc::clone(&dev), layout));
         let (rec, commit_recovery) = Self::validate_commit_records(&dev);
+        let (recorder, tail) =
+            FlightRecorder::recover(&dev, layout.recorder_off, layout.recorder_slots);
         Arc::new(Self {
             dev,
             alloc,
@@ -296,6 +307,8 @@ impl Persistent {
             staged_root: AtomicU64::new(rec.root_oroot),
             cached_count: AtomicU64::new(rec.ckpt_count),
             commit_recovery,
+            recorder,
+            recovered_tail: Mutex::new(tail),
         })
     }
 
@@ -303,6 +316,19 @@ impl Persistent {
     /// state (all-zero for a freshly formatted device).
     pub fn commit_recovery(&self) -> CommitRecovery {
         self.commit_recovery
+    }
+
+    /// The persistent flight recorder (see `treesls-obs`): a CRC-tagged
+    /// event ring in the metadata arena that survives crashes.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Drains the flight-recorder events that survived the last crash
+    /// (empty on a fresh format, and after the first call). The restore
+    /// path publishes them in its `RecoveryReport` for forensics.
+    pub fn take_recovered_events(&self) -> Vec<FlightEvent> {
+        std::mem::take(&mut self.recovered_tail.lock())
     }
 
     /// Re-validates both commit-record slots against NVM *now*, returning
@@ -382,6 +408,9 @@ pub struct Kernel {
     pub tracker: PageTracker,
     /// Fault/copy counters and timers (Figure 10 / Table 4).
     pub stats: KernelStats,
+    /// Cross-cutting metrics registry (see `treesls-obs`), shared with the
+    /// checkpoint manager and the external-synchrony layer.
+    pub metrics: Arc<MetricsRegistry>,
     /// IRQ line → IrqNotification object (volatile; rebuilt on restore).
     pub irq_lines: Mutex<HashMap<u32, ObjId>>,
     /// Boot configuration.
@@ -411,6 +440,7 @@ impl Kernel {
             programs: ProgramRegistry::new(),
             tracker: PageTracker::new(),
             stats: KernelStats::new(),
+            metrics: Arc::new(MetricsRegistry::new()),
             irq_lines: Mutex::new(HashMap::new()),
             config,
         })

@@ -80,6 +80,8 @@ pub struct Journal {
     next_tx: u64,
     /// Torn/corrupt tail records dropped by the last recovery.
     truncated: u64,
+    /// Most records any single transaction has logged (capacity telemetry).
+    high_water: u64,
 }
 
 impl Journal {
@@ -95,7 +97,14 @@ impl Journal {
         meta.write_u64(off + 8, 0);
         meta.flush(off, HDR_SIZE);
         meta.fence();
-        Self { off, cap, next_tx: 1, truncated: 0 }
+        Self { off, cap, next_tx: 1, truncated: 0, high_water: 0 }
+    }
+
+    /// Most undo records any single transaction has logged since this
+    /// handle was created — how close the journal has come to its
+    /// [`region_len`](Self::region_len) capacity.
+    pub fn high_water_records(&self) -> u64 {
+        self.high_water
     }
 
     /// Torn/corrupt tail records dropped during the last `recover` (0 for
@@ -138,7 +147,7 @@ impl Journal {
             meta.flush(off, HDR_SIZE);
             meta.fence();
         }
-        Self { off, cap, next_tx: txid.wrapping_add(1).max(1), truncated }
+        Self { off, cap, next_tx: txid.wrapping_add(1).max(1), truncated, high_water: 0 }
     }
 
     /// Runs `f` inside a journal transaction.
@@ -161,6 +170,7 @@ impl Journal {
         self.next_tx = self.next_tx.wrapping_add(1).max(1);
         let mut tx = Tx { dev, off: self.off, cap: self.cap, count: 0 };
         let result = f(&mut tx);
+        self.high_water = self.high_water.max(tx.count as u64);
         match result {
             Ok(v) => {
                 treesls_nvm::crash_site!(dev.crash_schedule(), "journal.pre_commit");

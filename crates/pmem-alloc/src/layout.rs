@@ -33,6 +33,11 @@ pub struct AllocLayout {
     pub buddy_off: usize,
     /// Offset of the slab region (class heads + per-frame descriptors).
     pub slab_off: usize,
+    /// Offset of the flight-recorder event ring (cache-line aligned; see
+    /// `treesls-obs`).
+    pub recorder_off: usize,
+    /// Capacity of the flight-recorder ring in 64-byte slots.
+    pub recorder_slots: usize,
     /// Total metadata bytes consumed (for arena sizing).
     pub end_off: usize,
 }
@@ -48,6 +53,16 @@ impl AllocLayout {
     /// handful more. 512 records is an order of magnitude of headroom.
     pub const DEFAULT_JOURNAL_RECORDS: usize = 512;
 
+    /// Size of one flight-recorder slot in bytes (one cache line).
+    ///
+    /// Must equal `treesls_obs::SLOT_LEN`; the recorder's append is a
+    /// single-cache-line store, which is what makes it atomic-or-absent
+    /// under every persistence model (see `OBSERVABILITY.md`).
+    pub const RECORDER_SLOT_LEN: usize = 64;
+
+    /// Default flight-recorder capacity in slots (16 KiB of arena).
+    pub const DEFAULT_RECORDER_SLOTS: usize = 256;
+
     /// Computes the layout for a device managing `frame_count` frames
     /// starting at frame `first_frame`.
     pub fn for_device(first_frame: u32, frame_count: u32) -> Self {
@@ -58,8 +73,20 @@ impl AllocLayout {
         let buddy_len = crate::buddy::Buddy::region_len(frame_count);
         let slab_off = align8(buddy_off + buddy_len);
         let slab_len = crate::slab::SlabHeap::region_len(frame_count);
-        let end_off = align8(slab_off + slab_len);
-        Self { first_frame, frame_count, journal_off, journal_records, buddy_off, slab_off, end_off }
+        let recorder_off = align_to(slab_off + slab_len, Self::RECORDER_SLOT_LEN);
+        let recorder_slots = Self::DEFAULT_RECORDER_SLOTS;
+        let end_off = align8(recorder_off + recorder_slots * Self::RECORDER_SLOT_LEN);
+        Self {
+            first_frame,
+            frame_count,
+            journal_off,
+            journal_records,
+            buddy_off,
+            slab_off,
+            recorder_off,
+            recorder_slots,
+            end_off,
+        }
     }
 
     /// Returns the minimum metadata-arena length for `frame_count` frames.
@@ -72,6 +99,11 @@ pub(crate) fn align8(x: usize) -> usize {
     (x + 7) & !7
 }
 
+/// Rounds `x` up to a multiple of `to` (a power of two).
+fn align_to(x: usize, to: usize) -> usize {
+    (x + to - 1) & !(to - 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,7 +114,17 @@ mod tests {
         assert!(l.journal_off >= AllocLayout::GLOBAL_META_RESERVED);
         assert!(l.buddy_off > l.journal_off);
         assert!(l.slab_off > l.buddy_off);
-        assert!(l.end_off > l.slab_off);
+        assert!(l.recorder_off > l.slab_off);
+        assert!(l.end_off >= l.recorder_off + l.recorder_slots * AllocLayout::RECORDER_SLOT_LEN);
+    }
+
+    #[test]
+    fn recorder_region_is_cache_line_aligned() {
+        for frames in [64u32, 1024, 16384] {
+            let l = AllocLayout::for_device(0, frames);
+            assert_eq!(l.recorder_off % AllocLayout::RECORDER_SLOT_LEN, 0);
+            assert_eq!(l.recorder_slots, AllocLayout::DEFAULT_RECORDER_SLOTS);
+        }
     }
 
     #[test]

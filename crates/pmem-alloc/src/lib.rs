@@ -195,6 +195,12 @@ impl PmemAllocator {
         self.inner.lock().journal.truncated_records()
     }
 
+    /// Most undo records any single transaction has logged since boot —
+    /// the journal-capacity telemetry surfaced by the metrics registry.
+    pub fn journal_high_water(&self) -> u64 {
+        self.inner.lock().journal.high_water_records()
+    }
+
     /// The device this allocator manages.
     pub fn device(&self) -> &Arc<NvmDevice> {
         &self.dev
