@@ -1,0 +1,153 @@
+//! Pause-scaling regression bench: O(changes) checkpointing.
+//!
+//! Sweeps the *total* kernel object count while holding the per-round
+//! dirty working set fixed. Under the dirty-queue tree walk the
+//! stop-the-world pause must track the dirty set, not the tree size, so
+//! the median pause should stay flat across a 10× object-count growth
+//! (the O(objects) full walk it replaces grows linearly here).
+//!
+//! Flags beyond the common set: `--rounds N` (measured checkpoints per
+//! size), `--gate R` (exit nonzero if `median(largest)/median(smallest)`
+//! exceeds `R` — the CI perf-smoke job passes `--gate 1.5`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::table::{us, Table};
+use treesls_bench::Sink;
+use treesls_checkpoint::CheckpointManager;
+use treesls_kernel::cores::StwController;
+use treesls_kernel::types::ObjId;
+use treesls_kernel::{Kernel, KernelConfig};
+
+/// Objects mutated per round, at every tree size.
+const DIRTY_SET: usize = 64;
+
+/// Total-object sweep: smallest → largest is the 10× growth the gate
+/// compares across.
+const SIZES: [usize; 4] = [250, 500, 1000, 2500];
+
+struct SizeResult {
+    objects: usize,
+    median: Duration,
+    p95: Duration,
+    max: Duration,
+    drained_per_round: u64,
+    full_walks: u64,
+}
+
+fn run_size(objects: usize, rounds: usize) -> SizeResult {
+    let kernel = Kernel::boot(KernelConfig {
+        nvm_frames: 16_384,
+        dram_pages: 256,
+        // Measure the dirty walk alone: no periodic full-walk rounds.
+        full_walk_interval: 0,
+        ..KernelConfig::default()
+    });
+    let stw = Arc::new(StwController::new());
+    let mgr = CheckpointManager::new(Arc::clone(&kernel), stw);
+    let g = kernel.create_cap_group("scale").expect("cap group");
+    let notifs: Vec<ObjId> =
+        (0..objects).map(|_| kernel.create_notification(g).expect("notification")).collect();
+    // First checkpoint persists the whole fresh tree; second settles any
+    // deferred work so the measured rounds start from a clean queue.
+    mgr.checkpoint().expect("initial checkpoint");
+    mgr.checkpoint().expect("settle checkpoint");
+    let base = kernel.metrics.snapshot();
+
+    let mut pauses: Vec<Duration> = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        // Touch a fixed-size working set, spread deterministically across
+        // the tree so shard and slot locality do not favour one size.
+        for d in 0..DIRTY_SET {
+            let idx = (r.wrapping_mul(17) + d.wrapping_mul(31)) % objects;
+            kernel.signal_object(notifs[idx]).expect("signal");
+        }
+        let b = mgr.checkpoint().expect("measured checkpoint");
+        pauses.push(b.total_pause);
+    }
+    let snap = kernel.metrics.snapshot().since(&base);
+    pauses.sort();
+    SizeResult {
+        objects,
+        median: pauses[pauses.len() / 2],
+        p95: pauses[(pauses.len() * 95 / 100).min(pauses.len() - 1)],
+        max: *pauses.last().expect("rounds > 0"),
+        drained_per_round: snap.tree_dirty_drained / rounds as u64,
+        full_walks: snap.tree_full_walks,
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut rounds: usize = if opts.full { 100 } else { 40 };
+    let mut gate: Option<f64> = None;
+    for (i, a) in args.iter().enumerate() {
+        match a.as_str() {
+            "--rounds" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    rounds = n;
+                }
+            }
+            "--gate" => {
+                gate = args.get(i + 1).and_then(|s| s.parse().ok());
+            }
+            _ => {}
+        }
+    }
+
+    let mut sink = Sink::new(
+        "scaling",
+        "Pause scaling: total objects sweep at a fixed dirty working set",
+        &opts,
+    );
+    let mut table = Table::new(&[
+        "Objects", "Dirty/round", "Rounds", "MedianPause", "P95", "Max", "Drained/round",
+        "FullWalks",
+    ]);
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        let r = run_size(n, rounds);
+        table.row(vec![
+            format!("{}", r.objects),
+            format!("{DIRTY_SET}"),
+            format!("{rounds}"),
+            us(r.median),
+            us(r.p95),
+            us(r.max),
+            format!("{}", r.drained_per_round),
+            format!("{}", r.full_walks),
+        ]);
+        results.push(r);
+    }
+    sink.table("scaling", table);
+
+    let first = results.first().expect("sizes non-empty");
+    let last = results.last().expect("sizes non-empty");
+    let ratio = last.median.as_secs_f64() / first.median.as_secs_f64().max(1e-9);
+    let growth = last.objects as f64 / first.objects as f64;
+    let mut gate_table = Table::new(&["ObjectGrowth", "MedianPauseRatio", "Threshold", "Pass"]);
+    let pass = gate.is_none_or(|g| ratio <= g);
+    gate_table.row(vec![
+        format!("{growth:.1}x"),
+        format!("{ratio:.3}"),
+        gate.map_or("n/a".to_string(), |g| format!("{g:.2}")),
+        format!("{pass}"),
+    ]);
+    sink.table("gate", gate_table);
+    sink.note(&format!(
+        "(dirty-queue walk: pause tracks the {DIRTY_SET}-object working set, \
+         not the {growth:.0}x total-object growth)"
+    ));
+    sink.finish();
+
+    if !pass {
+        eprintln!(
+            "pause-scaling gate FAILED: median ratio {ratio:.3} > {:.2} across {growth:.1}x objects",
+            gate.expect("pass=false implies gate set")
+        );
+        std::process::exit(1);
+    }
+}

@@ -142,6 +142,8 @@ impl BenchOpts {
                 mark_ro: self.mark_ro,
                 do_copy: self.do_copy,
                 hybrid_copy: self.hybrid,
+                force_full_walk: false,
+                full_walk_interval: 64,
                 latency: if self.optane { LatencyProfile::Optane } else { LatencyProfile::Uniform },
             },
             cores: self.cores,

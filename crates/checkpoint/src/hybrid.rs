@@ -17,7 +17,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use treesls_kernel::cores::HybridWork;
 use treesls_kernel::pmo::{PagePtr, PageSlot};
@@ -38,25 +37,29 @@ pub struct RoundCounters {
 
 /// Builds the stop-the-world hybrid-copy batch from the active page list.
 ///
-/// Returns `None` when hybrid copy is disabled or the list is empty.
+/// The page items are *taken* from the tracker by pointer swap — O(1), no
+/// allocation proportional to the list inside the pause — and given back
+/// by [`compact_active_list`] after the round. CoW faults between the take
+/// and the pause land in the tracker's fresh list and are merged back at
+/// compaction (their `on_active_list` flag keeps them deduplicated).
+///
+/// Always returns a batch (possibly with zero page items) so the
+/// checkpoint leader can offload tree work to the quiesced cores even when
+/// hybrid copy is disabled.
 pub fn build_work(
     kernel: &Arc<Kernel>,
     inflight: u64,
     counters: Arc<RoundCounters>,
-) -> Option<Arc<HybridWork>> {
-    if !kernel.config.hybrid_copy {
-        return None;
-    }
-    let items: Vec<Arc<PageSlot>> = kernel.tracker.active_list.lock().clone();
-    if items.is_empty() {
-        return None;
-    }
+) -> Arc<HybridWork> {
+    let items: Vec<Arc<PageSlot>> = if kernel.config.hybrid_copy {
+        std::mem::take(&mut *kernel.tracker.active_list.lock())
+    } else {
+        Vec::new()
+    };
     let k = Arc::clone(kernel);
-    Some(HybridWork::new(items, move |slot| {
-        let t0 = Instant::now();
+    HybridWork::with_offload(items, move |slot| {
         process_slot(&k, slot, inflight, &counters);
-        counters.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    }))
+    })
 }
 
 /// Processes one active-list entry during the pause.
@@ -190,8 +193,46 @@ pub fn mark_readonly(kernel: &Kernel) -> usize {
 
 /// Compacts the active page list, dropping evicted entries, and returns
 /// the number of pages currently DRAM-cached (Table 4 "# of cached pages").
-pub fn compact_active_list(kernel: &Kernel) -> usize {
-    let mut list = kernel.tracker.active_list.lock();
-    list.retain(|s| s.meta.lock().on_active_list);
-    list.iter().filter(|s| s.meta.lock().is_migrated()).count()
+///
+/// When the round had a [`HybridWork`] batch, its taken items are the
+/// authoritative list: they are compacted with a *single* meta lock per
+/// slot (retain + cached-count folded into one pass), merged with any
+/// entries CoW faults appended to the tracker meanwhile, and the vector is
+/// swapped back into the tracker so its capacity is reused next round.
+pub fn compact_active_list(kernel: &Kernel, work: Option<&Arc<HybridWork>>) -> usize {
+    let Some(work) = work else {
+        let mut list = kernel.tracker.active_list.lock();
+        let mut cached = 0;
+        list.retain(|s| {
+            let meta = s.meta.lock();
+            if meta.on_active_list {
+                if meta.is_migrated() {
+                    cached += 1;
+                }
+                true
+            } else {
+                false
+            }
+        });
+        return cached;
+    };
+    let mut items = work.take_items();
+    let mut cached = 0;
+    items.retain(|s| {
+        let meta = s.meta.lock();
+        if meta.on_active_list {
+            if meta.is_migrated() {
+                cached += 1;
+            }
+            true
+        } else {
+            false
+        }
+    });
+    let mut cur = kernel.tracker.active_list.lock();
+    // Entries appended during the round (CoW faults before the pause) are
+    // new DRAM-cache candidates, not yet migrated: keep them, uncounted.
+    items.extend(cur.drain(..));
+    std::mem::swap(&mut *cur, &mut items);
+    cached
 }

@@ -164,8 +164,9 @@ impl CheckpointManager {
             [inflight, kernel.tracker.active_len() as u64, 0, 0, 0, 0],
         );
         let t_pause = Instant::now();
-        // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸).
-        let ipi = self.stw.stop_world(work, kernel);
+        // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸)
+        // and keep polling the batch's aux queue for offloaded tree work.
+        let ipi = self.stw.stop_world(Some(Arc::clone(&work)), kernel);
         treesls_nvm::crash_site!(sched, "ckpt.stw_stopped");
 
         // ❷ Leader: mark newly-changed pages read-only (attributed to VM
@@ -176,7 +177,7 @@ impl CheckpointManager {
         let mark = t_mark.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.marked_ro");
         let t_tree = Instant::now();
-        let tree_result = tree::checkpoint_tree(kernel, inflight);
+        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work));
         let cap_tree = t_tree.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.tree_copied");
 
@@ -185,11 +186,14 @@ impl CheckpointManager {
         self.stw.finish_hybrid_work();
         let hybrid_wait = t_hyb.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.hybrid_drained");
+        counters.busy_ns.store(work.busy_ns(), Ordering::Relaxed);
 
         let outcome = match tree_result {
             Ok(o) => o,
             Err(e) => {
-                // Abort: resume without committing.
+                // Abort: resume without committing — but still give the
+                // taken active list back to the tracker.
+                hybrid::compact_active_list(kernel, Some(&work));
                 self.stw.resume_world();
                 return Err(e);
             }
@@ -201,7 +205,7 @@ impl CheckpointManager {
         kernel.pers.commit_version(inflight);
         treesls_nvm::crash_site!(sched, "ckpt.post_commit");
         let _ = tree::sweep_deleted(kernel, inflight);
-        let cached = hybrid::compact_active_list(kernel);
+        let cached = hybrid::compact_active_list(kernel, Some(&work));
         let others = t_others.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.post_sweep");
 
@@ -228,6 +232,28 @@ impl CheckpointManager {
             counters.migrated_in.load(Ordering::Relaxed),
             counters.sac_copies.load(Ordering::Relaxed),
             counters.evicted.load(Ordering::Relaxed),
+        );
+        kernel.metrics.record_tree_walk(
+            outcome.full_walk,
+            outcome.dirty_drained as u64,
+            outcome.copied as u64,
+            outcome.offloaded as u64,
+            outcome.tombstoned as u64,
+        );
+        kernel.metrics.set_ckpt_gauges(
+            kernel.dirty_queue.depth(),
+            kernel.pers.oroots.contention() + kernel.pers.backups.contention(),
+        );
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::TreeWalk,
+            [
+                inflight,
+                u64::from(outcome.full_walk),
+                outcome.dirty_drained as u64,
+                outcome.copied as u64,
+                outcome.offloaded as u64,
+                outcome.tombstoned as u64,
+            ],
         );
 
         // External synchrony callbacks (outside the pause).
@@ -291,11 +317,14 @@ impl CheckpointManager {
         let inflight = kernel.pers.global_version() + 1;
         let counters = Arc::new(hybrid::RoundCounters::default());
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
-        self.stw.stop_world(work, kernel);
+        self.stw.stop_world(Some(Arc::clone(&work)), kernel);
         hybrid::mark_readonly(kernel);
-        let tree_result = tree::checkpoint_tree(kernel, inflight);
+        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work));
         self.stw.finish_hybrid_work();
-        // Power failure here: no commit, no sweep, no callbacks.
+        // Power failure here: no commit, no sweep, no callbacks — but the
+        // machine keeps running until the simulated crash, so the taken
+        // active list must go back to the tracker.
+        hybrid::compact_active_list(kernel, Some(&work));
         self.stw.resume_world();
         tree_result.map(|_| ())
     }
@@ -316,8 +345,8 @@ impl CheckpointManager {
             return Err("no committed checkpoint".into());
         };
         self.kernel.pers.alloc.verify()?;
-        let oroots = self.kernel.pers.oroots.lock();
-        let backups = self.kernel.pers.backups.lock();
+        let oroots = &self.kernel.pers.oroots;
+        let backups = &self.kernel.pers.backups;
         let frame_count = self.kernel.pers.dev.frame_count() as u32;
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![root];
@@ -326,71 +355,81 @@ impl CheckpointManager {
             if !seen.insert(id) {
                 continue;
             }
-            let r = oroots.get(id).ok_or_else(|| format!("dangling ORoot {id:?}"))?;
-            if !r.live_at(global) {
+            let Some((live, pick, otype)) =
+                oroots.with(id, |r| (r.live_at(global), r.restore_pick(global).map(|k| r.backups[k]), r.otype))
+            else {
+                return Err(format!("dangling ORoot {id:?}"));
+            };
+            if !live {
                 continue;
             }
-            let keep = r
-                .restore_pick(global)
+            let vb = pick
+                .flatten()
                 .ok_or_else(|| format!("ORoot {id:?}: no restorable backup at v{global}"))?;
-            let vb = r.backups[keep].ok_or_else(|| format!("ORoot {id:?}: empty pick"))?;
-            let record = backups
-                .get(vb.slot)
-                .ok_or_else(|| format!("ORoot {id:?}: backup record missing"))?;
-            if record.otype() != r.otype {
-                return Err(format!("ORoot {id:?}: record type mismatch"));
-            }
             checked += 1;
-            // Page-level checks + graph edges.
-            match record {
-                BackupObject::Pmo { pages, npages, .. } => {
-                    let mut err = None;
-                    pages.for_each(|idx, e| {
-                        if err.is_some() || !e.live_at(global) {
-                            return;
-                        }
-                        if idx >= *npages {
-                            err = Some(format!("page index {idx} beyond PMO capacity"));
-                            return;
-                        }
-                        let meta = e.slot.meta.lock();
-                        match meta.restore_pick(global) {
-                            None => err = Some(format!("page {idx}: unrecoverable")),
-                            Some(p) => {
-                                let frame =
-                                    meta.pairs[p].expect("picked entry exists").frame;
-                                if frame.0 >= frame_count {
-                                    err = Some(format!(
-                                        "page {idx}: frame {} out of range",
-                                        frame.0
-                                    ));
+            // Page-level checks + graph edges, under the record's shard lock.
+            let verdict: Option<Result<Vec<treesls_kernel::types::OrootId>, String>> =
+                backups.with(vb.slot, |record| {
+                    if record.otype() != otype {
+                        return Err(format!("ORoot {id:?}: record type mismatch"));
+                    }
+                    let mut edges = Vec::new();
+                    match record {
+                        BackupObject::Pmo { pages, npages, .. } => {
+                            let mut err = None;
+                            pages.for_each(|idx, e| {
+                                if err.is_some() || !e.live_at(global) {
+                                    return;
                                 }
+                                if idx >= *npages {
+                                    err = Some(format!("page index {idx} beyond PMO capacity"));
+                                    return;
+                                }
+                                let meta = e.slot.meta.lock();
+                                match meta.restore_pick(global) {
+                                    None => err = Some(format!("page {idx}: unrecoverable")),
+                                    Some(p) => {
+                                        let frame =
+                                            meta.pairs[p].expect("picked entry exists").frame;
+                                        if frame.0 >= frame_count {
+                                            err = Some(format!(
+                                                "page {idx}: frame {} out of range",
+                                                frame.0
+                                            ));
+                                        }
+                                    }
+                                }
+                            });
+                            if let Some(e) = err {
+                                return Err(e);
                             }
                         }
-                    });
-                    if let Some(e) = err {
-                        return Err(e);
+                        BackupObject::CapGroup { caps, .. } => {
+                            edges.extend(caps.iter().flatten().map(|c| c.oroot));
+                        }
+                        BackupObject::Thread { cap_group, vmspace, .. } => {
+                            edges.push(*cap_group);
+                            edges.push(*vmspace);
+                        }
+                        BackupObject::VmSpace { regions } => {
+                            edges.extend(regions.iter().map(|r| r.pmo));
+                        }
+                        BackupObject::IpcConnection { recv_waiter, queue, replies } => {
+                            edges.extend(queue.iter().map(|(t, _)| *t));
+                            edges.extend(replies.iter().map(|(t, _)| *t));
+                            edges.extend(*recv_waiter);
+                        }
+                        BackupObject::Notification { waiters, .. }
+                        | BackupObject::IrqNotification { waiters, .. } => {
+                            edges.extend(waiters.iter().copied());
+                        }
                     }
-                }
-                BackupObject::CapGroup { caps, .. } => {
-                    stack.extend(caps.iter().flatten().map(|c| c.oroot));
-                }
-                BackupObject::Thread { cap_group, vmspace, .. } => {
-                    stack.push(*cap_group);
-                    stack.push(*vmspace);
-                }
-                BackupObject::VmSpace { regions } => {
-                    stack.extend(regions.iter().map(|r| r.pmo));
-                }
-                BackupObject::IpcConnection { recv_waiter, queue, replies } => {
-                    stack.extend(queue.iter().map(|(t, _)| *t));
-                    stack.extend(replies.iter().map(|(t, _)| *t));
-                    stack.extend(*recv_waiter);
-                }
-                BackupObject::Notification { waiters, .. }
-                | BackupObject::IrqNotification { waiters, .. } => {
-                    stack.extend(waiters.iter().copied());
-                }
+                    Ok(edges)
+                });
+            match verdict {
+                None => return Err(format!("ORoot {id:?}: backup record missing")),
+                Some(Err(e)) => return Err(e),
+                Some(Ok(edges)) => stack.extend(edges),
             }
         }
         Ok(checked)
@@ -403,9 +442,8 @@ impl CheckpointManager {
     /// runtime pages).
     pub fn ckpt_size_bytes(&self) -> u64 {
         use treesls_kernel::oroot::BackupObject;
-        let backups = self.kernel.pers.backups.lock();
         let mut bytes = 0u64;
-        for (_, record) in backups.iter() {
+        self.kernel.pers.backups.for_each(|_, record| {
             bytes += record.approx_size() as u64;
             if let BackupObject::Pmo { pages, .. } = record {
                 pages.for_each(|_, e| {
@@ -417,7 +455,7 @@ impl CheckpointManager {
                     }
                 });
             }
-        }
+        });
         bytes
     }
 
@@ -436,9 +474,8 @@ impl CheckpointManager {
             invalid_commit_slots: self.kernel.pers.scrub_commit_records(),
             ..ScrubReport::default()
         };
-        let backups = self.kernel.pers.backups.lock();
-        for (_, record) in backups.iter() {
-            let BackupObject::Pmo { pages, .. } = record else { continue };
+        self.kernel.pers.backups.for_each(|_, record| {
+            let BackupObject::Pmo { pages, .. } = record else { return };
             pages.for_each(|_, e| {
                 let meta = e.slot.meta.lock();
                 for p in meta.pairs.iter().flatten() {
@@ -456,7 +493,7 @@ impl CheckpointManager {
                     }
                 }
             });
-        }
+        });
         report
     }
 }

@@ -27,7 +27,7 @@ use treesls_kernel::thread::{BlockedOn, ThreadBody, ThreadState};
 use treesls_kernel::types::{KernelError, ObjId, OrootId, Vpn};
 use treesls_kernel::vm::{VmRegion, VmSpaceBody};
 use treesls_kernel::Kernel;
-use treesls_nvm::{FrameId, NvmDevice, ObjectStore};
+use treesls_nvm::{FrameId, NvmDevice, ShardedStore};
 use treesls_pmem_alloc::NvmAddr;
 
 use crate::stats::{MinMax, ObjectTimeTable};
@@ -40,9 +40,9 @@ pub struct CrashImage {
     /// Frame count (needed to re-derive the allocator layout).
     pub nvm_frames: u32,
     /// Backup object records.
-    pub backups: ObjectStore<BackupObject>,
+    pub backups: ShardedStore<BackupObject>,
     /// The ORoot table.
-    pub oroots: ObjectStore<ORoot>,
+    pub oroots: ShardedStore<ORoot>,
 }
 
 /// Simulates a power failure: consumes the kernel, returning only the
@@ -52,8 +52,8 @@ pub struct CrashImage {
 ///
 /// The caller must have stopped all cores and any checkpoint timer first.
 pub fn crash(kernel: Arc<Kernel>) -> CrashImage {
-    let backups = std::mem::take(&mut *kernel.pers.backups.lock());
-    let oroots = std::mem::take(&mut *kernel.pers.oroots.lock());
+    let backups = ShardedStore::from_shards(kernel.pers.backups.take_shards());
+    let oroots = ShardedStore::from_shards(kernel.pers.oroots.take_shards());
     CrashImage {
         dev: Arc::clone(&kernel.pers.dev),
         nvm_frames: kernel.config.nvm_frames,
@@ -163,36 +163,41 @@ pub fn restore(
     // ---- reachability over the backup graph --------------------------------
     let mut reachable: Vec<OrootId> = Vec::new();
     {
-        let oroots = kernel.pers.oroots.lock();
-        let backups = kernel.pers.backups.lock();
+        let oroots = &kernel.pers.oroots;
+        let backups = &kernel.pers.backups;
         let mut seen: HashMap<OrootId, ()> = HashMap::new();
         let mut stack = vec![root_oroot];
         while let Some(id) = stack.pop() {
             if seen.contains_key(&id) {
                 continue;
             }
-            let Some(r) = oroots.get(id) else { continue };
-            if !r.live_at(global) {
+            let Some(vb) = oroots
+                .with(id, |r| {
+                    if !r.live_at(global) {
+                        return None;
+                    }
+                    r.restore_pick(global).and_then(|keep| r.backups[keep])
+                })
+                .flatten()
+            else {
                 continue;
-            }
-            let Some(keep) = r.restore_pick(global) else { continue };
-            let Some(vb) = r.backups[keep] else { continue };
-            let Some(record) = backups.get(vb.slot) else { continue };
+            };
+            let Some(kids) = backups.with(vb.slot, record_children) else { continue };
             seen.insert(id, ());
             reachable.push(id);
-            stack.extend(record_children(record));
+            stack.extend(kids);
         }
     }
 
     // ---- pass A: placeholders ----------------------------------------------
     let mut map: HashMap<OrootId, ObjId> = HashMap::new();
     {
-        let mut oroots = kernel.pers.oroots.lock();
+        let oroots = &kernel.pers.oroots;
         for &id in &reachable {
-            let otype = oroots.get(id).expect("reachable oroot").otype;
+            let otype = oroots.with(id, |r| r.otype).expect("reachable oroot");
             let obj = kernel.insert_object(placeholder_body(otype));
             obj.set_oroot(id);
-            oroots.get_mut(id).expect("reachable oroot").runtime = Some(obj.id());
+            oroots.with_mut(id, |r| r.runtime = Some(obj.id())).expect("reachable oroot");
             map.insert(id, obj.id());
         }
     }
@@ -200,14 +205,16 @@ pub fn restore(
     // ---- pass B: fill bodies ------------------------------------------------
     for &id in &reachable {
         let t_obj = Instant::now();
-        let (otype, record) = {
-            let oroots = kernel.pers.oroots.lock();
-            let backups = kernel.pers.backups.lock();
-            let r = oroots.get(id).expect("reachable oroot");
-            let keep = r.restore_pick(global).expect("picked during walk");
-            let vb = r.backups[keep].expect("picked during walk");
-            (r.otype, backups.get(vb.slot).expect("record present").clone())
-        };
+        let (otype, vb) = kernel
+            .pers
+            .oroots
+            .with(id, |r| {
+                let keep = r.restore_pick(global).expect("picked during walk");
+                (r.otype, r.backups[keep].expect("picked during walk"))
+            })
+            .expect("reachable oroot");
+        let record =
+            kernel.pers.backups.get_cloned(vb.slot).expect("record present");
         let obj_id = map[&id];
         let obj = kernel.object(obj_id)?;
         let revived_pages = fill_body(&kernel, &obj, record, &map, global, &mut recovery)?;
@@ -238,15 +245,13 @@ pub fn restore(
 
     // ---- sweep unreachable persistent records --------------------------------
     {
-        let mut oroots = kernel.pers.oroots.lock();
-        let mut backups = kernel.pers.backups.lock();
         let keep: std::collections::HashSet<OrootId> = reachable.iter().copied().collect();
         let dead: Vec<OrootId> =
-            oroots.iter().filter(|(i, _)| !keep.contains(i)).map(|(i, _)| i).collect();
+            kernel.pers.oroots.ids().into_iter().filter(|i| !keep.contains(i)).collect();
         for id in dead {
-            let r = oroots.remove(id).expect("listed");
+            let r = kernel.pers.oroots.remove(id).expect("listed");
             for vb in r.backups.into_iter().flatten() {
-                backups.remove(vb.slot);
+                kernel.pers.backups.remove(vb.slot);
             }
         }
         // Also drop non-kept backup slots' records? No: the two-slot
@@ -257,6 +262,15 @@ pub fn restore(
     // ---- allocator mark-and-sweep --------------------------------------------
     let (blocks, slabs) = collect_reachable(&kernel);
     kernel.pers.alloc.rebuild(&blocks, &slabs)?;
+
+    // The dirty queue filled with every revived object's insertion push,
+    // but pass B consumed the flags (revived state equals the backup), so
+    // the entries are stale; drop them. Reference counts and volatile
+    // tombstone bookkeeping did not survive the crash either — force the
+    // next checkpoint to run the healing full walk, which rewrites all
+    // reachable records and rebuilds the counts from scratch.
+    kernel.dirty_queue.clear();
+    kernel.force_full_next.store(true, std::sync::atomic::Ordering::Release);
 
     // Log the recovery itself into the (persistent) flight recorder so the
     // *next* crash's forensics include this restore and its degradations.
@@ -513,27 +527,29 @@ fn fill_body(
             // to the free lists during the allocator rebuild.
             let tick = pmo.structure_tick.load(std::sync::atomic::Ordering::Relaxed);
             {
-                let oroots = kernel.pers.oroots.lock();
-                let mut backups = kernel.pers.backups.lock();
-                let vb = oroots.get(oroot).expect("live oroot").backups[0]
+                let vb = kernel
+                    .pers
+                    .oroots
+                    .with(oroot, |r| r.backups[0])
+                    .expect("live oroot")
                     .expect("PMO record exists");
-                if let Some(BackupObject::Pmo { pages: bkp, synced_tick, .. }) =
-                    backups.get_mut(vb.slot)
-                {
-                    let mut fresh = treesls_kernel::radix::Radix::new();
-                    for (idx, slot) in &kept {
-                        fresh.insert(
-                            *idx,
-                            treesls_kernel::oroot::BkPageEntry {
-                                slot: Arc::clone(slot),
-                                added: 0,
-                                removed: None,
-                            },
-                        );
+                kernel.pers.backups.with_mut(vb.slot, |rec| {
+                    if let BackupObject::Pmo { pages: bkp, synced_tick, .. } = rec {
+                        let mut fresh = treesls_kernel::radix::Radix::new();
+                        for (idx, slot) in &kept {
+                            fresh.insert(
+                                *idx,
+                                treesls_kernel::oroot::BkPageEntry {
+                                    slot: Arc::clone(slot),
+                                    added: 0,
+                                    removed: None,
+                                },
+                            );
+                        }
+                        *bkp = fresh;
+                        *synced_tick = tick;
                     }
-                    *bkp = fresh;
-                    *synced_tick = tick;
-                }
+                });
             }
             ObjectBody::Pmo(pmo)
         }
@@ -576,16 +592,20 @@ type ReachableSlabs = Vec<(NvmAddr, usize)>;
 /// rebuild: every frame referenced by a (reachable) backup PMO record plus
 /// every backup record's slab accounting.
 fn collect_reachable(kernel: &Kernel) -> (ReachableBlocks, ReachableSlabs) {
-    let oroots = kernel.pers.oroots.lock();
-    let backups = kernel.pers.backups.lock();
     let mut blocks = Vec::new();
     let mut slabs = Vec::new();
-    for (_, r) in oroots.iter() {
+    let mut pmo_slots = Vec::new();
+    kernel.pers.oroots.for_each(|_, r| {
         for vb in r.backups.iter().flatten() {
             if let Some((addr, size)) = vb.slab {
                 slabs.push((addr, size as usize));
             }
-            if let Some(BackupObject::Pmo { pages, .. }) = backups.get(vb.slot) {
+            pmo_slots.push(vb.slot);
+        }
+    });
+    for slot in pmo_slots {
+        kernel.pers.backups.with(slot, |record| {
+            if let BackupObject::Pmo { pages, .. } = record {
                 pages.for_each(|_, e| {
                     let meta = e.slot.meta.lock();
                     for p in meta.pairs.iter().flatten() {
@@ -593,7 +613,7 @@ fn collect_reachable(kernel: &Kernel) -> (ReachableBlocks, ReachableSlabs) {
                     }
                 });
             }
-        }
+        });
     }
     (blocks, slabs)
 }

@@ -13,7 +13,8 @@
 //! quiesce only between steps, never mid-syscall. While parked, cores pull
 //! hybrid-copy work items (step ❸) before waiting for the resume signal.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,63 +31,207 @@ use crate::types::ObjId;
 /// The per-slot closure a [`HybridWork`] batch runs on each worker core.
 pub type SlotRunner = Box<dyn Fn(&Arc<PageSlot>) + Send + Sync>;
 
+/// A deferred task fed to quiescent cores through the auxiliary queue
+/// (leader-offloaded backup-record builds).
+pub type AuxTask = Box<dyn FnOnce() + Send>;
+
 /// A batch of hybrid-copy work executed by quiescent cores during the
 /// stop-the-world pause.
+///
+/// Two kinds of work flow through one batch:
+///
+/// * **page items** — the active-list snapshot, claimed lock-free by index
+///   (Figure 5 step ❸). The vector is taken from the page tracker by
+///   pointer swap and given back at compaction, so building the batch
+///   allocates nothing proportional to the list.
+/// * **auxiliary tasks** — closures the leader publishes *mid-pause*
+///   (backup-record build chunks). Cores that finish their page items poll
+///   the aux queue until the leader closes it, so the quiesced cores keep
+///   absorbing leader work for the whole tree-walk phase.
 pub struct HybridWork {
-    items: Vec<Arc<PageSlot>>,
+    /// Page items; behind a mutex only so the compactor can take the
+    /// vector back — claiming locks just long enough to clone one `Arc`.
+    items: Mutex<Vec<Arc<PageSlot>>>,
+    /// Item count, fixed at construction (lock-free `is_done`).
+    count: usize,
     next: AtomicUsize,
     done: AtomicUsize,
     runner: SlotRunner,
+    /// Leader-published deferred tasks.
+    aux: Mutex<VecDeque<AuxTask>>,
+    /// Once set, no further aux tasks will arrive; pollers may leave.
+    aux_closed: AtomicBool,
+    /// Aux tasks published but not yet finished executing.
+    aux_pending: AtomicUsize,
+    /// Nanoseconds spent by all cores processing page items (two
+    /// timestamps per core per round, not two per item).
+    busy_ns: AtomicU64,
+    /// Nanoseconds spent by all cores executing aux tasks (two timestamps
+    /// per task chunk).
+    aux_busy_ns: AtomicU64,
 }
 
 impl std::fmt::Debug for HybridWork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HybridWork")
-            .field("items", &self.items.len())
+            .field("items", &self.count)
             .field("done", &self.done.load(Ordering::Relaxed))
+            .field("aux_pending", &self.aux_pending.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl HybridWork {
-    /// Creates a work batch over `items` processed by `runner`.
+    /// Creates a work batch over `items` processed by `runner`, with the
+    /// aux queue already closed (pure page batch — the historical shape,
+    /// still used by tests driving `stop_world` directly).
     pub fn new(
         items: Vec<Arc<PageSlot>>,
         runner: impl Fn(&Arc<PageSlot>) + Send + Sync + 'static,
     ) -> Arc<Self> {
+        let w = Self::with_offload(items, runner);
+        w.close_aux();
+        w
+    }
+
+    /// Creates a work batch whose aux queue is open: cores finishing their
+    /// page items keep polling for leader-published tasks until
+    /// [`close_aux`](Self::close_aux) is called. The checkpoint path uses
+    /// this to offload backup-record builds to the quiesced cores.
+    pub fn with_offload(
+        items: Vec<Arc<PageSlot>>,
+        runner: impl Fn(&Arc<PageSlot>) + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        let count = items.len();
         Arc::new(Self {
-            items,
+            items: Mutex::new(items),
+            count,
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             runner: Box::new(runner),
+            aux: Mutex::new(VecDeque::new()),
+            aux_closed: AtomicBool::new(false),
+            aux_pending: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+            aux_busy_ns: AtomicU64::new(0),
         })
     }
 
-    /// Claims and processes items until the batch is exhausted.
+    /// Claims and processes page items until the batch is exhausted, then
+    /// drains the aux queue until it is closed.
     pub fn run_available(&self) {
+        let t0 = Instant::now();
+        let mut claimed = 0usize;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.items.len() {
-                return;
+            if i >= self.count {
+                break;
             }
-            (self.runner)(&self.items[i]);
+            let slot = self.items.lock().get(i).map(Arc::clone);
+            if let Some(slot) = slot {
+                (self.runner)(&slot);
+            }
+            claimed += 1;
             self.done.fetch_add(1, Ordering::Release);
+        }
+        if claimed > 0 {
+            self.busy_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        self.drain_aux();
+    }
+
+    /// Publishes a deferred task for any quiescent core (or the leader via
+    /// [`drain_aux`](Self::drain_aux)) to execute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aux queue was already closed.
+    pub fn push_aux(&self, task: AuxTask) {
+        assert!(!self.aux_closed.load(Ordering::Acquire), "push_aux after close");
+        self.aux_pending.fetch_add(1, Ordering::AcqRel);
+        self.aux.lock().push_back(task);
+    }
+
+    /// Closes the aux queue: pollers drain what remains and leave.
+    /// Idempotent.
+    pub fn close_aux(&self) {
+        self.aux_closed.store(true, Ordering::Release);
+    }
+
+    /// Returns `true` while the aux queue accepts tasks.
+    pub fn aux_open(&self) -> bool {
+        !self.aux_closed.load(Ordering::Acquire)
+    }
+
+    /// Executes aux tasks until the queue is both empty and closed.
+    pub fn drain_aux(&self) {
+        loop {
+            let task = self.aux.lock().pop_front();
+            match task {
+                Some(t) => {
+                    let t0 = Instant::now();
+                    t();
+                    self.aux_busy_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.aux_pending.fetch_sub(1, Ordering::AcqRel);
+                }
+                None => {
+                    if self.aux_closed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
         }
     }
 
-    /// Returns `true` once every item has been processed.
+    /// Leader: closes the queue is assumed already; helps drain and then
+    /// blocks until every published task (including ones claimed by other
+    /// cores) has finished. Call after [`close_aux`](Self::close_aux).
+    pub fn join_aux(&self) {
+        self.drain_aux();
+        while self.aux_pending.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Returns `true` once every aux task has finished and the queue is
+    /// closed.
+    pub fn aux_done(&self) -> bool {
+        self.aux_closed.load(Ordering::Acquire)
+            && self.aux_pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Returns `true` once every page item and aux task has been processed.
     pub fn is_done(&self) -> bool {
-        self.done.load(Ordering::Acquire) == self.items.len()
+        self.done.load(Ordering::Acquire) >= self.count && self.aux_done()
     }
 
-    /// Number of items in the batch.
+    /// Nanoseconds cores spent processing page items.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds cores spent executing offloaded aux tasks.
+    pub fn aux_busy_ns(&self) -> u64 {
+        self.aux_busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Takes the page-item vector back out (active-list give-back after
+    /// the batch has drained). Subsequent claims see missing items and
+    /// skip them.
+    pub fn take_items(&self) -> Vec<Arc<PageSlot>> {
+        std::mem::take(&mut *self.items.lock())
+    }
+
+    /// Number of page items in the batch.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.count
     }
 
-    /// Returns `true` if the batch is empty.
+    /// Returns `true` if the batch has no page items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.count == 0
     }
 }
 

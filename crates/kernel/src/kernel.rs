@@ -22,16 +22,17 @@
 //! another.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use treesls_nvm::{DramPool, LatencyModel, NvmDevice, ObjectStore};
+use treesls_nvm::{DramPool, LatencyModel, NvmDevice, ObjectStore, ShardedStore};
 use treesls_obs::{FlightEvent, FlightRecorder, MetricsRegistry};
 use treesls_pmem_alloc::{AllocLayout, PmemAllocator};
 
 use crate::cap::{CapGroupBody, CapRights, Capability};
+use crate::dirty::DirtyQueue;
 use crate::fault::{KernelStats, PageTracker};
 use crate::ipc::IpcConnBody;
 use crate::notif::{IrqNotifBody, NotifBody};
@@ -42,7 +43,7 @@ use crate::pmo::{Pmo, PmoKind};
 use crate::program::ProgramRegistry;
 use crate::sched::Scheduler;
 use crate::thread::{BlockedOn, ThreadBody, ThreadContext, ThreadState};
-use crate::types::{CapSlot, KernelError, ObjId, Vpn};
+use crate::types::{CapSlot, KernelError, ObjId, OrootId, Vpn};
 use crate::vm::{VmRegion, VmSpaceBody};
 
 /// Offsets of the global checkpoint metadata within the NVM metadata arena
@@ -139,6 +140,15 @@ pub struct KernelConfig {
     /// Enable hybrid copy (hot-page DRAM migration + speculative
     /// stop-and-copy, §4.3).
     pub hybrid_copy: bool,
+    /// Run every checkpoint as a full reachability walk instead of the
+    /// O(changes) dirty-queue walk. Kept as the differential oracle and
+    /// for measuring the walk cost the dirty queue removes.
+    pub force_full_walk: bool,
+    /// Checkpoint rounds between periodic full walks (the cycle collector
+    /// for reference loops the O(deletions) tombstoning cannot reclaim;
+    /// see DESIGN.md). `0` disables periodic full walks — unreachable
+    /// cycles then persist until restore, which sweeps them anyway.
+    pub full_walk_interval: u64,
     /// Latency model for the emulated NVM.
     pub latency: LatencyProfile,
 }
@@ -162,6 +172,8 @@ impl Default for KernelConfig {
             mark_ro: true,
             do_copy: true,
             hybrid_copy: true,
+            force_full_walk: false,
+            full_walk_interval: 64,
             latency: LatencyProfile::Uniform,
         }
     }
@@ -174,10 +186,12 @@ pub struct Persistent {
     pub dev: Arc<NvmDevice>,
     /// The failure-resilient checkpoint-manager allocator.
     pub alloc: Arc<PmemAllocator>,
-    /// Backup object records (the backup capability tree's nodes).
-    pub backups: Mutex<ObjectStore<BackupObject>>,
-    /// The ORoot table (§4.1).
-    pub oroots: Mutex<ObjectStore<ORoot>>,
+    /// Backup object records (the backup capability tree's nodes). Lock
+    /// sharding lets quiesced non-leader cores build backup records in
+    /// parallel with the leader during the pause.
+    pub backups: ShardedStore<BackupObject>,
+    /// The ORoot table (§4.1), sharded like `backups`.
+    pub oroots: ShardedStore<ORoot>,
     /// Volatile mirror of the committed global version for fast reads on
     /// the fault path; rebuilt from NVM at recovery.
     cached_version: AtomicU64,
@@ -214,8 +228,8 @@ impl Persistent {
         Arc::new(Self {
             dev,
             alloc,
-            backups: Mutex::new(ObjectStore::new()),
-            oroots: Mutex::new(ObjectStore::new()),
+            backups: ShardedStore::default(),
+            oroots: ShardedStore::default(),
             cached_version: AtomicU64::new(0),
             staged_root: AtomicU64::new(u64::MAX),
             cached_count: AtomicU64::new(0),
@@ -285,8 +299,8 @@ impl Persistent {
     pub fn recover(
         dev: Arc<NvmDevice>,
         nvm_frames: u32,
-        backups: ObjectStore<BackupObject>,
-        oroots: ObjectStore<ORoot>,
+        backups: ShardedStore<BackupObject>,
+        oroots: ShardedStore<ORoot>,
     ) -> Arc<Self> {
         assert_eq!(
             dev.meta().read_u64(global_meta::MAGIC_OFF),
@@ -301,8 +315,8 @@ impl Persistent {
         Arc::new(Self {
             dev,
             alloc,
-            backups: Mutex::new(backups),
-            oroots: Mutex::new(oroots),
+            backups,
+            oroots,
             cached_version: AtomicU64::new(rec.version),
             staged_root: AtomicU64::new(rec.root_oroot),
             cached_count: AtomicU64::new(rec.ckpt_count),
@@ -406,6 +420,20 @@ pub struct Kernel {
     pub programs: ProgramRegistry,
     /// Page-fault bookkeeping shared with the checkpoint manager.
     pub tracker: PageTracker,
+    /// Per-round dirty object queue: `mark_dirty`'s false→true edge
+    /// pushes here, the checkpoint leader drains it (O(changes) walk).
+    pub dirty_queue: Arc<DirtyQueue>,
+    /// Forces the next checkpoint to run a full reachability walk (set
+    /// after restore, when the queue describes a dead runtime tree).
+    pub force_full_next: AtomicBool,
+    /// Checkpoint rounds since the last full walk (drives the periodic
+    /// cycle-collecting walk of `KernelConfig::full_walk_interval`).
+    pub rounds_since_full: AtomicU64,
+    /// ORoots tombstoned but not yet reclaimed; the post-commit sweep
+    /// drains this instead of scanning the whole ORoot table
+    /// (O(deletions), volatile — restore re-derives deletions from
+    /// reachability, so losing it is safe).
+    pub pending_sweep: Mutex<Vec<OrootId>>,
     /// Fault/copy counters and timers (Figure 10 / Table 4).
     pub stats: KernelStats,
     /// Cross-cutting metrics registry (see `treesls-obs`), shared with the
@@ -439,6 +467,10 @@ impl Kernel {
             sched: Scheduler::new(),
             programs: ProgramRegistry::new(),
             tracker: PageTracker::new(),
+            dirty_queue: Arc::new(DirtyQueue::new()),
+            force_full_next: AtomicBool::new(false),
+            rounds_since_full: AtomicU64::new(0),
+            pending_sweep: Mutex::new(Vec::new()),
             stats: KernelStats::new(),
             metrics: Arc::new(MetricsRegistry::new()),
             irq_lines: Mutex::new(HashMap::new()),
@@ -460,6 +492,10 @@ impl Kernel {
         let obj = KObject::new(body);
         let id = self.objects.write().insert(Arc::clone(&obj));
         obj.set_id(id);
+        obj.install_dirty_sink(Arc::clone(&self.dirty_queue));
+        // Objects are born with the dirty flag already set, so the
+        // mark_dirty edge can never fire for them — enqueue explicitly.
+        self.dirty_queue.push(id);
         obj
     }
 

@@ -32,6 +32,7 @@
 
 pub mod cap;
 pub mod cores;
+pub mod dirty;
 pub mod fault;
 pub mod ipc;
 pub mod kernel;

@@ -15,6 +15,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::RwLock;
 
 use crate::cap::CapGroupBody;
+use crate::dirty::DirtyQueue;
 use crate::ipc::IpcConnBody;
 use crate::notif::{IrqNotifBody, NotifBody};
 use crate::pmo::Pmo;
@@ -118,6 +119,10 @@ pub struct KObject {
     oroot: AtomicU64,
     /// Set on mutation; cleared when checkpointed (incremental ckpt).
     dirty: AtomicBool,
+    /// The kernel's dirty queue, installed at insertion. `mark_dirty`
+    /// pushes the object id here on the flag's false→true edge, so the
+    /// checkpoint leader can visit only mutated objects (O(changes) walk).
+    sink: OnceLock<Arc<DirtyQueue>>,
     /// The type-specific state.
     pub body: RwLock<ObjectBody>,
 }
@@ -132,8 +137,16 @@ impl KObject {
             otype: body.otype(),
             oroot: AtomicU64::new(NO_OROOT),
             dirty: AtomicBool::new(true),
+            sink: OnceLock::new(),
             body: RwLock::new(body),
         })
+    }
+
+    /// Installs the dirty-queue sink (called once at insertion, after
+    /// [`set_id`](Self::set_id)). Objects are born dirty, so the inserter
+    /// pushes the id itself; later `mark_dirty` edges push here.
+    pub fn install_dirty_sink(&self, sink: Arc<DirtyQueue>) {
+        let _ = self.sink.set(sink);
     }
 
     /// Records the runtime store id. Called exactly once at insertion.
@@ -169,10 +182,35 @@ impl KObject {
         self.oroot.store(id.to_raw(), Ordering::Release);
     }
 
+    /// Race-safe ORoot assignment for parallel record builders: CASes the
+    /// link from `expected` (`None` = never assigned, or a stale id whose
+    /// ORoot was swept) to `id`. Returns the winning id — `id` if this
+    /// call installed it, or the value another core installed first (the
+    /// loser must release its speculative ORoot record and retry).
+    pub fn reset_oroot_race(&self, expected: Option<OrootId>, id: OrootId) -> OrootId {
+        match self.oroot.compare_exchange(
+            expected.map_or(NO_OROOT, |e| e.to_raw()),
+            id.to_raw(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => id,
+            Err(winner) => OrootId::from_raw(winner),
+        }
+    }
+
     /// Marks the object modified since the last checkpoint.
+    ///
+    /// On the false→true edge the object id is pushed to the kernel's
+    /// dirty queue — at most one push per object per checkpoint round, no
+    /// matter how many syscalls touch it.
     #[inline]
     pub fn mark_dirty(&self) {
-        self.dirty.store(true, Ordering::Release);
+        if !self.dirty.swap(true, Ordering::AcqRel) {
+            if let (Some(sink), Some(id)) = (self.sink.get(), self.id.get()) {
+                sink.push(*id);
+            }
+        }
     }
 
     /// Reads and clears the dirty flag (checkpoint path).

@@ -54,12 +54,28 @@ pub struct ORoot {
     /// Version of the checkpoint at which the object was observed deleted;
     /// the record is swept once a later checkpoint commits.
     pub deleted_at: Option<u64>,
+    /// Incoming ORoot references counted over the *newest* backup edges
+    /// (how many backup records currently point at this ORoot). The
+    /// dirty-queue walk maintains it by diffing each rewritten record's
+    /// edge multiset, and tombstones ORoots whose count drains to zero —
+    /// O(deletions) instead of a whole-table reachability sweep. The root
+    /// cap group is pinned regardless of its count. Reference *cycles*
+    /// never drain; the periodic full walk (and any restore) collects
+    /// them, so a leaked cycle is bounded, never restore-visible.
+    pub inrefs: u32,
 }
 
 impl ORoot {
     /// Creates an ORoot for a newly checkpointed runtime object.
     pub fn new(otype: ObjType, runtime: ObjId) -> Self {
-        Self { otype, runtime: Some(runtime), backups: [None, None], ckpt_round: 0, deleted_at: None }
+        Self {
+            otype,
+            runtime: Some(runtime),
+            backups: [None, None],
+            ckpt_round: 0,
+            deleted_at: None,
+            inrefs: 0,
+        }
     }
 
     /// Picks the backup slot holding the committed image for `global`.

@@ -28,6 +28,7 @@ pub mod latency;
 pub mod meta;
 pub mod page;
 pub mod persist;
+pub mod shard;
 pub mod stats;
 pub mod store;
 
@@ -41,5 +42,6 @@ pub use dram::DramPool;
 pub use latency::LatencyModel;
 pub use meta::MetaArena;
 pub use page::{DramId, FrameId, PageBuf, PAGE_SIZE};
+pub use shard::ShardedStore;
 pub use stats::MemStats;
 pub use store::{ObjectStore, SlotId};

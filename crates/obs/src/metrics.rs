@@ -162,6 +162,14 @@ pub struct MetricsRegistry {
     ring_publishes: AtomicU64,
     ring_depth: AtomicU64,
     ring_visible_lag: AtomicU64,
+    tree_full_walks: AtomicU64,
+    tree_dirty_walks: AtomicU64,
+    tree_dirty_drained: AtomicU64,
+    tree_copied: AtomicU64,
+    tree_offloaded: AtomicU64,
+    tree_tombstoned: AtomicU64,
+    dirty_queue_depth: AtomicU64,
+    shard_contention: AtomicU64,
     pause: PauseHistogram,
 }
 
@@ -237,6 +245,48 @@ impl MetricsRegistry {
         let _ = (depth, visible_lag);
     }
 
+    /// Records one capability-tree walk: whether it was a full walk or a
+    /// dirty-queue walk, how many queue entries were drained, and how many
+    /// backup records were copied / built by offload workers / tombstoned.
+    #[inline]
+    pub fn record_tree_walk(
+        &self,
+        full: bool,
+        drained: u64,
+        copied: u64,
+        offloaded: u64,
+        tombstoned: u64,
+    ) {
+        #[cfg(feature = "metrics")]
+        {
+            if full {
+                self.tree_full_walks.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.tree_dirty_walks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.tree_dirty_drained.fetch_add(drained, Ordering::Relaxed);
+            self.tree_copied.fetch_add(copied, Ordering::Relaxed);
+            self.tree_offloaded.fetch_add(offloaded, Ordering::Relaxed);
+            self.tree_tombstoned.fetch_add(tombstoned, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (full, drained, copied, offloaded, tombstoned);
+    }
+
+    /// Updates the checkpoint-path gauges: residual dirty-queue depth (ids
+    /// pushed since the walk drained it) and cumulative sharded-store lock
+    /// contention, both sampled at the end of each round.
+    #[inline]
+    pub fn set_ckpt_gauges(&self, dirty_queue_depth: u64, shard_contention: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.dirty_queue_depth.store(dirty_queue_depth, Ordering::Relaxed);
+            self.shard_contention.store(shard_contention, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (dirty_queue_depth, shard_contention);
+    }
+
     /// The stop-the-world pause histogram.
     pub fn pause_histogram(&self) -> &PauseHistogram {
         &self.pause
@@ -262,6 +312,14 @@ impl MetricsRegistry {
                 ring_publishes: l(&self.ring_publishes),
                 ring_depth: l(&self.ring_depth),
                 ring_visible_lag: l(&self.ring_visible_lag),
+                tree_full_walks: l(&self.tree_full_walks),
+                tree_dirty_walks: l(&self.tree_dirty_walks),
+                tree_dirty_drained: l(&self.tree_dirty_drained),
+                tree_copied: l(&self.tree_copied),
+                tree_offloaded: l(&self.tree_offloaded),
+                tree_tombstoned: l(&self.tree_tombstoned),
+                dirty_queue_depth: l(&self.dirty_queue_depth),
+                shard_contention: l(&self.shard_contention),
                 pause: self.pause.stats(),
                 ..MetricsSnapshot::default()
             }
@@ -299,6 +357,22 @@ pub struct MetricsSnapshot {
     pub ring_depth: u64,
     /// Gauge: ring entries written but not yet externally visible.
     pub ring_visible_lag: u64,
+    /// Checkpoint rounds that walked the whole capability tree.
+    pub tree_full_walks: u64,
+    /// Checkpoint rounds that walked only the dirty queue.
+    pub tree_dirty_walks: u64,
+    /// Dirty-queue entries drained across all walks.
+    pub tree_dirty_drained: u64,
+    /// Backup records (re)written by tree walks.
+    pub tree_copied: u64,
+    /// Backup records built by offloaded (non-leader) cores.
+    pub tree_offloaded: u64,
+    /// ORoots tombstoned by the epoch/refcount sweep.
+    pub tree_tombstoned: u64,
+    /// Gauge: dirty-queue ids pending after the last walk drained it.
+    pub dirty_queue_depth: u64,
+    /// Gauge: cumulative sharded-store lock contention events.
+    pub shard_contention: u64,
     /// Stop-the-world pause distribution.
     pub pause: PauseStats,
     /// Copy-on-write page faults taken (kernel).
@@ -336,6 +410,14 @@ impl MetricsSnapshot {
             ring_publishes: self.ring_publishes - earlier.ring_publishes,
             ring_depth: self.ring_depth,
             ring_visible_lag: self.ring_visible_lag,
+            tree_full_walks: self.tree_full_walks - earlier.tree_full_walks,
+            tree_dirty_walks: self.tree_dirty_walks - earlier.tree_dirty_walks,
+            tree_dirty_drained: self.tree_dirty_drained - earlier.tree_dirty_drained,
+            tree_copied: self.tree_copied - earlier.tree_copied,
+            tree_offloaded: self.tree_offloaded - earlier.tree_offloaded,
+            tree_tombstoned: self.tree_tombstoned - earlier.tree_tombstoned,
+            dirty_queue_depth: self.dirty_queue_depth,
+            shard_contention: self.shard_contention,
             pause: self.pause,
             write_faults: self.write_faults - earlier.write_faults,
             minor_faults: self.minor_faults - earlier.minor_faults,
@@ -381,6 +463,19 @@ impl MetricsSnapshot {
                     ("publishes".into(), u(self.ring_publishes)),
                     ("ring_depth".into(), u(self.ring_depth)),
                     ("visible_lag".into(), u(self.ring_visible_lag)),
+                ]),
+            ),
+            (
+                "tree_walk".into(),
+                Json::Obj(vec![
+                    ("full_walks".into(), u(self.tree_full_walks)),
+                    ("dirty_walks".into(), u(self.tree_dirty_walks)),
+                    ("dirty_drained".into(), u(self.tree_dirty_drained)),
+                    ("records_copied".into(), u(self.tree_copied)),
+                    ("records_offloaded".into(), u(self.tree_offloaded)),
+                    ("oroots_tombstoned".into(), u(self.tree_tombstoned)),
+                    ("dirty_queue_depth".into(), u(self.dirty_queue_depth)),
+                    ("shard_contention".into(), u(self.shard_contention)),
                 ]),
             ),
             (
@@ -482,7 +577,16 @@ mod tests {
     #[test]
     fn snapshot_json_has_all_sections() {
         let j = MetricsSnapshot::default().to_json();
-        for key in ["checkpoint", "hybrid", "backup_pages", "extsync", "faults", "nvm", "alloc_journal"] {
+        for key in [
+            "checkpoint",
+            "hybrid",
+            "backup_pages",
+            "extsync",
+            "tree_walk",
+            "faults",
+            "nvm",
+            "alloc_journal",
+        ] {
             assert!(j.get(key).is_some(), "missing section {key}");
         }
     }

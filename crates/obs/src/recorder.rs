@@ -90,6 +90,10 @@ pub enum EventKind {
     RingPublish = 10,
     /// Free-form marker recorded by tests and tools. Payload is opaque.
     Marker = 11,
+    /// One capability-tree walk finished inside the pause. Payload:
+    /// `[inflight_version, full_walk(0|1), dirty_drained, records_copied,
+    /// records_offloaded, oroots_tombstoned]`.
+    TreeWalk = 12,
 }
 
 impl EventKind {
@@ -107,6 +111,7 @@ impl EventKind {
             9 => EventKind::JournalTruncate,
             10 => EventKind::RingPublish,
             11 => EventKind::Marker,
+            12 => EventKind::TreeWalk,
             _ => return None,
         })
     }
@@ -125,6 +130,7 @@ impl EventKind {
             EventKind::JournalTruncate => "journal_truncate",
             EventKind::RingPublish => "ring_publish",
             EventKind::Marker => "marker",
+            EventKind::TreeWalk => "tree_walk",
         }
     }
 }

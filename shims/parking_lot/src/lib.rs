@@ -4,7 +4,7 @@
 //! handful of external crates it uses are vendored as minimal shims. Only
 //! the surface actually used by the TreeSLS crates is provided:
 //!
-//! * [`Mutex`] / [`MutexGuard`] — `new`, `lock`, `into_inner`
+//! * [`Mutex`] / [`MutexGuard`] — `new`, `lock`, `try_lock`, `into_inner`
 //! * [`RwLock`] with [`RwLockReadGuard`] / [`RwLockWriteGuard`]
 //! * [`Condvar`] — `wait_for`, `notify_one`, `notify_all`
 //!
@@ -39,6 +39,17 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+
+    /// Attempts to acquire the lock without blocking; `None` if contended.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 }
 

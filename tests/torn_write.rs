@@ -250,8 +250,8 @@ struct TwoGenPage {
 /// committed and checksummed (no untagged runtime image to fall back to).
 fn two_generation_pages(image: &CrashImage, global: u64) -> Vec<TwoGenPage> {
     let mut found = Vec::new();
-    for (_, record) in image.backups.iter() {
-        let BackupObject::Pmo { pages, .. } = record else { continue };
+    image.backups.for_each(|_, record| {
+        let BackupObject::Pmo { pages, .. } = record else { return };
         pages.for_each(|idx, e| {
             if !e.live_at(global) {
                 return;
@@ -273,7 +273,7 @@ fn two_generation_pages(image: &CrashImage, global: u64) -> Vec<TwoGenPage> {
                 found.push(TwoGenPage { index: idx, picked: hi, older: lo });
             }
         });
-    }
+    });
     found.sort_by_key(|p| p.index);
     found
 }
@@ -347,9 +347,8 @@ fn backup_page_with_no_valid_image_is_quarantined_at_every_line() {
 fn committed_tagged_images(sys: &System) -> Vec<(FrameId, u64)> {
     let global = sys.kernel().pers.global_version();
     let mut found = Vec::new();
-    let backups = sys.kernel().pers.backups.lock();
-    for (_, record) in backups.iter() {
-        let BackupObject::Pmo { pages, .. } = record else { continue };
+    sys.kernel().pers.backups.for_each(|_, record| {
+        let BackupObject::Pmo { pages, .. } = record else { return };
         pages.for_each(|_, e| {
             let meta = e.slot.meta.lock();
             for p in meta.pairs.iter().flatten() {
@@ -358,7 +357,7 @@ fn committed_tagged_images(sys: &System) -> Vec<(FrameId, u64)> {
                 }
             }
         });
-    }
+    });
     found
 }
 
