@@ -2,9 +2,10 @@
 //!
 //! Two deployment shapes, matching the paper's evaluation:
 //!
-//! * **Ring servers** ([`RingKvServer`], [`RingLsmServer`]) serve external
-//!   host-side clients through the `treesls-extsync` network port — the
-//!   configuration behind Figures 11/12/13/14.
+//! * **NIC services** ([`KvService`], [`LsmService`]) plug the KV table
+//!   and LSM tree into the `treesls-net` poll-mode runtime: one
+//!   `PollServer` loop per NIC queue serves external host-side clients —
+//!   the configuration behind Figures 11/12/13/14.
 //! * **IPC pairs** ([`IpcKvServer`], [`IpcKvClient`]) put both sides inside
 //!   the SLS ("clients were also checkpointed", §7.3) — the configuration
 //!   behind Table 2 and the Figure 9/10 breakdowns.
@@ -12,10 +13,9 @@
 //! All programs are re-entrant step machines: a crash between checkpoints
 //! rolls them back to a step boundary and they resume correctly.
 
-use treesls_extsync::port::{server_reply, PortLayout};
-use treesls_extsync::ring::{self, hdr, MemIo};
 use treesls_kernel::program::{Program, StepOutcome, UserCtx};
 use treesls_kernel::types::CapSlot;
+use treesls_net::{Service, ServiceError};
 
 use crate::hashkv::{HashKv, KvError};
 use crate::lsm::{Lsm, LsmConfig};
@@ -62,151 +62,76 @@ fn apply_kv_op<M: treesls_extsync::MemIo>(table: &HashKv, io: &M, op: KvOp) -> K
     }
 }
 
-/// A memcached/redis-like KV server thread serving one network-port shard.
+/// A memcached/redis-like KV protocol served through the NIC poll
+/// runtime.
 ///
-/// `pc == 0` formats the table (first boot only — a restored thread
-/// resumes at `pc == 1` and re-attaches), then serves up to `batch`
-/// requests per step.
+/// One instance per queue, each owning its own table region (the queue
+/// index shards the data). `init` formats the table on first boot only —
+/// a restored thread resumes past it and `handle` re-attaches.
 #[derive(Debug)]
-pub struct RingKvServer {
-    /// The shard's port rings.
-    pub port: PortLayout,
+pub struct KvService {
     /// Table base address.
     pub table_base: u64,
     /// Table buckets (power of two).
     pub nbuckets: u64,
     /// Max value bytes.
     pub val_cap: u64,
-    /// Requests served per step (syscall-boundary granularity).
-    pub batch: usize,
-    /// Capability slot of the doorbell notification: the server blocks on
-    /// it when the RX ring is empty instead of polling (the virtual NIC
-    /// interrupt).
-    pub doorbell_slot: CapSlot,
 }
 
-impl Program for RingKvServer {
-    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
-        if ctx.pc() == 0 {
-            if HashKv::format(ctx, self.table_base, self.nbuckets, self.val_cap).is_err() {
-                return StepOutcome::Exited;
-            }
-            ctx.set_pc(1);
-            return StepOutcome::Ready;
-        }
-        let Ok(table) = HashKv::attach(ctx, self.table_base) else {
-            return StepOutcome::Exited;
+impl Service for KvService {
+    fn init(&self, ctx: &mut UserCtx<'_>) -> Result<(), ServiceError> {
+        HashKv::format(ctx, self.table_base, self.nbuckets, self.val_cap)
+            .map(|_| ())
+            .map_err(|_| ServiceError)
+    }
+
+    fn handle(&self, ctx: &mut UserCtx<'_>, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
+        let table = HashKv::attach(ctx, self.table_base).map_err(|_| ServiceError)?;
+        let resp = match KvOp::decode(payload) {
+            Some(op) => apply_kv_op(&table, ctx, op),
+            None => KvResp::Error,
         };
-        for _ in 0..self.batch.max(1) {
-            // Peek-process-advance so a full TX ring retries the same
-            // request next step instead of dropping it.
-            let Ok(cursor) = ctx.mem_read_u64(self.port.rx_cursor_addr) else {
-                return StepOutcome::Exited;
-            };
-            let Ok(writer) = ring::header(ctx, &self.port.rx, hdr::WRITER) else {
-                return StepOutcome::Exited;
-            };
-            if cursor >= writer {
-                // Idle: block on the doorbell rather than spinning.
-                return match ctx.notif_wait(self.doorbell_slot) {
-                    Ok(true) => StepOutcome::Ready, // re-check the ring
-                    Ok(false) => StepOutcome::Blocked,
-                    Err(_) => StepOutcome::Exited,
-                };
-            }
-            let Ok(msg) = ring::read_at(ctx, &self.port.rx, cursor) else {
-                return StepOutcome::Exited;
-            };
-            let resp = match KvOp::decode(&msg.payload) {
-                Some(op) => apply_kv_op(&table, ctx, op),
-                None => KvResp::Error,
-            };
-            if server_reply(ctx, &self.port, msg.seq, &resp.encode()).is_err() {
-                // TX full: retry this request next step.
-                return StepOutcome::Yielded;
-            }
-            if ctx.mem_write_u64(self.port.rx_cursor_addr, cursor + 1).is_err() {
-                return StepOutcome::Exited;
-            }
-            let done = ctx.reg(regs::DONE);
-            ctx.set_reg(regs::DONE, done + 1);
-        }
-        StepOutcome::Ready
+        Ok(resp.encode())
     }
 }
 
-/// An LSM (RocksDB-like) server thread serving one network-port shard.
+/// An LSM (RocksDB-like) protocol served through the NIC poll runtime.
 ///
 /// Keys are the first 8 bytes of the wire key interpreted little-endian.
 #[derive(Debug)]
-pub struct RingLsmServer {
-    /// The shard's port rings.
-    pub port: PortLayout,
+pub struct LsmService {
     /// LSM geometry.
     pub lsm: LsmConfig,
-    /// Requests served per step.
-    pub batch: usize,
-    /// Doorbell notification capability slot (see [`RingKvServer`]).
-    pub doorbell_slot: CapSlot,
 }
 
 fn key_u64(key: &[u8; KEY_LEN]) -> u64 {
     u64::from_le_bytes(key[..8].try_into().expect("8-byte prefix"))
 }
 
-impl Program for RingLsmServer {
-    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
-        if ctx.pc() == 0 {
-            if Lsm::format(ctx, self.lsm).is_err() {
-                return StepOutcome::Exited;
-            }
-            ctx.set_pc(1);
-            return StepOutcome::Ready;
-        }
+impl Service for LsmService {
+    fn init(&self, ctx: &mut UserCtx<'_>) -> Result<(), ServiceError> {
+        Lsm::format(ctx, self.lsm).map(|_| ()).map_err(|_| ServiceError)
+    }
+
+    fn handle(&self, ctx: &mut UserCtx<'_>, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
         let tree = Lsm::attach(self.lsm);
-        for _ in 0..self.batch.max(1) {
-            let Ok(cursor) = ctx.mem_read_u64(self.port.rx_cursor_addr) else {
-                return StepOutcome::Exited;
-            };
-            let Ok(writer) = ring::header(ctx, &self.port.rx, hdr::WRITER) else {
-                return StepOutcome::Exited;
-            };
-            if cursor >= writer {
-                return match ctx.notif_wait(self.doorbell_slot) {
-                    Ok(true) => StepOutcome::Ready,
-                    Ok(false) => StepOutcome::Blocked,
-                    Err(_) => StepOutcome::Exited,
-                };
-            }
-            let Ok(msg) = ring::read_at(ctx, &self.port.rx, cursor) else {
-                return StepOutcome::Exited;
-            };
-            let resp = match KvOp::decode(&msg.payload) {
-                Some(KvOp::Get { key }) => match tree.get(ctx, key_u64(&key)) {
-                    Ok(Some(v)) => KvResp::Ok(Some(v)),
-                    Ok(None) => KvResp::Miss,
-                    Err(_) => KvResp::Error,
-                },
-                Some(KvOp::Set { key, value }) => match tree.put(ctx, key_u64(&key), &value) {
-                    Ok(()) => KvResp::Ok(None),
-                    Err(_) => KvResp::Error,
-                },
-                Some(KvOp::Del { key }) => match tree.delete(ctx, key_u64(&key)) {
-                    Ok(()) => KvResp::Ok(None),
-                    Err(_) => KvResp::Error,
-                },
-                None => KvResp::Error,
-            };
-            if server_reply(ctx, &self.port, msg.seq, &resp.encode()).is_err() {
-                return StepOutcome::Yielded;
-            }
-            if ctx.mem_write_u64(self.port.rx_cursor_addr, cursor + 1).is_err() {
-                return StepOutcome::Exited;
-            }
-            let done = ctx.reg(regs::DONE);
-            ctx.set_reg(regs::DONE, done + 1);
-        }
-        StepOutcome::Ready
+        let resp = match KvOp::decode(payload) {
+            Some(KvOp::Get { key }) => match tree.get(ctx, key_u64(&key)) {
+                Ok(Some(v)) => KvResp::Ok(Some(v)),
+                Ok(None) => KvResp::Miss,
+                Err(_) => KvResp::Error,
+            },
+            Some(KvOp::Set { key, value }) => match tree.put(ctx, key_u64(&key), &value) {
+                Ok(()) => KvResp::Ok(None),
+                Err(_) => KvResp::Error,
+            },
+            Some(KvOp::Del { key }) => match tree.delete(ctx, key_u64(&key)) {
+                Ok(()) => KvResp::Ok(None),
+                Err(_) => KvResp::Error,
+            },
+            None => KvResp::Error,
+        };
+        Ok(resp.encode())
     }
 }
 

@@ -1,0 +1,96 @@
+//! Property-based tests for the KV wire protocol.
+//!
+//! Two invariants over random payloads: encode → decode is the identity
+//! for every operation and response, and no strict prefix of a valid
+//! encoding decodes successfully (a truncated buffer must be rejected,
+//! never misparsed — ring slots carry explicit lengths, but a server must
+//! survive a client that lies about them).
+
+use proptest::prelude::*;
+
+use treesls_apps::wire::{KvOp, KvResp, KEY_LEN};
+
+fn key_strategy() -> impl Strategy<Value = [u8; KEY_LEN]> {
+    proptest::collection::vec(any::<u8>(), KEY_LEN..KEY_LEN + 1).prop_map(|v| {
+        let mut k = [0u8; KEY_LEN];
+        k.copy_from_slice(&v);
+        k
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        key_strategy().prop_map(|key| KvOp::Get { key }),
+        (key_strategy(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(key, value)| KvOp::Set { key, value }),
+        key_strategy().prop_map(|key| KvOp::Del { key }),
+    ]
+}
+
+fn resp_strategy() -> impl Strategy<Value = KvResp> {
+    prop_oneof![
+        Just(KvResp::Ok(None)),
+        proptest::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|v| KvResp::Ok(Some(v))),
+        Just(KvResp::Miss),
+        Just(KvResp::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn op_encode_decode_roundtrips(op in op_strategy()) {
+        let wire = op.encode();
+        prop_assert_eq!(KvOp::decode(&wire), Some(op));
+    }
+
+    #[test]
+    fn resp_encode_decode_roundtrips(resp in resp_strategy()) {
+        let wire = resp.encode();
+        prop_assert_eq!(KvResp::decode(&wire), Some(resp));
+    }
+
+    #[test]
+    fn truncated_op_is_rejected(op in op_strategy(), cut in any::<u16>()) {
+        let wire = op.encode();
+        // Every strict prefix, seeded by a random cut (plus the empty
+        // buffer and the one-byte-short case explicitly).
+        let cut = (cut as usize) % wire.len();
+        for len in [0, cut, wire.len() - 1] {
+            prop_assert_eq!(
+                KvOp::decode(&wire[..len]),
+                None,
+                "prefix of {} bytes (of {}) parsed",
+                len,
+                wire.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_resp_is_rejected(resp in resp_strategy(), cut in any::<u16>()) {
+        let wire = resp.encode();
+        let cut = (cut as usize) % wire.len();
+        for len in [0, cut, wire.len() - 1] {
+            prop_assert_eq!(
+                KvResp::decode(&wire[..len]),
+                None,
+                "prefix of {} bytes (of {}) parsed",
+                len,
+                wire.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected(key in key_strategy(), claim in 1u32..1024) {
+        // A SET whose length field claims more bytes than the buffer
+        // holds must be rejected, whatever the claimed length.
+        let mut wire = KvOp::Set { key, value: vec![] }.encode();
+        let len_off = wire.len() - 4;
+        wire[len_off..].copy_from_slice(&claim.to_le_bytes());
+        prop_assert_eq!(KvOp::decode(&wire), None);
+    }
+}

@@ -41,7 +41,7 @@ fn run_config(
     let geom = ShardGeometry { nslots: 1024, slot_size: 1280, data_stride: 48 << 20 };
     let dep = deploy_kv(&sys, 1, 8192, 1024, ext_sync, geom);
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
 
     let merged = parking_lot::Mutex::new(Histogram::new());
     let total = std::sync::atomic::AtomicU64::new(0);
@@ -60,15 +60,16 @@ fn run_config(
                     let mut seqs = Vec::with_capacity(BATCH);
                     for _ in 0..BATCH {
                         rng = xorshift64(rng);
+                        let id = (rng >> 8) % 10_000;
                         let op = KvOp::Set {
-                            key: numeric_key((rng >> 8) % 10_000),
+                            key: numeric_key(id),
                             value: vec![3u8; 1024],
                         };
-                        match port.send_request(&op.encode()) {
+                        match nic.send_request(id, &op.encode()) {
                             Ok(seq) => seqs.push(seq),
                             Err(_) => {
-                                // Ring full: drain before continuing.
-                                port.pump();
+                                // Shed (ring full): drain before continuing.
+                                nic.pump();
                                 std::thread::sleep(Duration::from_micros(50));
                             }
                         }
@@ -76,13 +77,17 @@ fn run_config(
                     let deadline = Instant::now() + Duration::from_secs(10);
                     let mut pending = seqs;
                     while !pending.is_empty() && Instant::now() < deadline {
-                        port.pump();
-                        pending.retain(|&s| port.try_take(s).is_none());
+                        nic.pump();
+                        pending.retain(|&s| nic.try_take(s).is_none());
                         if !pending.is_empty() {
                             std::thread::sleep(Duration::from_micros(20));
                         }
                     }
                     done += (BATCH - pending.len()) as u64;
+                    // Return the credits of anything that timed out.
+                    for s in pending {
+                        nic.abandon(s);
+                    }
                     hist.record(bt0.elapsed().as_nanos() as u64);
                 }
                 merged.lock().merge(&hist);

@@ -44,19 +44,24 @@ fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, mix: YcsbMix, ops: 
     let mut sys = System::boot(config);
     let dep = deploy_kv(&sys, 1, 16_384, VALUE_LEN as u64, false, ShardGeometry::default());
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
     let loaded = if opts.full { 10_000 } else { 2_000 };
     let mut gen = YcsbGen::new(mix, loaded, VALUE_LEN, 42);
     // Load phase (untimed).
-    for op in gen.load_ops() {
-        let _ = port.call(&op.encode(), Duration::from_secs(5));
+    for (i, op) in gen.load_ops().into_iter().enumerate() {
+        let _ = nic.call(i as u64, &op.encode(), Duration::from_secs(5));
     }
     // Run phase.
     let t0 = Instant::now();
     let mut done = 0u64;
-    for _ in 0..ops {
+    for i in 0..ops {
         let op = gen.next_op();
-        if port.call(&op.encode(), Duration::from_secs(5)).ok().flatten().is_some() {
+        if nic
+            .call(i, &op.encode(), Duration::from_secs(5))
+            .ok()
+            .and_then(|o| o.reply())
+            .is_some()
+        {
             done += 1;
         }
     }

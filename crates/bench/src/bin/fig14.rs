@@ -44,7 +44,7 @@ fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, label: &str, ops: u
     let mut sys = System::boot(config);
     let dep = deploy_lsm(&sys, false, VALUE_LEN as u64, false, ShardGeometry::default());
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
     let mut gen = PrefixDist::new(7);
     let mut hist = Histogram::new();
     let mut done = 0u64;
@@ -59,7 +59,12 @@ fn run_treesls(opts: &BenchOpts, interval: Option<Duration>, label: &str, ops: u
             KvOp::Set { key: kb, value: vec![9u8; VALUE_LEN] }
         };
         let ot0 = Instant::now();
-        if port.call(&op.encode(), Duration::from_secs(10)).ok().flatten().is_some() {
+        if nic
+            .call(key, &op.encode(), Duration::from_secs(10))
+            .ok()
+            .and_then(|o| o.reply())
+            .is_some()
+        {
             done += 1;
             if !is_get {
                 hist.record(ot0.elapsed().as_nanos() as u64);

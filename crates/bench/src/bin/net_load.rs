@@ -1,0 +1,412 @@
+//! `net_load`: closed-loop multi-client load against the virtual NIC.
+//!
+//! Sweeps the queue count (default 1 → 2 → 4) with a *fixed* client fleet
+//! and a tight per-queue credit budget, so aggregate throughput scales
+//! with the admitted in-flight window — the multi-queue scaling story of
+//! the `treesls-net` subsystem. Every run uses external synchrony and the
+//! client-side §5 oracle (a response observed at a committed version no
+//! later than the send-time version is a violation); a crash drill then
+//! repeats the oracle across a mid-load power failure and restore.
+//!
+//! ```sh
+//! cargo run --release --bin net_load -- --json
+//! cargo run --release --bin net_load -- --queues 4 --clients 16 \
+//!     --interval-us 200 --gate   # CI smoke configuration
+//! ```
+//!
+//! `--gate` enforces the latency SLO: client p99 must stay within 8× the
+//! median stop-the-world checkpoint pause of the same run (checked on the
+//! largest queue configuration).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls::net::{NicConfig, VirtualNic};
+use treesls::{Program, System, SystemConfig};
+use treesls_apps::client::{run_parallel_clients, RunStats};
+use treesls_apps::server::xorshift64;
+use treesls_apps::wire::{make_key, numeric_key, KvOp, KvResp};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_kv_cfg, ShardGeometry};
+use treesls_bench::table::Table;
+use treesls_bench::Sink;
+use treesls::PauseStats;
+
+const GEOM: ShardGeometry = ShardGeometry { nslots: 256, slot_size: 2048, data_stride: 8 << 20 };
+const NBUCKETS: u64 = 4096;
+const KEY_SPACE: u64 = 10_000;
+
+struct NetOpts {
+    /// Queue counts to sweep.
+    queues: Vec<usize>,
+    /// Client threads (fixed across the sweep).
+    clients: usize,
+    /// Wall-clock load duration per configuration.
+    duration_ms: u64,
+    /// Checkpoint interval in microseconds.
+    interval_us: u64,
+    /// Per-queue admission budget.
+    credits: u64,
+    /// SET value size in bytes (drives per-checkpoint dirty volume).
+    value_len: usize,
+    /// Enforce the p99 ≤ 8× median-pause SLO (exit 1 on violation).
+    gate: bool,
+}
+
+fn parse_net_opts() -> NetOpts {
+    let mut o = NetOpts {
+        queues: vec![1, 2, 4],
+        clients: 32,
+        duration_ms: 1200,
+        interval_us: 1000,
+        credits: 8,
+        value_len: 64,
+        gate: false,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--queues" => {
+                if let Some(v) = next(i) {
+                    o.queues = v
+                        .split(',')
+                        .filter_map(|s| s.trim().parse().ok())
+                        .filter(|&q| q > 0)
+                        .collect();
+                    assert!(!o.queues.is_empty(), "--queues needs at least one count");
+                }
+            }
+            "--clients" => {
+                if let Some(v) = next(i) {
+                    o.clients = v.parse().expect("--clients N");
+                }
+            }
+            "--duration-ms" => {
+                if let Some(v) = next(i) {
+                    o.duration_ms = v.parse().expect("--duration-ms N");
+                }
+            }
+            "--interval-us" => {
+                if let Some(v) = next(i) {
+                    o.interval_us = v.parse().expect("--interval-us N");
+                }
+            }
+            "--credits" => {
+                if let Some(v) = next(i) {
+                    o.credits = v.parse().expect("--credits N");
+                }
+            }
+            "--value-len" => {
+                if let Some(v) = next(i) {
+                    o.value_len = v.parse().expect("--value-len N");
+                }
+            }
+            "--gate" => o.gate = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    o
+}
+
+fn sys_config(opts: &BenchOpts, interval_us: u64) -> SystemConfig {
+    SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 4096,
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: Some(Duration::from_micros(interval_us)),
+    }
+}
+
+fn nic_cfg(net: &NetOpts, queues: usize) -> NicConfig {
+    NicConfig {
+        queues,
+        nslots: GEOM.nslots,
+        slot_size: GEOM.slot_size,
+        credits: net.credits,
+        ext_sync: true,
+        fault: Default::default(),
+    }
+}
+
+/// Calls until a reply lands, riding out `Busy` sheds (the fleet may
+/// still be draining its last in-flight window) and retransmitting on
+/// timeout.
+fn call_retry(nic: &VirtualNic, flow: u64, op: &KvOp, attempts: u32) -> Option<Vec<u8>> {
+    for _ in 0..attempts {
+        match nic.call(flow, &op.encode(), Duration::from_secs(5)) {
+            Ok(outcome) => {
+                if let Some(r) = outcome.reply() {
+                    return Some(r);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    None
+}
+
+/// Resolves the restored "ring-kv" process: its vmspace and per-queue
+/// doorbell notifications in capability-slot (= creation = queue) order.
+fn restored_server(sys: &System) -> (treesls::ObjId, Vec<treesls::ObjId>) {
+    use treesls_kernel::object::ObjectBody;
+    let kernel = sys.kernel();
+    let objects = kernel.objects.read();
+    let group = objects
+        .iter()
+        .map(|(_, o)| Arc::clone(o))
+        .find(|o| {
+            o.otype == treesls::ObjType::CapGroup
+                && matches!(&*o.body.read(), ObjectBody::CapGroup(g) if g.name == "ring-kv")
+        })
+        .expect("ring-kv cap group restored");
+    drop(objects);
+    let body = group.body.read();
+    let ObjectBody::CapGroup(g) = &*body else { unreachable!() };
+    let mut vmspace = None;
+    let mut bells = Vec::new();
+    for (_, c) in g.iter() {
+        match kernel.object(c.obj).map(|o| o.otype) {
+            Ok(treesls::ObjType::VmSpace) => vmspace = vmspace.or(Some(c.obj)),
+            Ok(treesls::ObjType::Notification) => bells.push(c.obj),
+            _ => {}
+        }
+    }
+    (vmspace.expect("server vmspace restored"), bells)
+}
+
+/// Drives `clients` closed-loop SET threads against `nic` until the
+/// deadline; keys double as flow ids for RSS steering.
+fn drive(nic: &VirtualNic, net: &NetOpts, duration: Duration) -> RunStats {
+    let deadline = Instant::now() + duration;
+    let value_len = net.value_len;
+    run_parallel_clients(
+        nic,
+        net.clients,
+        |t| {
+            let mut rng = 0x5EED_u64
+                .wrapping_add(0x9E37_79B9)
+                .wrapping_add(t as u64 * 6_364_136_223_846_793_005);
+            Box::new(move || {
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                rng = xorshift64(rng);
+                let id = (rng >> 8) % KEY_SPACE;
+                Some((id, KvOp::Set { key: numeric_key(id), value: vec![5u8; value_len] }))
+            })
+        },
+        Duration::from_secs(5),
+    )
+}
+
+/// One queue-scaling configuration: boot, deploy, load, collect.
+fn run_scale(opts: &BenchOpts, net: &NetOpts, queues: usize) -> (RunStats, PauseStats) {
+    let mut sys = System::boot(sys_config(opts, net.interval_us));
+    let dep =
+        deploy_kv_cfg(&sys, NBUCKETS, net.value_len.max(128) as u64, nic_cfg(net, queues), GEOM);
+    sys.start();
+    let stats = drive(&dep.nic, net, Duration::from_millis(net.duration_ms));
+    let pause = sys.kernel().metrics.pause_histogram().stats();
+    sys.stop();
+    (stats, pause)
+}
+
+/// Mid-load crash drill: load → acked receipt → un-acked stragglers →
+/// power failure → recover/reattach/re-arm → receipt GET → load again.
+/// Returns (pre-crash stats, post-restore stats, receipt survived).
+fn crash_drill(opts: &BenchOpts, net: &NetOpts) -> (RunStats, RunStats, bool) {
+    let queues = *net.queues.last().unwrap_or(&2);
+    let cfg = nic_cfg(net, queues);
+    let mut sys = System::boot(sys_config(opts, net.interval_us));
+    let dep = deploy_kv_cfg(&sys, NBUCKETS, net.value_len.max(128) as u64, cfg, GEOM);
+    sys.start();
+
+    let drill_ms = (net.duration_ms / 4).max(100);
+    let pre = drive(&dep.nic, net, Duration::from_millis(drill_ms));
+
+    // A receipt whose acknowledgement was observed: external synchrony
+    // promises it survives the crash below.
+    let receipt_key = make_key(b"net-load-receipt");
+    let receipt_flow = 7u64;
+    let set = KvOp::Set { key: receipt_key, value: b"durable".to_vec() };
+    call_retry(&dep.nic, receipt_flow, &set, 32).expect("receipt acked");
+    // Leave un-acked traffic in flight so the crash really lands mid-load
+    // (ring-resident requests, doorbell signals in volatile state).
+    for i in 0..4u64 {
+        let straggler = KvOp::Set { key: numeric_key(KEY_SPACE + i), value: vec![9u8; 16] };
+        let _ = dep.nic.send_request(KEY_SPACE + i, &straggler.encode());
+    }
+    sys.stop();
+
+    let programs: Vec<(String, Arc<dyn Program>)> = sys
+        .programs()
+        .names()
+        .into_iter()
+        .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+        .collect();
+    let layout = dep.nic.layout();
+    let image = sys.crash();
+    let (mut sys2, report) = System::recover(image, sys_config(opts, net.interval_us), move |r| {
+        for (n, p) in programs {
+            r.register(&n, p);
+        }
+    })
+    .expect("recovery");
+
+    // Reattach: resolve the restored process through its capability
+    // group, whose slot order is creation (= queue) order.
+    let (vs2, bells) = restored_server(&sys2);
+    assert_eq!(bells.len(), queues, "one doorbell per queue restored");
+    let nic2 = VirtualNic::attach(Arc::clone(sys2.kernel()), vs2, layout, &cfg, 10_000_000);
+    for (q, bell) in bells.into_iter().enumerate() {
+        nic2.set_doorbell(q, bell);
+    }
+    sys2.manager().register_callback(Arc::clone(&nic2) as _);
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.start();
+
+    // The acked receipt must still be readable on its original flow.
+    let get = KvOp::Get { key: receipt_key };
+    let survived = call_retry(&nic2, receipt_flow, &get, 32)
+        .as_deref()
+        .and_then(KvResp::decode)
+        .is_some_and(|r| r == KvResp::Ok(Some(b"durable".to_vec())));
+
+    let post = drive(&nic2, net, Duration::from_millis(drill_ms));
+    sys2.stop();
+    (pre, post, survived)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let net = parse_net_opts();
+    let mut sink = Sink::new(
+        "net",
+        &format!(
+            "treesls-net load: {} clients, {} credits/queue, {} µs checkpoints",
+            net.clients, net.credits, net.interval_us
+        ),
+        &opts,
+    );
+
+    let mut table = Table::new(&[
+        "Queues",
+        "Clients",
+        "Throughput(ops/s)",
+        "P50(µs)",
+        "P95(µs)",
+        "P99(µs)",
+        "Sheds",
+        "Timeouts",
+        "SyncViolations",
+        "Ckpts",
+        "PauseP50(µs)",
+        "PauseMean(µs)",
+    ]);
+    let mut runs = Vec::new();
+    for &q in &net.queues {
+        let (stats, pause) = run_scale(&opts, &net, q);
+        table.row(vec![
+            q.to_string(),
+            net.clients.to_string(),
+            format!("{:.0}", stats.throughput()),
+            format!("{:.1}", stats.latency.p50() as f64 / 1e3),
+            format!("{:.1}", stats.latency.p95() as f64 / 1e3),
+            format!("{:.1}", stats.latency.p99() as f64 / 1e3),
+            stats.sheds.to_string(),
+            stats.timeouts.to_string(),
+            stats.sync_violations.to_string(),
+            pause.count.to_string(),
+            format!("{:.1}", pause.p50_ns as f64 / 1e3),
+            format!("{:.1}", pause.mean_ns as f64 / 1e3),
+        ]);
+        runs.push((q, stats, pause));
+    }
+    sink.table("scaling", table);
+
+    let violations: u64 = runs.iter().map(|(_, s, _)| s.sync_violations).sum();
+    if let (Some(first), Some(last)) = (runs.first(), runs.last()) {
+        if last.0 > first.0 && first.1.throughput() > 0.0 {
+            sink.note(&format!(
+                "scaling {}q -> {}q: {:.2}x aggregate throughput",
+                first.0,
+                last.0,
+                last.1.throughput() / first.1.throughput()
+            ));
+        }
+    }
+
+    let (pre, post, receipt_survived) = crash_drill(&opts, &net);
+    let mut drill = Table::new(&[
+        "Phase",
+        "Ops",
+        "Throughput(ops/s)",
+        "SyncViolations",
+        "ReceiptSurvived",
+    ]);
+    drill.row(vec![
+        "pre-crash".into(),
+        pre.ops.to_string(),
+        format!("{:.0}", pre.throughput()),
+        pre.sync_violations.to_string(),
+        "-".into(),
+    ]);
+    drill.row(vec![
+        "post-restore".into(),
+        post.ops.to_string(),
+        format!("{:.0}", post.throughput()),
+        post.sync_violations.to_string(),
+        if receipt_survived { "yes" } else { "NO" }.into(),
+    ]);
+    sink.table("crash_drill", drill);
+
+    let drill_violations = pre.sync_violations + post.sync_violations;
+    sink.note(&format!(
+        "external synchrony oracle: {} violations across {} scaling runs + crash drill",
+        violations + drill_violations,
+        runs.len()
+    ));
+
+    let mut failed = Vec::new();
+    if violations + drill_violations > 0 {
+        failed.push(format!("{} external-synchrony violations", violations + drill_violations));
+    }
+    if !receipt_survived {
+        failed.push("acked receipt lost across crash/restore".to_string());
+    }
+    if net.gate {
+        // SLO: client p99 within 8× the median stop-the-world pause of
+        // the largest queue configuration.
+        let (q, stats, pause) = runs.last().expect("at least one run");
+        let p99 = stats.latency.p99();
+        let budget = 8 * pause.p50_ns.max(1);
+        sink.note(&format!(
+            "gate ({q} queues): p99 {:.1} µs vs 8x median pause {:.1} µs -> {}",
+            p99 as f64 / 1e3,
+            budget as f64 / 1e3,
+            if p99 <= budget { "PASS" } else { "FAIL" }
+        ));
+        if p99 > budget {
+            failed.push(format!(
+                "p99 {}ns exceeds 8x median checkpoint pause {}ns",
+                p99, budget
+            ));
+        }
+        if stats.ops == 0 {
+            failed.push("gated run completed no operations".to_string());
+        }
+    }
+    sink.finish();
+    if !failed.is_empty() {
+        eprintln!("net_load FAILED: {}", failed.join("; "));
+        std::process::exit(1);
+    }
+}

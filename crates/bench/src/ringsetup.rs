@@ -1,37 +1,28 @@
-//! Network-port server setup shared by the external-client experiments
-//! (Figures 11, 12, 13, 14).
+//! NIC-backed server setup shared by the external-client experiments
+//! (Figures 11, 12, 13, 14 and the `net_load` scaling report).
 //!
-//! Builds a server process whose shards serve host-side clients through
-//! eternal-PMO ring buffers, and wires the ports' external-synchrony
-//! callbacks into the checkpoint manager.
+//! Thin wrappers over `treesls_net::deploy`: they pick the data layout
+//! (per-queue table shards, RX cursors in the last page of each shard's
+//! stride) and plug the `treesls-apps` protocol services into the
+//! poll-mode runtime.
 
 use std::sync::Arc;
 
-use treesls::extsync::{NetPort, PortLayout, RingLayout};
-use treesls::{CapRights, ObjId, PmoKind, System, ThreadContext, Vpn};
+use treesls::net::{deploy::DeploySpec, NicConfig, Service};
+use treesls::System;
 use treesls_apps::lsm::LsmConfig;
-use treesls_apps::server::{RingKvServer, RingLsmServer};
-use treesls_kernel::object::ObjectBody;
-use treesls_kernel::types::CapSlot;
+use treesls_apps::server::{KvService, LsmService};
 
-/// Finds the capability slot of `obj` in `group`.
-fn cap_slot_of(sys: &System, group: ObjId, obj: ObjId) -> CapSlot {
-    let g = sys.kernel().object(group).expect("group");
-    let body = g.body.read();
-    let ObjectBody::CapGroup(cg) = &*body else { panic!("not a cap group") };
-    let slot = cg.iter().find(|(_, c)| c.obj == obj).map(|(s, _)| s).expect("cap installed");
-    drop(body);
-    slot
-}
+pub use treesls::net::deploy::NicDeployment as RingDeployment;
 
-/// Geometry of one shard's rings and table.
+/// Geometry of one queue's rings and table shard.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardGeometry {
     /// Ring slots per direction.
     pub nslots: u64,
-    /// Slot size in bytes (payload + 20-byte header).
+    /// Slot size in bytes (payload + 24-byte header).
     pub slot_size: u64,
-    /// Table/stride bytes reserved per shard in the data heap.
+    /// Table/stride bytes reserved per queue in the data heap.
     pub data_stride: u64,
 }
 
@@ -41,89 +32,65 @@ impl Default for ShardGeometry {
     }
 }
 
-/// A running ring-served KV/LSM deployment.
-pub struct RingDeployment {
-    /// The server process VM space.
-    pub vmspace: ObjId,
-    /// One port per shard.
-    pub ports: Vec<Arc<NetPort>>,
-    /// Server thread ids.
-    pub server_threads: Vec<ObjId>,
-}
-
-fn shard_port_layout(geom: &ShardGeometry, ring_base: u64, shard: u64, cursor_addr: u64) -> PortLayout {
-    let ring_len = 32 + geom.nslots * geom.slot_size;
-    let ring_len = ring_len.div_ceil(4096) * 4096;
-    let base = ring_base + shard * 2 * ring_len;
-    PortLayout {
-        rx: RingLayout { base, nslots: geom.nslots, slot_size: geom.slot_size },
-        tx: RingLayout { base: base + ring_len, nslots: geom.nslots, slot_size: geom.slot_size },
-        rx_cursor_addr: cursor_addr,
+/// Builds the [`NicConfig`] the KV/LSM deployments use for `queues`
+/// queues over `geom`. Credits equal the ring depth, so admission control
+/// sheds exactly where the ring would have rejected the push anyway —
+/// the legacy figure benches keep their semantics (the `net_load` bin
+/// sets its own, tighter budget to study admission control).
+pub fn nic_config(queues: usize, ext_sync: bool, geom: &ShardGeometry) -> NicConfig {
+    NicConfig {
+        queues,
+        nslots: geom.nslots,
+        slot_size: geom.slot_size,
+        credits: geom.nslots,
+        ext_sync,
+        fault: Default::default(),
     }
 }
 
-/// Spawns a sharded ring KV server and its host-side ports.
-///
-/// `ext_sync` controls delayed external visibility; the ports' callbacks
-/// are registered with the system's checkpoint manager either way (the
-/// visible-writer bookkeeping is what the `ext_sync` flag gates on read).
+/// Spawns a sharded KV server behind a virtual NIC (queue `q` owns the
+/// table shard at `q * data_stride`).
 pub fn deploy_kv(
     sys: &System,
-    shards: u64,
+    queues: u64,
     nbuckets: u64,
     val_cap: u64,
     ext_sync: bool,
     geom: ShardGeometry,
 ) -> RingDeployment {
-    let kernel = sys.kernel();
-    let g = kernel.create_cap_group("ring-kv").expect("group");
-    let vs = kernel.create_vmspace(g).expect("vmspace");
-
-    // Data heap: shard tables + per-shard RX cursors (rolled back).
-    let heap_pages = shards * geom.data_stride / 4096 + 1;
-    let pmo = kernel.create_pmo(g, heap_pages, PmoKind::Data).expect("heap");
-    kernel.map_region(vs, Vpn(0), heap_pages, pmo, 0, CapRights::ALL).expect("map heap");
-
-    // Eternal ring area above the heap.
-    let ring_base_vpn = heap_pages + 16;
-    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
-    let ring_pages = shards * 2 * ring_len / 4096;
-    let epmo = kernel.create_pmo(g, ring_pages, PmoKind::Eternal).expect("rings");
-    kernel
-        .map_region(vs, Vpn(ring_base_vpn), ring_pages, epmo, 0, CapRights::ALL)
-        .expect("map rings");
-    let ring_base = ring_base_vpn * 4096;
-
-    let mut ports = Vec::new();
-    let mut server_threads = Vec::new();
-    for s in 0..shards {
-        // RX cursor lives in the last page of the shard's data stride.
-        let cursor_addr = s * geom.data_stride + geom.data_stride - 4096;
-        let layout = shard_port_layout(&geom, ring_base, s, cursor_addr);
-        let doorbell = kernel.create_notification(g).expect("doorbell");
-        let prog = format!("ring-kv-{s}");
-        sys.register_program(
-            &prog,
-            Arc::new(RingKvServer {
-                port: layout,
-                table_base: s * geom.data_stride,
-                nbuckets,
-                val_cap,
-                batch: 16,
-                doorbell_slot: cap_slot_of(sys, g, doorbell),
-            }),
-        );
-        let tid = kernel.create_thread(g, vs, &prog, ThreadContext::new()).expect("server");
-        server_threads.push(tid);
-        let port = NetPort::new(Arc::clone(kernel), vs, layout, ext_sync).expect("port");
-        port.set_doorbell(doorbell);
-        sys.manager().register_callback(Arc::clone(&port) as _);
-        ports.push(port);
-    }
-    RingDeployment { vmspace: vs, ports, server_threads }
+    deploy_kv_cfg(sys, nbuckets, val_cap, nic_config(queues as usize, ext_sync, &geom), geom)
 }
 
-/// Spawns a single-shard ring LSM server (the RocksDB stand-in).
+/// [`deploy_kv`] with full control over the NIC behaviour (credits,
+/// faults) — the load generator's entry point.
+pub fn deploy_kv_cfg(
+    sys: &System,
+    nbuckets: u64,
+    val_cap: u64,
+    cfg: NicConfig,
+    geom: ShardGeometry,
+) -> RingDeployment {
+    let spec = DeploySpec {
+        name: "ring-kv".into(),
+        heap_pages: cfg.queues as u64 * geom.data_stride / 4096 + 1,
+        // RX cursor lives in the last page of each queue's data stride.
+        cursor_base: geom.data_stride - 4096,
+        cursor_stride: geom.data_stride,
+        cfg,
+        batch: 16,
+    };
+    treesls::net::deploy(sys.kernel(), sys.manager(), &spec, |q| {
+        Arc::new(KvService {
+            table_base: q as u64 * geom.data_stride,
+            nbuckets,
+            val_cap,
+        }) as Arc<dyn Service>
+    })
+    .expect("deploy kv")
+}
+
+/// Spawns a single-queue LSM server (the RocksDB stand-in) behind a
+/// virtual NIC.
 pub fn deploy_lsm(
     sys: &System,
     wal: bool,
@@ -131,20 +98,6 @@ pub fn deploy_lsm(
     ext_sync: bool,
     geom: ShardGeometry,
 ) -> RingDeployment {
-    let kernel = sys.kernel();
-    let g = kernel.create_cap_group("ring-lsm").expect("group");
-    let vs = kernel.create_vmspace(g).expect("vmspace");
-    let heap_pages = (96u64 << 20) / 4096;
-    let pmo = kernel.create_pmo(g, heap_pages, PmoKind::Data).expect("heap");
-    kernel.map_region(vs, Vpn(0), heap_pages, pmo, 0, CapRights::ALL).expect("map heap");
-    let ring_base_vpn = heap_pages + 16;
-    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
-    let ring_pages = 2 * ring_len / 4096;
-    let epmo = kernel.create_pmo(g, ring_pages, PmoKind::Eternal).expect("rings");
-    kernel
-        .map_region(vs, Vpn(ring_base_vpn), ring_pages, epmo, 0, CapRights::ALL)
-        .expect("map rings");
-
     let lsm = LsmConfig {
         memtable_base: 0,
         memtable_cap: 128,
@@ -154,21 +107,16 @@ pub fn deploy_lsm(
         wal_len: 4 << 20,
         val_cap,
     };
-    let cursor_addr = (92u64 << 20) + 8;
-    let layout = shard_port_layout(&geom, ring_base_vpn * 4096, 0, cursor_addr);
-    let doorbell = kernel.create_notification(g).expect("doorbell");
-    sys.register_program(
-        "ring-lsm",
-        Arc::new(RingLsmServer {
-            port: layout,
-            lsm,
-            batch: 16,
-            doorbell_slot: cap_slot_of(sys, g, doorbell),
-        }),
-    );
-    let tid = kernel.create_thread(g, vs, "ring-lsm", ThreadContext::new()).expect("server");
-    let port = NetPort::new(Arc::clone(kernel), vs, layout, ext_sync).expect("port");
-    port.set_doorbell(doorbell);
-    sys.manager().register_callback(Arc::clone(&port) as _);
-    RingDeployment { vmspace: vs, ports: vec![port], server_threads: vec![tid] }
+    let spec = DeploySpec {
+        name: "ring-lsm".into(),
+        heap_pages: (96u64 << 20) / 4096,
+        cursor_base: (92u64 << 20) + 8,
+        cursor_stride: 4096,
+        cfg: nic_config(1, ext_sync, &geom),
+        batch: 16,
+    };
+    treesls::net::deploy(sys.kernel(), sys.manager(), &spec, |_| {
+        Arc::new(LsmService { lsm }) as Arc<dyn Service>
+    })
+    .expect("deploy lsm")
 }

@@ -37,6 +37,7 @@ pub use treesls_checkpoint::{
     StwBreakdown,
 };
 pub use treesls_extsync as extsync;
+pub use treesls_net as net;
 pub use treesls_obs::{
     EventKind, FlightEvent, FlightRecorder, Json, JsonError, MetricsRegistry, MetricsSnapshot,
     PauseStats, SLOT_LEN,

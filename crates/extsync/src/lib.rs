@@ -9,15 +9,16 @@
 //!
 //! * [`ring`] — version-tagged ring buffers in eternal PMOs, implementing
 //!   the `reader` / `writer` / `visible_writer` discipline of Figure 8.
-//! * [`port`] — the machine-local network port: the host side plays the
-//!   external clients and NIC, the SLS side the server application; the
-//!   checkpoint/restore callbacks implement delayed visibility and
-//!   post-crash reconciliation.
+//! * [`port`] — the host-side DMA view ([`HostIo`]) plus the in-SLS
+//!   modified-driver helpers ([`port::server_poll`] /
+//!   [`port::server_reply`]). The port *device* — multi-queue rings,
+//!   doorbells, the commit-gated visibility barrier — is the
+//!   `treesls-net` crate's `VirtualNic`, built on these primitives.
 
 pub mod port;
 pub mod ring;
 
-pub use port::{HostIo, NetPort, PortLayout};
+pub use port::{HostIo, PortLayout};
 pub use ring::{check_ext_sync_invariants, MemIo, RingError, RingLayout, RingMsg};
 
 use treesls_kernel::program::UserCtx;
@@ -39,5 +40,8 @@ impl MemIo for UserCtx<'_> {
         // writer bump ahead of the slot contents. Baseline backends charge
         // their WAL-flush latency here instead.
         self.persist_barrier();
+    }
+    fn crash_hook(&self, site: &'static str) {
+        self.crash_site(site);
     }
 }

@@ -1,32 +1,21 @@
-//! The machine-local network port: transparent external synchrony (§5).
+//! Host-side DMA view and the modified-driver helpers (§5).
 //!
 //! The paper implements external synchrony "in a network server that
 //! handles communications between clients and servers on the same
-//! machine". [`NetPort`] is that boundary: the host side plays the
-//! external clients plus the NIC (DMA into the rings), the SLS side plays
-//! the server application using the modified-driver helpers
-//! ([`server_poll`] / [`server_reply`]).
+//! machine". This module holds the two halves both sides share:
 //!
-//! * **RX ring** (requests, host → server): the ring data and producer
-//!   pointer are eternal so requests survive a crash; the *server's* read
-//!   cursor lives in ordinary (rolled-back) process memory, so a restored
-//!   server re-processes everything after the restored checkpoint —
-//!   requests are delivered at-least-once and responses are deduplicated
-//!   by sequence number on the host side.
-//! * **TX ring** (responses, server → host): responses become visible only
-//!   after the checkpoint covering their producing state commits
-//!   ([`CkptCallback::on_checkpoint`] advances the visible writer);
-//!   the restore callback truncates responses whose state was rolled back
-//!   (Figure 8(c)/(d)).
+//! * [`HostIo`] — the host's byte-addressed window into a service's
+//!   address space, playing the NIC's DMA engine (and the external
+//!   clients behind it);
+//! * [`server_poll`] / [`server_reply`] — the in-SLS driver helpers a
+//!   server program uses to consume requests and publish responses.
+//!
+//! The port *device* itself — multi-queue rings, doorbells, the
+//! commit-gated visibility barrier — lives in the `treesls-net` crate
+//! (`VirtualNic`), which builds on these primitives.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-
-use treesls_checkpoint::CkptCallback;
 use treesls_kernel::types::{KernelError, ObjId, Vaddr};
 use treesls_kernel::Kernel;
 
@@ -44,6 +33,17 @@ impl HostIo {
     /// Creates a DMA view into `vmspace`.
     pub fn new(kernel: Arc<Kernel>, vmspace: ObjId) -> Self {
         Self { kernel, vmspace }
+    }
+
+    /// The kernel this view reaches through (for doorbell delivery,
+    /// metrics and crash scheduling by device emulations built on top).
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The address space this view targets.
+    pub fn vmspace(&self) -> ObjId {
+        self.vmspace
     }
 }
 
@@ -65,7 +65,7 @@ impl MemIo for HostIo {
     }
 }
 
-/// Configuration of one port's rings.
+/// Configuration of one queue's ring pair.
 #[derive(Debug, Clone, Copy)]
 pub struct PortLayout {
     /// Request ring (host → server), in an eternal PMO.
@@ -76,246 +76,6 @@ pub struct PortLayout {
     /// cursor — deliberately *not* eternal so it rolls back with the
     /// server state.
     pub rx_cursor_addr: u64,
-}
-
-/// A machine-local network port with transparent external synchrony.
-pub struct NetPort {
-    io: HostIo,
-    layout: PortLayout,
-    ext_sync: AtomicBool,
-    next_seq: AtomicU64,
-    /// Host-side RX cursor sample taken at the previous checkpoint; its
-    /// value is a lower bound on the *checkpointed* server cursor, so it
-    /// is safe to release those slots for reuse.
-    prev_cursor_sample: AtomicU64,
-    pending: Mutex<HashMap<u64, Option<Vec<u8>>>>,
-    cv: Condvar,
-    pump_lock: Mutex<()>,
-    /// Notification signalled on request arrival (the virtual NIC IRQ):
-    /// lets the server block instead of polling an empty RX ring.
-    doorbell: Mutex<Option<ObjId>>,
-}
-
-impl NetPort {
-    /// Creates a port and initializes both rings.
-    pub fn new(
-        kernel: Arc<Kernel>,
-        vmspace: ObjId,
-        layout: PortLayout,
-        ext_sync: bool,
-    ) -> Result<Arc<Self>, KernelError> {
-        let io = HostIo::new(kernel, vmspace);
-        ring::init(&io, &layout.rx)?;
-        ring::init(&io, &layout.tx)?;
-        io.mem_write_u64(layout.rx_cursor_addr, 0)?;
-        Ok(Self::from_io(io, layout, ext_sync))
-    }
-
-    /// Reattaches to existing rings after a restore, *without*
-    /// reinitializing them (the rings are eternal and their contents must
-    /// survive; the restore callback does the reconciliation).
-    ///
-    /// `next_seq` must be beyond any previously used sequence number so
-    /// retransmitted and fresh requests never collide.
-    pub fn attach(
-        kernel: Arc<Kernel>,
-        vmspace: ObjId,
-        layout: PortLayout,
-        ext_sync: bool,
-        next_seq: u64,
-    ) -> Arc<Self> {
-        let port = Self::from_io(HostIo::new(kernel, vmspace), layout, ext_sync);
-        port.next_seq.store(next_seq, Ordering::SeqCst);
-        port
-    }
-
-    fn from_io(io: HostIo, layout: PortLayout, ext_sync: bool) -> Arc<Self> {
-        Arc::new(Self {
-            io,
-            layout,
-            ext_sync: AtomicBool::new(ext_sync),
-            next_seq: AtomicU64::new(1),
-            prev_cursor_sample: AtomicU64::new(0),
-            pending: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-            pump_lock: Mutex::new(()),
-            doorbell: Mutex::new(None),
-        })
-    }
-
-    /// The ring placement this port serves (e.g. to re-attach after a
-    /// restore).
-    pub fn layout(&self) -> PortLayout {
-        self.layout
-    }
-
-    /// Binds the doorbell notification signalled on each request (the
-    /// virtual interrupt that wakes a blocked server thread).
-    pub fn set_doorbell(&self, notif: ObjId) {
-        *self.doorbell.lock() = Some(notif);
-    }
-
-    /// Enables or disables delayed external visibility.
-    pub fn set_ext_sync(&self, on: bool) {
-        self.ext_sync.store(on, Ordering::SeqCst);
-    }
-
-    /// Returns whether external synchrony is enabled.
-    pub fn ext_sync(&self) -> bool {
-        self.ext_sync.load(Ordering::SeqCst)
-    }
-
-    /// Sends a request into the RX ring, returning its sequence number.
-    pub fn send_request(&self, data: &[u8]) -> Result<u64, RingError> {
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        self.pending.lock().insert(seq, None);
-        ring::push(&self.io, &self.layout.rx, seq, data)?;
-        // Ring the doorbell: wake the (possibly blocked) server thread.
-        if let Some(n) = *self.doorbell.lock() {
-            let _ = self.io.kernel.signal_object(n);
-        }
-        Ok(seq)
-    }
-
-    /// Drains visible responses from the TX ring into the pending map
-    /// (one "NIC interrupt" worth of work). Safe to call concurrently.
-    pub fn pump(&self) {
-        let _g = self.pump_lock.lock();
-        let limit = if self.ext_sync() { hdr::VISIBLE_WRITER } else { hdr::WRITER };
-        let mut any = false;
-        while let Ok(Some(msg)) = ring::pop_below(&self.io, &self.layout.tx, limit) {
-            let mut pending = self.pending.lock();
-            // Duplicate responses (server re-processed after restore) hit
-            // an absent or already-fulfilled entry and are dropped.
-            if let Some(slot) = pending.get_mut(&msg.seq) {
-                if slot.is_none() {
-                    *slot = Some(msg.payload);
-                    any = true;
-                }
-            }
-        }
-        // Release consumed TX slots for reuse.
-        if let Ok(reader) = ring::header(&self.io, &self.layout.tx, hdr::READER) {
-            let _ = ring::set_header(&self.io, &self.layout.tx, hdr::ACK, reader);
-        }
-        // Without external synchrony no durability is promised for
-        // requests, so consumed RX slots are released eagerly (with
-        // ext-sync the checkpoint callback does this conservatively).
-        if !self.ext_sync() {
-            if let Ok(cursor) = self.io.mem_read_u64(self.layout.rx_cursor_addr) {
-                let _ = ring::set_header(&self.io, &self.layout.rx, hdr::ACK, cursor);
-            }
-        }
-        if any {
-            self.cv.notify_all();
-        }
-    }
-
-    /// Takes a fulfilled response without blocking.
-    pub fn try_take(&self, seq: u64) -> Option<Vec<u8>> {
-        let mut pending = self.pending.lock();
-        match pending.get(&seq) {
-            Some(Some(_)) => pending.remove(&seq).flatten(),
-            _ => None,
-        }
-    }
-
-    /// Sends a request and waits for its response.
-    ///
-    /// Returns `None` on timeout (the entry is abandoned; a duplicate
-    /// response arriving later is dropped).
-    pub fn call(&self, data: &[u8], timeout: Duration) -> Result<Option<Vec<u8>>, RingError> {
-        let seq = self.send_request(data)?;
-        let deadline = Instant::now() + timeout;
-        loop {
-            self.pump();
-            {
-                let mut pending = self.pending.lock();
-                if matches!(pending.get(&seq), Some(Some(_))) {
-                    return Ok(pending.remove(&seq).flatten());
-                }
-                if Instant::now() >= deadline {
-                    pending.remove(&seq);
-                    return Ok(None);
-                }
-                self.cv.wait_for(&mut pending, Duration::from_micros(50));
-            }
-        }
-    }
-
-    /// Number of requests awaiting responses.
-    pub fn in_flight(&self) -> usize {
-        self.pending.lock().values().filter(|v| v.is_none()).count()
-    }
-}
-
-impl CkptCallback for NetPort {
-    fn on_checkpoint(&self, version: u64) {
-        treesls_nvm::crash_site!(self.io.kernel.pers.dev.crash_schedule(), "extsync.pre_ckpt_cb");
-        // Release responses whose producing state is now persistent.
-        let _ = ring::advance_visible(&self.io, &self.layout.tx, version);
-        // Double-buffered RX acknowledgement: the cursor sampled at the
-        // *previous* checkpoint is ≤ the cursor captured by this commit,
-        // so those request slots can never be needed again.
-        if let Ok(cursor) = self.io.mem_read_u64(self.layout.rx_cursor_addr) {
-            let prev = self.prev_cursor_sample.swap(cursor, Ordering::SeqCst);
-            let _ = ring::set_header(&self.io, &self.layout.rx, hdr::ACK, prev);
-        }
-        // Observe the TX ring right after the publish: depth (unreleased
-        // responses) and visible-lag (produced but still held back) are the
-        // external-synchrony cost the paper's §5 evaluation reports.
-        if let (Ok(writer), Ok(visible), Ok(ack)) = (
-            ring::header(&self.io, &self.layout.tx, hdr::WRITER),
-            ring::header(&self.io, &self.layout.tx, hdr::VISIBLE_WRITER),
-            ring::header(&self.io, &self.layout.tx, hdr::ACK),
-        ) {
-            let kernel = &self.io.kernel;
-            kernel.metrics.record_ring_publish();
-            kernel
-                .metrics
-                .set_ring_gauges(writer.saturating_sub(ack), writer.saturating_sub(visible));
-            kernel.pers.recorder().record(
-                treesls_obs::EventKind::RingPublish,
-                [version, writer, visible, ack, 0, 0],
-            );
-        }
-        self.cv.notify_all();
-    }
-
-    fn on_restore(&self, version: u64) {
-        treesls_nvm::crash_site!(self.io.kernel.pers.dev.crash_schedule(), "extsync.pre_restore_cb");
-        // Discard responses produced by the rolled-back interval; the
-        // restored server will re-produce them.
-        let _ = ring::truncate_uncommitted(&self.io, &self.layout.tx, version);
-        // The cursor sample is stale for the new epoch.
-        self.prev_cursor_sample.store(0, Ordering::SeqCst);
-        // Replay the doorbell interrupt if requests were already queued
-        // when power failed: the rings are eternal, so the requests
-        // survived, but the server may have been checkpointed *blocked*
-        // on the doorbell — the interrupt edge died with the power, and
-        // without a replay the server would sleep on undelivered requests
-        // until the next fresh request happens to arrive.
-        if let (Ok(cursor), Ok(writer)) = (
-            self.io.mem_read_u64(self.layout.rx_cursor_addr),
-            ring::header(&self.io, &self.layout.rx, hdr::WRITER),
-        ) {
-            if cursor < writer {
-                if let Some(n) = *self.doorbell.lock() {
-                    let _ = self.io.kernel.signal_object(n);
-                }
-            }
-        }
-        self.cv.notify_all();
-    }
-}
-
-impl std::fmt::Debug for NetPort {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetPort")
-            .field("ext_sync", &self.ext_sync())
-            .field("in_flight", &self.in_flight())
-            .finish()
-    }
 }
 
 /// Server-side (in-SLS) helper: polls the RX ring using the server's

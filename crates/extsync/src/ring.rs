@@ -269,6 +269,29 @@ pub fn advance_visible<M: MemIo>(
     layout: &RingLayout,
     committed: u64,
 ) -> Result<u64, KernelError> {
+    let visible = advance_visible_unfenced(io, layout, committed)?;
+    // The visibility bound must be durable before any message below it
+    // leaves the system.
+    io.flush();
+    Ok(visible)
+}
+
+/// [`advance_visible`] without the trailing persistence barrier, for
+/// callers advancing *many* rings under one commit: a multi-queue NIC
+/// advances every queue's bound and then issues a single barrier — the
+/// cross-queue visibility barrier.
+///
+/// Deferring the fence is safe because the visible-writer store is
+/// *derived* state: the tags it covers are already `< committed`, so a
+/// crash that drops the unfenced store merely re-derives the same bound at
+/// the next commit. No message leaves the system until the caller's
+/// barrier completes, because consumers only pop below the visible writer
+/// the caller publishes after flushing.
+pub fn advance_visible_unfenced<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    committed: u64,
+) -> Result<u64, KernelError> {
     let writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
     let mut visible = io.mem_read_u64(layout.base + hdr::VISIBLE_WRITER)?;
     while visible < writer {
@@ -284,15 +307,28 @@ pub fn advance_visible<M: MemIo>(
     // same bound.
     io.crash_hook("ring.pre_visible_store");
     io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, visible)?;
-    // The visibility bound must be durable before any message below it
-    // leaves the system.
-    io.flush();
     Ok(visible)
 }
 
 /// Restore callback body: discards messages whose producing state was
 /// rolled back (tag `>= restored`), as in Figure 8(d).
 pub fn truncate_uncommitted<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    restored: u64,
+) -> Result<u64, KernelError> {
+    let writer = truncate_uncommitted_unfenced(io, layout, restored)?;
+    // The truncation must be durable before the restored system resumes
+    // producing messages into the reclaimed slots.
+    io.flush();
+    Ok(writer)
+}
+
+/// [`truncate_uncommitted`] without the trailing persistence barrier, for
+/// restore paths reconciling many rings before one barrier. Truncation is
+/// idempotent (re-running the walk reproduces the same writer), so the
+/// deferred fence only delays, never weakens, the reconciliation.
+pub fn truncate_uncommitted_unfenced<M: MemIo>(
     io: &M,
     layout: &RingLayout,
     restored: u64,
@@ -317,9 +353,6 @@ pub fn truncate_uncommitted<M: MemIo>(
     if visible > writer {
         io.mem_write_u64(layout.base + hdr::VISIBLE_WRITER, writer)?;
     }
-    // The truncation must be durable before the restored system resumes
-    // producing messages into the reclaimed slots.
-    io.flush();
     Ok(writer)
 }
 

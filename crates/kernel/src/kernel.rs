@@ -823,6 +823,48 @@ impl Kernel {
         Ok(())
     }
 
+    /// Signals a batch of notification objects in one pass (doorbell
+    /// fan-in): each notification's counter is bumped under its own body
+    /// lock, the woken waiters are collected, and the scheduler is poked
+    /// once for the whole batch instead of once per doorbell. Invalid ids
+    /// in the batch are skipped — a device re-arming many queues must not
+    /// lose the rest because one queue's doorbell was revoked.
+    pub fn signal_objects(&self, notif_ids: &[ObjId]) {
+        let mut woken = Vec::new();
+        for &id in notif_ids {
+            let Ok(notif) = self.object(id) else { continue };
+            let mut body = notif.body.write();
+            let tid = match &mut *body {
+                ObjectBody::Notification(n) => n.signal(),
+                ObjectBody::IrqNotification(irq) => irq.inner.signal(),
+                _ => continue,
+            };
+            notif.mark_dirty();
+            drop(body);
+            if let Some(tid) = tid {
+                woken.push(tid);
+            }
+        }
+        // Mark runnable first (each under its thread lock), then hand the
+        // whole batch to the scheduler with one lock acquisition.
+        let mut enqueue = Vec::with_capacity(woken.len());
+        for tid in woken {
+            let Ok(th) = self.typed_object(tid, ObjType::Thread) else { continue };
+            let mut body = th.body.write();
+            if let ObjectBody::Thread(t) = &mut *body {
+                if t.state == ThreadState::Exited {
+                    continue;
+                }
+                t.state = ThreadState::Runnable;
+                th.mark_dirty();
+                if !t.on_cpu {
+                    enqueue.push(tid);
+                }
+            }
+        }
+        self.sched.enqueue_batch(&enqueue);
+    }
+
     /// Raises virtual interrupt `line`, signalling its IRQ notification.
     pub fn raise_irq(&self, line: u32) -> Result<(), KernelError> {
         let id = self

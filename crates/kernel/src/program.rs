@@ -135,6 +135,14 @@ impl<'a> UserCtx<'a> {
         self.kernel.pers.dev.persist_barrier();
     }
 
+    /// Crash-injection hook: forwards a named `crash_site!` marker to the
+    /// device's crash schedule, so fault enumerations can cut execution
+    /// between any two stores of in-SLS driver code (e.g. a server
+    /// publishing a ring slot). Free when no schedule is armed.
+    pub fn crash_site(&self, site: &'static str) {
+        self.kernel.pers.dev.crash_schedule().site(site);
+    }
+
     // ---- registers -------------------------------------------------------
 
     /// Reads general-purpose register `i`.

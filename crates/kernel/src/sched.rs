@@ -38,6 +38,18 @@ impl Scheduler {
         self.cv.notify_one();
     }
 
+    /// Enqueues a batch of runnable threads under one queue lock and wakes
+    /// every parked core once — the fan-in path for a multi-queue device
+    /// raising many doorbells at the same event (e.g. a NIC re-arming all
+    /// of its queues after a restore).
+    pub fn enqueue_batch(&self, tids: &[ObjId]) {
+        if tids.is_empty() {
+            return;
+        }
+        self.queue.lock().extend(tids.iter().copied());
+        self.cv.notify_all();
+    }
+
     /// Dequeues the next runnable thread, if any (non-blocking).
     pub fn next(&self) -> Option<ObjId> {
         self.queue.lock().pop_front()

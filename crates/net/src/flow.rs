@@ -1,0 +1,57 @@
+//! RSS-style flow steering: a stateless hash spreads flows over queues.
+//!
+//! Real NICs hash the connection 5-tuple into an indirection table so one
+//! flow always lands on one queue (ordering within a flow) while distinct
+//! flows spread across queues (parallelism). The emulated NIC keys the
+//! same decision off an opaque 64-bit flow id chosen by the client — a
+//! connection id, a key hash, whatever identifies "one conversation".
+
+/// Mixes a flow id into a well-distributed 64-bit hash (the finalizer of
+/// SplitMix64 — full avalanche, so adjacent flow ids land on unrelated
+/// queues).
+pub fn flow_hash(flow: u64) -> u64 {
+    let mut z = flow.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The queue a flow is steered to, for a NIC with `queues` queues.
+pub fn queue_for(flow: u64, queues: usize) -> usize {
+    debug_assert!(queues > 0, "a NIC has at least one queue");
+    (flow_hash(flow) % queues.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steering_is_stable() {
+        for flow in 0..64u64 {
+            assert_eq!(queue_for(flow, 4), queue_for(flow, 4));
+        }
+    }
+
+    #[test]
+    fn flows_spread_over_queues() {
+        let queues = 4;
+        let mut hits = vec![0u32; queues];
+        for flow in 0..1024u64 {
+            hits[queue_for(flow, queues)] += 1;
+        }
+        for (q, &h) in hits.iter().enumerate() {
+            assert!(
+                h > 128,
+                "queue {q} got only {h}/1024 flows — hash is not spreading"
+            );
+        }
+    }
+
+    #[test]
+    fn single_queue_takes_everything() {
+        for flow in [0u64, 1, u64::MAX] {
+            assert_eq!(queue_for(flow, 1), 0);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `treesls-net` — the multi-queue virtual NIC and poll-mode server
+//! runtime with commit-gated TX.
+//!
+//! The paper's §5 network server is a single boundary where external
+//! synchrony is enforced: responses leave the machine only after the
+//! checkpoint covering their producing state commits. This crate scales
+//! that boundary out to a device: a [`VirtualNic`] with N queues
+//! (RSS-style flow steering, per-queue doorbells, per-queue credit
+//! admission), a [`PollServer`] runtime running one service loop per
+//! queue, and **one** commit-time visibility barrier that releases every
+//! queue's held-back responses together.
+//!
+//! Layering: `extsync` provides the version-tagged rings and the
+//! host-side DMA view; this crate provides the *device* built from them;
+//! `apps` plugs protocol [`Service`]s into the runtime.
+//!
+//! * [`flow`] — RSS-style flow→queue steering.
+//! * [`fault`] — deterministic drop/duplicate/reorder wire model,
+//!   composable with a [`treesls_nvm::CrashSchedule`].
+//! * [`nic`] — the NIC device: queues, credits, doorbells, and the
+//!   checkpoint/restore callbacks (visibility barrier, uniform re-arm).
+//! * [`runtime`] — the poll-mode server loop and the [`Service`] trait.
+//! * [`deploy`] — spawning a NIC-backed service process inside the SLS.
+
+pub mod deploy;
+pub mod fault;
+pub mod flow;
+pub mod nic;
+pub mod runtime;
+
+pub use deploy::{deploy, DeploySpec, NicDeployment};
+pub use fault::NetFaultConfig;
+pub use flow::{flow_hash, queue_for};
+pub use nic::{CallOutcome, NetError, NicConfig, NicLayout, VirtualNic};
+pub use runtime::{PollServer, Service, ServiceError};

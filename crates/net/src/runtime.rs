@@ -1,0 +1,111 @@
+//! The poll-mode server runtime: one service loop per queue.
+//!
+//! A [`PollServer`] is the in-SLS half of a NIC queue — a re-entrant
+//! step-machine program pinned to one emulated core, draining its RX ring
+//! in batches and dispatching each request to a registered [`Service`].
+//! It is the DPDK-style shape: the loop *polls* while work is queued and
+//! parks on the queue's doorbell notification (the virtual MSI) only when
+//! the ring runs dry, so an idle queue costs no cycles but a busy one
+//! never takes an interrupt.
+//!
+//! Crash discipline: the loop peeks, processes, replies, and only then
+//! advances its RX cursor — so a crash at any step boundary re-processes
+//! the request (at-least-once) and the host dedups the duplicate response
+//! by sequence number. The cursor lives in ordinary rolled-back memory;
+//! the rings are eternal.
+
+use treesls_extsync::port::{server_reply, PortLayout};
+use treesls_extsync::ring::{self, hdr, MemIo};
+use treesls_kernel::program::{Program, StepOutcome, UserCtx};
+use treesls_kernel::types::CapSlot;
+
+/// Fatal service failure: the serving thread exits and the queue goes
+/// dead (recoverable state stays in the eternal rings). Deliberately
+/// opaque — protocol-level errors travel in the response payload, not
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceError;
+
+/// An application protocol served by a [`PollServer`].
+///
+/// Implementations live in `treesls-apps` (KV table, LSM tree); the
+/// runtime stays protocol-agnostic.
+pub trait Service: Send + Sync + std::fmt::Debug {
+    /// One-time in-SLS initialization (first boot only — a restored
+    /// thread resumes past it and re-attaches inside [`Service::handle`]).
+    fn init(&self, ctx: &mut UserCtx<'_>) -> Result<(), ServiceError>;
+
+    /// Handles one request payload, returning the response payload.
+    /// `Err` is fatal and exits the serving thread.
+    fn handle(&self, ctx: &mut UserCtx<'_>, payload: &[u8]) -> Result<Vec<u8>, ServiceError>;
+}
+
+/// Register allocation of the poll loop (shared with `treesls-apps`
+/// conventions: `DONE` counts served requests).
+pub mod regs {
+    /// Requests served so far.
+    pub const DONE: usize = 2;
+}
+
+/// One queue's poll-mode service loop (see the module docs).
+#[derive(Debug)]
+pub struct PollServer {
+    /// The queue's ring pair and RX cursor.
+    pub port: PortLayout,
+    /// The application protocol behind this queue.
+    pub service: std::sync::Arc<dyn Service>,
+    /// Requests served per step (syscall-boundary granularity).
+    pub batch: usize,
+    /// Capability slot of the queue's doorbell notification.
+    pub doorbell_slot: CapSlot,
+}
+
+impl Program for PollServer {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        if ctx.pc() == 0 {
+            if self.service.init(ctx).is_err() {
+                return StepOutcome::Exited;
+            }
+            ctx.set_pc(1);
+            return StepOutcome::Ready;
+        }
+        for _ in 0..self.batch.max(1) {
+            // Peek-process-advance so a full TX ring retries the same
+            // request next step instead of dropping it.
+            let Ok(cursor) = ctx.mem_read_u64(self.port.rx_cursor_addr) else {
+                return StepOutcome::Exited;
+            };
+            let Ok(writer) = ring::header(ctx, &self.port.rx, hdr::WRITER) else {
+                return StepOutcome::Exited;
+            };
+            if cursor >= writer {
+                // Ring dry: park on the doorbell rather than spinning.
+                return match ctx.notif_wait(self.doorbell_slot) {
+                    Ok(true) => StepOutcome::Ready, // re-check the ring
+                    Ok(false) => StepOutcome::Blocked,
+                    Err(_) => StepOutcome::Exited,
+                };
+            }
+            let Ok(msg) = ring::read_at(ctx, &self.port.rx, cursor) else {
+                return StepOutcome::Exited;
+            };
+            let Ok(resp) = self.service.handle(ctx, &msg.payload) else {
+                return StepOutcome::Exited;
+            };
+            if server_reply(ctx, &self.port, msg.seq, &resp).is_err() {
+                // TX full: retry this request next step.
+                return StepOutcome::Yielded;
+            }
+            // The response is published (tagged, not yet visible) but the
+            // cursor still points at the request: a crash here re-serves
+            // it and the host drops the duplicate response.
+            ctx.crash_site("net.tx_published");
+            if ctx.mem_write_u64(self.port.rx_cursor_addr, cursor + 1).is_err() {
+                return StepOutcome::Exited;
+            }
+            let done = ctx.reg(regs::DONE);
+            ctx.set_reg(regs::DONE, done + 1);
+        }
+        StepOutcome::Ready
+    }
+}

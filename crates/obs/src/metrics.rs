@@ -170,6 +170,16 @@ pub struct MetricsRegistry {
     tree_tombstoned: AtomicU64,
     dirty_queue_depth: AtomicU64,
     shard_contention: AtomicU64,
+    net_requests: AtomicU64,
+    net_sheds: AtomicU64,
+    net_rearms: AtomicU64,
+    net_faults_dropped: AtomicU64,
+    net_faults_duplicated: AtomicU64,
+    net_faults_reordered: AtomicU64,
+    net_visible_lag_max: AtomicU64,
+    net_visible_lag_sum: AtomicU64,
+    net_rx_occupancy_hwm: AtomicU64,
+    net_tx_occupancy_hwm: AtomicU64,
     pause: PauseHistogram,
 }
 
@@ -287,6 +297,61 @@ impl MetricsRegistry {
         let _ = (dirty_queue_depth, shard_contention);
     }
 
+    /// Records one request admitted by a virtual NIC.
+    #[inline]
+    pub fn record_net_request(&self) {
+        #[cfg(feature = "metrics")]
+        self.net_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed by NIC admission control (credit budget
+    /// exhausted or RX descriptor ring full → explicit `Busy` reply).
+    #[inline]
+    pub fn record_net_shed(&self) {
+        #[cfg(feature = "metrics")]
+        self.net_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records queue doorbells re-armed by a NIC restore callback.
+    #[inline]
+    pub fn record_net_rearm(&self, queues: u64) {
+        #[cfg(feature = "metrics")]
+        self.net_rearms.fetch_add(queues, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = queues;
+    }
+
+    /// Records packets perturbed by the network fault model.
+    #[inline]
+    pub fn record_net_faults(&self, dropped: u64, duplicated: u64, reordered: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.net_faults_dropped.fetch_add(dropped, Ordering::Relaxed);
+            self.net_faults_duplicated.fetch_add(duplicated, Ordering::Relaxed);
+            self.net_faults_reordered.fetch_add(reordered, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (dropped, duplicated, reordered);
+    }
+
+    /// Updates the per-commit visible-lag gauges (`writer −
+    /// visible_writer` merged across queues: the worst queue and the
+    /// whole-NIC sum) and folds ring occupancies into the high-water
+    /// marks. Sampled by the NIC's checkpoint callback after the
+    /// visibility barrier.
+    #[inline]
+    pub fn record_net_barrier(&self, lag_max: u64, lag_sum: u64, rx_occupancy: u64, tx_occupancy: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.net_visible_lag_max.store(lag_max, Ordering::Relaxed);
+            self.net_visible_lag_sum.store(lag_sum, Ordering::Relaxed);
+            self.net_rx_occupancy_hwm.fetch_max(rx_occupancy, Ordering::Relaxed);
+            self.net_tx_occupancy_hwm.fetch_max(tx_occupancy, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (lag_max, lag_sum, rx_occupancy, tx_occupancy);
+    }
+
     /// The stop-the-world pause histogram.
     pub fn pause_histogram(&self) -> &PauseHistogram {
         &self.pause
@@ -320,6 +385,16 @@ impl MetricsRegistry {
                 tree_tombstoned: l(&self.tree_tombstoned),
                 dirty_queue_depth: l(&self.dirty_queue_depth),
                 shard_contention: l(&self.shard_contention),
+                net_requests: l(&self.net_requests),
+                net_sheds: l(&self.net_sheds),
+                net_rearms: l(&self.net_rearms),
+                net_faults_dropped: l(&self.net_faults_dropped),
+                net_faults_duplicated: l(&self.net_faults_duplicated),
+                net_faults_reordered: l(&self.net_faults_reordered),
+                net_visible_lag_max: l(&self.net_visible_lag_max),
+                net_visible_lag_sum: l(&self.net_visible_lag_sum),
+                net_rx_occupancy_hwm: l(&self.net_rx_occupancy_hwm),
+                net_tx_occupancy_hwm: l(&self.net_tx_occupancy_hwm),
                 pause: self.pause.stats(),
                 ..MetricsSnapshot::default()
             }
@@ -373,6 +448,28 @@ pub struct MetricsSnapshot {
     pub dirty_queue_depth: u64,
     /// Gauge: cumulative sharded-store lock contention events.
     pub shard_contention: u64,
+    /// Requests admitted by virtual NICs.
+    pub net_requests: u64,
+    /// Requests shed by NIC admission control (`Busy` replies).
+    pub net_sheds: u64,
+    /// Queue doorbells re-armed by NIC restore callbacks.
+    pub net_rearms: u64,
+    /// Packets dropped by the network fault model.
+    pub net_faults_dropped: u64,
+    /// Packets duplicated by the network fault model.
+    pub net_faults_duplicated: u64,
+    /// Packets reordered by the network fault model.
+    pub net_faults_reordered: u64,
+    /// Gauge: worst per-queue `writer − visible_writer` at the last
+    /// visibility barrier.
+    pub net_visible_lag_max: u64,
+    /// Gauge: summed `writer − visible_writer` across all queues at the
+    /// last visibility barrier.
+    pub net_visible_lag_sum: u64,
+    /// High-water mark of RX ring occupancy across all queues.
+    pub net_rx_occupancy_hwm: u64,
+    /// High-water mark of TX ring occupancy across all queues.
+    pub net_tx_occupancy_hwm: u64,
     /// Stop-the-world pause distribution.
     pub pause: PauseStats,
     /// Copy-on-write page faults taken (kernel).
@@ -418,6 +515,16 @@ impl MetricsSnapshot {
             tree_tombstoned: self.tree_tombstoned - earlier.tree_tombstoned,
             dirty_queue_depth: self.dirty_queue_depth,
             shard_contention: self.shard_contention,
+            net_requests: self.net_requests - earlier.net_requests,
+            net_sheds: self.net_sheds - earlier.net_sheds,
+            net_rearms: self.net_rearms - earlier.net_rearms,
+            net_faults_dropped: self.net_faults_dropped - earlier.net_faults_dropped,
+            net_faults_duplicated: self.net_faults_duplicated - earlier.net_faults_duplicated,
+            net_faults_reordered: self.net_faults_reordered - earlier.net_faults_reordered,
+            net_visible_lag_max: self.net_visible_lag_max,
+            net_visible_lag_sum: self.net_visible_lag_sum,
+            net_rx_occupancy_hwm: self.net_rx_occupancy_hwm,
+            net_tx_occupancy_hwm: self.net_tx_occupancy_hwm,
             pause: self.pause,
             write_faults: self.write_faults - earlier.write_faults,
             minor_faults: self.minor_faults - earlier.minor_faults,
@@ -476,6 +583,21 @@ impl MetricsSnapshot {
                     ("oroots_tombstoned".into(), u(self.tree_tombstoned)),
                     ("dirty_queue_depth".into(), u(self.dirty_queue_depth)),
                     ("shard_contention".into(), u(self.shard_contention)),
+                ]),
+            ),
+            (
+                "net".into(),
+                Json::Obj(vec![
+                    ("requests".into(), u(self.net_requests)),
+                    ("sheds".into(), u(self.net_sheds)),
+                    ("rearms".into(), u(self.net_rearms)),
+                    ("faults_dropped".into(), u(self.net_faults_dropped)),
+                    ("faults_duplicated".into(), u(self.net_faults_duplicated)),
+                    ("faults_reordered".into(), u(self.net_faults_reordered)),
+                    ("visible_lag_max".into(), u(self.net_visible_lag_max)),
+                    ("visible_lag_sum".into(), u(self.net_visible_lag_sum)),
+                    ("rx_occupancy_hwm".into(), u(self.net_rx_occupancy_hwm)),
+                    ("tx_occupancy_hwm".into(), u(self.net_tx_occupancy_hwm)),
                 ]),
             ),
             (
@@ -555,6 +677,10 @@ mod tests {
         r.record_backup_page(5);
         r.record_ring_publish();
         r.set_ring_gauges(7, 2);
+        r.record_net_request();
+        r.record_net_shed();
+        r.record_net_barrier(3, 5, 7, 9);
+        r.record_net_barrier(2, 4, 6, 11);
         let a = r.snapshot();
         if cfg!(feature = "metrics") {
             assert_eq!(a.checkpoints, 1);
@@ -562,6 +688,14 @@ mod tests {
             assert_eq!(a.backup_pages_even, 1);
             assert_eq!(a.backup_pages_odd, 1);
             assert_eq!(a.ring_depth, 7);
+            assert_eq!(a.net_requests, 1);
+            assert_eq!(a.net_sheds, 1);
+            // Lag gauges carry the latest barrier; occupancies are
+            // high-water marks across barriers.
+            assert_eq!(a.net_visible_lag_max, 2);
+            assert_eq!(a.net_visible_lag_sum, 4);
+            assert_eq!(a.net_rx_occupancy_hwm, 7);
+            assert_eq!(a.net_tx_occupancy_hwm, 11);
             assert_eq!(a.pause.count, 1);
         } else {
             assert_eq!(a, MetricsSnapshot::default());
@@ -583,6 +717,7 @@ mod tests {
             "backup_pages",
             "extsync",
             "tree_walk",
+            "net",
             "faults",
             "nvm",
             "alloc_journal",

@@ -94,6 +94,16 @@ pub enum EventKind {
     /// `[inflight_version, full_walk(0|1), dirty_drained, records_copied,
     /// records_offloaded, oroots_tombstoned]`.
     TreeWalk = 12,
+    /// A virtual NIC released all of its queues' buffered responses under
+    /// one commit (the cross-queue visibility barrier). Payload:
+    /// `[version, queues, released_msgs, visible_lag_max, visible_lag_sum,
+    /// tx_depth_sum]`.
+    NetBarrier = 13,
+    /// A virtual NIC re-armed its queue doorbells after a restore
+    /// (requests survived in the eternal RX rings; the interrupt edges did
+    /// not). Payload: `[restored_version, queues, rearmed, truncated_msgs,
+    /// 0, 0]`.
+    NetRearm = 14,
 }
 
 impl EventKind {
@@ -112,6 +122,8 @@ impl EventKind {
             10 => EventKind::RingPublish,
             11 => EventKind::Marker,
             12 => EventKind::TreeWalk,
+            13 => EventKind::NetBarrier,
+            14 => EventKind::NetRearm,
             _ => return None,
         })
     }
@@ -131,6 +143,8 @@ impl EventKind {
             EventKind::RingPublish => "ring_publish",
             EventKind::Marker => "marker",
             EventKind::TreeWalk => "tree_walk",
+            EventKind::NetBarrier => "net_barrier",
+            EventKind::NetRearm => "net_rearm",
         }
     }
 }

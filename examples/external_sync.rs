@@ -28,7 +28,7 @@ fn main() {
     let mut sys = System::boot(config());
     let dep = deploy_kv(&sys, 1, 1024, 128, /* ext_sync = */ true, ShardGeometry::default());
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
 
     // Measure the ext-sync latency: roughly one checkpoint interval.
     let mut worst = Duration::ZERO;
@@ -40,7 +40,10 @@ fn main() {
             value: b"v".to_vec(),
         };
         let t0 = Instant::now();
-        port.call(&op.encode(), Duration::from_secs(5)).unwrap().expect("ack");
+        nic.call(i as u64, &op.encode(), Duration::from_secs(5))
+            .unwrap()
+            .reply()
+            .expect("ack");
         let dt = t0.elapsed();
         sum += dt;
         worst = worst.max(dt);
@@ -52,7 +55,7 @@ fn main() {
 
     // The acknowledgement is a durability receipt: crash now and verify.
     let op = KvOp::Set { key: make_key(b"receipt"), value: b"durable".to_vec() };
-    port.call(&op.encode(), Duration::from_secs(5)).unwrap().expect("ack");
+    nic.call(0, &op.encode(), Duration::from_secs(5)).unwrap().reply().expect("ack");
     println!("SET 'receipt' acknowledged — pulling the plug NOW");
     sys.stop();
     let programs: Vec<(String, Arc<dyn Program>)> = sys

@@ -30,14 +30,17 @@ fn main() {
     let t0 = std::time::Instant::now();
     let n = 5_000u64;
     for i in 0..n {
-        let shard = (i % 2) as usize;
         let op = KvOp::Set {
             key: make_key(format!("user:{i}").as_bytes()),
             value: format!("profile-data-{i}").into_bytes(),
         };
-        let resp = dep.ports[shard]
-            .call(&op.encode(), Duration::from_secs(5))
+        // The user id doubles as the flow id: the NIC's RSS hash steers
+        // each user to a fixed shard.
+        let resp = dep
+            .nic
+            .call(i, &op.encode(), Duration::from_secs(5))
             .expect("ring")
+            .reply()
             .expect("response");
         assert!(matches!(KvResp::decode(&resp), Some(KvResp::Ok(None))));
     }
@@ -50,9 +53,11 @@ fn main() {
     // Read a few back.
     for i in [0u64, 777, 4999] {
         let op = KvOp::Get { key: make_key(format!("user:{i}").as_bytes()) };
-        let resp = dep.ports[(i % 2) as usize]
-            .call(&op.encode(), Duration::from_secs(5))
+        let resp = dep
+            .nic
+            .call(i, &op.encode(), Duration::from_secs(5))
             .expect("ring")
+            .reply()
             .expect("response");
         match KvResp::decode(&resp) {
             Some(KvResp::Ok(Some(v))) => {

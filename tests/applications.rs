@@ -98,16 +98,18 @@ fn kv_store_contents_survive_crash_recover() {
     });
     let dep = deploy_kv(&sys, 2, 1024, 128, false, ShardGeometry::default());
     sys.start();
-    // Populate both shards.
+    // Populate both shards; the key doubles as the flow id, so the RSS
+    // hash decides which shard owns each key.
     for i in 0..100u64 {
-        let shard = (i % 2) as usize;
         let op = KvOp::Set {
             key: make_key(format!("key{i}").as_bytes()),
             value: format!("value{i}").into_bytes(),
         };
-        let resp = dep.ports[shard]
-            .call(&op.encode(), Duration::from_secs(5))
+        let resp = dep
+            .nic
+            .call(i, &op.encode(), Duration::from_secs(5))
             .unwrap()
+            .reply()
             .expect("SET acked");
         assert!(matches!(KvResp::decode(&resp), Some(KvResp::Ok(None))));
     }
@@ -160,7 +162,7 @@ fn kv_store_contents_survive_crash_recover() {
     for shard in 0..2u64 {
         let table = HashKv::attach(&io, shard * stride).expect("restored table");
         for i in 0..100u64 {
-            if (i % 2) != shard {
+            if treesls::net::queue_for(i, 2) != shard as usize {
                 continue;
             }
             let got = table.get(&io, &make_key(format!("key{i}").as_bytes())).unwrap();

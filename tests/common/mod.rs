@@ -10,13 +10,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use treesls::extsync::{check_ext_sync_invariants, HostIo, NetPort};
+use treesls::extsync::{check_ext_sync_invariants, HostIo, RingError};
+use treesls::net::{NetError, NetFaultConfig, VirtualNic};
 use treesls::{
     CrashScenario, ObjId, Program, ProgramRegistry, RestoreReport, StepOutcome, System,
     SystemConfig, UserCtx,
 };
 use treesls_apps::wire::{make_key, KvOp, KvResp};
-use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+use treesls_bench::ringsetup::{deploy_kv_cfg, nic_config, ShardGeometry};
 use treesls_kernel::cores::run_slice;
 use treesls_kernel::object::{ObjType, ObjectBody};
 
@@ -31,9 +32,11 @@ pub fn step(sys: &System, tid: ObjId, steps: usize) {
     run_slice(sys.kernel(), tid, steps, sys.manager().stw());
 }
 
-/// Finds the cap group named `name` and returns its (vmspace, first
-/// thread, first notification) — the post-restore handles of a process.
-pub fn find_process(sys: &System, name: &str) -> (ObjId, ObjId, Option<ObjId>) {
+/// Finds the cap group named `name` and returns its (vmspace, threads,
+/// notifications) in capability-slot order — the post-restore handles of
+/// a process. Slot order matches creation order, so multi-queue NIC
+/// deployments get their per-queue threads and doorbells back aligned.
+pub fn find_process_all(sys: &System, name: &str) -> (ObjId, Vec<ObjId>, Vec<ObjId>) {
     let kernel = sys.kernel();
     let objects = kernel.objects.read();
     let group = objects
@@ -48,17 +51,25 @@ pub fn find_process(sys: &System, name: &str) -> (ObjId, ObjId, Option<ObjId>) {
     let body = group.body.read();
     let ObjectBody::CapGroup(g) = &*body else { unreachable!() };
     let mut vmspace = None;
-    let mut thread = None;
-    let mut notif = None;
+    let mut threads = Vec::new();
+    let mut notifs = Vec::new();
     for (_, c) in g.iter() {
         match kernel.object(c.obj).map(|o| o.otype) {
             Ok(ObjType::VmSpace) => vmspace = vmspace.or(Some(c.obj)),
-            Ok(ObjType::Thread) => thread = thread.or(Some(c.obj)),
-            Ok(ObjType::Notification) => notif = notif.or(Some(c.obj)),
+            Ok(ObjType::Thread) => threads.push(c.obj),
+            Ok(ObjType::Notification) => notifs.push(c.obj),
             _ => {}
         }
     }
-    (vmspace.expect("vmspace restored"), thread.expect("thread restored"), notif)
+    assert!(!threads.is_empty(), "thread restored");
+    (vmspace.expect("vmspace restored"), threads, notifs)
+}
+
+/// [`find_process_all`] narrowed to the single-threaded shape most
+/// scenarios use: (vmspace, first thread, first notification).
+pub fn find_process(sys: &System, name: &str) -> (ObjId, ObjId, Option<ObjId>) {
+    let (vmspace, threads, notifs) = find_process_all(sys, name);
+    (vmspace, threads[0], notifs.first().copied())
 }
 
 /// Reads the whole data heap of `vmspace` (`pages` 4 KiB pages).
@@ -122,9 +133,10 @@ impl Snapshots {
 }
 
 // ---------------------------------------------------------------------------
-// The hashkv workload behind a network port, with external synchrony.
-// `ops` SETs are pushed through the RX ring, the server is stepped
-// deterministically, and each iteration commits one checkpoint.
+// The hashkv workload behind a virtual NIC, with external synchrony.
+// `ops` SETs are steered by flow hash across the queues, the per-queue
+// servers are stepped deterministically, and each iteration commits one
+// checkpoint.
 // ---------------------------------------------------------------------------
 
 pub const KV_GEOM: ShardGeometry =
@@ -133,13 +145,35 @@ pub const KV_HEAP_PAGES: u64 = 17; // data_stride / 4096 + 1 (deploy_kv layout)
 
 pub struct KvRingScenario {
     pub ops: usize,
+    /// NIC queues (each owns a table shard).
+    pub queues: usize,
+    /// Requests pushed per checkpoint round; > 1 lets a reorder-window
+    /// wire actually permute packets within a round.
+    pub burst: usize,
+    /// Wire perturbations composed with the crash schedule. Keep
+    /// `drop_1_in == 0` — a deterministic one-shot workload cannot
+    /// retransmit, and a shed burst would stall the credit ledger.
+    pub fault: NetFaultConfig,
     /// Programs captured at deployment, re-registered after "reboot".
     pub programs: Mutex<Vec<(String, Arc<dyn Program>)>>,
 }
 
 impl KvRingScenario {
     pub fn new(ops: usize) -> Self {
-        Self { ops, programs: Mutex::new(Vec::new()) }
+        Self {
+            ops,
+            queues: 1,
+            burst: 1,
+            fault: NetFaultConfig::default(),
+            programs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Multi-queue variant over a misbehaving wire (duplicates and a
+    /// reorder window, no drops).
+    pub fn faulty(ops: usize, queues: usize, fault: NetFaultConfig) -> Self {
+        assert_eq!(fault.drop_1_in, 0, "crash scenarios cannot absorb drops");
+        Self { ops, queues, burst: 2, fault, programs: Mutex::new(Vec::new()) }
     }
 
     pub fn kv_config() -> SystemConfig {
@@ -149,16 +183,35 @@ impl KvRingScenario {
         c.checkpoint_interval = None;
         c
     }
+
+    fn nic_config(&self) -> treesls::net::NicConfig {
+        let mut cfg = nic_config(self.queues, true, &KV_GEOM);
+        cfg.fault = self.fault;
+        cfg
+    }
+
+    pub fn heap_pages(&self) -> u64 {
+        self.queues as u64 * (KV_GEOM.data_stride / 4096) + 1
+    }
 }
 
 pub struct KvState {
     pub vmspace: ObjId,
-    pub server: ObjId,
-    pub port: Arc<NetPort>,
+    /// One poll-mode server thread per queue, in queue order.
+    pub servers: Vec<ObjId>,
+    pub nic: Arc<VirtualNic>,
     pub snapshots: Snapshots,
-    /// `(key, value)` of every SET whose acknowledgement became
+    /// `(flow, key, value)` of every SET whose acknowledgement became
     /// externally visible before the crash.
-    pub acked: Vec<(Vec<u8>, Vec<u8>)>,
+    pub acked: Vec<(u64, Vec<u8>, Vec<u8>)>,
+}
+
+impl KvState {
+    fn drive(&self, sys: &System, steps: usize) {
+        for &srv in &self.servers {
+            step(sys, srv, steps);
+        }
+    }
 }
 
 impl CrashScenario for KvRingScenario {
@@ -169,19 +222,18 @@ impl CrashScenario for KvRingScenario {
     }
 
     fn setup(&self, sys: &mut System) -> KvState {
-        let dep = deploy_kv(sys, 1, 16, 40, true, KV_GEOM);
-        let server = dep.server_threads[0];
-        // First step formats the table; the server then parks on its
-        // doorbell.
-        step(sys, server, 4);
+        let dep = deploy_kv_cfg(sys, 16, 40, self.nic_config(), KV_GEOM);
         let mut st = KvState {
             vmspace: dep.vmspace,
-            server,
-            port: Arc::clone(&dep.ports[0]),
+            servers: dep.server_threads.clone(),
+            nic: Arc::clone(&dep.nic),
             snapshots: Snapshots::default(),
             acked: Vec::new(),
         };
-        st.snapshots.checkpoint(sys, st.vmspace, KV_HEAP_PAGES);
+        // First steps format each shard; the servers then park on their
+        // doorbells.
+        st.drive(sys, 4);
+        st.snapshots.checkpoint(sys, st.vmspace, self.heap_pages());
         *self.programs.lock() = sys
             .programs()
             .names()
@@ -192,19 +244,32 @@ impl CrashScenario for KvRingScenario {
     }
 
     fn workload(&self, sys: &mut System, st: &mut KvState) {
-        for i in 0..self.ops {
-            let key = make_key(format!("key-{i}").as_bytes());
-            let value = format!("value-{i}").into_bytes();
-            let op = KvOp::Set { key, value: value.clone() };
-            let seq = st.port.send_request(&op.encode()).expect("rx push");
-            step(sys, st.server, 8);
-            st.snapshots.checkpoint(sys, st.vmspace, KV_HEAP_PAGES);
-            st.port.pump();
-            if st.port.try_take(seq).is_some() {
-                // The ack left the system: this SET must survive any
-                // later crash.
-                st.acked.push((key.to_vec(), value));
+        let mut i = 0;
+        while i < self.ops {
+            let burst = self.burst.min(self.ops - i);
+            let mut sent = Vec::with_capacity(burst);
+            for b in 0..burst {
+                let idx = i + b;
+                let key = make_key(format!("key-{idx}").as_bytes());
+                let value = format!("value-{idx}").into_bytes();
+                let op = KvOp::Set { key, value: value.clone() };
+                let flow = idx as u64;
+                let seq = st.nic.send_request(flow, &op.encode()).expect("rx push");
+                sent.push((seq, flow, key, value));
             }
+            // Deliver anything the reorder window is still holding.
+            st.nic.flush_wire();
+            st.drive(sys, 8 * burst);
+            st.snapshots.checkpoint(sys, st.vmspace, self.heap_pages());
+            st.nic.pump();
+            for (seq, flow, key, value) in sent {
+                if st.nic.try_take(seq).is_some() {
+                    // The ack left the system: this SET must survive any
+                    // later crash.
+                    st.acked.push((flow, key.to_vec(), value));
+                }
+            }
+            i += burst;
         }
     }
 
@@ -215,14 +280,23 @@ impl CrashScenario for KvRingScenario {
     }
 
     fn reattach(&self, sys: &mut System, st: &mut KvState) {
-        let (vmspace, server, notif) = find_process(sys, "ring-kv");
+        let (vmspace, servers, notifs) = find_process_all(sys, "ring-kv");
         st.vmspace = vmspace;
-        st.server = server;
-        let layout = st.port.layout();
-        let port = NetPort::attach(Arc::clone(sys.kernel()), vmspace, layout, true, 1_000_000);
-        port.set_doorbell(notif.expect("doorbell restored"));
-        sys.manager().register_callback(Arc::clone(&port) as _);
-        st.port = port;
+        st.servers = servers;
+        let layout = st.nic.layout();
+        let nic = VirtualNic::attach(
+            Arc::clone(sys.kernel()),
+            vmspace,
+            layout,
+            &self.nic_config(),
+            1_000_000,
+        );
+        assert_eq!(notifs.len(), self.queues, "doorbells restored");
+        for (q, notif) in notifs.into_iter().enumerate() {
+            nic.set_doorbell(q, notif);
+        }
+        sys.manager().register_callback(Arc::clone(&nic) as _);
+        st.nic = nic;
     }
 
     fn verify(
@@ -233,42 +307,46 @@ impl CrashScenario for KvRingScenario {
     ) -> Result<(), String> {
         // Byte-exact memory oracle against the snapshot of the restored
         // commit.
-        st.snapshots.verify(sys, st.vmspace, KV_HEAP_PAGES, report.version)?;
+        st.snapshots.verify(sys, st.vmspace, self.heap_pages(), report.version)?;
         // TX ring invariants: nothing tagged with a rolled-back version
         // may still be published. (The RX ring is exempt by design —
         // requests survive the crash so the server can re-process them.)
         let io = HostIo::new(Arc::clone(sys.kernel()), st.vmspace);
-        let layout = st.port.layout();
-        check_ext_sync_invariants(&io, &layout.tx, report.version)
-            .map_err(|e| format!("tx ring: {e}"))?;
+        for q in 0..st.nic.queues() {
+            check_ext_sync_invariants(&io, &st.nic.port(q).tx, report.version)
+                .map_err(|e| format!("tx ring q{q}: {e}"))?;
+        }
         // External-visibility oracle: every acknowledged SET is still
-        // readable after recovery.
-        for (key, value) in &st.acked {
+        // readable after recovery, on the same flow (and thus the same
+        // table shard) it was written through.
+        for (flow, key, value) in &st.acked {
             let mut k = [0u8; 16];
             k.copy_from_slice(key);
             let get = KvOp::Get { key: k };
             // The restored RX ring may still hold every pre-crash request
-            // (acks lag by design), so a fresh request can briefly see
-            // `Full`; drive the server and the ack pipeline and retry,
-            // like a NIC driver backing off on a full descriptor ring.
+            // (acks lag by design), so a fresh request can briefly shed
+            // or see `Full`; drive the servers and the ack pipeline and
+            // retry, like a NIC driver backing off on a full ring.
             let mut attempts = 0;
             let seq = loop {
-                match st.port.send_request(&get.encode()) {
+                match st.nic.send_request(*flow, &get.encode()) {
                     Ok(s) => break s,
-                    Err(treesls::extsync::RingError::Full) if attempts < 8 => {
+                    Err(NetError::Busy | NetError::Ring(RingError::Full)) if attempts < 8 => {
                         attempts += 1;
-                        step(sys, st.server, 16);
+                        st.nic.flush_wire();
+                        st.drive(sys, 16);
                         sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
-                        st.port.pump();
+                        st.nic.pump();
                     }
                     Err(e) => return Err(format!("GET push failed: {e:?}")),
                 }
             };
-            step(sys, st.server, 16);
+            st.nic.flush_wire();
+            st.drive(sys, 16);
             sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
-            st.port.pump();
+            st.nic.pump();
             let resp = st
-                .port
+                .nic
                 .try_take(seq)
                 .ok_or_else(|| format!("GET for acked key {key:?} got no reply"))?;
             match KvResp::decode(&resp) {

@@ -23,6 +23,7 @@
 mod common;
 
 use common::{stride, HybridScenario, KvRingScenario};
+use treesls::net::NetFaultConfig;
 use treesls::{enumerate_crashes, enumerate_site_crashes, CrashScenario, System};
 
 #[test]
@@ -83,7 +84,85 @@ fn extsync_cycle_survives_crash_at_every_site() {
     let report = enumerate_site_crashes(&KvRingScenario::new(1));
     eprintln!("extsync sites: {} runs ({} crashed)", report.runs, report.injected);
     assert!(!report.sites.is_empty(), "workload hit no crash sites");
+    let names: std::collections::HashSet<_> = report.sites.iter().map(|s| s.name).collect();
+    // The NIC's publish → barrier pipeline must be on the schedule: the
+    // server's TX publication, the slot write underneath it, and both
+    // halves of the cross-queue visibility barrier (all queues advanced
+    // unfenced, then one flush).
+    assert!(names.contains("net.tx_published"), "sites: {names:?}");
+    assert!(names.contains("ring.slot_written"), "sites: {names:?}");
+    assert!(names.contains("ring.pre_visible_store"), "sites: {names:?}");
+    assert!(names.contains("net.pre_barrier"), "sites: {names:?}");
+    assert!(names.contains("net.pre_barrier_flush"), "sites: {names:?}");
     report.assert_clean();
+}
+
+#[test]
+fn extsync_cycle_survives_crashes_over_reordering_wire() {
+    // The same site enumeration with the network fault model composed in:
+    // two queues, every third packet duplicated, and a 2-packet reorder
+    // window. Crash-consistency must not depend on a well-behaved wire.
+    let fault = NetFaultConfig { seed: 0xBEEF, drop_1_in: 0, dup_1_in: 3, reorder_window: 2 };
+    let report = enumerate_site_crashes(&KvRingScenario::faulty(4, 2, fault));
+    eprintln!(
+        "extsync sites over faulty wire: {} runs ({} crashed)",
+        report.runs, report.injected
+    );
+    assert!(!report.sites.is_empty(), "workload hit no crash sites");
+    report.assert_clean();
+}
+
+/// The restore-path re-arm site ("net.pre_rearm") fires during recovery,
+/// not during the workload, so site enumeration never schedules it — a
+/// dedicated double-crash drill covers it: crash, recover, crash *again*
+/// in the middle of the restore reconciliation (after ring truncation,
+/// before the doorbells are re-signalled), recover once more, and run the
+/// full oracle.
+#[test]
+fn restore_rearm_crash_is_survivable() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let scenario = KvRingScenario::new(2);
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    scenario.workload(&mut sys, &mut st);
+    // Leave one request in the RX ring *after* the last commit: its
+    // doorbell signal lives only in rolled-back state, so the restore
+    // path must have a queue to re-arm.
+    let op = treesls_apps::wire::KvOp::Set {
+        key: treesls_apps::wire::make_key(b"straggler"),
+        value: b"late".to_vec(),
+    };
+    st.nic.send_request(0, &op.encode()).expect("rx push");
+
+    // First power failure and recovery, up to the restore callbacks.
+    let image = sys.crash();
+    let (mut sys2, report) =
+        System::recover(image, scenario.config(), |r| scenario.programs(r))
+            .expect("first recovery");
+    scenario.reattach(&mut sys2, &mut st);
+    let sched = std::sync::Arc::clone(sys2.kernel().pers.dev.crash_schedule());
+    sched.arm(treesls_nvm::CrashPoint::Site { name: "net.pre_rearm".into(), skip: 0 });
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        sys2.manager().fire_restore_callbacks(report.version);
+    }));
+    sched.disarm();
+    let payload = unwound.expect_err("net.pre_rearm never fired during restore");
+    assert!(
+        payload.downcast_ref::<treesls_nvm::InjectedCrash>().is_some(),
+        "restore panicked for a reason other than the injected crash"
+    );
+
+    // Second power failure, mid-restore. Recovery must converge: the
+    // ring truncation that already ran is idempotent.
+    let image2 = sys2.crash();
+    let (mut sys3, report2) =
+        System::recover(image2, scenario.config(), |r| scenario.programs(r))
+            .expect("second recovery");
+    scenario.reattach(&mut sys3, &mut st);
+    sys3.manager().fire_restore_callbacks(report2.version);
+    sys3.manager().verify_checkpoint().expect("checkpoint consistent after double crash");
+    scenario.verify(&mut sys3, &mut st, &report2).expect("oracle after double crash");
 }
 
 #[test]

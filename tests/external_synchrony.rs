@@ -9,10 +9,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use treesls::extsync::NetPort;
+use treesls::net::{NicLayout, VirtualNic};
 use treesls::{System, SystemConfig};
 use treesls_apps::wire::{make_key, KvOp, KvResp};
-use treesls_bench::ringsetup::{deploy_kv, ShardGeometry};
+use treesls_bench::ringsetup::{deploy_kv, nic_config, ShardGeometry};
 
 fn config(interval_ms: Option<u64>) -> SystemConfig {
     let mut c = SystemConfig::small();
@@ -27,25 +27,64 @@ fn responses_are_delayed_until_a_checkpoint_commits() {
     let mut sys = System::boot(config(None)); // manual checkpoints
     let dep = deploy_kv(&sys, 1, 1024, 128, true, ShardGeometry::default());
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
 
     let op = KvOp::Set { key: make_key(b"durable"), value: b"yes".to_vec() };
     // Without a checkpoint the response must NOT become visible.
-    let r = port.call(&op.encode(), Duration::from_millis(200)).unwrap();
-    assert!(r.is_none(), "response leaked before any checkpoint");
+    let r = nic.call(0, &op.encode(), Duration::from_millis(200)).unwrap();
+    assert!(r.reply().is_none(), "response leaked before any checkpoint");
 
     // After a checkpoint the (retried) request is answered.
-    let seq = port.send_request(&op.encode()).unwrap();
+    let seq = nic.send_request(0, &op.encode()).unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     let mut got = None;
     while got.is_none() && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
         sys.checkpoint_now().unwrap();
-        port.pump();
-        got = port.try_take(seq);
+        nic.pump();
+        got = nic.try_take(seq);
     }
     assert!(got.is_some(), "response never released after checkpoints");
     sys.stop();
+}
+
+/// Finds the restored ring-server vmspace (the one with the eternal ring
+/// region mapped alongside its heap).
+fn restored_vmspace(sys: &System) -> treesls::ObjId {
+    let kernel = sys.kernel();
+    let objects = kernel.objects.read();
+    let found = objects
+        .iter()
+        .filter(|(_, o)| o.otype == treesls::ObjType::VmSpace)
+        .map(|(id, _)| id)
+        .find(|&id| {
+            let o = kernel.object(id).unwrap();
+            let b = o.body.read();
+            matches!(&*b, treesls_kernel::object::ObjectBody::VmSpace(v)
+                if v.regions.len() >= 2)
+        })
+        .expect("server vmspace");
+    found
+}
+
+/// Finds the restored doorbell notifications, in slot (= queue) order.
+fn restored_doorbells(sys: &System) -> Vec<treesls::ObjId> {
+    let kernel = sys.kernel();
+    let objects = kernel.objects.read();
+    let mut bells: Vec<_> = objects
+        .iter()
+        .filter(|(_, o)| o.otype == treesls::ObjType::Notification)
+        .map(|(id, _)| id)
+        .collect();
+    bells.sort();
+    bells
+}
+
+/// Rebuilds the layout `deploy_kv` used for a single-queue NIC over
+/// `geom` (heap, then a 16-page guard gap, then the eternal rings).
+fn kv_layout(geom: &ShardGeometry, cfg: &treesls::net::NicConfig) -> NicLayout {
+    let heap_pages = cfg.queues as u64 * geom.data_stride / 4096 + 1;
+    NicLayout::new(cfg, (heap_pages + 16) * 4096, geom.data_stride - 4096, geom.data_stride)
 }
 
 #[test]
@@ -56,9 +95,12 @@ fn full_crash_recovery_with_server_continuation() {
     let geom = ShardGeometry::default();
     let dep = deploy_kv(&sys, 1, 1024, 128, true, geom);
     sys.start();
-    let port = &dep.ports[0];
     let op = KvOp::Set { key: make_key(b"alive"), value: b"after-crash".to_vec() };
-    port.call(&op.encode(), Duration::from_secs(5)).unwrap().expect("SET acked");
+    dep.nic
+        .call(0, &op.encode(), Duration::from_secs(5))
+        .unwrap()
+        .reply()
+        .expect("SET acked");
     sys.stop();
 
     // Capture the programs (the "binaries") for the reboot.
@@ -76,71 +118,102 @@ fn full_crash_recovery_with_server_continuation() {
         }
     })
     .expect("recovery");
-    // Reattach the port to the restored rings (no re-init!), re-register
+    // Reattach the NIC to the restored rings (no re-init!), re-register
     // the ext-sync callbacks and fire the restore reconciliation.
-    let vs2 = {
-        let kernel = sys2.kernel();
-        let objects = kernel.objects.read();
-        let found = objects
-            .iter()
-            .filter(|(_, o)| o.otype == treesls::ObjType::VmSpace)
-            .map(|(id, _)| id)
-            .find(|&id| {
-                // The ring server's vmspace has the eternal region mapped.
-                let o = kernel.object(id).unwrap();
-                let b = o.body.read();
-                let is = matches!(&*b, treesls_kernel::object::ObjectBody::VmSpace(v)
-                    if v.regions.len() >= 2);
-                drop(b);
-                is
-            })
-            .expect("server vmspace");
-        found
-    };
-    // Rebuild the same layout deploy_kv used.
-    let heap_pages = geom.data_stride / 4096 + 1;
-    let ring_base = (heap_pages + 16) * 4096;
-    let ring_len = (32 + geom.nslots * geom.slot_size).div_ceil(4096) * 4096;
-    let layout = treesls::extsync::PortLayout {
-        rx: treesls::extsync::RingLayout {
-            base: ring_base,
-            nslots: geom.nslots,
-            slot_size: geom.slot_size,
-        },
-        tx: treesls::extsync::RingLayout {
-            base: ring_base + ring_len,
-            nslots: geom.nslots,
-            slot_size: geom.slot_size,
-        },
-        rx_cursor_addr: geom.data_stride - 4096,
-    };
-    let port2 = NetPort::attach(Arc::clone(sys2.kernel()), vs2, layout, true, 1_000_000);
+    let vs2 = restored_vmspace(&sys2);
+    let nic_cfg = nic_config(1, true, &geom);
+    let layout = kv_layout(&geom, &nic_cfg);
+    let nic2 = VirtualNic::attach(Arc::clone(sys2.kernel()), vs2, layout, &nic_cfg, 1_000_000);
     // Rebind the doorbell: the restored server blocks on its notification
     // and must be woken by incoming requests.
-    let doorbell = {
-        let kernel = sys2.kernel();
-        let objects = kernel.objects.read();
-        let id = objects
-            .iter()
-            .find(|(_, o)| o.otype == treesls::ObjType::Notification)
-            .map(|(id, _)| id)
-            .expect("doorbell notification restored");
-        drop(objects);
-        id
-    };
-    port2.set_doorbell(doorbell);
-    sys2.manager().register_callback(Arc::clone(&port2) as _);
+    let bells = restored_doorbells(&sys2);
+    assert_eq!(bells.len(), 1, "doorbell notification restored");
+    nic2.set_doorbell(0, bells[0]);
+    sys2.manager().register_callback(Arc::clone(&nic2) as _);
     sys2.manager().fire_restore_callbacks(report.version);
     sys2.start();
 
     let get = KvOp::Get { key: make_key(b"alive") };
-    let resp = port2
-        .call(&get.encode(), Duration::from_secs(5))
+    let resp = nic2
+        .call(0, &get.encode(), Duration::from_secs(5))
         .unwrap()
+        .reply()
         .expect("GET after recovery");
     match KvResp::decode(&resp) {
         Some(KvResp::Ok(Some(v))) => assert_eq!(v, b"after-crash"),
         other => panic!("observed SET was lost after crash: {other:?}"),
+    }
+    sys2.stop();
+}
+
+/// Regression (PR 1 lost-doorbell bug): a request that lands in the RX
+/// ring *after* the last pre-crash checkpoint leaves its doorbell signal
+/// in rolled-back notification state. The restore path must re-arm every
+/// queue whose restored RX cursor trails the ring writer, or the server
+/// sleeps forever on a ring that still holds work.
+#[test]
+fn restore_rearms_doorbell_for_uncommitted_requests() {
+    let mut sys = System::boot(config(None)); // manual checkpoints only
+    let geom = ShardGeometry::default();
+    let dep = deploy_kv(&sys, 1, 1024, 128, true, geom);
+    sys.start();
+    // Let the server format its table and park on the doorbell, then
+    // commit that parked state.
+    std::thread::sleep(Duration::from_millis(20));
+    sys.checkpoint_now().unwrap();
+    // The request arrives after the commit: its doorbell signal lives
+    // only in to-be-rolled-back state, but the RX slot is eternal.
+    let op = KvOp::Set { key: make_key(b"ghost"), value: b"rung".to_vec() };
+    dep.nic.send_request(0, &op.encode()).unwrap();
+    sys.stop();
+
+    let programs: Vec<(String, Arc<dyn treesls::Program>)> = sys
+        .programs()
+        .names()
+        .into_iter()
+        .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+        .collect();
+    let image = sys.crash();
+    let (mut sys2, report) = System::recover(image, config(None), move |r| {
+        for (n, p) in programs {
+            r.register(&n, p);
+        }
+    })
+    .expect("recovery");
+    let vs2 = restored_vmspace(&sys2);
+    let nic_cfg = nic_config(1, true, &geom);
+    let nic2 = VirtualNic::attach(
+        Arc::clone(sys2.kernel()),
+        vs2,
+        kv_layout(&geom, &nic_cfg),
+        &nic_cfg,
+        1_000_000,
+    );
+    let bells = restored_doorbells(&sys2);
+    assert_eq!(bells.len(), 1);
+    nic2.set_doorbell(0, bells[0]);
+    sys2.manager().register_callback(Arc::clone(&nic2) as _);
+    // The uniform per-queue re-arm: cursor < writer ⇒ signal the bell.
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.start();
+
+    // Without retransmitting the lost SET, the woken server must process
+    // the ring-resident request; a fresh GET (held pending across the
+    // manual commits that release its commit-gated reply) observes it.
+    let get = KvOp::Get { key: make_key(b"ghost") };
+    let seq = nic2.send_request(0, &get.encode()).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut got = None;
+    while got.is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        sys2.checkpoint_now().unwrap();
+        nic2.pump();
+        got = nic2.try_take(seq);
+    }
+    let resp = got.expect("ring-resident SET never served after re-arm");
+    match KvResp::decode(&resp) {
+        Some(KvResp::Ok(Some(v))) => assert_eq!(v, b"rung"),
+        other => panic!("ghost SET not observed by the GET: {other:?}"),
     }
     sys2.stop();
 }
@@ -150,9 +223,9 @@ fn ext_sync_off_releases_immediately() {
     let mut sys = System::boot(config(None)); // no checkpoints at all
     let dep = deploy_kv(&sys, 1, 1024, 128, false, ShardGeometry::default());
     sys.start();
-    let port = &dep.ports[0];
+    let nic = &dep.nic;
     let op = KvOp::Set { key: make_key(b"fast"), value: b"now".to_vec() };
-    let r = port.call(&op.encode(), Duration::from_secs(5)).unwrap();
-    assert!(r.is_some(), "without ext-sync responses flow without checkpoints");
+    let r = nic.call(0, &op.encode(), Duration::from_secs(5)).unwrap();
+    assert!(r.reply().is_some(), "without ext-sync responses flow without checkpoints");
     sys.stop();
 }
