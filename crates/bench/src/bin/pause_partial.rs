@@ -1,0 +1,173 @@
+//! Partial-quiescence pause bench: the stop-the-world window must scale
+//! with the *dirty-owning* core count, not the machine size.
+//!
+//! A 64-page working set is dirtied by a single writer pinned to core 0
+//! of a 4-core machine, so every round's owner mask names exactly one
+//! core. The bench measures the aggregate core-parked time per checkpoint
+//! (`StwController::take_paused_ns`) under partial quiescence and again
+//! under the `force_full_quiesce` oracle; partial parks 1/4 of the cores,
+//! so its median must come in well under the full-stop baseline.
+//!
+//! Flags beyond the common set: `--rounds N` (measured checkpoints per
+//! mode), `--gate R` (exit nonzero if `median(partial)/median(full)`
+//! exceeds `R` — the CI perf-smoke job passes `--gate 0.6`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use treesls::{ProcessSpec, Program, StepOutcome, System, SystemConfig, ThreadSpec, UserCtx};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::table::{us, Table};
+use treesls_bench::Sink;
+
+/// Heap pages dirtied per round, all owned by the pinned writer core.
+const WORKING_SET: u64 = 64;
+
+/// Machine size: one dirty-owning core out of four.
+const CORES: usize = 4;
+
+/// Writes one `u64` per step, round-robin over the working-set pages.
+struct DirtyPages;
+impl Program for DirtyPages {
+    fn step(&self, ctx: &mut UserCtx<'_>) -> StepOutcome {
+        let done = ctx.reg(2);
+        let page = done % WORKING_SET;
+        let word = (done / WORKING_SET) % 64;
+        if ctx.write_u64(page * 4096 + word * 8, 0xD00D_0000 + done).is_err() {
+            return StepOutcome::Exited;
+        }
+        ctx.set_reg(2, done + 1);
+        StepOutcome::Ready
+    }
+}
+
+fn config(full_quiesce: bool) -> SystemConfig {
+    let mut c = SystemConfig {
+        cores: CORES,
+        checkpoint_interval: None, // measured checkpoints only
+        ..SystemConfig::default()
+    };
+    c.kernel.nvm_frames = 16_384;
+    c.kernel.dram_pages = 256;
+    c.kernel.force_full_quiesce = full_quiesce;
+    c
+}
+
+struct ModeResult {
+    median_paused: Duration,
+    p95_paused: Duration,
+    max_paused: Duration,
+    median_stopped: usize,
+}
+
+fn run_mode(full_quiesce: bool, rounds: usize) -> ModeResult {
+    let mut sys = System::boot(config(full_quiesce));
+    sys.register_program("dirty", Arc::new(DirtyPages));
+    let p = sys
+        .spawn(
+            &ProcessSpec::new("writer").heap(WORKING_SET).thread(ThreadSpec::new("dirty")),
+        )
+        .expect("spawn writer");
+    // Pin the writer: the owner mask then names core 0 every round, and
+    // cores 1..3 stay clean.
+    sys.kernel().sched.set_affinity(p.threads[0], Some(0));
+    sys.start();
+
+    // Warm-up: let the writer touch its whole working set, then settle
+    // the fresh tree so measured rounds start from steady state.
+    std::thread::sleep(Duration::from_millis(10));
+    sys.checkpoint_now().expect("warmup checkpoint");
+    sys.checkpoint_now().expect("settle checkpoint");
+
+    let stw = Arc::clone(sys.manager().stw());
+    let mut paused: Vec<u64> = Vec::with_capacity(rounds);
+    let mut stopped: Vec<usize> = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        // Let the pinned writer re-dirty the working set.
+        std::thread::sleep(Duration::from_millis(2));
+        stw.wait_all_resumed();
+        stw.take_paused_ns(); // drop park time accumulated between rounds
+        sys.checkpoint_now().expect("measured checkpoint");
+        stw.wait_all_resumed();
+        paused.push(stw.take_paused_ns());
+        stopped.push(stw.stopped_cores());
+    }
+    sys.stop();
+
+    paused.sort_unstable();
+    stopped.sort_unstable();
+    ModeResult {
+        median_paused: Duration::from_nanos(paused[paused.len() / 2]),
+        p95_paused: Duration::from_nanos(paused[(paused.len() * 95 / 100).min(paused.len() - 1)]),
+        max_paused: Duration::from_nanos(*paused.last().expect("rounds > 0")),
+        median_stopped: stopped[stopped.len() / 2],
+    }
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut rounds: usize = if opts.full { 100 } else { 40 };
+    let mut gate: Option<f64> = None;
+    for (i, a) in args.iter().enumerate() {
+        match a.as_str() {
+            "--rounds" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    rounds = n;
+                }
+            }
+            "--gate" => {
+                gate = args.get(i + 1).and_then(|s| s.parse().ok());
+            }
+            _ => {}
+        }
+    }
+
+    let mut sink = Sink::new(
+        "pause_partial",
+        "Partial quiescence: parked-core pause vs the full-stop oracle",
+        &opts,
+    );
+    let mut table = Table::new(&[
+        "Mode", "Cores", "DirtyOwners", "Rounds", "StoppedMed", "MedianPaused", "P95", "Max",
+    ]);
+    let full = run_mode(true, rounds);
+    let partial = run_mode(false, rounds);
+    for (label, r) in [("full-quiesce", &full), ("partial", &partial)] {
+        table.row(vec![
+            label.to_string(),
+            format!("{CORES}"),
+            "1".to_string(),
+            format!("{rounds}"),
+            format!("{}", r.median_stopped),
+            us(r.median_paused),
+            us(r.p95_paused),
+            us(r.max_paused),
+        ]);
+    }
+    sink.table("pause_partial", table);
+
+    let ratio = partial.median_paused.as_secs_f64() / full.median_paused.as_secs_f64().max(1e-9);
+    let pass = gate.is_none_or(|g| ratio <= g);
+    let mut gate_table = Table::new(&["MedianPausedRatio", "Threshold", "Pass"]);
+    gate_table.row(vec![
+        format!("{ratio:.3}"),
+        gate.map_or("n/a".to_string(), |g| format!("{g:.2}")),
+        format!("{pass}"),
+    ]);
+    sink.table("gate", gate_table);
+    sink.note(&format!(
+        "({WORKING_SET}-page working set owned by 1 of {CORES} cores: partial \
+         quiescence parks only the dirty-owning core, so aggregate parked time \
+         drops toward 1/{CORES} of the full stop)"
+    ));
+    sink.finish();
+
+    if !pass {
+        eprintln!(
+            "pause-partial gate FAILED: median parked ratio {ratio:.3} > {:.2}",
+            gate.expect("pass=false implies gate set")
+        );
+        std::process::exit(1);
+    }
+}

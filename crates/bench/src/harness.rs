@@ -144,6 +144,7 @@ impl BenchOpts {
                 hybrid_copy: self.hybrid,
                 force_full_walk: false,
                 full_walk_interval: 64,
+                force_full_quiesce: false,
                 latency: if self.optane { LatencyProfile::Optane } else { LatencyProfile::Uniform },
             },
             cores: self.cores,

@@ -108,6 +108,16 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
     if meta.dirty {
         // Speculative stop-and-copy of the dirty DRAM page.
         let dst_idx = meta.sac_dst(global);
+        if kernel.fence.active() && meta.epoch_round == kernel.fence.round() {
+            // An epoch-fence conflict capture (free-core write during this
+            // very pause) already preserved the round's image; the dirty
+            // bit now describes *post*-epoch writes and must survive into
+            // the next round. Keyed to the fence round, never the version
+            // tag — an aborted round's stale capture carries the same
+            // in-flight version but must be overwritten here.
+            meta.idle_rounds = 0;
+            return;
+        }
         let frame = match meta.pairs[dst_idx] {
             Some(p) => p.frame,
             None => match kernel.pers.alloc.alloc_page() {

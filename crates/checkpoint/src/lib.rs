@@ -77,6 +77,14 @@ pub trait CkptCallback: Send + Sync {
     fn on_checkpoint(&self, version: u64);
     /// Invoked at the end of a recovery that restored `version`.
     fn on_restore(&self, _version: u64) {}
+    /// Invoked *inside* the stop-the-world pause, right after the stop set
+    /// parked, for the round that will commit as `version`. Under partial
+    /// quiescence cores outside the stop set keep producing state during
+    /// the pause, so a service whose release barrier must match the
+    /// checkpoint image (e.g. the NIC's TX visibility barrier) snapshots
+    /// its cut-off here — against the epoch, not the later global resume.
+    /// Must be fast and must not take checkpoint-ordered locks.
+    fn on_epoch(&self, _version: u64) {}
 }
 
 /// The in-kernel checkpoint manager.
@@ -164,10 +172,46 @@ impl CheckpointManager {
             [inflight, kernel.tracker.active_len() as u64, 0, 0, 0, 0],
         );
         let t_pause = Instant::now();
-        // ❶ Quiesce all cores; they start pulling hybrid-copy items (❸)
-        // and keep polling the batch's aux queue for offloaded tree work.
+        let partial = !kernel.config.force_full_quiesce;
+        // ❶ Quiesce the round's stop set — under partial quiescence only
+        // the cores whose dirty pushes appear in the owner mask; the rest
+        // run through the copy phase behind the fence. The cores that do
+        // park start pulling hybrid-copy items (❸) and keep polling the
+        // batch's aux queue for offloaded tree work.
         let ipi = self.stw.stop_world(Some(Arc::clone(&work)), kernel);
+        // Arm the epoch fence (partial mode only) *after* the stop set has
+        // parked: from here until the commit record lands, writes from
+        // cores outside the stop set are routed into conflict CoW captures
+        // instead of mutating the round's image (see `fault.rs`). Arming
+        // before the gate would deadlock — a stopping core mid-step could
+        // land in the fence's read-only wait loop and never park, while
+        // this leader waits for it. Free-core writes in the window between
+        // the gate and this arm are safe: the round's image is only cut by
+        // `mark_readonly`/the copy phase below, so they order as
+        // pre-pause writes.
+        if partial {
+            kernel.fence.arm(inflight);
+        }
         treesls_nvm::crash_site!(sched, "ckpt.stw_stopped");
+        treesls_nvm::crash_site!(sched, "stw.partial_gate");
+        kernel.pers.recorder().record(
+            treesls_obs::EventKind::PartialQuiesce,
+            [
+                inflight,
+                self.stw.stopped_cores() as u64,
+                self.stw.cores() as u64,
+                self.stw.stop_mask(),
+                u64::from(!partial),
+                kernel.stats.epoch_conflicts.load(Ordering::Relaxed),
+            ],
+        );
+        // Epoch cut-off for external-synchrony services: their release
+        // barrier must match the checkpoint image, which under partial
+        // quiescence is defined by this instant, not by the global resume.
+        treesls_nvm::crash_site!(sched, "stw.epoch_fence");
+        for cb in self.callbacks.lock().iter() {
+            cb.on_epoch(inflight);
+        }
 
         // ❷ Leader: mark newly-changed pages read-only (attributed to VM
         // Space checkpointing per the paper), then copy the capability
@@ -192,7 +236,10 @@ impl CheckpointManager {
             Ok(o) => o,
             Err(e) => {
                 // Abort: resume without committing — but still give the
-                // taken active list back to the tracker.
+                // taken active list back to the tracker. The fence drops
+                // with the round; its in-flight captures are ignored by
+                // restore (tags never became valid).
+                kernel.fence.disarm();
                 hybrid::compact_active_list(kernel, Some(&work));
                 self.stw.resume_world();
                 return Err(e);
@@ -203,6 +250,10 @@ impl CheckpointManager {
         let t_others = Instant::now();
         treesls_nvm::crash_site!(sched, "ckpt.pre_commit");
         kernel.pers.commit_version(inflight);
+        // The round's image is committed: free-core writes now fall back
+        // to ordinary CoW (which tags against the new global version), so
+        // the fence has nothing left to protect.
+        kernel.fence.disarm();
         treesls_nvm::crash_site!(sched, "ckpt.post_commit");
         let _ = tree::sweep_deleted(kernel, inflight);
         let cached = hybrid::compact_active_list(kernel, Some(&work));
@@ -244,6 +295,7 @@ impl CheckpointManager {
             kernel.dirty_queue.depth(),
             kernel.pers.oroots.contention() + kernel.pers.backups.contention(),
         );
+        kernel.metrics.set_quiesced_cores(self.stw.stopped_cores() as u64);
         kernel.pers.recorder().record(
             treesls_obs::EventKind::TreeWalk,
             [
@@ -318,12 +370,19 @@ impl CheckpointManager {
         let counters = Arc::new(hybrid::RoundCounters::default());
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
         self.stw.stop_world(Some(Arc::clone(&work)), kernel);
+        // Same ordering as `checkpoint`: the fence arms only once the stop
+        // set has parked, or a stopping core could wedge in the fence's
+        // wait loop and never reach the gate.
+        if !kernel.config.force_full_quiesce {
+            kernel.fence.arm(inflight);
+        }
         hybrid::mark_readonly(kernel);
         let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work));
         self.stw.finish_hybrid_work();
         // Power failure here: no commit, no sweep, no callbacks — but the
         // machine keeps running until the simulated crash, so the taken
         // active list must go back to the tracker.
+        kernel.fence.disarm();
         hybrid::compact_active_list(kernel, Some(&work));
         self.stw.resume_world();
         tree_result.map(|_| ())

@@ -513,6 +513,7 @@ fn fill_body(
                 meta.runtime_dram = None;
                 meta.writable = eternal;
                 meta.hotness = 0;
+                meta.epoch_round = 0;
                 meta.dirty = false;
                 meta.on_active_list = false;
                 meta.idle_rounds = 0;

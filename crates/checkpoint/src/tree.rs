@@ -67,6 +67,10 @@ pub struct TreeOutcome {
     pub full_walk: bool,
     /// Dirty-queue entries drained this round (before dedup).
     pub dirty_drained: usize,
+    /// Distinct cores owning entries in this round's write set (from the
+    /// queue's per-entry core tags; off-core pushes are uncounted). This
+    /// is the population partial quiescence stops instead of all cores.
+    pub owner_cores: usize,
     /// Backup-record builds executed through the aux queue.
     pub offloaded: usize,
     /// ORoots tombstoned this round.
@@ -541,8 +545,9 @@ fn dirty_walk(
         kernel.pers.set_root_oroot(root_oroot);
     }
 
-    let drained = kernel.dirty_queue.drain();
+    let drained = kernel.dirty_queue.drain_tagged();
     out.dirty_drained = drained.len();
+    let mut owner_bits = 0u64;
     treesls_nvm::crash_site!(sched, "tree.dirty_drained");
 
     // Claim the batch: dedup queue entries and consume dirty flags. An
@@ -551,7 +556,10 @@ fn dirty_walk(
     let mut seen: HashSet<ObjId> = HashSet::with_capacity(drained.len());
     let mut pmos: Vec<Arc<KObject>> = Vec::new();
     let mut plain: Vec<Arc<KObject>> = Vec::new();
-    for id in drained {
+    for (id, core) in drained {
+        if core != treesls_kernel::cores::NO_CORE {
+            owner_bits |= 1 << (core as u64).min(63);
+        }
         if !seen.insert(id) {
             continue;
         }
@@ -566,6 +574,8 @@ fn dirty_walk(
             plain.push(obj);
         }
     }
+
+    out.owner_cores = owner_bits.count_ones() as usize;
 
     // Build all non-PMO records (possibly on the quiesced cores). Builders
     // only read runtime bodies and create missing child ORoots; no backup

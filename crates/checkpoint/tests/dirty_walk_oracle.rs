@@ -30,6 +30,10 @@ const HEAP_PAGES: u64 = 16;
 const STEPS: usize = 220;
 
 fn config(force_full: bool) -> KernelConfig {
+    config_quiesce(force_full, false)
+}
+
+fn config_quiesce(force_full: bool, full_quiesce: bool) -> KernelConfig {
     KernelConfig {
         nvm_frames: 4096,
         dram_pages: 128,
@@ -38,6 +42,7 @@ fn config(force_full: bool) -> KernelConfig {
         // round, or the oracle would be comparing full walks to full
         // walks.
         full_walk_interval: 0,
+        force_full_quiesce: full_quiesce,
         ..KernelConfig::default()
     }
 }
@@ -56,7 +61,13 @@ fn find_cap_slot(kernel: &Arc<Kernel>, group: ObjId, obj: ObjId) -> usize {
 /// Runs the seeded workload under the given walk mode and returns the
 /// fingerprint of the crash-restored system.
 fn run(seed: u64, force_full: bool) -> Vec<String> {
-    let kernel = Kernel::boot(config(force_full));
+    run_quiesce(seed, force_full, false)
+}
+
+/// [`run`] with an explicit stop-the-world mode (`full_quiesce: true` =
+/// the all-cores oracle; `false` = partial quiescence, the default).
+fn run_quiesce(seed: u64, force_full: bool, full_quiesce: bool) -> Vec<String> {
+    let kernel = Kernel::boot(config_quiesce(force_full, full_quiesce));
     let stw = Arc::new(StwController::new());
     let mgr = CheckpointManager::new(Arc::clone(&kernel), stw);
 
@@ -124,7 +135,8 @@ fn run(seed: u64, force_full: bool) -> Vec<String> {
     mgr.verify_checkpoint().unwrap();
 
     let image = crash(kernel);
-    let (k2, _) = restore(image, config(force_full), no_programs).unwrap();
+    let (k2, _) =
+        restore(image, config_quiesce(force_full, full_quiesce), no_programs).unwrap();
     fingerprint(&k2)
 }
 
@@ -226,6 +238,26 @@ fn dirty_walk_matches_forced_full_walk() {
             dirty, full,
             "seed {seed}: dirty-queue walk diverged from the full-walk oracle"
         );
+    }
+}
+
+#[test]
+fn dirty_walk_oracle_holds_under_both_quiesce_modes() {
+    // The same differential oracle swept across the stop-the-world mode:
+    // partial quiescence (the default) and the forced all-cores oracle
+    // must both keep dirty ≡ full, and the two quiesce modes must agree
+    // with each other — the quiesce policy may change *who pauses*, never
+    // *what commits*.
+    for seed in [7u64, 1234] {
+        let base = run_quiesce(seed, false, false);
+        for (force_full, full_quiesce) in [(false, true), (true, false), (true, true)] {
+            let other = run_quiesce(seed, force_full, full_quiesce);
+            assert_eq!(
+                base, other,
+                "seed {seed}: walk mode force_full={force_full} / \
+                 full_quiesce={full_quiesce} diverged from the partial-quiescence dirty run"
+            );
+        }
     }
 }
 

@@ -292,7 +292,24 @@ pub fn advance_visible_unfenced<M: MemIo>(
     layout: &RingLayout,
     committed: u64,
 ) -> Result<u64, KernelError> {
-    let writer = io.mem_read_u64(layout.base + hdr::WRITER)?;
+    advance_visible_capped_unfenced(io, layout, committed, u64::MAX)
+}
+
+/// [`advance_visible_unfenced`] with an upper index bound.
+///
+/// Under partial quiescence, producers on clean cores keep running
+/// through the checkpoint's copy phase: a message they append *after* the
+/// pause carries the still-committed version tag, but its producing state
+/// belongs to the **next** checkpoint interval. The caller snapshots the
+/// writer inside the pause and passes it as `cap`; messages at indices
+/// `>= cap` stay invisible until the commit that actually covers them.
+pub fn advance_visible_capped_unfenced<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    committed: u64,
+    cap: u64,
+) -> Result<u64, KernelError> {
+    let writer = io.mem_read_u64(layout.base + hdr::WRITER)?.min(cap);
     let mut visible = io.mem_read_u64(layout.base + hdr::VISIBLE_WRITER)?;
     while visible < writer {
         let slot = layout.slot_addr(visible);
@@ -482,6 +499,26 @@ mod tests {
         assert_eq!(msg.seq, 1);
         assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap(), None);
         // Commit of 7 releases the rest.
+        advance_visible(&m, &l, 7).unwrap();
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn capped_advance_holds_back_post_epoch_messages() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(5);
+        push(&m, &l, 1, b"pre").unwrap(); // tag 5, before the pause
+        let cap = header(&m, &l, hdr::WRITER).unwrap(); // epoch snapshot
+        push(&m, &l, 2, b"post").unwrap(); // tag 5, clean core after pause
+        // Commit of 6 covers only the pre-pause message despite both tags
+        // preceding it.
+        advance_visible_capped_unfenced(&m, &l, 6, cap).unwrap();
+        assert_eq!(header(&m, &l, hdr::VISIBLE_WRITER).unwrap(), 1);
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap().seq, 1);
+        assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap(), None);
+        // The next commit (no cap in force) releases it.
         advance_visible(&m, &l, 7).unwrap();
         assert_eq!(pop_below(&m, &l, hdr::VISIBLE_WRITER).unwrap().unwrap().seq, 2);
     }

@@ -12,6 +12,21 @@
 //! will not interrupt a core modifying object state in the kernel" — cores
 //! quiesce only between steps, never mid-syscall. While parked, cores pull
 //! hybrid-copy work items (step ❸) before waiting for the resume signal.
+//!
+//! ## Partial quiescence
+//!
+//! The dirty queue tags every push with its owning core, so at pause time
+//! the leader knows which cores own state in the round's write set — and
+//! stops **only those**. Cores outside the stop set keep running through
+//! the copy phase behind the kernel's per-round [`EpochFence`]: their
+//! first conflicting write to a page whose epoch image is not yet
+//! preserved is routed into a CoW capture (see `fault.rs`), and their
+//! scheduler pulls are restricted to their own affinity queue so an
+//! unpinned thread — whose state the round is copying — can never migrate
+//! onto a free core mid-pause. `KernelConfig::force_full_quiesce` keeps
+//! the historical all-cores protocol as a differential oracle.
+//!
+//! [`EpochFence`]: crate::kernel::EpochFence
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -21,12 +36,32 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+pub use crate::dirty::NO_CORE;
 use crate::kernel::Kernel;
 use crate::object::ObjectBody;
 use crate::pmo::PageSlot;
 use crate::program::{Program, StepOutcome, UserCtx};
 use crate::thread::ThreadState;
 use crate::types::ObjId;
+
+thread_local! {
+    /// The simulated core id of the calling OS thread (`NO_CORE` for
+    /// threads that are not core workers: the leader, hosts, tests).
+    static CURRENT_CORE: std::cell::Cell<u32> = const { std::cell::Cell::new(NO_CORE) };
+}
+
+/// The core id of the calling thread (`NO_CORE` off-core). Used by
+/// `mark_dirty` to tag dirty pushes with their owning core.
+#[inline]
+pub fn current_core() -> u32 {
+    CURRENT_CORE.with(|c| c.get())
+}
+
+/// Declares the calling thread to be core `core` (called once per core
+/// worker at spawn; tests may use it to impersonate a core).
+pub fn set_current_core(core: u32) {
+    CURRENT_CORE.with(|c| c.set(core));
+}
 
 /// The per-slot closure a [`HybridWork`] batch runs on each worker core.
 pub type SlotRunner = Box<dyn Fn(&Arc<PageSlot>) + Send + Sync>;
@@ -239,17 +274,37 @@ impl HybridWork {
 #[derive(Debug, Default)]
 pub struct StwController {
     pending: AtomicBool,
-    /// Copy-phase gate: set by the leader only once *every* registered
-    /// core is parked. A core arriving at the quiescence gate early must
-    /// not touch the hybrid batch before this — other cores may still be
-    /// mid-step, and copying a page concurrently with program writes
-    /// captures a torn image into the checkpoint.
+    /// Copy-phase gate: set by the leader only once every core *in the
+    /// round's stop set* is parked. A core arriving at the quiescence
+    /// gate early must not touch the hybrid batch before this — other
+    /// stopped cores may still be mid-step, and copying a page
+    /// concurrently with program writes captures a torn image into the
+    /// checkpoint. (Cores outside the stop set are handled by the epoch
+    /// fence instead, see `fault.rs`.)
     go: AtomicBool,
     registered: AtomicUsize,
     quiescent: AtomicUsize,
     epoch: Mutex<u64>,
     cv: Condvar,
     work: Mutex<Option<Arc<HybridWork>>>,
+    /// Bitmask of cores required to park this round (valid while
+    /// `pending`; all-ones in full-quiesce mode).
+    stop_mask: AtomicU64,
+    /// Number of registered cores in `stop_mask` — the quiescence target.
+    stop_count: AtomicUsize,
+    /// Cores currently executing a slice of an *unpinned* thread. The
+    /// leader waits for this to reach zero after requesting a pause:
+    /// unpinned threads belong to the round's copy set even when the core
+    /// running them does not, and such slices break at their next step
+    /// boundary — so the wait is at most one program step long.
+    unpinned_active: AtomicUsize,
+    /// Aggregate nanoseconds cores spent parked in `participate` since
+    /// the last [`take_paused_ns`] — the per-core pause the partial
+    /// protocol shrinks. (Wall pause time divides the same tree-copy work
+    /// over both modes; this sums only actually-parked core time.)
+    ///
+    /// [`take_paused_ns`]: Self::take_paused_ns
+    paused_ns: AtomicU64,
 }
 
 impl StwController {
@@ -279,31 +334,95 @@ impl StwController {
         self.pending.load(Ordering::Acquire)
     }
 
-    /// Leader: requests quiescence and waits for all cores to park.
+    /// Returns `true` if `core` must park for the current pause: a pause
+    /// is pending and the core is in the round's stop set. Off-core
+    /// callers (`NO_CORE`) conservatively report `true` while a pause is
+    /// pending, preserving the historical `pending()` semantics for
+    /// direct `run_slice` drivers.
+    #[inline]
+    pub fn should_park(&self, core: u32) -> bool {
+        self.pending.load(Ordering::Acquire)
+            && (core == NO_CORE
+                || (self.stop_mask.load(Ordering::Acquire) >> core.min(63)) & 1 == 1)
+    }
+
+    /// Number of cores the current (or last) round actually stopped — the
+    /// partial-quiescence gauge.
+    pub fn stopped_cores(&self) -> usize {
+        self.stop_count.load(Ordering::Acquire)
+    }
+
+    /// The current round's stop bitmask (zero outside a pause).
+    pub fn stop_mask(&self) -> u64 {
+        self.stop_mask.load(Ordering::Acquire)
+    }
+
+    /// Bitmask of cores covered by all registered cores.
+    fn registered_mask(total: usize) -> u64 {
+        if total >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        }
+    }
+
+    /// Leader: requests quiescence and waits for the stop set to park.
     ///
-    /// `work` is the hybrid-copy batch the parked cores will execute
-    /// (Figure 5 step ❸). Returns the IPI round-trip time — the Figure 9a
-    /// "IPI" component.
+    /// In partial mode (the default) the stop set is the set of cores that
+    /// dirtied state since the last round, taken from the dirty queue's
+    /// owner mask; `KernelConfig::force_full_quiesce` restores the
+    /// historical all-cores protocol. `work` is the hybrid-copy batch the
+    /// parked cores will execute (Figure 5 step ❸). Returns the IPI
+    /// round-trip time — the Figure 9a "IPI" component.
     ///
     /// # Panics
     ///
     /// Panics if a pause is already in progress.
     pub fn stop_world(&self, work: Option<Arc<HybridWork>>, kernel: &Kernel) -> Duration {
         assert!(!self.pending(), "nested stop_world");
+        // Drain stragglers from the previous round: a core still inside
+        // `participate`'s exit path would otherwise be double-counted
+        // toward this round's (possibly smaller) quiescence target.
+        while self.quiescent.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
         *self.work.lock() = work;
         let t0 = Instant::now();
+        let total = self.registered.load(Ordering::SeqCst);
+        let reg_mask = Self::registered_mask(total);
+        let mask = if kernel.config.force_full_quiesce {
+            reg_mask
+        } else {
+            // Owner bits set *after* this take belong to cores that reach
+            // their next step boundary inside the window; such cores
+            // either park (they are in the mask from earlier activity) or
+            // run on behind the epoch fence — both are safe, so no
+            // fixed-point chase is needed.
+            kernel.dirty_queue.take_owner_mask() & reg_mask
+        };
+        let target = mask.count_ones() as usize;
+        self.stop_mask.store(mask, Ordering::SeqCst);
+        self.stop_count.store(target, Ordering::SeqCst);
         self.pending.store(true, Ordering::SeqCst);
         // Kick parked cores so they reach the gate promptly.
         kernel.sched.wake_all();
         let mut gate = self.epoch.lock();
-        while self.quiescent.load(Ordering::SeqCst) < self.registered.load(Ordering::SeqCst) {
+        while self.quiescent.load(Ordering::SeqCst) < target {
             kernel.sched.wake_all();
             self.cv.wait_for(&mut gate, Duration::from_micros(100));
         }
-        // Every core is parked: open the copy phase. Not before — a core
-        // that reached the gate early would otherwise start stop-and-copy
-        // while a late core is still executing a program step, tearing
-        // multi-word invariants inside the copied page.
+        drop(gate);
+        // A free core may have pulled an unpinned thread just before the
+        // pause became visible; its slice breaks at the very next step
+        // boundary. Wait it out so no unpinned thread executes a step
+        // after this returns.
+        while self.unpinned_active.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // Every stopped core is parked: open the copy phase. Not before —
+        // a core that reached the gate early would otherwise start
+        // stop-and-copy while a late core is still executing a program
+        // step, tearing multi-word invariants inside the copied page.
         self.go.store(true, Ordering::SeqCst);
         self.cv.notify_all();
         t0.elapsed()
@@ -336,13 +455,31 @@ impl StwController {
         *self.work.lock() = None;
         self.go.store(false, Ordering::SeqCst);
         self.pending.store(false, Ordering::SeqCst);
+        self.stop_mask.store(0, Ordering::SeqCst);
         *gate += 1;
         self.cv.notify_all();
+    }
+
+    /// Blocks until every core that parked for the last round has left
+    /// `participate` (so [`take_paused_ns`] reads a complete round).
+    ///
+    /// [`take_paused_ns`]: Self::take_paused_ns
+    pub fn wait_all_resumed(&self) {
+        while self.quiescent.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Detaches the aggregate core-parked nanoseconds accumulated since
+    /// the last call (bench instrumentation).
+    pub fn take_paused_ns(&self) -> u64 {
+        self.paused_ns.swap(0, Ordering::AcqRel)
     }
 
     /// Core: parks at the quiescence gate until resumed, contributing to
     /// the hybrid-copy batch while parked.
     pub fn participate(&self) {
+        let t0 = Instant::now();
         let mut gate = self.epoch.lock();
         let entry_epoch = *gate;
         self.quiescent.fetch_add(1, Ordering::SeqCst);
@@ -367,12 +504,42 @@ impl StwController {
             self.cv.wait_for(&mut gate, Duration::from_millis(1));
         }
         self.quiescent.fetch_sub(1, Ordering::SeqCst);
+        drop(gate);
+        self.paused_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
 /// Runs up to `max_steps` program steps of thread `tid` on the calling
 /// core, honouring the stop-the-world flag at every step boundary.
+///
+/// During a pause, the slice breaks when the calling core is in the
+/// round's stop set — or when the thread is not pinned to this core: an
+/// unpinned thread's state is (being) copied by the round, so a free core
+/// must not keep executing it behind the fence.
 pub fn run_slice(kernel: &Kernel, tid: ObjId, max_steps: usize, stw: &StwController) {
+    let core = current_core();
+    let pinned_here = core != NO_CORE && kernel.sched.affinity(tid) == Some(core);
+    // Advertise this slice before checking the pause flag. The SeqCst
+    // pairing with `stop_world` guarantees: either the leader sees our
+    // increment and waits the slice out, or we see `pending` here and bail
+    // before touching the thread at all. Either way no unpinned thread is
+    // mutated after the leader opens the copy phase.
+    struct SliceGuard<'a>(&'a StwController);
+    impl Drop for SliceGuard<'_> {
+        fn drop(&mut self) {
+            self.0.unpinned_active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _unpinned = (core != NO_CORE && !pinned_here).then(|| {
+        stw.unpinned_active.fetch_add(1, Ordering::SeqCst);
+        SliceGuard(stw)
+    });
+    if core != NO_CORE && !pinned_here && stw.pending() {
+        // Pause in progress and this thread belongs to the round's copy
+        // set: hand it back to the queue untouched.
+        kernel.sched.enqueue(tid);
+        return;
+    }
     let Ok(th) = kernel.object(tid) else { return };
     // Enter "user space": mark on-CPU and copy the context out.
     let (mut ctx, prog_name, cap_group, vmspace) = {
@@ -394,7 +561,7 @@ pub fn run_slice(kernel: &Kernel, tid: ObjId, max_steps: usize, stw: &StwControl
     if let Some(program) = program {
         outcome = StepOutcome::Yielded;
         for _ in 0..max_steps {
-            if stw.pending() {
+            if stw.pending() && (!pinned_here || stw.should_park(core)) {
                 break;
             }
             let mut uc = UserCtx::new(kernel, tid, cap_group, vmspace, &mut ctx);
@@ -467,7 +634,7 @@ impl CoreSet {
                 let shutdown = Arc::clone(&shutdown);
                 std::thread::Builder::new()
                     .name(format!("core-{i}"))
-                    .spawn(move || core_loop(&kernel, &stw, &shutdown, quantum))
+                    .spawn(move || core_loop(&kernel, &stw, &shutdown, quantum, i as u32))
                     .expect("spawn core thread")
             })
             .collect();
@@ -510,13 +677,24 @@ impl Drop for CoreSet {
     }
 }
 
-fn core_loop(kernel: &Kernel, stw: &StwController, shutdown: &AtomicBool, quantum: usize) {
+fn core_loop(
+    kernel: &Kernel,
+    stw: &StwController,
+    shutdown: &AtomicBool,
+    quantum: usize,
+    core: u32,
+) {
+    set_current_core(core);
     while !shutdown.load(Ordering::SeqCst) {
-        if stw.pending() {
+        if stw.should_park(core) {
             stw.participate();
             continue;
         }
-        match kernel.sched.next() {
+        // Outside the stop set during a pause: run on, but only threads
+        // pinned to this core — the global queue holds threads whose
+        // state the round is copying.
+        let restricted = stw.pending();
+        match kernel.sched.next_for(core, restricted) {
             Some(tid) => run_slice(kernel, tid, quantum, stw),
             None => kernel.sched.park(Duration::from_micros(200)),
         }
@@ -666,6 +844,62 @@ mod tests {
         assert!(d < Duration::from_millis(100));
         stw.finish_hybrid_work();
         stw.resume_world();
+    }
+
+    #[test]
+    fn partial_pause_stops_only_dirty_owning_cores() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let (tid, vs) = spawn_counter(&k, u64::MAX); // runs forever
+        k.sched.set_affinity(tid, Some(0));
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 4);
+        std::thread::sleep(Duration::from_millis(10));
+        stw.stop_world(None, &k);
+        assert_eq!(stw.stopped_cores(), 1, "only the dirty-owning core parks");
+        // The dirty-owning core is parked: the counter must be frozen even
+        // though core 1 keeps running.
+        let mut buf = [0u8; 8];
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        let v1 = u64::from_le_bytes(buf);
+        std::thread::sleep(Duration::from_millis(20));
+        k.vm_read(vs, Vaddr(0), &mut buf).unwrap();
+        assert_eq!(v1, u64::from_le_bytes(buf), "counter advanced during partial pause");
+        stw.finish_hybrid_work();
+        stw.resume_world();
+        stw.wait_all_resumed();
+        assert!(stw.take_paused_ns() > 0, "parked core accrued pause time");
+        cores.stop();
+    }
+
+    #[test]
+    fn quiet_partial_pause_parks_nobody() {
+        let k = kernel();
+        let stw = Arc::new(StwController::new());
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 2, 4);
+        std::thread::sleep(Duration::from_millis(5));
+        let d = stw.stop_world(None, &k);
+        assert_eq!(stw.stopped_cores(), 0, "no dirty owners, no parked cores");
+        assert!(d < Duration::from_millis(100));
+        stw.finish_hybrid_work();
+        stw.resume_world();
+        cores.stop();
+    }
+
+    #[test]
+    fn force_full_quiesce_parks_every_core() {
+        let k = Kernel::boot(KernelConfig {
+            nvm_frames: 1024,
+            dram_pages: 64,
+            force_full_quiesce: true,
+            ..KernelConfig::default()
+        });
+        let stw = Arc::new(StwController::new());
+        let cores = CoreSet::start(Arc::clone(&k), Arc::clone(&stw), 3, 4);
+        stw.stop_world(None, &k);
+        assert_eq!(stw.stopped_cores(), 3, "oracle mode stops all cores");
+        stw.finish_hybrid_work();
+        stw.resume_world();
+        cores.stop();
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct KernelStats {
     pub fault_ns: AtomicU64,
     /// Nanoseconds spent copying pages in the CoW handler.
     pub memcpy_ns: AtomicU64,
+    /// Epoch-fence conflict captures: writes from cores outside a partial
+    /// pause's stop set that hit a page whose round image was not yet
+    /// preserved (see [`Kernel::write_page_slot`]).
+    pub epoch_conflicts: AtomicU64,
 }
 
 impl KernelStats {
@@ -63,6 +67,7 @@ impl KernelStats {
             cow_copies: self.cow_copies.load(Ordering::Relaxed),
             fault_ns: self.fault_ns.load(Ordering::Relaxed),
             memcpy_ns: self.memcpy_ns.load(Ordering::Relaxed),
+            epoch_conflicts: self.epoch_conflicts.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,6 +85,8 @@ pub struct KernelStatsSnapshot {
     pub fault_ns: u64,
     /// CoW copy time (ns).
     pub memcpy_ns: u64,
+    /// Epoch-fence conflict captures.
+    pub epoch_conflicts: u64,
 }
 
 impl KernelStatsSnapshot {
@@ -91,6 +98,7 @@ impl KernelStatsSnapshot {
             cow_copies: self.cow_copies - earlier.cow_copies,
             fault_ns: self.fault_ns - earlier.fault_ns,
             memcpy_ns: self.memcpy_ns - earlier.memcpy_ns,
+            epoch_conflicts: self.epoch_conflicts - earlier.epoch_conflicts,
         }
     }
 }
@@ -228,24 +236,103 @@ impl Kernel {
     }
 
     /// Writes a span within one page slot, faulting if read-only.
+    ///
+    /// While the kernel's [`EpochFence`] is armed (a partial-quiescence
+    /// round is copying, and this write comes from a core outside the stop
+    /// set — or from a host thread), the round's page image must not be
+    /// destroyed:
+    ///
+    /// * **migrated pages** whose in-flight image is not yet preserved get
+    ///   an inline pre-write capture into the speculative-copy slot (the
+    ///   "conflict CoW" of partial quiescence) — the hybrid worker then
+    ///   skips the slot;
+    /// * **non-migrated read-only pages** wait the fence out: a CoW now
+    ///   would overwrite the previous committed image anchored in
+    ///   `pairs[0]`, and there is no third pair slot to copy into;
+    /// * **non-migrated writable pages** write through — their runtime
+    ///   frame only becomes the round's image when `mark_readonly`
+    ///   freezes it, after which the write lands in the wait branch
+    ///   (the accepted fuzzy boundary of the pause window).
+    ///
+    /// [`EpochFence`]: crate::kernel::EpochFence
     pub fn write_page_slot(
         &self,
         slot: &Arc<PageSlot>,
         off: usize,
         data: &[u8],
     ) -> Result<(), KernelError> {
-        let mut meta = slot.meta.lock();
-        if !meta.writable {
-            self.cow_fault_locked(slot, &mut meta)?;
-        }
-        match meta.runtime_loc() {
-            PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
-            PhysLoc::Dram(d) => {
-                self.dram.write(d, off, data);
-                meta.dirty = true;
+        loop {
+            let mut meta = slot.meta.lock();
+            let inflight = self.fence.inflight();
+            // The fence only governs the pre-commit window: once the round's
+            // commit record lands (global == inflight), ordinary CoW
+            // semantics preserve images correctly even before disarm.
+            if self.fence.active()
+                && !meta.eternal
+                && self.pers.global_version() < inflight
+            {
+                if meta.is_migrated() {
+                    // Keyed to the fence *round*, not the version tag: an
+                    // aborted round leaves captures carrying the same
+                    // in-flight version, and this round must re-capture.
+                    if meta.epoch_round != self.fence.round() {
+                        let dst = meta.sac_dst(inflight - 1);
+                        self.epoch_capture_locked(&mut meta, inflight, dst)?;
+                    }
+                } else if !meta.writable {
+                    drop(meta);
+                    std::thread::sleep(std::time::Duration::from_micros(5));
+                    continue;
+                }
+            } else if !meta.writable {
+                self.cow_fault_locked(slot, &mut meta)?;
             }
+            match meta.runtime_loc() {
+                PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
+                PhysLoc::Dram(d) => {
+                    self.dram.write(d, off, data);
+                    meta.dirty = true;
+                }
+            }
+            meta.idle_rounds = 0;
+            return Ok(());
         }
-        meta.idle_rounds = 0;
+    }
+
+    /// Epoch-fence conflict capture (called with the slot lock held): a
+    /// write from a free core is about to modify a migrated page whose
+    /// in-flight round image has not been preserved yet. Capture the
+    /// pre-write DRAM content into the speculative-copy slot, tagged with
+    /// the in-flight version, exactly as the hybrid worker would have —
+    /// whichever of the two runs first wins, the other skips.
+    fn epoch_capture_locked(
+        &self,
+        meta: &mut crate::pmo::PageMeta,
+        inflight: u64,
+        dst: usize,
+    ) -> Result<(), KernelError> {
+        let t0 = Instant::now();
+        self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+        let frame = match meta.pairs[dst] {
+            Some(p) => p.frame,
+            None => self.pers.alloc.alloc_page()?,
+        };
+        let d = meta.runtime_dram.expect("epoch capture is for migrated pages");
+        treesls_nvm::crash_site!(self.pers.dev.crash_schedule(), "stw.clean_core_cow");
+        let tc = Instant::now();
+        self.pers.dev.copy_from_dram(&self.dram, d, frame);
+        self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let crc = self.pers.dev.page_crc(frame);
+        meta.pairs[dst] = Some(PagePtr::backup(frame, inflight, crc));
+        meta.epoch_round = self.fence.round();
+        self.stats.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.record_backup_page(inflight);
+        self.metrics.record_epoch_conflict();
+        self.pers.recorder().record(
+            treesls_obs::EventKind::HybridSacCopy,
+            [frame.0 as u64, inflight, d.0 as u64, 1, 0, 0],
+        );
+        self.stats.fault_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(())
     }
 

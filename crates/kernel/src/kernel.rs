@@ -144,6 +144,11 @@ pub struct KernelConfig {
     /// O(changes) dirty-queue walk. Kept as the differential oracle and
     /// for measuring the walk cost the dirty queue removes.
     pub force_full_walk: bool,
+    /// Quiesce every core at each checkpoint instead of only the cores
+    /// whose dirty set intersects the round (partial quiescence). Kept as
+    /// the differential oracle for the partial-quiescence protocol, like
+    /// `force_full_walk` is for the dirty walk.
+    pub force_full_quiesce: bool,
     /// Checkpoint rounds between periodic full walks (the cycle collector
     /// for reference loops the O(deletions) tombstoning cannot reclaim;
     /// see DESIGN.md). `0` disables periodic full walks — unreachable
@@ -173,6 +178,7 @@ impl Default for KernelConfig {
             do_copy: true,
             hybrid_copy: true,
             force_full_walk: false,
+            force_full_quiesce: false,
             full_walk_interval: 64,
             latency: LatencyProfile::Uniform,
         }
@@ -403,6 +409,62 @@ impl Persistent {
     }
 }
 
+/// The per-round epoch fence of partial quiescence.
+///
+/// While a partial stop-the-world pause is in progress, cores *outside*
+/// the round's stop set keep running. Their first conflicting write to a
+/// page whose epoch image has not been preserved yet must not destroy
+/// that image: the fault path consults this fence and routes such writes
+/// into a CoW capture of the pre-write page (migrated pages) or waits the
+/// fence out (non-migrated read-only pages, whose CoW slot still anchors
+/// the *previous* committed version until this round commits).
+///
+/// Armed by the checkpoint leader before `stop_world`, disarmed right
+/// after the commit record lands (from then on the ordinary post-commit
+/// CoW path preserves images correctly).
+#[derive(Debug, Default)]
+pub struct EpochFence {
+    active: AtomicBool,
+    inflight: AtomicU64,
+    /// Monotonic arm counter (starts at 1 on first arm, never reused).
+    /// Captures are keyed to the round, not the version tag: an aborted
+    /// round leaves stale captures carrying the same in-flight version,
+    /// and the next round must not mistake them for its own.
+    round: AtomicU64,
+}
+
+impl EpochFence {
+    /// Arms the fence for the round checkpointing version `inflight`.
+    pub fn arm(&self, inflight: u64) {
+        self.inflight.store(inflight, Ordering::Release);
+        self.round.fetch_add(1, Ordering::Release);
+        self.active.store(true, Ordering::Release);
+    }
+
+    /// Disarms the fence (round committed or aborted).
+    pub fn disarm(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    /// Returns `true` while a partial-quiescence round is in flight.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// The version the in-flight round will commit as.
+    #[inline]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// The current arm counter (0 before the first arm, ≥1 after).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round.load(Ordering::Acquire)
+    }
+}
+
 /// The volatile kernel: runtime capability tree plus derived state.
 #[derive(Debug)]
 pub struct Kernel {
@@ -434,6 +496,9 @@ pub struct Kernel {
     /// (O(deletions), volatile — restore re-derives deletions from
     /// reachability, so losing it is safe).
     pub pending_sweep: Mutex<Vec<OrootId>>,
+    /// Per-round epoch fence consulted by the write-fault path while a
+    /// partial-quiescence pause is in flight.
+    pub fence: EpochFence,
     /// Fault/copy counters and timers (Figure 10 / Table 4).
     pub stats: KernelStats,
     /// Cross-cutting metrics registry (see `treesls-obs`), shared with the
@@ -471,6 +536,7 @@ impl Kernel {
             force_full_next: AtomicBool::new(false),
             rounds_since_full: AtomicU64::new(0),
             pending_sweep: Mutex::new(Vec::new()),
+            fence: EpochFence::default(),
             stats: KernelStats::new(),
             metrics: Arc::new(MetricsRegistry::new()),
             irq_lines: Mutex::new(HashMap::new()),

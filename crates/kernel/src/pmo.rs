@@ -93,6 +93,11 @@ pub struct PageMeta {
     /// Page of an eternal PMO (§5): never marked read-only, never copied,
     /// never migrated; survives restore with its at-crash content.
     pub eternal: bool,
+    /// Epoch-fence round (`EpochFence::round`) whose conflict capture
+    /// already preserved this page's image; 0 = none. Volatile (reset by
+    /// restore) — rounds start at 1 and are never reused, so a stale value
+    /// from an aborted round can never match the live round.
+    pub epoch_round: u64,
 }
 
 impl PageMeta {
@@ -111,6 +116,7 @@ impl PageMeta {
             on_active_list: false,
             idle_rounds: 0,
             eternal: false,
+            epoch_round: 0,
         }
     }
 
@@ -303,6 +309,7 @@ mod tests {
             on_active_list: true,
             idle_rounds: 0,
             eternal: false,
+            epoch_round: 0,
         };
         assert_eq!(m.restore_pick(20), Some(1));
         let m2 = PageMeta { pairs: [pp(1, 9), pp(2, 8)], ..m.clone() };
@@ -323,6 +330,7 @@ mod tests {
             on_active_list: true,
             idle_rounds: 0,
             eternal: false,
+            epoch_round: 0,
         };
         assert_eq!(m.restore_pick(5), Some(0), "must ignore version 6 > global 5");
     }
@@ -356,6 +364,7 @@ mod tests {
                     on_active_list: false,
                     idle_rounds: 0,
                     eternal: false,
+                    epoch_round: 0,
                 };
                 if let Some(keep) = m.restore_pick(global) {
                     assert_ne!(m.sac_dst(global), keep, "global={global} pairs={pairs:?}");

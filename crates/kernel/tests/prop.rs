@@ -62,6 +62,7 @@ proptest! {
             on_active_list: false,
             idle_rounds: 0,
             eternal: false,
+            epoch_round: 0,
         };
         let pick = meta.restore_pick(global);
         let committed_exists =

@@ -17,11 +17,15 @@
 //! doorbell of every queue with undrained requests (the interrupt edge
 //! died with the power; the eternal RX contents did not).
 //!
-//! Admission control is a per-queue credit budget: a queue with `credits`
-//! requests awaiting responses sheds new work with an explicit
-//! [`NetError::Busy`] instead of queueing unboundedly — with
-//! commit-gated TX the in-flight ceiling, not CPU, is what bounds
-//! throughput, so credits are the knob the load generator scales.
+//! Admission control is a per-queue credit budget bounding the *server's
+//! unconsumed RX backlog*: a queue whose server is `credits` requests
+//! behind sheds new work with an explicit [`NetError::Busy`] instead of
+//! queueing unboundedly. Credits are consumed at admission and
+//! re-derived from the ring itself (`rx_writer − rx_cursor`) at every
+//! pump, commit barrier and doorbell re-arm — a request stops holding a
+//! credit as soon as the server has consumed it, not only when its
+//! commit-gated response finally drains, so checkpoint latency never
+//! eats the admission budget.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,8 +52,9 @@ pub struct NicConfig {
     pub nslots: u64,
     /// Bytes per slot (including the slot header).
     pub slot_size: u64,
-    /// Per-queue admission budget: requests in flight beyond this are
-    /// shed with [`NetError::Busy`].
+    /// Per-queue admission budget: requests admitted beyond this while
+    /// the server's RX backlog has not drained are shed with
+    /// [`NetError::Busy`].
     pub credits: u64,
     /// Whether TX visibility is gated on checkpoint commits.
     pub ext_sync: bool,
@@ -173,8 +178,17 @@ struct Pending {
 struct QueueState {
     /// Doorbell notification (virtual MSI vector) of this queue.
     doorbell: Mutex<Option<ObjId>>,
-    /// Requests admitted and not yet answered (the credit consumption).
+    /// Credit consumption: an over-approximation of the server's
+    /// unconsumed RX backlog, bumped at admission and clamped back down
+    /// to the observed `rx_writer − rx_cursor` by
+    /// [`VirtualNic::resync_credits`].
     inflight: AtomicU64,
+    /// TX writer snapshot taken by `on_epoch` inside the checkpoint
+    /// pause; `u64::MAX` when no snapshot is armed (full quiescence or
+    /// no checkpoint in flight). Caps the commit barrier's visibility
+    /// advance so responses produced by clean cores *after* the pause
+    /// wait for the commit that covers their producing state.
+    epoch_tx_writer: AtomicU64,
     /// RX cursor sample taken at the previous checkpoint; a lower bound
     /// on the *checkpointed* cursor, so those request slots are safe to
     /// release for reuse.
@@ -251,6 +265,7 @@ impl VirtualNic {
             .map(|_| QueueState {
                 doorbell: Mutex::new(None),
                 inflight: AtomicU64::new(0),
+                epoch_tx_writer: AtomicU64::new(u64::MAX),
                 prev_cursor_sample: AtomicU64::new(0),
                 dma: Mutex::new(()),
             })
@@ -470,13 +485,16 @@ impl VirtualNic {
                 // entry and are dropped.
                 if let Some(p) = pending.get_mut(&msg.seq) {
                     if p.resp.is_none() {
-                        let owner = p.queue;
                         p.resp = Some(msg.payload);
-                        self.queues[owner].inflight.fetch_sub(1, Ordering::SeqCst);
                         any = true;
                     }
                 }
             }
+            // Return credits for everything the server has consumed by
+            // now — with commit-gated TX the response drain above lags a
+            // whole checkpoint interval behind consumption, and holding
+            // credits that long starves admission at steady load.
+            self.resync_credits(q);
             // Release consumed TX slots for reuse.
             if let Ok(reader) = ring::header(&self.io, &port.tx, hdr::READER) {
                 let _ = ring::set_header(&self.io, &port.tx, hdr::ACK, reader);
@@ -504,14 +522,36 @@ impl VirtualNic {
         }
     }
 
-    /// Abandons a pending request (timeout): removes the entry and
-    /// returns its credit if no response had arrived.
+    /// Abandons a pending request (timeout): removes the entry. Its
+    /// credit is not returned here — credits track the server backlog and
+    /// are re-derived from the ring at the next resync point, which also
+    /// reclaims the credit of a request lost on the wire (one that never
+    /// reached the ring at all).
     pub fn abandon(&self, seq: u64) {
-        let mut pending = self.pending.lock();
-        if let Some(p) = pending.remove(&seq) {
-            if p.resp.is_none() {
-                self.queues[p.queue].inflight.fetch_sub(1, Ordering::SeqCst);
-            }
+        self.pending.lock().remove(&seq);
+    }
+
+    /// Clamps queue `q`'s credit consumption down to the server's actual
+    /// unconsumed RX backlog (`rx_writer − rx_cursor`).
+    ///
+    /// The admission increment over-approximates: requests the server has
+    /// already consumed (but whose responses await a commit), and
+    /// requests dropped on the wire, keep holding a credit. Re-deriving
+    /// the count from the ring headers returns those credits; the clamp
+    /// only ever lowers the counter, so it never races an admission into
+    /// a negative balance.
+    fn resync_credits(&self, q: usize) {
+        let port = self.layout.port(q);
+        if let (Ok(writer), Ok(cursor)) = (
+            ring::header(&self.io, &port.rx, hdr::WRITER),
+            self.io.mem_read_u64(port.rx_cursor_addr),
+        ) {
+            let backlog = writer.saturating_sub(cursor);
+            let _ = self.queues[q].inflight.fetch_update(
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                |c| (c > backlog).then_some(backlog),
+            );
         }
     }
 
@@ -538,9 +578,21 @@ impl VirtualNic {
         // a fixed fine grain can starve the cores that produce the very
         // responses they poll for.
         let mut wait = Duration::from_micros(50);
+        // Deterministic per-call jitter (xorshift seeded from the sequence
+        // number): every caller capping at exactly 1 ms otherwise phase-
+        // locks the fleet into synchronized poll bursts at commit cadence,
+        // and the caller that keeps missing the commit edge by a hair
+        // pays a full extra period at the tail.
+        let mut rng = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
         let mut since_recovery = Duration::ZERO;
         loop {
             self.pump();
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            // Sleep in [wait, 1.5·wait).
+            let sleep =
+                wait + Duration::from_nanos(wait.as_nanos() as u64 * ((rng >> 33) % 512) / 1024);
             {
                 let mut pending = self.pending.lock();
                 if pending.get(&seq).is_some_and(|p| p.resp.is_some()) {
@@ -553,9 +605,9 @@ impl VirtualNic {
                     self.abandon(seq);
                     return Ok(CallOutcome::TimedOut);
                 }
-                self.cv.wait_for(&mut pending, wait);
+                self.cv.wait_for(&mut pending, sleep);
             }
-            since_recovery += wait;
+            since_recovery += sleep;
             wait = (wait * 2).min(Duration::from_millis(1));
             // ~2ms between recovery attempts on a faulty wire.
             if lossy && since_recovery >= Duration::from_millis(2) {
@@ -611,6 +663,22 @@ pub struct QueueStats {
 }
 
 impl CkptCallback for VirtualNic {
+    fn on_epoch(&self, _version: u64) {
+        // Inside the stop-the-world pause: snapshot every queue's TX
+        // writer. Under partial quiescence, servers on clean cores keep
+        // producing responses through the copy phase; those responses'
+        // producing state is captured by the *next* checkpoint, so the
+        // commit barrier below must not release them (the snapshot is
+        // the cap). Under full quiescence nothing runs between here and
+        // the commit, so the cap is exactly the barrier-time writer.
+        for q in 0..self.layout.queues {
+            let port = self.layout.port(q);
+            if let Ok(w) = ring::header(&self.io, &port.tx, hdr::WRITER) {
+                self.queues[q].epoch_tx_writer.store(w, Ordering::SeqCst);
+            }
+        }
+    }
+
     fn on_checkpoint(&self, version: u64) {
         let kernel = self.io.kernel();
         treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "net.pre_barrier");
@@ -624,11 +692,16 @@ impl CkptCallback for VirtualNic {
         for q in 0..self.layout.queues {
             let port = self.layout.port(q);
             // Release responses whose producing state is now persistent —
-            // unfenced: all queues share the single barrier below.
+            // unfenced: all queues share the single barrier below. The
+            // advance is capped at the TX writer snapshotted inside the
+            // pause (`on_epoch`): responses appended after the pause by
+            // still-running clean cores wait for the next commit.
+            let cap = self.queues[q].epoch_tx_writer.swap(u64::MAX, Ordering::SeqCst);
             let before =
                 ring::header(&self.io, &port.tx, hdr::VISIBLE_WRITER).unwrap_or(0);
-            let visible = ring::advance_visible_unfenced(&self.io, &port.tx, version)
-                .unwrap_or(before);
+            let visible =
+                ring::advance_visible_capped_unfenced(&self.io, &port.tx, version, cap)
+                    .unwrap_or(before);
             released += visible.saturating_sub(before);
             // Double-buffered RX acknowledgement: the cursor sampled at
             // the *previous* checkpoint is ≤ the cursor captured by this
@@ -637,6 +710,10 @@ impl CkptCallback for VirtualNic {
                 let prev = self.queues[q].prev_cursor_sample.swap(cursor, Ordering::SeqCst);
                 let _ = ring::set_header(&self.io, &port.rx, hdr::ACK, prev);
             }
+            // Commit-time credit replenishment: everything the server
+            // consumed during the interval stops holding admission
+            // credits now, not when its response eventually drains.
+            self.resync_credits(q);
             if let (Ok(writer), Ok(ack)) = (
                 ring::header(&self.io, &port.tx, hdr::WRITER),
                 ring::header(&self.io, &port.tx, hdr::ACK),
@@ -720,6 +797,10 @@ impl CkptCallback for VirtualNic {
                     }
                 }
             }
+            // The restored cursor defines the new true backlog; any epoch
+            // snapshot from a round that died with the power is stale.
+            self.queues[q].epoch_tx_writer.store(u64::MAX, Ordering::SeqCst);
+            self.resync_credits(q);
         }
         treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "net.pre_rearm");
         kernel.signal_objects(&bells);

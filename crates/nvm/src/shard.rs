@@ -10,6 +10,13 @@
 //! parallel and contention is observable (a counter increments whenever a
 //! lock was not immediately available).
 //!
+//! Mutation is confined to the checkpoint/restore critical sections (the
+//! leader plus its offload workers). That confinement is what keeps the
+//! non-snapshot iterators sound under **partial quiescence**, where free
+//! cores keep running user code while the walk iterates — free cores
+//! route conflicting page writes through the epoch fence and never touch
+//! these arenas directly.
+//!
 //! Shard membership is encoded in the [`SlotId`] itself (high bits of the
 //! 32-bit index), so ids remain plain, `to_raw`-persistable values and a
 //! record's shard can be recomputed from its id alone — nothing about the
@@ -163,7 +170,11 @@ impl<T> ShardedStore<T> {
 
     /// Visits every live record, one shard lock at a time. The traversal
     /// is not a snapshot: records inserted into already-visited shards
-    /// during the walk are missed (fine inside a stop-the-world pause).
+    /// during the walk are missed. Callers must confine concurrent
+    /// inserts to the checkpoint critical section itself (the leader and
+    /// its offload workers) — under partial quiescence the machine is
+    /// *not* globally stopped during the walk, and the free cores stay
+    /// safe only because nothing outside that section mutates the store.
     pub fn for_each(&self, mut f: impl FnMut(SlotId, &T)) {
         for (s, shard) in self.shards.iter().enumerate() {
             let guard = self.lock(shard);

@@ -170,6 +170,8 @@ pub struct MetricsRegistry {
     tree_tombstoned: AtomicU64,
     dirty_queue_depth: AtomicU64,
     shard_contention: AtomicU64,
+    quiesced_cores: AtomicU64,
+    epoch_conflicts: AtomicU64,
     net_requests: AtomicU64,
     net_sheds: AtomicU64,
     net_rearms: AtomicU64,
@@ -297,6 +299,25 @@ impl MetricsRegistry {
         let _ = (dirty_queue_depth, shard_contention);
     }
 
+    /// Updates the partial-quiescence gauge: how many cores the last
+    /// stop-the-world round actually parked.
+    #[inline]
+    pub fn set_quiesced_cores(&self, cores: u64) {
+        #[cfg(feature = "metrics")]
+        self.quiesced_cores.store(cores, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = cores;
+    }
+
+    /// Records one epoch-fence conflict capture: a core outside a partial
+    /// pause's stop set wrote a page whose round image was not yet
+    /// preserved, and the fault path duplicated it inline.
+    #[inline]
+    pub fn record_epoch_conflict(&self) {
+        #[cfg(feature = "metrics")]
+        self.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one request admitted by a virtual NIC.
     #[inline]
     pub fn record_net_request(&self) {
@@ -385,6 +406,8 @@ impl MetricsRegistry {
                 tree_tombstoned: l(&self.tree_tombstoned),
                 dirty_queue_depth: l(&self.dirty_queue_depth),
                 shard_contention: l(&self.shard_contention),
+                quiesced_cores: l(&self.quiesced_cores),
+                epoch_conflicts: l(&self.epoch_conflicts),
                 net_requests: l(&self.net_requests),
                 net_sheds: l(&self.net_sheds),
                 net_rearms: l(&self.net_rearms),
@@ -448,6 +471,11 @@ pub struct MetricsSnapshot {
     pub dirty_queue_depth: u64,
     /// Gauge: cumulative sharded-store lock contention events.
     pub shard_contention: u64,
+    /// Gauge: cores parked by the last stop-the-world round (partial
+    /// quiescence stops only dirty-owning cores).
+    pub quiesced_cores: u64,
+    /// Epoch-fence conflict captures by free cores during partial pauses.
+    pub epoch_conflicts: u64,
     /// Requests admitted by virtual NICs.
     pub net_requests: u64,
     /// Requests shed by NIC admission control (`Busy` replies).
@@ -515,6 +543,8 @@ impl MetricsSnapshot {
             tree_tombstoned: self.tree_tombstoned - earlier.tree_tombstoned,
             dirty_queue_depth: self.dirty_queue_depth,
             shard_contention: self.shard_contention,
+            quiesced_cores: self.quiesced_cores,
+            epoch_conflicts: self.epoch_conflicts - earlier.epoch_conflicts,
             net_requests: self.net_requests - earlier.net_requests,
             net_sheds: self.net_sheds - earlier.net_sheds,
             net_rearms: self.net_rearms - earlier.net_rearms,
@@ -546,6 +576,8 @@ impl MetricsSnapshot {
                 Json::Obj(vec![
                     ("checkpoints".into(), u(self.checkpoints)),
                     ("restores".into(), u(self.restores)),
+                    ("quiesced_cores".into(), u(self.quiesced_cores)),
+                    ("epoch_conflicts".into(), u(self.epoch_conflicts)),
                     ("pause".into(), self.pause.to_json()),
                 ]),
             ),
@@ -681,6 +713,8 @@ mod tests {
         r.record_net_shed();
         r.record_net_barrier(3, 5, 7, 9);
         r.record_net_barrier(2, 4, 6, 11);
+        r.set_quiesced_cores(3);
+        r.record_epoch_conflict();
         let a = r.snapshot();
         if cfg!(feature = "metrics") {
             assert_eq!(a.checkpoints, 1);
@@ -696,6 +730,8 @@ mod tests {
             assert_eq!(a.net_visible_lag_sum, 4);
             assert_eq!(a.net_rx_occupancy_hwm, 7);
             assert_eq!(a.net_tx_occupancy_hwm, 11);
+            assert_eq!(a.quiesced_cores, 3);
+            assert_eq!(a.epoch_conflicts, 1);
             assert_eq!(a.pause.count, 1);
         } else {
             assert_eq!(a, MetricsSnapshot::default());

@@ -104,6 +104,10 @@ pub enum EventKind {
     /// not). Payload: `[restored_version, queues, rearmed, truncated_msgs,
     /// 0, 0]`.
     NetRearm = 14,
+    /// A stop-the-world round resolved its stop set (partial quiescence).
+    /// Payload: `[inflight_version, stopped_cores, registered_cores,
+    /// owner_mask, full_quiesce(0|1), epoch_conflicts_so_far]`.
+    PartialQuiesce = 15,
 }
 
 impl EventKind {
@@ -124,6 +128,7 @@ impl EventKind {
             12 => EventKind::TreeWalk,
             13 => EventKind::NetBarrier,
             14 => EventKind::NetRearm,
+            15 => EventKind::PartialQuiesce,
             _ => return None,
         })
     }
@@ -145,6 +150,7 @@ impl EventKind {
             EventKind::TreeWalk => "tree_walk",
             EventKind::NetBarrier => "net_barrier",
             EventKind::NetRearm => "net_rearm",
+            EventKind::PartialQuiesce => "partial_quiesce",
         }
     }
 }

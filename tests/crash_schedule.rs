@@ -22,7 +22,7 @@
 
 mod common;
 
-use common::{stride, HybridScenario, KvRingScenario};
+use common::{step, stride, HybridScenario, KvRingScenario, HYBRID_HEAP, HYBRID_PAGES};
 use treesls::net::NetFaultConfig;
 use treesls::{enumerate_crashes, enumerate_site_crashes, CrashScenario, System};
 
@@ -94,6 +94,12 @@ fn extsync_cycle_survives_crash_at_every_site() {
     assert!(names.contains("ring.pre_visible_store"), "sites: {names:?}");
     assert!(names.contains("net.pre_barrier"), "sites: {names:?}");
     assert!(names.contains("net.pre_barrier_flush"), "sites: {names:?}");
+    // Partial quiescence adds two cuts to every checkpoint: right after
+    // the dirty-owning cores parked (before any copying), and at the
+    // epoch cut-off where external-synchrony callbacks snapshot their TX
+    // release barrier.
+    assert!(names.contains("stw.partial_gate"), "sites: {names:?}");
+    assert!(names.contains("stw.epoch_fence"), "sites: {names:?}");
     report.assert_clean();
 }
 
@@ -163,6 +169,140 @@ fn restore_rearm_crash_is_survivable() {
     sys3.manager().fire_restore_callbacks(report2.version);
     sys3.manager().verify_checkpoint().expect("checkpoint consistent after double crash");
     scenario.verify(&mut sys3, &mut st, &report2).expect("oracle after double crash");
+}
+
+/// The epoch-fence conflict capture ("stw.clean_core_cow") fires on a
+/// *free* core's write racing a partial-quiescence round, a schedule the
+/// single-threaded site enumeration never produces — so a dedicated drill
+/// covers it: arm the fence the way the checkpoint leader would, issue a
+/// host write to a migrated dirty page, crash inside the capture, and
+/// check that recovery rolls back cleanly and the first post-restore
+/// checkpoint runs the healing full walk.
+#[test]
+fn clean_core_cow_crash_is_survivable_and_heals() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let scenario = HybridScenario;
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    // Two write+checkpoint rounds push every heap page past the hotness
+    // threshold and migrate it to DRAM; one more write burst leaves the
+    // migrated pages dirty for the next round.
+    for _ in 0..2 {
+        step(&sys, st.writer, HYBRID_PAGES as usize);
+        st.snapshots.checkpoint(&sys, st.vmspace, HYBRID_HEAP);
+    }
+    step(&sys, st.writer, HYBRID_PAGES as usize);
+
+    // Play the leader: arm the epoch fence for the next round, then write
+    // to a migrated page from the host — the conflict CoW must trigger,
+    // and the injected crash cuts it mid-capture.
+    let sched = {
+        let kernel = sys.kernel();
+        kernel.fence.arm(kernel.pers.global_version() + 1);
+        std::sync::Arc::clone(kernel.pers.dev.crash_schedule())
+    };
+    sched.arm(treesls_nvm::CrashPoint::Site { name: "stw.clean_core_cow".into(), skip: 0 });
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        sys.write_mem(st.vmspace, 0, &0xFEED_FACE_u64.to_le_bytes())
+    }));
+    sched.disarm();
+    let payload =
+        unwound.expect_err("stw.clean_core_cow never fired for a migrated-page write");
+    assert!(
+        payload.downcast_ref::<treesls_nvm::InjectedCrash>().is_some(),
+        "write panicked for a reason other than the injected crash"
+    );
+
+    // Power failure mid-capture. Recovery must roll back to the last
+    // commit, and the interrupted round's consumed dirty flags force the
+    // healing full walk on the next checkpoint.
+    let image = sys.crash();
+    let (mut sys2, report) =
+        System::recover(image, scenario.config(), |r| scenario.programs(r))
+            .expect("recovery after mid-capture crash");
+    scenario.reattach(&mut sys2, &mut st);
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.manager().verify_checkpoint().expect("checkpoint consistent after crash");
+    let walks_before = sys2.kernel().metrics.snapshot().tree_full_walks;
+    scenario.verify(&mut sys2, &mut st, &report).expect("oracle after crash");
+    let walks_after = sys2.kernel().metrics.snapshot().tree_full_walks;
+    assert!(
+        walks_after > walks_before,
+        "first post-restore checkpoint did not run the healing full walk \
+         ({walks_before} -> {walks_after})"
+    );
+}
+
+/// Seq-dedup audit across restore (truncated-TX + retransmit drill): a
+/// response published to the TX ring but never committed is truncated by
+/// recovery; when the restored server re-executes the surviving request
+/// and re-publishes that reply, its pre-crash seq must not be matched to
+/// any post-restore request. The host re-attaches with `next_seq` far
+/// beyond every pre-crash seq, so stale seqs find no pending entry and
+/// are dropped — no restore-epoch in the match key is needed.
+#[test]
+fn rolled_back_response_seq_never_matches_after_restore() {
+    use treesls_apps::wire::{make_key, KvOp, KvResp};
+
+    let scenario = KvRingScenario::new(2);
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    scenario.workload(&mut sys, &mut st);
+
+    // Commit a round boundary, then push one SET whose *request* lands in
+    // a committed checkpoint but whose *response* does not: drive the
+    // server past publication, skip the commit, and crash.
+    let op = KvOp::Set { key: make_key(b"victim"), value: b"uncommitted".to_vec() };
+    let seq = st.nic.send_request(0, &op.encode()).expect("rx push");
+    st.nic.flush_wire();
+    sys.checkpoint_now().expect("commit the request");
+    for &srv in &st.servers {
+        step(&sys, srv, 16);
+    }
+    st.nic.pump();
+    assert!(
+        st.nic.try_take(seq).is_none(),
+        "uncommitted response became externally visible before the crash"
+    );
+
+    let image = sys.crash();
+    let (mut sys2, report) =
+        System::recover(image, scenario.config(), |r| scenario.programs(r))
+            .expect("recovery after truncated-TX crash");
+    scenario.reattach(&mut sys2, &mut st);
+    sys2.manager().fire_restore_callbacks(report.version);
+
+    // The re-armed doorbell makes the restored server re-execute the
+    // surviving request and re-publish the reply under its pre-crash seq.
+    for &srv in &st.servers {
+        step(&sys2, srv, 16);
+    }
+    sys2.checkpoint_now().expect("post-restore commit");
+    st.nic.pump();
+    // The stale seq finds no pending entry on the re-attached host: the
+    // orphaned response is dropped, never delivered to a new caller.
+    assert!(st.nic.try_take(seq).is_none(), "stale seq matched after restore");
+    assert_eq!(st.nic.in_flight(), 0, "orphaned response left a pending entry");
+
+    // A fresh request (seq from the post-restore range) gets exactly one
+    // reply, and it reflects the re-executed SET.
+    let get = KvOp::Get { key: make_key(b"victim") };
+    let seq2 = st.nic.send_request(0, &get.encode()).expect("rx push");
+    assert!(seq2 >= 1_000_000, "re-attached host reused a pre-crash seq range");
+    st.nic.flush_wire();
+    for &srv in &st.servers {
+        step(&sys2, srv, 16);
+    }
+    sys2.checkpoint_now().expect("commit the GET");
+    st.nic.pump();
+    let resp = st.nic.try_take(seq2).expect("fresh request got no reply");
+    match KvResp::decode(&resp) {
+        Some(KvResp::Ok(Some(v))) if v.as_slice() == b"uncommitted" => {}
+        other => panic!("re-executed SET not visible to post-restore GET: {other:?}"),
+    }
+    assert!(st.nic.try_take(seq2).is_none(), "reply delivered twice");
+    sys2.manager().verify_checkpoint().expect("checkpoint consistent");
 }
 
 #[test]

@@ -218,6 +218,63 @@ fn restore_rearms_doorbell_for_uncommitted_requests() {
     sys2.stop();
 }
 
+/// Regression (credit over-shedding): credits bound the server's
+/// *unconsumed RX backlog*, not the end-to-end count of requests awaiting
+/// a committed response. A steady closed-loop load held at half the ring
+/// capacity must therefore produce zero sheds — under the old ledger
+/// (replenish only when a response is drained) every round's second batch
+/// was refused with `Busy` while the server sat idle with headroom.
+#[test]
+fn steady_closed_loop_at_half_capacity_never_sheds() {
+    use treesls_bench::ringsetup::deploy_kv_cfg;
+    use treesls_kernel::cores::run_slice;
+
+    let sys = System::boot(config(None)); // manual checkpoints + stepping
+    let geom = ShardGeometry { nslots: 32, slot_size: 84, data_stride: 16 * 4096 };
+    let mut cfg = nic_config(1, true, &geom);
+    // Admission budget = capacity/4; the closed-loop window below holds
+    // 2 budgets (= capacity/2) awaiting one commit.
+    cfg.credits = 8;
+    let dep = deploy_kv_cfg(&sys, 16, 40, cfg, geom);
+    let nic = &dep.nic;
+    let srv = dep.server_threads[0];
+    let drive = |steps: usize| run_slice(sys.kernel(), srv, steps, sys.manager().stw());
+
+    // Let the server format its shard and park.
+    drive(4);
+    sys.checkpoint_now().unwrap();
+    nic.pump();
+
+    let sheds_before = sys.kernel().metrics.snapshot().net_sheds;
+    let mut awaiting: Vec<u64> = Vec::new();
+    for round in 0..6 {
+        // Two credit-sized batches per round: the server consumes the
+        // first batch's backlog before the second is admitted, so the
+        // resynced ledger must let both through — 16 requests (half the
+        // 32-slot ring) outstanding against a single commit.
+        for batch in 0..2 {
+            for i in 0..8 {
+                let key = make_key(format!("k-{round}-{batch}-{i}").as_bytes());
+                let op = KvOp::Set { key, value: b"v".to_vec() };
+                let seq = nic
+                    .send_request(0, &op.encode())
+                    .expect("closed-loop load at half capacity was shed");
+                awaiting.push(seq);
+            }
+            nic.flush_wire();
+            drive(16);
+            nic.pump();
+        }
+        // One commit releases the whole round's replies.
+        sys.checkpoint_now().unwrap();
+        nic.pump();
+        awaiting.retain(|&s| nic.try_take(s).is_none());
+        assert!(awaiting.is_empty(), "round {round}: replies missing for {awaiting:?}");
+    }
+    let sheds_after = sys.kernel().metrics.snapshot().net_sheds;
+    assert_eq!(sheds_after - sheds_before, 0, "steady half-capacity load was shed");
+}
+
 #[test]
 fn ext_sync_off_releases_immediately() {
     let mut sys = System::boot(config(None)); // no checkpoints at all

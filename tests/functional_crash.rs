@@ -280,6 +280,90 @@ impl Program for Transfer {
     }
 }
 
+/// Finds the single thread of the cap group named `name`.
+fn find_named_thread(sys: &System, name: &str) -> treesls::ObjId {
+    let kernel = sys.kernel();
+    let objects = kernel.objects.read();
+    let group = objects
+        .iter()
+        .map(|(_, o)| Arc::clone(o))
+        .find(|o| {
+            o.otype == ObjType::CapGroup
+                && matches!(&*o.body.read(), ObjectBody::CapGroup(g) if g.name == name)
+        })
+        .expect("group");
+    drop(objects);
+    let body = group.body.read();
+    let ObjectBody::CapGroup(g) = &*body else { unreachable!() };
+    let tid = g
+        .iter()
+        .map(|(_, c)| c.obj)
+        .find(|&o| kernel.object(o).map(|o| o.otype == ObjType::Thread).unwrap_or(false))
+        .expect("thread");
+    drop(body);
+    tid
+}
+
+#[test]
+fn epoch_fence_never_tears_a_page_under_partial_quiescence() {
+    // Partial-quiescence companion to the hybrid-copy test below: two
+    // transfer processes pinned to different cores mean a checkpoint
+    // parks at most the dirty-owning cores while the others keep stepping
+    // behind the epoch fence. A fence bug — a write-through into the
+    // round's image, or a skipped conflict capture — tears the two-word
+    // balance update exactly like the old all-cores quiescence race did.
+    fn register(r: &ProgramRegistry) {
+        r.register("transfer", Arc::new(Transfer));
+    }
+    let config = || {
+        let mut c = config();
+        c.cores = 4;
+        c.kernel.hot_threshold = 2;
+        c
+    };
+    let pin = |sys: &System| {
+        for (name, core) in [("xfer-a", 0u32), ("xfer-b", 1u32)] {
+            let tid = find_named_thread(sys, name);
+            sys.kernel().sched.set_affinity(tid, Some(core));
+        }
+    };
+    let mut sys = System::boot(config());
+    register(sys.programs());
+    for name in ["xfer-a", "xfer-b"] {
+        sys.spawn(&ProcessSpec::new(name).heap(4).thread(ThreadSpec::new("transfer")))
+            .unwrap();
+    }
+    pin(&sys);
+    for round in 1..=4 {
+        sys.start();
+        std::thread::sleep(Duration::from_millis(40));
+        sys.stop();
+        // The last round must not have parked the whole machine: with the
+        // writers pinned to cores 0 and 1, cores 2 and 3 never own dirty
+        // pages, so a full stop means partial quiescence never engaged.
+        let quiesced = sys.kernel().metrics.snapshot().quiesced_cores;
+        assert!(quiesced < 4, "round {round}: full stop under pinned load ({quiesced}/4 cores)");
+        let image = sys.crash();
+        let (s2, report) = System::recover(image, config(), register).expect("recover");
+        sys = s2;
+        for name in ["xfer-a", "xfer-b"] {
+            let vs = find_named_vmspace(&sys, name);
+            let mut buf = [0u8; 16];
+            sys.read_mem(vs, 0, &mut buf).unwrap();
+            let a = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+            let b = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+            assert_eq!(
+                a + b,
+                1_000_000,
+                "{name}: torn page at recovery {round} (version {}): A={a} B={b}",
+                report.version
+            );
+        }
+        // Affinity is scheduler state, volatile across restore: re-pin.
+        pin(&sys);
+    }
+}
+
 #[test]
 fn hybrid_copy_never_tears_a_page_under_multicore_load() {
     // Regression test for a stop-the-world race: a core that reached the
