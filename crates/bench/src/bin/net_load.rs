@@ -132,6 +132,7 @@ fn nic_cfg(net: &NetOpts, queues: usize) -> NicConfig {
         credits: net.credits,
         ext_sync: true,
         fault: Default::default(),
+        call_timeout: Duration::from_secs(5),
     }
 }
 

@@ -45,6 +45,7 @@ pub fn nic_config(queues: usize, ext_sync: bool, geom: &ShardGeometry) -> NicCon
         credits: geom.nslots,
         ext_sync,
         fault: Default::default(),
+        call_timeout: std::time::Duration::from_secs(5),
     }
 }
 

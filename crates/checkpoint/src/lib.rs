@@ -87,6 +87,27 @@ pub trait CkptCallback: Send + Sync {
     fn on_epoch(&self, _version: u64) {}
 }
 
+/// The write set of one committed checkpoint round, captured for
+/// checkpoint-shipping replication before the post-commit sweep destroys
+/// the evidence (tombstoned ORoots leave the store inside the pause).
+///
+/// The dirty-queue drain *is* the delta: `rewritten` lists every ORoot
+/// whose backup record the round (re)wrote, `tombstoned` every ORoot the
+/// round deleted. A replica holding round `round − 1` plus this delta
+/// holds round `round`.
+#[derive(Debug, Clone, Default)]
+pub struct RoundDelta {
+    /// The committed version this delta produces.
+    pub round: u64,
+    /// ORoots whose backup record was (re)written this round.
+    pub rewritten: Vec<treesls_kernel::types::OrootId>,
+    /// ORoots tombstoned (deleted) this round.
+    pub tombstoned: Vec<treesls_kernel::types::OrootId>,
+    /// Whether the round ran a full reachability walk (a healing round
+    /// rewrites every reachable record, so the delta is the whole tree).
+    pub full_walk: bool,
+}
+
 /// The in-kernel checkpoint manager.
 pub struct CheckpointManager {
     kernel: Arc<Kernel>,
@@ -102,6 +123,7 @@ pub struct CheckpointManager {
     pub hybrid_rounds: Mutex<VecDeque<HybridRoundStats>>,
     last_faults: Mutex<KernelStatsSnapshot>,
     callbacks: Mutex<Vec<Arc<dyn CkptCallback>>>,
+    round_delta: Mutex<Option<RoundDelta>>,
 }
 
 /// Retain at most this many per-round records.
@@ -128,6 +150,7 @@ impl CheckpointManager {
             hybrid_rounds: Mutex::new(VecDeque::new()),
             last_faults: Mutex::new(KernelStatsSnapshot::default()),
             callbacks: Mutex::new(Vec::new()),
+            round_delta: Mutex::new(None),
         })
     }
 
@@ -144,6 +167,23 @@ impl CheckpointManager {
     /// Registers an external-synchrony callback.
     pub fn register_callback(&self, cb: Arc<dyn CkptCallback>) {
         self.callbacks.lock().push(cb);
+    }
+
+    /// Registers a callback at the *front* of the invocation order.
+    ///
+    /// Callbacks run in registration order; a replication shipper must run
+    /// before the NIC's visibility barrier so the barrier observes the
+    /// round's quorum-durable bound, even when the NIC was registered
+    /// first (e.g. by a deployment helper).
+    pub fn register_callback_front(&self, cb: Arc<dyn CkptCallback>) {
+        self.callbacks.lock().insert(0, cb);
+    }
+
+    /// Takes the write set of the most recent committed round (set just
+    /// before the checkpoint callbacks fire; `None` once consumed or if no
+    /// round committed since). Consumed by the replication shipper.
+    pub fn take_round_delta(&self) -> Option<RoundDelta> {
+        self.round_delta.lock().take()
     }
 
     /// Invokes all restore callbacks (called by the `System` facade at the
@@ -232,7 +272,7 @@ impl CheckpointManager {
         treesls_nvm::crash_site!(sched, "ckpt.hybrid_drained");
         counters.busy_ns.store(work.busy_ns(), Ordering::Relaxed);
 
-        let outcome = match tree_result {
+        let mut outcome = match tree_result {
             Ok(o) => o,
             Err(e) => {
                 // Abort: resume without committing — but still give the
@@ -307,6 +347,17 @@ impl CheckpointManager {
                 outcome.tombstoned as u64,
             ],
         );
+
+        // Stash the round's write set for the replication shipper before
+        // the callbacks run (the shipper is itself a callback). A delta
+        // nobody consumed is superseded: replicas that missed it will
+        // detect the round gap and resync.
+        *self.round_delta.lock() = Some(RoundDelta {
+            round: inflight,
+            rewritten: std::mem::take(&mut outcome.rewritten),
+            tombstoned: std::mem::take(&mut outcome.tombstoned_ids),
+            full_walk: outcome.full_walk,
+        });
 
         // External synchrony callbacks (outside the pause).
         treesls_nvm::crash_site!(sched, "ckpt.pre_callbacks");

@@ -75,6 +75,13 @@ pub struct TreeOutcome {
     pub offloaded: usize,
     /// ORoots tombstoned this round.
     pub tombstoned: usize,
+    /// ORoots whose backup record was (re)written this round — the
+    /// round's *delta*, consumed by checkpoint-shipping replication.
+    pub rewritten: Vec<OrootId>,
+    /// ORoots tombstoned this round, by id (the deletion half of the
+    /// delta; captured here because the post-commit sweep removes them
+    /// from the store before shipping runs).
+    pub tombstoned_ids: Vec<OrootId>,
 }
 
 /// Ensures `obj` has a live ORoot, creating one on first contact (§4.1:
@@ -492,6 +499,7 @@ fn copy_object(
     out: &mut TreeOutcome,
 ) -> Result<(), KernelError> {
     let t0 = Instant::now();
+    out.rewritten.push(oroot);
     let full = if obj.otype == ObjType::Pmo {
         sync_pmo(kernel, obj, oroot, inflight)?
     } else {
@@ -653,7 +661,8 @@ fn dirty_walk(
         }
     }
 
-    out.tombstoned = apply_deltas(kernel, root_oroot, deltas, inflight);
+    out.tombstoned_ids = apply_deltas(kernel, root_oroot, deltas, inflight);
+    out.tombstoned = out.tombstoned_ids.len();
     Ok(out)
 }
 
@@ -716,13 +725,13 @@ fn build_records(
 
 /// Applies the accumulated edge diff to the reference counts, then runs
 /// the tombstone/resurrect cascade over every touched ORoot. Returns the
-/// number of ORoots tombstoned.
+/// ids of the ORoots tombstoned this round.
 fn apply_deltas(
     kernel: &Kernel,
     root_oroot: OrootId,
     deltas: HashMap<OrootId, i64>,
     inflight: u64,
-) -> usize {
+) -> Vec<OrootId> {
     let oroots = &kernel.pers.oroots;
     let backups = &kernel.pers.backups;
     let mut worklist: Vec<OrootId> = Vec::with_capacity(deltas.len());
@@ -740,7 +749,6 @@ fn apply_deltas(
         }
     }
 
-    let mut tombstoned = 0usize;
     let mut newly_dead: Vec<OrootId> = Vec::new();
     while let Some(id) = worklist.pop() {
         if id == root_oroot {
@@ -753,7 +761,6 @@ fn apply_deltas(
         if inrefs == 0 && !deleted {
             oroots.with_mut(id, |r| r.deleted_at = Some(inflight));
             newly_dead.push(id);
-            tombstoned += 1;
             // A dead object's outgoing references no longer count.
             for e in newest_edges(oroots, backups, id) {
                 if oroots
@@ -774,8 +781,14 @@ fn apply_deltas(
             }
         }
     }
-    kernel.pending_sweep.lock().extend(newly_dead);
-    tombstoned
+    // A cascade can resurrect an id it tombstoned moments earlier; only
+    // ids still dead at the end of the round are real deletions (the
+    // sweep drops resurrected pending entries the same way).
+    newly_dead.retain(|&id| {
+        oroots.with(id, |r| r.deleted_at.is_some()).unwrap_or(false)
+    });
+    kernel.pending_sweep.lock().extend(newly_dead.iter().copied());
+    newly_dead
 }
 
 /// The full reachability walk from the root cap group: the differential
@@ -857,7 +870,8 @@ fn full_walk(
         }
     });
     out.tombstoned = newly_dead.len();
-    kernel.pending_sweep.lock().extend(newly_dead);
+    kernel.pending_sweep.lock().extend(newly_dead.iter().copied());
+    out.tombstoned_ids = newly_dead;
     Ok(out)
 }
 

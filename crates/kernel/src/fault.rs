@@ -229,7 +229,15 @@ impl Kernel {
             if !pte.perm.allows(CapRights::WRITE) {
                 return Err(KernelError::PermissionDenied);
             }
-            self.write_page_slot(&pte.slot, off, &data[done..done + n])?;
+            if self.write_page_slot(&pte.slot, off, &data[done..done + n])? {
+                // The page transitioned writable (CoW or epoch capture):
+                // its content diverges from the last committed image, so
+                // the owning PMO must re-enter the ORoot dirty queue —
+                // otherwise an O(changes) walk (and anything derived from
+                // it, e.g. a shipped replication delta) would miss the
+                // round's fresh page images and manifest.
+                self.typed_object(pte.pmo, ObjType::Pmo)?.mark_dirty();
+            }
             done += n;
         }
         Ok(())
@@ -254,16 +262,25 @@ impl Kernel {
     ///   freezes it, after which the write lands in the wait branch
     ///   (the accepted fuzzy boundary of the pause window).
     ///
+    /// Returns `true` when this write is the page's first content change
+    /// of the round — a CoW fault, an epoch conflict capture, or the
+    /// clean→dirty flip of a DRAM-migrated page (whose stores never fault
+    /// again). In every case the page's content now diverges from its
+    /// last committed image and the owning PMO's backup record must be
+    /// rewritten by the next checkpoint. Callers that know the owning
+    /// PMO (the `vm_write` path) use this to mark it dirty.
+    ///
     /// [`EpochFence`]: crate::kernel::EpochFence
     pub fn write_page_slot(
         &self,
         slot: &Arc<PageSlot>,
         off: usize,
         data: &[u8],
-    ) -> Result<(), KernelError> {
+    ) -> Result<bool, KernelError> {
         loop {
             let mut meta = slot.meta.lock();
             let inflight = self.fence.inflight();
+            let mut duplicated = false;
             // The fence only governs the pre-commit window: once the round's
             // commit record lands (global == inflight), ordinary CoW
             // semantics preserve images correctly even before disarm.
@@ -278,6 +295,7 @@ impl Kernel {
                     if meta.epoch_round != self.fence.round() {
                         let dst = meta.sac_dst(inflight - 1);
                         self.epoch_capture_locked(&mut meta, inflight, dst)?;
+                        duplicated = true;
                     }
                 } else if !meta.writable {
                     drop(meta);
@@ -286,16 +304,23 @@ impl Kernel {
                 }
             } else if !meta.writable {
                 self.cow_fault_locked(slot, &mut meta)?;
+                duplicated = true;
             }
             match meta.runtime_loc() {
                 PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
                 PhysLoc::Dram(d) => {
                     self.dram.write(d, off, data);
-                    meta.dirty = true;
+                    // First store into a clean migrated page this round:
+                    // the stop-and-copy will capture it, so the record
+                    // rewrite must ride the same round's dirty queue.
+                    if !meta.dirty {
+                        meta.dirty = true;
+                        duplicated = true;
+                    }
                 }
             }
             meta.idle_rounds = 0;
-            return Ok(());
+            return Ok(duplicated);
         }
     }
 

@@ -53,23 +53,23 @@ pub enum Perturbation {
 /// Seeded per-NIC fault state: a packet counter drives a stateless mix, so
 /// the decision for packet *n* depends only on `(seed, n)`.
 #[derive(Debug)]
-pub(crate) struct FaultState {
+pub struct FaultState {
     cfg: NetFaultConfig,
     packet: AtomicU64,
 }
 
 impl FaultState {
-    pub(crate) fn new(cfg: NetFaultConfig) -> Self {
+    pub fn new(cfg: NetFaultConfig) -> Self {
         Self { cfg, packet: AtomicU64::new(0) }
     }
 
-    pub(crate) fn cfg(&self) -> &NetFaultConfig {
+    pub fn cfg(&self) -> &NetFaultConfig {
         &self.cfg
     }
 
     /// Decides the fate of the next packet. Drop wins over duplicate when
     /// both trigger (a dropped packet cannot also arrive twice).
-    pub(crate) fn next(&self) -> Perturbation {
+    pub fn next(&self) -> Perturbation {
         let n = self.packet.fetch_add(1, Ordering::SeqCst);
         let h = crate::flow::flow_hash(self.cfg.seed ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d));
         if self.cfg.drop_1_in != 0 && h.is_multiple_of(self.cfg.drop_1_in) {
@@ -83,7 +83,7 @@ impl FaultState {
 
     /// Picks which of `len` buffered packets the wire releases next (the
     /// reordering permutation), again purely from `(seed, decision index)`.
-    pub(crate) fn pick(&self, len: usize) -> usize {
+    pub fn pick(&self, len: usize) -> usize {
         if len <= 1 {
             return 0;
         }

@@ -21,15 +21,21 @@
 //!   checkpoint/restore callbacks (visibility barrier, uniform re-arm).
 //! * [`runtime`] — the poll-mode server loop and the [`Service`] trait.
 //! * [`deploy`] — spawning a NIC-backed service process inside the SLS.
+//! * [`repl`] — the checkpoint-shipping replication channel: a dedicated
+//!   delta/ack queue pair between a primary and each replica, with the
+//!   same wire-fault model, plus the [`ReleaseGate`] the NIC consults to
+//!   bound TX visibility at the quorum-durable round.
 
 pub mod deploy;
 pub mod fault;
 pub mod flow;
 pub mod nic;
+pub mod repl;
 pub mod runtime;
 
 pub use deploy::{deploy, DeploySpec, NicDeployment};
-pub use fault::NetFaultConfig;
+pub use fault::{FaultState, NetFaultConfig, Perturbation};
 pub use flow::{flow_hash, queue_for};
-pub use nic::{CallOutcome, NetError, NicConfig, NicLayout, VirtualNic};
+pub use nic::{CallError, CallOutcome, NetError, NicConfig, NicLayout, VirtualNic};
+pub use repl::{HeapMem, ReleaseGate, ReplChannel, ShipError};
 pub use runtime::{PollServer, Service, ServiceError};

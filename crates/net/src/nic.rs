@@ -42,6 +42,7 @@ use treesls_kernel::Kernel;
 
 use crate::fault::{FaultState, NetFaultConfig, Perturbation};
 use crate::flow::queue_for;
+use crate::repl::ReleaseGate;
 
 /// Behavioural configuration of a NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,10 @@ pub struct NicConfig {
     pub ext_sync: bool,
     /// Wire perturbation model (defaults to a perfect wire).
     pub fault: NetFaultConfig,
+    /// Overall deadline for [`VirtualNic::call_checked`]: past it the
+    /// call surfaces [`CallError::TimedOut`] instead of retrying forever
+    /// (clients of a dead or failed-over primary must give up and move).
+    pub call_timeout: Duration,
 }
 
 impl Default for NicConfig {
@@ -71,6 +76,7 @@ impl Default for NicConfig {
             credits: 8,
             ext_sync: true,
             fault: NetFaultConfig::default(),
+            call_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -166,6 +172,23 @@ impl CallOutcome {
     }
 }
 
+/// Error surfaced by [`VirtualNic::call_checked`]: the fallible variant
+/// of [`CallOutcome`] that client fleets can propagate with `?` instead
+/// of looping on an outcome enum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// Shed by admission control (credits exhausted, ring full, or the
+    /// release gate is degraded). Retryable after backoff.
+    Busy,
+    /// No response within the NIC's configured `call_timeout`.
+    TimedOut,
+    /// The NIC was closed (its system stopped or failed over); no
+    /// response will ever arrive. Move to the new primary.
+    Closed,
+    /// Non-retryable ring failure.
+    Ring(RingError),
+}
+
 /// A request awaiting its response, keyed by NIC-global sequence number.
 #[derive(Debug)]
 struct Pending {
@@ -214,6 +237,7 @@ pub struct VirtualNic {
     layout: NicLayout,
     ext_sync: AtomicBool,
     credits: u64,
+    call_timeout: Duration,
     next_seq: AtomicU64,
     pending: Mutex<HashMap<u64, Pending>>,
     cv: Condvar,
@@ -221,6 +245,13 @@ pub struct VirtualNic {
     queues: Vec<QueueState>,
     fault: Option<FaultState>,
     wire: Mutex<VecDeque<WirePacket>>,
+    /// Set when the NIC's system is stopped or failed over: blocked
+    /// callers unblock immediately instead of burning their full timeout
+    /// against a primary that will never answer.
+    closed: AtomicBool,
+    /// Optional replication gate: bounds commit-time TX visibility to
+    /// rounds durable on a quorum and sheds writes while degraded.
+    gate: Mutex<Option<Arc<dyn ReleaseGate>>>,
 }
 
 impl VirtualNic {
@@ -275,6 +306,7 @@ impl VirtualNic {
             layout,
             ext_sync: AtomicBool::new(cfg.ext_sync),
             credits: cfg.credits.max(1),
+            call_timeout: cfg.call_timeout,
             next_seq: AtomicU64::new(1),
             pending: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
@@ -282,6 +314,8 @@ impl VirtualNic {
             queues,
             fault: cfg.fault.is_active().then(|| FaultState::new(cfg.fault)),
             wire: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            gate: Mutex::new(None),
         })
     }
 
@@ -315,6 +349,25 @@ impl VirtualNic {
         self.ext_sync.store(on, Ordering::SeqCst);
     }
 
+    /// Installs (or clears) the replication release gate consulted at
+    /// admission and at every commit barrier.
+    pub fn set_release_gate(&self, gate: Option<Arc<dyn ReleaseGate>>) {
+        *self.gate.lock() = gate;
+    }
+
+    /// Marks the NIC closed (system stopped / failed over) and wakes every
+    /// blocked caller so they fail fast instead of waiting out a timeout
+    /// against a dead primary.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
     /// Whether TX visibility is gated on checkpoint commits.
     pub fn ext_sync(&self) -> bool {
         self.ext_sync.load(Ordering::SeqCst)
@@ -341,6 +394,15 @@ impl VirtualNic {
     /// queues; production traffic goes through [`Self::send_request`]).
     pub fn send_to_queue(&self, q: usize, data: &[u8]) -> Result<u64, NetError> {
         assert!(q < self.layout.queues, "queue {q} out of range");
+        // Replication admission: while the quorum is lost the gate sheds
+        // new state-mutating work (reads stay admitted — their responses
+        // simply wait behind the durability bound).
+        if let Some(gate) = self.gate.lock().clone() {
+            if !gate.admit(data) {
+                self.metrics().record_net_shed();
+                return Err(NetError::Busy);
+            }
+        }
         let credits = self.credits;
         if self.queues[q]
             .inflight
@@ -600,7 +662,7 @@ impl VirtualNic {
                         pending.remove(&seq).and_then(|p| p.resp).unwrap_or_default(),
                     ));
                 }
-                if Instant::now() >= deadline {
+                if self.is_closed() || Instant::now() >= deadline {
                     drop(pending);
                     self.abandon(seq);
                     return Ok(CallOutcome::TimedOut);
@@ -615,6 +677,29 @@ impl VirtualNic {
                 self.flush_wire();
                 let _ = self.retransmit(seq, data);
             }
+        }
+    }
+
+    /// [`Self::call`] with the NIC's *configured* overall timeout and a
+    /// fallible result: sheds are `Err(Busy)`, expiry is `Err(TimedOut)`,
+    /// and a closed NIC (stopped or failed-over primary) is
+    /// `Err(Closed)` — the signal for a client to move to the promoted
+    /// replica instead of retrying here forever.
+    pub fn call_checked(&self, flow: u64, data: &[u8]) -> Result<Vec<u8>, CallError> {
+        if self.is_closed() {
+            return Err(CallError::Closed);
+        }
+        match self.call(flow, data, self.call_timeout) {
+            Ok(CallOutcome::Reply(p)) => Ok(p),
+            Ok(CallOutcome::Busy) => Err(CallError::Busy),
+            Ok(CallOutcome::TimedOut) => {
+                if self.is_closed() {
+                    Err(CallError::Closed)
+                } else {
+                    Err(CallError::TimedOut)
+                }
+            }
+            Err(e) => Err(CallError::Ring(e)),
         }
     }
 
@@ -682,6 +767,15 @@ impl CkptCallback for VirtualNic {
     fn on_checkpoint(&self, version: u64) {
         let kernel = self.io.kernel();
         treesls_nvm::crash_site!(kernel.pers.dev.crash_schedule(), "net.pre_barrier");
+        // Replication durability bound: with a gate installed, responses
+        // are only released up to the round durable on a quorum of
+        // replicas, never merely up to the local commit. The shipper's
+        // callback runs *before* this one (registered at the front), so
+        // by now `release_bound` reflects this round's replication fate.
+        let bound = match self.gate.lock().clone() {
+            Some(g) => g.release_bound(version),
+            None => version,
+        };
         let mut released = 0u64;
         let mut lag_max = 0u64;
         let mut lag_sum = 0u64;
@@ -700,7 +794,7 @@ impl CkptCallback for VirtualNic {
             let before =
                 ring::header(&self.io, &port.tx, hdr::VISIBLE_WRITER).unwrap_or(0);
             let visible =
-                ring::advance_visible_capped_unfenced(&self.io, &port.tx, version, cap)
+                ring::advance_visible_capped_unfenced(&self.io, &port.tx, bound, cap)
                     .unwrap_or(before);
             released += visible.saturating_sub(before);
             // Double-buffered RX acknowledgement: the cursor sampled at

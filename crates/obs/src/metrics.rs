@@ -182,6 +182,16 @@ pub struct MetricsRegistry {
     net_visible_lag_sum: AtomicU64,
     net_rx_occupancy_hwm: AtomicU64,
     net_tx_occupancy_hwm: AtomicU64,
+    repl_rounds_shipped: AtomicU64,
+    repl_records_shipped: AtomicU64,
+    repl_pages_shipped: AtomicU64,
+    repl_bytes_shipped: AtomicU64,
+    repl_acks: AtomicU64,
+    repl_resyncs: AtomicU64,
+    repl_quarantined: AtomicU64,
+    repl_degraded_entries: AtomicU64,
+    repl_acked_round: AtomicU64,
+    repl_lag: AtomicU64,
     pause: PauseHistogram,
 }
 
@@ -373,6 +383,64 @@ impl MetricsRegistry {
         let _ = (lag_max, lag_sum, rx_occupancy, tx_occupancy);
     }
 
+    /// Records one checkpoint-round delta shipped to replication peers.
+    #[inline]
+    pub fn record_repl_ship(&self, records: u64, pages: u64, bytes: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.repl_rounds_shipped.fetch_add(1, Ordering::Relaxed);
+            self.repl_records_shipped.fetch_add(records, Ordering::Relaxed);
+            self.repl_pages_shipped.fetch_add(pages, Ordering::Relaxed);
+            self.repl_bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (records, pages, bytes);
+    }
+
+    /// Records one round acknowledgement received from a replica.
+    #[inline]
+    pub fn record_repl_ack(&self) {
+        #[cfg(feature = "metrics")]
+        self.repl_acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one full-snapshot resync (requested by a replica after a
+    /// delta gap or corrupt frame, served by the primary).
+    #[inline]
+    pub fn record_repl_resync(&self) {
+        #[cfg(feature = "metrics")]
+        self.repl_resyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one delta frame quarantined by a replica (`Corrupt` ring
+    /// slot or payload CRC mismatch — never a panic, always a resync).
+    #[inline]
+    pub fn record_repl_quarantine(&self) {
+        #[cfg(feature = "metrics")]
+        self.repl_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the primary entering degraded mode (replication quorum
+    /// lost; new write acks are shed until it returns).
+    #[inline]
+    pub fn record_repl_degraded(&self) {
+        #[cfg(feature = "metrics")]
+        self.repl_degraded_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the replication gauges: the highest quorum-durable round
+    /// and the primary's lag behind it (`committed_round − durable_round`).
+    #[inline]
+    pub fn set_repl_gauges(&self, acked_round: u64, lag: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.repl_acked_round.store(acked_round, Ordering::Relaxed);
+            self.repl_lag.store(lag, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (acked_round, lag);
+    }
+
     /// The stop-the-world pause histogram.
     pub fn pause_histogram(&self) -> &PauseHistogram {
         &self.pause
@@ -418,6 +486,16 @@ impl MetricsRegistry {
                 net_visible_lag_sum: l(&self.net_visible_lag_sum),
                 net_rx_occupancy_hwm: l(&self.net_rx_occupancy_hwm),
                 net_tx_occupancy_hwm: l(&self.net_tx_occupancy_hwm),
+                repl_rounds_shipped: l(&self.repl_rounds_shipped),
+                repl_records_shipped: l(&self.repl_records_shipped),
+                repl_pages_shipped: l(&self.repl_pages_shipped),
+                repl_bytes_shipped: l(&self.repl_bytes_shipped),
+                repl_acks: l(&self.repl_acks),
+                repl_resyncs: l(&self.repl_resyncs),
+                repl_quarantined: l(&self.repl_quarantined),
+                repl_degraded_entries: l(&self.repl_degraded_entries),
+                repl_acked_round: l(&self.repl_acked_round),
+                repl_lag: l(&self.repl_lag),
                 pause: self.pause.stats(),
                 ..MetricsSnapshot::default()
             }
@@ -498,6 +576,26 @@ pub struct MetricsSnapshot {
     pub net_rx_occupancy_hwm: u64,
     /// High-water mark of TX ring occupancy across all queues.
     pub net_tx_occupancy_hwm: u64,
+    /// Checkpoint-round deltas shipped to replication peers.
+    pub repl_rounds_shipped: u64,
+    /// Backup records streamed to replication peers.
+    pub repl_records_shipped: u64,
+    /// Backup page images streamed to replication peers.
+    pub repl_pages_shipped: u64,
+    /// Wire bytes streamed to replication peers.
+    pub repl_bytes_shipped: u64,
+    /// Round acknowledgements received from replicas.
+    pub repl_acks: u64,
+    /// Full-snapshot resyncs served after delta gaps or corruption.
+    pub repl_resyncs: u64,
+    /// Delta frames quarantined by replicas (corrupt slot / CRC mismatch).
+    pub repl_quarantined: u64,
+    /// Times the primary entered degraded mode (quorum lost).
+    pub repl_degraded_entries: u64,
+    /// Gauge: highest round durable on the configured quorum.
+    pub repl_acked_round: u64,
+    /// Gauge: primary's committed round minus the quorum-durable round.
+    pub repl_lag: u64,
     /// Stop-the-world pause distribution.
     pub pause: PauseStats,
     /// Copy-on-write page faults taken (kernel).
@@ -555,6 +653,16 @@ impl MetricsSnapshot {
             net_visible_lag_sum: self.net_visible_lag_sum,
             net_rx_occupancy_hwm: self.net_rx_occupancy_hwm,
             net_tx_occupancy_hwm: self.net_tx_occupancy_hwm,
+            repl_rounds_shipped: self.repl_rounds_shipped - earlier.repl_rounds_shipped,
+            repl_records_shipped: self.repl_records_shipped - earlier.repl_records_shipped,
+            repl_pages_shipped: self.repl_pages_shipped - earlier.repl_pages_shipped,
+            repl_bytes_shipped: self.repl_bytes_shipped - earlier.repl_bytes_shipped,
+            repl_acks: self.repl_acks - earlier.repl_acks,
+            repl_resyncs: self.repl_resyncs - earlier.repl_resyncs,
+            repl_quarantined: self.repl_quarantined - earlier.repl_quarantined,
+            repl_degraded_entries: self.repl_degraded_entries - earlier.repl_degraded_entries,
+            repl_acked_round: self.repl_acked_round,
+            repl_lag: self.repl_lag,
             pause: self.pause,
             write_faults: self.write_faults - earlier.write_faults,
             minor_faults: self.minor_faults - earlier.minor_faults,
@@ -630,6 +738,21 @@ impl MetricsSnapshot {
                     ("visible_lag_sum".into(), u(self.net_visible_lag_sum)),
                     ("rx_occupancy_hwm".into(), u(self.net_rx_occupancy_hwm)),
                     ("tx_occupancy_hwm".into(), u(self.net_tx_occupancy_hwm)),
+                ]),
+            ),
+            (
+                "repl".into(),
+                Json::Obj(vec![
+                    ("rounds_shipped".into(), u(self.repl_rounds_shipped)),
+                    ("records_shipped".into(), u(self.repl_records_shipped)),
+                    ("pages_shipped".into(), u(self.repl_pages_shipped)),
+                    ("bytes_shipped".into(), u(self.repl_bytes_shipped)),
+                    ("acks".into(), u(self.repl_acks)),
+                    ("resyncs".into(), u(self.repl_resyncs)),
+                    ("quarantined".into(), u(self.repl_quarantined)),
+                    ("degraded_entries".into(), u(self.repl_degraded_entries)),
+                    ("acked_round".into(), u(self.repl_acked_round)),
+                    ("lag".into(), u(self.repl_lag)),
                 ]),
             ),
             (
@@ -754,6 +877,7 @@ mod tests {
             "extsync",
             "tree_walk",
             "net",
+            "repl",
             "faults",
             "nvm",
             "alloc_journal",

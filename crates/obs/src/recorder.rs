@@ -108,6 +108,18 @@ pub enum EventKind {
     /// Payload: `[inflight_version, stopped_cores, registered_cores,
     /// owner_mask, full_quiesce(0|1), epoch_conflicts_so_far]`.
     PartialQuiesce = 15,
+    /// The replication shipper finished streaming a round to its peers.
+    /// Payload: `[round, records, pages, bytes, snapshots, durable_peers]`.
+    ReplShip = 16,
+    /// A peer's ack advanced. Payload: `[epoch, acked_round, peer, 0, 0, 0]`.
+    ReplAck = 17,
+    /// The primary switched degraded mode (`entered` = 1 when the quorum
+    /// was lost, 0 when it healed). Payload: `[epoch, round, entered(0|1),
+    /// durable_peers, 0, 0]`.
+    ReplDegraded = 18,
+    /// A peer requested a full-snapshot resync after a delta gap or a
+    /// quarantined frame. Payload: `[epoch, peer_applied_round, peer, 0, 0, 0]`.
+    ReplResync = 19,
 }
 
 impl EventKind {
@@ -129,6 +141,10 @@ impl EventKind {
             13 => EventKind::NetBarrier,
             14 => EventKind::NetRearm,
             15 => EventKind::PartialQuiesce,
+            16 => EventKind::ReplShip,
+            17 => EventKind::ReplAck,
+            18 => EventKind::ReplDegraded,
+            19 => EventKind::ReplResync,
             _ => return None,
         })
     }
@@ -151,6 +167,10 @@ impl EventKind {
             EventKind::NetBarrier => "net_barrier",
             EventKind::NetRearm => "net_rearm",
             EventKind::PartialQuiesce => "partial_quiesce",
+            EventKind::ReplShip => "repl_ship",
+            EventKind::ReplAck => "repl_ack",
+            EventKind::ReplDegraded => "repl_degraded",
+            EventKind::ReplResync => "repl_resync",
         }
     }
 }

@@ -1,0 +1,166 @@
+//! A single-process cluster harness: one primary [`System`] plus N
+//! [`Replica`]s, each behind its own [`ReplChannel`] queue pair.
+//!
+//! The harness owns the drill levers the EXPERIMENTS.md cluster drill
+//! pulls: partition/heal a link, kill/revive a replica, corrupt the next
+//! delta frame on the wire, and promote a replica to primary after the
+//! primary dies (bumping the epoch so the deposed primary's late frames
+//! are fenced at the survivors).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use treesls::{ProgramRegistry, RestoreReport, System, SystemConfig};
+use treesls_net::{NetFaultConfig, ReplChannel, VirtualNic};
+
+use crate::replica::{promote, PromoteError, Replica};
+use crate::ship::{ShipConfig, Shipper};
+
+/// Cluster topology and replication tunables.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Shipping/quorum behavior.
+    pub ship: ShipConfig,
+    /// Delta ring depth per replica.
+    pub nslots: u64,
+    /// Delta ring slot size (page frames need 4125 bytes + 24 header).
+    pub slot_size: u64,
+    /// Wire fault model applied to every replica link.
+    pub fault: NetFaultConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            ship: ShipConfig::default(),
+            nslots: 1024,
+            slot_size: 8192,
+            fault: NetFaultConfig::default(),
+        }
+    }
+}
+
+/// One primary plus its replicas.
+pub struct Cluster {
+    /// The primary-side shipper (its `health` is the NIC release gate).
+    pub shipper: Arc<Shipper>,
+    /// The replica machines, index-aligned with the shipper's peers.
+    pub replicas: Vec<Arc<Replica>>,
+    running: Arc<AtomicBool>,
+    pollers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Cluster {
+    /// Wires `cfg.replicas` replicas to `sys` and installs the shipper
+    /// at the front of the checkpoint callback chain. Call
+    /// [`attach_gate`](Self::attach_gate) on each NIC that must hold
+    /// client-visible responses for quorum, then [`start`](Self::start).
+    pub fn deploy(sys: &System, cfg: &ClusterConfig) -> Cluster {
+        let channels: Vec<Arc<ReplChannel>> = (0..cfg.replicas)
+            .map(|_| ReplChannel::new(cfg.nslots, cfg.slot_size, cfg.fault))
+            .collect();
+        let replicas = channels
+            .iter()
+            .enumerate()
+            .map(|(i, ch)| Replica::new(i, Arc::clone(ch)))
+            .collect();
+        let shipper =
+            Shipper::install(Arc::clone(sys.kernel()), sys.manager(), channels, cfg.ship.clone());
+        Cluster {
+            shipper,
+            replicas,
+            running: Arc::new(AtomicBool::new(false)),
+            pollers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Points `nic`'s TX visibility barrier at the cluster's durability
+    /// state: responses release only up to the quorum-durable round, and
+    /// degraded mode sheds writes at admission.
+    pub fn attach_gate(&self, nic: &VirtualNic) {
+        nic.set_release_gate(Some(Arc::clone(&self.shipper.health) as _));
+    }
+
+    /// Spawns one poll thread per replica (the replica "machines").
+    pub fn start(&self) {
+        if self.running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut pollers = self.pollers.lock();
+        for replica in &self.replicas {
+            let r = Arc::clone(replica);
+            let running = Arc::clone(&self.running);
+            pollers.push(std::thread::spawn(move || {
+                while running.load(Ordering::SeqCst) {
+                    if r.poll() == 0 {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            }));
+        }
+    }
+
+    /// Stops the replica poll threads (the mirrors stay intact).
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        for h in self.pollers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Partitions (or heals) the link to replica `id`, both directions.
+    pub fn set_partitioned(&self, id: usize, on: bool) {
+        self.replicas[id].channel.set_partitioned(on);
+    }
+
+    /// Crashes replica `id` (its in-flight staging is lost).
+    pub fn kill(&self, id: usize) {
+        self.replicas[id].kill();
+    }
+
+    /// Reboots replica `id`; it requests a resync.
+    pub fn revive(&self, id: usize) {
+        self.replicas[id].revive();
+    }
+
+    /// Flips a CRC-covered bit in the next delta frame replica `id` will
+    /// read (corruption drill).
+    pub fn corrupt_next_delta(&self, id: usize) {
+        self.replicas[id].channel.corrupt_next_delta();
+    }
+
+    /// Fails over to replica `id` after the primary died: materializes
+    /// the replica's mirror into a fresh [`System`] (stop the old
+    /// primary's `System` first) and fences the surviving replicas
+    /// against the deposed primary's epoch. The promoted system boots
+    /// through the standard restore path; drive it with a fresh NIC
+    /// deployment/attachment as after any reboot.
+    pub fn promote(
+        &self,
+        id: usize,
+        config: SystemConfig,
+        register_programs: impl FnOnce(&ProgramRegistry),
+    ) -> Result<(System, RestoreReport), PromoteError> {
+        let store = self.replicas[id].store_snapshot();
+        let result = promote(&store, config, register_programs)?;
+        let new_epoch = self.shipper.epoch() + 1;
+        for (i, replica) in self.replicas.iter().enumerate() {
+            if i != id {
+                replica.fence(new_epoch);
+            }
+        }
+        Ok(result)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -327,6 +327,141 @@ fn hybrid_round_survives_crash_at_every_site() {
     report.assert_clean();
 }
 
+/// The checkpoint-shipping crash sites (`repl.pre_ship` before the delta
+/// is built, `repl.mid_ship` between a delta's data and its commit frame,
+/// `repl.post_ack` after the quorum wait) all fire *after* the local
+/// commit point but *before* the NIC's visibility barrier advances — so a
+/// primary lost at any of them has released nothing for the cut round,
+/// and a replica promoted from its mirror must satisfy the §5 oracle:
+/// every externally acknowledged write is readable after failover. The
+/// promoted tree is then verified under both walk flavors (the healing
+/// full walk recovery forces, and the O(changes) dirty walk of the
+/// following rounds).
+#[test]
+fn repl_ship_crash_sites_cut_failover_cleanly() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    use common::{find_process_all, KV_GEOM};
+    use treesls::net::VirtualNic;
+    use treesls_apps::wire::{make_key, KvOp, KvResp};
+    use treesls_bench::ringsetup::{deploy_kv_cfg, nic_config};
+    use treesls_repl::{Cluster, ClusterConfig};
+
+    for site in ["repl.pre_ship", "repl.mid_ship", "repl.post_ack"] {
+        let sys = System::boot(KvRingScenario::kv_config());
+        let dep = deploy_kv_cfg(&sys, 16, 40, nic_config(1, true, &KV_GEOM), KV_GEOM);
+        for &srv in &dep.server_threads {
+            step(&sys, srv, 4);
+        }
+        let cluster = Cluster::deploy(&sys, &ClusterConfig::default());
+        cluster.attach_gate(&dep.nic);
+        let programs: Vec<_> = sys
+            .programs()
+            .names()
+            .into_iter()
+            .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+            .collect();
+        let layout = dep.nic.layout();
+
+        // Two committed, replicated, externally acknowledged rounds.
+        let mut acked: Vec<(u64, [u8; 16], Vec<u8>)> = Vec::new();
+        for i in 0..2u64 {
+            // Keys are 16 bytes; keep the discriminant up front.
+            let key = make_key(format!("k{i}-{site}").as_bytes());
+            let value = format!("{site}-value-{i}").into_bytes();
+            let op = KvOp::Set { key, value: value.clone() };
+            let seq = dep.nic.send_request(i, &op.encode()).expect("rx push");
+            dep.nic.flush_wire();
+            for &srv in &dep.server_threads {
+                step(&sys, srv, 8);
+            }
+            sys.checkpoint_now().expect("checkpoint");
+            cluster.replicas[0].poll();
+            cluster.replicas[1].poll();
+            dep.nic.pump();
+            if dep.nic.try_take(seq).is_some() {
+                acked.push((i, key, value));
+            }
+        }
+        assert!(!acked.is_empty(), "{site}: no externally visible write to protect");
+
+        // One more SET whose round is cut at the shipper's crash site.
+        let op = KvOp::Set { key: make_key(b"cut-round"), value: b"never-released".to_vec() };
+        dep.nic.send_request(9, &op.encode()).expect("rx push");
+        dep.nic.flush_wire();
+        for &srv in &dep.server_threads {
+            step(&sys, srv, 8);
+        }
+        let sched = Arc::clone(sys.kernel().pers.dev.crash_schedule());
+        sched.arm(treesls_nvm::CrashPoint::Site { name: site.into(), skip: 0 });
+        let unwound = catch_unwind(AssertUnwindSafe(|| sys.checkpoint_now()));
+        sched.disarm();
+        let payload = unwound.expect_err(site);
+        assert!(
+            payload.downcast_ref::<treesls_nvm::InjectedCrash>().is_some(),
+            "{site}: checkpoint panicked for a reason other than the injected crash"
+        );
+        // The barrier never advanced past the cut round: its response
+        // must not have been released.
+        dep.nic.pump();
+
+        // The machine is lost. A failover manager drains what the wire
+        // still holds, then promotes the surviving replica.
+        cluster.replicas[0].poll();
+        let applied = cluster.replicas[0].applied_round();
+        assert!(applied >= 2, "{site}: replica never applied the baseline rounds");
+        dep.nic.close();
+        drop(dep);
+        drop(sys);
+
+        let (sys2, report) = cluster
+            .promote(0, KvRingScenario::kv_config(), |reg| {
+                for (name, prog) in &programs {
+                    reg.register(name, Arc::clone(prog));
+                }
+            })
+            .unwrap_or_else(|e| panic!("{site}: promotion failed: {e:?}"));
+        assert_eq!(report.version, applied, "{site}: promoted at the mirrored round");
+        sys2.manager().verify_checkpoint().expect("promoted tree verifies (full-walk heal)");
+
+        let (vmspace, servers, notifs) = find_process_all(&sys2, "ring-kv");
+        let nic2 = VirtualNic::attach(
+            Arc::clone(sys2.kernel()),
+            vmspace,
+            layout,
+            &nic_config(1, true, &KV_GEOM),
+            1_000_000,
+        );
+        for (q, notif) in notifs.into_iter().enumerate() {
+            nic2.set_doorbell(q, notif);
+        }
+        sys2.manager().register_callback(Arc::clone(&nic2) as _);
+        sys2.manager().fire_restore_callbacks(report.version);
+
+        // §5 across the failover: every acknowledged SET is readable.
+        for (flow, key, value) in &acked {
+            let get = KvOp::Get { key: *key };
+            let seq = nic2.send_request(*flow, &get.encode()).expect("rx push");
+            nic2.flush_wire();
+            for &srv in &servers {
+                step(&sys2, srv, 16);
+            }
+            sys2.checkpoint_now().expect("post-failover checkpoint");
+            nic2.pump();
+            let resp = nic2.try_take(seq).and_then(|r| KvResp::decode(&r));
+            match resp {
+                Some(KvResp::Ok(Some(v))) if &v == value => {}
+                other => panic!("{site}: acked SET {key:?} lost across failover: {other:?}"),
+            }
+        }
+        // The GET rounds above ran the O(changes) dirty walk on top of
+        // the recovery full walk; the tree must still verify.
+        assert!(sys2.kernel().metrics.snapshot().tree_full_walks >= 1);
+        sys2.manager().verify_checkpoint().expect("promoted tree verifies (dirty walk)");
+    }
+}
+
 #[test]
 fn crash_runs_are_reproducible() {
     // The same crash point must produce the same restored version and
