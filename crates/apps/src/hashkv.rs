@@ -145,6 +145,21 @@ impl HashKv {
 
     /// Looks up `key`.
     pub fn get<M: MemIo>(&self, io: &M, key: &[u8; KEY_LEN]) -> Result<Option<Vec<u8>>, KvError> {
+        let mut v = Vec::new();
+        Ok(self.get_into(io, key, &mut v)?.map(|_| v))
+    }
+
+    /// Zero-copy lookup: appends the value bytes for `key` to `out` and
+    /// returns their length, or `None` on a miss (leaving `out`
+    /// untouched). The poll-mode KV service reads values straight into
+    /// its reusable response buffer with this, so a `Get` allocates
+    /// nothing once the buffer has grown to the largest value.
+    pub fn get_into<M: MemIo>(
+        &self,
+        io: &M,
+        key: &[u8; KEY_LEN],
+        out: &mut Vec<u8>,
+    ) -> Result<Option<usize>, KvError> {
         let mut i = Self::hash(key);
         for _ in 0..self.nbuckets {
             let b = self.bucket(i);
@@ -159,9 +174,10 @@ impl HashKv {
                         let mut lb = [0u8; 4];
                         io.mem_read(b + B_VLEN, &mut lb)?;
                         let len = (u32::from_le_bytes(lb) as u64).min(self.val_cap) as usize;
-                        let mut v = vec![0u8; len];
-                        io.mem_read(b + B_VALUE, &mut v)?;
-                        return Ok(Some(v));
+                        let start = out.len();
+                        out.resize(start + len, 0);
+                        io.mem_read(b + B_VALUE, &mut out[start..])?;
+                        return Ok(Some(len));
                     }
                 }
                 _ => {}

@@ -26,6 +26,7 @@ pub mod client;
 pub mod hashkv;
 pub mod hist;
 pub mod lsm;
+pub mod openloop;
 pub mod phoenix;
 pub mod server;
 pub mod testmem;

@@ -1,0 +1,514 @@
+//! Open-loop load generation: fixed arrival rate, deterministic seeded
+//! schedule, latency measured from the *scheduled* arrival time.
+//!
+//! A closed-loop client waits for each response before issuing the next
+//! request, so a slow server silently throttles the offered load and the
+//! measured latency hides every queueing delay behind the throttle — the
+//! *coordinated omission* problem. An open-loop generator fixes the
+//! arrival schedule up front: requests fire at their scheduled instants
+//! whether or not earlier ones completed, a lagging server shows up as
+//! queueing delay (latency counted from the scheduled arrival, not the
+//! actual send), and an overloaded one shows up as sheds/timeouts — never
+//! as a quietly reduced offered rate. This is the generator behind the
+//! `net_scale` latency-under-load curves.
+//!
+//! The generator is decoupled from the NIC through [`OpenLoopTransport`]
+//! so its pacing semantics are unit-testable against a scripted stub (see
+//! the saturation tests) without booting a whole system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use treesls_net::{NetError, VirtualNic};
+
+use crate::client::RunStats;
+use crate::hist::Histogram;
+use crate::server::xorshift64;
+
+/// A deterministic seeded arrival schedule: arrival *i* fires at
+/// `i · period + jitter_i` nanoseconds, with `jitter_i` drawn uniformly
+/// from `[0, period)` by a seeded xorshift64 chain. Two schedules built
+/// with the same `(rate, seed)` produce byte-identical sequences;
+/// arrivals are strictly increasing (each lives inside its own period
+/// slot), so the offered rate is exactly `rate` regardless of seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalSchedule {
+    period_ns: u64,
+    rng: u64,
+    idx: u64,
+}
+
+impl ArrivalSchedule {
+    /// Builds the schedule for `rate` arrivals per second (minimum 1).
+    pub fn new(rate: u64, seed: u64) -> Self {
+        // Mix the seed so adjacent seeds diverge (xorshift64 must also
+        // not start at 0, hence the trailing `| 1`).
+        let mixed = (seed ^ 0x9E37_79B9_7F4A_7C15).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        Self { period_ns: 1_000_000_000 / rate.max(1), rng: mixed | 1, idx: 0 }
+    }
+
+    /// The nanosecond offset of the next arrival (monotone across calls).
+    pub fn next_arrival_ns(&mut self) -> u64 {
+        self.rng = xorshift64(self.rng);
+        let jitter = if self.period_ns > 1 { self.rng % self.period_ns } else { 0 };
+        let at = self.idx * self.period_ns + jitter;
+        self.idx += 1;
+        at
+    }
+}
+
+impl Iterator for ArrivalSchedule {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_arrival_ns())
+    }
+}
+
+/// Outcome of one non-blocking send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Admitted; await the returned sequence number.
+    Sent(u64),
+    /// Shed by admission control (request never reached the server).
+    Shed,
+    /// Non-retryable transport failure.
+    Failed,
+}
+
+/// The transport surface the open-loop generator needs: non-blocking
+/// send, response pumping/harvesting, and the §5 oracle inputs.
+/// Implemented by [`VirtualNic`]; test stubs script the server side.
+pub trait OpenLoopTransport: Sync {
+    /// Attempts to send one request; never blocks on the server.
+    fn send(&self, flow: u64, payload: &[u8]) -> SendOutcome;
+    /// Drains arrived responses into the pending table.
+    fn pump(&self);
+    /// Takes the response for `seq` if it has arrived.
+    fn try_take(&self, seq: u64) -> Option<Vec<u8>>;
+    /// Gives up on `seq` (frees its admission credit).
+    fn abandon(&self, seq: u64);
+    /// The committed checkpoint version (for the §5 oracle).
+    fn committed_version(&self) -> u64;
+    /// Whether external synchrony is on (enables the §5 oracle).
+    fn ext_sync(&self) -> bool;
+}
+
+impl OpenLoopTransport for VirtualNic {
+    fn send(&self, flow: u64, payload: &[u8]) -> SendOutcome {
+        match self.send_request(flow, payload) {
+            Ok(seq) => SendOutcome::Sent(seq),
+            Err(NetError::Busy) => SendOutcome::Shed,
+            Err(NetError::Ring(_)) => SendOutcome::Failed,
+        }
+    }
+    fn pump(&self) {
+        VirtualNic::pump(self)
+    }
+    fn try_take(&self, seq: u64) -> Option<Vec<u8>> {
+        VirtualNic::try_take(self, seq)
+    }
+    fn abandon(&self, seq: u64) {
+        VirtualNic::abandon(self, seq)
+    }
+    fn committed_version(&self) -> u64 {
+        VirtualNic::committed_version(self)
+    }
+    fn ext_sync(&self) -> bool {
+        VirtualNic::ext_sync(self)
+    }
+}
+
+/// Shape of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered load in requests per second, split evenly across
+    /// generator threads.
+    pub rate: u64,
+    /// Scheduling window: arrivals are scheduled strictly inside it (the
+    /// run then drains outstanding requests for up to `op_timeout`).
+    pub duration: Duration,
+    /// Seed of the arrival schedules (generator `g` uses `seed ^ g`).
+    pub seed: u64,
+    /// Generator threads (each with its own independent schedule).
+    pub generators: usize,
+    /// Age at which an unanswered request is abandoned and counted as a
+    /// timeout (bounds both memory and the post-window drain).
+    pub op_timeout: Duration,
+}
+
+/// Result of an open-loop run: the usual [`RunStats`] plus the open-loop
+/// honesty counters — how much load was actually offered and how late the
+/// generator fired when it fell behind its own schedule.
+#[derive(Debug, Clone)]
+pub struct OpenLoopStats {
+    /// Completion stats; `latency` is measured from the *scheduled*
+    /// arrival (coordinated-omission-safe), `ops + timeouts + sheds`
+    /// accounts for every offered request.
+    pub run: RunStats,
+    /// Requests offered (send attempted): always the full schedule,
+    /// independent of server speed.
+    pub offered: u64,
+    /// Sends that fired more than one period after their scheduled
+    /// instant (the generator itself fell behind — e.g. the send path
+    /// got slow; distinct from server-side queueing).
+    pub late_sends: u64,
+    /// Worst send lateness in nanoseconds.
+    pub max_lateness_ns: u64,
+}
+
+impl OpenLoopStats {
+    /// Offered load in requests per second over the scheduling window.
+    pub fn offered_rate(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.offered as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+/// One in-flight request: its sequence number, scheduled arrival and the
+/// committed version at send time (for the §5 oracle).
+struct Outstanding {
+    seq: u64,
+    sched_ns: u64,
+    v_send: u64,
+}
+
+/// Runs `cfg.generators` open-loop generator threads against `transport`.
+///
+/// `make_op(generator, index)` builds the `(flow, payload)` of one
+/// request; it must be deterministic in its arguments if the run is to be
+/// replayable. Each generator walks its own [`ArrivalSchedule`]; arrivals
+/// are *never* skipped or deferred because the server lags — a send that
+/// cannot be admitted is counted as a shed and the schedule moves on.
+pub fn run_open_loop<T: OpenLoopTransport>(
+    transport: &T,
+    cfg: &OpenLoopConfig,
+    make_op: impl Fn(usize, u64) -> (u64, Vec<u8>) + Sync,
+) -> OpenLoopStats {
+    let generators = cfg.generators.max(1);
+    let per_gen_rate = (cfg.rate / generators as u64).max(1);
+    let duration_ns = cfg.duration.as_nanos() as u64;
+    let timeout_ns = cfg.op_timeout.as_nanos() as u64;
+
+    let total_ops = AtomicU64::new(0);
+    let total_timeouts = AtomicU64::new(0);
+    let total_sheds = AtomicU64::new(0);
+    let total_violations = AtomicU64::new(0);
+    let total_offered = AtomicU64::new(0);
+    let total_late = AtomicU64::new(0);
+    let max_lateness = AtomicU64::new(0);
+    let merged = parking_lot::Mutex::new(Histogram::new());
+    let start = Instant::now();
+
+    std::thread::scope(|s| {
+        for g in 0..generators {
+            let make_op = &make_op;
+            let total_ops = &total_ops;
+            let total_timeouts = &total_timeouts;
+            let total_sheds = &total_sheds;
+            let total_violations = &total_violations;
+            let total_offered = &total_offered;
+            let total_late = &total_late;
+            let max_lateness = &max_lateness;
+            let merged = &merged;
+            s.spawn(move || {
+                let mut sched = ArrivalSchedule::new(per_gen_rate, cfg.seed ^ g as u64);
+                let mut outstanding: Vec<Outstanding> = Vec::new();
+                let mut latency = Histogram::new();
+                let mut ops = 0u64;
+                let mut timeouts = 0u64;
+                let mut sheds = 0u64;
+                let mut violations = 0u64;
+                let mut offered = 0u64;
+                let mut late = 0u64;
+                let mut worst_late = 0u64;
+                let now_ns = || start.elapsed().as_nanos() as u64;
+
+                let harvest = |outstanding: &mut Vec<Outstanding>,
+                                   latency: &mut Histogram,
+                                   ops: &mut u64,
+                                   timeouts: &mut u64,
+                                   violations: &mut u64| {
+                    if outstanding.is_empty() {
+                        return;
+                    }
+                    transport.pump();
+                    let now = now_ns();
+                    outstanding.retain(|o| {
+                        if let Some(_resp) = transport.try_take(o.seq) {
+                            // Coordinated-omission-safe latency: from the
+                            // scheduled arrival, so time spent queued
+                            // behind a pause is charged to the request.
+                            latency.record(now.saturating_sub(o.sched_ns));
+                            if transport.ext_sync() && transport.committed_version() <= o.v_send {
+                                *violations += 1;
+                            }
+                            *ops += 1;
+                            false
+                        } else if now.saturating_sub(o.sched_ns) > timeout_ns {
+                            transport.abandon(o.seq);
+                            *timeouts += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                };
+
+                // Scheduling window: fire every arrival, on time or late.
+                let mut index = 0u64;
+                loop {
+                    let at = sched.next_arrival_ns();
+                    if at >= duration_ns {
+                        break;
+                    }
+                    // Wait for the scheduled instant, harvesting while
+                    // ahead of schedule; never wait for the server.
+                    loop {
+                        let now = now_ns();
+                        if now >= at {
+                            break;
+                        }
+                        harvest(
+                            &mut outstanding,
+                            &mut latency,
+                            &mut ops,
+                            &mut timeouts,
+                            &mut violations,
+                        );
+                        // Re-read the clock: the harvest above may have
+                        // crossed the scheduled instant (a wrapping
+                        // subtraction here would sleep ~forever).
+                        let Some(gap) = at.checked_sub(now_ns()) else { break };
+                        if gap > 200_000 {
+                            std::thread::sleep(Duration::from_nanos(gap - 100_000));
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let fired = now_ns();
+                    let lateness = fired.saturating_sub(at);
+                    if lateness > 1_000_000_000 / per_gen_rate.max(1) {
+                        late += 1;
+                    }
+                    worst_late = worst_late.max(lateness);
+                    let (flow, payload) = make_op(g, index);
+                    index += 1;
+                    offered += 1;
+                    let v_send = transport.committed_version();
+                    match transport.send(flow, &payload) {
+                        SendOutcome::Sent(seq) => {
+                            outstanding.push(Outstanding { seq, sched_ns: at, v_send })
+                        }
+                        SendOutcome::Shed => sheds += 1,
+                        SendOutcome::Failed => timeouts += 1,
+                    }
+                }
+
+                // Drain: give outstanding requests up to op_timeout each.
+                while !outstanding.is_empty() {
+                    harvest(
+                        &mut outstanding,
+                        &mut latency,
+                        &mut ops,
+                        &mut timeouts,
+                        &mut violations,
+                    );
+                    if !outstanding.is_empty() {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }
+
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_timeouts.fetch_add(timeouts, Ordering::Relaxed);
+                total_sheds.fetch_add(sheds, Ordering::Relaxed);
+                total_violations.fetch_add(violations, Ordering::Relaxed);
+                total_offered.fetch_add(offered, Ordering::Relaxed);
+                total_late.fetch_add(late, Ordering::Relaxed);
+                max_lateness.fetch_max(worst_late, Ordering::Relaxed);
+                merged.lock().merge(&latency);
+            });
+        }
+    });
+
+    OpenLoopStats {
+        run: RunStats {
+            ops: total_ops.load(Ordering::Relaxed),
+            timeouts: total_timeouts.load(Ordering::Relaxed),
+            sheds: total_sheds.load(Ordering::Relaxed),
+            sync_violations: total_violations.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            latency: merged.into_inner(),
+        },
+        offered: total_offered.load(Ordering::Relaxed),
+        late_sends: total_late.load(Ordering::Relaxed),
+        max_lateness_ns: max_lateness.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    #[test]
+    fn schedule_replays_identically_from_the_same_seed() {
+        let a: Vec<u64> = ArrivalSchedule::new(100_000, 42).take(10_000).collect();
+        let b: Vec<u64> = ArrivalSchedule::new(100_000, 42).take(10_000).collect();
+        assert_eq!(a, b, "same seed must replay the identical arrival sequence");
+        let c: Vec<u64> = ArrivalSchedule::new(100_000, 43).take(10_000).collect();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_holds_the_rate() {
+        let mut s = ArrivalSchedule::new(50_000, 7); // 20 µs period
+        let mut prev = 0u64;
+        let n = 50_000u64;
+        let mut last = 0u64;
+        for i in 0..n {
+            let at = s.next_arrival_ns();
+            assert!(i == 0 || at > prev, "arrival {i} not increasing: {prev} -> {at}");
+            prev = at;
+            last = at;
+        }
+        // n arrivals span n periods (±1 period of jitter): the offered
+        // rate is the configured rate by construction.
+        let period = 20_000u64;
+        assert!(last >= (n - 1) * period && last < (n + 1) * period, "span {last}");
+    }
+
+    /// A scripted transport: admits everything, responds to the first
+    /// `capacity` requests only (on pump), never blocks.
+    #[derive(Default)]
+    struct StubTransport {
+        capacity: u64,
+        served: AtomicU64,
+        next_seq: AtomicU64,
+        inbox: Mutex<Vec<u64>>,
+        ready: Mutex<HashMap<u64, Vec<u8>>>,
+        send_spin_ns: u64,
+    }
+
+    impl OpenLoopTransport for StubTransport {
+        fn send(&self, _flow: u64, _payload: &[u8]) -> SendOutcome {
+            if self.send_spin_ns > 0 {
+                // A deliberately slow send path (models a generator that
+                // cannot keep up with its own schedule).
+                let t0 = Instant::now();
+                while (t0.elapsed().as_nanos() as u64) < self.send_spin_ns {
+                    std::hint::spin_loop();
+                }
+            }
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            self.inbox.lock().push(seq);
+            SendOutcome::Sent(seq)
+        }
+        fn pump(&self) {
+            let mut inbox = self.inbox.lock();
+            let mut ready = self.ready.lock();
+            while let Some(seq) = inbox.first().copied() {
+                if self.served.load(Ordering::Relaxed) >= self.capacity {
+                    break;
+                }
+                inbox.remove(0);
+                self.served.fetch_add(1, Ordering::Relaxed);
+                ready.insert(seq, vec![0]);
+            }
+        }
+        fn try_take(&self, seq: u64) -> Option<Vec<u8>> {
+            self.ready.lock().remove(&seq)
+        }
+        fn abandon(&self, seq: u64) {
+            self.inbox.lock().retain(|&s| s != seq);
+        }
+        fn committed_version(&self) -> u64 {
+            0
+        }
+        fn ext_sync(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn saturation_keeps_offered_load_fixed() {
+        // A server that NEVER responds. A closed-loop fleet would stall
+        // after its credit window; the open-loop generator must keep
+        // offering the full schedule and report the loss as timeouts.
+        let stub = StubTransport { capacity: 0, ..Default::default() };
+        let cfg = OpenLoopConfig {
+            rate: 50_000,
+            duration: Duration::from_millis(40),
+            seed: 9,
+            generators: 2,
+            op_timeout: Duration::from_millis(20),
+        };
+        let stats = run_open_loop(&stub, &cfg, |_, i| (i, vec![1, 2, 3]));
+        // Offered load is the schedule, not the server: each generator
+        // schedules ~rate/2 * 40ms arrivals regardless of responses.
+        let expected = 50_000 * 40 / 1000;
+        assert!(
+            stats.offered >= expected - 4 && stats.offered <= expected + 4,
+            "offered {} but schedule holds ~{expected}",
+            stats.offered
+        );
+        assert_eq!(stats.run.ops, 0, "no responses were ever produced");
+        assert_eq!(
+            stats.run.timeouts, stats.offered,
+            "every offered request must be accounted as a timeout"
+        );
+    }
+
+    #[test]
+    fn server_capacity_bounds_completions_not_offers() {
+        let stub = StubTransport { capacity: 300, ..Default::default() };
+        let cfg = OpenLoopConfig {
+            rate: 50_000,
+            duration: Duration::from_millis(40),
+            seed: 5,
+            generators: 2,
+            op_timeout: Duration::from_millis(20),
+        };
+        let stats = run_open_loop(&stub, &cfg, |_, i| (i, vec![7]));
+        let expected = 50_000 * 40 / 1000;
+        assert!(
+            stats.offered >= expected - 4,
+            "offered {} collapsed below the schedule {expected}",
+            stats.offered
+        );
+        assert_eq!(stats.run.ops, 300, "completions are bounded by server capacity");
+        assert_eq!(stats.run.timeouts, stats.offered - 300);
+    }
+
+    #[test]
+    fn lateness_is_reported_when_the_generator_falls_behind() {
+        // The send path takes ~80 µs while the schedule demands one send
+        // every 20 µs: the generator falls behind its own clock. It must
+        // still offer the whole schedule (late, flagged) instead of
+        // silently degrading into a closed loop.
+        let stub = StubTransport {
+            capacity: u64::MAX,
+            send_spin_ns: 80_000,
+            ..Default::default()
+        };
+        let cfg = OpenLoopConfig {
+            rate: 50_000,
+            duration: Duration::from_millis(20),
+            seed: 3,
+            generators: 1,
+            op_timeout: Duration::from_millis(50),
+        };
+        let stats = run_open_loop(&stub, &cfg, |_, i| (i, vec![0]));
+        let expected = 50_000 * 20 / 1000;
+        assert!(
+            stats.offered >= expected - 2,
+            "offered {} but the schedule holds {expected} arrivals",
+            stats.offered
+        );
+        assert!(stats.late_sends > 0, "falling behind must be reported as late sends");
+        assert!(stats.max_lateness_ns > 0);
+    }
+}

@@ -19,7 +19,7 @@ use treesls_net::{Service, ServiceError};
 
 use crate::hashkv::{HashKv, KvError};
 use crate::lsm::{Lsm, LsmConfig};
-use crate::wire::{KvOp, KvResp, KEY_LEN};
+use crate::wire::{resp, KvOp, KvOpRef, KvResp, KEY_LEN};
 
 /// Register allocation conventions shared by the programs here.
 pub mod regs {
@@ -62,6 +62,43 @@ fn apply_kv_op<M: treesls_extsync::MemIo>(table: &HashKv, io: &M, op: KvOp) -> K
     }
 }
 
+/// Zero-copy form of [`apply_kv_op`]: the request is a borrowed view into
+/// the poll loop's scratch buffer and the response is framed directly
+/// into its output buffer — a `Get` hit reads the value from the table
+/// straight into the length-framed response, no intermediate `Vec`.
+fn apply_kv_op_ref<M: treesls_extsync::MemIo>(
+    table: &HashKv,
+    io: &M,
+    op: KvOpRef<'_>,
+    out: &mut Vec<u8>,
+) {
+    match op {
+        KvOpRef::Get { key } => {
+            let mark = resp::begin_value(out);
+            match table.get_into(io, key, out) {
+                Ok(Some(_)) => resp::finish_value(out, mark),
+                Ok(None) => {
+                    out.truncate(mark - 5);
+                    resp::miss_into(out);
+                }
+                Err(_) => {
+                    out.truncate(mark - 5);
+                    resp::error_into(out);
+                }
+            }
+        }
+        KvOpRef::Set { key, value } => match table.set(io, key, value) {
+            Ok(_) => resp::ok_into(out),
+            Err(_) => resp::error_into(out),
+        },
+        KvOpRef::Del { key } => match table.del(io, key) {
+            Ok(true) => resp::ok_into(out),
+            Ok(false) => resp::miss_into(out),
+            Err(_) => resp::error_into(out),
+        },
+    }
+}
+
 /// A memcached/redis-like KV protocol served through the NIC poll
 /// runtime.
 ///
@@ -85,13 +122,18 @@ impl Service for KvService {
             .map_err(|_| ServiceError)
     }
 
-    fn handle(&self, ctx: &mut UserCtx<'_>, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
+    fn handle(
+        &self,
+        ctx: &mut UserCtx<'_>,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ServiceError> {
         let table = HashKv::attach(ctx, self.table_base).map_err(|_| ServiceError)?;
-        let resp = match KvOp::decode(payload) {
-            Some(op) => apply_kv_op(&table, ctx, op),
-            None => KvResp::Error,
-        };
-        Ok(resp.encode())
+        match KvOpRef::decode(payload) {
+            Some(op) => apply_kv_op_ref(&table, ctx, op, out),
+            None => resp::error_into(out),
+        }
+        Ok(())
     }
 }
 
@@ -113,25 +155,30 @@ impl Service for LsmService {
         Lsm::format(ctx, self.lsm).map(|_| ()).map_err(|_| ServiceError)
     }
 
-    fn handle(&self, ctx: &mut UserCtx<'_>, payload: &[u8]) -> Result<Vec<u8>, ServiceError> {
+    fn handle(
+        &self,
+        ctx: &mut UserCtx<'_>,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), ServiceError> {
         let tree = Lsm::attach(self.lsm);
-        let resp = match KvOp::decode(payload) {
-            Some(KvOp::Get { key }) => match tree.get(ctx, key_u64(&key)) {
-                Ok(Some(v)) => KvResp::Ok(Some(v)),
-                Ok(None) => KvResp::Miss,
-                Err(_) => KvResp::Error,
+        match KvOpRef::decode(payload) {
+            Some(KvOpRef::Get { key }) => match tree.get(ctx, key_u64(key)) {
+                Ok(Some(v)) => resp::value_into(out, &v),
+                Ok(None) => resp::miss_into(out),
+                Err(_) => resp::error_into(out),
             },
-            Some(KvOp::Set { key, value }) => match tree.put(ctx, key_u64(&key), &value) {
-                Ok(()) => KvResp::Ok(None),
-                Err(_) => KvResp::Error,
+            Some(KvOpRef::Set { key, value }) => match tree.put(ctx, key_u64(key), value) {
+                Ok(()) => resp::ok_into(out),
+                Err(_) => resp::error_into(out),
             },
-            Some(KvOp::Del { key }) => match tree.delete(ctx, key_u64(&key)) {
-                Ok(()) => KvResp::Ok(None),
-                Err(_) => KvResp::Error,
+            Some(KvOpRef::Del { key }) => match tree.delete(ctx, key_u64(key)) {
+                Ok(()) => resp::ok_into(out),
+                Err(_) => resp::error_into(out),
             },
-            None => KvResp::Error,
-        };
-        Ok(resp.encode())
+            None => resp::error_into(out),
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,120 @@ const ST_OK_VALUE: u8 = 1;
 const ST_MISS: u8 = 2;
 const ST_ERROR: u8 = 3;
 
+/// Borrowed view of a [`KvOp`], decoded zero-copy from a request buffer.
+///
+/// This is the hot-path form the poll-mode services use: the key and the
+/// value are `&[u8]` slices into the ring's scratch buffer, validated in
+/// place — no per-request allocation. [`KvOp`] remains the owned form for
+/// clients and IPC paths that outlive the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvOpRef<'a> {
+    /// Look up a key.
+    Get {
+        /// The key (always `KEY_LEN` bytes).
+        key: &'a [u8; KEY_LEN],
+    },
+    /// Insert or update a key.
+    Set {
+        /// The key (always `KEY_LEN` bytes).
+        key: &'a [u8; KEY_LEN],
+        /// The value bytes, borrowed from the request buffer.
+        value: &'a [u8],
+    },
+    /// Remove a key.
+    Del {
+        /// The key (always `KEY_LEN` bytes).
+        key: &'a [u8; KEY_LEN],
+    },
+}
+
+impl<'a> KvOpRef<'a> {
+    /// Parses an operation without copying; `None` on malformed input.
+    /// Accepts exactly the bytes [`KvOp::encode`] produces.
+    pub fn decode(data: &'a [u8]) -> Option<KvOpRef<'a>> {
+        let (&op, rest) = data.split_first()?;
+        if rest.len() < KEY_LEN {
+            return None;
+        }
+        let key: &[u8; KEY_LEN] = rest[..KEY_LEN].try_into().ok()?;
+        match op {
+            OP_GET => Some(KvOpRef::Get { key }),
+            OP_DEL => Some(KvOpRef::Del { key }),
+            OP_SET => {
+                let rest = &rest[KEY_LEN..];
+                if rest.len() < 4 {
+                    return None;
+                }
+                let len = u32::from_le_bytes(rest[..4].try_into().ok()?) as usize;
+                if rest.len() < 4 + len {
+                    return None;
+                }
+                Some(KvOpRef::Set { key, value: &rest[4..4 + len] })
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for operations that mutate the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOpRef::Get { .. })
+    }
+
+    /// Converts to the owned form (copies the key/value).
+    pub fn to_owned(&self) -> KvOp {
+        match *self {
+            KvOpRef::Get { key } => KvOp::Get { key: *key },
+            KvOpRef::Set { key, value } => KvOp::Set { key: *key, value: value.to_vec() },
+            KvOpRef::Del { key } => KvOp::Del { key: *key },
+        }
+    }
+}
+
+/// Zero-copy response encoding: status/value frames are appended to a
+/// reusable output buffer instead of allocating a `Vec` per response.
+/// The byte format is identical to [`KvResp::encode`].
+pub mod resp {
+    use super::{ST_ERROR, ST_MISS, ST_OK, ST_OK_VALUE};
+
+    /// Appends an `Ok` (no value) response.
+    pub fn ok_into(out: &mut Vec<u8>) {
+        out.push(ST_OK);
+    }
+
+    /// Appends a `Miss` response.
+    pub fn miss_into(out: &mut Vec<u8>) {
+        out.push(ST_MISS);
+    }
+
+    /// Appends an `Error` response.
+    pub fn error_into(out: &mut Vec<u8>) {
+        out.push(ST_ERROR);
+    }
+
+    /// Begins an `Ok(value)` response, reserving the length field.
+    /// Append the value bytes to `out`, then call [`finish_value`] with
+    /// the returned mark.
+    pub fn begin_value(out: &mut Vec<u8>) -> usize {
+        out.push(ST_OK_VALUE);
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.len()
+    }
+
+    /// Patches the length field of a response started with
+    /// [`begin_value`]: everything appended after `mark` is the value.
+    pub fn finish_value(out: &mut [u8], mark: usize) {
+        let len = (out.len() - mark) as u32;
+        out[mark - 4..mark].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Appends a complete `Ok(value)` response.
+    pub fn value_into(out: &mut Vec<u8>, value: &[u8]) {
+        let mark = begin_value(out);
+        out.extend_from_slice(value);
+        finish_value(out, mark);
+    }
+}
+
 /// Pads/truncates an arbitrary byte key to the wire width.
 pub fn make_key(raw: &[u8]) -> [u8; KEY_LEN] {
     let mut k = [0u8; KEY_LEN];
@@ -201,6 +315,50 @@ mod tests {
         assert_eq!(KvOp::decode(&truncated), None);
         assert_eq!(KvResp::decode(&[]), None);
         assert_eq!(KvResp::decode(&[ST_OK_VALUE, 5, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned() {
+        let ops = [
+            KvOp::Get { key: make_key(b"alpha") },
+            KvOp::Set { key: make_key(b"beta"), value: vec![1, 2, 3] },
+            KvOp::Set { key: numeric_key(42), value: vec![] },
+            KvOp::Del { key: make_key(b"gamma") },
+        ];
+        for op in ops {
+            let bytes = op.encode();
+            let view = KvOpRef::decode(&bytes).unwrap();
+            assert_eq!(view.to_owned(), op);
+            assert_eq!(view.is_write(), op.is_write());
+        }
+        // Same rejection surface as the owned decoder.
+        assert_eq!(KvOpRef::decode(&[]), None);
+        assert_eq!(KvOpRef::decode(&[OP_GET, 1, 2]), None);
+        assert_eq!(KvOpRef::decode(&[99; 20]), None);
+    }
+
+    #[test]
+    fn resp_into_matches_encode() {
+        let mut out = Vec::new();
+        resp::ok_into(&mut out);
+        assert_eq!(out, KvResp::Ok(None).encode());
+        out.clear();
+        resp::miss_into(&mut out);
+        assert_eq!(out, KvResp::Miss.encode());
+        out.clear();
+        resp::error_into(&mut out);
+        assert_eq!(out, KvResp::Error.encode());
+        out.clear();
+        resp::value_into(&mut out, b"value");
+        assert_eq!(out, KvResp::Ok(Some(b"value".to_vec())).encode());
+        // Streaming form: bytes appended between begin/finish become the
+        // length-framed value.
+        out.clear();
+        let mark = resp::begin_value(&mut out);
+        out.extend_from_slice(b"val");
+        out.extend_from_slice(b"ue");
+        resp::finish_value(&mut out, mark);
+        assert_eq!(KvResp::decode(&out), Some(KvResp::Ok(Some(b"value".to_vec()))));
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! `net_scale`: open-loop latency-under-load sweep of the sharded data
+//! plane (the 10×-throughput configuration).
+//!
+//! Where `net_load` drives a *closed-loop* fleet (each client waits for
+//! its reply, so a slow server quietly throttles the offered load), this
+//! bench drives the [`treesls_apps::openloop`] generator: a fixed,
+//! seeded arrival schedule per generator thread, latency measured from
+//! the *scheduled* arrival (coordinated-omission-safe), sheds and
+//! timeouts reported instead of silently absorbed. Sweeping the offered
+//! rate at each queue count yields the latency-under-load curve: achieved
+//! throughput climbs with offered load until the service saturates, and
+//! the p99 shows exactly when queueing delay exceeds the checkpoint-pause
+//! budget.
+//!
+//! The server side runs the per-core shard configuration: one `Service`
+//! shard per queue pinned to simulated core `q % cores`, per-queue
+//! eternal ring PMOs, round-batched TX publishes, zero-copy decode/encode
+//! (`Scratch` + `KvOpRef`). Keys pick their flow with
+//! [`treesls::net::key_flow`], so `shard_for` and RSS agree and a key
+//! never crosses a shard lock.
+//!
+//! ```sh
+//! cargo run --release --bin net_scale -- --json
+//! cargo run --release --bin net_scale -- --queues 8 --rates 120000 \
+//!     --duration-ms 500 --gate       # CI configuration
+//! ```
+//!
+//! `--gate` enforces the scale SLO: at the largest queue count the best
+//! achieved throughput must reach `--gate-rate` (default 100 000 ops/s)
+//! with zero §5 external-synchrony violations across every run.
+
+use std::time::Duration;
+
+use treesls::net::{key_flow, NicConfig};
+use treesls::{System, SystemConfig};
+use treesls_apps::openloop::{run_open_loop, OpenLoopConfig, OpenLoopStats};
+use treesls_apps::wire::{numeric_key, KvOp};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::{deploy_kv_pinned, ShardGeometry};
+use treesls_bench::table::Table;
+use treesls_bench::Sink;
+use treesls::PauseStats;
+
+const GEOM: ShardGeometry = ShardGeometry { nslots: 256, slot_size: 2048, data_stride: 8 << 20 };
+const NBUCKETS: u64 = 4096;
+const KEY_SPACE: u64 = 10_000;
+
+struct ScaleOpts {
+    /// Queue counts to sweep (= service shards = pinned cores).
+    queues: Vec<usize>,
+    /// Offered rates to sweep at each queue count (ops/s).
+    rates: Vec<u64>,
+    /// Scheduling window per configuration.
+    duration_ms: u64,
+    /// Checkpoint interval in microseconds.
+    interval_us: u64,
+    /// SET value size in bytes.
+    value_len: usize,
+    /// SET fraction in permille (rest are GETs).
+    set_permille: u64,
+    /// Open-loop generator threads.
+    generators: usize,
+    /// Per-request abandon age in milliseconds.
+    timeout_ms: u64,
+    /// Server round size (requests per batched TX publish).
+    batch: usize,
+    /// Enforce the scale SLO.
+    gate: bool,
+    /// Throughput the gate demands at the largest queue count (ops/s).
+    gate_rate: u64,
+    /// Fixed p99 budget for the throughput-at-fixed-p99 headline (µs).
+    p99_budget_us: u64,
+}
+
+fn parse_scale_opts() -> ScaleOpts {
+    let mut o = ScaleOpts {
+        queues: vec![8, 16],
+        rates: vec![25_000, 50_000, 100_000, 150_000],
+        duration_ms: 1000,
+        interval_us: 5000,
+        value_len: 64,
+        set_permille: 50,
+        generators: 2,
+        timeout_ms: 1000,
+        batch: 32,
+        gate: false,
+        gate_rate: 100_000,
+        p99_budget_us: 50_000,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| -> Option<&String> { args.get(i + 1) };
+        let list = |v: &str| -> Vec<u64> {
+            v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&x| x > 0).collect()
+        };
+        match args[i].as_str() {
+            "--queues" => {
+                if let Some(v) = next(i) {
+                    o.queues = list(v).into_iter().map(|q| q as usize).collect();
+                    assert!(!o.queues.is_empty(), "--queues needs at least one count");
+                }
+            }
+            "--rates" => {
+                if let Some(v) = next(i) {
+                    o.rates = list(v);
+                    assert!(!o.rates.is_empty(), "--rates needs at least one rate");
+                }
+            }
+            "--duration-ms" => {
+                if let Some(v) = next(i) {
+                    o.duration_ms = v.parse().expect("--duration-ms N");
+                }
+            }
+            "--interval-us" => {
+                if let Some(v) = next(i) {
+                    o.interval_us = v.parse().expect("--interval-us N");
+                }
+            }
+            "--value-len" => {
+                if let Some(v) = next(i) {
+                    o.value_len = v.parse().expect("--value-len N");
+                }
+            }
+            "--set-permille" => {
+                if let Some(v) = next(i) {
+                    o.set_permille = v.parse().expect("--set-permille N");
+                }
+            }
+            "--generators" => {
+                if let Some(v) = next(i) {
+                    o.generators = v.parse().expect("--generators N");
+                }
+            }
+            "--timeout-ms" => {
+                if let Some(v) = next(i) {
+                    o.timeout_ms = v.parse().expect("--timeout-ms N");
+                }
+            }
+            "--batch" => {
+                if let Some(v) = next(i) {
+                    o.batch = v.parse().expect("--batch N");
+                }
+            }
+            "--gate" => o.gate = true,
+            "--gate-rate" => {
+                if let Some(v) = next(i) {
+                    o.gate_rate = v.parse().expect("--gate-rate N");
+                }
+            }
+            "--p99-budget-us" => {
+                if let Some(v) = next(i) {
+                    o.p99_budget_us = v.parse().expect("--p99-budget-us N");
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    o
+}
+
+fn sys_config(opts: &BenchOpts, scale: &ScaleOpts) -> SystemConfig {
+    SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 65_536,
+            dram_pages: 8192,
+            ..Default::default()
+        },
+        // Shards are pinned `q % cores`: more queues than cores folds
+        // multiple shards onto one core (still RSS-aligned, still one
+        // owner core per shard). `--cores` sets the core count; the
+        // default 2 suits single-CPU hosts, where fewer simulated-core
+        // threads mean less oversubscription and higher throughput.
+        cores: opts.cores.max(1),
+        quantum: 32,
+        checkpoint_interval: Some(Duration::from_micros(scale.interval_us)),
+    }
+}
+
+/// SplitMix64 — a pure per-index hash so `make_op(g, i)` is a
+/// deterministic function of its arguments (replayable runs).
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Batch metrics attributable to one run (deltas of the global counters).
+struct BatchDelta {
+    batches: u64,
+    responses: u64,
+}
+
+/// One (queues, rate) cell: boot, deploy pinned shards, open-loop load.
+fn run_cell(
+    opts: &BenchOpts,
+    scale: &ScaleOpts,
+    queues: usize,
+    rate: u64,
+) -> (OpenLoopStats, PauseStats, BatchDelta) {
+    let mut sys = System::boot(sys_config(opts, scale));
+    let cfg = NicConfig {
+        queues,
+        nslots: GEOM.nslots,
+        slot_size: GEOM.slot_size,
+        // Deep admission window: the ring itself is the backpressure
+        // boundary, admission only sheds what the ring would reject.
+        credits: GEOM.nslots,
+        ext_sync: true,
+        fault: Default::default(),
+        call_timeout: Duration::from_secs(5),
+    };
+    let dep = deploy_kv_pinned(
+        &sys,
+        NBUCKETS,
+        scale.value_len.max(128) as u64,
+        cfg,
+        GEOM,
+        Some(opts.cores.max(1) as u32),
+        scale.batch,
+    );
+    sys.start();
+
+    let before = sys.kernel().metrics.snapshot();
+    let value_len = scale.value_len;
+    let set_permille = scale.set_permille;
+    let olcfg = OpenLoopConfig {
+        rate,
+        duration: Duration::from_millis(scale.duration_ms),
+        seed: 0x5EED_0000 + rate,
+        generators: scale.generators,
+        op_timeout: Duration::from_millis(scale.timeout_ms),
+    };
+    let stats = run_open_loop(&*dep.nic, &olcfg, |g, i| {
+        let h = mix((g as u64) << 32 | i);
+        let id = h % KEY_SPACE;
+        let key = numeric_key(id);
+        // The flow id is derived from the key bytes, so RSS and
+        // `shard_for` agree: this key's requests always land on the
+        // shard that owns it.
+        let flow = key_flow(&key);
+        let op = if (h >> 32) % 1000 < set_permille {
+            KvOp::Set { key, value: vec![5u8; value_len] }
+        } else {
+            KvOp::Get { key }
+        };
+        (flow, op.encode())
+    });
+    let after = sys.kernel().metrics.snapshot();
+    let pause = sys.kernel().metrics.pause_histogram().stats();
+    sys.stop();
+    let delta = BatchDelta {
+        batches: after.net_tx_batches - before.net_tx_batches,
+        responses: after.net_tx_batched_responses - before.net_tx_batched_responses,
+    };
+    (stats, pause, delta)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let scale = parse_scale_opts();
+    let mut sink = Sink::new(
+        "net_scale",
+        &format!(
+            "open-loop latency under load: {} generators, {} µs checkpoints, {}‰ SETs",
+            scale.generators, scale.interval_us, scale.set_permille
+        ),
+        &opts,
+    );
+
+    let mut table = Table::new(&[
+        "Queues",
+        "Offered(ops/s)",
+        "Achieved(ops/s)",
+        "P50(µs)",
+        "P99(µs)",
+        "Sheds",
+        "Timeouts",
+        "LateSends",
+        "SyncViolations",
+        "TxBatchMean",
+        "PauseP50(µs)",
+    ]);
+    let window = Duration::from_millis(scale.duration_ms);
+    let mut runs: Vec<(usize, u64, OpenLoopStats, PauseStats)> = Vec::new();
+    for &q in &scale.queues {
+        for &rate in &scale.rates {
+            let (stats, pause, batch) = run_cell(&opts, &scale, q, rate);
+            let achieved = stats.run.ops as f64 / window.as_secs_f64();
+            table.row(vec![
+                q.to_string(),
+                format!("{:.0}", stats.offered_rate(window)),
+                format!("{achieved:.0}"),
+                format!("{:.1}", stats.run.latency.p50() as f64 / 1e3),
+                format!("{:.1}", stats.run.latency.p99() as f64 / 1e3),
+                stats.run.sheds.to_string(),
+                stats.run.timeouts.to_string(),
+                stats.late_sends.to_string(),
+                stats.run.sync_violations.to_string(),
+                if batch.batches > 0 {
+                    format!("{:.1}", batch.responses as f64 / batch.batches as f64)
+                } else {
+                    "-".into()
+                },
+                format!("{:.1}", pause.p50_ns as f64 / 1e3),
+            ]);
+            runs.push((q, rate, stats, pause));
+        }
+    }
+    sink.table("latency_under_load", table);
+
+    // The curve's headline: per queue count, the highest offered rate
+    // whose p99 (measured from the scheduled arrival, so queueing delay
+    // counts) stays within the fixed budget — "throughput at fixed p99".
+    let budget_ns = scale.p99_budget_us * 1000;
+    for &q in &scale.queues {
+        let within: Vec<&(usize, u64, OpenLoopStats, PauseStats)> = runs
+            .iter()
+            .filter(|(rq, _, s, _)| {
+                *rq == q && s.run.ops > 0 && s.run.latency.p99() <= budget_ns
+            })
+            .collect();
+        match within.iter().max_by_key(|(_, rate, ..)| *rate) {
+            Some((_, rate, s, _)) => sink.note(&format!(
+                "{q} queues: throughput at p99 <= {} ms: {:.0} ops/s (offered {rate})",
+                scale.p99_budget_us / 1000,
+                s.run.ops as f64 / window.as_secs_f64()
+            )),
+            None => sink.note(&format!(
+                "{q} queues: no swept rate kept p99 within {} ms",
+                scale.p99_budget_us / 1000
+            )),
+        }
+    }
+
+    let violations: u64 = runs.iter().map(|(_, _, s, _)| s.run.sync_violations).sum();
+    sink.note(&format!(
+        "external synchrony oracle: {violations} violations across {} open-loop runs",
+        runs.len()
+    ));
+
+    let mut failed = Vec::new();
+    if violations > 0 {
+        failed.push(format!("{violations} external-synchrony violations"));
+    }
+    if scale.gate {
+        let top_q = *scale.queues.iter().max().expect("at least one queue count");
+        let best = runs
+            .iter()
+            .filter(|(q, ..)| *q == top_q)
+            .map(|(_, _, s, _)| s.run.ops as f64 / window.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        sink.note(&format!(
+            "gate ({top_q} queues): best achieved {best:.0} ops/s vs required {} -> {}",
+            scale.gate_rate,
+            if best >= scale.gate_rate as f64 { "PASS" } else { "FAIL" }
+        ));
+        if best < scale.gate_rate as f64 {
+            failed.push(format!(
+                "best achieved {best:.0} ops/s at {top_q} queues below the {} ops/s gate",
+                scale.gate_rate
+            ));
+        }
+    }
+    sink.finish();
+    if !failed.is_empty() {
+        eprintln!("net_scale FAILED: {}", failed.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -71,6 +71,24 @@ pub fn deploy_kv_cfg(
     cfg: NicConfig,
     geom: ShardGeometry,
 ) -> RingDeployment {
+    deploy_kv_pinned(sys, nbuckets, val_cap, cfg, geom, None, 16)
+}
+
+/// [`deploy_kv_cfg`] with per-core shard pinning and an explicit round
+/// size: queue `q`'s server thread is pinned to simulated core `q % n`,
+/// so each core runs exactly one service shard and a shard's dirty pages
+/// are owned by one core, and each server round stages up to `batch`
+/// responses behind a single TX publish (the `net_scale` sweep's
+/// configuration).
+pub fn deploy_kv_pinned(
+    sys: &System,
+    nbuckets: u64,
+    val_cap: u64,
+    cfg: NicConfig,
+    geom: ShardGeometry,
+    pin_cores: Option<u32>,
+    batch: usize,
+) -> RingDeployment {
     let spec = DeploySpec {
         name: "ring-kv".into(),
         heap_pages: cfg.queues as u64 * geom.data_stride / 4096 + 1,
@@ -78,7 +96,8 @@ pub fn deploy_kv_cfg(
         cursor_base: geom.data_stride - 4096,
         cursor_stride: geom.data_stride,
         cfg,
-        batch: 16,
+        batch,
+        pin_cores,
     };
     treesls::net::deploy(sys.kernel(), sys.manager(), &spec, |q| {
         Arc::new(KvService {
@@ -115,6 +134,7 @@ pub fn deploy_lsm(
         cursor_stride: 4096,
         cfg: nic_config(1, ext_sync, &geom),
         batch: 16,
+        pin_cores: None,
     };
     treesls::net::deploy(sys.kernel(), sys.manager(), &spec, |_| {
         Arc::new(LsmService { lsm }) as Arc<dyn Service>

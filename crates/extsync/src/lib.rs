@@ -19,7 +19,7 @@ pub mod port;
 pub mod ring;
 
 pub use port::{HostIo, PortLayout};
-pub use ring::{check_ext_sync_invariants, MemIo, RingError, RingLayout, RingMsg};
+pub use ring::{check_ext_sync_invariants, MemIo, RingError, RingLayout, RingMsg, SlotInfo};
 
 use treesls_kernel::program::UserCtx;
 use treesls_kernel::types::KernelError;

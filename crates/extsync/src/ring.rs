@@ -126,6 +126,19 @@ pub struct RingMsg {
     pub payload: Vec<u8>,
 }
 
+/// Metadata of a slot read by [`read_into`]; the payload itself lives in
+/// the caller's reusable buffer (`buf[..info.len]`), so the hot path never
+/// allocates a per-message `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotInfo {
+    /// Monotone sequence number (the message's ring index).
+    pub seq: u64,
+    /// Version tag at append time.
+    pub version: u64,
+    /// Payload length in bytes (valid prefix of the caller's buffer).
+    pub len: usize,
+}
+
 /// Errors from ring operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RingError {
@@ -181,23 +194,84 @@ pub fn push<M: MemIo>(
     if in_use >= layout.nslots {
         return Err(RingError::Full);
     }
-    let slot = layout.slot_addr(writer);
-    let version = io.version();
-    io.mem_write_u64(slot, version)?;
-    io.mem_write_u64(slot + 8, seq)?;
-    io.mem_write(slot + 16, &(payload.len() as u32).to_le_bytes())?;
-    io.mem_write(slot + 20, &slot_crc(version, seq, payload).to_le_bytes())?;
-    io.mem_write(slot + SLOT_HDR, payload)?;
-    // Ordering point: the slot contents (including its checksum) must be
-    // durable before the writer bump publishes them — under ADR an
-    // unflushed slot line could otherwise be dropped while the bump
-    // survives, leaving a published-but-torn slot.
-    io.flush();
-    // A crash here leaves a fully written slot that was never published:
-    // the writer bump below is the linearization point.
-    io.crash_hook("ring.slot_written");
-    io.mem_write_u64(layout.base + hdr::WRITER, writer + 1)?;
+    write_slot(io, layout, writer, seq, payload)?;
+    publish(io, layout, writer + 1)?;
     Ok(writer)
+}
+
+/// Writes a complete slot (header + payload) at ring index `index`
+/// WITHOUT publishing it: the writer bump is deferred to [`publish`].
+///
+/// The slot header (version tag, sequence, length, CRC) goes out as one
+/// contiguous store and the payload as a second — two `MemIo` round trips
+/// per message instead of five, which matters when every access crosses
+/// the soft-MMU translation layer.
+fn write_slot<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    index: u64,
+    seq: u64,
+    payload: &[u8],
+) -> Result<(), RingError> {
+    let slot = layout.slot_addr(index);
+    let version = io.version();
+    let mut h = [0u8; SLOT_HDR as usize];
+    h[..8].copy_from_slice(&version.to_le_bytes());
+    h[8..16].copy_from_slice(&seq.to_le_bytes());
+    h[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    h[20..24].copy_from_slice(&slot_crc(version, seq, payload).to_le_bytes());
+    io.mem_write(slot, &h)?;
+    io.mem_write(slot + SLOT_HDR, payload)?;
+    Ok(())
+}
+
+/// Stages a message at ring index `index` without bumping the writer, for
+/// batched producers: a poll server stages one response per request in a
+/// round and then calls [`publish`] once, so the whole batch shares a
+/// single persistence barrier and a single linearizing writer store.
+///
+/// `ack` is the consumer acknowledgement the caller already read for the
+/// round (re-reading it per message would defeat the batching). Staged
+/// slots are invisible until published: a crash before [`publish`] leaves
+/// the writer untouched and the batch is simply re-staged on replay.
+pub fn stage_at<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    index: u64,
+    ack: u64,
+    seq: u64,
+    payload: &[u8],
+) -> Result<(), RingError> {
+    if payload.len() > layout.max_payload() {
+        return Err(RingError::TooLarge);
+    }
+    let in_use = index
+        .checked_sub(ack)
+        .ok_or(RingError::Corrupt("ring ack ahead of writer"))?;
+    if in_use >= layout.nslots {
+        return Err(RingError::Full);
+    }
+    write_slot(io, layout, index, seq, payload)
+}
+
+/// Publishes every slot staged below `new_writer`: one persistence
+/// barrier covering all staged slot contents, then a single writer store
+/// as the batch's linearization point.
+///
+/// Ordering point: the slot contents (including checksums) must be
+/// durable before the writer bump publishes them — under ADR an unflushed
+/// slot line could otherwise be dropped while the bump survives, leaving
+/// a published-but-torn slot. A crash between the flush and the store
+/// leaves fully written slots that were never published.
+pub fn publish<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    new_writer: u64,
+) -> Result<(), RingError> {
+    io.flush();
+    io.crash_hook("ring.slot_written");
+    io.mem_write_u64(layout.base + hdr::WRITER, new_writer)?;
+    Ok(())
 }
 
 /// Reads the message at ring index `index` without consuming it.
@@ -211,23 +285,46 @@ pub fn read_at<M: MemIo>(
     layout: &RingLayout,
     index: u64,
 ) -> Result<RingMsg, RingError> {
+    let mut payload = Vec::new();
+    let info = read_into(io, layout, index, &mut payload)?;
+    payload.truncate(info.len);
+    Ok(RingMsg { seq: info.seq, version: info.version, payload })
+}
+
+/// Zero-copy variant of [`read_at`]: reads the slot at `index` into the
+/// caller's reusable buffer and returns the validated metadata.
+///
+/// The buffer is grown to the ring's payload capacity on first use and
+/// never shrunk, so a poll loop reading requests round after round does a
+/// single allocation for the life of the server. The payload occupies
+/// `buf[..info.len]`; the CRC is validated in place against exactly those
+/// bytes before the caller sees them. Two `MemIo` round trips (one
+/// 24-byte slot-header read, one payload read) replace the five of the
+/// old per-field path.
+pub fn read_into<M: MemIo>(
+    io: &M,
+    layout: &RingLayout,
+    index: u64,
+    buf: &mut Vec<u8>,
+) -> Result<SlotInfo, RingError> {
     let slot = layout.slot_addr(index);
-    let version = io.mem_read_u64(slot)?;
-    let seq = io.mem_read_u64(slot + 8)?;
-    let mut lb = [0u8; 4];
-    io.mem_read(slot + 16, &mut lb)?;
-    let len = u32::from_le_bytes(lb) as usize;
+    let mut h = [0u8; SLOT_HDR as usize];
+    io.mem_read(slot, &mut h)?;
+    let version = u64::from_le_bytes(h[..8].try_into().unwrap());
+    let seq = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(h[16..20].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(h[20..24].try_into().unwrap());
     if len > layout.max_payload() {
         return Err(RingError::Corrupt("slot length exceeds payload capacity"));
     }
-    let mut cb = [0u8; 4];
-    io.mem_read(slot + 20, &mut cb)?;
-    let mut payload = vec![0u8; len];
-    io.mem_read(slot + SLOT_HDR, &mut payload)?;
-    if u32::from_le_bytes(cb) != slot_crc(version, seq, &payload) {
+    if buf.len() < len {
+        buf.resize(layout.max_payload(), 0);
+    }
+    io.mem_read(slot + SLOT_HDR, &mut buf[..len])?;
+    if crc != slot_crc(version, seq, &buf[..len]) {
         return Err(RingError::Corrupt("slot checksum mismatch"));
     }
-    Ok(RingMsg { seq, version, payload })
+    Ok(SlotInfo { seq, version, len })
 }
 
 /// Pops the next message if one is available below `limit` (pass the
@@ -652,6 +749,87 @@ mod tests {
         init(&m, &l).unwrap();
         let big = vec![0u8; l.max_payload() + 1];
         assert_eq!(push(&m, &l, 0, &big), Err(RingError::TooLarge));
+    }
+
+    #[test]
+    fn read_into_reuses_buffer_without_allocating() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(2);
+        push(&m, &l, 11, b"first message").unwrap();
+        push(&m, &l, 12, b"2nd").unwrap();
+        let mut buf = Vec::new();
+        let a = read_into(&m, &l, 0, &mut buf).unwrap();
+        assert_eq!(a, SlotInfo { seq: 11, version: 2, len: 13 });
+        assert_eq!(&buf[..a.len], b"first message");
+        // Buffer grew to the slot capacity once; the second read reuses it.
+        let cap = buf.capacity();
+        let b = read_into(&m, &l, 1, &mut buf).unwrap();
+        assert_eq!(b, SlotInfo { seq: 12, version: 2, len: 3 });
+        assert_eq!(&buf[..b.len], b"2nd");
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn read_into_validates_crc_over_exact_length() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        push(&m, &l, 5, b"checked").unwrap();
+        // Flip a payload bit: the in-place validation must catch it even
+        // though the buffer may hold stale bytes beyond `len`.
+        let off = l.base + hdr::SIZE + SLOT_HDR;
+        let mut b = [0u8; 1];
+        m.mem_read(off, &mut b).unwrap();
+        m.mem_write(off, &[b[0] ^ 0x01]).unwrap();
+        let mut buf = vec![0xAA; 64];
+        assert_eq!(
+            read_into(&m, &l, 0, &mut buf),
+            Err(RingError::Corrupt("slot checksum mismatch"))
+        );
+    }
+
+    #[test]
+    fn staged_slots_invisible_until_published() {
+        let m = mem();
+        let l = layout();
+        init(&m, &l).unwrap();
+        m.set_version(3);
+        let writer = header(&m, &l, hdr::WRITER).unwrap();
+        let ack = header(&m, &l, hdr::ACK).unwrap();
+        stage_at(&m, &l, writer, ack, 20, b"a").unwrap();
+        stage_at(&m, &l, writer + 1, ack, 21, b"b").unwrap();
+        stage_at(&m, &l, writer + 2, ack, 22, b"c").unwrap();
+        // Nothing published yet: consumers see an empty ring.
+        assert_eq!(header(&m, &l, hdr::WRITER).unwrap(), 0);
+        assert_eq!(pop_below(&m, &l, hdr::WRITER).unwrap(), None);
+        // One publish releases the whole batch in order.
+        publish(&m, &l, writer + 3).unwrap();
+        for (i, seq) in [20u64, 21, 22].iter().enumerate() {
+            let msg = pop_below(&m, &l, hdr::WRITER).unwrap().unwrap();
+            assert_eq!(msg.seq, *seq, "message {i}");
+            assert_eq!(msg.version, 3);
+        }
+    }
+
+    #[test]
+    fn stage_respects_capacity_against_snapshotted_ack() {
+        let m = mem();
+        let l = layout(); // 4 slots
+        init(&m, &l).unwrap();
+        let ack = 0;
+        for i in 0..4 {
+            stage_at(&m, &l, i, ack, i, b"x").unwrap();
+        }
+        assert_eq!(stage_at(&m, &l, 4, ack, 4, b"x"), Err(RingError::Full));
+        // A fresher ack frees slots for staging.
+        assert_eq!(stage_at(&m, &l, 4, 1, 4, b"x"), Ok(()));
+        // Corrupt ack (ahead of index) is corruption, not Full.
+        assert_eq!(
+            stage_at(&m, &l, 2, 7, 9, b"x"),
+            Err(RingError::Corrupt("ring ack ahead of writer"))
+        );
     }
 
     #[test]

@@ -143,6 +143,14 @@ impl<'a> UserCtx<'a> {
         self.kernel.pers.dev.crash_schedule().site(site);
     }
 
+    /// The kernel's metrics registry, so in-SLS runtime code (the
+    /// poll-mode NIC loops) can attribute per-shard counters without a
+    /// side channel. Recording is feature-gated to a no-op when the
+    /// `metrics` feature is off.
+    pub fn metrics(&self) -> &treesls_obs::MetricsRegistry {
+        &self.kernel.metrics
+    }
+
     // ---- registers -------------------------------------------------------
 
     /// Reads general-purpose register `i`.

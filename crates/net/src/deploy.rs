@@ -46,8 +46,14 @@ pub struct DeploySpec {
     /// NIC behaviour (queue count, ring geometry, credits, ext-sync,
     /// wire faults).
     pub cfg: NicConfig,
-    /// Requests each server loop serves per step.
+    /// Requests each server loop serves per step (and the maximum round
+    /// size a queue releases per batched TX publish).
     pub batch: usize,
+    /// When `Some(n)`, pin queue `q`'s server thread to simulated core
+    /// `q % n`, aligning the service shard with the core that owns its
+    /// dirty pages (partial quiescence then parks exactly the cores
+    /// whose shards wrote). `None` leaves scheduling unconstrained.
+    pub pin_cores: Option<u32>,
 }
 
 /// A running NIC-backed deployment.
@@ -75,13 +81,27 @@ pub fn deploy(
     let pmo = kernel.create_pmo(g, spec.heap_pages, PmoKind::Data)?;
     kernel.map_region(vs, Vpn(0), spec.heap_pages, pmo, 0, CapRights::ALL)?;
 
-    // Eternal ring area above the heap.
+    // Eternal ring area above the heap: one eternal PMO *per queue*, so
+    // each shard's ring pair is its own checkpoint object. A queue's
+    // request traffic then dirties only its own PMO — the dirty queue
+    // attributes ring writes per shard, partial quiescence parks only the
+    // cores whose shards produced, and the address map is unchanged
+    // (queue `q` still lands at `ring_base + q·2·ring_len`).
     let ring_base_vpn = spec.heap_pages + 16;
     let layout =
         NicLayout::new(&spec.cfg, ring_base_vpn * 4096, spec.cursor_base, spec.cursor_stride);
-    let ring_pages = layout.span() / 4096;
-    let epmo = kernel.create_pmo(g, ring_pages, PmoKind::Eternal)?;
-    kernel.map_region(vs, Vpn(ring_base_vpn), ring_pages, epmo, 0, CapRights::ALL)?;
+    let pages_per_queue = 2 * layout.ring_len() / 4096;
+    for q in 0..spec.cfg.queues as u64 {
+        let epmo = kernel.create_pmo(g, pages_per_queue, PmoKind::Eternal)?;
+        kernel.map_region(
+            vs,
+            Vpn(ring_base_vpn + q * pages_per_queue),
+            pages_per_queue,
+            epmo,
+            0,
+            CapRights::ALL,
+        )?;
+    }
 
     let nic = VirtualNic::new(Arc::clone(kernel), vs, layout, &spec.cfg)?;
     let mut server_threads = Vec::new();
@@ -96,9 +116,14 @@ pub fn deploy(
                 service: service(q),
                 batch: spec.batch,
                 doorbell_slot: cap_slot_of(kernel, g, doorbell),
+                queue: q,
+                scratch: Default::default(),
             }) as Arc<dyn Program>,
         );
         let tid = kernel.create_thread(g, vs, &prog, ThreadContext::new())?;
+        if let Some(n) = spec.pin_cores {
+            kernel.sched.set_affinity(tid, Some(q as u32 % n.max(1)));
+        }
         server_threads.push(tid);
     }
     manager.register_callback(Arc::clone(&nic) as _);

@@ -59,10 +59,12 @@ pub struct FaultState {
 }
 
 impl FaultState {
+    /// Creates the per-NIC fault state for `cfg` (packet counter at 0).
     pub fn new(cfg: NetFaultConfig) -> Self {
         Self { cfg, packet: AtomicU64::new(0) }
     }
 
+    /// The configuration this state perturbs packets with.
     pub fn cfg(&self) -> &NetFaultConfig {
         &self.cfg
     }

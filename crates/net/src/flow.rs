@@ -22,6 +22,33 @@ pub fn queue_for(flow: u64, queues: usize) -> usize {
     (flow_hash(flow) % queues.max(1) as u64) as usize
 }
 
+/// Derives a flow id from a record key's bytes (FNV-1a 64).
+///
+/// This is the RSS/shard alignment contract: a client that sends a
+/// request for key `k` with `flow = key_flow(k)` lands on queue
+/// `queue_for(key_flow(k), n)`, and a service sharded with
+/// [`shard_for`]`(k, n)` owns exactly that queue — so a queue's requests
+/// never touch another shard's state and the hot path takes no
+/// cross-shard lock. Both functions are deterministic over the same key
+/// bytes; neither side needs to coordinate.
+pub fn key_flow(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// The service shard that owns `key` in an `shards`-way partition.
+///
+/// Defined as `queue_for(key_flow(key), shards)` so the shard function
+/// and the RSS steering decision are the same function of the same key
+/// bytes (see [`key_flow`]).
+pub fn shard_for(key: &[u8], shards: usize) -> usize {
+    queue_for(key_flow(key), shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,6 +79,39 @@ mod tests {
     fn single_queue_takes_everything() {
         for flow in [0u64, 1, u64::MAX] {
             assert_eq!(queue_for(flow, 1), 0);
+        }
+    }
+
+    #[test]
+    fn shard_and_queue_agree_on_key_bytes() {
+        // The RSS/shard alignment contract: for every key, the queue the
+        // client's flow id steers to IS the shard that owns the key.
+        for id in 0..512u64 {
+            let mut key = [0u8; 16];
+            key[..4].copy_from_slice(b"user");
+            key[4..12].copy_from_slice(&id.to_le_bytes());
+            for shards in [1usize, 2, 4, 8, 16] {
+                assert_eq!(
+                    shard_for(&key, shards),
+                    queue_for(key_flow(&key), shards),
+                    "key {id} shards {shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_flow_spreads_shards() {
+        let shards = 8;
+        let mut hits = vec![0u32; shards];
+        for id in 0..4096u64 {
+            let mut key = [0u8; 16];
+            key[..4].copy_from_slice(b"user");
+            key[4..12].copy_from_slice(&id.to_le_bytes());
+            hits[shard_for(&key, shards)] += 1;
+        }
+        for (s, &h) in hits.iter().enumerate() {
+            assert!(h > 256, "shard {s} got only {h}/4096 keys");
         }
     }
 }

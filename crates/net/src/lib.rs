@@ -20,11 +20,13 @@
 //! * [`nic`] — the NIC device: queues, credits, doorbells, and the
 //!   checkpoint/restore callbacks (visibility barrier, uniform re-arm).
 //! * [`runtime`] — the poll-mode server loop and the [`Service`] trait.
-//! * [`deploy`] — spawning a NIC-backed service process inside the SLS.
+//! * [`deploy`](mod@deploy) — spawning a NIC-backed service process inside the SLS.
 //! * [`repl`] — the checkpoint-shipping replication channel: a dedicated
 //!   delta/ack queue pair between a primary and each replica, with the
 //!   same wire-fault model, plus the [`ReleaseGate`] the NIC consults to
 //!   bound TX visibility at the quorum-durable round.
+
+#![deny(missing_docs)]
 
 pub mod deploy;
 pub mod fault;
@@ -35,7 +37,7 @@ pub mod runtime;
 
 pub use deploy::{deploy, DeploySpec, NicDeployment};
 pub use fault::{FaultState, NetFaultConfig, Perturbation};
-pub use flow::{flow_hash, queue_for};
+pub use flow::{flow_hash, key_flow, queue_for, shard_for};
 pub use nic::{CallError, CallOutcome, NetError, NicConfig, NicLayout, VirtualNic};
 pub use repl::{HeapMem, ReleaseGate, ReplChannel, ShipError};
-pub use runtime::{PollServer, Service, ServiceError};
+pub use runtime::{PollServer, Scratch, Service, ServiceError};

@@ -38,5 +38,5 @@ mod metrics;
 mod recorder;
 
 pub use json::{Json, JsonError};
-pub use metrics::{MetricsRegistry, MetricsSnapshot, PauseHistogram, PauseStats};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, PauseHistogram, PauseStats, NET_SHARDS};
 pub use recorder::{EventKind, FlightEvent, FlightRecorder, SLOT_LEN};

@@ -25,6 +25,12 @@ use crate::json::Json;
 /// Number of log₂ buckets in [`PauseHistogram`]; covers 1 ns..2⁶³ ns.
 const BUCKETS: usize = 64;
 
+/// Number of per-shard service counters the registry carries. Shards
+/// beyond this fold into their index modulo `NET_SHARDS` — fixed-size so
+/// the hot-path record stays a single relaxed `fetch_add` with no
+/// allocation or locking.
+pub const NET_SHARDS: usize = 16;
+
 /// Log-bucketed latency histogram for stop-the-world pauses.
 ///
 /// Bucket *i* holds samples whose bit length is *i*, i.e. the range
@@ -182,6 +188,10 @@ pub struct MetricsRegistry {
     net_visible_lag_sum: AtomicU64,
     net_rx_occupancy_hwm: AtomicU64,
     net_tx_occupancy_hwm: AtomicU64,
+    net_shard_requests: [AtomicU64; NET_SHARDS],
+    net_tx_batches: AtomicU64,
+    net_tx_batched_responses: AtomicU64,
+    tx_batch: PauseHistogram,
     repl_rounds_shipped: AtomicU64,
     repl_records_shipped: AtomicU64,
     repl_pages_shipped: AtomicU64,
@@ -383,6 +393,25 @@ impl MetricsRegistry {
         let _ = (lag_max, lag_sum, rx_occupancy, tx_occupancy);
     }
 
+    /// Records one round-batched TX publish by a poll-mode service shard:
+    /// `responses` requests were served and released with a single ring
+    /// publish (one persistence barrier, one writer store). Attributes
+    /// the served count to `shard` (folded modulo [`NET_SHARDS`]) and
+    /// feeds the batch-size histogram — samples are *response counts*,
+    /// not nanoseconds, so read its quantiles as "responses per publish".
+    #[inline]
+    pub fn record_net_batch(&self, shard: usize, responses: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.net_shard_requests[shard % NET_SHARDS].fetch_add(responses, Ordering::Relaxed);
+            self.net_tx_batches.fetch_add(1, Ordering::Relaxed);
+            self.net_tx_batched_responses.fetch_add(responses, Ordering::Relaxed);
+            self.tx_batch.record(responses);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = (shard, responses);
+    }
+
     /// Records one checkpoint-round delta shipped to replication peers.
     #[inline]
     pub fn record_repl_ship(&self, records: u64, pages: u64, bytes: u64) {
@@ -486,6 +515,10 @@ impl MetricsRegistry {
                 net_visible_lag_sum: l(&self.net_visible_lag_sum),
                 net_rx_occupancy_hwm: l(&self.net_rx_occupancy_hwm),
                 net_tx_occupancy_hwm: l(&self.net_tx_occupancy_hwm),
+                net_shard_requests: std::array::from_fn(|i| l(&self.net_shard_requests[i])),
+                net_tx_batches: l(&self.net_tx_batches),
+                net_tx_batched_responses: l(&self.net_tx_batched_responses),
+                tx_batch: self.tx_batch.stats(),
                 repl_rounds_shipped: l(&self.repl_rounds_shipped),
                 repl_records_shipped: l(&self.repl_records_shipped),
                 repl_pages_shipped: l(&self.repl_pages_shipped),
@@ -576,6 +609,15 @@ pub struct MetricsSnapshot {
     pub net_rx_occupancy_hwm: u64,
     /// High-water mark of TX ring occupancy across all queues.
     pub net_tx_occupancy_hwm: u64,
+    /// Requests served per service shard (index modulo [`NET_SHARDS`]).
+    pub net_shard_requests: [u64; NET_SHARDS],
+    /// Round-batched TX publishes (one flush + one writer store each).
+    pub net_tx_batches: u64,
+    /// Responses released across all batched publishes.
+    pub net_tx_batched_responses: u64,
+    /// Distribution of responses per TX publish (samples are counts, not
+    /// nanoseconds).
+    pub tx_batch: PauseStats,
     /// Checkpoint-round deltas shipped to replication peers.
     pub repl_rounds_shipped: u64,
     /// Backup records streamed to replication peers.
@@ -653,6 +695,13 @@ impl MetricsSnapshot {
             net_visible_lag_sum: self.net_visible_lag_sum,
             net_rx_occupancy_hwm: self.net_rx_occupancy_hwm,
             net_tx_occupancy_hwm: self.net_tx_occupancy_hwm,
+            net_shard_requests: std::array::from_fn(|i| {
+                self.net_shard_requests[i] - earlier.net_shard_requests[i]
+            }),
+            net_tx_batches: self.net_tx_batches - earlier.net_tx_batches,
+            net_tx_batched_responses: self.net_tx_batched_responses
+                - earlier.net_tx_batched_responses,
+            tx_batch: self.tx_batch,
             repl_rounds_shipped: self.repl_rounds_shipped - earlier.repl_rounds_shipped,
             repl_records_shipped: self.repl_records_shipped - earlier.repl_records_shipped,
             repl_pages_shipped: self.repl_pages_shipped - earlier.repl_pages_shipped,
@@ -738,6 +787,13 @@ impl MetricsSnapshot {
                     ("visible_lag_sum".into(), u(self.net_visible_lag_sum)),
                     ("rx_occupancy_hwm".into(), u(self.net_rx_occupancy_hwm)),
                     ("tx_occupancy_hwm".into(), u(self.net_tx_occupancy_hwm)),
+                    (
+                        "shard_requests".into(),
+                        Json::Arr(self.net_shard_requests.iter().map(|&c| u(c)).collect()),
+                    ),
+                    ("tx_batches".into(), u(self.net_tx_batches)),
+                    ("tx_batched_responses".into(), u(self.net_tx_batched_responses)),
+                    ("tx_batch".into(), self.tx_batch.to_json()),
                 ]),
             ),
             (
@@ -838,6 +894,9 @@ mod tests {
         r.record_net_barrier(2, 4, 6, 11);
         r.set_quiesced_cores(3);
         r.record_epoch_conflict();
+        r.record_net_batch(2, 10);
+        r.record_net_batch(2, 6);
+        r.record_net_batch(17, 4); // folds to shard 1
         let a = r.snapshot();
         if cfg!(feature = "metrics") {
             assert_eq!(a.checkpoints, 1);
@@ -856,14 +915,25 @@ mod tests {
             assert_eq!(a.quiesced_cores, 3);
             assert_eq!(a.epoch_conflicts, 1);
             assert_eq!(a.pause.count, 1);
+            assert_eq!(a.net_shard_requests[2], 16);
+            assert_eq!(a.net_shard_requests[1], 4);
+            assert_eq!(a.net_tx_batches, 3);
+            assert_eq!(a.net_tx_batched_responses, 20);
+            // Batch histogram samples are response counts.
+            assert_eq!(a.tx_batch.count, 3);
+            assert_eq!(a.tx_batch.max_ns, 10);
         } else {
             assert_eq!(a, MetricsSnapshot::default());
         }
         r.record_checkpoint(600_000);
+        r.record_net_batch(2, 8);
         let d = r.snapshot().since(&a);
         if cfg!(feature = "metrics") {
             assert_eq!(d.checkpoints, 1);
             assert_eq!(d.hybrid_migrated_in, 0);
+            assert_eq!(d.net_shard_requests[2], 8);
+            assert_eq!(d.net_shard_requests[1], 0);
+            assert_eq!(d.net_tx_batches, 1);
         }
     }
 

@@ -29,6 +29,8 @@
 //! * [`cluster`] — the 1-primary + N-replica harness with the fault
 //!   drill levers (partition, crash, corruption, failover).
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod replica;
 pub mod ship;

@@ -367,11 +367,26 @@ pub enum PromoteError {
     /// The shipped root id has no record.
     MissingRoot,
     /// A record references an id with no record (`from → to`).
-    MissingRef { from: u64, to: u64 },
+    MissingRef {
+        /// Raw ORoot id of the referencing record.
+        from: u64,
+        /// Raw ORoot id the reference points at.
+        to: u64,
+    },
     /// A PMO manifest entry has no page image.
-    MissingPage { oroot: u64, idx: u64 },
+    MissingPage {
+        /// Raw ORoot id of the PMO.
+        oroot: u64,
+        /// Missing page index.
+        idx: u64,
+    },
     /// A page image's CRC does not match the manifest.
-    PageMismatch { oroot: u64, idx: u64 },
+    PageMismatch {
+        /// Raw ORoot id of the PMO.
+        oroot: u64,
+        /// Mismatching page index.
+        idx: u64,
+    },
     /// NVM allocation failed while materializing.
     Alloc(AllocError),
     /// Restore of the materialized image failed.

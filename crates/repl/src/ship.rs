@@ -133,10 +133,15 @@ struct Peer {
 /// Per-round shipping telemetry (consumed by the bench harness).
 #[derive(Debug, Clone, Default)]
 pub struct ShipStats {
+    /// Checkpoint round the stats cover.
     pub round: u64,
+    /// Backup records shipped in the round's delta.
     pub records: u64,
+    /// Tombstones shipped.
     pub tombstones: u64,
+    /// Page images shipped.
     pub pages: u64,
+    /// Encoded frame bytes shipped (all peers).
     pub bytes: u64,
     /// Peers that received a snapshot this round.
     pub snapshots: u64,
@@ -144,6 +149,7 @@ pub struct ShipStats {
     pub wait_ns: u64,
     /// Machines durable at this round when the wait ended.
     pub durable: u64,
+    /// Whether the round ended below quorum (degraded mode).
     pub degraded: bool,
 }
 

@@ -22,67 +22,187 @@
 pub enum Frame {
     /// Opens the delta for `round`; the counts let the replica verify it
     /// saw every frame before applying (a dropped frame fails the check).
-    DeltaBegin { epoch: u64, round: u64, records: u32, tombstones: u32, pages: u32 },
+    DeltaBegin {
+        /// Primary's shipping epoch (bumped on failover/promotion).
+        epoch: u64,
+        /// Checkpoint round the delta carries the state of.
+        round: u64,
+        /// Number of `Record` frames in the delta.
+        records: u32,
+        /// Number of `Tombstone` frames in the delta.
+        tombstones: u32,
+        /// Number of `Page` frames in the delta.
+        pages: u32,
+    },
     /// One rewritten backup record.
-    Record { oroot: u64, rec: WireRecord },
+    Record {
+        /// Raw ORoot id of the record on the primary.
+        oroot: u64,
+        /// The record body in wire form.
+        rec: WireRecord,
+    },
     /// One 4 KiB page image of a PMO record in the same round.
-    Page { oroot: u64, idx: u64, version: u64, crc: u32, data: Box<[u8; 4096]> },
+    Page {
+        /// Raw ORoot id of the owning PMO.
+        oroot: u64,
+        /// Page index within the PMO.
+        idx: u64,
+        /// Checkpoint version of the image.
+        version: u64,
+        /// CRC of `data`, cross-checked against the PMO's page manifest.
+        crc: u32,
+        /// The page image.
+        data: Box<[u8; 4096]>,
+    },
     /// An ORoot deleted this round.
-    Tombstone { oroot: u64 },
+    Tombstone {
+        /// Raw ORoot id being deleted.
+        oroot: u64,
+    },
     /// Closes the delta; `root` is the root cap group's raw ORoot id.
     /// Applying is atomic at this frame.
-    DeltaCommit { epoch: u64, round: u64, root: u64 },
+    DeltaCommit {
+        /// Primary's shipping epoch.
+        epoch: u64,
+        /// Round being committed.
+        round: u64,
+        /// Raw ORoot id of the root cap group.
+        root: u64,
+    },
     /// Opens a full-state transfer (resync) at `round`.
-    SnapBegin { epoch: u64, round: u64, records: u32, pages: u32 },
+    SnapBegin {
+        /// Primary's shipping epoch.
+        epoch: u64,
+        /// Round the snapshot captures.
+        round: u64,
+        /// Number of `Record` frames in the snapshot.
+        records: u32,
+        /// Number of `Page` frames in the snapshot.
+        pages: u32,
+    },
     /// Closes a full-state transfer; replaces the replica's store whole.
-    SnapCommit { epoch: u64, round: u64, root: u64 },
+    SnapCommit {
+        /// Primary's shipping epoch.
+        epoch: u64,
+        /// Round the snapshot captures.
+        round: u64,
+        /// Raw ORoot id of the root cap group.
+        root: u64,
+    },
     /// Replica → primary: `round` is durably applied on this replica.
-    Ack { epoch: u64, round: u64 },
+    Ack {
+        /// Epoch the ack belongs to (stale-epoch acks are ignored).
+        epoch: u64,
+        /// Highest round durably applied.
+        round: u64,
+    },
     /// Replica → primary: the delta stream is unusable (gap, corruption,
     /// fresh boot); ship a snapshot.
-    ResyncRequest { epoch: u64, applied_round: u64 },
+    ResyncRequest {
+        /// Epoch the request was issued under.
+        epoch: u64,
+        /// Round the replica last applied (0 for a fresh store).
+        applied_round: u64,
+    },
 }
 
 /// A backup record in wire form (raw ids, page manifest).
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRecord {
-    CapGroup { name: String, caps: Vec<Option<(u64, u32)>> },
+    /// A capability group: its name and its slots as
+    /// `Option<(target_oroot, rights_bits)>`.
+    CapGroup {
+        /// Group name (process identity across promotion).
+        name: String,
+        /// Capability slots; `None` for empty slots.
+        caps: Vec<Option<(u64, u32)>>,
+    },
+    /// A thread: full register file plus scheduling references.
     Thread {
+        /// General-purpose registers.
         regs: [u64; 16],
+        /// Program counter.
         pc: u64,
+        /// Scheduling state (with raw blocked-on references).
         state: WireThreadState,
+        /// Program name resolved through the registry on promotion.
         program: String,
+        /// Raw ORoot id of the owning cap group.
         cap_group: u64,
+        /// Raw ORoot id of the address space.
         vmspace: u64,
     },
-    VmSpace { regions: Vec<WireRegion> },
-    Pmo { npages: u64, eternal: bool, synced_tick: u64, pages: Vec<(u64, u64, u32)> },
+    /// An address space as a list of mapped regions.
+    VmSpace {
+        /// The mapped regions.
+        regions: Vec<WireRegion>,
+    },
+    /// A physical memory object: geometry plus the page manifest
+    /// `(index, version, crc)` the delta's `Page` frames must satisfy.
+    Pmo {
+        /// Page count.
+        npages: u64,
+        /// Whether the PMO is eternal (NVM-direct, never rolled back).
+        eternal: bool,
+        /// Checkpoint tick of the PMO's last sync.
+        synced_tick: u64,
+        /// Per-page manifest entries `(index, version, crc)`.
+        pages: Vec<(u64, u64, u32)>,
+    },
+    /// An IPC connection: queued messages and parked reply slots.
     IpcConnection {
+        /// Thread blocked in `recv`, if any (raw ORoot id).
         recv_waiter: Option<u64>,
+        /// Queued `(sender_thread, message)` pairs.
         queue: Vec<(u64, Vec<u8>)>,
+        /// Parked `(sender_thread, reply)` pairs.
         replies: Vec<(u64, Vec<u8>)>,
     },
-    Notification { count: u64, waiters: Vec<u64> },
-    IrqNotification { line: u32, count: u64, waiters: Vec<u64> },
+    /// A notification object: its count and blocked waiters.
+    Notification {
+        /// Pending signal count.
+        count: u64,
+        /// Raw ORoot ids of blocked waiter threads.
+        waiters: Vec<u64>,
+    },
+    /// An IRQ notification object bound to a line.
+    IrqNotification {
+        /// Interrupt line number.
+        line: u32,
+        /// Pending signal count.
+        count: u64,
+        /// Raw ORoot ids of blocked waiter threads.
+        waiters: Vec<u64>,
+    },
 }
 
 /// Thread scheduling state with raw ORoot references.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireThreadState {
+    /// Runnable (or running; on-CPU state is not shipped).
     Runnable,
+    /// Blocked waiting on a notification (raw ORoot id).
     BlockedNotification(u64),
+    /// Blocked in IPC receive on a connection (raw ORoot id).
     BlockedIpcRecv(u64),
+    /// Blocked awaiting an IPC reply on a connection (raw ORoot id).
     BlockedIpcReply(u64),
+    /// Exited; kept for capability-table consistency.
     Exited,
 }
 
 /// A VM region with a raw PMO reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WireRegion {
+    /// Base virtual page number.
     pub base: u64,
+    /// Region length in pages.
     pub npages: u64,
+    /// Raw ORoot id of the backing PMO.
     pub pmo: u64,
+    /// Page offset into the PMO.
     pub pmo_off: u64,
+    /// Permission bits (`CapRights`).
     pub perm: u32,
 }
 

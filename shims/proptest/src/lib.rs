@@ -4,8 +4,8 @@
 //! shim provides the slice of proptest the test suites use: the
 //! [`proptest!`] macro, strategies over integer ranges / tuples / `Just` /
 //! [`collection::vec`] / [`option::of`] / [`any`], `prop_map`,
-//! [`prop_oneof!`], the `prop_assert*` macros, [`ProptestConfig`], and
-//! [`TestCaseError`].
+//! [`prop_oneof!`], the `prop_assert*` macros, [`ProptestConfig`](test_runner::ProptestConfig), and
+//! [`TestCaseError`](test_runner::TestCaseError).
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
