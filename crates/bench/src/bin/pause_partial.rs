@@ -50,6 +50,9 @@ fn config(full_quiesce: bool) -> SystemConfig {
     c.kernel.nvm_frames = 16_384;
     c.kernel.dram_pages = 256;
     c.kernel.force_full_quiesce = full_quiesce;
+    // This bench measures the PR 6 *parked* partial-quiescence protocol
+    // (the epoch-concurrent flip parks nobody — `pause_epoch` covers it).
+    c.kernel.epoch_concurrent = false;
     c
 }
 
@@ -58,6 +61,9 @@ struct ModeResult {
     p95_paused: Duration,
     max_paused: Duration,
     median_stopped: usize,
+    /// Stop-window distribution, consumed from the metrics registry's
+    /// exported pause histogram rather than recomputed here.
+    stw: treesls::PauseStats,
 }
 
 fn run_mode(full_quiesce: bool, rounds: usize) -> ModeResult {
@@ -92,6 +98,7 @@ fn run_mode(full_quiesce: bool, rounds: usize) -> ModeResult {
         paused.push(stw.take_paused_ns());
         stopped.push(stw.stopped_cores());
     }
+    let stw_stats = sys.metrics_snapshot().pause;
     sys.stop();
 
     paused.sort_unstable();
@@ -101,6 +108,7 @@ fn run_mode(full_quiesce: bool, rounds: usize) -> ModeResult {
         p95_paused: Duration::from_nanos(paused[(paused.len() * 95 / 100).min(paused.len() - 1)]),
         max_paused: Duration::from_nanos(*paused.last().expect("rounds > 0")),
         median_stopped: stopped[stopped.len() / 2],
+        stw: stw_stats,
     }
 }
 
@@ -128,8 +136,12 @@ fn main() {
         "Partial quiescence: parked-core pause vs the full-stop oracle",
         &opts,
     );
+    // Parked-time columns are exact per-round samples; the StwP50<= /
+    // StwP99<= stop-window columns are log₂-bucket upper bounds consumed
+    // from the registry's exported pause histogram (see OBSERVABILITY.md).
     let mut table = Table::new(&[
         "Mode", "Cores", "DirtyOwners", "Rounds", "StoppedMed", "MedianPaused", "P95", "Max",
+        "StwP50<=", "StwP99<=",
     ]);
     let full = run_mode(true, rounds);
     let partial = run_mode(false, rounds);
@@ -143,6 +155,8 @@ fn main() {
             us(r.median_paused),
             us(r.p95_paused),
             us(r.max_paused),
+            format!("{:.2}", r.stw.p50_ns as f64 / 1e3),
+            format!("{:.2}", r.stw.p99_ns as f64 / 1e3),
         ]);
     }
     sink.table("pause_partial", table);

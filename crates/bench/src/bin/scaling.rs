@@ -8,7 +8,13 @@
 //!
 //! Flags beyond the common set: `--rounds N` (measured checkpoints per
 //! size), `--gate R` (exit nonzero if `median(largest)/median(smallest)`
-//! exceeds `R` — the CI perf-smoke job passes `--gate 1.5`).
+//! exceeds `R`). Pause quantiles are consumed from the metrics
+//! registry's exported pause histogram (`MetricsSnapshot::pause`), not
+//! recomputed from raw per-round samples — so medians are log₂-bucket
+//! upper bounds and the ratio is quantized to powers of two: same
+//! bucket = 1.0, one bucket up = 2.0. The CI perf-smoke job passes
+//! `--gate 2.0` (flat within one bucket; an O(objects) regression
+//! across the 10× sweep shows up as ≥ 8×).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -56,7 +62,6 @@ fn run_size(objects: usize, rounds: usize) -> SizeResult {
     mgr.checkpoint().expect("settle checkpoint");
     let base = kernel.metrics.snapshot();
 
-    let mut pauses: Vec<Duration> = Vec::with_capacity(rounds);
     for r in 0..rounds {
         // Touch a fixed-size working set, spread deterministically across
         // the tree so shard and slot locality do not favour one size.
@@ -64,16 +69,20 @@ fn run_size(objects: usize, rounds: usize) -> SizeResult {
             let idx = (r.wrapping_mul(17) + d.wrapping_mul(31)) % objects;
             kernel.signal_object(notifs[idx]).expect("signal");
         }
-        let b = mgr.checkpoint().expect("measured checkpoint");
-        pauses.push(b.total_pause);
+        mgr.checkpoint().expect("measured checkpoint");
     }
     let snap = kernel.metrics.snapshot().since(&base);
-    pauses.sort();
+    // Quantiles come straight from the registry's exported pause
+    // histogram (the same numbers `MetricsSnapshot::to_json()` emits) —
+    // the bench no longer keeps its own raw sample vector. The
+    // cumulative histogram includes the two warm-up rounds, which can
+    // only inflate the tail, never flatten a real regression.
+    let p = snap.pause;
     SizeResult {
         objects,
-        median: pauses[pauses.len() / 2],
-        p95: pauses[(pauses.len() * 95 / 100).min(pauses.len() - 1)],
-        max: *pauses.last().expect("rounds > 0"),
+        median: Duration::from_nanos(p.p50_ns),
+        p95: Duration::from_nanos(p.p95_ns),
+        max: Duration::from_nanos(p.max_ns),
         drained_per_round: snap.tree_dirty_drained / rounds as u64,
         full_walks: snap.tree_full_walks,
     }
@@ -103,8 +112,10 @@ fn main() {
         "Pause scaling: total objects sweep at a fixed dirty working set",
         &opts,
     );
+    // "≤" columns are log₂-bucket upper bounds (see OBSERVABILITY.md);
+    // the max is exact.
     let mut table = Table::new(&[
-        "Objects", "Dirty/round", "Rounds", "MedianPause", "P95", "Max", "Drained/round",
+        "Objects", "Dirty/round", "Rounds", "P50<=", "P95<=", "Max", "Drained/round",
         "FullWalks",
     ]);
     let mut results = Vec::new();

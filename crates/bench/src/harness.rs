@@ -145,6 +145,7 @@ impl BenchOpts {
                 force_full_walk: false,
                 full_walk_interval: 64,
                 force_full_quiesce: false,
+                epoch_concurrent: true,
                 latency: if self.optane { LatencyProfile::Optane } else { LatencyProfile::Uniform },
             },
             cores: self.cores,

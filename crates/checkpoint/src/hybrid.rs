@@ -71,6 +71,17 @@ pub fn process_slot(kernel: &Kernel, slot: &Arc<PageSlot>, inflight: u64, counte
         return;
     }
     if !meta.is_migrated() {
+        if meta.epoch_capture.is_some() || meta.inline_log.is_some() {
+            // An epoch-window conflict already captured (or is logging)
+            // this page's round image against the runtime frame. Migrating
+            // in would retag that frame with the in-flight version while
+            // it carries post-flip writes, letting the fuzzy runtime
+            // shadow the capture/log at restore. Defer: the state folds at
+            // commit (or on the next CoW fault) and the page stays on the
+            // active list for the next round.
+            meta.idle_rounds = 0;
+            return;
+        }
         // Newly appended since the last checkpoint: migrate NVM→DRAM
         // ("newly appended pages since the last checkpointing are migrated
         // to DRAM", §4.3.2).

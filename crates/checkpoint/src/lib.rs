@@ -196,12 +196,36 @@ impl CheckpointManager {
 
     /// Takes one whole-system checkpoint (Figure 5 ❶–❺).
     ///
+    /// Three quiescence modes, strongest to weakest pause:
+    ///
+    /// * **full quiesce** (`force_full_quiesce`): every core parks for the
+    ///   whole copy phase (the paper's baseline);
+    /// * **partial quiescence** (`epoch_concurrent = false`): only
+    ///   dirty-owning cores park; the rest run behind the epoch fence;
+    /// * **epoch-concurrent** (the default): the stop window shrinks to an
+    ///   *epoch flip* — bump the round, cut the dirty queue (one pointer
+    ///   swap), snapshot per-service TX writers via `on_epoch`, arm the
+    ///   fence, resume — and the tree walk, record builds, and page copies
+    ///   all run concurrently with mutators. Every first conflicting write
+    ///   of the round preserves its page's flip image in-line
+    ///   (whole-page capture or a ≤-cache-line undo-log record, see
+    ///   `fault.rs`), so no core ever parks for the copy phase and the
+    ///   pause is O(write-set marking), independent of heap size.
+    ///
     /// On error the world is resumed without committing; the previous
     /// checkpoint remains the recovery point.
     pub fn checkpoint(&self) -> Result<StwBreakdown, KernelError> {
         let kernel = &self.kernel;
         let global = kernel.pers.global_version();
         let inflight = global + 1;
+
+        // A previous round that aborted in-process (or a deliberately
+        // interrupted test round) may have left epoch captures and in-line
+        // logs tagged with this very in-flight version; fold them down to
+        // the committed image *before* the new window captures anything,
+        // or the post-commit eager fold would anchor stale content under a
+        // now-valid tag. Near-free when the list is empty.
+        kernel.fold_epoch_captures_aborted();
 
         let counters = Arc::new(hybrid::RoundCounters::default());
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
@@ -213,23 +237,38 @@ impl CheckpointManager {
         );
         let t_pause = Instant::now();
         let partial = !kernel.config.force_full_quiesce;
+        let epoch_mode = partial && kernel.config.epoch_concurrent;
         // ❶ Quiesce the round's stop set — under partial quiescence only
         // the cores whose dirty pushes appear in the owner mask; the rest
         // run through the copy phase behind the fence. The cores that do
         // park start pulling hybrid-copy items (❸) and keep polling the
-        // batch's aux queue for offloaded tree work.
-        let ipi = self.stw.stop_world(Some(Arc::clone(&work)), kernel);
+        // batch's aux queue for offloaded tree work. In epoch-concurrent
+        // mode the batch is *not* handed to the stop set: parked cores
+        // resume at the flip and the leader runs the batch itself,
+        // concurrently with them.
+        let ipi = self.stw.stop_world((!epoch_mode).then(|| Arc::clone(&work)), kernel);
         // Arm the epoch fence (partial mode only) *after* the stop set has
         // parked: from here until the commit record lands, writes from
-        // cores outside the stop set are routed into conflict CoW captures
-        // instead of mutating the round's image (see `fault.rs`). Arming
-        // before the gate would deadlock — a stopping core mid-step could
-        // land in the fence's read-only wait loop and never park, while
-        // this leader waits for it. Free-core writes in the window between
-        // the gate and this arm are safe: the round's image is only cut by
-        // `mark_readonly`/the copy phase below, so they order as
-        // pre-pause writes.
-        if partial {
+        // cores outside the stop set are routed into in-line captures
+        // (undo records or whole-page CoW) instead of mutating the
+        // round's image (see `fault.rs`). Arming before the gate would
+        // let a stopping core mid-step capture state the parked protocol
+        // attributes to the pre-pause world. Free-core writes in the
+        // window between the gate and this arm are safe: the round's
+        // image is only cut by `mark_readonly`/the copy phase below, so
+        // they order as pre-pause writes.
+        //
+        // Epoch-concurrent mode parks nobody, so step atomicity against
+        // the flip comes from the unsealed-fence protocol instead: arm
+        // unsealed, wait the step grace period out (every step in flight
+        // at the arm finishes with write-through semantics — cores keep
+        // running), then mark and cut while post-arm steps hold their
+        // first write at the seal. Every program step thus lands entirely
+        // before or entirely after the round's image.
+        if epoch_mode {
+            kernel.fence.arm_unsealed(inflight);
+            kernel.steps.wait_step_grace();
+        } else if partial {
             kernel.fence.arm(inflight);
         }
         treesls_nvm::crash_site!(sched, "ckpt.stw_stopped");
@@ -260,14 +299,67 @@ impl CheckpointManager {
         hybrid::mark_readonly(kernel);
         let mark = t_mark.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.marked_ro");
+
+        // Epoch flip (epoch-concurrent mode): cut the dirty queue with one
+        // pointer swap — the frozen logical snapshot this round drains —
+        // and resume the world. Everything after this point runs
+        // concurrently with mutators; post-flip writes land in the live
+        // queue for the next round and self-capture their flip images on
+        // first conflict.
+        let mut flip_pause = None;
+        let cut = if epoch_mode {
+            let queue_depth = kernel.dirty_queue.depth();
+            let stop_mask = self.stw.stop_mask();
+            let cut = kernel.dirty_queue.take_cut();
+            treesls_nvm::crash_site!(sched, "stw.epoch_flip");
+            // Seal after the cut: writes released from the seal push
+            // their dirty entries into the fresh live queue, never into
+            // the cut the drain below is walking.
+            kernel.fence.seal();
+            // Measure the flip *before* releasing the world: once
+            // `resume_world` lands, freshly woken mutators may claim the
+            // CPU ahead of this thread, and that scheduler handoff is
+            // mutator runtime, not pause.
+            let p = t_pause.elapsed();
+            self.stw.resume_world();
+            flip_pause = Some(p);
+            kernel.metrics.record_epoch_flip();
+            kernel.pers.recorder().record(
+                treesls_obs::EventKind::EpochFlip,
+                [
+                    inflight,
+                    kernel.fence.round(),
+                    queue_depth,
+                    stop_mask,
+                    p.as_nanos() as u64,
+                    0,
+                ],
+            );
+            treesls_nvm::crash_site!(sched, "ckpt.concurrent_drain");
+            Some(cut)
+        } else {
+            None
+        };
+
+        let t_conc = Instant::now();
         let t_tree = Instant::now();
-        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work));
+        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work), cut);
         let cap_tree = t_tree.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.tree_copied");
 
-        // ❸ Join and drain the hybrid-copy batch.
+        // ❸ Join and drain the hybrid-copy batch. In epoch mode no core is
+        // parked to share it: the leader runs the whole batch here, still
+        // concurrently with mutators (first-write captures in `fault.rs`
+        // have already preserved any page a mutator touched first).
         let t_hyb = Instant::now();
-        self.stw.finish_hybrid_work();
+        if epoch_mode {
+            work.run_available();
+            while !work.is_done() {
+                std::thread::yield_now();
+            }
+        } else {
+            self.stw.finish_hybrid_work();
+        }
         let hybrid_wait = t_hyb.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.hybrid_drained");
         counters.busy_ns.store(work.busy_ns(), Ordering::Relaxed);
@@ -278,10 +370,17 @@ impl CheckpointManager {
                 // Abort: resume without committing — but still give the
                 // taken active list back to the tracker. The fence drops
                 // with the round; its in-flight captures are ignored by
-                // restore (tags never became valid).
+                // restore (tags never became valid). In epoch mode the
+                // world already resumed at the flip, and leftover
+                // captures/logs are folded down so a committing re-run of
+                // the same version cannot mistake them for its own.
                 kernel.fence.disarm();
+                if epoch_mode {
+                    kernel.fold_epoch_captures_aborted();
+                } else {
+                    self.stw.resume_world();
+                }
                 hybrid::compact_active_list(kernel, Some(&work));
-                self.stw.resume_world();
                 return Err(e);
             }
         };
@@ -295,14 +394,28 @@ impl CheckpointManager {
         // the fence has nothing left to protect.
         kernel.fence.disarm();
         treesls_nvm::crash_site!(sched, "ckpt.post_commit");
+        // Eager fold: whole-page captures tagged with the just-committed
+        // version become their pages' `pairs[0]` backups and the pages
+        // turn writable again (in-line-logged pages fold lazily — the log
+        // *is* their durable image).
+        kernel.fold_epoch_captures(inflight);
         let _ = tree::sweep_deleted(kernel, inflight);
         let cached = hybrid::compact_active_list(kernel, Some(&work));
         let others = t_others.elapsed();
         treesls_nvm::crash_site!(sched, "ckpt.post_sweep");
 
-        // ❺ Resume.
-        self.stw.resume_world();
-        let total_pause = t_pause.elapsed();
+        // ❺ Resume (epoch mode resumed at the flip; its pause is the flip
+        // alone, and the copy phase's wall time is exported as a gauge).
+        let total_pause = match flip_pause {
+            Some(p) => {
+                kernel.metrics.set_concurrent_copy_ns(t_conc.elapsed().as_nanos() as u64);
+                p
+            }
+            None => {
+                self.stw.resume_world();
+                t_pause.elapsed()
+            }
+        };
 
         // Telemetry (outside the pause): one flight-recorder slot with the
         // per-phase durations, plus the registry's counters and pause
@@ -417,25 +530,52 @@ impl CheckpointManager {
     /// exactly, ignoring all in-flight tags. Not used by production paths.
     pub fn checkpoint_interrupted_before_commit(&self) -> Result<(), KernelError> {
         let kernel = &self.kernel;
+        let partial = !kernel.config.force_full_quiesce;
+        let epoch_mode = partial && kernel.config.epoch_concurrent;
         let inflight = kernel.pers.global_version() + 1;
         let counters = Arc::new(hybrid::RoundCounters::default());
         let work = hybrid::build_work(kernel, inflight, Arc::clone(&counters));
-        self.stw.stop_world(Some(Arc::clone(&work)), kernel);
-        // Same ordering as `checkpoint`: the fence arms only once the stop
-        // set has parked, or a stopping core could wedge in the fence's
+        self.stw.stop_world((!epoch_mode).then(|| Arc::clone(&work)), kernel);
+        // Same ordering as `checkpoint`: unsealed arm + step grace for the
+        // no-park flip (so interrupted rounds exercise the same protocol
+        // the production path runs), sealed arm once the stop set has
+        // parked otherwise — a stopping core could wedge in the fence's
         // wait loop and never reach the gate.
-        if !kernel.config.force_full_quiesce {
+        if epoch_mode {
+            kernel.fence.arm_unsealed(inflight);
+            kernel.steps.wait_step_grace();
+        } else if partial {
             kernel.fence.arm(inflight);
         }
         hybrid::mark_readonly(kernel);
-        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work));
-        self.stw.finish_hybrid_work();
+        let cut = if epoch_mode {
+            let c = kernel.dirty_queue.take_cut();
+            kernel.fence.seal();
+            self.stw.resume_world();
+            Some(c)
+        } else {
+            None
+        };
+        let tree_result = tree::checkpoint_tree(kernel, inflight, Some(&work), cut);
+        if epoch_mode {
+            work.run_available();
+            while !work.is_done() {
+                std::thread::yield_now();
+            }
+        } else {
+            self.stw.finish_hybrid_work();
+        }
         // Power failure here: no commit, no sweep, no callbacks — but the
         // machine keeps running until the simulated crash, so the taken
-        // active list must go back to the tracker.
+        // active list must go back to the tracker. Epoch captures and
+        // in-line logs are deliberately *left in place* carrying their
+        // never-valid in-flight tags: restore must ignore them, and a
+        // subsequent `checkpoint` folds them down before re-arming.
         kernel.fence.disarm();
         hybrid::compact_active_list(kernel, Some(&work));
-        self.stw.resume_world();
+        if !epoch_mode {
+            self.stw.resume_world();
+        }
         tree_result.map(|_| ())
     }
 
@@ -562,6 +702,15 @@ impl CheckpointManager {
                         if p.version != 0 {
                             bytes += treesls_nvm::PAGE_SIZE as u64;
                         }
+                    }
+                    // Epoch-window capture and in-line-log frames are
+                    // checkpoint state too (they hold or reconstruct a
+                    // round image).
+                    if meta.epoch_capture.is_some() {
+                        bytes += treesls_nvm::PAGE_SIZE as u64;
+                    }
+                    if meta.inline_log.is_some() {
+                        bytes += treesls_nvm::PAGE_SIZE as u64;
                     }
                 });
             }

@@ -466,6 +466,44 @@ fn fill_body(
             let mut kept = Vec::new();
             for (idx, slot) in &live {
                 let mut meta = slot.meta.lock();
+                // Epoch-concurrent leftovers from the crashed round first.
+                // A whole-page capture holds the page's committed image (a
+                // frozen page takes no writes between windows, so the
+                // window-start content the capture froze *is* the last
+                // committed content) while the runtime frame carries
+                // post-flip writes: anchor the capture as the committed
+                // backup so the pick/validate cascade below prefers it. An
+                // in-line log rolls the post-flip writes back in place on
+                // the runtime frame (every record carries its own CRC;
+                // torn or corrupt tails parse as absent, and the already-
+                // applied prefix still undoes the writes it logged).
+                match meta.restore_image(global) {
+                    // On checksum failure the capture falls to the `_`
+                    // arm — dropped, and the cascade falls back to the
+                    // pair entries.
+                    treesls_kernel::pmo::RestoreImage::Capture(c) if global > 0 && validates(&c) => {
+                        meta.pairs[0] = Some(PagePtr {
+                            frame: c.frame,
+                            version: c.version.min(global),
+                            crc: c.crc,
+                        });
+                    }
+                    treesls_kernel::pmo::RestoreImage::Log(log) => {
+                        let rt = meta.pairs[1].expect("logged pages are non-migrated").frame;
+                        let mut img = Box::new([0u8; treesls_nvm::PAGE_SIZE]);
+                        kernel.pers.dev.read_page(rt, &mut img);
+                        let mut raw = vec![0u8; log.used as usize];
+                        kernel.pers.dev.read(log.frame, 0, &mut raw);
+                        let recs = treesls_kernel::pmo::parse_undo_records(&raw);
+                        treesls_kernel::pmo::apply_undo_records(&mut img, &recs);
+                        kernel.pers.dev.write(rt, 0, &img[..]);
+                        kernel.pers.dev.flush_frame(rt, 0, treesls_nvm::PAGE_SIZE);
+                        kernel.pers.dev.fence();
+                    }
+                    _ => {}
+                }
+                meta.epoch_capture = None;
+                meta.inline_log = None;
                 let Some(picked) = meta.restore_pick(global) else { continue };
                 // Integrity gate: verify the picked image's checksum; on
                 // mismatch fall back to the other pair entry (the previous

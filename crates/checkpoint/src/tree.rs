@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use treesls_kernel::cores::HybridWork;
+use treesls_kernel::dirty::DirtyCut;
 use treesls_kernel::object::{KObject, ObjType, ObjectBody};
 use treesls_kernel::oroot::{
     BackupObject, BkCap, BkPageEntry, BkRegion, BkThreadState, ORoot, VersionedBackup,
@@ -393,6 +394,12 @@ fn sync_pmo(
             for p in meta.pairs.iter().flatten() {
                 kernel.pers.alloc.free_page(p.frame)?;
             }
+            if let Some(c) = meta.epoch_capture {
+                kernel.pers.alloc.free_page(c.frame)?;
+            }
+            if let Some(l) = meta.inline_log {
+                kernel.pers.alloc.free_page(l.frame)?;
+            }
             if let Some(d) = meta.runtime_dram {
                 kernel.dram.free(d);
             }
@@ -453,14 +460,18 @@ fn sync_pmo(
 /// rewrites every reachable record, since a failed round may have consumed
 /// dirty flags without persisting the corresponding records).
 ///
-/// Must be called during a stop-the-world pause. `work`, when present, is
-/// the round's [`HybridWork`] batch; its aux queue is used to offload
-/// record builds to the quiesced cores and is always closed before this
-/// function returns.
+/// Must be called during a stop-the-world pause — or, in epoch-concurrent
+/// mode, after the flip with `cut` holding the dirty-queue cut taken inside
+/// the flip window (post-flip pushes land in the live queue for the next
+/// round and are invisible to this walk). `work`, when present, is the
+/// round's [`HybridWork`] batch; its aux queue is used to offload record
+/// builds to the quiesced cores and is always closed before this function
+/// returns.
 pub fn checkpoint_tree(
     kernel: &Arc<Kernel>,
     inflight: u64,
     work: Option<&Arc<HybridWork>>,
+    cut: Option<DirtyCut>,
 ) -> Result<TreeOutcome, KernelError> {
     use std::sync::atomic::Ordering;
 
@@ -471,9 +482,14 @@ pub fn checkpoint_tree(
     kernel.rounds_since_full.store(if full { 0 } else { rounds }, Ordering::Relaxed);
 
     let result = if full {
+        // The full walk visits everything reachable; a pre-taken cut only
+        // needs its nodes reclaimed (and the depth gauge adjusted).
+        if let Some(c) = cut {
+            let _ = kernel.dirty_queue.collect(c);
+        }
         full_walk(kernel, inflight, heal)
     } else {
-        dirty_walk(kernel, inflight, work)
+        dirty_walk(kernel, inflight, work, cut)
     };
     if let Some(w) = work {
         // The manager's `finish_hybrid_work` barrier polls the aux queue;
@@ -541,6 +557,7 @@ fn dirty_walk(
     kernel: &Arc<Kernel>,
     inflight: u64,
     work: Option<&Arc<HybridWork>>,
+    cut: Option<DirtyCut>,
 ) -> Result<TreeOutcome, KernelError> {
     let oroots = &kernel.pers.oroots;
     let backups = &kernel.pers.backups;
@@ -553,7 +570,10 @@ fn dirty_walk(
         kernel.pers.set_root_oroot(root_oroot);
     }
 
-    let drained = kernel.dirty_queue.drain_tagged();
+    let drained = match cut {
+        Some(c) => kernel.dirty_queue.collect(c),
+        None => kernel.dirty_queue.drain_tagged(),
+    };
     out.dirty_drained = drained.len();
     let mut owner_bits = 0u64;
     treesls_nvm::crash_site!(sched, "tree.dirty_drained");
@@ -903,6 +923,12 @@ pub fn sweep_deleted(kernel: &Kernel, committed: u64) -> Result<usize, KernelErr
                             let meta = e.slot.meta.lock();
                             for p in meta.pairs.iter().flatten() {
                                 let _ = kernel.pers.alloc.free_page(p.frame);
+                            }
+                            if let Some(c) = meta.epoch_capture {
+                                let _ = kernel.pers.alloc.free_page(c.frame);
+                            }
+                            if let Some(l) = meta.inline_log {
+                                let _ = kernel.pers.alloc.free_page(l.frame);
                             }
                             if let Some(d) = meta.runtime_dram {
                                 kernel.dram.free(d);

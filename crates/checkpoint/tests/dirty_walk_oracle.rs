@@ -34,6 +34,10 @@ fn config(force_full: bool) -> KernelConfig {
 }
 
 fn config_quiesce(force_full: bool, full_quiesce: bool) -> KernelConfig {
+    config_modes(force_full, full_quiesce, true)
+}
+
+fn config_modes(force_full: bool, full_quiesce: bool, epoch: bool) -> KernelConfig {
     KernelConfig {
         nvm_frames: 4096,
         dram_pages: 128,
@@ -43,6 +47,7 @@ fn config_quiesce(force_full: bool, full_quiesce: bool) -> KernelConfig {
         // walks.
         full_walk_interval: 0,
         force_full_quiesce: full_quiesce,
+        epoch_concurrent: epoch,
         ..KernelConfig::default()
     }
 }
@@ -67,7 +72,15 @@ fn run(seed: u64, force_full: bool) -> Vec<String> {
 /// [`run`] with an explicit stop-the-world mode (`full_quiesce: true` =
 /// the all-cores oracle; `false` = partial quiescence, the default).
 fn run_quiesce(seed: u64, force_full: bool, full_quiesce: bool) -> Vec<String> {
-    let kernel = Kernel::boot(config_quiesce(force_full, full_quiesce));
+    run_modes(seed, force_full, full_quiesce, true)
+}
+
+/// [`run_quiesce`] with an explicit epoch-concurrency mode: `epoch:
+/// false` pins PR 6 partial quiescence (pause spans the copy phase) so
+/// it stays available as a config oracle against the epoch-concurrent
+/// default.
+fn run_modes(seed: u64, force_full: bool, full_quiesce: bool, epoch: bool) -> Vec<String> {
+    let kernel = Kernel::boot(config_modes(force_full, full_quiesce, epoch));
     let stw = Arc::new(StwController::new());
     let mgr = CheckpointManager::new(Arc::clone(&kernel), stw);
 
@@ -258,6 +271,30 @@ fn dirty_walk_oracle_holds_under_both_quiesce_modes() {
                  full_quiesce={full_quiesce} diverged from the partial-quiescence dirty run"
             );
         }
+    }
+}
+
+#[test]
+fn epoch_concurrent_image_matches_quiesce_oracles() {
+    // The epoch-concurrent round (pause = epoch flip only; tree walk,
+    // backup builds and page copies race live mutators) must commit a
+    // round image *bit-identical* to the full-quiesce oracle, which
+    // parks every core for the whole copy phase. PR 6 partial
+    // quiescence (epoch off: dirty owners stay parked through the
+    // copy) is kept as a second, independent oracle. Concurrency may
+    // change *when cores run*, never *what commits*.
+    for seed in [7u64, 23, 99, 1234, 424242] {
+        let epoch = run_modes(seed, false, false, true);
+        let full_quiesce = run_modes(seed, false, true, true);
+        assert_eq!(
+            epoch, full_quiesce,
+            "seed {seed}: epoch-concurrent image diverged from the full-quiesce oracle"
+        );
+        let partial = run_modes(seed, false, false, false);
+        assert_eq!(
+            epoch, partial,
+            "seed {seed}: epoch-concurrent image diverged from PR 6 partial quiescence"
+        );
     }
 }
 

@@ -48,6 +48,15 @@ thread_local! {
     /// The simulated core id of the calling OS thread (`NO_CORE` for
     /// threads that are not core workers: the leader, hosts, tests).
     static CURRENT_CORE: std::cell::Cell<u32> = const { std::cell::Cell::new(NO_CORE) };
+
+    /// The epoch-fence round the calling core latched at the start of
+    /// its current program step (0 between steps or when the fence was
+    /// unarmed at step start). `write_page_slot` compares this against
+    /// the live fence round to tell pre-arm in-flight steps — which
+    /// write through and are waited out by the leader's grace period —
+    /// from post-arm steps, which hold their first write until the flip
+    /// seals.
+    static CURRENT_STEP_ROUND: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// The core id of the calling thread (`NO_CORE` off-core). Used by
@@ -61,6 +70,103 @@ pub fn current_core() -> u32 {
 /// worker at spawn; tests may use it to impersonate a core).
 pub fn set_current_core(core: u32) {
     CURRENT_CORE.with(|c| c.set(core));
+}
+
+/// The fence round the calling core's current program step latched at
+/// its start (0 off-step / off-core / pre-arm).
+#[inline]
+pub fn current_step_round() -> u64 {
+    CURRENT_STEP_ROUND.with(|r| r.get())
+}
+
+/// Per-core program-step publication: the shared half of the epoch
+/// flip's no-park atomicity protocol (the private half is the
+/// [`current_step_round`] latch).
+///
+/// Each core bumps its sequence word around every program step — odd
+/// while mid-step, even between steps — with SeqCst ordering against
+/// the fence-round latch taken at step start. The flip leader arms the
+/// fence unsealed and then runs [`wait_step_grace`]: any core whose
+/// step predates the arm is still odd-and-unchanged in the scan, so the
+/// leader waits (the step is at most microseconds; the core never
+/// parks). A core whose step postdates the arm either finishes without
+/// writing, or publishes [`blocked`] and spins at its first write until
+/// the seal — both let the scan pass it. After the grace period every
+/// write the leader can race belongs to a whole step on exactly one
+/// side of the flip.
+///
+/// [`wait_step_grace`]: Self::wait_step_grace
+/// [`blocked`]: Self::set_blocked
+#[derive(Debug)]
+pub struct StepTracker {
+    /// Per-core step sequence (odd = mid-step). Indexed by core id,
+    /// matching the 64-bit owner/stop masks' core-id space.
+    seqs: [AtomicU64; 64],
+    /// Cores currently spinning at the fence seal inside their first
+    /// write — mid-step by definition, but safe for the grace scan to
+    /// pass: the held write has not executed, and it will land in a
+    /// conflict capture once sealed.
+    blocked: [AtomicBool; 64],
+}
+
+impl Default for StepTracker {
+    fn default() -> Self {
+        Self {
+            seqs: [const { AtomicU64::new(0) }; 64],
+            blocked: [const { AtomicBool::new(false) }; 64],
+        }
+    }
+}
+
+impl StepTracker {
+    /// Marks the calling core mid-step and latches `fence_round` (the
+    /// fence's [`active_round`] read *after* the sequence bump — the
+    /// SeqCst pairing the grace scan relies on).
+    ///
+    /// [`active_round`]: crate::kernel::EpochFence::active_round
+    #[inline]
+    pub fn begin_step(&self, core: u32, fence_round: u64) {
+        if let Some(seq) = self.seqs.get(core as usize) {
+            seq.fetch_add(1, Ordering::SeqCst);
+        }
+        CURRENT_STEP_ROUND.with(|r| r.set(fence_round));
+    }
+
+    /// Marks the calling core between steps and clears its round latch.
+    #[inline]
+    pub fn end_step(&self, core: u32) {
+        CURRENT_STEP_ROUND.with(|r| r.set(0));
+        if let Some(seq) = self.seqs.get(core as usize) {
+            seq.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Publishes whether the calling core is spinning at the fence seal.
+    #[inline]
+    pub fn set_blocked(&self, core: u32, blocked: bool) {
+        if let Some(b) = self.blocked.get(core as usize) {
+            b.store(blocked, Ordering::SeqCst);
+        }
+    }
+
+    /// Leader: waits until no program step that started before the
+    /// (just-armed, unsealed) fence is still executing. A core passes
+    /// the scan once it is between steps, has advanced to a new step
+    /// (which then latched the armed round), or is spinning at the
+    /// seal. Bounded by one program step per core; no core parks.
+    pub fn wait_step_grace(&self) {
+        let snap: Vec<u64> = self.seqs.iter().map(|s| s.load(Ordering::SeqCst)).collect();
+        loop {
+            let settled = self.seqs.iter().enumerate().all(|(i, s)| {
+                let cur = s.load(Ordering::SeqCst);
+                cur.is_multiple_of(2) || cur != snap[i] || self.blocked[i].load(Ordering::SeqCst)
+            });
+            if settled {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
 }
 
 /// The per-slot closure a [`HybridWork`] batch runs on each worker core.
@@ -305,6 +411,15 @@ pub struct StwController {
     ///
     /// [`take_paused_ns`]: Self::take_paused_ns
     paused_ns: AtomicU64,
+    /// Instant [`resume_world`] last released the gate. Parked-time
+    /// accounting charges a core up to this release instant, not until
+    /// the host OS actually reschedules its thread: the post-release
+    /// wake-up latency is simulation-host noise (acute on single-CPU
+    /// hosts, where the leader's concurrent copy keeps the CPU busy),
+    /// not part of the checkpoint protocol's pause.
+    ///
+    /// [`resume_world`]: Self::resume_world
+    released_at: Mutex<Option<Instant>>,
 }
 
 impl StwController {
@@ -392,6 +507,19 @@ impl StwController {
         let reg_mask = Self::registered_mask(total);
         let mask = if kernel.config.force_full_quiesce {
             reg_mask
+        } else if kernel.config.epoch_concurrent {
+            // Epoch-concurrent flip: *no* core parks, dirty owners
+            // included. Step atomicity against the flip image comes from
+            // the unsealed-fence protocol instead of parking: the leader
+            // arms the fence unsealed, [`StepTracker::wait_step_grace`]
+            // drains pre-arm in-flight steps (cores keep running), and
+            // post-arm steps hold their first write at the seal — so the
+            // quiescence handshake, whose serialized per-core park
+            // latency dominated the flip on small hosts, buys nothing.
+            // The owner mask is still drained so per-round ownership
+            // bookkeeping restarts cleanly.
+            let _ = kernel.dirty_queue.take_owner_mask();
+            0
         } else {
             // Owner bits set *after* this take belong to cores that reach
             // their next step boundary inside the window; such cores
@@ -404,14 +532,22 @@ impl StwController {
         self.stop_mask.store(mask, Ordering::SeqCst);
         self.stop_count.store(target, Ordering::SeqCst);
         self.pending.store(true, Ordering::SeqCst);
-        // Kick parked cores so they reach the gate promptly.
+        // Kick sleeping cores so they reach the gate promptly, then
+        // yield-spin on the quiescent count: handing the CPU straight to
+        // a runnable core beats a condvar round-trip per parker (the
+        // epoch flip's dominant cost on single-CPU hosts). Re-kick only
+        // sparingly — hammering `wake_all` floods idle cores with
+        // wakeups whose processing then steals the CPU from the leader
+        // in the middle of the flip window.
         kernel.sched.wake_all();
-        let mut gate = self.epoch.lock();
+        let mut spins = 0u32;
         while self.quiescent.load(Ordering::SeqCst) < target {
-            kernel.sched.wake_all();
-            self.cv.wait_for(&mut gate, Duration::from_micros(100));
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                kernel.sched.wake_all();
+            }
+            std::thread::yield_now();
         }
-        drop(gate);
         // A free core may have pulled an unpinned thread just before the
         // pause became visible; its slice breaks at the very next step
         // boundary. Wait it out so no unpinned thread executes a step
@@ -452,6 +588,7 @@ impl StwController {
     /// Leader: releases all cores (Figure 5 step ❺).
     pub fn resume_world(&self) {
         let mut gate = self.epoch.lock();
+        *self.released_at.lock() = Some(Instant::now());
         *self.work.lock() = None;
         self.go.store(false, Ordering::SeqCst);
         self.pending.store(false, Ordering::SeqCst);
@@ -503,9 +640,19 @@ impl StwController {
         while *gate == entry_epoch && self.pending() {
             self.cv.wait_for(&mut gate, Duration::from_millis(1));
         }
+        // Charge this core up to the leader's release instant. The next
+        // round's `stop_world` drains `quiescent` before it can resume
+        // again, so the stored instant is still this round's release —
+        // and it cannot predate `t0` by more than a racing fast round
+        // (which the saturating subtraction clamps to zero).
+        let parked = self
+            .released_at
+            .lock()
+            .map(|r| r.saturating_duration_since(t0))
+            .unwrap_or_else(|| t0.elapsed());
         self.quiescent.fetch_sub(1, Ordering::SeqCst);
         drop(gate);
-        self.paused_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.paused_ns.fetch_add(parked.as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -560,10 +707,26 @@ pub fn run_slice(kernel: &Kernel, tid: ObjId, max_steps: usize, stw: &StwControl
     let mut outcome = StepOutcome::Exited;
     if let Some(program) = program {
         outcome = StepOutcome::Yielded;
+        // Publishes the step boundary for the epoch flip's grace scan;
+        // the guard keeps the sequence even if an injected crash unwinds
+        // mid-step.
+        struct StepGuard<'a>(&'a StepTracker, u32);
+        impl Drop for StepGuard<'_> {
+            fn drop(&mut self) {
+                self.0.end_step(self.1);
+            }
+        }
         for _ in 0..max_steps {
             if stw.pending() && (!pinned_here || stw.should_park(core)) {
                 break;
             }
+            let _step = (core != NO_CORE).then(|| {
+                // Latch the fence round *after* the sequence bump: the
+                // SeqCst pair guarantees the leader's post-arm grace
+                // scan sees this step if the latch missed the arm.
+                kernel.steps.begin_step(core, kernel.fence.active_round());
+                StepGuard(&kernel.steps, core)
+            });
             let mut uc = UserCtx::new(kernel, tid, cap_group, vmspace, &mut ctx);
             outcome = program.step(&mut uc);
             if outcome != StepOutcome::Ready {
@@ -848,7 +1011,14 @@ mod tests {
 
     #[test]
     fn partial_pause_stops_only_dirty_owning_cores() {
-        let k = kernel();
+        // PR 6 parked partial quiescence — the epoch-concurrent flip
+        // (the default) parks nobody, so pin the parked protocol.
+        let k = Kernel::boot(KernelConfig {
+            nvm_frames: 1024,
+            dram_pages: 64,
+            epoch_concurrent: false,
+            ..KernelConfig::default()
+        });
         let stw = Arc::new(StwController::new());
         let (tid, vs) = spawn_counter(&k, u64::MAX); // runs forever
         k.sched.set_affinity(tid, Some(0));

@@ -60,6 +60,29 @@ pub struct DirtyQueue {
 unsafe impl Send for DirtyQueue {}
 unsafe impl Sync for DirtyQueue {}
 
+/// A detached dirty-queue chain: the O(1) result of an epoch-flip cut
+/// ([`DirtyQueue::take_cut`]). Owns its nodes; dropping it without
+/// [`DirtyQueue::collect`] frees them (but loses the depth adjustment,
+/// which is only a gauge).
+#[derive(Debug)]
+pub struct DirtyCut {
+    head: *mut Node,
+}
+
+// Ownership of the detached chain is unique to the holder.
+unsafe impl Send for DirtyCut {}
+
+impl Drop for DirtyCut {
+    fn drop(&mut self) {
+        let mut p = self.head;
+        while !p.is_null() {
+            // Safety: the chain was detached atomically; we own it.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+        }
+    }
+}
+
 impl Default for DirtyQueue {
     fn default() -> Self {
         Self::new()
@@ -140,7 +163,27 @@ impl DirtyQueue {
     /// (used by the tree walk to report how many distinct cores owned the
     /// round's write set).
     pub fn drain_tagged(&self) -> Vec<(ObjId, u32)> {
-        let mut p = self.head.swap(ptr::null_mut(), Ordering::AcqRel);
+        let cut = self.take_cut();
+        self.collect(cut)
+    }
+
+    /// Detaches the queue in O(1) — one atomic `swap`, no chain walk.
+    ///
+    /// This is the epoch flip's dirty-queue cut: the leader snips the
+    /// round's work list inside the stop window without paying a visit
+    /// per entry, then walks it *after* resuming the world via
+    /// [`collect`](DirtyQueue::collect). New pushes land on the emptied
+    /// head and belong to the next round.
+    pub fn take_cut(&self) -> DirtyCut {
+        DirtyCut { head: self.head.swap(ptr::null_mut(), Ordering::AcqRel) }
+    }
+
+    /// Walks a detached [`DirtyCut`] chain, freeing it and returning the
+    /// tagged entries (LIFO order). Runs outside the pause, concurrent
+    /// with mutators pushing next-round entries.
+    pub fn collect(&self, cut: DirtyCut) -> Vec<(ObjId, u32)> {
+        let mut p = cut.head;
+        std::mem::forget(cut);
         let mut out = Vec::new();
         while !p.is_null() {
             // Safety: the chain was detached atomically; we own it.
@@ -237,6 +280,23 @@ mod tests {
         // Cores beyond the mask width fold onto the top bit.
         q.note_owner(200);
         assert_eq!(q.take_owner_mask(), 1 << 63);
+    }
+
+    #[test]
+    fn cut_freezes_entries_and_later_pushes_land_next_round() {
+        let q = DirtyQueue::new();
+        q.push_from(ObjId::from_raw(1), 0);
+        q.push_from(ObjId::from_raw(2), 1);
+        let cut = q.take_cut();
+        q.push_from(ObjId::from_raw(3), 2); // after the flip: next round
+        let mut frozen = q.collect(cut);
+        frozen.sort();
+        assert_eq!(frozen, vec![(ObjId::from_raw(1), 0), (ObjId::from_raw(2), 1)]);
+        assert_eq!(q.drain_tagged(), vec![(ObjId::from_raw(3), 2)]);
+        assert_eq!(q.depth(), 0);
+        // An uncollected cut frees its chain on drop.
+        q.push(ObjId::from_raw(9));
+        drop(q.take_cut());
     }
 
     #[test]

@@ -30,7 +30,10 @@ use treesls_nvm::PAGE_SIZE;
 use crate::cap::CapRights;
 use crate::kernel::Kernel;
 use crate::object::{ObjType, ObjectBody};
-use crate::pmo::{PagePtr, PageSlot, PhysLoc};
+use crate::pmo::{
+    apply_undo_records, encode_undo_record, parse_undo_records, undo_record_size, InlineLog,
+    PageMeta, PagePtr, PageSlot, PhysLoc, INLINE_LOG_CAP, INLINE_MAX_DATA, UNDO_HEADER,
+};
 use crate::types::{KernelError, ObjId, Vaddr, Vpn};
 use crate::vm::PteCache;
 
@@ -245,30 +248,34 @@ impl Kernel {
 
     /// Writes a span within one page slot, faulting if read-only.
     ///
-    /// While the kernel's [`EpochFence`] is armed (a partial-quiescence
-    /// round is copying, and this write comes from a core outside the stop
-    /// set — or from a host thread), the round's page image must not be
-    /// destroyed:
+    /// While the kernel's [`EpochFence`] is armed (an epoch-concurrent or
+    /// partial-quiescence round is copying concurrently with this write),
+    /// the round's frozen page image must not be destroyed. No write ever
+    /// waits; every first conflicting write preserves the image in-line:
     ///
     /// * **migrated pages** whose in-flight image is not yet preserved get
     ///   an inline pre-write capture into the speculative-copy slot (the
     ///   "conflict CoW" of partial quiescence) — the hybrid worker then
     ///   skips the slot;
-    /// * **non-migrated read-only pages** wait the fence out: a CoW now
-    ///   would overwrite the previous committed image anchored in
-    ///   `pairs[0]`, and there is no third pair slot to copy into;
+    /// * **non-migrated read-only pages** capture in-line too: a small
+    ///   write (≤ one cache line of changed bytes) appends a pre-write
+    ///   undo record to the page's in-line log, while a big write (or a
+    ///   log overflow) escalates to a whole-page epoch capture into a
+    ///   fresh frame — the previous committed image stays anchored in
+    ///   `pairs` untouched, so no third copy is ever at risk;
     /// * **non-migrated writable pages** write through — their runtime
     ///   frame only becomes the round's image when `mark_readonly`
-    ///   freezes it, after which the write lands in the wait branch
-    ///   (the accepted fuzzy boundary of the pause window).
+    ///   freezes it, after which the write lands in the capture branch
+    ///   (the accepted fuzzy boundary of the flip).
     ///
     /// Returns `true` when this write is the page's first content change
-    /// of the round — a CoW fault, an epoch conflict capture, or the
-    /// clean→dirty flip of a DRAM-migrated page (whose stores never fault
-    /// again). In every case the page's content now diverges from its
-    /// last committed image and the owning PMO's backup record must be
-    /// rewritten by the next checkpoint. Callers that know the owning
-    /// PMO (the `vm_write` path) use this to mark it dirty.
+    /// of the round — a CoW fault, an epoch conflict capture or first
+    /// undo-log append, or the clean→dirty flip of a DRAM-migrated page
+    /// (whose stores never fault again). In every case the page's content
+    /// now diverges from its last committed image and the owning PMO's
+    /// backup record must be rewritten by the next checkpoint. Callers
+    /// that know the owning PMO (the `vm_write` path) use this to mark it
+    /// dirty.
     ///
     /// [`EpochFence`]: crate::kernel::EpochFence
     pub fn write_page_slot(
@@ -277,51 +284,89 @@ impl Kernel {
         off: usize,
         data: &[u8],
     ) -> Result<bool, KernelError> {
-        loop {
-            let mut meta = slot.meta.lock();
-            let inflight = self.fence.inflight();
-            let mut duplicated = false;
-            // The fence only governs the pre-commit window: once the round's
-            // commit record lands (global == inflight), ordinary CoW
-            // semantics preserve images correctly even before disarm.
-            if self.fence.active()
-                && !meta.eternal
-                && self.pers.global_version() < inflight
+        // Epoch-flip seal wait: a program step that *started after* the
+        // fence armed (its latched round matches) must not write while
+        // the flip is still defining the round's images — hold its
+        // first write here, outside every lock, until the leader seals
+        // (or the round aborts). Pre-arm in-flight steps have a stale
+        // latch and write through; the leader's grace period waits them
+        // out before marking. Off-core writers (hosts, services) never
+        // latch, so each of their writes is a single-page pre-flip
+        // store — the same semantics they had under parked flips.
+        if self.fence.active() && !self.fence.sealed() {
+            let core = crate::cores::current_core();
+            if core != crate::cores::NO_CORE
+                && crate::cores::current_step_round() == self.fence.round()
             {
-                if meta.is_migrated() {
-                    // Keyed to the fence *round*, not the version tag: an
-                    // aborted round leaves captures carrying the same
-                    // in-flight version, and this round must re-capture.
-                    if meta.epoch_round != self.fence.round() {
-                        let dst = meta.sac_dst(inflight - 1);
-                        self.epoch_capture_locked(&mut meta, inflight, dst)?;
-                        duplicated = true;
-                    }
-                } else if !meta.writable {
-                    drop(meta);
-                    std::thread::sleep(std::time::Duration::from_micros(5));
-                    continue;
+                self.steps.set_blocked(core, true);
+                while self.fence.active() && !self.fence.sealed() {
+                    std::thread::yield_now();
                 }
-            } else if !meta.writable {
-                self.cow_fault_locked(slot, &mut meta)?;
-                duplicated = true;
+                self.steps.set_blocked(core, false);
             }
-            match meta.runtime_loc() {
-                PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
-                PhysLoc::Dram(d) => {
-                    self.dram.write(d, off, data);
-                    // First store into a clean migrated page this round:
-                    // the stop-and-copy will capture it, so the record
-                    // rewrite must ride the same round's dirty queue.
-                    if !meta.dirty {
-                        meta.dirty = true;
-                        duplicated = true;
-                    }
-                }
-            }
-            meta.idle_rounds = 0;
-            return Ok(duplicated);
         }
+        // A core step that was already in flight when a no-park flip
+        // armed keeps *pre-arm* write semantics for its whole duration:
+        // its latched round predates the fence's, the leader's grace
+        // period waits the step out before marking, and every one of its
+        // writes — including ones landing after the next round armed, if
+        // the step straddled a commit — must join the pre-flip image
+        // rather than capture. Without this, a step's first write could
+        // be excluded from round N (logged) and its second excluded from
+        // round N+1, splitting one atomic step across two recovery
+        // points. Parked protocols (`arm`) run no grace period, so there
+        // the gate applies to every fence-window write as before.
+        let pre_arm_step = self.fence.flip_protocol() && {
+            let core = crate::cores::current_core();
+            core != crate::cores::NO_CORE
+                && crate::cores::current_step_round() != self.fence.round()
+        };
+        let mut meta = slot.meta.lock();
+        let inflight = self.fence.inflight();
+        let mut duplicated = false;
+        // The fence only governs the pre-commit window: once the round's
+        // commit record lands (global == inflight), ordinary CoW
+        // semantics preserve images correctly even before disarm.
+        if self.fence.active()
+            && !pre_arm_step
+            && !meta.eternal
+            && self.pers.global_version() < inflight
+        {
+            if meta.is_migrated() {
+                // Keyed to the fence *round*, not the version tag: an
+                // aborted round leaves captures carrying the same
+                // in-flight version, and this round must re-capture.
+                if meta.epoch_round != self.fence.round() {
+                    let dst = meta.sac_dst(inflight - 1);
+                    self.epoch_capture_locked(&mut meta, inflight, dst)?;
+                    duplicated = true;
+                }
+            } else if !meta.writable && meta.epoch_round != self.fence.round() {
+                // epoch_round == round means a whole-page capture already
+                // preserved this round's image: write through. Otherwise
+                // log or capture the pre-write bytes first.
+                duplicated =
+                    self.epoch_conflict_locked(slot, &mut meta, inflight, off, data.len())?;
+            }
+        } else if !meta.writable {
+            self.cow_fault_locked(slot, &mut meta)?;
+            duplicated = true;
+        }
+        match meta.runtime_loc() {
+            PhysLoc::Nvm(f) => self.pers.dev.write(f, off, data),
+            PhysLoc::Dram(d) => {
+                self.dram.write(d, off, data);
+                // First store into a clean migrated page this round:
+                // the stop-and-copy will capture it, so the record
+                // rewrite must ride the same round's dirty queue.
+                if !meta.dirty {
+                    meta.dirty = true;
+                    duplicated = true;
+                }
+            }
+        }
+        meta.idle_rounds = 0;
+        Ok(duplicated)
     }
 
     /// Epoch-fence conflict capture (called with the slot lock held): a
@@ -361,6 +406,312 @@ impl Kernel {
         Ok(())
     }
 
+    /// Zeroes and persists an in-line log's first record header, so any
+    /// future parse of the frame yields no records. Must run *after* the
+    /// state the log protected is durable elsewhere (a materialized fold
+    /// image or a whole-page capture) — a crash between the two must find
+    /// either the log or its replacement.
+    fn kill_inline_log(&self, log: &InlineLog) {
+        self.pers.dev.write(log.frame, 0, &[0u8; UNDO_HEADER]);
+        self.pers.dev.flush_frame(log.frame, 0, UNDO_HEADER);
+        self.pers.dev.fence();
+    }
+
+    /// Reads the page image "runtime ⊖ reverse(log records)": the frozen
+    /// window-start content of a page whose window writes were undo-logged.
+    fn undo_applied_image(&self, meta: &PageMeta, log: &InlineLog) -> Box<[u8; PAGE_SIZE]> {
+        let rt = meta.pairs[1].expect("logged pages are non-migrated").frame;
+        let mut img = Box::new([0u8; PAGE_SIZE]);
+        self.pers.dev.read_page(rt, &mut img);
+        let mut raw = vec![0u8; log.used as usize];
+        self.pers.dev.read(log.frame, 0, &mut raw);
+        let recs = parse_undo_records(&raw);
+        apply_undo_records(&mut img, &recs);
+        img
+    }
+
+    /// Reads a non-migrated page's runtime frame into a fresh buffer.
+    fn runtime_image(&self, meta: &PageMeta) -> Box<[u8; PAGE_SIZE]> {
+        let rt = meta.pairs[1].expect("non-migrated page has a runtime NVM frame").frame;
+        let mut img = Box::new([0u8; PAGE_SIZE]);
+        self.pers.dev.read_page(rt, &mut img);
+        img
+    }
+
+    /// Writes `img` into a freshly allocated frame, makes it durable and
+    /// returns a backup pointer tagged `version`.
+    fn persist_image(&self, img: &[u8; PAGE_SIZE], version: u64) -> Result<PagePtr, KernelError> {
+        let dst = self.pers.alloc.alloc_page()?;
+        let tc = Instant::now();
+        self.pers.dev.write(dst, 0, &img[..]);
+        self.pers.dev.flush_frame(dst, 0, PAGE_SIZE);
+        self.pers.dev.fence();
+        self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let crc = self.pers.dev.page_crc(dst);
+        Ok(PagePtr::backup(dst, version, crc))
+    }
+
+    /// First conflicting write of the epoch window to a non-migrated
+    /// read-only page (called with the slot lock held; the generalized
+    /// form of [`epoch_capture_locked`](Self::epoch_capture_locked) that
+    /// lets *every* core keep running through the copy phase).
+    ///
+    /// A small write (≤ [`INLINE_MAX_DATA`] bytes) appends a pre-write
+    /// undo record to the page's in-line log — the round image stays
+    /// reconstructible as runtime ⊖ reverse(records) while the write
+    /// itself lands directly on the runtime frame. A big write, or a log
+    /// overflow, escalates to a whole-page capture of the window image
+    /// into a fresh frame ([`PageMeta::epoch_capture`]); the previous
+    /// committed image anchored in `pairs` is never touched.
+    ///
+    /// Stale capture state from an aborted earlier window (same in-flight
+    /// version, different fence arm) is folded first: its content *is*
+    /// the committed image — frozen pages take no writes between windows
+    /// without a CoW fold — so it re-anchors into `pairs[0]` before this
+    /// window captures anything.
+    ///
+    /// Returns `true` on the page's first preserved conflict of the round
+    /// (the PMO must re-enter the dirty queue for the *next* round).
+    fn epoch_conflict_locked(
+        &self,
+        slot: &Arc<PageSlot>,
+        meta: &mut PageMeta,
+        inflight: u64,
+        off: usize,
+        len: usize,
+    ) -> Result<bool, KernelError> {
+        let t0 = Instant::now();
+        self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+        let round = self.fence.round();
+        let global = self.pers.global_version();
+        let mut first = true;
+
+        // Fold a stale whole-page capture (aborted earlier window).
+        if let Some(c) = meta.epoch_capture.take() {
+            if global > 0 {
+                let old = meta.pairs[0];
+                meta.pairs[0] =
+                    Some(PagePtr { frame: c.frame, version: c.version.min(global), crc: c.crc });
+                if let Some(p) = old {
+                    if p.frame != c.frame {
+                        let _ = self.pers.alloc.free_page(p.frame);
+                    }
+                }
+            } else {
+                let _ = self.pers.alloc.free_page(c.frame);
+            }
+        }
+        // Fold a stale in-line log the same way (undo back to the
+        // committed image, durably, before the log dies), then reuse its
+        // frame for this window.
+        if let Some(log) = meta.inline_log {
+            if log.arm != round {
+                if log.round >= global && global > 0 && log.used > 0 {
+                    let img = self.undo_applied_image(meta, &log);
+                    let ptr = self.persist_image(&img, global)?;
+                    let old = meta.pairs[0];
+                    meta.pairs[0] = Some(ptr);
+                    if let Some(p) = old {
+                        let _ = self.pers.alloc.free_page(p.frame);
+                    }
+                }
+                self.kill_inline_log(&log);
+                meta.inline_log =
+                    Some(InlineLog { frame: log.frame, round: inflight, used: 0, arm: round });
+            } else {
+                // This window already logged: the slot is registered and
+                // the PMO already rides the next round's queue.
+                first = false;
+            }
+        }
+
+        if len <= INLINE_MAX_DATA {
+            let mut log = match meta.inline_log {
+                Some(l) => l,
+                None => {
+                    let frame = self.pers.alloc.alloc_page()?;
+                    self.pers.dev.zero_page(frame);
+                    InlineLog { frame, round: inflight, used: 0, arm: round }
+                }
+            };
+            if log.used as usize + undo_record_size(len) <= INLINE_LOG_CAP {
+                treesls_nvm::crash_site!(self.pers.dev.crash_schedule(), "ckpt.inline_log_capture");
+                let rt = meta.pairs[1].expect("non-migrated page has a runtime NVM frame").frame;
+                let mut pre = vec![0u8; len];
+                self.pers.dev.read(rt, off, &mut pre);
+                let rec = encode_undo_record(inflight, off as u16, &pre);
+                self.pers.dev.write(log.frame, log.used as usize, &rec);
+                self.pers.dev.flush_frame(log.frame, log.used as usize, rec.len());
+                self.pers.dev.fence();
+                log.used += rec.len() as u32;
+                meta.inline_log = Some(log);
+                self.metrics.record_inline_log(rec.len() as u64);
+                self.pers.recorder().record(
+                    treesls_obs::EventKind::InlineLog,
+                    [log.frame.0 as u64, inflight, off as u64, len as u64, log.used as u64, 0],
+                );
+                if first {
+                    self.stats.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.record_epoch_conflict();
+                    self.epoch_captures.lock().push(Arc::clone(slot));
+                }
+                self.stats.fault_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return Ok(first);
+            }
+            meta.inline_log = Some(log);
+        }
+
+        // Whole-page escalation: the window image is the runtime frame
+        // with this window's logged writes undone (or the runtime itself
+        // when nothing was logged). The capture must be durable *before*
+        // the log dies.
+        treesls_nvm::crash_site!(self.pers.dev.crash_schedule(), "stw.clean_core_cow");
+        let img = match meta.inline_log {
+            Some(l) if l.arm == round && l.used > 0 => self.undo_applied_image(meta, &l),
+            _ => self.runtime_image(meta),
+        };
+        let ptr = self.persist_image(&img, inflight)?;
+        meta.epoch_capture = Some(ptr);
+        meta.epoch_round = round;
+        if let Some(log) = meta.inline_log.take() {
+            self.kill_inline_log(&log);
+            let _ = self.pers.alloc.free_page(log.frame);
+        }
+        self.metrics.record_backup_page(inflight);
+        self.pers.recorder().record(
+            treesls_obs::EventKind::HybridSacCopy,
+            [ptr.frame.0 as u64, inflight, 0, 2, 0, 0],
+        );
+        if first {
+            self.stats.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.record_epoch_conflict();
+            self.epoch_captures.lock().push(Arc::clone(slot));
+        }
+        self.stats.fault_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(first)
+    }
+
+    /// Post-commit eager fold (leader, after the commit record lands and
+    /// the fence disarms): every whole-page capture tagged with the
+    /// just-committed version becomes the page's `pairs[0]` backup, and
+    /// the page turns writable again — its runtime divergence was already
+    /// queued for the next round when the capture happened. In-line-logged
+    /// pages are left alone: the log *is* their durable image, and the
+    /// next CoW fault folds it lazily. Returns the number folded.
+    pub fn fold_epoch_captures(&self, committed: u64) -> u64 {
+        let slots = std::mem::take(&mut *self.epoch_captures.lock());
+        let mut folded = 0u64;
+        for slot in slots {
+            let mut meta = slot.meta.lock();
+            let Some(c) = meta.epoch_capture else { continue };
+            if c.version != committed {
+                continue; // aborted leftover: the lazy CoW fold handles it
+            }
+            meta.epoch_capture = None;
+            let old = meta.pairs[0];
+            meta.pairs[0] = Some(c);
+            if let Some(p) = old {
+                if p.frame != c.frame {
+                    let _ = self.pers.alloc.free_page(p.frame);
+                }
+            }
+            meta.writable = true;
+            drop(meta);
+            self.tracker.dirty_list.lock().push(slot);
+            folded += 1;
+        }
+        folded
+    }
+
+    /// Abort fold: the round armed for the fence's in-flight version died
+    /// before committing (in-process error path). Leftover captures and
+    /// logs carry a version tag that a *re-run* of the same version would
+    /// mistake for its own at eager-fold time, so they are folded down to
+    /// the committed version now: a capture's content is the committed
+    /// image (frozen pages take no writes between windows), and a logged
+    /// page's committed image is runtime ⊖ its records. Crash aborts
+    /// don't need this — restore normalizes the capture state itself.
+    pub fn fold_epoch_captures_aborted(&self) {
+        let global = self.pers.global_version();
+        let slots = std::mem::take(&mut *self.epoch_captures.lock());
+        for slot in slots {
+            let mut meta = slot.meta.lock();
+            let mut diverged = false;
+            if let Some(c) = meta.epoch_capture.take() {
+                if c.version > global {
+                    if global > 0 {
+                        let old = meta.pairs[0];
+                        meta.pairs[0] =
+                            Some(PagePtr { frame: c.frame, version: global, crc: c.crc });
+                        if let Some(p) = old {
+                            if p.frame != c.frame {
+                                let _ = self.pers.alloc.free_page(p.frame);
+                            }
+                        }
+                    } else {
+                        let _ = self.pers.alloc.free_page(c.frame);
+                    }
+                    diverged = true;
+                } else {
+                    meta.epoch_capture = Some(c);
+                }
+            }
+            if let Some(log) = meta.inline_log.take() {
+                if log.round > global {
+                    if log.used > 0 && global > 0 {
+                        let img = self.undo_applied_image(&meta, &log);
+                        if let Ok(ptr) = self.persist_image(&img, global) {
+                            let old = meta.pairs[0];
+                            meta.pairs[0] = Some(ptr);
+                            if let Some(p) = old {
+                                let _ = self.pers.alloc.free_page(p.frame);
+                            }
+                        }
+                    }
+                    self.kill_inline_log(&log);
+                    let _ = self.pers.alloc.free_page(log.frame);
+                    diverged = true;
+                } else {
+                    meta.inline_log = Some(log);
+                }
+            }
+            if diverged {
+                meta.writable = true;
+                drop(meta);
+                self.tracker.dirty_list.lock().push(slot);
+            }
+        }
+    }
+
+    /// The classic CoW duplicate (called with the slot lock held): copy
+    /// the runtime frame into `pairs[0]` tagged with the committed global
+    /// version, durable before the fault returns.
+    fn plain_cow_locked(&self, meta: &mut PageMeta, global: u64) -> Result<(), KernelError> {
+        let runtime = meta.pairs[1].expect("non-migrated page has a runtime NVM frame").frame;
+        let dst = match meta.pairs[0] {
+            Some(p) => p.frame,
+            None => self.pers.alloc.alloc_page()?,
+        };
+        let tc = Instant::now();
+        self.pers.dev.copy_frame(runtime, dst);
+        // Ordering point (ADR): the duplicate is the only version-N
+        // image once the triggering store lands on the runtime page,
+        // so it must be durable *before* this fault returns. A no-op
+        // under eADR.
+        self.pers.dev.flush_frame(dst, 0, treesls_nvm::PAGE_SIZE);
+        self.pers.dev.fence();
+        self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
+        let crc = self.pers.dev.page_crc(dst);
+        meta.pairs[0] = Some(PagePtr::backup(dst, global, crc));
+        self.metrics.record_backup_page(global);
+        self.pers.recorder().record(
+            treesls_obs::EventKind::CowFault,
+            [dst.0 as u64, global, runtime.0 as u64, 0, 0, 0],
+        );
+        Ok(())
+    }
+
     /// The copy-on-write fault handler (called with the slot lock held).
     ///
     /// Figure 5 step ❻: "the memory page will be duplicated to the backup
@@ -375,29 +726,56 @@ impl Kernel {
         self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
         let global = self.pers.global_version();
         if meta.runtime_dram.is_none() && self.config.do_copy {
-            let runtime =
-                meta.pairs[1].expect("non-migrated page has a runtime NVM frame").frame;
-            let dst = match meta.pairs[0] {
-                Some(p) => p.frame,
-                None => self.pers.alloc.alloc_page()?,
-            };
-            let tc = Instant::now();
-            self.pers.dev.copy_frame(runtime, dst);
-            // Ordering point (ADR): the duplicate is the only version-N
-            // image once the triggering store lands on the runtime page,
-            // so it must be durable *before* this fault returns. A no-op
-            // under eADR.
-            self.pers.dev.flush_frame(dst, 0, treesls_nvm::PAGE_SIZE);
-            self.pers.dev.fence();
-            self.stats.memcpy_ns.fetch_add(tc.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
-            let crc = self.pers.dev.page_crc(dst);
-            meta.pairs[0] = Some(PagePtr::backup(dst, global, crc));
-            self.metrics.record_backup_page(global);
-            self.pers.recorder().record(
-                treesls_obs::EventKind::CowFault,
-                [dst.0 as u64, global, runtime.0 as u64, 0, 0, 0],
-            );
+            if let Some(c) = meta.epoch_capture.take() {
+                // Lazy fold of an epoch capture (committed round not yet
+                // eagerly folded, or an aborted round): the capture *is*
+                // the page's best committed image — anchor it in
+                // `pairs[0]` instead of copying anything. A tag above the
+                // committed version retags down to it (the content is the
+                // frozen committed image either way).
+                if global > 0 {
+                    let old = meta.pairs[0];
+                    meta.pairs[0] = Some(PagePtr {
+                        frame: c.frame,
+                        version: c.version.min(global),
+                        crc: c.crc,
+                    });
+                    if let Some(p) = old {
+                        if p.frame != c.frame {
+                            let _ = self.pers.alloc.free_page(p.frame);
+                        }
+                    }
+                } else {
+                    let _ = self.pers.alloc.free_page(c.frame);
+                }
+                // An escalation leftover log is stale by construction.
+                if let Some(log) = meta.inline_log.take() {
+                    self.kill_inline_log(&log);
+                    let _ = self.pers.alloc.free_page(log.frame);
+                }
+            } else if let Some(log) = meta.inline_log.take() {
+                if log.round >= global && global > 0 && log.used > 0 {
+                    // The committed image is runtime ⊖ the logged window
+                    // writes; materialize it durably before the log dies.
+                    let img = self.undo_applied_image(meta, &log);
+                    let ptr = self.persist_image(&img, global)?;
+                    self.stats.cow_copies.fetch_add(1, Ordering::Relaxed);
+                    let old = meta.pairs[0];
+                    meta.pairs[0] = Some(ptr);
+                    if let Some(p) = old {
+                        let _ = self.pers.alloc.free_page(p.frame);
+                    }
+                    self.metrics.record_backup_page(global);
+                } else {
+                    // A stale log of an older committed round: the
+                    // runtime page has been the image since — plain CoW.
+                    self.plain_cow_locked(meta, global)?;
+                }
+                self.kill_inline_log(&log);
+                let _ = self.pers.alloc.free_page(log.frame);
+            } else {
+                self.plain_cow_locked(meta, global)?;
+            }
         }
         meta.writable = true;
         meta.hotness = meta.hotness.saturating_add(1);

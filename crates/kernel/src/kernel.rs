@@ -147,8 +147,17 @@ pub struct KernelConfig {
     /// Quiesce every core at each checkpoint instead of only the cores
     /// whose dirty set intersects the round (partial quiescence). Kept as
     /// the differential oracle for the partial-quiescence protocol, like
-    /// `force_full_walk` is for the dirty walk.
+    /// `force_full_walk` is for the dirty walk. Takes precedence over
+    /// `epoch_concurrent`.
     pub force_full_quiesce: bool,
+    /// Epoch-concurrent checkpointing: the stop window shrinks to an O(1)
+    /// epoch flip (cut the dirty queue, arm the fence, resume) and the
+    /// tree walk + page copies run concurrently with mutators, whose
+    /// first conflicting writes are captured in-line (whole-page epoch
+    /// captures, or ≤64 B undo records for small hot writes). `false`
+    /// falls back to partial quiescence (dirty-owning cores park for the
+    /// whole copy phase) as a differential oracle.
+    pub epoch_concurrent: bool,
     /// Checkpoint rounds between periodic full walks (the cycle collector
     /// for reference loops the O(deletions) tombstoning cannot reclaim;
     /// see DESIGN.md). `0` disables periodic full walks — unreachable
@@ -179,6 +188,7 @@ impl Default for KernelConfig {
             hybrid_copy: true,
             force_full_walk: false,
             force_full_quiesce: false,
+            epoch_concurrent: true,
             full_walk_interval: 64,
             latency: LatencyProfile::Uniform,
         }
@@ -411,17 +421,18 @@ impl Persistent {
 
 /// The per-round epoch fence of partial quiescence.
 ///
-/// While a partial stop-the-world pause is in progress, cores *outside*
-/// the round's stop set keep running. Their first conflicting write to a
-/// page whose epoch image has not been preserved yet must not destroy
-/// that image: the fault path consults this fence and routes such writes
-/// into a CoW capture of the pre-write page (migrated pages) or waits the
-/// fence out (non-migrated read-only pages, whose CoW slot still anchors
-/// the *previous* committed version until this round commits).
+/// While a checkpoint's copy phase is in progress, cores outside the
+/// round's stop set — under the default epoch-concurrent flip, *every*
+/// core — keep running. A conflicting write to a page whose round image
+/// has not been preserved yet must not destroy that image: the fault
+/// path consults this fence and preserves the image in-line — a small
+/// write (≤ 64 B changed) appends a record-level undo entry to the
+/// page's in-line log, a large one captures the whole pre-write page
+/// (see `fault.rs`). Nobody ever waits the fence out.
 ///
-/// Armed by the checkpoint leader before `stop_world`, disarmed right
-/// after the commit record lands (from then on the ordinary post-commit
-/// CoW path preserves images correctly).
+/// Armed by the checkpoint leader once the stop set (possibly empty) has
+/// parked, disarmed right after the commit record lands (from then on
+/// the ordinary post-commit CoW path preserves images correctly).
 #[derive(Debug, Default)]
 pub struct EpochFence {
     active: AtomicBool,
@@ -431,19 +442,92 @@ pub struct EpochFence {
     /// round leaves stale captures carrying the same in-flight version,
     /// and the next round must not mistake them for its own.
     round: AtomicU64,
+    /// Epoch-flip seal. While the fence is armed but *unsealed* the
+    /// leader is still defining the round's page images (step grace +
+    /// `mark_readonly` + queue cut), so a program step that started
+    /// *after* the arm must not write yet: its first write spins until
+    /// the seal (see `write_page_slot`), which makes every step land
+    /// entirely before or entirely after the flip image — step-granular
+    /// atomicity without parking any core. Steps that started before
+    /// the arm write through freely; the leader's grace period waits
+    /// them out before marking. `arm` seals immediately (the historical
+    /// partial-quiescence protocol, where parking provides atomicity);
+    /// only the epoch-concurrent flip uses [`arm_unsealed`]/[`seal`].
+    ///
+    /// [`arm_unsealed`]: Self::arm_unsealed
+    /// [`seal`]: Self::seal
+    sealed: AtomicBool,
+    /// `true` while the armed round runs the no-park flip protocol
+    /// ([`arm_unsealed`](Self::arm_unsealed)): core steps whose latched
+    /// round predates the arm bypass the capture gate entirely — the
+    /// leader's grace period waits them out, so their writes order as
+    /// pre-flip. Under the parked protocols ([`arm`](Self::arm)) no
+    /// grace period runs and every fence-window write must capture.
+    flip: AtomicBool,
 }
 
 impl EpochFence {
-    /// Arms the fence for the round checkpointing version `inflight`.
+    /// Arms the fence for the round checkpointing version `inflight`,
+    /// already sealed: captures fire from the first post-arm write.
     pub fn arm(&self, inflight: u64) {
         self.inflight.store(inflight, Ordering::Release);
-        self.round.fetch_add(1, Ordering::Release);
-        self.active.store(true, Ordering::Release);
+        self.sealed.store(true, Ordering::SeqCst);
+        self.flip.store(false, Ordering::SeqCst);
+        self.round.fetch_add(1, Ordering::SeqCst);
+        self.active.store(true, Ordering::SeqCst);
     }
 
-    /// Disarms the fence (round committed or aborted).
+    /// Arms the fence unsealed (epoch-concurrent flip): post-arm steps
+    /// hold their first write until [`seal`](Self::seal). SeqCst so the
+    /// arm totally orders against every core's step-start fence load —
+    /// a step that missed the arm is provably visible to the leader's
+    /// subsequent grace scan.
+    pub fn arm_unsealed(&self, inflight: u64) {
+        self.inflight.store(inflight, Ordering::Release);
+        self.sealed.store(false, Ordering::SeqCst);
+        self.flip.store(true, Ordering::SeqCst);
+        self.round.fetch_add(1, Ordering::SeqCst);
+        self.active.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` while the armed round uses the no-park flip
+    /// protocol (pre-arm core steps write through; see
+    /// [`arm_unsealed`](Self::arm_unsealed)).
+    #[inline]
+    pub fn flip_protocol(&self) -> bool {
+        self.flip.load(Ordering::SeqCst)
+    }
+
+    /// Seals the flip: the round's images are all preserved (or capture-
+    /// protected), held first writes may proceed into conflict capture.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` once the armed round's flip images are defined
+    /// (always `true` for [`arm`](Self::arm)ed rounds).
+    #[inline]
+    pub fn sealed(&self) -> bool {
+        self.sealed.load(Ordering::SeqCst)
+    }
+
+    /// The round counter if the fence is armed, else 0 (never a valid
+    /// round: arming starts at 1). Step starts latch this with SeqCst
+    /// ordering against their step-sequence publication.
+    #[inline]
+    pub fn active_round(&self) -> u64 {
+        if self.active.load(Ordering::SeqCst) {
+            self.round.load(Ordering::SeqCst)
+        } else {
+            0
+        }
+    }
+
+    /// Disarms the fence (round committed or aborted). Also seals, so a
+    /// write held at an aborted unsealed flip is released.
     pub fn disarm(&self) {
-        self.active.store(false, Ordering::Release);
+        self.active.store(false, Ordering::SeqCst);
+        self.sealed.store(true, Ordering::SeqCst);
     }
 
     /// Returns `true` while a partial-quiescence round is in flight.
@@ -499,6 +583,15 @@ pub struct Kernel {
     /// Per-round epoch fence consulted by the write-fault path while a
     /// partial-quiescence pause is in flight.
     pub fence: EpochFence,
+    /// Per-core step-boundary publication for the epoch flip's no-park
+    /// grace period (see [`crate::cores::StepTracker`]).
+    pub steps: crate::cores::StepTracker,
+    /// Page slots that took a whole-page epoch capture or an in-line undo
+    /// log during the current round's fence window. The leader folds the
+    /// committed captures into the pairs right after commit (and the CoW
+    /// fault path folds any stragglers lazily); volatile — restore
+    /// re-derives everything from the per-slot persistent state.
+    pub epoch_captures: Mutex<Vec<Arc<crate::pmo::PageSlot>>>,
     /// Fault/copy counters and timers (Figure 10 / Table 4).
     pub stats: KernelStats,
     /// Cross-cutting metrics registry (see `treesls-obs`), shared with the
@@ -537,6 +630,8 @@ impl Kernel {
             rounds_since_full: AtomicU64::new(0),
             pending_sweep: Mutex::new(Vec::new()),
             fence: EpochFence::default(),
+            steps: crate::cores::StepTracker::default(),
+            epoch_captures: Mutex::new(Vec::new()),
             stats: KernelStats::new(),
             metrics: Arc::new(MetricsRegistry::new()),
             irq_lines: Mutex::new(HashMap::new()),

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use treesls_nvm::{DramId, FrameId};
+use treesls_nvm::{crc32, DramId, FrameId, PAGE_SIZE};
 
 use crate::radix::Radix;
 
@@ -66,6 +66,144 @@ impl PagePtr {
     }
 }
 
+/// Maximum payload of one in-line undo record: one cache line of changed
+/// bytes (Cohen et al., In-Cache-Line Logging). Bigger writes escalate to
+/// a whole-page epoch capture.
+pub const INLINE_MAX_DATA: usize = 64;
+
+/// Fixed header size of one in-line undo record.
+pub const UNDO_HEADER: usize = 16;
+
+/// Capacity of a page's in-line undo log: one NVM frame.
+pub const INLINE_LOG_CAP: usize = PAGE_SIZE;
+
+/// On-NVM size of an undo record with `len` payload bytes (header plus
+/// payload padded to 8 bytes, so headers stay naturally aligned).
+pub const fn undo_record_size(len: usize) -> usize {
+    UNDO_HEADER + ((len + 7) & !7)
+}
+
+/// One parsed in-line undo record: the pre-write image of `data.len()`
+/// bytes at `offset` within the page, captured during round `version`'s
+/// epoch window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoRecord {
+    /// The in-flight round whose epoch window captured this undo image.
+    pub version: u64,
+    /// Byte offset of the span within the page.
+    pub offset: u16,
+    /// Pre-write bytes (1..=[`INLINE_MAX_DATA`]).
+    pub data: Vec<u8>,
+}
+
+/// Encodes one undo record (little-endian header, CRC over the header
+/// minus the CRC field plus the payload, payload zero-padded to 8 bytes):
+///
+/// ```text
+/// [0..8)  version u64    round that captured the image (never 0)
+/// [8..10) offset  u16    byte offset within the page
+/// [10..12) len    u16    payload length, 1..=64
+/// [12..16) crc    u32    crc32(bytes[0..12] ++ data)
+/// [16..)  data           payload, zero-padded to a multiple of 8
+/// ```
+pub fn encode_undo_record(version: u64, offset: u16, data: &[u8]) -> Vec<u8> {
+    assert!(!data.is_empty() && data.len() <= INLINE_MAX_DATA);
+    assert_ne!(version, 0, "round versions start at 1");
+    let mut buf = vec![0u8; undo_record_size(data.len())];
+    buf[0..8].copy_from_slice(&version.to_le_bytes());
+    buf[8..10].copy_from_slice(&offset.to_le_bytes());
+    buf[10..12].copy_from_slice(&(data.len() as u16).to_le_bytes());
+    let crc = treesls_nvm::crc32_update(crc32(&buf[0..12]), data);
+    buf[12..16].copy_from_slice(&crc.to_le_bytes());
+    buf[UNDO_HEADER..UNDO_HEADER + data.len()].copy_from_slice(data);
+    buf
+}
+
+/// Parses the valid prefix of an in-line undo log image.
+///
+/// Walks records from offset 0 and stops at the first terminator: a zero
+/// version (empty tail, or a durably killed log), a zero or oversized
+/// length, a span that would cross the page end, a CRC mismatch (torn
+/// append), or a version that differs from the first record's (a stale
+/// tail left over from an earlier, killed round — rounds only grow, and a
+/// live log holds exactly one round's records). Everything before the
+/// terminator is intact by CRC and is returned in append order.
+pub fn parse_undo_records(buf: &[u8]) -> Vec<UndoRecord> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + UNDO_HEADER <= buf.len() {
+        let version = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        if version == 0 {
+            break;
+        }
+        let offset = u16::from_le_bytes(buf[pos + 8..pos + 10].try_into().unwrap());
+        let len = u16::from_le_bytes(buf[pos + 10..pos + 12].try_into().unwrap()) as usize;
+        if len == 0 || len > INLINE_MAX_DATA || offset as usize + len > PAGE_SIZE {
+            break;
+        }
+        if pos + undo_record_size(len) > buf.len() {
+            break;
+        }
+        let crc = u32::from_le_bytes(buf[pos + 12..pos + 16].try_into().unwrap());
+        let data = &buf[pos + UNDO_HEADER..pos + UNDO_HEADER + len];
+        let want = treesls_nvm::crc32_update(crc32(&buf[pos..pos + 12]), data);
+        if crc != want {
+            break;
+        }
+        if out.first().is_some_and(|f: &UndoRecord| f.version != version) {
+            break;
+        }
+        out.push(UndoRecord { version, offset, data: data.to_vec() });
+        pos += undo_record_size(len);
+    }
+    out
+}
+
+/// Applies parsed undo records to a page image, newest first, recovering
+/// the pre-window content. Idempotent: re-applying after a crash mid-way
+/// converges on the same image.
+pub fn apply_undo_records(page: &mut [u8; PAGE_SIZE], records: &[UndoRecord]) {
+    for r in records.iter().rev() {
+        let off = r.offset as usize;
+        page[off..off + r.data.len()].copy_from_slice(&r.data);
+    }
+}
+
+/// Per-page in-line undo log state: a lazily allocated NVM frame holding
+/// [`UndoRecord`]s for exactly one round's epoch window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InlineLog {
+    /// The NVM frame holding the records.
+    pub frame: FrameId,
+    /// The in-flight *version* whose first-write undo images the log
+    /// holds (matches the records' version tags; persistent).
+    pub round: u64,
+    /// Bytes appended so far (next append offset).
+    pub used: u32,
+    /// The `EpochFence` arm counter of the window that wrote the records.
+    /// Volatile (meaningless after restore): distinguishes a live window's
+    /// log from a stale one left by an aborted round that re-armed with
+    /// the same in-flight version — the stale log must be folded before
+    /// the new window logs anything.
+    pub arm: u64,
+}
+
+/// The image source [`PageMeta::restore_image`] selects for a page at a
+/// given committed global version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreImage {
+    /// A whole-page epoch capture frame holds the committed image.
+    Capture(PagePtr),
+    /// `pairs[i]` holds the image (the classic CPP rule).
+    Pair(usize),
+    /// The image is the runtime NVM frame with the in-line undo log
+    /// applied newest-first (the page only took small logged writes
+    /// during the epoch window).
+    Log(InlineLog),
+    /// No recoverable data.
+    None,
+}
+
 /// Persistent + volatile per-page state.
 ///
 /// The `pairs` array is persistent checkpoint metadata; the remaining
@@ -98,6 +236,18 @@ pub struct PageMeta {
     /// restore) — rounds start at 1 and are never reused, so a stale value
     /// from an aborted round can never match the live round.
     pub epoch_round: u64,
+    /// Whole-page epoch capture for non-migrated pages: the pre-write
+    /// round image preserved by the first big conflicting write of an
+    /// epoch window (version = the in-flight round). Persistent: restore
+    /// prefers it over the pairs when its version matches the committed
+    /// global. Folded into `pairs[0]` after commit (eagerly by the leader
+    /// or lazily by the next CoW fault) and the frame is then reused.
+    pub epoch_capture: Option<PagePtr>,
+    /// In-line undo log for small hot writes during an epoch window:
+    /// instead of a whole-page copy, each ≤[`INLINE_MAX_DATA`]-byte first
+    /// write appends a pre-write undo record. Persistent: restore
+    /// reconstructs the round image as runtime ⊖ reverse(records).
+    pub inline_log: Option<InlineLog>,
 }
 
 impl PageMeta {
@@ -117,6 +267,8 @@ impl PageMeta {
             idle_rounds: 0,
             eternal: false,
             epoch_round: 0,
+            epoch_capture: None,
+            inline_log: None,
         }
     }
 
@@ -173,6 +325,48 @@ impl PageMeta {
         match self.restore_pick(global) {
             Some(keep) => 1 - keep,
             None => 0,
+        }
+    }
+
+    /// Picks the image source for the committed version `global`,
+    /// generalizing [`restore_pick`](Self::restore_pick) to the
+    /// epoch-concurrent capture state. Preference order:
+    ///
+    /// 1. an epoch capture tagged exactly `global` (the round committed
+    ///    but the capture was not folded yet — the runtime page is already
+    ///    dirtier than the image);
+    /// 2. a pair slot tagged exactly `global` (the classic CPP case ❶);
+    /// 3. an epoch capture tagged `> global` (the window's round aborted,
+    ///    but the capture content *is* the last committed image: captures
+    ///    only happen on read-only pages, frozen since their last commit).
+    ///    A capture beats a same-round log because escalation stops
+    ///    logging — post-escalation writes are only undone by the capture;
+    /// 4. the in-line log when its round is `>= global` (the page took
+    ///    only small logged writes during the window; undoing them
+    ///    newest-first recovers the frozen image from the runtime frame);
+    /// 5. the classic pairs fallback (v0 runtime page / best committed
+    ///    backup).
+    pub fn restore_image(&self, global: u64) -> RestoreImage {
+        if self.epoch_capture.is_some_and(|c| c.version == global) {
+            return RestoreImage::Capture(self.epoch_capture.unwrap());
+        }
+        if self.pairs[0].is_some_and(|p| p.version != 0 && p.version == global) {
+            return RestoreImage::Pair(0);
+        }
+        if self.pairs[1].is_some_and(|p| p.version != 0 && p.version == global) {
+            return RestoreImage::Pair(1);
+        }
+        if self.epoch_capture.is_some_and(|c| c.version > global) {
+            return RestoreImage::Capture(self.epoch_capture.unwrap());
+        }
+        if let Some(log) = self.inline_log {
+            if log.round >= global && !self.is_migrated() {
+                return RestoreImage::Log(log);
+            }
+        }
+        match self.restore_pick(global) {
+            Some(i) => RestoreImage::Pair(i),
+            None => RestoreImage::None,
         }
     }
 }
@@ -310,6 +504,8 @@ mod tests {
             idle_rounds: 0,
             eternal: false,
             epoch_round: 0,
+            epoch_capture: None,
+            inline_log: None,
         };
         assert_eq!(m.restore_pick(20), Some(1));
         let m2 = PageMeta { pairs: [pp(1, 9), pp(2, 8)], ..m.clone() };
@@ -331,6 +527,8 @@ mod tests {
             idle_rounds: 0,
             eternal: false,
             epoch_round: 0,
+            epoch_capture: None,
+            inline_log: None,
         };
         assert_eq!(m.restore_pick(5), Some(0), "must ignore version 6 > global 5");
     }
@@ -365,6 +563,8 @@ mod tests {
                     idle_rounds: 0,
                     eternal: false,
                     epoch_round: 0,
+                    epoch_capture: None,
+                    inline_log: None,
                 };
                 if let Some(keep) = m.restore_pick(global) {
                     assert_ne!(m.sac_dst(global), keep, "global={global} pairs={pairs:?}");
@@ -389,5 +589,92 @@ mod tests {
     #[test]
     fn eternal_kind_is_distinct() {
         assert_ne!(PmoKind::Data, PmoKind::Eternal);
+    }
+
+    #[test]
+    fn undo_record_roundtrip_and_padding() {
+        let rec = encode_undo_record(7, 100, b"hello");
+        assert_eq!(rec.len(), undo_record_size(5));
+        assert_eq!(rec.len() % 8, 0);
+        let parsed = parse_undo_records(&rec);
+        assert_eq!(
+            parsed,
+            vec![UndoRecord { version: 7, offset: 100, data: b"hello".to_vec() }]
+        );
+    }
+
+    #[test]
+    fn undo_parse_stops_at_terminators() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_undo_record(3, 0, &[1u8; 64]));
+        buf.extend_from_slice(&encode_undo_record(3, 64, &[2u8; 8]));
+        // Torn third record: corrupt one payload byte after encoding.
+        let mut torn = encode_undo_record(3, 128, &[3u8; 8]);
+        torn[UNDO_HEADER] ^= 0xFF;
+        buf.extend_from_slice(&torn);
+        let parsed = parse_undo_records(&buf);
+        assert_eq!(parsed.len(), 2, "CRC-torn tail record dropped");
+
+        // A stale tail from an older killed round terminates the walk.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&encode_undo_record(9, 0, &[1u8; 8]));
+        buf.extend_from_slice(&encode_undo_record(4, 8, &[2u8; 8]));
+        assert_eq!(parse_undo_records(&buf).len(), 1);
+
+        // A durably killed log (zeroed header) parses as empty.
+        let mut buf = encode_undo_record(5, 0, &[1u8; 8]);
+        buf[..UNDO_HEADER].fill(0);
+        assert!(parse_undo_records(&buf).is_empty());
+    }
+
+    #[test]
+    fn apply_undo_is_newest_first() {
+        // Two records touching the same span: the *first* write of the
+        // window holds the pre-window image, so applying newest-first
+        // must leave record 0's data in place.
+        let recs = vec![
+            UndoRecord { version: 2, offset: 0, data: vec![0xAA; 4] },
+            UndoRecord { version: 2, offset: 2, data: vec![0xBB; 4] },
+        ];
+        let mut page = [0u8; PAGE_SIZE];
+        apply_undo_records(&mut page, &recs);
+        assert_eq!(&page[0..4], &[0xAA; 4]);
+        assert_eq!(&page[4..6], &[0xBB; 2]);
+    }
+
+    #[test]
+    fn restore_image_prefers_capture_at_global() {
+        let mut m = PageMeta::new_runtime(FrameId(1));
+        m.pairs[0] = pp(2, 5);
+        m.epoch_capture = Some(PagePtr::backup(FrameId(3), 5, 0));
+        assert!(matches!(m.restore_image(5), RestoreImage::Capture(c) if c.frame == FrameId(3)));
+        // Exact pair match beats a future-round capture.
+        m.epoch_capture = Some(PagePtr::backup(FrameId(3), 6, 0));
+        assert_eq!(m.restore_image(5), RestoreImage::Pair(0));
+    }
+
+    #[test]
+    fn restore_image_aborted_round_capture_beats_log_and_runtime() {
+        // Crash during window 6 (global stayed 5): the capture holds the
+        // frozen committed image; the runtime page is dirtier.
+        let mut m = PageMeta::new_runtime(FrameId(1));
+        m.epoch_capture = Some(PagePtr::backup(FrameId(3), 6, 0));
+        m.inline_log = Some(InlineLog { frame: FrameId(4), round: 6, used: 24, arm: 1 });
+        assert!(matches!(m.restore_image(5), RestoreImage::Capture(c) if c.version == 6));
+        // Without the capture, the log reconstructs the image.
+        m.epoch_capture = None;
+        assert!(matches!(m.restore_image(5), RestoreImage::Log(l) if l.round == 6));
+        // Without either, the classic rule falls back to the runtime page.
+        m.inline_log = None;
+        assert_eq!(m.restore_image(5), RestoreImage::Pair(1));
+    }
+
+    #[test]
+    fn restore_image_matches_classic_rule_without_capture_state() {
+        let mut m = PageMeta::new_runtime(FrameId(1));
+        m.pairs[0] = pp(2, 3);
+        assert_eq!(m.restore_image(5), RestoreImage::Pair(1));
+        m.pairs[0] = pp(2, 5);
+        assert_eq!(m.restore_image(5), RestoreImage::Pair(0));
     }
 }

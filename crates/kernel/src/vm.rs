@@ -8,6 +8,17 @@
 //! be persisted". The soft page table here is exactly that: a volatile
 //! vpn → page-slot cache that is dropped on crash and repopulated by soft
 //! page faults after restore.
+//!
+//! Write protection deliberately does NOT live in the cached translation.
+//! A [`PteCache`] entry carries only the region permissions from map time;
+//! the per-checkpoint CoW state (`writable`, migration, the in-line undo
+//! log) lives in the shared [`PageSlot`]'s `PageMeta`, which every write
+//! takes a lock on. That split is what lets the epoch flip's
+//! `mark_readonly` pass stay O(dirty pages) with no shootdown analog: the
+//! leader flips `meta.writable` under each slot lock and every cached
+//! translation — on every core — observes it on its next write, so there
+//! is no per-core TLB/PTE invalidation step to add to the O(1) stop
+//! window (DESIGN.md "Epoch-concurrent checkpointing: the no-park flip").
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -45,6 +56,11 @@ impl VmRegion {
 }
 
 /// A cached translation: the shared page slot plus region permissions.
+///
+/// Checkpoint-epoch write-protection state is *not* cached here — it is
+/// read from the slot's `PageMeta` under its lock on every write, so a
+/// flip never has to find or invalidate these entries (see the module
+/// docs).
 #[derive(Debug, Clone)]
 pub struct PteCache {
     /// The shared page slot holding the page's physical state.

@@ -63,6 +63,8 @@ proptest! {
             idle_rounds: 0,
             eternal: false,
             epoch_round: 0,
+            epoch_capture: None,
+            inline_log: None,
         };
         let pick = meta.restore_pick(global);
         let committed_exists =

@@ -749,13 +749,21 @@ pub struct QueueStats {
 
 impl CkptCallback for VirtualNic {
     fn on_epoch(&self, _version: u64) {
-        // Inside the stop-the-world pause: snapshot every queue's TX
-        // writer. Under partial quiescence, servers on clean cores keep
-        // producing responses through the copy phase; those responses'
-        // producing state is captured by the *next* checkpoint, so the
-        // commit barrier below must not release them (the snapshot is
-        // the cap). Under full quiescence nothing runs between here and
-        // the commit, so the cap is exactly the barrier-time writer.
+        // Inside the stop window: snapshot every queue's TX writer —
+        // this is the commit barrier's TX cut. Under the default
+        // epoch-concurrent flip NO server parks: every core keeps
+        // producing responses through the copy phase (their first
+        // conflicting writes self-capture the flip image), and a
+        // response appended after this cut was produced by state the
+        // *next* checkpoint covers — so the commit barrier below must
+        // not release it (the snapshot is the cap). The cut is sound
+        // because this callback runs inside the grace-held flip window:
+        // pre-arm steps have finished and post-arm steps are held at
+        // their first write until the seal, so no ring append lands
+        // between this read and the flip. Partial quiescence (clean
+        // cores running) needs the same cap; under full quiescence
+        // nothing runs between here and the commit, so the cap is
+        // exactly the barrier-time writer.
         for q in 0..self.layout.queues {
             let port = self.layout.port(q);
             if let Ok(w) = ring::header(&self.io, &port.tx, hdr::WRITER) {

@@ -178,6 +178,10 @@ pub struct MetricsRegistry {
     shard_contention: AtomicU64,
     quiesced_cores: AtomicU64,
     epoch_conflicts: AtomicU64,
+    epoch_flips: AtomicU64,
+    inline_log_captures: AtomicU64,
+    inline_log_bytes: AtomicU64,
+    concurrent_copy_ns: AtomicU64,
     net_requests: AtomicU64,
     net_sheds: AtomicU64,
     net_rearms: AtomicU64,
@@ -336,6 +340,40 @@ impl MetricsRegistry {
     pub fn record_epoch_conflict(&self) {
         #[cfg(feature = "metrics")]
         self.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one epoch flip: an O(1) stop window that armed the fence,
+    /// cut the dirty queue, and resumed — leaving the copy phase to run
+    /// concurrently with mutators.
+    #[inline]
+    pub fn record_epoch_flip(&self) {
+        #[cfg(feature = "metrics")]
+        self.epoch_flips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one in-line undo record appended by the conflict path (a
+    /// sub-cache-line first write that logged its pre-image instead of
+    /// duplicating the whole page). `bytes` is the encoded record size.
+    #[inline]
+    pub fn record_inline_log(&self, bytes: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.inline_log_captures.fetch_add(1, Ordering::Relaxed);
+            self.inline_log_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = bytes;
+    }
+
+    /// Updates the concurrent-copy gauge: nanoseconds the last round spent
+    /// draining the cut and copying pages *outside* the stop window,
+    /// overlapped with mutators.
+    #[inline]
+    pub fn set_concurrent_copy_ns(&self, ns: u64) {
+        #[cfg(feature = "metrics")]
+        self.concurrent_copy_ns.store(ns, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = ns;
     }
 
     /// Records one request admitted by a virtual NIC.
@@ -505,6 +543,10 @@ impl MetricsRegistry {
                 shard_contention: l(&self.shard_contention),
                 quiesced_cores: l(&self.quiesced_cores),
                 epoch_conflicts: l(&self.epoch_conflicts),
+                epoch_flips: l(&self.epoch_flips),
+                inline_log_captures: l(&self.inline_log_captures),
+                inline_log_bytes: l(&self.inline_log_bytes),
+                concurrent_copy_ns: l(&self.concurrent_copy_ns),
                 net_requests: l(&self.net_requests),
                 net_sheds: l(&self.net_sheds),
                 net_rearms: l(&self.net_rearms),
@@ -587,6 +629,16 @@ pub struct MetricsSnapshot {
     pub quiesced_cores: u64,
     /// Epoch-fence conflict captures by free cores during partial pauses.
     pub epoch_conflicts: u64,
+    /// Epoch-concurrent rounds: O(1) flips whose copy phase ran with
+    /// mutators live.
+    pub epoch_flips: u64,
+    /// In-line undo records appended instead of whole-page captures.
+    pub inline_log_captures: u64,
+    /// Encoded bytes appended to in-line undo logs.
+    pub inline_log_bytes: u64,
+    /// Gauge: nanoseconds the last round spent copying concurrently with
+    /// mutators (outside the stop window).
+    pub concurrent_copy_ns: u64,
     /// Requests admitted by virtual NICs.
     pub net_requests: u64,
     /// Requests shed by NIC admission control (`Busy` replies).
@@ -685,6 +737,10 @@ impl MetricsSnapshot {
             shard_contention: self.shard_contention,
             quiesced_cores: self.quiesced_cores,
             epoch_conflicts: self.epoch_conflicts - earlier.epoch_conflicts,
+            epoch_flips: self.epoch_flips - earlier.epoch_flips,
+            inline_log_captures: self.inline_log_captures - earlier.inline_log_captures,
+            inline_log_bytes: self.inline_log_bytes - earlier.inline_log_bytes,
+            concurrent_copy_ns: self.concurrent_copy_ns,
             net_requests: self.net_requests - earlier.net_requests,
             net_sheds: self.net_sheds - earlier.net_sheds,
             net_rearms: self.net_rearms - earlier.net_rearms,
@@ -735,6 +791,10 @@ impl MetricsSnapshot {
                     ("restores".into(), u(self.restores)),
                     ("quiesced_cores".into(), u(self.quiesced_cores)),
                     ("epoch_conflicts".into(), u(self.epoch_conflicts)),
+                    ("epoch_flips".into(), u(self.epoch_flips)),
+                    ("inline_log_captures".into(), u(self.inline_log_captures)),
+                    ("inline_log_bytes".into(), u(self.inline_log_bytes)),
+                    ("concurrent_copy_ns".into(), u(self.concurrent_copy_ns)),
                     ("pause".into(), self.pause.to_json()),
                 ]),
             ),
@@ -894,6 +954,10 @@ mod tests {
         r.record_net_barrier(2, 4, 6, 11);
         r.set_quiesced_cores(3);
         r.record_epoch_conflict();
+        r.record_epoch_flip();
+        r.record_inline_log(24);
+        r.record_inline_log(40);
+        r.set_concurrent_copy_ns(12_345);
         r.record_net_batch(2, 10);
         r.record_net_batch(2, 6);
         r.record_net_batch(17, 4); // folds to shard 1
@@ -914,6 +978,10 @@ mod tests {
             assert_eq!(a.net_tx_occupancy_hwm, 11);
             assert_eq!(a.quiesced_cores, 3);
             assert_eq!(a.epoch_conflicts, 1);
+            assert_eq!(a.epoch_flips, 1);
+            assert_eq!(a.inline_log_captures, 2);
+            assert_eq!(a.inline_log_bytes, 64);
+            assert_eq!(a.concurrent_copy_ns, 12_345);
             assert_eq!(a.pause.count, 1);
             assert_eq!(a.net_shard_requests[2], 16);
             assert_eq!(a.net_shard_requests[1], 4);

@@ -120,6 +120,15 @@ pub enum EventKind {
     /// A peer requested a full-snapshot resync after a delta gap or a
     /// quarantined frame. Payload: `[epoch, peer_applied_round, peer, 0, 0, 0]`.
     ReplResync = 19,
+    /// An epoch-concurrent round flipped its epoch: the O(1) stop window
+    /// ended and the drain/copy phase began with mutators live. Payload:
+    /// `[inflight_version, fence_round, cut_depth, owner_mask,
+    /// flip_pause_ns, 0]`.
+    EpochFlip = 20,
+    /// A first conflicting write of the round appended an in-line undo
+    /// record instead of taking a whole-page capture. Payload:
+    /// `[log_frame, inflight_version, offset, len, log_used_after, 0]`.
+    InlineLog = 21,
 }
 
 impl EventKind {
@@ -145,6 +154,8 @@ impl EventKind {
             17 => EventKind::ReplAck,
             18 => EventKind::ReplDegraded,
             19 => EventKind::ReplResync,
+            20 => EventKind::EpochFlip,
+            21 => EventKind::InlineLog,
             _ => return None,
         })
     }
@@ -171,6 +182,8 @@ impl EventKind {
             EventKind::ReplAck => "repl_ack",
             EventKind::ReplDegraded => "repl_degraded",
             EventKind::ReplResync => "repl_resync",
+            EventKind::EpochFlip => "epoch_flip",
+            EventKind::InlineLog => "inline_log",
         }
     }
 }

@@ -331,23 +331,49 @@ impl Shipper {
                         return;
                     }
                     let meta = entry.slot.meta.lock();
-                    let Some(pick) = meta.restore_pick(round) else {
-                        return;
-                    };
-                    let ptr = meta.pairs[pick].expect("picked pair exists");
-                    // Version 0 ("the runtime page is the image") travels
-                    // as-is: it is round-independent, so re-serializing an
-                    // unchanged record at a later round yields identical
-                    // bytes, and the promotion path accepts it (a v0
-                    // backup is picked by the (Some, None) fallthrough).
-                    let version = ptr.version;
+                    // The shipped bytes must be the *frozen* round image,
+                    // not the live runtime — under epoch-concurrent
+                    // checkpointing a page's round image may live in a
+                    // not-yet-folded whole-page capture, or be
+                    // reconstructible only as runtime ⊖ its in-line undo
+                    // log (mutators kept writing through the copy phase).
+                    use treesls_kernel::pmo::RestoreImage;
                     let mut data = Box::new([0u8; 4096]);
-                    self.kernel.pers.dev.read_page(ptr.frame, &mut data);
+                    let (version, stored_crc) = match meta.restore_image(round) {
+                        RestoreImage::Capture(c) => {
+                            self.kernel.pers.dev.read_page(c.frame, &mut data);
+                            (c.version.min(round), c.crc)
+                        }
+                        RestoreImage::Log(log) => {
+                            let rt = meta.pairs[1]
+                                .expect("logged pages are non-migrated")
+                                .frame;
+                            self.kernel.pers.dev.read_page(rt, &mut data);
+                            let mut raw_log = vec![0u8; log.used as usize];
+                            self.kernel.pers.dev.read(log.frame, 0, &mut raw_log);
+                            let recs = treesls_kernel::pmo::parse_undo_records(&raw_log);
+                            treesls_kernel::pmo::apply_undo_records(&mut data, &recs);
+                            (round, None)
+                        }
+                        // Version 0 ("the runtime page is the image")
+                        // travels as-is: it is round-independent, so
+                        // re-serializing an unchanged record at a later
+                        // round yields identical bytes, and the promotion
+                        // path accepts it (a v0 backup is picked by the
+                        // (Some, None) fallthrough).
+                        RestoreImage::Pair(pick) => {
+                            let ptr = meta.pairs[pick].expect("picked pair exists");
+                            self.kernel.pers.dev.read_page(ptr.frame, &mut data);
+                            (ptr.version, ptr.crc)
+                        }
+                        RestoreImage::None => return,
+                    };
                     // Backup pages are frozen, so their stored CRC matches
                     // the bytes read. A runtime page (no stored CRC) may be
-                    // an eternal ring a host client is writing right now:
+                    // an eternal ring a host client is writing right now,
+                    // and a log reconstruction is computed on the fly:
                     // hash the bytes we actually read, not the frame again.
-                    let crc = ptr.crc.unwrap_or_else(|| treesls_nvm::crc32(&data[..]));
+                    let crc = stored_crc.unwrap_or_else(|| treesls_nvm::crc32(&data[..]));
                     manifest.push((idx, version, crc));
                     if ship_all || cache.get(&(raw, idx)) != Some(&crc) {
                         pages.push(Frame::Page { oroot: raw, idx, version, crc, data });

@@ -100,6 +100,12 @@ fn extsync_cycle_survives_crash_at_every_site() {
     // release barrier.
     assert!(names.contains("stw.partial_gate"), "sites: {names:?}");
     assert!(names.contains("stw.epoch_fence"), "sites: {names:?}");
+    // Epoch-concurrent checkpointing adds two more: right after the
+    // O(1) epoch flip (dirty cut taken, cores already resumed), and at
+    // the start of the concurrent drain where the tree walk races live
+    // mutators.
+    assert!(names.contains("stw.epoch_flip"), "sites: {names:?}");
+    assert!(names.contains("ckpt.concurrent_drain"), "sites: {names:?}");
     report.assert_clean();
 }
 
@@ -221,6 +227,70 @@ fn clean_core_cow_crash_is_survivable_and_heals() {
     let (mut sys2, report) =
         System::recover(image, scenario.config(), |r| scenario.programs(r))
             .expect("recovery after mid-capture crash");
+    scenario.reattach(&mut sys2, &mut st);
+    sys2.manager().fire_restore_callbacks(report.version);
+    sys2.manager().verify_checkpoint().expect("checkpoint consistent after crash");
+    let walks_before = sys2.kernel().metrics.snapshot().tree_full_walks;
+    scenario.verify(&mut sys2, &mut st, &report).expect("oracle after crash");
+    let walks_after = sys2.kernel().metrics.snapshot().tree_full_walks;
+    assert!(
+        walks_after > walks_before,
+        "first post-restore checkpoint did not run the healing full walk \
+         ({walks_before} -> {walks_after})"
+    );
+}
+
+/// The in-line log capture ("ckpt.inline_log_capture") fires on a small
+/// (≤ 1 cache line) mutator write to a committed *non-migrated* page
+/// racing the concurrent copy phase — again a schedule single-threaded
+/// site enumeration never produces. Dedicated drill: commit one round so
+/// the heap pages are read-only but not yet hot enough to migrate, arm
+/// the fence the way the epoch flip would, issue an 8-byte host write
+/// (undo record, not whole-page CoW), crash inside the capture, and
+/// check that recovery rolls back to the last commit and the first
+/// post-restore checkpoint runs the healing full walk.
+#[test]
+fn inline_log_capture_crash_is_survivable_and_heals() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let scenario = HybridScenario;
+    let mut sys = System::boot(scenario.config());
+    let mut st = scenario.setup(&mut sys);
+    // One write+checkpoint round: every heap page commits and is marked
+    // read-only, but stays below the migration hotness threshold, so the
+    // conflict path takes the in-line log branch rather than the
+    // migrated-page capture.
+    step(&sys, st.writer, HYBRID_PAGES as usize);
+    st.snapshots.checkpoint(&sys, st.vmspace, HYBRID_HEAP);
+
+    let sched = {
+        let kernel = sys.kernel();
+        kernel.fence.arm(kernel.pers.global_version() + 1);
+        std::sync::Arc::clone(kernel.pers.dev.crash_schedule())
+    };
+    sched.arm(treesls_nvm::CrashPoint::Site {
+        name: "ckpt.inline_log_capture".into(),
+        skip: 0,
+    });
+    let unwound = catch_unwind(AssertUnwindSafe(|| {
+        sys.write_mem(st.vmspace, 0, &0xDEAD_BEEF_u64.to_le_bytes())
+    }));
+    sched.disarm();
+    let payload =
+        unwound.expect_err("ckpt.inline_log_capture never fired for a small RO-page write");
+    assert!(
+        payload.downcast_ref::<treesls_nvm::InjectedCrash>().is_some(),
+        "write panicked for a reason other than the injected crash"
+    );
+
+    // Power failure mid-append. The half-written undo record carries the
+    // in-flight round tag, so recovery must ignore it and roll back to
+    // the last commit; the interrupted write's consumed dirty flag forces
+    // the healing full walk on the next checkpoint.
+    let image = sys.crash();
+    let (mut sys2, report) =
+        System::recover(image, scenario.config(), |r| scenario.programs(r))
+            .expect("recovery after mid-append crash");
     scenario.reattach(&mut sys2, &mut st);
     sys2.manager().fire_restore_callbacks(report.version);
     sys2.manager().verify_checkpoint().expect("checkpoint consistent after crash");
