@@ -17,6 +17,9 @@
 //!   histograms.
 //! * [`workload`] — YCSB generators (zipfian, mixes A/B/C, 100 % update /
 //!   insert) and the Facebook `Prefix_dist` distribution.
+//! * [`ycsb`] — transactional YCSB A–F over the `treesls-txn` wire
+//!   protocol: choosers, working-set churn, multi-tenant open-loop frame
+//!   plans with paired two-frame RMW transactions.
 //! * [`hist`] — log-bucketed latency histograms (P50/P95/P99).
 //! * [`wire`] — the KV wire protocol shared by servers and clients.
 //! * [`testmem`] — a flat host-memory backend (tests and baselines).
@@ -32,6 +35,7 @@ pub mod server;
 pub mod testmem;
 pub mod wire;
 pub mod workload;
+pub mod ycsb;
 
 pub use hashkv::HashKv;
 pub use hist::Histogram;

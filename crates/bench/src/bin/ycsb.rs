@@ -1,0 +1,663 @@
+//! `ycsb`: the YCSB A–F transactional evaluation over the OCC B-tree
+//! server (`treesls-txn`), plus the two transactional failure drills.
+//!
+//! Each selected mix boots a fresh system, bulk-loads the record set
+//! (auto-commit tagged upserts), then offers a fixed open-loop arrival
+//! schedule of planned frames from the multi-tenant YCSB generator
+//! ([`treesls_apps::ycsb`]): zipfian/uniform choosers, working-set churn,
+//! secondary-index scans (E) and two-frame interactive RMW transactions
+//! (F). Responses ride the external-synchrony NIC, so every completion is
+//! §5-checked against the committed checkpoint version; after the run the
+//! store's secondary index is verified exactly consistent with the
+//! primary space.
+//!
+//! Two drills then attack durability end to end:
+//!
+//! * **crash** — a burst of load, a set of externally acknowledged
+//!   auto-commit writes, un-acked stragglers left in the rings, power
+//!   failure, recover/reattach/re-arm: every acked write must read back
+//!   with its exact value and the index must verify;
+//! * **promotion** — the same acked writes replicated to a quorum-2
+//!   cluster, the primary lost, a replica promoted: same oracle on the
+//!   promoted node.
+//!
+//! `--gate` (CI) additionally enforces: zero §5 violations anywhere,
+//! abort rate ≤ 5 % on workload A, and every mix completing operations.
+//!
+//! ```sh
+//! cargo run --release --bin ycsb -- --json
+//! cargo run --release --bin ycsb -- --duration-ms 200 --rate 6000 --gate  # CI smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use treesls::extsync::HostIo;
+use treesls::net::{NetError, NicConfig, NicLayout, VirtualNic};
+use treesls::{Program, System, SystemConfig};
+use treesls_apps::openloop::{run_open_loop, OpenLoopConfig, OpenLoopStats};
+use treesls_apps::wire::numeric_key;
+use treesls_apps::ycsb::{
+    load_frames, plan_all, tag_for, value_for, PlannedFrame, Skew, TxnMix, YcsbTxnConfig,
+};
+use treesls_bench::harness::BenchOpts;
+use treesls_bench::ringsetup::deploy_txn;
+use treesls_bench::table::Table;
+use treesls_bench::Sink;
+use treesls_repl::{Cluster, ClusterConfig};
+use treesls_txn::{check_index_consistency, TxnGate, TxnOp, TxnResp, TxnService, TxnStore};
+
+/// Tree nodes in the store region: room for the loaded records, their
+/// index entries, run-phase inserts (D/E) and CoW headroom.
+const NODE_CAP: u64 = 2048;
+
+struct YcsbOpts {
+    /// Open-loop scheduling window per mix.
+    duration_ms: u64,
+    /// Offered load in requests per second (split across tenants).
+    rate: u64,
+    /// Open-loop tenants (generator threads).
+    tenants: usize,
+    /// Pre-loaded records.
+    records: u64,
+    /// Checkpoint interval in microseconds.
+    interval_us: u64,
+    /// Mixes to run, in order.
+    mixes: Vec<TxnMix>,
+    /// Key-chooser skew.
+    skew: Skew,
+    /// Base seed for plans and schedules.
+    seed: u64,
+    /// Enforce the gates (exit 1 on violation).
+    gate: bool,
+}
+
+fn parse_ycsb_opts() -> YcsbOpts {
+    let mut o = YcsbOpts {
+        duration_ms: 400,
+        rate: 10_000,
+        tenants: 2,
+        records: 1024,
+        interval_us: 1000,
+        mixes: TxnMix::ALL.to_vec(),
+        skew: Skew::Zipfian,
+        seed: 1,
+        gate: false,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--duration-ms" => {
+                if let Some(v) = next(i) {
+                    o.duration_ms = v.parse().expect("--duration-ms N");
+                }
+            }
+            "--rate" => {
+                if let Some(v) = next(i) {
+                    o.rate = v.parse().expect("--rate N");
+                }
+            }
+            "--tenants" => {
+                if let Some(v) = next(i) {
+                    o.tenants = v.parse().expect("--tenants N");
+                }
+            }
+            "--records" => {
+                if let Some(v) = next(i) {
+                    o.records = v.parse().expect("--records N");
+                }
+            }
+            "--interval-us" => {
+                if let Some(v) = next(i) {
+                    o.interval_us = v.parse().expect("--interval-us N");
+                }
+            }
+            "--mixes" => {
+                if let Some(v) = next(i) {
+                    o.mixes = v
+                        .chars()
+                        .map(|c| {
+                            TxnMix::parse(&c.to_string())
+                                .unwrap_or_else(|| panic!("--mixes: unknown workload '{c}'"))
+                        })
+                        .collect();
+                }
+            }
+            "--skew" => {
+                if let Some(v) = next(i) {
+                    o.skew = Skew::parse(v).unwrap_or_else(|| panic!("--skew zipfian|uniform"));
+                }
+            }
+            "--seed" => {
+                if let Some(v) = next(i) {
+                    o.seed = v.parse().expect("--seed N");
+                }
+            }
+            "--gate" => o.gate = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    o
+}
+
+fn sys_config(opts: &BenchOpts, interval_us: u64) -> SystemConfig {
+    SystemConfig {
+        kernel: treesls::KernelConfig {
+            nvm_frames: 16384,
+            dram_pages: 512,
+            ..Default::default()
+        },
+        cores: opts.cores,
+        quantum: 32,
+        checkpoint_interval: Some(Duration::from_micros(interval_us)),
+    }
+}
+
+/// Single-queue NIC (transactions are single-shard): 64 slots sized for
+/// scan responses, credits equal to the ring depth, external synchrony on.
+fn nic_cfg() -> NicConfig {
+    NicConfig {
+        queues: 1,
+        nslots: 64,
+        slot_size: 1280,
+        credits: 64,
+        ext_sync: true,
+        fault: Default::default(),
+        call_timeout: Duration::from_secs(5),
+    }
+}
+
+fn txn_cfg(yo: &YcsbOpts, mix: TxnMix) -> YcsbTxnConfig {
+    YcsbTxnConfig {
+        mix,
+        records: yo.records,
+        value_len: 32,
+        skew: yo.skew,
+        tenants: yo.tenants,
+        churn_window: (yo.records / 4).max(64),
+        churn_every: 1024,
+        rmw_gap: 4,
+        scan_limit: 12,
+        seed: yo.seed,
+    }
+}
+
+/// Calls until a decoded reply lands, riding out sheds and timeouts.
+fn txn_call(nic: &VirtualNic, flow: u64, op: &TxnOp, attempts: u32) -> Option<TxnResp> {
+    for _ in 0..attempts {
+        match nic.call(flow, &op.encode(), Duration::from_secs(5)) {
+            Ok(outcome) => {
+                if let Some(r) = outcome.reply() {
+                    return TxnResp::decode(&r);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    None
+}
+
+/// Pipelined bulk load: keeps the ring full, harvests completions, and
+/// returns how many load upserts were acknowledged.
+fn load_store(nic: &VirtualNic, frames: &[PlannedFrame]) -> u64 {
+    let mut pending: Vec<u64> = Vec::new();
+    let mut loaded = 0u64;
+    let mut next = 0usize;
+    while next < frames.len() || !pending.is_empty() {
+        while next < frames.len() {
+            match nic.send_request(frames[next].flow, &frames[next].payload) {
+                Ok(seq) => {
+                    pending.push(seq);
+                    next += 1;
+                }
+                Err(NetError::Busy) => break,
+                Err(e) => panic!("load send failed: {e:?}"),
+            }
+        }
+        nic.pump();
+        pending.retain(|&seq| match nic.try_take(seq) {
+            Some(resp) => {
+                if !matches!(TxnResp::decode(&resp), Some(TxnResp::Ok { .. })) {
+                    panic!("load upsert rejected: {:?}", TxnResp::decode(&resp));
+                }
+                loaded += 1;
+                false
+            }
+            None => true,
+        });
+        if next < frames.len() || !pending.is_empty() {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    loaded
+}
+
+struct MixResult {
+    mix: TxnMix,
+    stats: OpenLoopStats,
+    commits: u64,
+    aborts: u64,
+    retries: u64,
+    index_entries: u64,
+}
+
+impl MixResult {
+    /// Abort rate over decided transactions, as a percentage.
+    fn abort_pct(&self) -> Option<f64> {
+        let decided = self.commits + self.aborts;
+        (decided > 0).then(|| self.aborts as f64 * 100.0 / decided as f64)
+    }
+}
+
+/// One measured mix: boot, deploy, bulk-load, open-loop run, index check.
+fn run_mix(opts: &BenchOpts, yo: &YcsbOpts, mix: TxnMix) -> MixResult {
+    let cfg = txn_cfg(yo, mix);
+    let mut sys = System::boot(sys_config(opts, yo.interval_us));
+    let dep = deploy_txn(&sys, NODE_CAP, nic_cfg());
+    sys.start();
+
+    let loaded = load_store(&dep.dep.nic, &load_frames(&cfg));
+    assert_eq!(loaded, cfg.records, "bulk load incomplete");
+
+    // Plan past the full schedule so arrival indices never wrap (a wrap
+    // would re-issue workload F's transaction ids).
+    let per_tenant =
+        (yo.rate / yo.tenants.max(1) as u64).max(1) * yo.duration_ms / 1000 + 256;
+    let plans = plan_all(&cfg, per_tenant);
+    let before = sys.kernel().metrics.snapshot();
+    let olcfg = OpenLoopConfig {
+        rate: yo.rate,
+        duration: Duration::from_millis(yo.duration_ms),
+        seed: yo.seed,
+        generators: yo.tenants.max(1),
+        op_timeout: Duration::from_secs(2),
+    };
+    let stats = run_open_loop(dep.dep.nic.as_ref(), &olcfg, |g, i| {
+        let f = plans[g].frame(i);
+        (f.flow, f.payload.clone())
+    });
+    let after = sys.kernel().metrics.snapshot().since(&before);
+
+    // Quiesce, then verify the secondary index is exactly consistent with
+    // the primary space (scans walk the stable root via host I/O).
+    let io = HostIo::new(Arc::clone(sys.kernel()), dep.dep.vmspace);
+    sys.stop();
+    let store = TxnStore::attach(&io, 0).expect("attach").expect("store formatted");
+    let index_entries = check_index_consistency(&store, &io)
+        .unwrap_or_else(|e| panic!("workload {}: index inconsistent: {e}", mix.letter()))
+        as u64;
+
+    MixResult {
+        mix,
+        stats,
+        commits: after.txn_commits,
+        aborts: after.txn_aborts,
+        retries: after.txn_conflict_retries,
+        index_entries,
+    }
+}
+
+/// One externally acknowledged auto-commit write the drills must preserve:
+/// `(flow, commit seq, key, value)`.
+type AckedWrite = (u64, u64, [u8; 16], Vec<u8>);
+
+struct DrillResult {
+    acked: u64,
+    lost: u64,
+    index_entries: u64,
+    durable_seq: u64,
+    fresh_ok: bool,
+}
+
+/// Commits `n` tagged auto-commit writes above `base` and records the
+/// externally acknowledged ones.
+fn commit_acked(nic: &VirtualNic, base: u64, n: u64) -> Vec<AckedWrite> {
+    let mut acked = Vec::new();
+    for i in 0..n {
+        let key = numeric_key(base + i);
+        let val = value_for(base + i, 9, 24);
+        let op = TxnOp::Write { txn: 0, key, tag: tag_for(i), val: Some(val.clone()) };
+        if let Some(TxnResp::Ok { seq }) = txn_call(nic, i, &op, 64) {
+            acked.push((i, seq, key, val));
+        }
+    }
+    acked
+}
+
+/// Captures the registered programs so recovery can re-register them
+/// (like reloading binaries after reboot).
+fn capture_programs(sys: &System) -> Vec<(String, Arc<dyn Program>)> {
+    sys.programs()
+        .names()
+        .into_iter()
+        .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+        .collect()
+}
+
+/// Resolves the restored "ring-txn" process through its capability group:
+/// vmspace plus per-queue doorbell notifications in slot (= queue) order.
+fn restored_server(sys: &System) -> (treesls::ObjId, Vec<treesls::ObjId>) {
+    use treesls_kernel::object::ObjectBody;
+    let kernel = sys.kernel();
+    let objects = kernel.objects.read();
+    let group = objects
+        .iter()
+        .map(|(_, o)| Arc::clone(o))
+        .find(|o| {
+            o.otype == treesls::ObjType::CapGroup
+                && matches!(&*o.body.read(), ObjectBody::CapGroup(g) if g.name == "ring-txn")
+        })
+        .expect("ring-txn cap group restored");
+    drop(objects);
+    let body = group.body.read();
+    let ObjectBody::CapGroup(g) = &*body else { unreachable!() };
+    let mut vmspace = None;
+    let mut bells = Vec::new();
+    for (_, c) in g.iter() {
+        match kernel.object(c.obj).map(|o| o.otype) {
+            Ok(treesls::ObjType::VmSpace) => vmspace = vmspace.or(Some(c.obj)),
+            Ok(treesls::ObjType::Notification) => bells.push(c.obj),
+            _ => {}
+        }
+    }
+    (vmspace.expect("server vmspace restored"), bells)
+}
+
+/// Reattaches the NIC and durability gate to a recovered/promoted system,
+/// then runs the transactional §5 oracle: every acked write reads back
+/// exactly, the acked frontier is under the durable sequence, the index
+/// verifies, and a fresh commit still lands.
+///
+/// The restored poll server dispatches into the SAME [`TxnService`]
+/// instance it held before the failure (programs survive "reboot" by
+/// re-registration), so the fresh gate wraps that instance — its restore
+/// callback drops pre-crash working sets, which is how "uncommitted
+/// transactions die with the crash" is enforced on a host whose process
+/// memory outlives the simulated power cut.
+fn reattach_and_verify(
+    sys2: &mut System,
+    report_version: u64,
+    layout: NicLayout,
+    service: Arc<TxnService>,
+    acked: &[AckedWrite],
+) -> DrillResult {
+    let (vs2, bells) = restored_server(sys2);
+    let nic2 = VirtualNic::attach(Arc::clone(sys2.kernel()), vs2, layout, &nic_cfg(), 10_000_000);
+    for (q, bell) in bells.into_iter().enumerate() {
+        nic2.set_doorbell(q, bell);
+    }
+    sys2.manager().register_callback(Arc::clone(&nic2) as _);
+    let gate =
+        Arc::new(TxnGate::new(HostIo::new(Arc::clone(sys2.kernel()), vs2), 0, service));
+    sys2.manager().register_callback(Arc::clone(&gate) as _);
+    sys2.manager().fire_restore_callbacks(report_version);
+    sys2.start();
+
+    let mut lost = 0u64;
+    for (flow, seq, key, val) in acked {
+        match txn_call(&nic2, *flow, &TxnOp::Read { txn: 0, key: *key }, 64) {
+            Some(TxnResp::Value { val: v }) if &v == val => {}
+            other => {
+                lost += 1;
+                eprintln!("acked write (commit seq {seq}) lost across the failure: {other:?}");
+            }
+        }
+    }
+    let durable_seq = gate.durable_seq();
+    if let Some(max_seq) = acked.iter().map(|a| a.1).max() {
+        if max_seq > durable_seq {
+            lost += 1;
+            eprintln!("acked frontier {max_seq} above the restored durable seq {durable_seq}");
+        }
+    }
+    let fresh = TxnOp::WriteCommit {
+        txn: 0,
+        key: numeric_key(9_999_999),
+        tag: tag_for(3),
+        val: Some(b"post-restore".to_vec()),
+    };
+    let fresh_ok = matches!(txn_call(&nic2, 99, &fresh, 64), Some(TxnResp::Ok { .. }));
+
+    let io = HostIo::new(Arc::clone(sys2.kernel()), vs2);
+    sys2.stop();
+    let store = TxnStore::attach(&io, 0).expect("attach").expect("store formatted");
+    let index_entries = check_index_consistency(&store, &io)
+        .unwrap_or_else(|e| panic!("index inconsistent after recovery: {e}"))
+        as u64;
+    DrillResult { acked: acked.len() as u64, lost, index_entries, durable_seq, fresh_ok }
+}
+
+/// Mid-load crash drill: bulk load → open-loop burst → acked writes →
+/// un-acked stragglers left ring-resident → power failure → recover →
+/// the transactional §5 oracle. Returns the drill result plus the §5
+/// violations the pre-crash burst observed.
+fn run_crash_drill(opts: &BenchOpts, yo: &YcsbOpts) -> (DrillResult, u64) {
+    let cfg = YcsbTxnConfig { records: 256, ..txn_cfg(yo, TxnMix::A) };
+    let mut sys = System::boot(sys_config(opts, yo.interval_us));
+    let dep = deploy_txn(&sys, NODE_CAP, nic_cfg());
+    sys.start();
+    let loaded = load_store(&dep.dep.nic, &load_frames(&cfg));
+    assert_eq!(loaded, cfg.records, "drill bulk load incomplete");
+
+    // A short burst of mixed load so the crash lands on a busy store.
+    let burst_ms = (yo.duration_ms / 4).max(50);
+    let plans = plan_all(&cfg, (yo.rate / 2).max(1) * burst_ms / 1000 + 256);
+    let burst = run_open_loop(
+        dep.dep.nic.as_ref(),
+        &OpenLoopConfig {
+            rate: yo.rate / 2,
+            duration: Duration::from_millis(burst_ms),
+            seed: yo.seed,
+            generators: yo.tenants.max(1),
+            op_timeout: Duration::from_secs(2),
+        },
+        |g, i| {
+            let f = plans[g].frame(i);
+            (f.flow, f.payload.clone())
+        },
+    );
+
+    // Externally acknowledged writes the crash must not lose, then
+    // un-acked stragglers so the failure really lands mid-load (requests
+    // ring-resident, doorbells in volatile state).
+    let acked = commit_acked(&dep.dep.nic, 3_000_000, 24);
+    for i in 0..4u64 {
+        let straggler = TxnOp::Write {
+            txn: 0,
+            key: numeric_key(3_100_000 + i),
+            tag: tag_for(i),
+            val: Some(vec![9u8; 16]),
+        };
+        let _ = dep.dep.nic.send_request(50 + i, &straggler.encode());
+    }
+    sys.stop();
+
+    let programs = capture_programs(&sys);
+    let layout = dep.dep.nic.layout();
+    let service = Arc::clone(&dep.service);
+    let image = sys.crash();
+    let (mut sys2, report) =
+        System::recover(image, sys_config(opts, yo.interval_us), move |r| {
+            for (n, p) in programs {
+                r.register(&n, p);
+            }
+        })
+        .expect("recovery");
+    sys2.manager().verify_checkpoint().expect("restored tree verifies");
+    let result = reattach_and_verify(&mut sys2, report.version, layout, service, &acked);
+    (result, burst.run.sync_violations)
+}
+
+/// Replica-promotion drill: the acked writes are replicated to a quorum-2
+/// cluster, the primary is lost, replica 0 is promoted, and the same
+/// transactional oracle runs on the promoted node.
+fn run_promotion_drill(opts: &BenchOpts, yo: &YcsbOpts) -> DrillResult {
+    let mut sys = System::boot(sys_config(opts, yo.interval_us));
+    let dep = deploy_txn(&sys, NODE_CAP, nic_cfg());
+    let mut ccfg = ClusterConfig::default();
+    ccfg.ship.quorum = 2;
+    let cluster = Cluster::deploy(&sys, &ccfg);
+    cluster.attach_gate(&dep.dep.nic);
+    cluster.start();
+    sys.start();
+
+    let acked = commit_acked(&dep.dep.nic, 4_000_000, 16);
+    assert!(!acked.is_empty(), "promotion drill acknowledged no writes");
+
+    // Quiesce: stop admitting, land a final round, and wait for the
+    // failover target to reach the head of the stream.
+    sys.stop();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        sys.checkpoint_now().expect("final checkpoint");
+        let head = sys.kernel().pers.global_version();
+        std::thread::sleep(Duration::from_millis(5));
+        if cluster.replicas[0].applied_round() == head
+            && !cluster.replicas[0].is_awaiting_snapshot()
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "replica 0 never reached the stream head");
+    }
+
+    let programs = capture_programs(&sys);
+    let layout = dep.dep.nic.layout();
+    let service = Arc::clone(&dep.service);
+    dep.dep.nic.close();
+    cluster.stop();
+    drop(dep);
+    drop(sys);
+
+    let (mut sys2, report) = cluster
+        .promote(0, sys_config(opts, yo.interval_us), |reg| {
+            for (name, prog) in &programs {
+                reg.register(name, Arc::clone(prog));
+            }
+        })
+        .expect("promotion");
+    sys2.manager().verify_checkpoint().expect("promoted tree verifies");
+    reattach_and_verify(&mut sys2, report.version, layout, service, &acked)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let yo = parse_ycsb_opts();
+    let mut sink = Sink::new(
+        "ycsb",
+        &format!(
+            "YCSB A-F over the transactional B-tree: {} tenants, {} records, \
+             {} ops/s offered, {} µs checkpoints",
+            yo.tenants, yo.records, yo.rate, yo.interval_us
+        ),
+        &opts,
+    );
+
+    let results: Vec<MixResult> =
+        yo.mixes.iter().map(|&mix| run_mix(&opts, &yo, mix)).collect();
+    let mut mixes = Table::new(&[
+        "Mix",
+        "Offered",
+        "Ops",
+        "Thpt(ops/s)",
+        "P50(µs)",
+        "P99(µs)",
+        "Sheds",
+        "Timeouts",
+        "SyncViol",
+        "Commits",
+        "Aborts",
+        "Abort%",
+        "Retries",
+        "IndexEntries",
+    ]);
+    for r in &results {
+        mixes.row(vec![
+            r.mix.letter().to_uppercase(),
+            r.stats.offered.to_string(),
+            r.stats.run.ops.to_string(),
+            format!("{:.0}", r.stats.run.throughput()),
+            format!("{:.1}", r.stats.run.latency.p50() as f64 / 1e3),
+            format!("{:.1}", r.stats.run.latency.p99() as f64 / 1e3),
+            r.stats.run.sheds.to_string(),
+            r.stats.run.timeouts.to_string(),
+            r.stats.run.sync_violations.to_string(),
+            r.commits.to_string(),
+            r.aborts.to_string(),
+            r.abort_pct().map_or("n/a".to_string(), |p| format!("{p:.2}")),
+            r.retries.to_string(),
+            r.index_entries.to_string(),
+        ]);
+    }
+    sink.table("mixes", mixes);
+
+    let (crash, burst_violations) = run_crash_drill(&opts, &yo);
+    let promo = run_promotion_drill(&opts, &yo);
+    let mut drills = Table::new(&[
+        "Drill",
+        "AckedWrites",
+        "LostAcks",
+        "IndexEntries",
+        "DurableSeq",
+        "FreshCommit",
+    ]);
+    for (name, d) in [("crash-restore", &crash), ("promotion", &promo)] {
+        drills.row(vec![
+            name.into(),
+            d.acked.to_string(),
+            d.lost.to_string(),
+            d.index_entries.to_string(),
+            d.durable_seq.to_string(),
+            if d.fresh_ok { "ok".into() } else { "FAILED".into() },
+        ]);
+    }
+    sink.table("drills", drills);
+
+    let mix_violations: u64 = results.iter().map(|r| r.stats.run.sync_violations).sum();
+    let total_violations = mix_violations + burst_violations + crash.lost + promo.lost;
+    sink.note(&format!(
+        "§5 oracle: {total_violations} violations (open-loop mixes + crash burst + both drills)"
+    ));
+    sink.note(
+        "index oracle: secondary index verified exactly consistent after every mix and drill",
+    );
+
+    let mut failed = Vec::new();
+    if total_violations > 0 {
+        failed.push(format!("{total_violations} external-synchrony violations"));
+    }
+    if crash.acked == 0 {
+        failed.push("crash drill acknowledged no writes".to_string());
+    }
+    if !crash.fresh_ok {
+        failed.push("recovered node refused a fresh commit".to_string());
+    }
+    if !promo.fresh_ok {
+        failed.push("promoted node refused a fresh commit".to_string());
+    }
+    if yo.gate {
+        if let Some(a) = results.iter().find(|r| r.mix == TxnMix::A) {
+            let pct = a.abort_pct().unwrap_or(0.0);
+            sink.note(&format!(
+                "gate: workload A abort rate {pct:.2}% vs budget 5.00% -> {}",
+                if pct <= 5.0 { "PASS" } else { "FAIL" }
+            ));
+            if pct > 5.0 {
+                failed.push(format!("workload A abort rate {pct:.2}% (budget 5%)"));
+            }
+        }
+        for r in &results {
+            if r.stats.run.ops == 0 {
+                failed.push(format!("workload {} completed no operations", r.mix.letter()));
+            }
+        }
+    }
+    sink.finish();
+    if !failed.is_empty() {
+        eprintln!("ycsb FAILED: {}", failed.join("; "));
+        std::process::exit(1);
+    }
+}

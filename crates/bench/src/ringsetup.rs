@@ -8,10 +8,12 @@
 
 use std::sync::Arc;
 
+use treesls::extsync::HostIo;
 use treesls::net::{deploy::DeploySpec, NicConfig, Service};
 use treesls::System;
 use treesls_apps::lsm::LsmConfig;
 use treesls_apps::server::{KvService, LsmService};
+use treesls_txn::{store::region_len, TxnGate, TxnService};
 
 pub use treesls::net::deploy::NicDeployment as RingDeployment;
 
@@ -140,4 +142,44 @@ pub fn deploy_lsm(
         Arc::new(LsmService { lsm }) as Arc<dyn Service>
     })
     .expect("deploy lsm")
+}
+
+/// A running transactional deployment: the NIC process plus the shared
+/// service handle and the durability gate registered with the checkpoint
+/// manager.
+pub struct TxnDeployment {
+    /// The underlying NIC deployment (vmspace, server threads, NIC).
+    pub dep: RingDeployment,
+    /// The OCC service all queues dispatch into.
+    pub service: Arc<TxnService>,
+    /// Checkpoint-gated durability tracking for the store.
+    pub gate: Arc<TxnGate>,
+}
+
+/// Spawns the transactional B-tree server behind a virtual NIC. The store
+/// region sits at heap address 0 sized for `node_cap` tree nodes; the RX
+/// cursor lives in the one page after it. Transactions are single-shard,
+/// so the config must be single-queue.
+pub fn deploy_txn(sys: &System, node_cap: u64, cfg: NicConfig) -> TxnDeployment {
+    assert_eq!(cfg.queues, 1, "transactions are single-shard (one queue)");
+    let store_len = region_len(node_cap);
+    let spec = DeploySpec {
+        name: "ring-txn".into(),
+        heap_pages: store_len / 4096 + 1,
+        cursor_base: store_len,
+        cursor_stride: 4096,
+        cfg,
+        batch: 16,
+        pin_cores: None,
+    };
+    let service = Arc::new(TxnService::new(0, node_cap));
+    let svc = Arc::clone(&service);
+    let dep = treesls::net::deploy(sys.kernel(), sys.manager(), &spec, move |_| {
+        Arc::clone(&svc) as Arc<dyn Service>
+    })
+    .expect("deploy txn");
+    let io = HostIo::new(Arc::clone(sys.kernel()), dep.vmspace);
+    let gate = Arc::new(TxnGate::new(io, 0, Arc::clone(&service)));
+    sys.manager().register_callback(Arc::clone(&gate) as _);
+    TxnDeployment { dep, service, gate }
 }

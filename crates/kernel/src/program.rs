@@ -151,6 +151,13 @@ impl<'a> UserCtx<'a> {
         &self.kernel.metrics
     }
 
+    /// The kernel's flight recorder, so in-SLS services can log
+    /// structured events (e.g. a transaction commit) into the same
+    /// NVM-resident ring the checkpoint manager uses.
+    pub fn recorder(&self) -> &treesls_obs::FlightRecorder {
+        self.kernel.pers.recorder()
+    }
+
     // ---- registers -------------------------------------------------------
 
     /// Reads general-purpose register `i`.

@@ -206,6 +206,11 @@ pub struct MetricsRegistry {
     repl_degraded_entries: AtomicU64,
     repl_acked_round: AtomicU64,
     repl_lag: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_aborts: AtomicU64,
+    txn_conflict_retries: AtomicU64,
+    txn_durable_seq: AtomicU64,
+    txn_latency: PauseHistogram,
     pause: PauseHistogram,
 }
 
@@ -508,6 +513,44 @@ impl MetricsRegistry {
         let _ = (acked_round, lag);
     }
 
+    /// Records one committed transaction and its begin-to-commit latency.
+    #[inline]
+    pub fn record_txn_commit(&self, latency_ns: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            self.txn_commits.fetch_add(1, Ordering::Relaxed);
+            self.txn_latency.record(latency_ns);
+        }
+        #[cfg(not(feature = "metrics"))]
+        let _ = latency_ns;
+    }
+
+    /// Records one aborted transaction (first-committer-wins validation
+    /// failure, or a fatal store error at commit).
+    #[inline]
+    pub fn record_txn_abort(&self) {
+        #[cfg(feature = "metrics")]
+        self.txn_aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one client retry of a previously conflicted transaction
+    /// (a begin frame carrying the retry flag).
+    #[inline]
+    pub fn record_txn_retry(&self) {
+        #[cfg(feature = "metrics")]
+        self.txn_conflict_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates the transaction durability gauge: the highest commit
+    /// sequence covered by a committed checkpoint round.
+    #[inline]
+    pub fn set_txn_durable(&self, seq: u64) {
+        #[cfg(feature = "metrics")]
+        self.txn_durable_seq.store(seq, Ordering::Relaxed);
+        #[cfg(not(feature = "metrics"))]
+        let _ = seq;
+    }
+
     /// The stop-the-world pause histogram.
     pub fn pause_histogram(&self) -> &PauseHistogram {
         &self.pause
@@ -571,6 +614,11 @@ impl MetricsRegistry {
                 repl_degraded_entries: l(&self.repl_degraded_entries),
                 repl_acked_round: l(&self.repl_acked_round),
                 repl_lag: l(&self.repl_lag),
+                txn_commits: l(&self.txn_commits),
+                txn_aborts: l(&self.txn_aborts),
+                txn_conflict_retries: l(&self.txn_conflict_retries),
+                txn_durable_seq: l(&self.txn_durable_seq),
+                txn_latency: self.txn_latency.stats(),
                 pause: self.pause.stats(),
                 ..MetricsSnapshot::default()
             }
@@ -690,6 +738,16 @@ pub struct MetricsSnapshot {
     pub repl_acked_round: u64,
     /// Gauge: primary's committed round minus the quorum-durable round.
     pub repl_lag: u64,
+    /// Transactions committed (validation passed, publication flipped).
+    pub txn_commits: u64,
+    /// Transactions aborted (conflict or fatal store error at commit).
+    pub txn_aborts: u64,
+    /// Client retries of previously conflicted transactions.
+    pub txn_conflict_retries: u64,
+    /// Gauge: highest commit sequence covered by a committed checkpoint.
+    pub txn_durable_seq: u64,
+    /// Begin-to-commit latency distribution for committed transactions.
+    pub txn_latency: PauseStats,
     /// Stop-the-world pause distribution.
     pub pause: PauseStats,
     /// Copy-on-write page faults taken (kernel).
@@ -768,6 +826,11 @@ impl MetricsSnapshot {
             repl_degraded_entries: self.repl_degraded_entries - earlier.repl_degraded_entries,
             repl_acked_round: self.repl_acked_round,
             repl_lag: self.repl_lag,
+            txn_commits: self.txn_commits - earlier.txn_commits,
+            txn_aborts: self.txn_aborts - earlier.txn_aborts,
+            txn_conflict_retries: self.txn_conflict_retries - earlier.txn_conflict_retries,
+            txn_durable_seq: self.txn_durable_seq,
+            txn_latency: self.txn_latency,
             pause: self.pause,
             write_faults: self.write_faults - earlier.write_faults,
             minor_faults: self.minor_faults - earlier.minor_faults,
@@ -872,6 +935,16 @@ impl MetricsSnapshot {
                 ]),
             ),
             (
+                "txn".into(),
+                Json::Obj(vec![
+                    ("commits".into(), u(self.txn_commits)),
+                    ("aborts".into(), u(self.txn_aborts)),
+                    ("conflict_retries".into(), u(self.txn_conflict_retries)),
+                    ("durable_seq".into(), u(self.txn_durable_seq)),
+                    ("latency".into(), self.txn_latency.to_json()),
+                ]),
+            ),
+            (
                 "faults".into(),
                 Json::Obj(vec![
                     ("write_faults".into(), u(self.write_faults)),
@@ -961,6 +1034,11 @@ mod tests {
         r.record_net_batch(2, 10);
         r.record_net_batch(2, 6);
         r.record_net_batch(17, 4); // folds to shard 1
+        r.record_txn_commit(2_000);
+        r.record_txn_commit(3_000);
+        r.record_txn_abort();
+        r.record_txn_retry();
+        r.set_txn_durable(7);
         let a = r.snapshot();
         if cfg!(feature = "metrics") {
             assert_eq!(a.checkpoints, 1);
@@ -990,6 +1068,11 @@ mod tests {
             // Batch histogram samples are response counts.
             assert_eq!(a.tx_batch.count, 3);
             assert_eq!(a.tx_batch.max_ns, 10);
+            assert_eq!(a.txn_commits, 2);
+            assert_eq!(a.txn_aborts, 1);
+            assert_eq!(a.txn_conflict_retries, 1);
+            assert_eq!(a.txn_durable_seq, 7);
+            assert_eq!(a.txn_latency.count, 2);
         } else {
             assert_eq!(a, MetricsSnapshot::default());
         }
@@ -1016,6 +1099,7 @@ mod tests {
             "tree_walk",
             "net",
             "repl",
+            "txn",
             "faults",
             "nvm",
             "alloc_journal",

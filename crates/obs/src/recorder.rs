@@ -129,6 +129,10 @@ pub enum EventKind {
     /// record instead of taking a whole-page capture. Payload:
     /// `[log_frame, inflight_version, offset, len, log_used_after, 0]`.
     InlineLog = 21,
+    /// A multi-key transaction validated and published (its selector flip
+    /// landed; durability follows at the covering checkpoint). Payload:
+    /// `[commit_seq, txn_id, writes, reads, latency_ns, snapshot_seq]`.
+    TxnCommit = 22,
 }
 
 impl EventKind {
@@ -156,6 +160,7 @@ impl EventKind {
             19 => EventKind::ReplResync,
             20 => EventKind::EpochFlip,
             21 => EventKind::InlineLog,
+            22 => EventKind::TxnCommit,
             _ => return None,
         })
     }
@@ -184,6 +189,7 @@ impl EventKind {
             EventKind::ReplResync => "repl_resync",
             EventKind::EpochFlip => "epoch_flip",
             EventKind::InlineLog => "inline_log",
+            EventKind::TxnCommit => "txn_commit",
         }
     }
 }

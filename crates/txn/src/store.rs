@@ -1,0 +1,924 @@
+//! Copy-on-write B+ tree with stable-root / working-root publication.
+//!
+//! The store keeps primary records and secondary-index entries in **one**
+//! ordered tree over composite keys, so a commit that touches both
+//! publishes them with a single root switch. The update discipline is the
+//! stable-root vs working-root split of persistent index structures:
+//!
+//! * the **stable root** is whatever the live meta slot points at — reads
+//!   and conflict validation only ever traverse it;
+//! * a commit builds a **working root** by copy-on-write path duplication
+//!   against the stable root (nodes allocated this commit are mutated in
+//!   place, everything older is copied first);
+//! * publication writes the *inactive* meta slot (root, sequence,
+//!   allocator watermark, free list) and then flips the one-word slot
+//!   selector. The flip is the only write that changes visible state.
+//!
+//! Because the store lives in ordinary checkpointed process memory, its
+//! durability point is the checkpoint round, not individual stores: a
+//! checkpoint captures the heap at one instant (the epoch flip), so the
+//! image either holds the old selector (commit invisible, its working
+//! nodes unreachable garbage that the persisted allocator watermark
+//! reclaims) or the new selector (commit fully visible). No instant
+//! between two stores of a commit ever exposes a partial transaction —
+//! that is the invariant the `txn.*` crash sites let the fault
+//! enumeration check.
+//!
+//! Superseded nodes recycle through two free-stack regions that ping-pong
+//! with the meta slots: a commit consumes entries from the stable free
+//! stack and writes the survivors plus its own supersedures into the
+//! inactive region, so the stable tree's free list is never scribbled on
+//! before the flip.
+
+use treesls_extsync::MemIo;
+use treesls_kernel::types::KernelError;
+
+use crate::engine::TxnError;
+
+/// Store magic (header word 0).
+pub const MAGIC: u64 = 0x7A17_5713_0001;
+/// Bytes per tree node (one page).
+pub const NODE_SIZE: u64 = 4096;
+/// Primary / secondary key length on the wire (matches the KV protocol).
+pub const KEY_LEN: usize = 16;
+/// Composite key length: space byte + 16-byte major + 16-byte minor.
+pub const CKEY_LEN: usize = 33;
+/// Value capacity per record.
+pub const VAL_CAP: usize = 64;
+/// Leaf entry: ckey + wseq + tag + vlen + val.
+const ENTRY_LEN: usize = CKEY_LEN + 8 + KEY_LEN + 2 + VAL_CAP;
+/// Max entries per leaf node.
+pub const LEAF_MAX: usize = (NODE_SIZE as usize - 8) / ENTRY_LEN;
+/// Max separator keys per inner node (children = keys + 1).
+pub const INNER_MAX: usize = 99;
+/// Byte offset of the child-pointer array inside an inner node.
+const CHILD_OFF: usize = 8 + INNER_MAX * CKEY_LEN;
+
+/// Key space tag for primary records (`ckey = [0x00, key, 0…]`).
+pub const SPACE_PRIMARY: u8 = 0;
+/// Key space tag for secondary-index entries (`ckey = [0x01, tag, key]`).
+pub const SPACE_INDEX: u8 = 1;
+
+/// Composite tree key: one space byte, a 16-byte major part and a
+/// 16-byte minor part, compared lexicographically.
+pub type CKey = [u8; CKEY_LEN];
+
+/// Builds the primary-space composite key for `key`.
+pub fn primary_key(key: &[u8; KEY_LEN]) -> CKey {
+    let mut k = [0u8; CKEY_LEN];
+    k[0] = SPACE_PRIMARY;
+    k[1..1 + KEY_LEN].copy_from_slice(key);
+    k
+}
+
+/// Builds the index-space composite key for `(tag, key)`: entries sort by
+/// tag first, so an equal-tag range scan enumerates the tag's members.
+pub fn index_key(tag: &[u8; KEY_LEN], key: &[u8; KEY_LEN]) -> CKey {
+    let mut k = [0u8; CKEY_LEN];
+    k[0] = SPACE_INDEX;
+    k[1..1 + KEY_LEN].copy_from_slice(tag);
+    k[1 + KEY_LEN..].copy_from_slice(key);
+    k
+}
+
+/// The smallest and one-past-largest composite keys of a key space.
+pub fn space_range(space: u8) -> (CKey, CKey) {
+    let mut lo = [0u8; CKEY_LEN];
+    lo[0] = space;
+    let mut hi = [0xffu8; CKEY_LEN];
+    hi[0] = space;
+    (lo, hi)
+}
+
+/// Header offsets (all in page 0 of the store region).
+mod off {
+    /// Magic word.
+    pub const MAGIC: u64 = 0;
+    /// Node capacity.
+    pub const NODE_CAP: u64 = 8;
+    /// Live meta-slot selector (0 or 1) — the publication word.
+    pub const SEL: u64 = 16;
+    /// Meta slot 0 / 1 base.
+    pub const META: [u64; 2] = [64, 128];
+    /// Meta slot field offsets: root (+0), seq (+8), alloc_next (+16),
+    /// free_len (+24).
+    pub const M_ROOT: u64 = 0;
+    /// Committed sequence number field.
+    pub const M_SEQ: u64 = 8;
+    /// Allocator bump watermark field.
+    pub const M_ALLOC: u64 = 16;
+    /// Free-stack length field.
+    pub const M_FREE: u64 = 24;
+}
+
+/// One decoded record: composite key, last-writer sequence, index tag,
+/// value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The composite key this record is stored under.
+    pub ckey: CKey,
+    /// Sequence number of the transaction that last wrote it.
+    pub wseq: u64,
+    /// The secondary-index tag carried by primary records (zeros when
+    /// unindexed; index-space entries keep it zeroed).
+    pub tag: [u8; KEY_LEN],
+    /// Value bytes (primary: the stored value; index: the member key).
+    pub val: Vec<u8>,
+}
+
+/// One entry being written into the working root: key, writer sequence,
+/// index tag, value.
+struct PutEntry<'a> {
+    ckey: &'a CKey,
+    wseq: u64,
+    tag: &'a [u8; KEY_LEN],
+    val: &'a [u8],
+}
+
+/// One mutation of a commit's write set, in composite-key terms.
+#[derive(Debug, Clone)]
+pub enum StoreOp {
+    /// Insert or overwrite a record.
+    Put {
+        /// Composite key to store under.
+        ckey: CKey,
+        /// Index tag recorded with the entry.
+        tag: [u8; KEY_LEN],
+        /// Value bytes (`len <= VAL_CAP`).
+        val: Vec<u8>,
+    },
+    /// Remove a record if present.
+    Del {
+        /// Composite key to remove.
+        ckey: CKey,
+    },
+}
+
+impl StoreOp {
+    fn ckey(&self) -> &CKey {
+        match self {
+            StoreOp::Put { ckey, .. } | StoreOp::Del { ckey } => ckey,
+        }
+    }
+    /// True for index-space mutations (drives the `txn.index_update`
+    /// crash site).
+    pub fn is_index(&self) -> bool {
+        self.ckey()[0] == SPACE_INDEX
+    }
+}
+
+/// The stable snapshot a meta slot describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Meta {
+    /// Root node index + 1 (0 = empty tree).
+    pub root: u64,
+    /// Committed transaction sequence number.
+    pub seq: u64,
+    /// Allocator bump watermark (nodes below it are or were in use).
+    pub alloc_next: u64,
+    /// Entries in the live free stack.
+    pub free_len: u64,
+    /// Which meta slot is live.
+    pub sel: u64,
+}
+
+/// Handle to a formatted store region inside one address space.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnStore {
+    /// Base address of the store region.
+    pub base: u64,
+    /// Maximum number of tree nodes.
+    pub node_cap: u64,
+}
+
+/// Pages occupied by one free-stack region for `node_cap` nodes.
+fn free_stack_pages(node_cap: u64) -> u64 {
+    (node_cap * 8).div_ceil(4096)
+}
+
+/// Total bytes a store with `node_cap` nodes occupies (header page + two
+/// free-stack regions + the node array).
+pub fn region_len(node_cap: u64) -> u64 {
+    4096 + 2 * free_stack_pages(node_cap) * 4096 + node_cap * NODE_SIZE
+}
+
+/// In-memory image of one node, staged for a single whole-node write.
+struct Node {
+    buf: Box<[u8; NODE_SIZE as usize]>,
+}
+
+impl Node {
+    fn new_leaf() -> Node {
+        let mut buf = Box::new([0u8; NODE_SIZE as usize]);
+        buf[0] = 1;
+        Node { buf }
+    }
+    fn new_inner() -> Node {
+        Node { buf: Box::new([0u8; NODE_SIZE as usize]) }
+    }
+    fn is_leaf(&self) -> bool {
+        self.buf[0] == 1
+    }
+    fn nkeys(&self) -> usize {
+        u16::from_le_bytes([self.buf[2], self.buf[3]]) as usize
+    }
+    fn set_nkeys(&mut self, n: usize) {
+        self.buf[2..4].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    // ---- leaf accessors --------------------------------------------------
+    fn entry_off(i: usize) -> usize {
+        8 + i * ENTRY_LEN
+    }
+    fn leaf_key(&self, i: usize) -> CKey {
+        let o = Self::entry_off(i);
+        self.buf[o..o + CKEY_LEN].try_into().unwrap()
+    }
+    fn leaf_record(&self, i: usize) -> Record {
+        let o = Self::entry_off(i);
+        let wseq = u64::from_le_bytes(self.buf[o + CKEY_LEN..o + CKEY_LEN + 8].try_into().unwrap());
+        let tag: [u8; KEY_LEN] =
+            self.buf[o + CKEY_LEN + 8..o + CKEY_LEN + 8 + KEY_LEN].try_into().unwrap();
+        let vo = o + CKEY_LEN + 8 + KEY_LEN;
+        let vlen = u16::from_le_bytes(self.buf[vo..vo + 2].try_into().unwrap()) as usize;
+        let vlen = vlen.min(VAL_CAP);
+        Record {
+            ckey: self.leaf_key(i),
+            wseq,
+            tag,
+            val: self.buf[vo + 2..vo + 2 + vlen].to_vec(),
+        }
+    }
+    fn set_leaf_entry(&mut self, i: usize, ckey: &CKey, wseq: u64, tag: &[u8; KEY_LEN], val: &[u8]) {
+        let o = Self::entry_off(i);
+        self.buf[o..o + CKEY_LEN].copy_from_slice(ckey);
+        self.buf[o + CKEY_LEN..o + CKEY_LEN + 8].copy_from_slice(&wseq.to_le_bytes());
+        self.buf[o + CKEY_LEN + 8..o + CKEY_LEN + 8 + KEY_LEN].copy_from_slice(tag);
+        let vo = o + CKEY_LEN + 8 + KEY_LEN;
+        self.buf[vo..vo + 2].copy_from_slice(&(val.len() as u16).to_le_bytes());
+        self.buf[vo + 2..vo + 2 + VAL_CAP].fill(0);
+        self.buf[vo + 2..vo + 2 + val.len()].copy_from_slice(val);
+    }
+    /// Shifts entries `[i, nkeys)` one slot toward the back (insert gap).
+    fn leaf_open_gap(&mut self, i: usize) {
+        let n = self.nkeys();
+        let src = Self::entry_off(i);
+        let end = Self::entry_off(n);
+        self.buf.copy_within(src..end, src + ENTRY_LEN);
+    }
+    /// Removes entry `i`, closing the gap.
+    fn leaf_remove(&mut self, i: usize) {
+        let n = self.nkeys();
+        let src = Self::entry_off(i + 1);
+        let end = Self::entry_off(n);
+        self.buf.copy_within(src..end, Self::entry_off(i));
+        self.set_nkeys(n - 1);
+    }
+
+    // ---- inner accessors -------------------------------------------------
+    fn inner_key(&self, i: usize) -> CKey {
+        let o = 8 + i * CKEY_LEN;
+        self.buf[o..o + CKEY_LEN].try_into().unwrap()
+    }
+    fn set_inner_key(&mut self, i: usize, k: &CKey) {
+        let o = 8 + i * CKEY_LEN;
+        self.buf[o..o + CKEY_LEN].copy_from_slice(k);
+    }
+    fn child(&self, i: usize) -> u64 {
+        let o = CHILD_OFF + i * 8;
+        u64::from_le_bytes(self.buf[o..o + 8].try_into().unwrap())
+    }
+    fn set_child(&mut self, i: usize, c: u64) {
+        let o = CHILD_OFF + i * 8;
+        self.buf[o..o + 8].copy_from_slice(&c.to_le_bytes());
+    }
+    /// Child index covering `key`: the first separator greater than `key`
+    /// selects its left child.
+    fn route(&self, key: &CKey) -> usize {
+        let n = self.nkeys();
+        for i in 0..n {
+            if *key < self.inner_key(i) {
+                return i;
+            }
+        }
+        n
+    }
+}
+
+impl TxnStore {
+    fn free_base(&self, region: u64) -> u64 {
+        self.base + 4096 + region * free_stack_pages(self.node_cap) * 4096
+    }
+    fn node_base(&self, idx: u64) -> u64 {
+        self.base + 4096 + 2 * free_stack_pages(self.node_cap) * 4096 + idx * NODE_SIZE
+    }
+
+    /// Formats an empty store at `base` with room for `node_cap` nodes.
+    pub fn format<M: MemIo>(io: &M, base: u64, node_cap: u64) -> Result<TxnStore, KernelError> {
+        io.mem_write_u64(base + off::NODE_CAP, node_cap)?;
+        io.mem_write_u64(base + off::SEL, 0)?;
+        for slot in off::META {
+            for f in [off::M_ROOT, off::M_SEQ, off::M_ALLOC, off::M_FREE] {
+                io.mem_write_u64(base + slot + f, 0)?;
+            }
+        }
+        // Magic last, so a half-formatted region never attaches.
+        io.mem_write_u64(base + off::MAGIC, MAGIC)?;
+        Ok(TxnStore { base, node_cap })
+    }
+
+    /// Attaches to a previously formatted store.
+    pub fn attach<M: MemIo>(io: &M, base: u64) -> Result<Option<TxnStore>, KernelError> {
+        if io.mem_read_u64(base + off::MAGIC)? != MAGIC {
+            return Ok(None);
+        }
+        let node_cap = io.mem_read_u64(base + off::NODE_CAP)?;
+        Ok(Some(TxnStore { base, node_cap }))
+    }
+
+    /// Reads the live meta slot (the stable snapshot).
+    pub fn meta<M: MemIo>(&self, io: &M) -> Result<Meta, KernelError> {
+        let sel = io.mem_read_u64(self.base + off::SEL)? & 1;
+        let slot = self.base + off::META[sel as usize];
+        Ok(Meta {
+            root: io.mem_read_u64(slot + off::M_ROOT)?,
+            seq: io.mem_read_u64(slot + off::M_SEQ)?,
+            alloc_next: io.mem_read_u64(slot + off::M_ALLOC)?,
+            free_len: io.mem_read_u64(slot + off::M_FREE)?,
+            sel,
+        })
+    }
+
+    fn read_node<M: MemIo>(&self, io: &M, idx: u64) -> Result<Node, KernelError> {
+        let mut buf = Box::new([0u8; NODE_SIZE as usize]);
+        io.mem_read(self.node_base(idx), &mut buf[..])?;
+        Ok(Node { buf })
+    }
+    fn write_node<M: MemIo>(&self, io: &M, idx: u64, node: &Node) -> Result<(), KernelError> {
+        io.mem_write(self.node_base(idx), &node.buf[..])
+    }
+
+    /// Point lookup against the stable root. Returns `None` when absent.
+    pub fn get<M: MemIo>(&self, io: &M, ckey: &CKey) -> Result<Option<Record>, KernelError> {
+        let meta = self.meta(io)?;
+        self.get_at(io, meta.root, ckey)
+    }
+
+    /// Point lookup against an explicit root (0 = empty).
+    pub fn get_at<M: MemIo>(
+        &self,
+        io: &M,
+        root: u64,
+        ckey: &CKey,
+    ) -> Result<Option<Record>, KernelError> {
+        if root == 0 {
+            return Ok(None);
+        }
+        let mut idx = root - 1;
+        loop {
+            let node = self.read_node(io, idx)?;
+            if node.is_leaf() {
+                let n = node.nkeys();
+                for i in 0..n {
+                    let k = node.leaf_key(i);
+                    if k == *ckey {
+                        return Ok(Some(node.leaf_record(i)));
+                    }
+                    if k > *ckey {
+                        break;
+                    }
+                }
+                return Ok(None);
+            }
+            idx = node.child(node.route(ckey));
+        }
+    }
+
+    /// In-order range scan `[lo, hi)` against the stable root, stopping
+    /// after `limit` records.
+    pub fn scan<M: MemIo>(
+        &self,
+        io: &M,
+        lo: &CKey,
+        hi: &CKey,
+        limit: usize,
+    ) -> Result<Vec<Record>, KernelError> {
+        let meta = self.meta(io)?;
+        let mut out = Vec::new();
+        if meta.root != 0 && limit > 0 {
+            self.scan_node(io, meta.root - 1, lo, hi, limit, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn scan_node<M: MemIo>(
+        &self,
+        io: &M,
+        idx: u64,
+        lo: &CKey,
+        hi: &CKey,
+        limit: usize,
+        out: &mut Vec<Record>,
+    ) -> Result<(), KernelError> {
+        let node = self.read_node(io, idx)?;
+        if node.is_leaf() {
+            for i in 0..node.nkeys() {
+                if out.len() >= limit {
+                    return Ok(());
+                }
+                let k = node.leaf_key(i);
+                if k >= *hi {
+                    return Ok(());
+                }
+                if k >= *lo {
+                    out.push(node.leaf_record(i));
+                }
+            }
+            return Ok(());
+        }
+        let n = node.nkeys();
+        for i in 0..=n {
+            if out.len() >= limit {
+                return Ok(());
+            }
+            // Child i covers [key[i-1], key[i]): prune subtrees fully
+            // outside the range.
+            if i > 0 && node.inner_key(i - 1) >= *hi {
+                return Ok(());
+            }
+            if i < n && node.inner_key(i) <= *lo {
+                continue;
+            }
+            self.scan_node(io, node.child(i), lo, hi, limit, out)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one commit's write set by copy-on-write against the stable
+    /// root and publishes it as sequence `new_seq` with a single selector
+    /// flip. Named crash sites fire at the index writes, just before the
+    /// flip, and just after it.
+    pub fn commit_apply<M: MemIo>(
+        &self,
+        io: &M,
+        ops: &[StoreOp],
+        new_seq: u64,
+    ) -> Result<(), TxnError> {
+        let meta = self.meta(io).map_err(|_| TxnError::Io)?;
+        let mut alloc = CommitAlloc::load(self, io, &meta)?;
+        let mut root = meta.root;
+        for op in ops {
+            if op.is_index() {
+                // A secondary-index entry is about to be built into the
+                // working root — a crash here must never surface a primary
+                // write without its index entry (or vice versa).
+                io.crash_hook("txn.index_update");
+            }
+            root = match op {
+                StoreOp::Put { ckey, tag, val } => {
+                    let entry = PutEntry { ckey, wseq: new_seq, tag, val: val.as_slice() };
+                    self.insert(io, &mut alloc, root, &entry)?
+                }
+                StoreOp::Del { ckey } => self.remove(io, &mut alloc, root, ckey)?,
+            };
+        }
+        // Publish: free stack first, then the inactive meta slot, then the
+        // selector. Before the flip the stable snapshot is untouched.
+        let new_sel = meta.sel ^ 1;
+        let free_base = self.free_base(new_sel);
+        let survivors = alloc.survivors();
+        for (i, idx) in survivors.iter().enumerate() {
+            io.mem_write_u64(free_base + i as u64 * 8, *idx).map_err(|_| TxnError::Io)?;
+        }
+        let slot = self.base + off::META[new_sel as usize];
+        io.mem_write_u64(slot + off::M_ROOT, root).map_err(|_| TxnError::Io)?;
+        io.mem_write_u64(slot + off::M_SEQ, new_seq).map_err(|_| TxnError::Io)?;
+        io.mem_write_u64(slot + off::M_ALLOC, alloc.next).map_err(|_| TxnError::Io)?;
+        io.mem_write_u64(slot + off::M_FREE, survivors.len() as u64).map_err(|_| TxnError::Io)?;
+        io.crash_hook("txn.pre_publish");
+        io.mem_write_u64(self.base + off::SEL, new_sel).map_err(|_| TxnError::Io)?;
+        io.crash_hook("txn.commit_visible");
+        Ok(())
+    }
+
+    /// CoW insert of one entry; returns the (possibly new) root handle.
+    fn insert<M: MemIo>(
+        &self,
+        io: &M,
+        alloc: &mut CommitAlloc,
+        root: u64,
+        e: &PutEntry<'_>,
+    ) -> Result<u64, TxnError> {
+        let ckey = e.ckey;
+        if root == 0 {
+            let (idx, mut leaf) = alloc.alloc(Node::new_leaf())?;
+            leaf.set_leaf_entry(0, ckey, e.wseq, e.tag, e.val);
+            leaf.set_nkeys(1);
+            self.write_node(io, idx, &leaf).map_err(|_| TxnError::Io)?;
+            return Ok(idx + 1);
+        }
+        let mut cur_idx = alloc.cow(self, io, root - 1)?;
+        let new_root;
+        {
+            let cur = alloc.fresh(self, io, cur_idx)?;
+            if (cur.is_leaf() && cur.nkeys() >= LEAF_MAX)
+                || (!cur.is_leaf() && cur.nkeys() >= INNER_MAX)
+            {
+                // Grow a new root above the full old one, then split.
+                let (ridx, mut rootn) = alloc.alloc(Node::new_inner())?;
+                rootn.set_child(0, cur_idx);
+                rootn.set_nkeys(0);
+                self.write_node(io, ridx, &rootn).map_err(|_| TxnError::Io)?;
+                self.split_child(io, alloc, ridx, 0)?;
+                new_root = ridx;
+            } else {
+                new_root = cur_idx;
+            }
+        }
+        cur_idx = new_root;
+        loop {
+            let node = self.read_node(io, cur_idx).map_err(|_| TxnError::Io)?;
+            if node.is_leaf() {
+                let mut node = node;
+                let n = node.nkeys();
+                let mut i = 0;
+                while i < n && node.leaf_key(i) < *ckey {
+                    i += 1;
+                }
+                if i < n && node.leaf_key(i) == *ckey {
+                    node.set_leaf_entry(i, ckey, e.wseq, e.tag, e.val);
+                } else {
+                    node.leaf_open_gap(i);
+                    node.set_leaf_entry(i, ckey, e.wseq, e.tag, e.val);
+                    node.set_nkeys(n + 1);
+                }
+                self.write_node(io, cur_idx, &node).map_err(|_| TxnError::Io)?;
+                return Ok(new_root + 1);
+            }
+            let mut i = node.route(ckey);
+            let child_idx = alloc.cow(self, io, node.child(i))?;
+            if child_idx != node.child(i) {
+                let mut node = node;
+                node.set_child(i, child_idx);
+                self.write_node(io, cur_idx, &node).map_err(|_| TxnError::Io)?;
+            }
+            let child = self.read_node(io, child_idx).map_err(|_| TxnError::Io)?;
+            let full = (child.is_leaf() && child.nkeys() >= LEAF_MAX)
+                || (!child.is_leaf() && child.nkeys() >= INNER_MAX);
+            if full {
+                self.split_child(io, alloc, cur_idx, i)?;
+                let node = self.read_node(io, cur_idx).map_err(|_| TxnError::Io)?;
+                i = node.route(ckey);
+                cur_idx = node.child(i);
+            } else {
+                cur_idx = child_idx;
+            }
+        }
+    }
+
+    /// Splits the full (fresh) child `i` of the fresh inner node
+    /// `parent_idx` into two fresh halves.
+    fn split_child<M: MemIo>(
+        &self,
+        io: &M,
+        alloc: &mut CommitAlloc,
+        parent_idx: u64,
+        i: usize,
+    ) -> Result<(), TxnError> {
+        let mut parent = self.read_node(io, parent_idx).map_err(|_| TxnError::Io)?;
+        let child_idx = parent.child(i);
+        let mut child = self.read_node(io, child_idx).map_err(|_| TxnError::Io)?;
+        let (sep, right_idx) = if child.is_leaf() {
+            let n = child.nkeys();
+            let mid = n / 2;
+            let (ridx, mut right) = alloc.alloc(Node::new_leaf())?;
+            for j in mid..n {
+                let r = child.leaf_record(j);
+                right.set_leaf_entry(j - mid, &r.ckey, r.wseq, &r.tag, &r.val);
+            }
+            right.set_nkeys(n - mid);
+            child.set_nkeys(mid);
+            let sep = right.leaf_key(0);
+            self.write_node(io, ridx, &right).map_err(|_| TxnError::Io)?;
+            (sep, ridx)
+        } else {
+            let n = child.nkeys();
+            let mid = n / 2;
+            let (ridx, mut right) = alloc.alloc(Node::new_inner())?;
+            for j in mid + 1..n {
+                right.set_inner_key(j - mid - 1, &child.inner_key(j));
+            }
+            for j in mid + 1..=n {
+                right.set_child(j - mid - 1, child.child(j));
+            }
+            right.set_nkeys(n - mid - 1);
+            let sep = child.inner_key(mid);
+            child.set_nkeys(mid);
+            self.write_node(io, ridx, &right).map_err(|_| TxnError::Io)?;
+            (sep, ridx)
+        };
+        self.write_node(io, child_idx, &child).map_err(|_| TxnError::Io)?;
+        // Insert separator + right child into the parent.
+        let n = parent.nkeys();
+        let mut keys: Vec<CKey> = (0..n).map(|j| parent.inner_key(j)).collect();
+        let mut children: Vec<u64> = (0..=n).map(|j| parent.child(j)).collect();
+        keys.insert(i, sep);
+        children.insert(i + 1, right_idx);
+        for (j, k) in keys.iter().enumerate() {
+            parent.set_inner_key(j, k);
+        }
+        for (j, c) in children.iter().enumerate() {
+            parent.set_child(j, *c);
+        }
+        parent.set_nkeys(n + 1);
+        self.write_node(io, parent_idx, &parent).map_err(|_| TxnError::Io)
+    }
+
+    /// CoW delete (lazy: leaves may empty out, separators stay).
+    fn remove<M: MemIo>(
+        &self,
+        io: &M,
+        alloc: &mut CommitAlloc,
+        root: u64,
+        ckey: &CKey,
+    ) -> Result<u64, TxnError> {
+        if root == 0 {
+            return Ok(0);
+        }
+        // Probe first: only CoW the path when the key exists.
+        if self.get_at(io, root, ckey).map_err(|_| TxnError::Io)?.is_none() {
+            return Ok(root);
+        }
+        let new_root = alloc.cow(self, io, root - 1)?;
+        let mut cur_idx = new_root;
+        loop {
+            let node = self.read_node(io, cur_idx).map_err(|_| TxnError::Io)?;
+            if node.is_leaf() {
+                let mut node = node;
+                for i in 0..node.nkeys() {
+                    if node.leaf_key(i) == *ckey {
+                        node.leaf_remove(i);
+                        break;
+                    }
+                }
+                self.write_node(io, cur_idx, &node).map_err(|_| TxnError::Io)?;
+                return Ok(new_root + 1);
+            }
+            let i = node.route(ckey);
+            let child_idx = alloc.cow(self, io, node.child(i))?;
+            if child_idx != node.child(i) {
+                let mut node = node;
+                node.set_child(i, child_idx);
+                self.write_node(io, cur_idx, &node).map_err(|_| TxnError::Io)?;
+            }
+            cur_idx = child_idx;
+        }
+    }
+}
+
+/// Per-commit node allocator: consumes the stable free stack, bump
+/// allocates past the watermark, and remembers which stable nodes this
+/// commit superseded so publication can recycle them.
+struct CommitAlloc {
+    next: u64,
+    node_cap: u64,
+    /// Free-stack entries loaded from the stable region (consumed from
+    /// the back).
+    free: Vec<u64>,
+    /// Stable nodes replaced by fresh copies this commit.
+    freed: Vec<u64>,
+    /// Nodes allocated this commit (mutable in place).
+    fresh: std::collections::HashSet<u64>,
+}
+
+impl CommitAlloc {
+    fn load<M: MemIo>(store: &TxnStore, io: &M, meta: &Meta) -> Result<CommitAlloc, TxnError> {
+        let base = store.free_base(meta.sel);
+        let mut free = Vec::with_capacity(meta.free_len as usize);
+        for i in 0..meta.free_len {
+            free.push(io.mem_read_u64(base + i * 8).map_err(|_| TxnError::Io)?);
+        }
+        Ok(CommitAlloc {
+            next: meta.alloc_next,
+            node_cap: store.node_cap,
+            free,
+            freed: Vec::new(),
+            fresh: std::collections::HashSet::new(),
+        })
+    }
+
+    fn alloc_idx(&mut self) -> Result<u64, TxnError> {
+        if let Some(idx) = self.free.pop() {
+            self.fresh.insert(idx);
+            return Ok(idx);
+        }
+        if self.next >= self.node_cap {
+            return Err(TxnError::Full);
+        }
+        let idx = self.next;
+        self.next += 1;
+        self.fresh.insert(idx);
+        Ok(idx)
+    }
+
+    fn alloc(&mut self, node: Node) -> Result<(u64, Node), TxnError> {
+        Ok((self.alloc_idx()?, node))
+    }
+
+    /// Returns a mutable-in-place handle for `idx`: itself when the node
+    /// is already fresh this commit, otherwise a fresh copy (the old node
+    /// goes on the supersedure list).
+    fn cow<M: MemIo>(&mut self, store: &TxnStore, io: &M, idx: u64) -> Result<u64, TxnError> {
+        if self.fresh.contains(&idx) {
+            return Ok(idx);
+        }
+        let node = store.read_node(io, idx).map_err(|_| TxnError::Io)?;
+        let new_idx = self.alloc_idx()?;
+        store.write_node(io, new_idx, &node).map_err(|_| TxnError::Io)?;
+        self.freed.push(idx);
+        Ok(new_idx)
+    }
+
+    fn fresh<M: MemIo>(&self, store: &TxnStore, io: &M, idx: u64) -> Result<Node, TxnError> {
+        store.read_node(io, idx).map_err(|_| TxnError::Io)
+    }
+
+    /// The next snapshot's free stack: unconsumed stable entries plus
+    /// everything this commit superseded.
+    fn survivors(&self) -> Vec<u64> {
+        let mut v = self.free.clone();
+        v.extend_from_slice(&self.freed);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Flat-memory MemIo for unit tests.
+    struct Flat {
+        mem: RefCell<Vec<u8>>,
+    }
+    impl Flat {
+        fn new(len: usize) -> Flat {
+            Flat { mem: RefCell::new(vec![0; len]) }
+        }
+    }
+    impl MemIo for Flat {
+        fn mem_read(&self, addr: u64, buf: &mut [u8]) -> Result<(), KernelError> {
+            let m = self.mem.borrow();
+            buf.copy_from_slice(&m[addr as usize..addr as usize + buf.len()]);
+            Ok(())
+        }
+        fn mem_write(&self, addr: u64, data: &[u8]) -> Result<(), KernelError> {
+            let mut m = self.mem.borrow_mut();
+            m[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+            Ok(())
+        }
+        fn version(&self) -> u64 {
+            0
+        }
+    }
+
+    fn key(i: u64) -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        k[..8].copy_from_slice(&i.to_be_bytes());
+        k
+    }
+
+    fn put(i: u64, tag: u64, v: u64) -> StoreOp {
+        StoreOp::Put { ckey: primary_key(&key(i)), tag: key(tag), val: v.to_le_bytes().to_vec() }
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_seq() {
+        let io = Flat::new(region_len(64) as usize);
+        let s = TxnStore::format(&io, 0, 64).unwrap();
+        s.commit_apply(&io, &[put(1, 0, 10), put(2, 0, 20)], 1).unwrap();
+        let r = s.get(&io, &primary_key(&key(1))).unwrap().unwrap();
+        assert_eq!(r.val, 10u64.to_le_bytes().to_vec());
+        assert_eq!(r.wseq, 1);
+        assert_eq!(s.meta(&io).unwrap().seq, 1);
+        assert!(s.get(&io, &primary_key(&key(3))).unwrap().is_none());
+    }
+
+    #[test]
+    fn overwrite_updates_wseq_and_value() {
+        let io = Flat::new(region_len(64) as usize);
+        let s = TxnStore::format(&io, 0, 64).unwrap();
+        s.commit_apply(&io, &[put(7, 0, 1)], 1).unwrap();
+        s.commit_apply(&io, &[put(7, 0, 2)], 2).unwrap();
+        let r = s.get(&io, &primary_key(&key(7))).unwrap().unwrap();
+        assert_eq!(r.wseq, 2);
+        assert_eq!(r.val, 2u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn delete_removes_and_survives_absent_delete() {
+        let io = Flat::new(region_len(64) as usize);
+        let s = TxnStore::format(&io, 0, 64).unwrap();
+        s.commit_apply(&io, &[put(1, 0, 1), put(2, 0, 2)], 1).unwrap();
+        s.commit_apply(&io, &[StoreOp::Del { ckey: primary_key(&key(1)) }], 2).unwrap();
+        assert!(s.get(&io, &primary_key(&key(1))).unwrap().is_none());
+        assert!(s.get(&io, &primary_key(&key(2))).unwrap().is_some());
+        // Deleting an absent key is a no-op, not an error.
+        s.commit_apply(&io, &[StoreOp::Del { ckey: primary_key(&key(9)) }], 3).unwrap();
+        assert_eq!(s.meta(&io).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let io = Flat::new(region_len(256) as usize);
+        let s = TxnStore::format(&io, 0, 256).unwrap();
+        let ops: Vec<StoreOp> = (0..100).rev().map(|i| put(i, 0, i)).collect();
+        s.commit_apply(&io, &ops, 1).unwrap();
+        let (lo, hi) = space_range(SPACE_PRIMARY);
+        let all = s.scan(&io, &lo, &hi, 1000).unwrap();
+        assert_eq!(all.len(), 100);
+        for w in all.windows(2) {
+            assert!(w[0].ckey < w[1].ckey);
+        }
+        let some = s.scan(&io, &primary_key(&key(10)), &primary_key(&key(20)), 1000).unwrap();
+        assert_eq!(some.len(), 10);
+        let capped = s.scan(&io, &lo, &hi, 7).unwrap();
+        assert_eq!(capped.len(), 7);
+    }
+
+    #[test]
+    fn many_commits_recycle_nodes() {
+        // Node churn across many small commits must stay within a modest
+        // cap: supersedures recycle through the free stacks.
+        let io = Flat::new(region_len(128) as usize);
+        let s = TxnStore::format(&io, 0, 128).unwrap();
+        for seq in 1..=500u64 {
+            s.commit_apply(&io, &[put(seq % 40, 0, seq)], seq).unwrap();
+        }
+        let meta = s.meta(&io).unwrap();
+        assert_eq!(meta.seq, 500);
+        assert!(meta.alloc_next <= 128, "alloc watermark {} escaped", meta.alloc_next);
+        for i in 0..40u64 {
+            assert!(s.get(&io, &primary_key(&key(i))).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn splits_preserve_every_key() {
+        let io = Flat::new(region_len(512) as usize);
+        let s = TxnStore::format(&io, 0, 512).unwrap();
+        for seq in 1..=300u64 {
+            s.commit_apply(&io, &[put(seq * 7919 % 1000, 0, seq)], seq).unwrap();
+        }
+        let mut expect: std::collections::BTreeMap<u64, u64> = Default::default();
+        for seq in 1..=300u64 {
+            expect.insert(seq * 7919 % 1000, seq);
+        }
+        for (k, v) in expect {
+            let r = s.get(&io, &primary_key(&key(k))).unwrap().unwrap();
+            assert_eq!(r.val, v.to_le_bytes().to_vec(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn index_entries_share_the_commit() {
+        let io = Flat::new(region_len(128) as usize);
+        let s = TxnStore::format(&io, 0, 128).unwrap();
+        let k = key(1);
+        let tag = key(77);
+        let ops = vec![
+            StoreOp::Put { ckey: primary_key(&k), tag, val: vec![9] },
+            StoreOp::Put { ckey: index_key(&tag, &k), tag: [0; KEY_LEN], val: k.to_vec() },
+        ];
+        s.commit_apply(&io, &ops, 1).unwrap();
+        let idx = s.get(&io, &index_key(&tag, &k)).unwrap().unwrap();
+        assert_eq!(idx.val, k.to_vec());
+        // Index range scan by tag prefix finds the member.
+        let lo = index_key(&tag, &[0u8; KEY_LEN]);
+        let hi = index_key(&tag, &[0xffu8; KEY_LEN]);
+        let hits = s.scan(&io, &lo, &hi, 10).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn full_store_reports_full_not_corrupt() {
+        let io = Flat::new(region_len(2) as usize);
+        let s = TxnStore::format(&io, 0, 2).unwrap();
+        s.commit_apply(&io, &[put(1, 0, 1)], 1).unwrap();
+        // Capacity 2 cannot CoW a leaf and grow: expect Full, and the
+        // stable snapshot must be unaffected.
+        let mut seq = 2;
+        let mut err = None;
+        for i in 2..40u64 {
+            match s.commit_apply(&io, &[put(i, 0, i)], seq) {
+                Ok(()) => seq += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(TxnError::Full));
+        assert!(s.get(&io, &primary_key(&key(1))).unwrap().is_some());
+    }
+}

@@ -363,6 +363,395 @@ impl CrashScenario for KvRingScenario {
 }
 
 // ---------------------------------------------------------------------------
+// The transactional B-tree store behind a virtual NIC: multi-frame OCC
+// transactions with secondary-index maintenance, one checkpoint per
+// transaction round, and a serial-replay differential oracle.
+// ---------------------------------------------------------------------------
+
+/// Tree-node capacity of the scenario's store (small enough that one
+/// enumeration run stays fast, big enough for CoW churn and splits).
+pub const TXN_NODE_CAP: u64 = 64;
+
+/// 16-byte primary key `i`.
+pub fn tkey(i: u64) -> [u8; treesls_txn::KEY_LEN] {
+    let mut k = [0u8; treesls_txn::KEY_LEN];
+    k[..8].copy_from_slice(&i.to_be_bytes());
+    k
+}
+
+/// Index tag `i` (`ttag(0)` is the all-zero "unindexed" tag).
+pub fn ttag(i: u64) -> [u8; treesls_txn::KEY_LEN] {
+    tkey(i)
+}
+
+/// One planned transaction: the client id it runs under and its write
+/// set in buffer order. The plan is a pure function of the transaction's
+/// ordinal (and the scenario seed), so the serial-replay oracle can
+/// reconstruct exactly what commit sequence `s` did to the store.
+#[derive(Clone)]
+pub struct PlannedTxn {
+    pub txn_id: u64,
+    pub writes: Vec<treesls_txn::WriteOp>,
+}
+
+/// Deterministic write set of transaction `i` under `seed`:
+///
+/// * two fresh keys, one tagged (alternating between two tags) and one
+///   untagged;
+/// * a rewrite of the shared hot key with the *other* tag, so every
+///   transaction after the first deletes a stale index entry;
+/// * from `i >= 1`, a delete of the previous transaction's untagged key.
+///
+/// `seed` perturbs values and swaps which tag family is used, giving the
+/// differential oracle distinct histories per seed without changing the
+/// shape (index churn + deletes) the crash sites need.
+pub fn planned_txn(seed: u64, i: u64) -> PlannedTxn {
+    let tag_a = ttag(1 + 2 * (seed % 8));
+    let tag_b = ttag(2 + 2 * (seed % 8));
+    let pick = |j: u64| if (i + j + seed).is_multiple_of(2) { tag_a } else { tag_b };
+    let val = |name: &str| format!("{name}{i}s{seed}").into_bytes();
+    let mut writes = vec![
+        treesls_txn::WriteOp { key: tkey(100 + 2 * i), tag: pick(0), val: Some(val("a")) },
+        treesls_txn::WriteOp { key: tkey(101 + 2 * i), tag: ttag(0), val: Some(val("b")) },
+        treesls_txn::WriteOp { key: tkey(7), tag: pick(1), val: Some(val("h")) },
+    ];
+    if i >= 1 {
+        writes.push(treesls_txn::WriteOp {
+            key: tkey(101 + 2 * (i - 1)),
+            tag: ttag(0),
+            val: None,
+        });
+    }
+    PlannedTxn { txn_id: 0x1000 + i, writes }
+}
+
+/// Serially replays planned transactions `1..=seq` into a model map and
+/// returns the expected primary state `key -> (tag, value)`.
+pub fn replay_model(
+    seed: u64,
+    seq: u64,
+) -> std::collections::BTreeMap<[u8; 16], ([u8; 16], Vec<u8>)> {
+    let mut model = std::collections::BTreeMap::new();
+    for s in 1..=seq {
+        // Commit sequence `s` is planned transaction `s - 1` (the store
+        // seq starts at 0 and each transaction bumps it by one).
+        for w in planned_txn(seed, s - 1).writes {
+            // Last-write-wins per key, like the engine's collapse.
+            match w.val {
+                Some(v) => {
+                    model.insert(w.key, (w.tag, v));
+                }
+                None => {
+                    model.remove(&w.key);
+                }
+            }
+        }
+    }
+    model
+}
+
+pub struct TxnRingScenario {
+    /// Transactions committed by the workload (one checkpoint round each).
+    pub txns: u64,
+    /// Perturbs the planned write sets (differential-oracle seeds).
+    pub seed: u64,
+    /// Programs captured at deployment, re-registered after "reboot".
+    pub programs: Mutex<Vec<(String, Arc<dyn Program>)>>,
+}
+
+impl TxnRingScenario {
+    pub fn new(txns: u64) -> Self {
+        Self::seeded(txns, 0)
+    }
+
+    pub fn seeded(txns: u64, seed: u64) -> Self {
+        Self { txns, seed, programs: Mutex::new(Vec::new()) }
+    }
+
+    pub fn txn_config() -> SystemConfig {
+        let mut c = SystemConfig::small();
+        c.kernel.nvm_frames = 4096;
+        c.kernel.dram_pages = 64;
+        c.checkpoint_interval = None;
+        c
+    }
+
+    pub fn nic_config(&self) -> treesls::net::NicConfig {
+        treesls::net::NicConfig {
+            queues: 1,
+            nslots: 16,
+            slot_size: 160,
+            credits: 16,
+            ext_sync: true,
+            fault: Default::default(),
+            call_timeout: std::time::Duration::from_secs(5),
+        }
+    }
+
+    pub fn heap_pages(&self) -> u64 {
+        treesls_txn::store::region_len(TXN_NODE_CAP) / 4096 + 1
+    }
+
+    /// The wire frames of planned transaction `i`, in send order.
+    pub fn frames(&self, i: u64) -> Vec<treesls_txn::TxnOp> {
+        let plan = planned_txn(self.seed, i);
+        let mut frames = vec![treesls_txn::TxnOp::Begin { txn: plan.txn_id, flags: 0 }];
+        for w in plan.writes {
+            frames.push(treesls_txn::TxnOp::Write {
+                txn: plan.txn_id,
+                key: w.key,
+                tag: w.tag,
+                val: w.val,
+            });
+        }
+        frames.push(treesls_txn::TxnOp::Commit { txn: plan.txn_id });
+        frames
+    }
+}
+
+pub struct TxnRingState {
+    pub vmspace: ObjId,
+    pub servers: Vec<ObjId>,
+    pub nic: Arc<VirtualNic>,
+    pub service: Arc<treesls_txn::TxnService>,
+    pub gate: Arc<treesls_txn::TxnGate>,
+    pub snapshots: Snapshots,
+    /// `(ordinal, commit seq)` of every transaction whose commit
+    /// acknowledgement became externally visible before the crash.
+    pub acked: Vec<(u64, u64)>,
+}
+
+impl TxnRingState {
+    pub fn drive(&self, sys: &System, steps: usize) {
+        for &srv in &self.servers {
+            step(sys, srv, steps);
+        }
+    }
+}
+
+impl CrashScenario for TxnRingScenario {
+    type State = TxnRingState;
+
+    fn config(&self) -> SystemConfig {
+        Self::txn_config()
+    }
+
+    fn setup(&self, sys: &mut System) -> TxnRingState {
+        let txd = treesls_bench::ringsetup::deploy_txn(sys, TXN_NODE_CAP, self.nic_config());
+        let mut st = TxnRingState {
+            vmspace: txd.dep.vmspace,
+            servers: txd.dep.server_threads.clone(),
+            nic: Arc::clone(&txd.dep.nic),
+            service: txd.service,
+            gate: txd.gate,
+            snapshots: Snapshots::default(),
+            acked: Vec::new(),
+        };
+        // First steps format the store; the server then parks on its
+        // doorbell.
+        st.drive(sys, 4);
+        st.snapshots.checkpoint(sys, st.vmspace, self.heap_pages());
+        *self.programs.lock() = sys
+            .programs()
+            .names()
+            .into_iter()
+            .filter_map(|n| sys.programs().get(&n).map(|p| (n, p)))
+            .collect();
+        st
+    }
+
+    fn workload(&self, sys: &mut System, st: &mut TxnRingState) {
+        for i in 0..self.txns {
+            let frames = self.frames(i);
+            let mut commit_seq_wire = 0;
+            for (j, f) in frames.iter().enumerate() {
+                let seq = st.nic.send_request(i, &f.encode()).expect("rx push");
+                if j == frames.len() - 1 {
+                    commit_seq_wire = seq;
+                }
+            }
+            st.nic.flush_wire();
+            st.drive(sys, 8 * frames.len());
+            st.snapshots.checkpoint(sys, st.vmspace, self.heap_pages());
+            st.nic.pump();
+            if let Some(resp) = st.nic.try_take(commit_seq_wire) {
+                match treesls_txn::TxnResp::decode(&resp) {
+                    Some(treesls_txn::TxnResp::Ok { seq }) => st.acked.push((i, seq)),
+                    other => panic!("txn {i} commit rejected: {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn programs(&self, reg: &ProgramRegistry) {
+        for (name, prog) in self.programs.lock().iter() {
+            reg.register(name, Arc::clone(prog));
+        }
+    }
+
+    fn reattach(&self, sys: &mut System, st: &mut TxnRingState) {
+        let (vmspace, servers, notifs) = find_process_all(sys, "ring-txn");
+        st.vmspace = vmspace;
+        st.servers = servers;
+        let layout = st.nic.layout();
+        let nic = VirtualNic::attach(
+            Arc::clone(sys.kernel()),
+            vmspace,
+            layout,
+            &self.nic_config(),
+            1_000_000,
+        );
+        assert_eq!(notifs.len(), 1, "doorbell restored");
+        nic.set_doorbell(0, notifs[0]);
+        sys.manager().register_callback(Arc::clone(&nic) as _);
+        st.nic = nic;
+        // The restored PollServer still dispatches into the service
+        // instance captured with the programs, so the new gate must wrap
+        // that same instance: its on_restore drops the pre-crash working
+        // sets, which is how "uncommitted transactions die with the
+        // crash" is enforced on a host whose process memory survived.
+        let io = HostIo::new(Arc::clone(sys.kernel()), vmspace);
+        let gate =
+            Arc::new(treesls_txn::TxnGate::new(io, 0, Arc::clone(&st.service)));
+        sys.manager().register_callback(Arc::clone(&gate) as _);
+        st.gate = gate;
+    }
+
+    fn verify(
+        &self,
+        sys: &mut System,
+        st: &mut TxnRingState,
+        report: &RestoreReport,
+    ) -> Result<(), String> {
+        // Byte-exact memory oracle (covers the whole store region).
+        st.snapshots.verify(sys, st.vmspace, self.heap_pages(), report.version)?;
+        // TX ring invariants: no slot tagged with a rolled-back version.
+        let io = HostIo::new(Arc::clone(sys.kernel()), st.vmspace);
+        check_ext_sync_invariants(&io, &st.nic.port(0).tx, report.version)
+            .map_err(|e| format!("tx ring: {e}"))?;
+
+        let Some(store) = treesls_txn::TxnStore::attach(&io, 0)
+            .map_err(|e| format!("attach: {e:?}"))?
+        else {
+            // Crash before the store was even formatted: nothing can have
+            // been acknowledged.
+            if st.acked.is_empty() {
+                return Ok(());
+            }
+            return Err("acked commits but the restored store is unformatted".into());
+        };
+        let meta = store.meta(&io).map_err(|e| format!("meta: {e:?}"))?;
+
+        // §5 for transactions: no committed-then-lost. Every commit whose
+        // acknowledgement left the system must be on the restored root.
+        for (i, seq) in &st.acked {
+            if *seq > meta.seq {
+                return Err(format!(
+                    "acked txn {i} (commit seq {seq}) lost: restored store seq {}",
+                    meta.seq
+                ));
+            }
+        }
+
+        // No visible-partial-transaction, exact to the record: the
+        // restored primary space must equal a *serial replay* of planned
+        // transactions 1..=seq, and the secondary index must match it.
+        let model = replay_model(self.seed, meta.seq);
+        let (plo, phi) = treesls_txn::store::space_range(treesls_txn::store::SPACE_PRIMARY);
+        let primaries =
+            store.scan(&io, &plo, &phi, usize::MAX).map_err(|e| format!("scan: {e:?}"))?;
+        if primaries.len() != model.len() {
+            return Err(format!(
+                "restored store holds {} primary records, serial replay of seq {} expects {}",
+                primaries.len(),
+                meta.seq,
+                model.len()
+            ));
+        }
+        for r in &primaries {
+            let mut key = [0u8; 16];
+            key.copy_from_slice(&r.ckey[1..17]);
+            match model.get(&key) {
+                Some((tag, val)) if *tag == r.tag && *val == r.val => {}
+                Some((tag, val)) => {
+                    return Err(format!(
+                        "key {:?} diverges from serial replay: got (tag {:?}, {:?}), \
+                         expected (tag {:?}, {:?})",
+                        &key[..8],
+                        &r.tag[..4],
+                        r.val,
+                        &tag[..4],
+                        val
+                    ))
+                }
+                None => return Err(format!("key {:?} not in serial replay", &key[..8])),
+            }
+        }
+        treesls_txn::check_index_consistency(&store, &io)
+            .map_err(|e| format!("index inconsistent after restore: {e}"))?;
+
+        // The restored server must keep serving: an uncommitted pre-crash
+        // transaction is unknown, and a fresh auto-commit write lands.
+        let dead_commit = treesls_txn::TxnOp::Commit { txn: 0xDEAD_0001 };
+        let probe_key = tkey(9_000_000 + self.seed);
+        let probe = treesls_txn::TxnOp::WriteCommit {
+            txn: 0,
+            key: probe_key,
+            tag: ttag(0),
+            val: Some(b"post-restore".to_vec()),
+        };
+        let read_back = treesls_txn::TxnOp::Read { txn: 0, key: probe_key };
+        let mut seqs = Vec::new();
+        for f in [&dead_commit, &probe, &read_back] {
+            // The restored RX ring may still hold pre-crash requests;
+            // drive and retry like a NIC driver backing off.
+            let mut attempts = 0;
+            let seq = loop {
+                match st.nic.send_request(0, &f.encode()) {
+                    Ok(s) => break s,
+                    Err(NetError::Busy | NetError::Ring(RingError::Full)) if attempts < 8 => {
+                        attempts += 1;
+                        st.nic.flush_wire();
+                        st.drive(sys, 16);
+                        sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
+                        st.nic.pump();
+                    }
+                    Err(e) => return Err(format!("post-restore push failed: {e:?}")),
+                }
+            };
+            seqs.push(seq);
+        }
+        st.nic.flush_wire();
+        st.drive(sys, 32);
+        sys.checkpoint_now().map_err(|e| format!("{e:?}"))?;
+        st.nic.pump();
+        let take = |seq| {
+            st.nic
+                .try_take(seq)
+                .and_then(|r| treesls_txn::TxnResp::decode(&r))
+                .ok_or_else(|| format!("no reply for post-restore seq {seq}"))
+        };
+        match take(seqs[0])? {
+            treesls_txn::TxnResp::UnknownTxn => {}
+            other => {
+                return Err(format!(
+                    "pre-crash working set survived the crash: commit said {other:?}"
+                ))
+            }
+        }
+        match take(seqs[1])? {
+            treesls_txn::TxnResp::Ok { .. } => {}
+            other => return Err(format!("post-restore auto-commit failed: {other:?}")),
+        }
+        match take(seqs[2])? {
+            treesls_txn::TxnResp::Value { val } if val == b"post-restore" => {}
+            other => return Err(format!("post-restore read diverges: {other:?}")),
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // A hybrid-copy round with hot-page migration, speculative stop-and-copy,
 // and idle eviction.
 // ---------------------------------------------------------------------------
